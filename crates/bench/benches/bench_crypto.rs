@@ -1,0 +1,96 @@
+//! Primitive crypto costs — the machine-local ground truth behind the
+//! Table II cost model: RSA signing dominates the per-sample cost, and
+//! the 2048/1024-bit ratio (~5x with CRT) is what makes 2048-bit keys
+//! unable to sustain 5 Hz.
+
+use alidrone_bench::bench_key;
+use alidrone_crypto::chacha20::chacha20_encrypt;
+use alidrone_crypto::hmac::hmac_sha256;
+use alidrone_crypto::rsa::HashAlg;
+use alidrone_crypto::sha1::sha1;
+use alidrone_crypto::sha256::sha256;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A GPS-sample-sized message (24 bytes), the unit the TEE signs.
+const SAMPLE: [u8; 24] = [0x42; 24];
+
+fn rsa_sign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa_sign_sha1");
+    group.sample_size(10);
+    for bits in [512usize, 1024, 2048] {
+        let key = bench_key(bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| key.sign(&SAMPLE, HashAlg::Sha1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn rsa_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa_verify_sha1");
+    for bits in [512usize, 1024, 2048] {
+        let key = bench_key(bits);
+        let sig = key.sign(&SAMPLE, HashAlg::Sha1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| key.public_key().verify(&SAMPLE, &sig, HashAlg::Sha1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn rsa_encrypt_decrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsaes_pkcs1_v15");
+    group.sample_size(10);
+    for bits in [512usize, 1024] {
+        let key = bench_key(bits);
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
+            b.iter(|| key.public_key().encrypt(&SAMPLE, &mut rng).unwrap());
+        });
+        let ct = key.public_key().encrypt(&SAMPLE, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("decrypt", bits), &bits, |b, _| {
+            b.iter(|| key.decrypt(&ct).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_1kib");
+    let data = vec![0xA5u8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha1", |b| b.iter(|| sha1(&data)));
+    group.bench_function("sha256", |b| b.iter(|| sha256(&data)));
+    group.bench_function("hmac_sha256", |b| b.iter(|| hmac_sha256(b"key", &data)));
+    group.finish();
+}
+
+fn symmetric_vs_asymmetric_per_sample(c: &mut Criterion) {
+    // The §VII-A1a ablation at the primitive level: authenticating one
+    // GPS sample with HMAC vs RSA.
+    let mut group = c.benchmark_group("per_sample_auth");
+    group.sample_size(10);
+    let key1024 = bench_key(1024);
+    group.bench_function("rsa_1024", |b| {
+        b.iter(|| key1024.sign(&SAMPLE, HashAlg::Sha1).unwrap());
+    });
+    group.bench_function("hmac", |b| b.iter(|| hmac_sha256(&[7u8; 32], &SAMPLE)));
+    let key = [9u8; 32];
+    let nonce = [3u8; 12];
+    group.bench_function("chacha20_seal", |b| {
+        b.iter(|| chacha20_encrypt(&key, &nonce, &SAMPLE))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    rsa_sign,
+    rsa_verify,
+    rsa_encrypt_decrypt,
+    hashes,
+    symmetric_vs_asymmetric_per_sample
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Geometry costs: the per-update work of the Adapter (nearest zone +
+//! boundary distances) and the auditor (sufficiency predicates), plus
+//! the paper-vs-exact criterion ablation and Welzl's algorithm.
+
+use alidrone_geo::polygon::smallest_enclosing_circle;
+use alidrone_geo::sufficiency::{pair_is_sufficient, pair_is_sufficient_exact};
+use alidrone_geo::{
+    Distance, Enu, GeoPoint, GpsSample, NoFlyZone, Timestamp, ZoneSet, FAA_MAX_SPEED,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn origin() -> GeoPoint {
+    GeoPoint::new(40.1164, -88.2434).unwrap()
+}
+
+fn zone_set(n: usize) -> ZoneSet {
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 137.5) % 360.0;
+            let dist = 100.0 + (i as f64 * 53.0) % 5_000.0;
+            NoFlyZone::new(
+                origin().destination(bearing, Distance::from_meters(dist)),
+                Distance::from_feet(20.0),
+            )
+        })
+        .collect()
+}
+
+fn nearest_zone_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nearest_zone");
+    let p = origin().destination(45.0, Distance::from_meters(321.0));
+    for n in [1usize, 10, 100, 1_000] {
+        let zones = zone_set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| zones.nearest(&p).is_some());
+        });
+    }
+    group.finish();
+}
+
+fn sufficiency_criteria(c: &mut Criterion) {
+    // Paper criterion is O(1); the exact test pays a ternary search. This
+    // ablation quantifies what the conservative shortcut buys.
+    let mut group = c.benchmark_group("pair_sufficiency");
+    let zone = NoFlyZone::new(
+        origin().destination(0.0, Distance::from_meters(120.0)),
+        Distance::from_meters(30.0),
+    );
+    let s1 = GpsSample::new(origin(), Timestamp::from_secs(0.0));
+    let s2 = GpsSample::new(
+        origin().destination(90.0, Distance::from_meters(40.0)),
+        Timestamp::from_secs(2.0),
+    );
+    group.bench_function("paper_criterion", |b| {
+        b.iter(|| pair_is_sufficient(&s1, &s2, &zone, FAA_MAX_SPEED));
+    });
+    group.bench_function("exact_ellipse", |b| {
+        b.iter(|| pair_is_sufficient_exact(&s1, &s2, &zone, FAA_MAX_SPEED));
+    });
+    group.finish();
+}
+
+fn alibi_check_scaling(c: &mut Criterion) {
+    // Auditor-side eq. (1) over a whole trace: length × zone-count grid.
+    let mut group = c.benchmark_group("check_alibi");
+    group.sample_size(20);
+    for (len, zones_n) in [(100usize, 10usize), (100, 100), (1_000, 10), (1_000, 100)] {
+        let zones = zone_set(zones_n);
+        let trace: Vec<GpsSample> = (0..len)
+            .map(|i| {
+                GpsSample::new(
+                    origin().destination(90.0, Distance::from_meters(i as f64 * 2.0)),
+                    Timestamp::from_secs(i as f64 * 0.2),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{len}samples_{zones_n}zones")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    alidrone_geo::sufficiency::check_alibi(
+                        &trace,
+                        &zones,
+                        FAA_MAX_SPEED,
+                        alidrone_geo::sufficiency::Criterion::Paper,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn welzl(c: &mut Criterion) {
+    // §VII-B2: polygon-zone registration cost ("can be solved in linear
+    // time … the computation … only happens once at registration").
+    let mut group = c.benchmark_group("smallest_enclosing_circle");
+    for n in [10usize, 100, 1_000] {
+        let mut state: u64 = 99;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 1_000.0
+        };
+        let pts: Vec<Enu> = (0..n).map(|_| Enu::new(next(), next())).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| smallest_enclosing_circle(&pts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    nearest_zone_query,
+    sufficiency_criteria,
+    alibi_check_scaling,
+    welzl
+);
+criterion_main!(benches);

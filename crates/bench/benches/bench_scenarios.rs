@@ -1,0 +1,61 @@
+//! End-to-end field-study pipelines — the Criterion counterpart of the
+//! `exp_fig6` / `exp_fig8` binaries: each measurement runs the complete
+//! scenario (receiver → TEE → sampler → PoA) under one strategy.
+
+use alidrone_bench::bench_key;
+use alidrone_core::SamplingStrategy;
+use alidrone_sim::runner::run_scenario;
+use alidrone_sim::scenarios::{airport, residential};
+use alidrone_tee::CostModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig6_airport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_airport");
+    group.sample_size(10);
+    let scenario = airport();
+    for (name, strategy) in [
+        ("fixed_1hz", SamplingStrategy::FixedRate(1.0)),
+        ("adaptive", SamplingStrategy::Adaptive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                run_scenario(
+                    &scenario,
+                    strategy,
+                    bench_key(512).clone(),
+                    CostModel::free(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig8_residential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_residential");
+    group.sample_size(10);
+    let scenario = residential();
+    for (name, strategy) in [
+        ("fixed_2hz", SamplingStrategy::FixedRate(2.0)),
+        ("fixed_3hz", SamplingStrategy::FixedRate(3.0)),
+        ("fixed_5hz", SamplingStrategy::FixedRate(5.0)),
+        ("adaptive", SamplingStrategy::Adaptive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                run_scenario(
+                    &scenario,
+                    strategy,
+                    bench_key(512).clone(),
+                    CostModel::free(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_airport, fig8_residential);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! TEE-path costs: `GetGPSAuth` end to end (the per-sample cost whose
+//! RPi3-calibrated counterpart drives Table II), and the §VII-A1
+//! ablations — batch signing and symmetric authentication.
+
+use std::sync::Arc;
+
+use alidrone_bench::bench_key;
+use alidrone_core::symmetric::establish_flight_key;
+use alidrone_crypto::dh::DhGroup;
+use alidrone_geo::trajectory::TrajectoryBuilder;
+use alidrone_geo::{Distance, GeoPoint, GpsSample, Speed, Timestamp};
+use alidrone_gps::{SimClock, SimulatedReceiver};
+use alidrone_tee::{CostModel, SecureWorldBuilder, TeeSession, GPS_SAMPLER_UUID};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn session(bits: usize) -> (SimClock, TeeSession) {
+    let a = GeoPoint::new(40.1164, -88.2434).unwrap();
+    let b = a.destination(90.0, Distance::from_km(100.0));
+    let traj = TrajectoryBuilder::start_at(a)
+        .travel_to(b, Speed::from_mph(30.0))
+        .build()
+        .unwrap();
+    let clock = SimClock::new();
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(traj, clock.clone(), 5.0));
+    let world = SecureWorldBuilder::new()
+        .with_sign_key(bench_key(bits).clone())
+        .with_gps_device(Box::new(receiver))
+        .with_cost_model(CostModel::free())
+        .build()
+        .unwrap();
+    clock.advance(alidrone_geo::Duration::from_secs(1.0));
+    let s = world.client().open_session(GPS_SAMPLER_UUID).unwrap();
+    (clock, s)
+}
+
+fn get_gps_auth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_gps_auth");
+    group.sample_size(10);
+    for bits in [512usize, 1024, 2048] {
+        let (_clock, s) = session(bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| s.get_gps_auth().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn read_gps_raw(c: &mut Criterion) {
+    // The NMEA round trip + dispatch without the signature: isolates the
+    // non-crypto part of the per-sample cost.
+    let (_clock, s) = session(512);
+    c.bench_function("read_gps_raw_nmea_roundtrip", |b| {
+        b.iter(|| s.read_gps_raw().unwrap());
+    });
+}
+
+fn batch_vs_individual(c: &mut Criterion) {
+    // §VII-A1b ablation: N individual signatures vs N cached samples +
+    // one trace signature.
+    let mut group = c.benchmark_group("auth_30_samples");
+    group.sample_size(10);
+    for bits in [512usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("individual", bits), &bits, |b, _| {
+            let (_clock, s) = session(bits);
+            b.iter(|| {
+                for _ in 0..30 {
+                    s.get_gps_auth().unwrap();
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", bits), &bits, |b, _| {
+            let (_clock, s) = session(bits);
+            b.iter(|| {
+                for _ in 0..30 {
+                    s.cache_sample().unwrap();
+                }
+                s.sign_trace().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn symmetric_session(c: &mut Criterion) {
+    // §VII-A1a ablation: per-flight DH setup amortised over per-sample
+    // HMAC authentication.
+    let mut rng = StdRng::seed_from_u64(5);
+    let group_params = DhGroup::test_512();
+    c.bench_function("flight_key_exchange", |b| {
+        b.iter(|| establish_flight_key(&group_params, &mut rng).unwrap());
+    });
+    let (drone, _auditor) = establish_flight_key(&group_params, &mut rng).unwrap();
+    let sample = GpsSample::new(
+        GeoPoint::new(40.0, -88.0).unwrap(),
+        Timestamp::from_secs(1.0),
+    );
+    c.bench_function("hmac_authenticate_sample", |b| {
+        b.iter(|| drone.authenticate(sample));
+    });
+}
+
+criterion_group!(
+    benches,
+    get_gps_auth,
+    read_gps_raw,
+    batch_vs_individual,
+    symmetric_session
+);
+criterion_main!(benches);

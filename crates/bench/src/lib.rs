@@ -1,0 +1,42 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! One bench target exists per evaluation artefact:
+//!
+//! * `bench_crypto` — the primitive costs behind **Table II** (RSA
+//!   sign/verify/encrypt at 512/1024/2048 bits, SHA, HMAC, ChaCha20).
+//! * `bench_tee` — `GetGPSAuth` end-to-end (world switch + driver read +
+//!   sign), plus the §VII-A1 ablations (batch signing, symmetric MACs).
+//! * `bench_geometry` — sufficiency predicates (paper vs exact
+//!   criterion), nearest-zone queries, Welzl circles.
+//! * `bench_verify` — auditor-side PoA verification throughput.
+//! * `bench_scenarios` — the **Fig. 6 / Fig. 8** pipelines end to end.
+//!
+//! Real wall-clock numbers here are for *this* machine; the paper-shape
+//! comparison lives in the `exp_*` binaries, which use the calibrated
+//! Raspberry Pi 3 cost model instead.
+
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use alidrone_crypto::rsa::RsaPrivateKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cached keys by size: keygen (especially 2048-bit) must happen once
+/// per process, not once per benchmark iteration batch.
+pub fn bench_key(bits: usize) -> &'static RsaPrivateKey {
+    static K512: OnceLock<RsaPrivateKey> = OnceLock::new();
+    static K1024: OnceLock<RsaPrivateKey> = OnceLock::new();
+    static K2048: OnceLock<RsaPrivateKey> = OnceLock::new();
+    let (cell, seed) = match bits {
+        512 => (&K512, 0xB512u64),
+        1024 => (&K1024, 0xB1024),
+        2048 => (&K2048, 0xB2048),
+        _ => panic!("no cached bench key for {bits} bits"),
+    };
+    cell.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaPrivateKey::generate(bits, &mut rng)
+    })
+}

@@ -1,0 +1,1221 @@
+//! The Auditor: registration authority, zone directory, and PoA verifier.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use alidrone_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use alidrone_geo::polygon::PolygonZone;
+use alidrone_geo::sufficiency::{check_alibi, Criterion, SufficiencyReport};
+use alidrone_geo::{
+    check_monotonic, Duration, GeoError, NoFlyZone, ReachableSet, Speed, Timestamp, ZoneSet,
+    FAA_MAX_SPEED,
+};
+
+use crate::messages::{Accusation, PoaSubmission, ZoneQuery, ZoneResponse};
+use crate::poa::{EncryptedPoa, ProofOfAlibi};
+use crate::{DroneId, ProtocolError, ZoneId};
+
+/// Auditor policy knobs.
+#[derive(Debug, Clone)]
+pub struct AuditorConfig {
+    /// Maximum drone speed used in reachable-set computations (the FAA's
+    /// 100 mph by default, paper §IV-C1).
+    pub v_max: Speed,
+    /// Which sufficiency criterion verification applies.
+    pub criterion: Criterion,
+    /// How far the first/last sample may sit inside the claimed flight
+    /// window before coverage is rejected.
+    pub coverage_slack: Duration,
+    /// How long verified PoAs are retained for later accusations
+    /// ("a couple of days", paper §IV-C2).
+    pub retention: Duration,
+}
+
+impl Default for AuditorConfig {
+    fn default() -> Self {
+        AuditorConfig {
+            v_max: FAA_MAX_SPEED,
+            criterion: Criterion::Paper,
+            coverage_slack: Duration::from_secs(5.0),
+            retention: Duration::from_secs(2.0 * 86_400.0),
+        }
+    }
+}
+
+/// The verification outcome for one submission.
+///
+/// `Compliant` is the only accepting verdict; everything else causes the
+/// auditor to "initiate punitive measures" (paper §III-A) — including an
+/// insufficient alibi, because the burden of proof rests on the operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The PoA proves the drone stayed clear of every registered zone for
+    /// the whole flight window.
+    Compliant,
+    /// The PoA contains no samples.
+    EmptyPoa,
+    /// A TEE signature failed to verify (forged or tampered sample).
+    BadSignature {
+        /// Index of the first offending entry.
+        index: usize,
+    },
+    /// Sample timestamps are not strictly increasing (spliced or replayed
+    /// trace).
+    NonMonotonic {
+        /// Index of the first offending entry.
+        index: usize,
+    },
+    /// The PoA does not cover the claimed flight window.
+    WindowNotCovered,
+    /// A consecutive pair implies motion faster than `v_max` — the trace
+    /// is physically impossible, indicating forgery or relay splicing.
+    ImpossibleTrace {
+        /// Index of the first sample of the impossible pair.
+        index: usize,
+    },
+    /// A signed sample lies inside a registered zone — a proven privacy
+    /// violation.
+    InsideZone {
+        /// Index of the offending sample.
+        index: usize,
+        /// Which zone was entered.
+        zone: ZoneId,
+    },
+    /// Some pair fails eq. (1): the drone *may* have entered a zone.
+    InsufficientAlibi {
+        /// Indices of the first samples of the insufficient pairs.
+        pair_indices: Vec<usize>,
+    },
+}
+
+impl Verdict {
+    /// `true` only for [`Verdict::Compliant`].
+    pub fn is_compliant(&self) -> bool {
+        matches!(self, Verdict::Compliant)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Compliant => write!(f, "compliant"),
+            Verdict::EmptyPoa => write!(f, "empty proof-of-alibi"),
+            Verdict::BadSignature { index } => write!(f, "bad signature at sample {index}"),
+            Verdict::NonMonotonic { index } => {
+                write!(f, "non-monotonic timestamps at sample {index}")
+            }
+            Verdict::WindowNotCovered => write!(f, "flight window not covered"),
+            Verdict::ImpossibleTrace { index } => {
+                write!(f, "physically impossible pair at sample {index}")
+            }
+            Verdict::InsideZone { index, zone } => {
+                write!(f, "sample {index} inside {zone}")
+            }
+            Verdict::InsufficientAlibi { pair_indices } => {
+                write!(f, "{} insufficient pair(s)", pair_indices.len())
+            }
+        }
+    }
+}
+
+/// Full verification output: the verdict plus the per-pair sufficiency
+/// detail when the pipeline got that far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// The final verdict.
+    pub verdict: Verdict,
+    /// Per-pair sufficiency detail (present when signatures, timestamps,
+    /// coverage, and feasibility all passed).
+    pub sufficiency: Option<SufficiencyReport>,
+}
+
+impl VerificationReport {
+    /// `true` when the submission was accepted.
+    pub fn is_compliant(&self) -> bool {
+        self.verdict.is_compliant()
+    }
+}
+
+/// A retained PoA, kept so that a later [`Accusation`] can be checked
+/// against it.
+#[derive(Debug, Clone)]
+pub struct StoredPoa {
+    /// Submitting drone.
+    pub drone_id: DroneId,
+    /// Claimed flight window.
+    pub window: (Timestamp, Timestamp),
+    /// The proof itself.
+    pub poa: ProofOfAlibi,
+    /// Verdict it received at submission time.
+    pub verdict: Verdict,
+    /// When it was stored (drives retention purging).
+    pub stored_at: Timestamp,
+}
+
+/// The outcome of checking an accusation against stored evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccusationOutcome {
+    /// The stored PoA proves the drone could not have been in the zone at
+    /// the accused time.
+    Refuted,
+    /// The evidence does not exonerate the drone (insufficient pair, a
+    /// sample inside the zone, or no coverage) — punitive measures follow.
+    Upheld {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+struct DroneRecord {
+    operator_public: RsaPublicKey,
+    tee_public: RsaPublicKey,
+}
+
+/// The AliDrone Server run by the auditor (paper §IV-C2).
+pub struct Auditor {
+    config: AuditorConfig,
+    encryption_key: RsaPrivateKey,
+    drones: BTreeMap<DroneId, DroneRecord>,
+    zones: BTreeMap<ZoneId, NoFlyZone>,
+    used_nonces: BTreeSet<(DroneId, [u8; 16])>,
+    stored: Vec<StoredPoa>,
+    next_drone: u64,
+    next_zone: u64,
+}
+
+impl Auditor {
+    /// Creates an auditor with the given policy and its PoA-decryption
+    /// keypair.
+    pub fn new(config: AuditorConfig, encryption_key: RsaPrivateKey) -> Self {
+        Auditor {
+            config,
+            encryption_key,
+            drones: BTreeMap::new(),
+            zones: BTreeMap::new(),
+            used_nonces: BTreeSet::new(),
+            stored: Vec::new(),
+            next_drone: 1,
+            next_zone: 1,
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &AuditorConfig {
+        &self.config
+    }
+
+    /// The public key drones encrypt PoAs to.
+    pub fn public_encryption_key(&self) -> &RsaPublicKey {
+        self.encryption_key.public_key()
+    }
+
+    /// Step 0 — registers a drone: records `(id_drone, D⁺, T⁺)` and
+    /// issues the id.
+    pub fn register_drone(
+        &mut self,
+        operator_public: RsaPublicKey,
+        tee_public: RsaPublicKey,
+    ) -> DroneId {
+        let id = DroneId::new(self.next_drone);
+        self.next_drone += 1;
+        self.drones.insert(
+            id,
+            DroneRecord {
+                operator_public,
+                tee_public,
+            },
+        );
+        id
+    }
+
+    /// Step 1 — registers a circular zone, issuing its id.
+    pub fn register_zone(&mut self, zone: NoFlyZone) -> ZoneId {
+        let id = ZoneId::new(self.next_zone);
+        self.next_zone += 1;
+        self.zones.insert(id, zone);
+        id
+    }
+
+    /// §VII-B2 — registers a polygonal zone by covering it with its
+    /// smallest enclosing circle (computed once, here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates degenerate-polygon errors.
+    pub fn register_polygon_zone(&mut self, polygon: &PolygonZone) -> Result<ZoneId, GeoError> {
+        Ok(self.register_zone(polygon.enclosing_zone()))
+    }
+
+    /// Look up a zone's geometry.
+    pub fn zone(&self, id: ZoneId) -> Option<&NoFlyZone> {
+        self.zones.get(&id)
+    }
+
+    /// All registered zones as a set.
+    pub fn zone_set(&self) -> ZoneSet {
+        self.zones.values().copied().collect()
+    }
+
+    /// Number of registered drones.
+    pub fn drone_count(&self) -> usize {
+        self.drones.len()
+    }
+
+    /// The registered TEE verification key for a drone.
+    pub fn tee_public_key(&self, id: DroneId) -> Option<&RsaPublicKey> {
+        self.drones.get(&id).map(|d| &d.tee_public)
+    }
+
+    /// Steps 2–3 — answers a zone query after verifying the signed nonce
+    /// and its freshness.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownDrone`] for unregistered ids,
+    /// [`ProtocolError::QuerySignatureInvalid`] for bad signatures, and
+    /// [`ProtocolError::NonceReplayed`] for nonce reuse.
+    pub fn handle_zone_query(&mut self, query: &ZoneQuery) -> Result<ZoneResponse, ProtocolError> {
+        let record = self
+            .drones
+            .get(&query.drone_id)
+            .ok_or(ProtocolError::UnknownDrone(query.drone_id))?;
+        query.verify(&record.operator_public)?;
+        if !self.used_nonces.insert((query.drone_id, query.nonce)) {
+            return Err(ProtocolError::NonceReplayed);
+        }
+        let all = self.zone_set();
+        let within = all.within_rect(&query.corner1, &query.corner2);
+        let zones = self
+            .zones
+            .iter()
+            .filter(|(_, z)| within.as_slice().contains(z))
+            .map(|(id, z)| (*id, *z))
+            .collect();
+        Ok(ZoneResponse { zones })
+    }
+
+    /// Step 4 — verifies a plaintext submission and retains it.
+    ///
+    /// # Errors
+    ///
+    /// Only transport-level problems (unknown drone) are errors; every
+    /// judgement about the PoA itself is expressed in the returned
+    /// [`VerificationReport`].
+    pub fn verify_submission(
+        &mut self,
+        submission: &PoaSubmission,
+        now: Timestamp,
+    ) -> Result<VerificationReport, ProtocolError> {
+        let record = self
+            .drones
+            .get(&submission.drone_id)
+            .ok_or(ProtocolError::UnknownDrone(submission.drone_id))?;
+        let report = self.verify_poa_inner(&submission.poa, record, submission);
+        self.stored.push(StoredPoa {
+            drone_id: submission.drone_id,
+            window: (submission.window_start, submission.window_end),
+            poa: submission.poa.clone(),
+            verdict: report.verdict.clone(),
+            stored_at: now,
+        });
+        Ok(report)
+    }
+
+    /// Step 4, encrypted variant: decrypts with the auditor key first
+    /// (paper §V-C — the Adapter persists the PoA encrypted under the
+    /// server's public key).
+    ///
+    /// # Errors
+    ///
+    /// Adds decryption failures to the error set of
+    /// [`verify_submission`](Self::verify_submission).
+    pub fn verify_encrypted_submission(
+        &mut self,
+        drone_id: DroneId,
+        window_start: Timestamp,
+        window_end: Timestamp,
+        encrypted: &EncryptedPoa,
+        now: Timestamp,
+    ) -> Result<VerificationReport, ProtocolError> {
+        let poa = encrypted.decrypt(&self.encryption_key)?;
+        self.verify_submission(
+            &PoaSubmission {
+                drone_id,
+                window_start,
+                window_end,
+                poa,
+            },
+            now,
+        )
+    }
+
+    fn verify_poa_inner(
+        &self,
+        poa: &ProofOfAlibi,
+        record: &DroneRecord,
+        submission: &PoaSubmission,
+    ) -> VerificationReport {
+        // 1. Non-empty.
+        if poa.is_empty() {
+            return VerificationReport {
+                verdict: Verdict::EmptyPoa,
+                sufficiency: None,
+            };
+        }
+        // 2. Every signature verifies under the registered T⁺.
+        for (i, entry) in poa.entries().iter().enumerate() {
+            if entry.verify(&record.tee_public).is_err() {
+                return VerificationReport {
+                    verdict: Verdict::BadSignature { index: i },
+                    sufficiency: None,
+                };
+            }
+        }
+        let alibi = poa.alibi();
+        // 3. Strictly increasing timestamps.
+        if let Err(GeoError::NonMonotonicTime { index }) = check_monotonic(&alibi) {
+            return VerificationReport {
+                verdict: Verdict::NonMonotonic { index },
+                sufficiency: None,
+            };
+        }
+        // 4. Window coverage.
+        let slack = self.config.coverage_slack;
+        let first = alibi.first().expect("non-empty").time();
+        let last = alibi.last().expect("non-empty").time();
+        if first.secs() > (submission.window_start + slack).secs()
+            || last.secs() < (submission.window_end - slack).secs()
+        {
+            return VerificationReport {
+                verdict: Verdict::WindowNotCovered,
+                sufficiency: None,
+            };
+        }
+        // 5. Physical feasibility of every pair.
+        for (i, w) in alibi.windows(2).enumerate() {
+            match ReachableSet::from_samples(&w[0], &w[1], self.config.v_max) {
+                Some(e) if !e.is_empty() => {}
+                _ => {
+                    return VerificationReport {
+                        verdict: Verdict::ImpossibleTrace { index: i },
+                        sufficiency: None,
+                    }
+                }
+            }
+        }
+        // 6. No sample inside any zone.
+        for (i, s) in alibi.iter().enumerate() {
+            for (zid, z) in &self.zones {
+                if z.contains(&s.point()) {
+                    return VerificationReport {
+                        verdict: Verdict::InsideZone {
+                            index: i,
+                            zone: *zid,
+                        },
+                        sufficiency: None,
+                    };
+                }
+            }
+        }
+        // 7. Alibi sufficiency, eq. (1).
+        let zones = self.zone_set();
+        let suff = check_alibi(&alibi, &zones, self.config.v_max, self.config.criterion);
+        let verdict = if suff.is_sufficient() {
+            Verdict::Compliant
+        } else {
+            Verdict::InsufficientAlibi {
+                pair_indices: suff.insufficient_indices(),
+            }
+        };
+        VerificationReport {
+            verdict,
+            sufficiency: Some(suff),
+        }
+    }
+
+    /// Handles a zone owner's accusation against stored evidence
+    /// (paper §III-A: the burden of proof is on the operator, so missing
+    /// or non-exonerating evidence upholds the accusation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownZone`] when the accused zone does
+    /// not exist.
+    pub fn handle_accusation(
+        &self,
+        accusation: &Accusation,
+    ) -> Result<AccusationOutcome, ProtocolError> {
+        let zone = self
+            .zones
+            .get(&accusation.zone_id)
+            .copied()
+            .ok_or(ProtocolError::UnknownZone(accusation.zone_id))?;
+        // Find a stored PoA from this drone whose window covers the time.
+        let stored = self.stored.iter().rev().find(|s| {
+            s.drone_id == accusation.drone_id
+                && s.window.0.secs() <= accusation.time.secs()
+                && accusation.time.secs() <= s.window.1.secs()
+        });
+        let Some(stored) = stored else {
+            return Ok(AccusationOutcome::Upheld {
+                reason: "no stored proof-of-alibi covers the accused time".into(),
+            });
+        };
+        if !stored.verdict.is_compliant() {
+            return Ok(AccusationOutcome::Upheld {
+                reason: format!("stored proof was already judged: {}", stored.verdict),
+            });
+        }
+        // Find the sample pair bracketing the accused time.
+        let alibi = stored.poa.alibi();
+        let pair = alibi.windows(2).find(|w| {
+            w[0].time().secs() <= accusation.time.secs()
+                && accusation.time.secs() <= w[1].time().secs()
+        });
+        let Some(pair) = pair else {
+            return Ok(AccusationOutcome::Upheld {
+                reason: "accused time falls outside the recorded trace".into(),
+            });
+        };
+        let sufficient = alidrone_geo::sufficiency::pair_is_sufficient(
+            &pair[0],
+            &pair[1],
+            &zone,
+            self.config.v_max,
+        );
+        if sufficient {
+            Ok(AccusationOutcome::Refuted)
+        } else {
+            Ok(AccusationOutcome::Upheld {
+                reason: "bracketing sample pair does not prove alibi for the zone".into(),
+            })
+        }
+    }
+
+    /// Number of retained PoAs.
+    pub fn stored_poa_count(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// The most recent stored PoA for a drone, if any.
+    pub fn latest_stored(&self, drone: DroneId) -> Option<&StoredPoa> {
+        self.stored.iter().rev().find(|s| s.drone_id == drone)
+    }
+
+    /// Drops stored PoAs older than the retention window.
+    pub fn purge_expired(&mut self, now: Timestamp) {
+        let retention = self.config.retention;
+        self.stored
+            .retain(|s| (now - s.stored_at).secs() <= retention.secs());
+    }
+}
+
+impl fmt::Debug for Auditor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Auditor")
+            .field("drones", &self.drones.len())
+            .field("zones", &self.zones.len())
+            .field("stored_poas", &self.stored.len())
+            .finish_non_exhaustive()
+    }
+}
+
+// ------------------------------------------------------------- snapshots
+//
+// The AliDrone Server must survive restarts without losing its drone
+// registry, zone database, anti-replay state, or retained PoAs (a lost
+// nonce set would reopen query replay; lost PoAs would turn every
+// pending accusation into a punishment). The snapshot format reuses the
+// wire codec.
+
+const SNAPSHOT_MAGIC: u32 = 0x414C_4431; // "ALD1"
+
+impl Auditor {
+    /// Serialises the auditor's durable state: registries, anti-replay
+    /// nonces, retained PoAs, and id counters. The encryption *private*
+    /// key is deliberately **not** included — key storage is a separate
+    /// concern (an HSM in deployment); [`Auditor::restore`] takes it as
+    /// an argument.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use crate::wire::codec::Writer;
+        let mut w = Writer::new();
+        w.put_u32(SNAPSHOT_MAGIC);
+        w.put_u64(self.next_drone);
+        w.put_u64(self.next_zone);
+
+        w.put_u32(self.drones.len() as u32);
+        for (id, rec) in &self.drones {
+            w.put_u64(id.value());
+            w.put_bytes(&rec.operator_public.modulus().to_bytes_be());
+            w.put_bytes(&rec.operator_public.exponent().to_bytes_be());
+            w.put_bytes(&rec.tee_public.modulus().to_bytes_be());
+            w.put_bytes(&rec.tee_public.exponent().to_bytes_be());
+        }
+
+        w.put_u32(self.zones.len() as u32);
+        for (id, z) in &self.zones {
+            w.put_u64(id.value());
+            w.put_f64(z.center().lat_deg());
+            w.put_f64(z.center().lon_deg());
+            w.put_f64(z.radius().meters());
+        }
+
+        w.put_u32(self.used_nonces.len() as u32);
+        for (drone, nonce) in &self.used_nonces {
+            w.put_u64(drone.value());
+            for b in nonce {
+                w.put_u8(*b);
+            }
+        }
+
+        w.put_u32(self.stored.len() as u32);
+        for s in &self.stored {
+            w.put_u64(s.drone_id.value());
+            w.put_f64(s.window.0.secs());
+            w.put_f64(s.window.1.secs());
+            w.put_bytes(&s.poa.to_bytes());
+            crate::wire::put_verdict(&mut w, &s.verdict);
+            w.put_f64(s.stored_at.secs());
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds an auditor from a [`snapshot`](Auditor::snapshot), the
+    /// (externally stored) encryption key, and the policy config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] for corrupted snapshots.
+    pub fn restore(
+        bytes: &[u8],
+        config: AuditorConfig,
+        encryption_key: RsaPrivateKey,
+    ) -> Result<Self, ProtocolError> {
+        use crate::wire::codec::Reader;
+        use alidrone_crypto::bigint::BigUint;
+        use alidrone_geo::GeoPoint;
+
+        let mut r = Reader::new(bytes);
+        if r.get_u32()? != SNAPSHOT_MAGIC {
+            return Err(ProtocolError::Malformed("snapshot magic"));
+        }
+        let next_drone = r.get_u64()?;
+        let next_zone = r.get_u64()?;
+
+        let read_key = |r: &mut Reader<'_>| -> Result<RsaPublicKey, ProtocolError> {
+            let n = BigUint::from_bytes_be(r.get_bytes()?);
+            let e = BigUint::from_bytes_be(r.get_bytes()?);
+            RsaPublicKey::new(n, e).map_err(ProtocolError::Crypto)
+        };
+
+        let n = r.get_u32()? as usize;
+        if n > 1 << 20 {
+            return Err(ProtocolError::Malformed("too many drones"));
+        }
+        let mut drones = BTreeMap::new();
+        for _ in 0..n {
+            let id = DroneId::new(r.get_u64()?);
+            let operator_public = read_key(&mut r)?;
+            let tee_public = read_key(&mut r)?;
+            drones.insert(
+                id,
+                DroneRecord {
+                    operator_public,
+                    tee_public,
+                },
+            );
+        }
+
+        let n = r.get_u32()? as usize;
+        if n > 1 << 24 {
+            return Err(ProtocolError::Malformed("too many zones"));
+        }
+        let mut zones = BTreeMap::new();
+        for _ in 0..n {
+            let id = ZoneId::new(r.get_u64()?);
+            let lat = r.get_f64()?;
+            let lon = r.get_f64()?;
+            let radius = r.get_f64()?;
+            let center = GeoPoint::new(lat, lon).map_err(ProtocolError::Geo)?;
+            zones.insert(
+                id,
+                NoFlyZone::try_new(center, alidrone_geo::Distance::from_meters(radius))
+                    .map_err(ProtocolError::Geo)?,
+            );
+        }
+
+        let n = r.get_u32()? as usize;
+        if n > 1 << 24 {
+            return Err(ProtocolError::Malformed("too many nonces"));
+        }
+        let mut used_nonces = BTreeSet::new();
+        for _ in 0..n {
+            let drone = DroneId::new(r.get_u64()?);
+            let nonce: [u8; 16] = r.get_array()?;
+            used_nonces.insert((drone, nonce));
+        }
+
+        let n = r.get_u32()? as usize;
+        if n > 1 << 20 {
+            return Err(ProtocolError::Malformed("too many stored poas"));
+        }
+        let mut stored = Vec::with_capacity(n);
+        for _ in 0..n {
+            let drone_id = DroneId::new(r.get_u64()?);
+            let ws = Timestamp::from_secs(r.get_f64()?);
+            let we = Timestamp::from_secs(r.get_f64()?);
+            let poa = ProofOfAlibi::from_bytes(r.get_bytes()?)?;
+            let verdict = crate::wire::get_verdict(&mut r)?;
+            let stored_at = Timestamp::from_secs(r.get_f64()?);
+            stored.push(StoredPoa {
+                drone_id,
+                window: (ws, we),
+                poa,
+                verdict,
+                stored_at,
+            });
+        }
+        r.finish()?;
+
+        Ok(Auditor {
+            config,
+            encryption_key,
+            drones,
+            zones,
+            used_nonces,
+            stored,
+            next_drone,
+            next_zone,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{auditor_key, operator_key, origin, signed_samples, tee_key};
+    use alidrone_crypto::rsa::HashAlg;
+    use alidrone_geo::{Distance, GeoPoint, GpsSample};
+    use alidrone_tee::SignedSample;
+
+    fn auditor() -> Auditor {
+        Auditor::new(AuditorConfig::default(), auditor_key().clone())
+    }
+
+    fn registered(auditor: &mut Auditor) -> DroneId {
+        auditor.register_drone(
+            operator_key().public_key().clone(),
+            tee_key().public_key().clone(),
+        )
+    }
+
+    fn far_zone() -> NoFlyZone {
+        NoFlyZone::new(
+            origin().destination(0.0, Distance::from_km(50.0)),
+            Distance::from_meters(100.0),
+        )
+    }
+
+    fn submission(drone_id: DroneId, n: usize) -> PoaSubmission {
+        PoaSubmission {
+            drone_id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs((n - 1) as f64),
+            poa: ProofOfAlibi::from_entries(signed_samples(n)),
+        }
+    }
+
+    #[test]
+    fn registration_issues_sequential_ids() {
+        let mut a = auditor();
+        let d1 = registered(&mut a);
+        let d2 = registered(&mut a);
+        assert_ne!(d1, d2);
+        assert_eq!(a.drone_count(), 2);
+        let z1 = a.register_zone(far_zone());
+        let z2 = a.register_zone(far_zone());
+        assert_ne!(z1, z2);
+        assert!(a.zone(z1).is_some());
+        assert!(a.zone(ZoneId::new(999)).is_none());
+    }
+
+    #[test]
+    fn compliant_flight_accepted_and_stored() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        a.register_zone(far_zone());
+        let rep = a
+            .verify_submission(&submission(d, 10), Timestamp::from_secs(100.0))
+            .unwrap();
+        assert!(rep.is_compliant(), "verdict: {}", rep.verdict);
+        assert!(rep.sufficiency.is_some());
+        assert_eq!(a.stored_poa_count(), 1);
+        assert!(a.latest_stored(d).is_some());
+    }
+
+    #[test]
+    fn unknown_drone_is_error() {
+        let mut a = auditor();
+        let err = a
+            .verify_submission(&submission(DroneId::new(9), 3), Timestamp::EPOCH)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::UnknownDrone(_)));
+    }
+
+    #[test]
+    fn empty_poa_rejected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let s = PoaSubmission {
+            drone_id: d,
+            window_start: Timestamp::EPOCH,
+            window_end: Timestamp::from_secs(1.0),
+            poa: ProofOfAlibi::new(),
+        };
+        let rep = a.verify_submission(&s, Timestamp::EPOCH).unwrap();
+        assert_eq!(rep.verdict, Verdict::EmptyPoa);
+    }
+
+    #[test]
+    fn forged_signature_detected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let mut entries = signed_samples(5);
+        // Attacker swaps in a different position, keeping the signature.
+        let forged = GpsSample::new(
+            GeoPoint::new(41.0, -88.2).unwrap(),
+            entries[2].sample().time(),
+        );
+        entries[2] = SignedSample::from_parts(
+            forged,
+            entries[2].signature().to_vec(),
+            entries[2].hash_alg(),
+        );
+        let s = PoaSubmission {
+            drone_id: d,
+            window_start: Timestamp::EPOCH,
+            window_end: Timestamp::from_secs(4.0),
+            poa: ProofOfAlibi::from_entries(entries),
+        };
+        let rep = a.verify_submission(&s, Timestamp::EPOCH).unwrap();
+        assert_eq!(rep.verdict, Verdict::BadSignature { index: 2 });
+    }
+
+    #[test]
+    fn relay_attack_detected() {
+        // PoA signed by a *different* drone's TEE: signatures valid under
+        // the wrong key.
+        let mut a = auditor();
+        let other_tee = {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(0xE1E);
+            alidrone_crypto::rsa::RsaPrivateKey::generate(512, &mut rng)
+        };
+        let d = a.register_drone(
+            operator_key().public_key().clone(),
+            other_tee.public_key().clone(),
+        );
+        // signed_samples() signs with tee_key(), not other_tee.
+        let rep = a
+            .verify_submission(&submission(d, 3), Timestamp::EPOCH)
+            .unwrap();
+        assert_eq!(rep.verdict, Verdict::BadSignature { index: 0 });
+    }
+
+    #[test]
+    fn replayed_trace_nonmonotonic_detected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let mut entries = signed_samples(4);
+        let replayed = entries[1].clone();
+        entries.push(replayed); // appending an old signed sample
+        let s = PoaSubmission {
+            drone_id: d,
+            window_start: Timestamp::EPOCH,
+            window_end: Timestamp::from_secs(3.0),
+            poa: ProofOfAlibi::from_entries(entries),
+        };
+        let rep = a.verify_submission(&s, Timestamp::EPOCH).unwrap();
+        assert_eq!(rep.verdict, Verdict::NonMonotonic { index: 4 });
+    }
+
+    #[test]
+    fn window_coverage_enforced() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        // Claim a window that extends far beyond the trace.
+        let s = PoaSubmission {
+            drone_id: d,
+            window_start: Timestamp::EPOCH,
+            window_end: Timestamp::from_secs(1_000.0),
+            poa: ProofOfAlibi::from_entries(signed_samples(5)),
+        };
+        let rep = a.verify_submission(&s, Timestamp::EPOCH).unwrap();
+        assert_eq!(rep.verdict, Verdict::WindowNotCovered);
+        // Window starting before the first sample likewise.
+        let s2 = PoaSubmission {
+            drone_id: d,
+            window_start: Timestamp::from_secs(-100.0),
+            window_end: Timestamp::from_secs(4.0),
+            poa: ProofOfAlibi::from_entries(signed_samples(5)),
+        };
+        let rep2 = a.verify_submission(&s2, Timestamp::EPOCH).unwrap();
+        assert_eq!(rep2.verdict, Verdict::WindowNotCovered);
+    }
+
+    #[test]
+    fn impossible_trace_detected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        // Two samples 0.5 s apart but 5 km apart in space, individually
+        // well-signed: a spliced/forged trace.
+        let s1 = GpsSample::new(origin(), Timestamp::from_secs(0.0));
+        let s2 = GpsSample::new(
+            origin().destination(90.0, Distance::from_km(5.0)),
+            Timestamp::from_secs(0.5),
+        );
+        let entries: Vec<SignedSample> = [s1, s2]
+            .into_iter()
+            .map(|smp| {
+                let sig = tee_key().sign(&smp.to_bytes(), HashAlg::Sha1).unwrap();
+                SignedSample::from_parts(smp, sig, HashAlg::Sha1)
+            })
+            .collect();
+        let s = PoaSubmission {
+            drone_id: d,
+            window_start: Timestamp::EPOCH,
+            window_end: Timestamp::from_secs(0.5),
+            poa: ProofOfAlibi::from_entries(entries),
+        };
+        let rep = a.verify_submission(&s, Timestamp::EPOCH).unwrap();
+        assert_eq!(rep.verdict, Verdict::ImpossibleTrace { index: 0 });
+    }
+
+    #[test]
+    fn violation_inside_zone_detected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        // Zone sits right on the trace.
+        let zid = a.register_zone(NoFlyZone::new(
+            origin().destination(90.0, Distance::from_meters(20.0)),
+            Distance::from_meters(15.0),
+        ));
+        let rep = a
+            .verify_submission(&submission(d, 5), Timestamp::EPOCH)
+            .unwrap();
+        match rep.verdict {
+            Verdict::InsideZone { zone, .. } => assert_eq!(zone, zid),
+            other => panic!("expected InsideZone, got {other}"),
+        }
+    }
+
+    #[test]
+    fn insufficient_alibi_detected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        // Zone near the path but not containing any sample; samples 1 s
+        // apart → budget ~44.7 m; zone boundary within reach.
+        a.register_zone(NoFlyZone::new(
+            origin().destination(0.0, Distance::from_meters(25.0)),
+            Distance::from_meters(10.0),
+        ));
+        let rep = a
+            .verify_submission(&submission(d, 5), Timestamp::EPOCH)
+            .unwrap();
+        match &rep.verdict {
+            Verdict::InsufficientAlibi { pair_indices } => {
+                assert!(!pair_indices.is_empty());
+            }
+            other => panic!("expected InsufficientAlibi, got {other}"),
+        }
+        assert!(rep.sufficiency.is_some());
+    }
+
+    #[test]
+    fn zone_query_flow() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let near = a.register_zone(NoFlyZone::new(
+            origin().destination(45.0, Distance::from_km(2.0)),
+            Distance::from_meters(100.0),
+        ));
+        let _far = a.register_zone(NoFlyZone::new(
+            origin().destination(45.0, Distance::from_km(500.0)),
+            Distance::from_meters(100.0),
+        ));
+        let q = ZoneQuery::new_signed(
+            d,
+            origin().destination(225.0, Distance::from_km(5.0)),
+            origin().destination(45.0, Distance::from_km(5.0)),
+            [1u8; 16],
+            operator_key(),
+        )
+        .unwrap();
+        let resp = a.handle_zone_query(&q).unwrap();
+        assert_eq!(resp.zones.len(), 1);
+        assert_eq!(resp.zones[0].0, near);
+    }
+
+    #[test]
+    fn zone_query_nonce_replay_rejected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let q = ZoneQuery::new_signed(d, origin(), origin(), [2u8; 16], operator_key()).unwrap();
+        a.handle_zone_query(&q).unwrap();
+        assert_eq!(a.handle_zone_query(&q), Err(ProtocolError::NonceReplayed));
+    }
+
+    #[test]
+    fn zone_query_bad_signature_rejected() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let mut q =
+            ZoneQuery::new_signed(d, origin(), origin(), [3u8; 16], operator_key()).unwrap();
+        q.signature[0] ^= 1;
+        assert_eq!(
+            a.handle_zone_query(&q),
+            Err(ProtocolError::QuerySignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn zone_query_unknown_drone_rejected() {
+        let mut a = auditor();
+        let q = ZoneQuery::new_signed(
+            DroneId::new(77),
+            origin(),
+            origin(),
+            [4u8; 16],
+            operator_key(),
+        )
+        .unwrap();
+        assert!(matches!(
+            a.handle_zone_query(&q),
+            Err(ProtocolError::UnknownDrone(_))
+        ));
+    }
+
+    #[test]
+    fn encrypted_submission_round_trip() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut a = auditor();
+        let d = registered(&mut a);
+        a.register_zone(far_zone());
+        let poa = ProofOfAlibi::from_entries(signed_samples(6));
+        let enc = poa.encrypt(a.public_encryption_key(), &mut rng).unwrap();
+        let rep = a
+            .verify_encrypted_submission(
+                d,
+                Timestamp::EPOCH,
+                Timestamp::from_secs(5.0),
+                &enc,
+                Timestamp::EPOCH,
+            )
+            .unwrap();
+        assert!(rep.is_compliant());
+    }
+
+    #[test]
+    fn accusation_refuted_by_good_alibi() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let zid = a.register_zone(far_zone());
+        a.verify_submission(&submission(d, 10), Timestamp::EPOCH)
+            .unwrap();
+        let outcome = a
+            .handle_accusation(&Accusation {
+                zone_id: zid,
+                drone_id: d,
+                time: Timestamp::from_secs(4.5),
+            })
+            .unwrap();
+        assert_eq!(outcome, AccusationOutcome::Refuted);
+    }
+
+    #[test]
+    fn accusation_upheld_without_stored_poa() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let zid = a.register_zone(far_zone());
+        let outcome = a
+            .handle_accusation(&Accusation {
+                zone_id: zid,
+                drone_id: d,
+                time: Timestamp::from_secs(4.5),
+            })
+            .unwrap();
+        assert!(matches!(outcome, AccusationOutcome::Upheld { .. }));
+    }
+
+    #[test]
+    fn accusation_on_unknown_zone_is_error() {
+        let a = auditor();
+        assert!(matches!(
+            a.handle_accusation(&Accusation {
+                zone_id: ZoneId::new(404),
+                drone_id: DroneId::new(1),
+                time: Timestamp::EPOCH,
+            }),
+            Err(ProtocolError::UnknownZone(_))
+        ));
+    }
+
+    #[test]
+    fn accusation_upheld_when_pair_cannot_exonerate() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        // Register a zone close enough that 1 s pairs cannot prove alibi,
+        // but which contains no sample (so submission verdict is
+        // InsufficientAlibi → stored as judged).
+        let zid = a.register_zone(NoFlyZone::new(
+            origin().destination(0.0, Distance::from_meters(25.0)),
+            Distance::from_meters(10.0),
+        ));
+        a.verify_submission(&submission(d, 10), Timestamp::EPOCH)
+            .unwrap();
+        let outcome = a
+            .handle_accusation(&Accusation {
+                zone_id: zid,
+                drone_id: d,
+                time: Timestamp::from_secs(3.2),
+            })
+            .unwrap();
+        assert!(matches!(outcome, AccusationOutcome::Upheld { .. }));
+    }
+
+    #[test]
+    fn retention_purges_old_poas() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        a.verify_submission(&submission(d, 3), Timestamp::from_secs(0.0))
+            .unwrap();
+        a.verify_submission(&submission(d, 3), Timestamp::from_secs(86_400.0))
+            .unwrap();
+        assert_eq!(a.stored_poa_count(), 2);
+        // Three days later, only the second survives the 2-day retention.
+        a.purge_expired(Timestamp::from_secs(3.0 * 86_400.0));
+        assert_eq!(a.stored_poa_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut a = auditor();
+        let d = registered(&mut a);
+        let z = a.register_zone(far_zone());
+        // One completed flight + one consumed nonce.
+        a.verify_submission(&submission(d, 5), Timestamp::from_secs(7.0))
+            .unwrap();
+        let q = ZoneQuery::new_signed(d, origin(), origin(), [8u8; 16], operator_key()).unwrap();
+        a.handle_zone_query(&q).unwrap();
+
+        let bytes = a.snapshot();
+        let mut restored =
+            Auditor::restore(&bytes, AuditorConfig::default(), auditor_key().clone()).unwrap();
+
+        // Registries intact.
+        assert_eq!(restored.drone_count(), 1);
+        assert_eq!(restored.zone(z), a.zone(z));
+        assert_eq!(restored.stored_poa_count(), 1);
+        // Anti-replay state survives: the old nonce is still burned.
+        assert_eq!(
+            restored.handle_zone_query(&q),
+            Err(ProtocolError::NonceReplayed)
+        );
+        // Id counters continue, not restart.
+        let d2 = registered(&mut restored);
+        assert!(d2 > d);
+        // Stored PoA still answers accusations.
+        let outcome = restored
+            .handle_accusation(&crate::Accusation {
+                zone_id: z,
+                drone_id: d,
+                time: Timestamp::from_secs(2.0),
+            })
+            .unwrap();
+        assert_eq!(outcome, AccusationOutcome::Refuted);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corruption() {
+        let mut a = auditor();
+        registered(&mut a);
+        a.register_zone(far_zone());
+        let bytes = a.snapshot();
+        // Magic corruption.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(Auditor::restore(&bad, AuditorConfig::default(), auditor_key().clone()).is_err());
+        // Truncation.
+        assert!(Auditor::restore(
+            &bytes[..bytes.len() - 3],
+            AuditorConfig::default(),
+            auditor_key().clone()
+        )
+        .is_err());
+        // Trailing garbage.
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(
+            Auditor::restore(&trailing, AuditorConfig::default(), auditor_key().clone()).is_err()
+        );
+    }
+
+    #[test]
+    fn snapshot_excludes_private_key_material() {
+        let mut a = auditor();
+        registered(&mut a);
+        let bytes = a.snapshot();
+        // The private exponent/primes must not appear in the snapshot.
+        // (The public modulus legitimately does.) We can't read the
+        // private fields here, so check a proxy: restoring with a
+        // *different* encryption key still works — the key is external.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5EC);
+        let other = alidrone_crypto::rsa::RsaPrivateKey::generate(512, &mut rng);
+        let restored = Auditor::restore(&bytes, AuditorConfig::default(), other.clone()).unwrap();
+        assert_eq!(
+            restored.public_encryption_key().modulus(),
+            other.public_key().modulus()
+        );
+    }
+
+    #[test]
+    fn exact_criterion_accepts_more_than_paper() {
+        // Same marginal geometry under both criteria: exact must accept
+        // at least whenever paper accepts.
+        let zone = NoFlyZone::new(
+            origin().destination(0.0, Distance::from_meters(40.0)),
+            Distance::from_meters(12.0),
+        );
+        for criterion in [Criterion::Paper, Criterion::Exact] {
+            let mut a = Auditor::new(
+                AuditorConfig {
+                    criterion,
+                    ..AuditorConfig::default()
+                },
+                auditor_key().clone(),
+            );
+            let d = registered(&mut a);
+            a.register_zone(zone);
+            let rep = a
+                .verify_submission(&submission(d, 5), Timestamp::EPOCH)
+                .unwrap();
+            if criterion == Criterion::Exact {
+                // If paper accepted, exact must too — checked by running
+                // paper first and remembering; here we simply require the
+                // exact run not to be *stricter*.
+                let paper_rep = {
+                    let mut ap = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+                    let dp = registered(&mut ap);
+                    ap.register_zone(zone);
+                    ap.verify_submission(&submission(dp, 5), Timestamp::EPOCH)
+                        .unwrap()
+                };
+                if paper_rep.is_compliant() {
+                    assert!(rep.is_compliant());
+                }
+            }
+        }
+    }
+}

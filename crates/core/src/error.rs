@@ -1,0 +1,111 @@
+//! Protocol-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{DroneId, ZoneId};
+
+/// Errors produced by protocol operations (registration, queries,
+/// submission plumbing). Verification *verdicts* — a PoA being judged
+/// non-compliant — are not errors; see
+/// [`Verdict`](crate::Verdict).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The drone id is not registered with the auditor.
+    UnknownDrone(DroneId),
+    /// The zone id is not registered with the auditor.
+    UnknownZone(ZoneId),
+    /// A zone-query signature did not verify under the drone's `D⁺`.
+    QuerySignatureInvalid,
+    /// The nonce in a zone query was already used (replayed query).
+    NonceReplayed,
+    /// The underlying TEE returned an error.
+    Tee(alidrone_tee::TeeError),
+    /// A cryptographic operation failed.
+    Crypto(alidrone_crypto::CryptoError),
+    /// Geometry/validation failure.
+    Geo(alidrone_geo::GeoError),
+    /// Malformed message or payload.
+    Malformed(&'static str),
+    /// A requested stored PoA does not exist.
+    PoaNotFound,
+    /// An accusation referenced a time not covered by the stored PoA.
+    TimeNotCovered,
+    /// Privacy extension: a revealed key does not decrypt its sample.
+    RevealInvalid,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownDrone(id) => write!(f, "unknown drone {id}"),
+            ProtocolError::UnknownZone(id) => write!(f, "unknown zone {id}"),
+            ProtocolError::QuerySignatureInvalid => write!(f, "zone query signature invalid"),
+            ProtocolError::NonceReplayed => write!(f, "zone query nonce replayed"),
+            ProtocolError::Tee(e) => write!(f, "tee error: {e}"),
+            ProtocolError::Crypto(e) => write!(f, "crypto error: {e}"),
+            ProtocolError::Geo(e) => write!(f, "geometry error: {e}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtocolError::PoaNotFound => write!(f, "no stored proof-of-alibi found"),
+            ProtocolError::TimeNotCovered => {
+                write!(f, "accused time not covered by the stored proof-of-alibi")
+            }
+            ProtocolError::RevealInvalid => write!(f, "revealed key does not open the sample"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Tee(e) => Some(e),
+            ProtocolError::Crypto(e) => Some(e),
+            ProtocolError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<alidrone_tee::TeeError> for ProtocolError {
+    fn from(e: alidrone_tee::TeeError) -> Self {
+        ProtocolError::Tee(e)
+    }
+}
+
+impl From<alidrone_crypto::CryptoError> for ProtocolError {
+    fn from(e: alidrone_crypto::CryptoError) -> Self {
+        ProtocolError::Crypto(e)
+    }
+}
+
+impl From<alidrone_geo::GeoError> for ProtocolError {
+    fn from(e: alidrone_geo::GeoError) -> Self {
+        ProtocolError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProtocolError::Tee(alidrone_tee::TeeError::NoData);
+        assert!(e.to_string().contains("no data"));
+        assert!(e.source().is_some());
+        assert!(ProtocolError::NonceReplayed.source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let _: ProtocolError = alidrone_tee::TeeError::NoData.into();
+        let _: ProtocolError = alidrone_crypto::CryptoError::DecryptionFailed.into();
+        let _: ProtocolError = alidrone_geo::GeoError::InvalidLatitude(99.0).into();
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

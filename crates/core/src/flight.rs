@@ -1,0 +1,364 @@
+//! The flight driver: runs a sampling policy against a receiver + TEE
+//! over simulated time, producing the PoA and the per-update metrics the
+//! evaluation section plots.
+
+use alidrone_geo::{Distance, Duration, GeoPoint, Timestamp, ZoneSet};
+use alidrone_gps::{GpsDevice, SimClock};
+use alidrone_tee::TeeSession;
+
+use crate::poa::ProofOfAlibi;
+use crate::sampling::{AdaptiveSampler, Decision, FixedRateSampler, SamplingPolicy};
+use crate::ProtocolError;
+
+/// Which sampling policy a flight uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplingStrategy {
+    /// The paper's Algorithm 1 (with dropout recovery — see
+    /// [`AdaptiveSampler`]).
+    Adaptive,
+    /// The *literal* Algorithm 1 without recovery, for ablations.
+    AdaptiveStrict,
+    /// Algorithm 1 with the pairwise-safe trigger (evaluates every zone
+    /// per pair, closing the sharp-turn corner case — see
+    /// [`AdaptiveSampler::pairwise_safe`]).
+    AdaptivePairwise,
+    /// Fixed-rate baseline at the given rate (Hz).
+    FixedRate(f64),
+}
+
+/// One hardware GPS update as observed by the Adapter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEvent {
+    /// Simulated time of the update.
+    pub time: Timestamp,
+    /// Normal-world position at the update.
+    pub position: GeoPoint,
+    /// Whether the policy recorded an authenticated sample here.
+    pub recorded: bool,
+    /// Distance to the nearest zone boundary (the Fig. 8(a) series), if
+    /// any zones exist.
+    pub nearest_boundary: Option<Distance>,
+}
+
+/// The result of one simulated flight.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// The Proof-of-Alibi recorded during the flight.
+    pub poa: ProofOfAlibi,
+    /// One event per hardware GPS update.
+    pub events: Vec<SampleEvent>,
+    /// Policy name (for experiment tables).
+    pub strategy: String,
+    /// Flight window start (first hardware update).
+    pub window_start: Timestamp,
+    /// Flight window end (last hardware update).
+    pub window_end: Timestamp,
+}
+
+impl FlightRecord {
+    /// Number of authenticated samples recorded.
+    pub fn sample_count(&self) -> usize {
+        self.poa.len()
+    }
+
+    /// Mean authenticated-sampling rate over the flight, in Hz.
+    pub fn mean_rate_hz(&self) -> f64 {
+        let dur = (self.window_end - self.window_start).secs();
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        self.poa.len() as f64 / dur
+    }
+}
+
+/// Runs one flight: advances the shared clock through every hardware GPS
+/// update for `duration`, letting the policy decide when to call
+/// `GetGPSAuth` on `session`.
+///
+/// The receiver must share `clock` (and be the same device the TEE's GPS
+/// driver reads). Both policies record a final landing sample so the PoA
+/// covers the whole window.
+///
+/// # Errors
+///
+/// Propagates TEE errors other than `NoData` (a receiver dropout is
+/// handled by skipping the update, as the real Adapter would).
+pub fn run_flight(
+    clock: &SimClock,
+    receiver: &dyn GpsDevice,
+    session: &TeeSession,
+    zones: &ZoneSet,
+    strategy: SamplingStrategy,
+    duration: Duration,
+) -> Result<FlightRecord, ProtocolError> {
+    let hw_rate = receiver.update_rate_hz();
+    let mut policy: Box<dyn SamplingPolicy> = match strategy {
+        SamplingStrategy::Adaptive => Box::new(AdaptiveSampler::new(zones.clone(), hw_rate)),
+        SamplingStrategy::AdaptiveStrict => {
+            Box::new(AdaptiveSampler::strict_paper(zones.clone(), hw_rate))
+        }
+        SamplingStrategy::AdaptivePairwise => {
+            Box::new(AdaptiveSampler::pairwise_safe(zones.clone(), hw_rate))
+        }
+        SamplingStrategy::FixedRate(hz) => Box::new(FixedRateSampler::new(hz)),
+    };
+
+    let start = clock.now();
+    let steps = (duration.secs() * hw_rate).round() as u64;
+    let mut poa = ProofOfAlibi::new();
+    let mut events = Vec::with_capacity(steps as usize + 1);
+    let mut last_seen_fix_time = f64::NEG_INFINITY;
+
+    for k in 0..=steps {
+        clock.set(start + Duration::from_secs(k as f64 / hw_rate));
+        let Some(fix) = receiver.latest_fix() else {
+            continue; // cold receiver
+        };
+        // Only consult the policy when the measurement actually changed
+        // (a dropout leaves the previous fix in place).
+        let is_new = fix.sample.time().secs() > last_seen_fix_time;
+        if is_new {
+            last_seen_fix_time = fix.sample.time().secs();
+        }
+        let mut recorded = false;
+        if is_new && policy.decide(&fix) == Decision::Sample {
+            match session.get_gps_auth() {
+                Ok(signed) => {
+                    policy.on_recorded(signed.sample());
+                    poa.push(signed);
+                    recorded = true;
+                }
+                Err(alidrone_tee::TeeError::NoData) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        events.push(SampleEvent {
+            time: clock.now(),
+            position: fix.sample.point(),
+            recorded,
+            nearest_boundary: zones.nearest_boundary_distance(&fix.sample.point()),
+        });
+    }
+
+    // Landing anchor: make sure the PoA reaches the window end.
+    let window_end = clock.now();
+    let need_final = poa
+        .last_time()
+        .is_none_or(|t| t.secs() < window_end.secs());
+    if need_final {
+        if let Ok(signed) = session.get_gps_auth() {
+            if poa
+                .last_time()
+                .is_none_or(|t| signed.sample().time().secs() > t.secs())
+            {
+                poa.push(signed);
+            }
+        }
+    }
+
+    Ok(FlightRecord {
+        poa,
+        events,
+        strategy: policy.name(),
+        window_start: start,
+        window_end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{origin, tee_key};
+    use alidrone_geo::trajectory::TrajectoryBuilder;
+    use alidrone_geo::{NoFlyZone, Speed};
+    use alidrone_gps::SimulatedReceiver;
+    use alidrone_tee::{CostModel, SecureWorldBuilder, TeeClient, GPS_SAMPLER_UUID};
+    use std::sync::Arc;
+
+    /// Sets up a shared receiver + TEE for a straight eastbound flight.
+    fn setup(dist_m: f64, speed_mps: f64, hw_rate: f64) -> (SimClock, Arc<SimulatedReceiver>, TeeClient) {
+        let a = origin();
+        let b = a.destination(90.0, Distance::from_meters(dist_m));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(speed_mps))
+            .build()
+            .unwrap();
+        let clock = SimClock::new();
+        let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+            traj,
+            clock.clone(),
+            hw_rate,
+        ));
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(tee_key().clone())
+            .with_gps_device(Box::new(Arc::clone(&receiver)))
+            .with_cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        (clock, receiver, world.client())
+    }
+
+    fn zone_ahead(dist_m: f64, radius_m: f64) -> ZoneSet {
+        std::iter::once(NoFlyZone::new(
+            origin().destination(90.0, Distance::from_meters(dist_m)),
+            Distance::from_meters(radius_m),
+        ))
+        .collect()
+    }
+
+    #[test]
+    fn fixed_rate_records_expected_count() {
+        let (clock, receiver, client) = setup(600.0, 10.0, 5.0);
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &ZoneSet::new(),
+            SamplingStrategy::FixedRate(1.0),
+            Duration::from_secs(30.0),
+        )
+        .unwrap();
+        // 1 Hz over 30 s: samples at t = 0..30 inclusive.
+        assert_eq!(rec.sample_count(), 31);
+        assert_eq!(rec.events.len(), 151);
+        assert!(alidrone_geo::check_monotonic(&rec.poa.alibi()).is_ok());
+    }
+
+    #[test]
+    fn adaptive_far_from_zone_uses_far_fewer_samples() {
+        let (clock, receiver, client) = setup(600.0, 10.0, 5.0);
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        // Zone 50 km north: essentially no sampling pressure.
+        let zones: ZoneSet = std::iter::once(NoFlyZone::new(
+            origin().destination(0.0, Distance::from_km(50.0)),
+            Distance::from_meters(100.0),
+        ))
+        .collect();
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &zones,
+            SamplingStrategy::Adaptive,
+            Duration::from_secs(60.0),
+        )
+        .unwrap();
+        // First anchor + landing anchor only.
+        assert!(rec.sample_count() <= 3, "got {}", rec.sample_count());
+        assert_eq!(rec.strategy, "adaptive");
+    }
+
+    #[test]
+    fn adaptive_near_zone_samples_frequently() {
+        let (clock, receiver, client) = setup(600.0, 10.0, 5.0);
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        // Small zone right next to the path mid-flight.
+        let zones = zone_ahead(300.0, 10.0);
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &zones,
+            SamplingStrategy::Adaptive,
+            Duration::from_secs(60.0),
+        )
+        .unwrap();
+        assert!(
+            rec.sample_count() > 10,
+            "expected frequent sampling near zone, got {}",
+            rec.sample_count()
+        );
+    }
+
+    #[test]
+    fn adaptive_poa_is_sufficient_for_its_zones() {
+        let (clock, receiver, client) = setup(600.0, 10.0, 5.0);
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        // Zone beside the path, 60 m off at closest approach.
+        let zones: ZoneSet = std::iter::once(NoFlyZone::new(
+            origin()
+                .destination(90.0, Distance::from_meters(300.0))
+                .destination(0.0, Distance::from_meters(80.0)),
+            Distance::from_meters(20.0),
+        ))
+        .collect();
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &zones,
+            SamplingStrategy::Adaptive,
+            Duration::from_secs(60.0),
+        )
+        .unwrap();
+        let report = alidrone_geo::sufficiency::check_alibi(
+            &rec.poa.alibi(),
+            &zones,
+            alidrone_geo::FAA_MAX_SPEED,
+            alidrone_geo::sufficiency::Criterion::Paper,
+        );
+        assert!(
+            report.is_sufficient(),
+            "{} insufficient pairs of {}",
+            report.insufficient_count,
+            rec.sample_count()
+        );
+    }
+
+    #[test]
+    fn all_signatures_verify() {
+        let (clock, receiver, client) = setup(100.0, 10.0, 5.0);
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &zone_ahead(2_000.0, 100.0),
+            SamplingStrategy::FixedRate(2.0),
+            Duration::from_secs(10.0),
+        )
+        .unwrap();
+        for entry in rec.poa.entries() {
+            entry.verify(&client.tee_public_key()).unwrap();
+        }
+    }
+
+    #[test]
+    fn events_track_nearest_boundary() {
+        let (clock, receiver, client) = setup(200.0, 10.0, 5.0);
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        let zones = zone_ahead(2_000.0, 100.0);
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &zones,
+            SamplingStrategy::FixedRate(1.0),
+            Duration::from_secs(20.0),
+        )
+        .unwrap();
+        // Approaching the zone: boundary distance decreases.
+        let first = rec.events.first().unwrap().nearest_boundary.unwrap();
+        let last = rec.events.last().unwrap().nearest_boundary.unwrap();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn mean_rate_reflects_strategy() {
+        let (clock, receiver, client) = setup(600.0, 10.0, 5.0);
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &ZoneSet::new(),
+            SamplingStrategy::FixedRate(2.0),
+            Duration::from_secs(30.0),
+        )
+        .unwrap();
+        // 2 Hz configured on a 5 Hz grid → effective ≈ 1.67 Hz.
+        let rate = rec.mean_rate_hz();
+        assert!(rate > 1.2 && rate <= 2.1, "rate {rate}");
+    }
+}

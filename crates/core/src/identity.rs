@@ -1,0 +1,72 @@
+//! Identifiers issued by the auditor (paper Table I).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// `id_drone` — the drone's license-plate-like identifier, issued at
+/// registration and physically carried on the drone.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct DroneId(u64);
+
+impl DroneId {
+    /// Creates an id from its numeric value (normally only the auditor
+    /// mints these).
+    pub fn new(v: u64) -> Self {
+        DroneId(v)
+    }
+
+    /// The numeric value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DroneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drone-{:06}", self.0)
+    }
+}
+
+/// `id_zone` — a registered no-fly zone's identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ZoneId(u64);
+
+impl ZoneId {
+    /// Creates an id from its numeric value.
+    pub fn new(v: u64) -> Self {
+        ZoneId(v)
+    }
+
+    /// The numeric value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone-{:06}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        assert_eq!(DroneId::new(7).to_string(), "drone-000007");
+        assert_eq!(ZoneId::new(42).to_string(), "zone-000042");
+    }
+
+    #[test]
+    fn ordering_and_value() {
+        assert!(DroneId::new(1) < DroneId::new(2));
+        assert_eq!(ZoneId::new(9).value(), 9);
+    }
+}

@@ -1,0 +1,289 @@
+//! The Proof-of-Alibi container.
+
+use std::fmt;
+
+use alidrone_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use alidrone_geo::{GpsSample, Timestamp};
+use alidrone_tee::SignedSample;
+use rand::Rng;
+
+use crate::ProtocolError;
+
+/// A Proof-of-Alibi: the ordered sequence of TEE-signed GPS samples
+/// recorded during one flight (paper §IV-C2):
+///
+/// ```text
+/// PoA = {(S₀, Sig(S₀, T⁻)), (S₁, Sig(S₁, T⁻)), …}
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProofOfAlibi {
+    entries: Vec<SignedSample>,
+}
+
+impl ProofOfAlibi {
+    /// Creates an empty PoA.
+    pub fn new() -> Self {
+        ProofOfAlibi::default()
+    }
+
+    /// Creates a PoA from recorded entries.
+    pub fn from_entries(entries: Vec<SignedSample>) -> Self {
+        ProofOfAlibi { entries }
+    }
+
+    /// Appends an authenticated sample.
+    pub fn push(&mut self, entry: SignedSample) {
+        self.entries.push(entry);
+    }
+
+    /// The signed entries.
+    pub fn entries(&self) -> &[SignedSample] {
+        &self.entries
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The *alibi* — the bare GPS trace without signatures (paper §IV-C1:
+    /// `alibi := {S₀, S₁, …, Sₙ}`).
+    pub fn alibi(&self) -> Vec<GpsSample> {
+        self.entries.iter().map(|e| *e.sample()).collect()
+    }
+
+    /// Timestamp of the first sample, if any.
+    pub fn first_time(&self) -> Option<Timestamp> {
+        self.entries.first().map(|e| e.sample().time())
+    }
+
+    /// Timestamp of the last sample, if any.
+    pub fn last_time(&self) -> Option<Timestamp> {
+        self.entries.last().map(|e| e.sample().time())
+    }
+
+    /// Serialises to a length-prefixed wire format:
+    /// `[count: u32 BE] ([entry_len: u32 BE][entry])*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for e in &self.entries {
+            let b = e.to_bytes();
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(&b);
+        }
+        out
+    }
+
+    /// Parses the wire format of [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] on truncation or invalid
+    /// entries.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut cursor = bytes;
+        let count = read_u32(&mut cursor).ok_or(ProtocolError::Malformed("poa count"))? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let len =
+                read_u32(&mut cursor).ok_or(ProtocolError::Malformed("poa entry length"))? as usize;
+            if cursor.len() < len {
+                return Err(ProtocolError::Malformed("poa entry truncated"));
+            }
+            let (entry, rest) = cursor.split_at(len);
+            entries.push(
+                SignedSample::from_bytes(entry)
+                    .map_err(|_| ProtocolError::Malformed("poa entry"))?,
+            );
+            cursor = rest;
+        }
+        if !cursor.is_empty() {
+            return Err(ProtocolError::Malformed("poa trailing bytes"));
+        }
+        Ok(ProofOfAlibi { entries })
+    }
+
+    /// Encrypts the PoA for the auditor with `RSAES_PKCS1_v1_5` under the
+    /// auditor's public encryption key (paper §IV-C2: the Adapter "is
+    /// responsible for encrypting the PoA with the public encryption key
+    /// of the AliDrone Server", §V-C).
+    ///
+    /// RSA encrypts at most `k − 11` bytes per operation, so the wire
+    /// bytes are chunked; each chunk becomes one RSA ciphertext block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA failures (e.g. an invalid key).
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        auditor_key: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<EncryptedPoa, ProtocolError> {
+        let plain = self.to_bytes();
+        let chunk_size = auditor_key.modulus_len() - 11;
+        let mut blocks = Vec::with_capacity(plain.len() / chunk_size + 1);
+        for chunk in plain.chunks(chunk_size) {
+            blocks.push(auditor_key.encrypt(chunk, rng)?);
+        }
+        Ok(EncryptedPoa { blocks })
+    }
+}
+
+impl fmt::Display for ProofOfAlibi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PoA[{} samples", self.len())?;
+        if let (Some(a), Some(b)) = (self.first_time(), self.last_time()) {
+            write!(f, ", {} → {}", a, b)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<SignedSample> for ProofOfAlibi {
+    fn from_iter<I: IntoIterator<Item = SignedSample>>(iter: I) -> Self {
+        ProofOfAlibi {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<SignedSample> for ProofOfAlibi {
+    fn extend<I: IntoIterator<Item = SignedSample>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+fn read_u32(cursor: &mut &[u8]) -> Option<u32> {
+    if cursor.len() < 4 {
+        return None;
+    }
+    let (head, rest) = cursor.split_at(4);
+    *cursor = rest;
+    Some(u32::from_be_bytes(head.try_into().expect("4 bytes")))
+}
+
+/// A PoA encrypted for the auditor: a sequence of RSAES-PKCS1-v1.5
+/// blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncryptedPoa {
+    blocks: Vec<Vec<u8>>,
+}
+
+impl EncryptedPoa {
+    /// Reassembles an encrypted PoA from raw ciphertext blocks (e.g.
+    /// received over the wire).
+    pub fn from_blocks(blocks: Vec<Vec<u8>>) -> Self {
+        EncryptedPoa { blocks }
+    }
+
+    /// The raw ciphertext blocks.
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Number of RSA blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total ciphertext size in bytes.
+    pub fn ciphertext_len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Decrypts with the auditor's private key and reassembles the PoA.
+    ///
+    /// # Errors
+    ///
+    /// Returns a crypto error for undecryptable blocks or a
+    /// [`ProtocolError::Malformed`] for a corrupted payload.
+    pub fn decrypt(&self, auditor_key: &RsaPrivateKey) -> Result<ProofOfAlibi, ProtocolError> {
+        let mut plain = Vec::new();
+        for block in &self.blocks {
+            plain.extend_from_slice(&auditor_key.decrypt(block)?);
+        }
+        ProofOfAlibi::from_bytes(&plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{auditor_key, signed_samples};
+
+    #[test]
+    fn wire_round_trip() {
+        let poa = ProofOfAlibi::from_entries(signed_samples(5));
+        let rt = ProofOfAlibi::from_bytes(&poa.to_bytes()).unwrap();
+        assert_eq!(poa, rt);
+    }
+
+    #[test]
+    fn empty_poa_round_trip() {
+        let poa = ProofOfAlibi::new();
+        assert!(poa.is_empty());
+        assert!(poa.first_time().is_none());
+        let rt = ProofOfAlibi::from_bytes(&poa.to_bytes()).unwrap();
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation_and_garbage() {
+        let poa = ProofOfAlibi::from_entries(signed_samples(3));
+        let bytes = poa.to_bytes();
+        assert!(ProofOfAlibi::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(ProofOfAlibi::from_bytes(&[1, 2, 3]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ProofOfAlibi::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn alibi_strips_signatures() {
+        let poa = ProofOfAlibi::from_entries(signed_samples(4));
+        let alibi = poa.alibi();
+        assert_eq!(alibi.len(), 4);
+        assert!(alidrone_geo::check_monotonic(&alibi).is_ok());
+    }
+
+    #[test]
+    fn times_are_first_and_last() {
+        let poa = ProofOfAlibi::from_entries(signed_samples(4));
+        assert!(poa.first_time().unwrap() < poa.last_time().unwrap());
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let poa = ProofOfAlibi::from_entries(signed_samples(6));
+        let enc = poa.encrypt(auditor_key().public_key(), &mut rng).unwrap();
+        assert!(enc.block_count() > 1, "multi-block for realistic sizes");
+        assert!(enc.ciphertext_len() >= poa.to_bytes().len());
+        let dec = enc.decrypt(auditor_key()).unwrap();
+        assert_eq!(dec, poa);
+    }
+
+    #[test]
+    fn decrypt_with_wrong_key_fails() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let poa = ProofOfAlibi::from_entries(signed_samples(2));
+        let enc = poa.encrypt(auditor_key().public_key(), &mut rng).unwrap();
+        let other = alidrone_crypto::rsa::RsaPrivateKey::generate(512, &mut rng);
+        assert!(enc.decrypt(&other).is_err());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut poa: ProofOfAlibi = signed_samples(2).into_iter().collect();
+        poa.extend(signed_samples(2));
+        assert_eq!(poa.len(), 4);
+    }
+}

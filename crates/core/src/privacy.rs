@@ -1,0 +1,371 @@
+//! Privacy-preserving verification (paper §VII-B3).
+//!
+//! A curious auditor could use PoAs to track every commercial drone. The
+//! extension: the operator encrypts each signed sample with a *one-time
+//! key* before upload. The auditor stores only ciphertexts. When a zone
+//! owner reports an incident, the operator reveals the keys for the two
+//! samples bracketing the accused time — the auditor decrypts exactly
+//! those, verifies the TEE signatures, and decides the accusation while
+//! learning only that fragment of the trajectory.
+
+use alidrone_crypto::chacha20::{chacha20_decrypt, chacha20_encrypt};
+use alidrone_crypto::rsa::RsaPublicKey;
+use alidrone_geo::{NoFlyZone, Speed, Timestamp};
+use alidrone_tee::SignedSample;
+use rand::Rng;
+
+use crate::auditor::AccusationOutcome;
+use crate::poa::ProofOfAlibi;
+use crate::ProtocolError;
+
+/// One sealed PoA entry as stored by the auditor: ciphertext plus the
+/// (cleartext) timestamp used to locate bracketing samples.
+///
+/// Revealing timestamps leaks *when* the drone flew but not *where*; the
+/// paper's sketch has the operator identify the two relevant samples,
+/// which requires some index agreed with the auditor — the timestamp is
+/// the minimal such index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedEntry {
+    /// Sample timestamp (cleartext index).
+    pub time: Timestamp,
+    /// ChaCha20 nonce for this entry.
+    pub nonce: [u8; 12],
+    /// Encrypted [`SignedSample`] wire bytes.
+    pub ciphertext: Vec<u8>,
+}
+
+/// The auditor's view: sealed entries only.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SealedPoa {
+    entries: Vec<SealedEntry>,
+}
+
+impl SealedPoa {
+    /// Number of sealed samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sealed entries.
+    pub fn entries(&self) -> &[SealedEntry] {
+        &self.entries
+    }
+
+    /// Indices of the two entries bracketing `time`, if the time falls
+    /// within the trace.
+    pub fn bracketing_indices(&self, time: Timestamp) -> Option<(usize, usize)> {
+        let ts = time.secs();
+        for i in 0..self.entries.len().saturating_sub(1) {
+            if self.entries[i].time.secs() <= ts && ts <= self.entries[i + 1].time.secs() {
+                return Some((i, i + 1));
+            }
+        }
+        None
+    }
+}
+
+/// A revealed one-time key for one sealed entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyReveal {
+    /// Which sealed entry this opens.
+    pub index: usize,
+    /// The one-time ChaCha20 key.
+    pub key: [u8; 32],
+}
+
+/// The operator's side: the sealed PoA plus the key list (which never
+/// leaves the operator unless revealed).
+#[derive(Debug, Clone)]
+pub struct PrivatePoa {
+    sealed: SealedPoa,
+    keys: Vec<[u8; 32]>,
+}
+
+impl PrivatePoa {
+    /// Seals every entry of `poa` under fresh one-time keys.
+    pub fn seal<R: Rng + ?Sized>(poa: &ProofOfAlibi, rng: &mut R) -> Self {
+        let mut keys = Vec::with_capacity(poa.len());
+        let mut entries = Vec::with_capacity(poa.len());
+        for entry in poa.entries() {
+            let mut key = [0u8; 32];
+            rng.fill_bytes(&mut key);
+            let mut nonce = [0u8; 12];
+            rng.fill_bytes(&mut nonce);
+            let ciphertext = chacha20_encrypt(&key, &nonce, &entry.to_bytes());
+            entries.push(SealedEntry {
+                time: entry.sample().time(),
+                nonce,
+                ciphertext,
+            });
+            keys.push(key);
+        }
+        PrivatePoa {
+            sealed: SealedPoa { entries },
+            keys,
+        }
+    }
+
+    /// The auditor-visible part (what gets uploaded).
+    pub fn sealed(&self) -> &SealedPoa {
+        &self.sealed
+    }
+
+    /// Reveals the keys for the given entry indices (in response to an
+    /// accusation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] for out-of-range indices.
+    pub fn reveal(&self, indices: &[usize]) -> Result<Vec<KeyReveal>, ProtocolError> {
+        indices
+            .iter()
+            .map(|&i| {
+                self.keys
+                    .get(i)
+                    .map(|&key| KeyReveal { index: i, key })
+                    .ok_or(ProtocolError::Malformed("reveal index out of range"))
+            })
+            .collect()
+    }
+}
+
+/// Auditor-side: opens one sealed entry with a revealed key.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::RevealInvalid`] when the key does not produce
+/// a well-formed signed sample whose timestamp matches the sealed index.
+pub fn open_entry(sealed: &SealedPoa, reveal: &KeyReveal) -> Result<SignedSample, ProtocolError> {
+    let entry = sealed
+        .entries
+        .get(reveal.index)
+        .ok_or(ProtocolError::Malformed("reveal index out of range"))?;
+    let plain = chacha20_decrypt(&reveal.key, &entry.nonce, &entry.ciphertext);
+    let sample = SignedSample::from_bytes(&plain).map_err(|_| ProtocolError::RevealInvalid)?;
+    if (sample.sample().time().secs() - entry.time.secs()).abs() > 1e-9 {
+        return Err(ProtocolError::RevealInvalid);
+    }
+    Ok(sample)
+}
+
+/// Auditor-side accusation check over a sealed PoA: opens the two
+/// bracketing entries with the operator's revealed keys, verifies the TEE
+/// signatures, and decides whether the pair exonerates the drone from the
+/// accused zone at the accused time.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::TimeNotCovered`] when the accusation time is
+/// outside the sealed trace, [`ProtocolError::RevealInvalid`] for keys
+/// that do not open the right entries, and signature errors bubble up as
+/// upheld accusations (a bad signature is not exoneration).
+pub fn check_sealed_accusation(
+    sealed: &SealedPoa,
+    reveals: &[KeyReveal],
+    tee_public: &RsaPublicKey,
+    zone: &NoFlyZone,
+    accused_time: Timestamp,
+    v_max: Speed,
+) -> Result<AccusationOutcome, ProtocolError> {
+    let (i, j) = sealed
+        .bracketing_indices(accused_time)
+        .ok_or(ProtocolError::TimeNotCovered)?;
+    let find = |idx: usize| reveals.iter().find(|r| r.index == idx);
+    let (Some(ri), Some(rj)) = (find(i), find(j)) else {
+        return Err(ProtocolError::Malformed("missing reveal for bracketing pair"));
+    };
+    let si = open_entry(sealed, ri)?;
+    let sj = open_entry(sealed, rj)?;
+    if si.verify(tee_public).is_err() || sj.verify(tee_public).is_err() {
+        return Ok(AccusationOutcome::Upheld {
+            reason: "revealed samples carry invalid TEE signatures".into(),
+        });
+    }
+    if zone.contains(&si.sample().point()) || zone.contains(&sj.sample().point()) {
+        return Ok(AccusationOutcome::Upheld {
+            reason: "revealed sample lies inside the zone".into(),
+        });
+    }
+    let ok = alidrone_geo::sufficiency::pair_is_sufficient(si.sample(), sj.sample(), zone, v_max);
+    if ok {
+        Ok(AccusationOutcome::Refuted)
+    } else {
+        Ok(AccusationOutcome::Upheld {
+            reason: "revealed pair does not prove alibi for the zone".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{origin, signed_samples, tee_key};
+    use alidrone_geo::{Distance, FAA_MAX_SPEED};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn far_zone() -> NoFlyZone {
+        NoFlyZone::new(
+            origin().destination(0.0, Distance::from_km(50.0)),
+            Distance::from_meters(100.0),
+        )
+    }
+
+    fn sealed_fixture(n: usize) -> (PrivatePoa, ProofOfAlibi) {
+        let poa = ProofOfAlibi::from_entries(signed_samples(n));
+        let mut rng = StdRng::seed_from_u64(61);
+        (PrivatePoa::seal(&poa, &mut rng), poa)
+    }
+
+    #[test]
+    fn seal_produces_one_entry_per_sample() {
+        let (private, poa) = sealed_fixture(6);
+        assert_eq!(private.sealed().len(), poa.len());
+        assert!(!private.sealed().is_empty());
+    }
+
+    #[test]
+    fn ciphertexts_hide_plaintext() {
+        let (private, poa) = sealed_fixture(3);
+        for (entry, signed) in private.sealed().entries().iter().zip(poa.entries()) {
+            assert_ne!(entry.ciphertext, signed.to_bytes());
+        }
+    }
+
+    #[test]
+    fn open_entry_round_trip() {
+        let (private, poa) = sealed_fixture(4);
+        let reveals = private.reveal(&[2]).unwrap();
+        let opened = open_entry(private.sealed(), &reveals[0]).unwrap();
+        assert_eq!(&opened, &poa.entries()[2]);
+        opened.verify(tee_key().public_key()).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_fails_to_open() {
+        let (private, _) = sealed_fixture(4);
+        let bad = KeyReveal {
+            index: 1,
+            key: [0xEE; 32],
+        };
+        assert!(open_entry(private.sealed(), &bad).is_err());
+    }
+
+    #[test]
+    fn reveal_out_of_range_rejected() {
+        let (private, _) = sealed_fixture(2);
+        assert!(private.reveal(&[5]).is_err());
+    }
+
+    #[test]
+    fn bracketing_indices_found() {
+        let (private, _) = sealed_fixture(5); // samples at t = 0..4 s
+        assert_eq!(
+            private.sealed().bracketing_indices(Timestamp::from_secs(2.5)),
+            Some((2, 3))
+        );
+        assert_eq!(
+            private.sealed().bracketing_indices(Timestamp::from_secs(99.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn accusation_refuted_with_partial_disclosure() {
+        let (private, _) = sealed_fixture(6);
+        let (i, j) = private
+            .sealed()
+            .bracketing_indices(Timestamp::from_secs(2.4))
+            .unwrap();
+        let reveals = private.reveal(&[i, j]).unwrap();
+        let outcome = check_sealed_accusation(
+            private.sealed(),
+            &reveals,
+            tee_key().public_key(),
+            &far_zone(),
+            Timestamp::from_secs(2.4),
+            FAA_MAX_SPEED,
+        )
+        .unwrap();
+        assert_eq!(outcome, AccusationOutcome::Refuted);
+    }
+
+    #[test]
+    fn accusation_upheld_near_zone() {
+        // Zone so close the revealed pair cannot exonerate.
+        let zone = NoFlyZone::new(
+            origin().destination(0.0, Distance::from_meters(20.0)),
+            Distance::from_meters(10.0),
+        );
+        let (private, _) = sealed_fixture(6);
+        let reveals = private.reveal(&[1, 2]).unwrap();
+        let outcome = check_sealed_accusation(
+            private.sealed(),
+            &reveals,
+            tee_key().public_key(),
+            &zone,
+            Timestamp::from_secs(1.5),
+            FAA_MAX_SPEED,
+        )
+        .unwrap();
+        assert!(matches!(outcome, AccusationOutcome::Upheld { .. }));
+    }
+
+    #[test]
+    fn uncovered_time_is_error() {
+        let (private, _) = sealed_fixture(3);
+        let reveals = private.reveal(&[0, 1]).unwrap();
+        assert_eq!(
+            check_sealed_accusation(
+                private.sealed(),
+                &reveals,
+                tee_key().public_key(),
+                &far_zone(),
+                Timestamp::from_secs(1_000.0),
+                FAA_MAX_SPEED,
+            ),
+            Err(ProtocolError::TimeNotCovered)
+        );
+    }
+
+    #[test]
+    fn missing_reveal_is_error() {
+        let (private, _) = sealed_fixture(5);
+        let reveals = private.reveal(&[0]).unwrap(); // only one of the pair
+        assert!(check_sealed_accusation(
+            private.sealed(),
+            &reveals,
+            tee_key().public_key(),
+            &far_zone(),
+            Timestamp::from_secs(0.5),
+            FAA_MAX_SPEED,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn auditor_learns_only_revealed_fragment() {
+        // Structural privacy check: the sealed view exposes timestamps
+        // but no coordinates; only revealed indices decrypt.
+        let (private, poa) = sealed_fixture(6);
+        let reveals = private.reveal(&[2, 3]).unwrap();
+        for idx in [0usize, 1, 4, 5] {
+            // Without a reveal for idx, the auditor cannot produce the
+            // plaintext: decrypting with another index's key fails.
+            let wrong = KeyReveal {
+                index: idx,
+                key: reveals[0].key,
+            };
+            match open_entry(private.sealed(), &wrong) {
+                Err(_) => {}
+                Ok(opened) => assert_ne!(&opened, &poa.entries()[idx]),
+            }
+        }
+    }
+}

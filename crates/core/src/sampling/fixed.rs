@@ -1,0 +1,179 @@
+//! The fixed-rate baseline (paper §VI-A1).
+//!
+//! "Every time after a GPS data is sampled, the sampling thread will
+//! sleep for a period according to the sampling rate. Since the GPS
+//! hardware has an independent rate for updating the measurements, the
+//! sampler cannot always get the most updated GPS data immediately after
+//! it wakes up. Therefore, we let the sampler wait until the first
+//! measurement update for each time after it wakes up."
+//!
+//! Example from the paper: hardware at 5 Hz (updates at 0.0, 0.2, 0.4,
+//! 0.6, 0.8 s), sampler at 3 Hz (wakes at 0.0, 0.33, 0.67 s) ⇒ samples
+//! land at 0.0, 0.4, 0.8 s — the actual rate is *at most* the configured
+//! rate.
+
+use alidrone_geo::GpsSample;
+use alidrone_gps::GpsFix;
+
+use super::{Decision, SamplingPolicy};
+
+/// Fixed-rate sampling with wait-for-update semantics.
+#[derive(Debug, Clone)]
+pub struct FixedRateSampler {
+    rate_hz: f64,
+    /// Absolute wake deadline; `None` until the first sample anchors it.
+    next_wake_secs: Option<f64>,
+    /// Timestamp of the last measurement we actually sampled, so a
+    /// repeated (dropped-update) fix is not recorded twice.
+    last_sampled_secs: Option<f64>,
+}
+
+impl FixedRateSampler {
+    /// Creates a sampler at `rate_hz` (positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not strictly positive and finite.
+    pub fn new(rate_hz: f64) -> Self {
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "sampling rate must be positive, got {rate_hz}"
+        );
+        FixedRateSampler {
+            rate_hz,
+            next_wake_secs: None,
+            last_sampled_secs: None,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+}
+
+impl SamplingPolicy for FixedRateSampler {
+    fn decide(&mut self, fix: &GpsFix) -> Decision {
+        let t = fix.sample.time().secs();
+        // Never re-record the same measurement (dropout repeats a fix).
+        if self.last_sampled_secs.is_some_and(|last| t <= last) {
+            return Decision::Skip;
+        }
+        match self.next_wake_secs {
+            None => Decision::Sample, // first update: sample immediately
+            // The 1 µs tolerance absorbs float accumulation when the
+            // sampler period is an exact multiple of the update period
+            // (0.4 + 0.2 > 3/5 in f64).
+            Some(wake) if t >= wake - 1e-6 => Decision::Sample,
+            Some(_) => Decision::Skip,
+        }
+    }
+
+    fn on_recorded(&mut self, sample: &GpsSample) {
+        let t = sample.time().secs();
+        self.last_sampled_secs = Some(t);
+        // Sleep one period from the moment the sample was taken.
+        self.next_wake_secs = Some(t + 1.0 / self.rate_hz);
+    }
+
+    fn name(&self) -> String {
+        format!("fixed-{}hz", self.rate_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_geo::{GeoPoint, Speed, Timestamp};
+
+    fn fix_at(t: f64) -> GpsFix {
+        GpsFix {
+            sample: GpsSample::new(
+                GeoPoint::new(40.0, -88.0).unwrap(),
+                Timestamp::from_secs(t),
+            ),
+            speed: Speed::from_mps(0.0),
+            sequence: (t * 5.0).round() as u64,
+        }
+    }
+
+    /// Runs the policy over hardware updates at `hw_rate` for `secs` and
+    /// returns the recorded sample times.
+    fn simulate(rate: f64, hw_rate: f64, secs: f64) -> Vec<f64> {
+        let mut s = FixedRateSampler::new(rate);
+        let mut out = Vec::new();
+        let n = (secs * hw_rate) as usize;
+        for k in 0..=n {
+            let t = k as f64 / hw_rate;
+            let f = fix_at(t);
+            if s.decide(&f) == Decision::Sample {
+                s.on_recorded(&f.sample);
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn paper_example_3hz_on_5hz_hardware() {
+        let times = simulate(3.0, 5.0, 0.9);
+        // Paper: wakes at 0, 1/3, 2/3 ⇒ samples at 0.0, 0.4, 0.8.
+        assert_eq!(times, vec![0.0, 0.4, 0.8]);
+    }
+
+    #[test]
+    fn rate_equal_to_hardware_takes_every_update() {
+        let times = simulate(5.0, 5.0, 1.0);
+        assert_eq!(times.len(), 6); // t = 0.0 .. 1.0 inclusive
+    }
+
+    #[test]
+    fn one_hz_on_5hz_hardware() {
+        let times = simulate(1.0, 5.0, 3.0);
+        assert_eq!(times, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn two_hz_on_5hz_hardware_degrades_gracefully() {
+        // 2 Hz wants 0.5 s periods; hardware grid is 0.2 s ⇒ samples at
+        // 0.0, 0.6, 1.2, 1.8 … (wait for first update after wake).
+        let times = simulate(2.0, 5.0, 2.0);
+        assert_eq!(times, vec![0.0, 0.6, 1.2, 1.8]);
+    }
+
+    #[test]
+    fn actual_rate_never_exceeds_configured() {
+        for rate in [1.0, 2.0, 3.0, 5.0] {
+            let times = simulate(rate, 5.0, 30.0);
+            let actual = (times.len() - 1) as f64 / 30.0;
+            assert!(
+                actual <= rate + 1e-9,
+                "configured {rate} Hz, actual {actual} Hz"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_fix_not_sampled_twice() {
+        let mut s = FixedRateSampler::new(5.0);
+        let f = fix_at(1.0);
+        assert_eq!(s.decide(&f), Decision::Sample);
+        s.on_recorded(&f.sample);
+        // The receiver repeats the same measurement (dropout).
+        assert_eq!(s.decide(&f), Decision::Skip);
+        // A genuinely new one (past the wake deadline) is taken.
+        let f2 = fix_at(1.4);
+        assert_eq!(s.decide(&f2), Decision::Sample);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate must be positive")]
+    fn zero_rate_panics() {
+        FixedRateSampler::new(0.0);
+    }
+
+    #[test]
+    fn name_includes_rate() {
+        assert_eq!(FixedRateSampler::new(2.0).name(), "fixed-2hz");
+    }
+}

@@ -1,0 +1,42 @@
+//! Sampling policies: when does the Adapter call `GetGPSAuth`?
+//!
+//! The Adapter daemon polls the GPS receiver in the normal world at the
+//! hardware update rate and decides, per update, whether to pay for an
+//! authenticated sample (two world switches + an RSA signature). The
+//! paper contributes the *adaptive* policy (Algorithm 1) and evaluates it
+//! against the fixed-rate baseline of §VI-A1; both live here as pure
+//! decision objects so they can be unit-tested without a TEE, then driven
+//! against one by [`run_flight`](crate::run_flight).
+
+mod adaptive;
+mod fixed;
+
+pub use adaptive::AdaptiveSampler;
+pub use fixed::FixedRateSampler;
+
+use alidrone_geo::GpsSample;
+use alidrone_gps::GpsFix;
+
+/// A sampler's decision at one hardware update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Call `GetGPSAuth` and record the sample in the PoA.
+    Sample,
+    /// Skip this update (sleep until the next one).
+    Skip,
+}
+
+/// A sampling policy, consulted once per hardware GPS update.
+pub trait SamplingPolicy {
+    /// Decides whether to record an authenticated sample given the
+    /// normal-world view of the current fix.
+    fn decide(&mut self, fix: &GpsFix) -> Decision;
+
+    /// Notifies the policy that a sample was actually recorded (with the
+    /// TEE-confirmed position/time, which is what future sufficiency
+    /// windows are measured from).
+    fn on_recorded(&mut self, sample: &GpsSample);
+
+    /// Short policy name for reports.
+    fn name(&self) -> String;
+}

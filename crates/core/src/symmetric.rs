@@ -1,0 +1,138 @@
+//! Per-flight symmetric authentication (paper §VII-A1a).
+//!
+//! Asymmetric signatures dominate the per-sample cost (Table II shows a
+//! 2048-bit key cannot sustain 5 Hz). The extension: before each flight
+//! the drone TEE and the auditor run a key exchange and derive an
+//! ephemeral MAC key; during the flight samples are authenticated with
+//! HMAC-SHA256 instead of RSA. The MAC key lives only in the TEE and at
+//! the auditor, so the operator still cannot forge samples — but unlike
+//! signatures, a MAC does not give *third parties* non-repudiation,
+//! which is why this is an option rather than the default.
+
+use alidrone_crypto::dh::{DhGroup, DhKeyPair};
+use alidrone_crypto::hmac::{hmac_sha256, hmac_sha256_verify, HMAC_SHA256_LEN};
+use alidrone_geo::GpsSample;
+use rand::Rng;
+
+use crate::ProtocolError;
+
+/// A GPS sample authenticated with the flight's MAC key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacSample {
+    /// The sample.
+    pub sample: GpsSample,
+    /// `HMAC-SHA256(flight_key, sample_bytes)`.
+    pub tag: [u8; HMAC_SHA256_LEN],
+}
+
+/// One side's state for a per-flight symmetric session.
+#[derive(Debug, Clone)]
+pub struct FlightSession {
+    key: [u8; 32],
+}
+
+impl FlightSession {
+    /// Authenticates a sample (TEE side).
+    pub fn authenticate(&self, sample: GpsSample) -> MacSample {
+        MacSample {
+            tag: hmac_sha256(&self.key, &sample.to_bytes()),
+            sample,
+        }
+    }
+
+    /// Verifies a sample (auditor side).
+    pub fn verify(&self, mac_sample: &MacSample) -> bool {
+        hmac_sha256_verify(&self.key, &mac_sample.sample.to_bytes(), &mac_sample.tag)
+    }
+}
+
+/// Runs the key exchange between the drone TEE and the auditor, returning
+/// both sides' sessions.
+///
+/// In deployment the two DH messages ride on the zone-query round trip;
+/// here the exchange is executed directly, which is equivalent for every
+/// property we test (both sides derive the same 32-byte key, and a
+/// man-in-the-middle without either private value cannot).
+///
+/// # Errors
+///
+/// Propagates degenerate public-value errors from the DH layer.
+pub fn establish_flight_key<R: Rng + ?Sized>(
+    group: &DhGroup,
+    rng: &mut R,
+) -> Result<(FlightSession, FlightSession), ProtocolError> {
+    let drone: DhKeyPair = group.generate_keypair(rng);
+    let auditor: DhKeyPair = group.generate_keypair(rng);
+    let drone_key = drone.derive_shared_key(auditor.public_value())?;
+    let auditor_key = auditor.derive_shared_key(drone.public_value())?;
+    debug_assert_eq!(drone_key, auditor_key);
+    Ok((
+        FlightSession { key: drone_key },
+        FlightSession { key: auditor_key },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::origin;
+    use alidrone_geo::{Distance, Timestamp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sessions() -> (FlightSession, FlightSession) {
+        let mut rng = StdRng::seed_from_u64(71);
+        establish_flight_key(&DhGroup::test_512(), &mut rng).unwrap()
+    }
+
+    fn sample(t: f64) -> GpsSample {
+        GpsSample::new(
+            origin().destination(90.0, Distance::from_meters(10.0 * t)),
+            Timestamp::from_secs(t),
+        )
+    }
+
+    #[test]
+    fn authenticate_verify_round_trip() {
+        let (drone, auditor) = sessions();
+        let m = drone.authenticate(sample(1.0));
+        assert!(auditor.verify(&m));
+        assert!(drone.verify(&m)); // symmetric
+    }
+
+    #[test]
+    fn tampered_sample_rejected() {
+        let (drone, auditor) = sessions();
+        let mut m = drone.authenticate(sample(1.0));
+        m.sample = sample(2.0);
+        assert!(!auditor.verify(&m));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let (drone, auditor) = sessions();
+        let mut m = drone.authenticate(sample(1.0));
+        m.tag[0] ^= 1;
+        assert!(!auditor.verify(&m));
+    }
+
+    #[test]
+    fn cross_flight_keys_do_not_verify() {
+        let (drone1, _) = sessions();
+        let mut rng = StdRng::seed_from_u64(72);
+        let (_, auditor2) = establish_flight_key(&DhGroup::test_512(), &mut rng).unwrap();
+        let m = drone1.authenticate(sample(1.0));
+        assert!(!auditor2.verify(&m));
+    }
+
+    #[test]
+    fn both_sides_derive_same_key() {
+        let (drone, auditor) = sessions();
+        // Indirect check: everything one authenticates, the other
+        // verifies, for many samples.
+        for t in 0..20 {
+            let m = drone.authenticate(sample(t as f64));
+            assert!(auditor.verify(&m));
+        }
+    }
+}

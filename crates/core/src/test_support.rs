@@ -1,0 +1,58 @@
+//! Shared fixtures for this crate's unit tests.
+
+use std::sync::OnceLock;
+
+use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
+use alidrone_geo::{Distance, GeoPoint, GpsSample, Timestamp};
+use alidrone_tee::SignedSample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 512-bit keys are test-size: keygen and signing in debug builds must
+/// stay fast. Each role gets a distinct cached key.
+fn cached_key(cell: &'static OnceLock<RsaPrivateKey>, seed: u64) -> &'static RsaPrivateKey {
+    cell.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaPrivateKey::generate(512, &mut rng)
+    })
+}
+
+/// The drone TEE sign key `T`.
+pub(crate) fn tee_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    cached_key(&KEY, 0xD201)
+}
+
+/// The auditor's encryption keypair.
+pub(crate) fn auditor_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    cached_key(&KEY, 0xA0D1)
+}
+
+/// The drone operator's keypair `D`.
+pub(crate) fn operator_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    cached_key(&KEY, 0x09E0)
+}
+
+/// Common test origin.
+pub(crate) fn origin() -> GeoPoint {
+    GeoPoint::new(40.1, -88.2).expect("valid test origin")
+}
+
+/// A well-formed eastbound trace at 10 m/s, one sample per second,
+/// signed with [`tee_key`].
+pub(crate) fn signed_samples(n: usize) -> Vec<SignedSample> {
+    (0..n)
+        .map(|i| {
+            let sample = GpsSample::new(
+                origin().destination(90.0, Distance::from_meters(10.0 * i as f64)),
+                Timestamp::from_secs(i as f64),
+            );
+            let sig = tee_key()
+                .sign(&sample.to_bytes(), HashAlg::Sha1)
+                .expect("test signing");
+            SignedSample::from_parts(sample, sig, HashAlg::Sha1)
+        })
+        .collect()
+}

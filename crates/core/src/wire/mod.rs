@@ -1,0 +1,613 @@
+//! The auditor's wire protocol.
+//!
+//! The paper deploys the AliDrone Server as a network service the drone
+//! client talks to (Fig. 4); this module defines the byte-level protocol
+//! for that link: a [`Request`]/[`Response`] pair with a hand-rolled,
+//! length-prefixed binary codec ([`codec`]), a server loop
+//! ([`AuditorServer`](crate::wire::server::AuditorServer)) and a typed
+//! client over any [`Transport`](crate::wire::transport::Transport).
+
+pub mod codec;
+pub mod server;
+pub mod transport;
+
+use alidrone_crypto::bigint::BigUint;
+use alidrone_crypto::rsa::RsaPublicKey;
+use alidrone_geo::{Distance, GeoPoint, NoFlyZone, Timestamp};
+
+use crate::messages::{Accusation, ZoneQuery};
+use crate::{DroneId, ProtocolError, Verdict, ZoneId};
+use codec::{Reader, Writer};
+
+/// A client → auditor request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Step 0 — register a drone (`D⁺`, `T⁺`).
+    RegisterDrone {
+        /// The operator verification key `D⁺`.
+        operator_public: RsaPublicKey,
+        /// The TEE verification key `T⁺`.
+        tee_public: RsaPublicKey,
+    },
+    /// Step 1 — register a circular zone.
+    RegisterZone {
+        /// The zone geometry.
+        zone: NoFlyZone,
+    },
+    /// Steps 2–3 — a signed zone query.
+    QueryZones(ZoneQuery),
+    /// Step 4 — submit a plaintext PoA for a flight window.
+    SubmitPoa {
+        /// The submitting drone.
+        drone_id: DroneId,
+        /// Claimed takeoff time.
+        window_start: Timestamp,
+        /// Claimed landing time.
+        window_end: Timestamp,
+        /// `ProofOfAlibi::to_bytes` payload.
+        poa: Vec<u8>,
+    },
+    /// Step 4, encrypted — RSAES blocks of the PoA payload.
+    SubmitEncryptedPoa {
+        /// The submitting drone.
+        drone_id: DroneId,
+        /// Claimed takeoff time.
+        window_start: Timestamp,
+        /// Claimed landing time.
+        window_end: Timestamp,
+        /// The RSA ciphertext blocks.
+        blocks: Vec<Vec<u8>>,
+    },
+    /// A zone owner's accusation.
+    Accuse(Accusation),
+}
+
+/// An auditor → client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The issued drone id.
+    DroneRegistered(DroneId),
+    /// The issued zone id.
+    ZoneRegistered(ZoneId),
+    /// Zones within the queried rectangle.
+    Zones(Vec<(ZoneId, NoFlyZone)>),
+    /// The verification verdict for a submission.
+    Verdict(Verdict),
+    /// The outcome of an accusation: refuted (true) or upheld with a
+    /// reason.
+    Accusation {
+        /// `true` when the stored alibi refutes the accusation.
+        refuted: bool,
+        /// Reason text when upheld (empty when refuted).
+        reason: String,
+    },
+    /// A protocol-level error.
+    Error {
+        /// Coarse machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Machine-readable error classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Could not decode the request.
+    Malformed,
+    /// Unknown drone id.
+    UnknownDrone,
+    /// Unknown zone id.
+    UnknownZone,
+    /// Bad query signature.
+    BadSignature,
+    /// Nonce replay.
+    NonceReplayed,
+    /// Decryption of an encrypted submission failed.
+    DecryptFailed,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 0,
+            ErrorCode::UnknownDrone => 1,
+            ErrorCode::UnknownZone => 2,
+            ErrorCode::BadSignature => 3,
+            ErrorCode::NonceReplayed => 4,
+            ErrorCode::DecryptFailed => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            0 => ErrorCode::Malformed,
+            1 => ErrorCode::UnknownDrone,
+            2 => ErrorCode::UnknownZone,
+            3 => ErrorCode::BadSignature,
+            4 => ErrorCode::NonceReplayed,
+            5 => ErrorCode::DecryptFailed,
+            6 => ErrorCode::Internal,
+            _ => return Err(ProtocolError::Malformed("error code")),
+        })
+    }
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn put_public_key(w: &mut Writer, k: &RsaPublicKey) {
+    w.put_bytes(&k.modulus().to_bytes_be());
+    w.put_bytes(&k.exponent().to_bytes_be());
+}
+
+fn get_public_key(r: &mut Reader<'_>) -> Result<RsaPublicKey, ProtocolError> {
+    let n = BigUint::from_bytes_be(r.get_bytes()?);
+    let e = BigUint::from_bytes_be(r.get_bytes()?);
+    RsaPublicKey::new(n, e).map_err(ProtocolError::Crypto)
+}
+
+fn put_point(w: &mut Writer, p: &GeoPoint) {
+    w.put_f64(p.lat_deg());
+    w.put_f64(p.lon_deg());
+}
+
+fn get_point(r: &mut Reader<'_>) -> Result<GeoPoint, ProtocolError> {
+    let lat = r.get_f64()?;
+    let lon = r.get_f64()?;
+    GeoPoint::new(lat, lon).map_err(ProtocolError::Geo)
+}
+
+fn put_zone(w: &mut Writer, z: &NoFlyZone) {
+    put_point(w, &z.center());
+    w.put_f64(z.radius().meters());
+}
+
+fn get_zone(r: &mut Reader<'_>) -> Result<NoFlyZone, ProtocolError> {
+    let center = get_point(r)?;
+    let radius = Distance::from_meters(r.get_f64()?);
+    NoFlyZone::try_new(center, radius).map_err(ProtocolError::Geo)
+}
+
+// ---------------------------------------------------------------- Request
+
+const REQ_REGISTER_DRONE: u8 = 1;
+const REQ_REGISTER_ZONE: u8 = 2;
+const REQ_QUERY_ZONES: u8 = 3;
+const REQ_SUBMIT_POA: u8 = 4;
+const REQ_SUBMIT_ENCRYPTED: u8 = 5;
+const REQ_ACCUSE: u8 = 6;
+
+impl Request {
+    /// Serialises the request.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::RegisterDrone {
+                operator_public,
+                tee_public,
+            } => {
+                w.put_u8(REQ_REGISTER_DRONE);
+                put_public_key(&mut w, operator_public);
+                put_public_key(&mut w, tee_public);
+            }
+            Request::RegisterZone { zone } => {
+                w.put_u8(REQ_REGISTER_ZONE);
+                put_zone(&mut w, zone);
+            }
+            Request::QueryZones(q) => {
+                w.put_u8(REQ_QUERY_ZONES);
+                w.put_u64(q.drone_id.value());
+                put_point(&mut w, &q.corner1);
+                put_point(&mut w, &q.corner2);
+                for b in q.nonce {
+                    w.put_u8(b);
+                }
+                w.put_bytes(&q.signature);
+            }
+            Request::SubmitPoa {
+                drone_id,
+                window_start,
+                window_end,
+                poa,
+            } => {
+                w.put_u8(REQ_SUBMIT_POA);
+                w.put_u64(drone_id.value());
+                w.put_f64(window_start.secs());
+                w.put_f64(window_end.secs());
+                w.put_bytes(poa);
+            }
+            Request::SubmitEncryptedPoa {
+                drone_id,
+                window_start,
+                window_end,
+                blocks,
+            } => {
+                w.put_u8(REQ_SUBMIT_ENCRYPTED);
+                w.put_u64(drone_id.value());
+                w.put_f64(window_start.secs());
+                w.put_f64(window_end.secs());
+                w.put_u32(blocks.len() as u32);
+                for b in blocks {
+                    w.put_bytes(b);
+                }
+            }
+            Request::Accuse(a) => {
+                w.put_u8(REQ_ACCUSE);
+                w.put_u64(a.zone_id.value());
+                w.put_u64(a.drone_id.value());
+                w.put_f64(a.time.secs());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] on framing problems and
+    /// propagates field validation errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.get_u8()?;
+        let req = match tag {
+            REQ_REGISTER_DRONE => Request::RegisterDrone {
+                operator_public: get_public_key(&mut r)?,
+                tee_public: get_public_key(&mut r)?,
+            },
+            REQ_REGISTER_ZONE => Request::RegisterZone {
+                zone: get_zone(&mut r)?,
+            },
+            REQ_QUERY_ZONES => {
+                let drone_id = DroneId::new(r.get_u64()?);
+                let corner1 = get_point(&mut r)?;
+                let corner2 = get_point(&mut r)?;
+                let nonce: [u8; 16] = r.get_array()?;
+                let signature = r.get_bytes()?.to_vec();
+                Request::QueryZones(ZoneQuery {
+                    drone_id,
+                    corner1,
+                    corner2,
+                    nonce,
+                    signature,
+                })
+            }
+            REQ_SUBMIT_POA => Request::SubmitPoa {
+                drone_id: DroneId::new(r.get_u64()?),
+                window_start: Timestamp::from_secs(r.get_f64()?),
+                window_end: Timestamp::from_secs(r.get_f64()?),
+                poa: r.get_bytes()?.to_vec(),
+            },
+            REQ_SUBMIT_ENCRYPTED => {
+                let drone_id = DroneId::new(r.get_u64()?);
+                let window_start = Timestamp::from_secs(r.get_f64()?);
+                let window_end = Timestamp::from_secs(r.get_f64()?);
+                let n = r.get_u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(ProtocolError::Malformed("too many blocks"));
+                }
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blocks.push(r.get_bytes()?.to_vec());
+                }
+                Request::SubmitEncryptedPoa {
+                    drone_id,
+                    window_start,
+                    window_end,
+                    blocks,
+                }
+            }
+            REQ_ACCUSE => Request::Accuse(Accusation {
+                zone_id: ZoneId::new(r.get_u64()?),
+                drone_id: DroneId::new(r.get_u64()?),
+                time: Timestamp::from_secs(r.get_f64()?),
+            }),
+            _ => return Err(ProtocolError::Malformed("unknown request tag")),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// --------------------------------------------------------------- Response
+
+const RESP_DRONE: u8 = 1;
+const RESP_ZONE: u8 = 2;
+const RESP_ZONES: u8 = 3;
+const RESP_VERDICT: u8 = 4;
+const RESP_ACCUSATION: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+const VERDICT_COMPLIANT: u8 = 0;
+const VERDICT_EMPTY: u8 = 1;
+const VERDICT_BAD_SIG: u8 = 2;
+const VERDICT_NON_MONO: u8 = 3;
+const VERDICT_WINDOW: u8 = 4;
+const VERDICT_IMPOSSIBLE: u8 = 5;
+const VERDICT_INSIDE: u8 = 6;
+const VERDICT_INSUFFICIENT: u8 = 7;
+
+pub(crate) fn put_verdict(w: &mut Writer, v: &Verdict) {
+    match v {
+        Verdict::Compliant => {
+            w.put_u8(VERDICT_COMPLIANT);
+        }
+        Verdict::EmptyPoa => {
+            w.put_u8(VERDICT_EMPTY);
+        }
+        Verdict::BadSignature { index } => {
+            w.put_u8(VERDICT_BAD_SIG);
+            w.put_u64(*index as u64);
+        }
+        Verdict::NonMonotonic { index } => {
+            w.put_u8(VERDICT_NON_MONO);
+            w.put_u64(*index as u64);
+        }
+        Verdict::WindowNotCovered => {
+            w.put_u8(VERDICT_WINDOW);
+        }
+        Verdict::ImpossibleTrace { index } => {
+            w.put_u8(VERDICT_IMPOSSIBLE);
+            w.put_u64(*index as u64);
+        }
+        Verdict::InsideZone { index, zone } => {
+            w.put_u8(VERDICT_INSIDE);
+            w.put_u64(*index as u64);
+            w.put_u64(zone.value());
+        }
+        Verdict::InsufficientAlibi { pair_indices } => {
+            w.put_u8(VERDICT_INSUFFICIENT);
+            w.put_u32(pair_indices.len() as u32);
+            for i in pair_indices {
+                w.put_u64(*i as u64);
+            }
+        }
+    }
+}
+
+pub(crate) fn get_verdict(r: &mut Reader<'_>) -> Result<Verdict, ProtocolError> {
+    Ok(match r.get_u8()? {
+        VERDICT_COMPLIANT => Verdict::Compliant,
+        VERDICT_EMPTY => Verdict::EmptyPoa,
+        VERDICT_BAD_SIG => Verdict::BadSignature {
+            index: r.get_u64()? as usize,
+        },
+        VERDICT_NON_MONO => Verdict::NonMonotonic {
+            index: r.get_u64()? as usize,
+        },
+        VERDICT_WINDOW => Verdict::WindowNotCovered,
+        VERDICT_IMPOSSIBLE => Verdict::ImpossibleTrace {
+            index: r.get_u64()? as usize,
+        },
+        VERDICT_INSIDE => Verdict::InsideZone {
+            index: r.get_u64()? as usize,
+            zone: ZoneId::new(r.get_u64()?),
+        },
+        VERDICT_INSUFFICIENT => {
+            let n = r.get_u32()? as usize;
+            if n > 1 << 24 {
+                return Err(ProtocolError::Malformed("too many pair indices"));
+            }
+            let mut pair_indices = Vec::with_capacity(n);
+            for _ in 0..n {
+                pair_indices.push(r.get_u64()? as usize);
+            }
+            Verdict::InsufficientAlibi { pair_indices }
+        }
+        _ => return Err(ProtocolError::Malformed("unknown verdict tag")),
+    })
+}
+
+impl Response {
+    /// Serialises the response.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::DroneRegistered(id) => {
+                w.put_u8(RESP_DRONE);
+                w.put_u64(id.value());
+            }
+            Response::ZoneRegistered(id) => {
+                w.put_u8(RESP_ZONE);
+                w.put_u64(id.value());
+            }
+            Response::Zones(zones) => {
+                w.put_u8(RESP_ZONES);
+                w.put_u32(zones.len() as u32);
+                for (id, z) in zones {
+                    w.put_u64(id.value());
+                    put_zone(&mut w, z);
+                }
+            }
+            Response::Verdict(v) => {
+                w.put_u8(RESP_VERDICT);
+                put_verdict(&mut w, v);
+            }
+            Response::Accusation { refuted, reason } => {
+                w.put_u8(RESP_ACCUSATION);
+                w.put_u8(u8::from(*refuted));
+                w.put_str(reason);
+            }
+            Response::Error { code, message } => {
+                w.put_u8(RESP_ERROR);
+                w.put_u8(code.to_u8());
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] on framing problems.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = Reader::new(bytes);
+        let resp = match r.get_u8()? {
+            RESP_DRONE => Response::DroneRegistered(DroneId::new(r.get_u64()?)),
+            RESP_ZONE => Response::ZoneRegistered(ZoneId::new(r.get_u64()?)),
+            RESP_ZONES => {
+                let n = r.get_u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(ProtocolError::Malformed("too many zones"));
+                }
+                let mut zones = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = ZoneId::new(r.get_u64()?);
+                    zones.push((id, get_zone(&mut r)?));
+                }
+                Response::Zones(zones)
+            }
+            RESP_VERDICT => Response::Verdict(get_verdict(&mut r)?),
+            RESP_ACCUSATION => Response::Accusation {
+                refuted: r.get_u8()? != 0,
+                reason: r.get_str()?.to_string(),
+            },
+            RESP_ERROR => Response::Error {
+                code: ErrorCode::from_u8(r.get_u8()?)?,
+                message: r.get_str()?.to_string(),
+            },
+            _ => return Err(ProtocolError::Malformed("unknown response tag")),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{operator_key, origin, tee_key};
+
+    fn zone() -> NoFlyZone {
+        NoFlyZone::new(origin(), Distance::from_meters(123.0))
+    }
+
+    #[test]
+    fn register_drone_round_trip() {
+        let req = Request::RegisterDrone {
+            operator_public: operator_key().public_key().clone(),
+            tee_public: tee_key().public_key().clone(),
+        };
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn register_zone_round_trip() {
+        let req = Request::RegisterZone { zone: zone() };
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = ZoneQuery::new_signed(
+            DroneId::new(3),
+            origin(),
+            origin().destination(45.0, Distance::from_km(1.0)),
+            [5u8; 16],
+            operator_key(),
+        )
+        .unwrap();
+        let req = Request::QueryZones(q);
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        let req = Request::SubmitPoa {
+            drone_id: DroneId::new(9),
+            window_start: Timestamp::from_secs(1.5),
+            window_end: Timestamp::from_secs(99.5),
+            poa: vec![1, 2, 3, 4],
+        };
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+
+        let req = Request::SubmitEncryptedPoa {
+            drone_id: DroneId::new(9),
+            window_start: Timestamp::from_secs(1.5),
+            window_end: Timestamp::from_secs(99.5),
+            blocks: vec![vec![1; 64], vec![2; 64]],
+        };
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn accuse_round_trip() {
+        let req = Request::Accuse(Accusation {
+            zone_id: ZoneId::new(4),
+            drone_id: DroneId::new(5),
+            time: Timestamp::from_secs(123.25),
+        });
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        let responses = vec![
+            Response::DroneRegistered(DroneId::new(1)),
+            Response::ZoneRegistered(ZoneId::new(2)),
+            Response::Zones(vec![(ZoneId::new(3), zone())]),
+            Response::Verdict(Verdict::Compliant),
+            Response::Verdict(Verdict::EmptyPoa),
+            Response::Verdict(Verdict::BadSignature { index: 7 }),
+            Response::Verdict(Verdict::NonMonotonic { index: 8 }),
+            Response::Verdict(Verdict::WindowNotCovered),
+            Response::Verdict(Verdict::ImpossibleTrace { index: 9 }),
+            Response::Verdict(Verdict::InsideZone {
+                index: 10,
+                zone: ZoneId::new(11),
+            }),
+            Response::Verdict(Verdict::InsufficientAlibi {
+                pair_indices: vec![1, 5, 9],
+            }),
+            Response::Accusation {
+                refuted: true,
+                reason: String::new(),
+            },
+            Response::Accusation {
+                refuted: false,
+                reason: "no coverage".into(),
+            },
+            Response::Error {
+                code: ErrorCode::NonceReplayed,
+                message: "nonce replayed".into(),
+            },
+        ];
+        for resp in responses {
+            assert_eq!(
+                Response::from_bytes(&resp.to_bytes()).unwrap(),
+                resp,
+                "round trip failed"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(Request::from_bytes(&[0xEE]).is_err());
+        assert!(Response::from_bytes(&[0xEE]).is_err());
+        assert!(Request::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Request::RegisterZone { zone: zone() }.to_bytes();
+        bytes.push(0);
+        assert!(Request::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_zone_coordinates_rejected() {
+        // Hand-craft a RegisterZone with latitude 95°.
+        let mut w = Writer::new();
+        w.put_u8(REQ_REGISTER_ZONE);
+        w.put_f64(95.0);
+        w.put_f64(0.0);
+        w.put_f64(10.0);
+        assert!(Request::from_bytes(&w.into_bytes()).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! The AliDrone Server's request loop: bytes in, bytes out.
+
+use alidrone_geo::Timestamp;
+
+use crate::auditor::{AccusationOutcome, Auditor};
+use crate::messages::PoaSubmission;
+use crate::poa::ProofOfAlibi;
+use crate::wire::{ErrorCode, Request, Response};
+use crate::ProtocolError;
+
+/// Wraps an [`Auditor`] behind the byte-level protocol, the way the
+/// deployed AliDrone Server would sit behind a socket.
+#[derive(Debug)]
+pub struct AuditorServer {
+    auditor: Auditor,
+}
+
+impl AuditorServer {
+    /// Creates a server around an auditor.
+    pub fn new(auditor: Auditor) -> Self {
+        AuditorServer { auditor }
+    }
+
+    /// Read access to the wrapped auditor (e.g. for inspection in tests).
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// Mutable access (e.g. for out-of-band retention purging).
+    pub fn auditor_mut(&mut self) -> &mut Auditor {
+        &mut self.auditor
+    }
+
+    /// Handles one request frame. Never fails: malformed input or
+    /// protocol errors become [`Response::Error`] frames.
+    pub fn handle(&mut self, request_bytes: &[u8], now: Timestamp) -> Vec<u8> {
+        let response = match Request::from_bytes(request_bytes) {
+            Ok(req) => self.dispatch(req, now),
+            Err(e) => Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.to_string(),
+            },
+        };
+        response.to_bytes()
+    }
+
+    fn dispatch(&mut self, req: Request, now: Timestamp) -> Response {
+        match req {
+            Request::RegisterDrone {
+                operator_public,
+                tee_public,
+            } => Response::DroneRegistered(
+                self.auditor.register_drone(operator_public, tee_public),
+            ),
+            Request::RegisterZone { zone } => {
+                Response::ZoneRegistered(self.auditor.register_zone(zone))
+            }
+            Request::QueryZones(q) => match self.auditor.handle_zone_query(&q) {
+                Ok(resp) => Response::Zones(resp.zones),
+                Err(e) => error_response(e),
+            },
+            Request::SubmitPoa {
+                drone_id,
+                window_start,
+                window_end,
+                poa,
+            } => match ProofOfAlibi::from_bytes(&poa) {
+                Ok(poa) => {
+                    let submission = PoaSubmission {
+                        drone_id,
+                        window_start,
+                        window_end,
+                        poa,
+                    };
+                    match self.auditor.verify_submission(&submission, now) {
+                        Ok(report) => Response::Verdict(report.verdict),
+                        Err(e) => error_response(e),
+                    }
+                }
+                Err(e) => error_response(e),
+            },
+            Request::SubmitEncryptedPoa {
+                drone_id,
+                window_start,
+                window_end,
+                blocks,
+            } => {
+                let encrypted = crate::poa::EncryptedPoa::from_blocks(blocks);
+                match self.auditor.verify_encrypted_submission(
+                    drone_id,
+                    window_start,
+                    window_end,
+                    &encrypted,
+                    now,
+                ) {
+                    Ok(report) => Response::Verdict(report.verdict),
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Accuse(a) => match self.auditor.handle_accusation(&a) {
+                Ok(AccusationOutcome::Refuted) => Response::Accusation {
+                    refuted: true,
+                    reason: String::new(),
+                },
+                Ok(AccusationOutcome::Upheld { reason }) => Response::Accusation {
+                    refuted: false,
+                    reason,
+                },
+                Err(e) => error_response(e),
+            },
+        }
+    }
+}
+
+fn error_response(e: ProtocolError) -> Response {
+    let code = match &e {
+        ProtocolError::UnknownDrone(_) => ErrorCode::UnknownDrone,
+        ProtocolError::UnknownZone(_) => ErrorCode::UnknownZone,
+        ProtocolError::QuerySignatureInvalid => ErrorCode::BadSignature,
+        ProtocolError::NonceReplayed => ErrorCode::NonceReplayed,
+        ProtocolError::Crypto(_) => ErrorCode::DecryptFailed,
+        ProtocolError::Malformed(_) | ProtocolError::Geo(_) => ErrorCode::Malformed,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::AuditorConfig;
+    use crate::messages::ZoneQuery;
+    use crate::test_support::{auditor_key, operator_key, origin, signed_samples, tee_key};
+    use crate::{DroneId, Verdict};
+    use alidrone_geo::{Distance, NoFlyZone};
+
+    fn server() -> AuditorServer {
+        AuditorServer::new(Auditor::new(AuditorConfig::default(), auditor_key().clone()))
+    }
+
+    fn now() -> Timestamp {
+        Timestamp::from_secs(50.0)
+    }
+
+    fn register(server: &mut AuditorServer) -> DroneId {
+        let req = Request::RegisterDrone {
+            operator_public: operator_key().public_key().clone(),
+            tee_public: tee_key().public_key().clone(),
+        };
+        match Response::from_bytes(&server.handle(&req.to_bytes(), now())).unwrap() {
+            Response::DroneRegistered(id) => id,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_and_submit_over_the_wire() {
+        let mut s = server();
+        let id = register(&mut s);
+        // Register a far zone.
+        let zreq = Request::RegisterZone {
+            zone: NoFlyZone::new(
+                origin().destination(0.0, Distance::from_km(50.0)),
+                Distance::from_meters(100.0),
+            ),
+        };
+        let resp = Response::from_bytes(&s.handle(&zreq.to_bytes(), now())).unwrap();
+        assert!(matches!(resp, Response::ZoneRegistered(_)));
+
+        // Submit a compliant PoA.
+        let poa = ProofOfAlibi::from_entries(signed_samples(6));
+        let req = Request::SubmitPoa {
+            drone_id: id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(5.0),
+            poa: poa.to_bytes(),
+        };
+        let resp = Response::from_bytes(&s.handle(&req.to_bytes(), now())).unwrap();
+        assert_eq!(resp, Response::Verdict(Verdict::Compliant));
+        assert_eq!(s.auditor().stored_poa_count(), 1);
+    }
+
+    #[test]
+    fn malformed_frame_yields_error_response() {
+        let mut s = server();
+        let resp = Response::from_bytes(&s.handle(&[0xFF, 0x01], now())).unwrap();
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_drone_error_code() {
+        let mut s = server();
+        let req = Request::SubmitPoa {
+            drone_id: DroneId::new(404),
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(1.0),
+            poa: ProofOfAlibi::new().to_bytes(),
+        };
+        let resp = Response::from_bytes(&s.handle(&req.to_bytes(), now())).unwrap();
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownDrone,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn replayed_query_error_code() {
+        let mut s = server();
+        let id = register(&mut s);
+        let q = ZoneQuery::new_signed(id, origin(), origin(), [3u8; 16], operator_key()).unwrap();
+        let req = Request::QueryZones(q).to_bytes();
+        let first = Response::from_bytes(&s.handle(&req, now())).unwrap();
+        assert!(matches!(first, Response::Zones(_)));
+        let second = Response::from_bytes(&s.handle(&req, now())).unwrap();
+        assert!(matches!(
+            second,
+            Response::Error {
+                code: ErrorCode::NonceReplayed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn encrypted_submission_over_the_wire() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut s = server();
+        let id = register(&mut s);
+        let poa = ProofOfAlibi::from_entries(signed_samples(4));
+        let enc = poa
+            .encrypt(s.auditor().public_encryption_key(), &mut rng)
+            .unwrap();
+        let req = Request::SubmitEncryptedPoa {
+            drone_id: id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(3.0),
+            blocks: enc.blocks().to_vec(),
+        };
+        let resp = Response::from_bytes(&s.handle(&req.to_bytes(), now())).unwrap();
+        assert_eq!(resp, Response::Verdict(Verdict::Compliant));
+    }
+
+    #[test]
+    fn garbage_encrypted_blocks_yield_decrypt_error() {
+        let mut s = server();
+        let id = register(&mut s);
+        let req = Request::SubmitEncryptedPoa {
+            drone_id: id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(1.0),
+            blocks: vec![vec![0xAA; 64]],
+        };
+        let resp = Response::from_bytes(&s.handle(&req.to_bytes(), now())).unwrap();
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::DecryptFailed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn accusation_over_the_wire() {
+        let mut s = server();
+        let id = register(&mut s);
+        let zreq = Request::RegisterZone {
+            zone: NoFlyZone::new(
+                origin().destination(0.0, Distance::from_km(50.0)),
+                Distance::from_meters(100.0),
+            ),
+        };
+        let zid = match Response::from_bytes(&s.handle(&zreq.to_bytes(), now())).unwrap() {
+            Response::ZoneRegistered(z) => z,
+            other => panic!("{other:?}"),
+        };
+        // Without any stored PoA the accusation is upheld.
+        let areq = Request::Accuse(crate::Accusation {
+            zone_id: zid,
+            drone_id: id,
+            time: Timestamp::from_secs(2.0),
+        });
+        let resp = Response::from_bytes(&s.handle(&areq.to_bytes(), now())).unwrap();
+        match resp {
+            Response::Accusation { refuted, reason } => {
+                assert!(!refuted);
+                assert!(!reason.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

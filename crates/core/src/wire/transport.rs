@@ -1,0 +1,417 @@
+//! Transports and the typed client.
+//!
+//! The deployed system would speak this protocol over a socket; the
+//! reproduction provides an in-process transport (direct function call)
+//! plus a deterministic fault-injecting wrapper used to test that both
+//! ends treat the network as untrusted.
+
+use alidrone_geo::{GeoPoint, NoFlyZone, Timestamp};
+
+use crate::messages::{Accusation, ZoneQuery};
+use crate::wire::server::AuditorServer;
+use crate::wire::{Request, Response};
+use crate::{DroneId, ProtocolError, Verdict, ZoneId};
+
+/// A request/response byte transport.
+pub trait Transport {
+    /// Sends one request frame and returns the response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] for transport-level loss.
+    fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError>;
+}
+
+/// Direct in-process delivery to an [`AuditorServer`].
+#[derive(Debug)]
+pub struct InProcess {
+    server: AuditorServer,
+}
+
+impl InProcess {
+    /// Wraps a server.
+    pub fn new(server: AuditorServer) -> Self {
+        InProcess { server }
+    }
+
+    /// Access to the wrapped server.
+    pub fn server(&self) -> &AuditorServer {
+        &self.server
+    }
+
+    /// Mutable access to the wrapped server.
+    pub fn server_mut(&mut self) -> &mut AuditorServer {
+        &mut self.server
+    }
+}
+
+impl Transport for InProcess {
+    fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+        Ok(self.server.handle(request, now))
+    }
+}
+
+/// Deterministic fault injection: drops every `drop_period`-th call
+/// and/or flips one byte of every `corrupt_period`-th response.
+#[derive(Debug)]
+pub struct Flaky<T> {
+    inner: T,
+    drop_period: Option<u64>,
+    corrupt_period: Option<u64>,
+    calls: u64,
+}
+
+impl<T: Transport> Flaky<T> {
+    /// Wraps a transport with no faults configured.
+    pub fn new(inner: T) -> Self {
+        Flaky {
+            inner,
+            drop_period: None,
+            corrupt_period: None,
+            calls: 0,
+        }
+    }
+
+    /// Drops every `period`-th request (1-based).
+    pub fn drop_every(mut self, period: u64) -> Self {
+        self.drop_period = Some(period.max(1));
+        self
+    }
+
+    /// Corrupts one byte of every `period`-th response (1-based).
+    pub fn corrupt_every(mut self, period: u64) -> Self {
+        self.corrupt_period = Some(period.max(1));
+        self
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Access to the wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for Flaky<T> {
+    fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+        self.calls += 1;
+        if self.drop_period.is_some_and(|p| self.calls.is_multiple_of(p)) {
+            return Err(ProtocolError::Malformed("transport: request lost"));
+        }
+        let mut resp = self.inner.call(request, now)?;
+        if self.corrupt_period.is_some_and(|p| self.calls.is_multiple_of(p)) {
+            if let Some(b) = resp.get_mut(0) {
+                *b ^= 0x55;
+            }
+        }
+        Ok(resp)
+    }
+}
+
+/// A typed protocol client over any transport.
+#[derive(Debug)]
+pub struct AuditorClient<T> {
+    transport: T,
+}
+
+impl<T: Transport> AuditorClient<T> {
+    /// Creates a client over `transport`.
+    pub fn new(transport: T) -> Self {
+        AuditorClient { transport }
+    }
+
+    /// The underlying transport (e.g. to reach the in-process server).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    fn roundtrip(&mut self, req: &Request, now: Timestamp) -> Result<Response, ProtocolError> {
+        let bytes = self.transport.call(&req.to_bytes(), now)?;
+        let resp = Response::from_bytes(&bytes)?;
+        if let Response::Error { code, .. } = &resp {
+            // Map wire error codes back onto typed errors where callers
+            // branch on them; everything else is opaque.
+            return Err(match code {
+                crate::wire::ErrorCode::NonceReplayed => ProtocolError::NonceReplayed,
+                crate::wire::ErrorCode::BadSignature => ProtocolError::QuerySignatureInvalid,
+                _ => ProtocolError::Malformed("server error"),
+            });
+        }
+        Ok(resp)
+    }
+
+    /// Registers a drone; returns the issued id.
+    ///
+    /// # Errors
+    ///
+    /// Transport loss, framing, or server-side rejection.
+    pub fn register_drone(
+        &mut self,
+        operator_public: alidrone_crypto::rsa::RsaPublicKey,
+        tee_public: alidrone_crypto::rsa::RsaPublicKey,
+        now: Timestamp,
+    ) -> Result<DroneId, ProtocolError> {
+        match self.roundtrip(
+            &Request::RegisterDrone {
+                operator_public,
+                tee_public,
+            },
+            now,
+        )? {
+            Response::DroneRegistered(id) => Ok(id),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Registers a zone; returns the issued id.
+    #[allow(missing_docs)]
+    pub fn register_zone(
+        &mut self,
+        zone: NoFlyZone,
+        now: Timestamp,
+    ) -> Result<ZoneId, ProtocolError> {
+        match self.roundtrip(&Request::RegisterZone { zone }, now)? {
+            Response::ZoneRegistered(id) => Ok(id),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Sends a signed zone query.
+    #[allow(missing_docs)]
+    pub fn query_zones(
+        &mut self,
+        query: ZoneQuery,
+        now: Timestamp,
+    ) -> Result<Vec<(ZoneId, NoFlyZone)>, ProtocolError> {
+        match self.roundtrip(&Request::QueryZones(query), now)? {
+            Response::Zones(z) => Ok(z),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Submits a plaintext PoA; returns the verdict.
+    #[allow(missing_docs)]
+    pub fn submit_poa(
+        &mut self,
+        drone_id: DroneId,
+        window: (Timestamp, Timestamp),
+        poa: &crate::ProofOfAlibi,
+        now: Timestamp,
+    ) -> Result<Verdict, ProtocolError> {
+        match self.roundtrip(
+            &Request::SubmitPoa {
+                drone_id,
+                window_start: window.0,
+                window_end: window.1,
+                poa: poa.to_bytes(),
+            },
+            now,
+        )? {
+            Response::Verdict(v) => Ok(v),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Submits an encrypted PoA; returns the verdict.
+    #[allow(missing_docs)]
+    pub fn submit_encrypted_poa(
+        &mut self,
+        drone_id: DroneId,
+        window: (Timestamp, Timestamp),
+        encrypted: &crate::EncryptedPoa,
+        now: Timestamp,
+    ) -> Result<Verdict, ProtocolError> {
+        match self.roundtrip(
+            &Request::SubmitEncryptedPoa {
+                drone_id,
+                window_start: window.0,
+                window_end: window.1,
+                blocks: encrypted.blocks().to_vec(),
+            },
+            now,
+        )? {
+            Response::Verdict(v) => Ok(v),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Files an accusation; returns `(refuted, reason)`.
+    #[allow(missing_docs)]
+    pub fn accuse(
+        &mut self,
+        accusation: Accusation,
+        now: Timestamp,
+    ) -> Result<(bool, String), ProtocolError> {
+        match self.roundtrip(&Request::Accuse(accusation), now)? {
+            Response::Accusation { refuted, reason } => Ok((refuted, reason)),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Convenience: builds and sends a query for a rectangle.
+    #[allow(missing_docs)]
+    pub fn query_rect(
+        &mut self,
+        drone_id: DroneId,
+        corner1: GeoPoint,
+        corner2: GeoPoint,
+        nonce: [u8; 16],
+        operator_key: &alidrone_crypto::rsa::RsaPrivateKey,
+        now: Timestamp,
+    ) -> Result<Vec<(ZoneId, NoFlyZone)>, ProtocolError> {
+        let q = ZoneQuery::new_signed(drone_id, corner1, corner2, nonce, operator_key)?;
+        self.query_zones(q, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::{Auditor, AuditorConfig};
+    use crate::test_support::{auditor_key, operator_key, origin, signed_samples, tee_key};
+    use crate::ProofOfAlibi;
+    use alidrone_geo::Distance;
+
+    fn client() -> AuditorClient<InProcess> {
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        AuditorClient::new(InProcess::new(AuditorServer::new(auditor)))
+    }
+
+    fn now() -> Timestamp {
+        Timestamp::from_secs(10.0)
+    }
+
+    #[test]
+    fn typed_client_full_flow() {
+        let mut c = client();
+        let id = c
+            .register_drone(
+                operator_key().public_key().clone(),
+                tee_key().public_key().clone(),
+                now(),
+            )
+            .unwrap();
+        let zid = c
+            .register_zone(
+                NoFlyZone::new(
+                    origin().destination(0.0, Distance::from_km(50.0)),
+                    Distance::from_meters(100.0),
+                ),
+                now(),
+            )
+            .unwrap();
+        let zones = c
+            .query_rect(
+                id,
+                origin().destination(225.0, Distance::from_km(100.0)),
+                origin().destination(45.0, Distance::from_km(100.0)),
+                [1u8; 16],
+                operator_key(),
+                now(),
+            )
+            .unwrap();
+        assert_eq!(zones, vec![(zid, *c.transport_mut().server().auditor().zone(zid).unwrap())]);
+
+        let poa = ProofOfAlibi::from_entries(signed_samples(5));
+        let verdict = c
+            .submit_poa(
+                id,
+                (Timestamp::from_secs(0.0), Timestamp::from_secs(4.0)),
+                &poa,
+                now(),
+            )
+            .unwrap();
+        assert_eq!(verdict, Verdict::Compliant);
+
+        let (refuted, _) = c
+            .accuse(
+                Accusation {
+                    zone_id: zid,
+                    drone_id: id,
+                    time: Timestamp::from_secs(2.0),
+                },
+                now(),
+            )
+            .unwrap();
+        assert!(refuted);
+    }
+
+    #[test]
+    fn replayed_query_maps_to_typed_error() {
+        let mut c = client();
+        let id = c
+            .register_drone(
+                operator_key().public_key().clone(),
+                tee_key().public_key().clone(),
+                now(),
+            )
+            .unwrap();
+        let q = ZoneQuery::new_signed(id, origin(), origin(), [2u8; 16], operator_key()).unwrap();
+        c.query_zones(q.clone(), now()).unwrap();
+        assert_eq!(
+            c.query_zones(q, now()).unwrap_err(),
+            ProtocolError::NonceReplayed
+        );
+    }
+
+    #[test]
+    fn dropped_requests_surface_as_errors() {
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky = Flaky::new(InProcess::new(AuditorServer::new(auditor))).drop_every(2);
+        let mut c = AuditorClient::new(flaky);
+        // First call passes, second is dropped, third passes.
+        c.register_zone(
+            NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+            now(),
+        )
+        .unwrap();
+        assert!(c
+            .register_zone(
+                NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+                now(),
+            )
+            .is_err());
+        c.register_zone(
+            NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+            now(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn corrupted_responses_are_rejected_not_misparsed() {
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky = Flaky::new(InProcess::new(AuditorServer::new(auditor))).corrupt_every(1);
+        let mut c = AuditorClient::new(flaky);
+        // Every response is corrupted: the client must error, never
+        // return a bogus typed value.
+        assert!(c
+            .register_zone(
+                NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+                now(),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn server_state_persists_across_transport_faults() {
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky = Flaky::new(InProcess::new(AuditorServer::new(auditor))).drop_every(3);
+        let mut c = AuditorClient::new(flaky);
+        let mut registered = 0;
+        for _ in 0..9 {
+            if c.register_zone(
+                NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+                now(),
+            )
+            .is_ok()
+            {
+                registered += 1;
+            }
+        }
+        assert_eq!(registered, 6); // every third call dropped
+    }
+}

@@ -1,0 +1,116 @@
+//! The Zone Owner role.
+
+use alidrone_geo::polygon::PolygonZone;
+use alidrone_geo::{GeoError, NoFlyZone, Timestamp};
+
+use crate::auditor::Auditor;
+use crate::messages::Accusation;
+use crate::{DroneId, ZoneId};
+
+/// A property owner who registers a no-fly zone over their land and may
+/// report sighted drones (paper §III-A).
+#[derive(Debug, Clone)]
+pub struct ZoneOwner {
+    zone: NoFlyZone,
+    zone_id: Option<ZoneId>,
+}
+
+impl ZoneOwner {
+    /// Creates an owner of a circular property zone.
+    pub fn new(zone: NoFlyZone) -> Self {
+        ZoneOwner {
+            zone,
+            zone_id: None,
+        }
+    }
+
+    /// Creates an owner of a polygonal property; the zone stored is the
+    /// polygon's smallest enclosing circle (§VII-B2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates degenerate-polygon errors.
+    pub fn with_polygon(polygon: &PolygonZone) -> Result<Self, GeoError> {
+        Ok(ZoneOwner {
+            zone: polygon.enclosing_zone(),
+            zone_id: None,
+        })
+    }
+
+    /// The property zone.
+    pub fn zone(&self) -> &NoFlyZone {
+        &self.zone
+    }
+
+    /// The issued zone id, if registered.
+    pub fn zone_id(&self) -> Option<ZoneId> {
+        self.zone_id
+    }
+
+    /// Step 1 — registers the zone with the auditor.
+    pub fn register_with(&mut self, auditor: &mut Auditor) -> ZoneId {
+        let id = auditor.register_zone(self.zone);
+        self.zone_id = Some(id);
+        id
+    }
+
+    /// Builds an accusation: "I saw `drone_id` near my zone at `time`".
+    ///
+    /// Returns `None` when the owner has not registered a zone yet (there
+    /// is nothing to accuse against).
+    pub fn report(&self, drone_id: DroneId, time: Timestamp) -> Option<Accusation> {
+        Some(Accusation {
+            zone_id: self.zone_id?,
+            drone_id,
+            time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::AuditorConfig;
+    use crate::test_support::{auditor_key, origin};
+    use alidrone_geo::{Distance, GeoPoint};
+
+    fn owner() -> ZoneOwner {
+        ZoneOwner::new(NoFlyZone::new(origin(), Distance::from_meters(20.0)))
+    }
+
+    #[test]
+    fn registration_issues_id() {
+        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let mut o = owner();
+        assert!(o.zone_id().is_none());
+        assert!(o.report(DroneId::new(1), Timestamp::EPOCH).is_none());
+        let id = o.register_with(&mut auditor);
+        assert_eq!(o.zone_id(), Some(id));
+        assert!(auditor.zone(id).is_some());
+    }
+
+    #[test]
+    fn report_carries_ids_and_time() {
+        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let mut o = owner();
+        let zid = o.register_with(&mut auditor);
+        let acc = o.report(DroneId::new(9), Timestamp::from_secs(55.0)).unwrap();
+        assert_eq!(acc.zone_id, zid);
+        assert_eq!(acc.drone_id, DroneId::new(9));
+        assert!((acc.time.secs() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_owner_registers_enclosing_circle() {
+        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let verts: Vec<GeoPoint> = [0.0, 90.0, 180.0, 270.0]
+            .iter()
+            .map(|&b| origin().destination(b, Distance::from_meters(30.0)))
+            .collect();
+        let poly = PolygonZone::new(verts).unwrap();
+        let mut o = ZoneOwner::with_polygon(&poly).unwrap();
+        let id = o.register_with(&mut auditor);
+        let stored = auditor.zone(id).unwrap();
+        assert!((stored.radius().meters() - 30.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,792 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A minimal big-unsigned-integer implementation sized for RSA: addition,
+//! subtraction, schoolbook multiplication, Knuth Algorithm D division,
+//! modular exponentiation, gcd and modular inverse. Limbs are `u32`s in
+//! little-endian order with no trailing zero limbs (canonical form).
+//!
+//! Performance is adequate for 2048-bit RSA (the largest key size the
+//! paper benchmarks); no attempt is made at constant-time behaviour —
+//! see the crate-level security note.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian `u32` limbs; empty means zero; no trailing zeros.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Creates a value from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![(v & 0xFFFF_FFFF) as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Parses a big-endian byte string (the usual crypto wire format).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut acc: u32 = 0;
+        let mut shift = 0;
+        for &b in bytes.iter().rev() {
+            acc |= (b as u32) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(acc);
+        }
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Serialises to a minimal big-endian byte string (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the most significant limb.
+                let mut started = false;
+                for &b in &bytes {
+                    if b != 0 || started {
+                        out.push(b);
+                        started = true;
+                    }
+                }
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serialises to exactly `len` big-endian bytes, left-padded with
+    /// zeros. Returns `None` if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// `true` for the value 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` for the value 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` if the lowest bit is 0 (and the value nonzero counts as even
+    /// only by its bit; zero is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The `i`-th bit (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// The low 64 bits of the value.
+    pub fn low_u64(&self) -> u64 {
+        let lo = *self.limbs.first().unwrap_or(&0) as u64;
+        let hi = *self.limbs.get(1).unwrap_or(&0) as u64;
+        lo | (hi << 32)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push((s & 0xFFFF_FFFF) as u32);
+            carry = s >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// `self − other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`; use [`checked_sub`](Self::checked_sub)
+    /// when underflow is possible.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// `self − other`, or `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self.cmp_val(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        Some(r)
+    }
+
+    /// `self · other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + out[i + j] as u64 + carry;
+                out[i + j] = (t & 0xFFFF_FFFF) as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = (t & 0xFFFF_FFFF) as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 32;
+        let bit_shift = n % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: u32 = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let limb_shift = n / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = n % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Comparison (named to avoid clashing with `Ord::cmp` call syntax in
+    /// internal code paths).
+    pub fn cmp_val(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Quotient and remainder of `self / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        match self.cmp_val(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            return self.divrem_single(divisor.limbs[0]);
+        }
+        self.divrem_knuth(divisor)
+    }
+
+    fn divrem_single(&self, d: u32) -> (BigUint, BigUint) {
+        let mut q = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            q[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        (quo, BigUint::from_u64(rem))
+    }
+
+    /// Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+    fn divrem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift);
+        let u = self.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        // Working copy of u with one extra high limb.
+        let mut un: Vec<u32> = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+
+        let v_hi = vn[n - 1] as u64;
+        let v_next = vn[n - 2] as u64;
+
+        for j in (0..=m).rev() {
+            // Estimate q_hat.
+            let num = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut q_hat = num / v_hi;
+            let mut r_hat = num % v_hi;
+            while q_hat >= 1 << 32
+                || q_hat * v_next > ((r_hat << 32) | un[j + n - 2] as u64)
+            {
+                q_hat -= 1;
+                r_hat += v_hi;
+                if r_hat >= 1 << 32 {
+                    break;
+                }
+            }
+            // Multiply-subtract: un[j..j+n+1] -= q_hat * vn.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = q_hat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[j + i] as i64 - (p & 0xFFFF_FFFF) as i64 - borrow;
+                if t < 0 {
+                    un[j + i] = (t + (1i64 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    un[j + i] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // q_hat was one too large: add back.
+                un[j + n] = (t + (1i64 << 32)) as u32;
+                q_hat -= 1;
+                let mut c: u64 = 0;
+                for i in 0..n {
+                    let s = un[j + i] as u64 + vn[i] as u64 + c;
+                    un[j + i] = (s & 0xFFFF_FFFF) as u32;
+                    c = s >> 32;
+                }
+                un[j + n] = un[j + n].wrapping_add(c as u32);
+            } else {
+                un[j + n] = t as u32;
+            }
+            q[j] = q_hat as u32;
+        }
+
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quo, rem.shr(shift))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.divrem(m).1
+    }
+
+    /// `(self + other) mod m`, assuming both inputs are already `< m`.
+    pub fn add_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let s = self.add(other);
+        if s.cmp_val(m) == Ordering::Less {
+            s
+        } else {
+            s.sub(m)
+        }
+    }
+
+    /// `(self · other) mod m`.
+    pub fn mul_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^exp mod m` by left-to-right square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let base = self.rem(m);
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let mut acc = BigUint::one();
+        for i in (0..exp.bits()).rev() {
+            acc = acc.mul_mod(&acc, m);
+            if exp.bit(i) {
+                acc = acc.mul_mod(&base, m);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (binary-free Euclid; division is fast
+    /// enough here).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// The inverse of `self` modulo `m`, or `None` when
+    /// `gcd(self, m) != 1`.
+    ///
+    /// Extended Euclid over signed cofactors tracked as (sign, magnitude)
+    /// pairs.
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        // Iterative extended Euclid: track old_r, r and old_t, t where
+        // t coefficients are modulo m with explicit sign.
+        let mut old_r = self.rem(m);
+        let mut r = m.clone();
+        // (value, negative?) pairs.
+        let mut old_t = (BigUint::one(), false);
+        let mut t = (BigUint::zero(), false);
+
+        while !r.is_zero() {
+            let (q, rem) = old_r.divrem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+
+            // new_t = old_t - q * t  (signed arithmetic).
+            let qt = q.mul(&t.0);
+            let new_t = signed_sub(&old_t, &(qt, t.1));
+            old_t = std::mem::replace(&mut t, new_t);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        // old_t is the inverse, possibly negative: reduce into [0, m).
+        let (mag, neg) = old_t;
+        let mag = mag.rem(m);
+        if neg && !mag.is_zero() {
+            Some(m.sub(&mag))
+        } else {
+            Some(mag)
+        }
+    }
+}
+
+/// `a - b` over (magnitude, negative?) signed pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both positive.
+        (false, false) => match a.0.cmp_val(&b.0) {
+            Ordering::Less => (b.0.sub(&a.0), true),
+            _ => (a.0.sub(&b.0), false),
+        },
+        // a - (-b) = a + b.
+        (false, true) => (a.0.add(&b.0), false),
+        // -a - b = -(a + b).
+        (true, false) => (a.0.add(&b.0), true),
+        // -a - (-b) = b - a.
+        (true, true) => match b.0.cmp_val(&a.0) {
+            Ordering::Less => (a.0.sub(&b.0), true),
+            _ => (b.0.sub(&a.0), false),
+        },
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// Lower-case hexadecimal representation without leading zeros.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:08x}"));
+            }
+        }
+        s
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix).
+    ///
+    /// Returns `None` for invalid characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let chars: Vec<u8> = s.bytes().collect();
+        let mut i = chars.len();
+        while i > 0 {
+            let lo = hex_val(chars[i - 1])?;
+            let hi = if i >= 2 { hex_val(chars[i - 2])? } else { 0 };
+            bytes.push((hi << 4) | lo);
+            i = i.saturating_sub(2);
+        }
+        bytes.reverse();
+        Some(BigUint::from_bytes_be(&bytes))
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_val(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert!(BigUint::zero().is_even());
+        assert!(!BigUint::one().is_even());
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = b(u64::MAX);
+        let s = a.add(&BigUint::one());
+        assert_eq!(s.to_hex(), "10000000000000000");
+        assert_eq!(s.bits(), 65);
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = BigUint::from_hex("10000000000000000").unwrap();
+        let d = a.sub(&BigUint::one());
+        assert_eq!(d, b(u64::MAX));
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        assert!(b(5).checked_sub(&b(6)).is_none());
+        assert_eq!(b(5).checked_sub(&b(5)).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_small_and_large() {
+        assert_eq!(b(7).mul(&b(6)), b(42));
+        let a = BigUint::from_hex("ffffffffffffffff").unwrap();
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn divrem_basic() {
+        let (q, r) = b(100).divrem(&b(7));
+        assert_eq!(q, b(14));
+        assert_eq!(r, b(2));
+    }
+
+    #[test]
+    fn divrem_large() {
+        let a = BigUint::from_hex("deadbeefdeadbeefdeadbeefdeadbeef").unwrap();
+        let d = BigUint::from_hex("123456789abcdef0").unwrap();
+        let (q, r) = a.divrem(&d);
+        // Verify q*d + r == a and r < d.
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn divrem_knuth_add_back_case() {
+        // A case that exercises the rare "add back" branch: divisor with
+        // high limb pattern forcing q_hat overestimate.
+        let a = BigUint::from_hex("800000000000000000000000").unwrap();
+        let d = BigUint::from_hex("800000000000000001").unwrap();
+        let (q, r) = a.divrem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn div_by_zero_panics() {
+        let result = std::panic::catch_unwind(|| b(1).divrem(&BigUint::zero()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = BigUint::from_hex("0123456789abcdef00ff").unwrap();
+        let rt = BigUint::from_bytes_be(&a.to_bytes_be());
+        assert_eq!(a, rt);
+    }
+
+    #[test]
+    fn bytes_be_no_leading_zero() {
+        let a = b(0x0102);
+        assert_eq!(a.to_bytes_be(), vec![0x01, 0x02]);
+        assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let a = b(0x0102);
+        assert_eq!(a.to_bytes_be_padded(4).unwrap(), vec![0, 0, 1, 2]);
+        assert!(a.to_bytes_be_padded(1).is_none());
+        assert_eq!(BigUint::zero().to_bytes_be_padded(2).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = b(0b1011);
+        assert_eq!(a.shl(4), b(0b1011_0000));
+        assert_eq!(a.shr(2), b(0b10));
+        assert_eq!(a.shr(64), BigUint::zero());
+        assert_eq!(a.shl(33).shr(33), a);
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = b(0b101);
+        assert!(a.bit(0));
+        assert!(!a.bit(1));
+        assert!(a.bit(2));
+        assert!(!a.bit(100));
+    }
+
+    #[test]
+    fn mod_pow_small() {
+        // 3^7 mod 10 = 2187 mod 10 = 7
+        assert_eq!(b(3).mod_pow(&b(7), &b(10)), b(7));
+        // Fermat: 2^(p-1) = 1 mod p for prime p.
+        assert_eq!(b(2).mod_pow(&b(1_000_000_006), &b(1_000_000_007)), b(1));
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        assert_eq!(b(5).mod_pow(&BigUint::zero(), &b(7)), BigUint::one());
+        assert_eq!(b(5).mod_pow(&b(3), &BigUint::one()), BigUint::zero());
+        assert_eq!(BigUint::zero().mod_pow(&b(5), &b(7)), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_large() {
+        // RSA-style round trip with a known toy key:
+        // p=61, q=53, n=3233, e=17, d=413. m=65 -> c=2790 -> m=65.
+        let n = b(3233);
+        let c = b(65).mod_pow(&b(17), &n);
+        assert_eq!(c, b(2790));
+        assert_eq!(c.mod_pow(&b(413), &n), b(65));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+    }
+
+    #[test]
+    fn mod_inverse_cases() {
+        // 3 * 4 = 12 = 1 mod 11.
+        assert_eq!(b(3).mod_inverse(&b(11)).unwrap(), b(4));
+        // Not invertible.
+        assert!(b(6).mod_inverse(&b(9)).is_none());
+        // RSA toy: e=17 mod phi=3120 -> d=2753... (61-1)(53-1)=3120.
+        let d = b(17).mod_inverse(&b(3120)).unwrap();
+        assert_eq!(b(17).mul(&d).rem(&b(3120)), BigUint::one());
+    }
+
+    #[test]
+    fn mod_inverse_large() {
+        let m = BigUint::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff").unwrap();
+        let a = BigUint::from_hex("deadbeefcafebabe1234").unwrap();
+        if let Some(inv) = a.mod_inverse(&m) {
+            assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        } else {
+            panic!("expected invertible");
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let v = BigUint::from_hex(s).unwrap();
+            assert_eq!(v.to_hex(), s);
+            assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
+        }
+        // Upper-case digits and leading zeros are accepted on input.
+        assert_eq!(
+            BigUint::from_hex("00DEADBEEF").unwrap().to_hex(),
+            "deadbeef"
+        );
+        assert!(BigUint::from_hex("xyz").is_none());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(5) < b(6));
+        assert!(BigUint::from_hex("100000000").unwrap() > b(0xFFFF_FFFF));
+        assert_eq!(b(7).cmp_val(&b(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn low_u64() {
+        let a = BigUint::from_hex("aabbccdd11223344").unwrap();
+        assert_eq!(a.low_u64(), 0xaabbccdd11223344);
+        let big = BigUint::from_hex("ff0000000011223344").unwrap();
+        assert_eq!(big.low_u64(), 0x11223344);
+    }
+
+    #[test]
+    fn add_mod_stays_reduced() {
+        let m = b(100);
+        assert_eq!(b(70).add_mod(&b(50), &m), b(20));
+        assert_eq!(b(30).add_mod(&b(50), &m), b(80));
+    }
+}

@@ -1,0 +1,186 @@
+//! ChaCha20 stream cipher (RFC 8439) — used by the §VII-B3
+//! privacy-preserving extension, where each GPS sample in a PoA is
+//! encrypted under a per-sample one-time key so the auditor can be shown
+//! individual samples without learning the whole trajectory.
+
+/// Key size in bytes.
+pub const CHACHA20_KEY_LEN: usize = 32;
+/// Nonce size in bytes.
+pub const CHACHA20_NONCE_LEN: usize = 12;
+
+/// Encrypts or decrypts `data` in place with ChaCha20 (XOR keystream;
+/// encryption and decryption are the same operation).
+///
+/// `counter` is the initial block counter (RFC 8439 uses 1 for payload
+/// encryption; 0 is reserved for Poly1305 key derivation, which this
+/// reproduction does not need).
+pub fn chacha20_xor(
+    key: &[u8; CHACHA20_KEY_LEN],
+    nonce: &[u8; CHACHA20_NONCE_LEN],
+    counter: u32,
+    data: &mut [u8],
+) {
+    let mut block_counter = counter;
+    for chunk in data.chunks_mut(64) {
+        let keystream = chacha20_block(key, nonce, block_counter);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        block_counter = block_counter.wrapping_add(1);
+    }
+}
+
+/// Convenience: encrypts a copy of `data`.
+pub fn chacha20_encrypt(
+    key: &[u8; CHACHA20_KEY_LEN],
+    nonce: &[u8; CHACHA20_NONCE_LEN],
+    data: &[u8],
+) -> Vec<u8> {
+    let mut out = data.to_vec();
+    chacha20_xor(key, nonce, 1, &mut out);
+    out
+}
+
+/// Convenience: decrypts a copy of `data` (same as encryption).
+pub fn chacha20_decrypt(
+    key: &[u8; CHACHA20_KEY_LEN],
+    nonce: &[u8; CHACHA20_NONCE_LEN],
+    data: &[u8],
+) -> Vec<u8> {
+    chacha20_encrypt(key, nonce, data)
+}
+
+fn chacha20_block(
+    key: &[u8; CHACHA20_KEY_LEN],
+    nonce: &[u8; CHACHA20_NONCE_LEN],
+    counter: u32,
+) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, &nonce, 1);
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = chacha20_encrypt(&key, &nonce, plaintext);
+        assert_eq!(
+            hex(&ct[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(hex(&ct[112..]), "874d"); // final two ciphertext bytes
+    }
+
+    #[test]
+    fn round_trip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let msg = b"proof-of-alibi sample 42";
+        let ct = chacha20_encrypt(&key, &nonce, msg);
+        assert_ne!(&ct[..], &msg[..]);
+        assert_eq!(chacha20_decrypt(&key, &nonce, &ct), msg);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let nonce = [0u8; 12];
+        let c1 = chacha20_encrypt(&[1u8; 32], &nonce, b"same message");
+        let c2 = chacha20_encrypt(&[2u8; 32], &nonce, b"same message");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let c1 = chacha20_encrypt(&key, &[0u8; 12], b"same message");
+        let c2 = chacha20_encrypt(&key, &[1u8; 12], b"same message");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn multi_block_message() {
+        let key = [9u8; 32];
+        let nonce = [4u8; 12];
+        let msg = vec![0xA5u8; 300]; // spans 5 blocks
+        let ct = chacha20_encrypt(&key, &nonce, &msg);
+        assert_eq!(ct.len(), 300);
+        assert_eq!(chacha20_decrypt(&key, &nonce, &ct), msg);
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        assert!(chacha20_encrypt(&key, &nonce, b"").is_empty());
+    }
+}

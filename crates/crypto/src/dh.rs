@@ -1,0 +1,178 @@
+//! Finite-field Diffie–Hellman key agreement — used by the §VII-A1a
+//! extension: "a drone may setup ephemeral symmetric keys with the Auditor
+//! every time before it starts a flight … a key exchange protocol is
+//! needed between the Drone TEE and the Auditor."
+//!
+//! The derived shared secret is hashed with SHA-256 into an HMAC key.
+
+use rand::Rng;
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::sha256::sha256;
+
+/// RFC 3526 group 14 (2048-bit MODP) prime, the standard choice for
+/// classic DH.
+const MODP_2048_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1",
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD",
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245",
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D",
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F",
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D",
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B",
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9",
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510",
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+);
+
+/// A Diffie–Hellman group: prime modulus `p` and generator `g`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhGroup {
+    p: BigUint,
+    g: BigUint,
+}
+
+impl DhGroup {
+    /// The RFC 3526 2048-bit MODP group with generator 2.
+    pub fn modp_2048() -> Self {
+        DhGroup {
+            p: BigUint::from_hex(MODP_2048_HEX).expect("valid constant"),
+            g: BigUint::from_u64(2),
+        }
+    }
+
+    /// A fixed 512-bit modulus for fast tests. **Not secure** — test use
+    /// only (agreement symmetry `(g^x)^y = (g^y)^x mod p` holds for any
+    /// modulus; production code must use [`DhGroup::modp_2048`]).
+    pub fn test_512() -> Self {
+        DhGroup {
+            p: BigUint::from_hex(
+                "f33eb22d7b01947f5c4545fe7f52fc0e0a9ba16ba1d23de5f5a0b1a4\
+                 6e13527dae34ea952d4dfb66b9ed7ab39b7f6a92e4c03f79b48e5a37\
+                 12d50ad5e1b2a0ef",
+            )
+            .expect("valid constant"),
+            g: BigUint::from_u64(2),
+        }
+    }
+
+    /// The group prime.
+    pub fn prime(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// Generates an ephemeral keypair `(x, g^x mod p)`.
+    pub fn generate_keypair<R: Rng + ?Sized>(&self, rng: &mut R) -> DhKeyPair {
+        // x uniform in [2, p-2]; sampling 256 random bits is sufficient
+        // entropy for the derived symmetric key.
+        let mut buf = [0u8; 32];
+        rng.fill_bytes(&mut buf);
+        let x = BigUint::from_bytes_be(&buf)
+            .rem(&self.p.sub(&BigUint::from_u64(3)))
+            .add(&BigUint::from_u64(2));
+        let public = self.g.mod_pow(&x, &self.p);
+        DhKeyPair {
+            group: self.clone(),
+            private: x,
+            public,
+        }
+    }
+}
+
+/// An ephemeral DH keypair bound to its group.
+#[derive(Debug, Clone)]
+pub struct DhKeyPair {
+    group: DhGroup,
+    private: BigUint,
+    public: BigUint,
+}
+
+impl DhKeyPair {
+    /// The public value `g^x mod p` to send to the peer.
+    pub fn public_value(&self) -> &BigUint {
+        &self.public
+    }
+
+    /// Derives the 32-byte shared key from the peer's public value:
+    /// `SHA-256(peer^x mod p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidDhPublic`] for peer values outside
+    /// `[2, p−2]` (0, 1 and p−1 would force a trivial shared secret).
+    pub fn derive_shared_key(&self, peer_public: &BigUint) -> Result<[u8; 32], CryptoError> {
+        let p_minus_1 = self.group.p.sub(&BigUint::one());
+        if peer_public < &BigUint::from_u64(2) || peer_public >= &p_minus_1 {
+            return Err(CryptoError::InvalidDhPublic);
+        }
+        let secret = peer_public.mod_pow(&self.private, &self.group.p);
+        Ok(sha256(&secret.to_bytes_be()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modp_2048_loads() {
+        let g = DhGroup::modp_2048();
+        assert_eq!(g.prime().bits(), 2048);
+    }
+
+    #[test]
+    fn agreement_produces_same_key() {
+        let group = DhGroup::test_512();
+        let mut rng = StdRng::seed_from_u64(11);
+        let alice = group.generate_keypair(&mut rng);
+        let bob = group.generate_keypair(&mut rng);
+        let ka = alice.derive_shared_key(bob.public_value()).unwrap();
+        let kb = bob.derive_shared_key(alice.public_value()).unwrap();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn different_sessions_different_keys() {
+        let group = DhGroup::test_512();
+        let mut rng = StdRng::seed_from_u64(12);
+        let a1 = group.generate_keypair(&mut rng);
+        let b1 = group.generate_keypair(&mut rng);
+        let a2 = group.generate_keypair(&mut rng);
+        let b2 = group.generate_keypair(&mut rng);
+        let k1 = a1.derive_shared_key(b1.public_value()).unwrap();
+        let k2 = a2.derive_shared_key(b2.public_value()).unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn rejects_degenerate_public_values() {
+        let group = DhGroup::test_512();
+        let mut rng = StdRng::seed_from_u64(13);
+        let kp = group.generate_keypair(&mut rng);
+        for bad in [
+            BigUint::zero(),
+            BigUint::one(),
+            group.prime().sub(&BigUint::one()),
+            group.prime().clone(),
+        ] {
+            assert_eq!(
+                kp.derive_shared_key(&bad),
+                Err(CryptoError::InvalidDhPublic),
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn public_value_in_range() {
+        let group = DhGroup::test_512();
+        let mut rng = StdRng::seed_from_u64(14);
+        let kp = group.generate_keypair(&mut rng);
+        assert!(kp.public_value() >= &BigUint::from_u64(2));
+        assert!(kp.public_value() < group.prime());
+    }
+}

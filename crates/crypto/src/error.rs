@@ -1,0 +1,75 @@
+//! Error type for cryptographic operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The plaintext is too long for the key's modulus.
+    MessageTooLong {
+        /// Maximum allowed payload bytes for this key.
+        max: usize,
+        /// Actual payload bytes supplied.
+        got: usize,
+    },
+    /// Decryption failed: the ciphertext or the padding is invalid.
+    DecryptionFailed,
+    /// A signature did not verify.
+    InvalidSignature,
+    /// A key parameter is malformed (e.g. zero modulus).
+    InvalidKey(&'static str),
+    /// Key material had an unexpected length.
+    InvalidLength {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        got: usize,
+    },
+    /// Diffie–Hellman public value out of range.
+    InvalidDhPublic,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { max, got } => {
+                write!(f, "message of {got} bytes exceeds maximum {max} for this key")
+            }
+            CryptoError::DecryptionFailed => write!(f, "decryption failed"),
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidKey(what) => write!(f, "invalid key: {what}"),
+            CryptoError::InvalidLength { expected, got } => {
+                write!(f, "expected {expected} bytes, got {got}")
+            }
+            CryptoError::InvalidDhPublic => write!(f, "diffie-hellman public value out of range"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CryptoError::MessageTooLong { max: 117, got: 200 },
+            CryptoError::DecryptionFailed,
+            CryptoError::InvalidSignature,
+            CryptoError::InvalidKey("zero modulus"),
+            CryptoError::InvalidLength { expected: 4, got: 2 },
+            CryptoError::InvalidDhPublic,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

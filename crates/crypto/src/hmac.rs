@@ -1,0 +1,114 @@
+//! HMAC-SHA256 (RFC 2104) — used by the §VII-A1a symmetric-key extension,
+//! where the drone TEE and the auditor establish an ephemeral MAC key per
+//! flight instead of computing per-sample RSA signatures.
+
+use crate::sha256::{sha256, Sha256, SHA256_LEN};
+
+/// Output size of [`hmac_sha256`] in bytes.
+pub const HMAC_SHA256_LEN: usize = SHA256_LEN;
+
+/// Computes `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; HMAC_SHA256_LEN] {
+    const BLOCK: usize = 64;
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..SHA256_LEN].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5Cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verifies an HMAC tag with a timing-balanced comparison.
+///
+/// (Full constant-time discipline is out of scope for this research
+/// implementation; this avoids the obvious early-exit at least.)
+pub fn hmac_sha256_verify(key: &[u8], msg: &[u8], tag: &[u8]) -> bool {
+    if tag.len() != HMAC_SHA256_LEN {
+        return false;
+    }
+    let expected = hmac_sha256(key, msg);
+    let mut acc = 0u8;
+    for (a, b) in expected.iter().zip(tag.iter()) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = b"shared-flight-key";
+        let msg = b"sample";
+        let tag = hmac_sha256(key, msg);
+        assert!(hmac_sha256_verify(key, msg, &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!hmac_sha256_verify(key, msg, &bad));
+        assert!(!hmac_sha256_verify(key, b"other", &tag));
+        assert!(!hmac_sha256_verify(key, msg, &tag[..31]));
+        assert!(!hmac_sha256_verify(b"wrong key", msg, &tag));
+    }
+}

@@ -1,0 +1,56 @@
+//! From-scratch cryptographic primitives for the AliDrone reproduction.
+//!
+//! The AliDrone prototype (ICDCS 2018, §V) relies on the OP-TEE crypto
+//! API for exactly two algorithms: `TEE_ALG_RSASSA_PKCS1_V1_5_SHA1` to
+//! sign GPS tuples inside the secure world, and `RSAES_PKCS1_v1_5` to
+//! encrypt the Proof-of-Alibi for the auditor. The workspace's allowed
+//! dependency set contains no cryptography crates, so this crate
+//! implements those algorithms — and the primitives the paper's §VII
+//! extensions need — from scratch:
+//!
+//! * [`bigint::BigUint`] — arbitrary-precision arithmetic (Knuth D
+//!   division, modular exponentiation, modular inverse).
+//! * [`prime`] — Miller–Rabin testing and RSA prime generation.
+//! * [`rsa`] — RSASSA-PKCS1-v1.5 (SHA-1/SHA-256) and RSAES-PKCS1-v1.5.
+//! * [`sha1`], [`sha256`], [`hmac`] — hashes and MACs.
+//! * [`chacha20`] — the one-time-key cipher for the privacy-preserving
+//!   PoA extension (§VII-B3).
+//! * [`dh`] — ephemeral Diffie–Hellman for per-flight symmetric keys
+//!   (§VII-A1a).
+//!
+//! # Security note
+//!
+//! **Research quality only.** Nothing here is constant-time, blinded, or
+//! hardened against fault attacks; the paper explicitly scopes side
+//! channels out of its threat model (§III-B) and so does this
+//! reproduction. Do not reuse this crate outside the simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), alidrone_crypto::CryptoError> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let key = RsaPrivateKey::generate(512, &mut rng); // test-size key
+//! let sig = key.sign(b"(40.1, -88.2) @ 12.0s", HashAlg::Sha1)?;
+//! key.public_key().verify(b"(40.1, -88.2) @ 12.0s", &sig, HashAlg::Sha1)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod chacha20;
+pub mod dh;
+mod error;
+pub mod hmac;
+pub mod prime;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+
+pub use error::CryptoError;

@@ -1,0 +1,236 @@
+//! Probabilistic primality testing and prime generation for RSA keygen.
+
+use rand::Rng;
+
+use crate::bigint::BigUint;
+
+/// Number of Miller–Rabin rounds used by key generation. 40 rounds gives
+/// an error probability below 2⁻⁸⁰ even before accounting for the
+/// average-case behaviour of random candidates.
+pub const MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Sieve of Eratosthenes up to `limit` (inclusive).
+fn sieve(limit: u32) -> Vec<u32> {
+    let n = limit as usize;
+    let mut composite = vec![false; n + 1];
+    let mut primes = Vec::new();
+    for i in 2..=n {
+        if !composite[i] {
+            primes.push(i as u32);
+            let mut j = i * i;
+            while j <= n {
+                composite[j] = true;
+                j += i;
+            }
+        }
+    }
+    primes
+}
+
+/// The small primes used for trial division before Miller–Rabin.
+pub fn small_primes() -> &'static [u32] {
+    use std::sync::OnceLock;
+    static PRIMES: OnceLock<Vec<u32>> = OnceLock::new();
+    PRIMES.get_or_init(|| sieve(10_000))
+}
+
+/// Miller–Rabin probable-prime test with `rounds` random bases.
+///
+/// Deterministically correct for all inputs below the small-prime sieve
+/// bound; probabilistic above it.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    let two = BigUint::from_u64(2);
+    if n == &two {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    // Trial division.
+    for &p in small_primes() {
+        let p_big = BigUint::from_u64(p as u64);
+        match n.cmp_val(&p_big) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Greater => {
+                if n.rem(&p_big).is_zero() {
+                    return false;
+                }
+            }
+        }
+    }
+    // Write n−1 = d · 2^s with d odd.
+    let n_minus_1 = n.sub(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        let a = random_below(rng, &n_minus_1, &two);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random value in `[lo, hi)`.
+fn random_below<R: Rng + ?Sized>(rng: &mut R, hi: &BigUint, lo: &BigUint) -> BigUint {
+    let span = hi.sub(lo);
+    let bits = span.bits().max(1);
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        // Mask off excess high bits so rejection sampling terminates fast.
+        let excess = bytes * 8 - bits;
+        if excess > 0 {
+            buf[0] &= 0xFF >> excess;
+        }
+        let candidate = BigUint::from_bytes_be(&buf);
+        if candidate.cmp_val(&span) == std::cmp::Ordering::Less {
+            return lo.add(&candidate);
+        }
+    }
+}
+
+/// Generates a random probable prime with exactly `bits` bits (the two
+/// most significant bits are forced to 1 so that the product of two such
+/// primes has exactly `2·bits` bits, as RSA keygen requires).
+///
+/// # Panics
+///
+/// Panics if `bits < 16` — RSA moduli below 32 bits are meaningless even
+/// for testing.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 16, "prime size too small: {bits} bits");
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        // Trim to exactly `bits` bits and set the top two + bottom bit.
+        let excess = bytes * 8 - bits;
+        buf[0] &= 0xFF >> excess;
+        buf[0] |= 0xC0 >> excess;
+        if excess >= 7 {
+            // Top two forced bits straddle a byte boundary.
+            buf[1] |= if excess == 7 { 0x80 } else { 0xC0 };
+        }
+        let last = buf.len() - 1;
+        buf[last] |= 1;
+        let candidate = BigUint::from_bytes_be(&buf);
+        debug_assert_eq!(candidate.bits(), bits);
+        if is_probable_prime(&candidate, MILLER_RABIN_ROUNDS, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xA11D_2024)
+    }
+
+    #[test]
+    fn sieve_matches_known_primes() {
+        let p = sieve(30);
+        assert_eq!(p, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn small_primes_start_correctly() {
+        let p = small_primes();
+        assert_eq!(&p[..5], &[2, 3, 5, 7, 11]);
+        assert!(p.last().copied().unwrap() < 10_000);
+    }
+
+    #[test]
+    fn known_primes_pass() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 97, 7919, 104_729, 1_000_000_007, 2_147_483_647] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn known_composites_fail() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 7917, 104_730, 1_000_000_008] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_fail() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825_265] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut r),
+                "Carmichael {c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn large_known_prime_passes() {
+        // 2^89 - 1 is a Mersenne prime.
+        let p = BigUint::from_u64(1).shl(89).sub(&BigUint::one());
+        assert!(is_probable_prime(&p, 20, &mut rng()));
+        // 2^90 - 1 is composite.
+        let c = BigUint::from_u64(1).shl(90).sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, 20, &mut rng()));
+    }
+
+    #[test]
+    fn generated_prime_has_exact_bit_length() {
+        let mut r = rng();
+        for bits in [64usize, 96, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits);
+            assert!(!p.is_even());
+            // Top two bits set ⇒ p ≥ 3·2^(bits−2).
+            let floor = BigUint::from_u64(3).shl(bits - 2);
+            assert!(p >= floor);
+        }
+    }
+
+    #[test]
+    fn generated_primes_are_distinct() {
+        let mut r = rng();
+        let a = gen_prime(96, &mut r);
+        let b = gen_prime(96, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "prime size too small")]
+    fn tiny_prime_request_panics() {
+        gen_prime(8, &mut rng());
+    }
+}

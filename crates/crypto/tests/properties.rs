@@ -1,0 +1,213 @@
+//! Property-based tests for the cryptographic substrate.
+//!
+//! The big-integer layer underpins every signature in the system, so its
+//! algebraic laws get the heaviest scrutiny: a silent `divrem` bug would
+//! produce signatures that fail verification (best case) or verify keys
+//! that accept forgeries (worst case).
+
+use alidrone_crypto::bigint::BigUint;
+use alidrone_crypto::chacha20::{chacha20_decrypt, chacha20_encrypt};
+use alidrone_crypto::hmac::{hmac_sha256, hmac_sha256_verify};
+use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
+use alidrone_crypto::sha256::sha256;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn test_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        RsaPrivateKey::generate(512, &mut rng)
+    })
+}
+
+prop_compose! {
+    /// A BigUint from 0 to ~2^256, with bias toward interesting shapes.
+    fn arb_biguint()(bytes in prop::collection::vec(any::<u8>(), 0..32)) -> BigUint {
+        BigUint::from_bytes_be(&bytes)
+    }
+}
+
+prop_compose! {
+    fn arb_nonzero()(b in arb_biguint()) -> BigUint {
+        if b.is_zero() { BigUint::one() } else { b }
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associative(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn add_sub_round_trip(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    /// The fundamental division law: a = q·d + r with r < d.
+    #[test]
+    fn divrem_law(a in arb_biguint(), d in arb_nonzero()) {
+        let (q, r) = a.divrem(&d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+        prop_assert!(r < d);
+    }
+
+    #[test]
+    fn shl_shr_round_trip(a in arb_biguint(), n in 0usize..200) {
+        prop_assert_eq!(a.shl(n).shr(n), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in arb_biguint(), n in 0usize..64) {
+        let pow = BigUint::one().shl(n);
+        prop_assert_eq!(a.shl(n), a.mul(&pow));
+    }
+
+    #[test]
+    fn bytes_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        let rt = BigUint::from_bytes_be(&v.to_bytes_be());
+        prop_assert_eq!(v, rt);
+    }
+
+    #[test]
+    fn hex_round_trip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    /// Modular exponentiation law: x^(a+b) = x^a · x^b (mod m).
+    #[test]
+    fn mod_pow_additive_exponents(
+        x in arb_biguint(),
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+        m in arb_nonzero(),
+    ) {
+        let ea = BigUint::from_u64(a);
+        let eb = BigUint::from_u64(b);
+        let eab = BigUint::from_u64(a + b);
+        let lhs = x.mod_pow(&eab, &m);
+        let rhs = x.mod_pow(&ea, &m).mul_mod(&x.mod_pow(&eb, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Modular inverse, when it exists, actually inverts.
+    #[test]
+    fn mod_inverse_inverts(a in arb_nonzero(), m in arb_nonzero()) {
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+            prop_assert!(inv < m);
+        } else if !m.is_one() && !m.is_zero() {
+            // No inverse ⇒ gcd must be nontrivial.
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_nonzero(), b in arb_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    /// RSA sign/verify over arbitrary messages.
+    #[test]
+    fn rsa_sign_verify(msg in prop::collection::vec(any::<u8>(), 0..200)) {
+        let key = test_key();
+        let sig = key.sign(&msg, HashAlg::Sha1).unwrap();
+        prop_assert!(key.public_key().verify(&msg, &sig, HashAlg::Sha1).is_ok());
+    }
+
+    /// A single-bit signature flip always fails verification.
+    #[test]
+    fn rsa_flipped_signature_rejected(
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+        byte in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        let key = test_key();
+        let mut sig = key.sign(&msg, HashAlg::Sha256).unwrap();
+        let idx = byte % sig.len();
+        sig[idx] ^= 1 << bit;
+        prop_assert!(key.public_key().verify(&msg, &sig, HashAlg::Sha256).is_err());
+    }
+
+    /// RSA encrypt/decrypt round trip for any payload that fits.
+    #[test]
+    fn rsa_encrypt_decrypt(msg in prop::collection::vec(any::<u8>(), 0..53), seed in any::<u64>()) {
+        let key = test_key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = key.public_key().encrypt(&msg, &mut rng).unwrap();
+        prop_assert_eq!(key.decrypt(&ct).unwrap(), msg);
+    }
+
+    /// ChaCha20 round trip for arbitrary payload, key, nonce.
+    #[test]
+    fn chacha_round_trip(
+        msg in prop::collection::vec(any::<u8>(), 0..512),
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+    ) {
+        let ct = chacha20_encrypt(&key, &nonce, &msg);
+        prop_assert_eq!(ct.len(), msg.len());
+        prop_assert_eq!(chacha20_decrypt(&key, &nonce, &ct), msg);
+    }
+
+    /// HMAC verification accepts genuine tags and rejects modified ones.
+    #[test]
+    fn hmac_verify_consistent(
+        key in prop::collection::vec(any::<u8>(), 0..80),
+        msg in prop::collection::vec(any::<u8>(), 0..256),
+        flip in 0usize..32,
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(hmac_sha256_verify(&key, &msg, &tag));
+        let mut bad = tag;
+        bad[flip] ^= 0x80;
+        prop_assert!(!hmac_sha256_verify(&key, &msg, &bad));
+    }
+
+    /// SHA-256 incremental chunks equal the one-shot digest.
+    #[test]
+    fn sha256_chunking_invariant(
+        msg in prop::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..64,
+    ) {
+        let mut h = alidrone_crypto::sha256::Sha256::new();
+        for c in msg.chunks(chunk) {
+            h.update(c);
+        }
+        prop_assert_eq!(h.finalize(), sha256(&msg));
+    }
+
+    /// SHA-1 incremental chunks equal the one-shot digest.
+    #[test]
+    fn sha1_chunking_invariant(
+        msg in prop::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..64,
+    ) {
+        let mut h = alidrone_crypto::sha1::Sha1::new();
+        for c in msg.chunks(chunk) {
+            h.update(c);
+        }
+        prop_assert_eq!(h.finalize(), alidrone_crypto::sha1::sha1(&msg));
+    }
+}

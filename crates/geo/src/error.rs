@@ -1,0 +1,86 @@
+//! Error type for geometric and geodetic operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by geometry and geodesy operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A latitude was outside `[-90, +90]` degrees or not finite.
+    InvalidLatitude(f64),
+    /// A longitude was outside `[-180, +180]` degrees or not finite.
+    InvalidLongitude(f64),
+    /// A radius or other distance that must be positive was not.
+    NonPositiveDistance(f64),
+    /// A speed that must be positive was not.
+    NonPositiveSpeed(f64),
+    /// A polygon had fewer than three vertices.
+    DegeneratePolygon(usize),
+    /// A trajectory needs at least two waypoints.
+    TooFewWaypoints(usize),
+    /// Timestamps in a trace were not strictly increasing.
+    NonMonotonicTime {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} is outside [-90, 90] degrees")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} is outside [-180, 180] degrees")
+            }
+            GeoError::NonPositiveDistance(v) => {
+                write!(f, "distance {v} m must be positive and finite")
+            }
+            GeoError::NonPositiveSpeed(v) => {
+                write!(f, "speed {v} m/s must be positive and finite")
+            }
+            GeoError::DegeneratePolygon(n) => {
+                write!(f, "polygon with {n} vertices needs at least 3")
+            }
+            GeoError::TooFewWaypoints(n) => {
+                write!(f, "trajectory with {n} waypoints needs at least 2")
+            }
+            GeoError::NonMonotonicTime { index } => {
+                write!(f, "sample timestamps not strictly increasing at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let cases: Vec<GeoError> = vec![
+            GeoError::InvalidLatitude(95.0),
+            GeoError::InvalidLongitude(200.0),
+            GeoError::NonPositiveDistance(-1.0),
+            GeoError::NonPositiveSpeed(0.0),
+            GeoError::DegeneratePolygon(2),
+            GeoError::TooFewWaypoints(1),
+            GeoError::NonMonotonicTime { index: 3 },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

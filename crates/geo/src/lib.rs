@@ -1,0 +1,71 @@
+//! Geodesy and reachable-set geometry for the AliDrone proof-of-alibi system.
+//!
+//! This crate implements the physical model of the AliDrone paper
+//! (ICDCS 2018, §III-A and §IV-C):
+//!
+//! * [`GeoPoint`] — a WGS-84 latitude/longitude pair, with haversine
+//!   distances and destination-point computation.
+//! * [`LocalTangentPlane`] — an east/north ("ENU") projection used for all
+//!   planar geometry, valid at the tens-of-miles scale of drone flights.
+//! * [`GpsSample`] — the paper's sample tuple `S = (lat, lon, t)`.
+//! * [`NoFlyZone`] — a circular no-fly zone `z = (lat, lon, r)`.
+//! * [`ReachableSet`] — the "possible traveling range" ellipse
+//!   `E(S1, S2) = {p : d1 + d2 <= v_max (t2 - t1)}` with both the paper's
+//!   conservative boundary-distance sufficiency criterion and an exact
+//!   ellipse/disk intersection test.
+//! * [`sufficiency`] — the alibi-sufficiency predicate of eq. (1) and the
+//!   insufficiency counter used in the paper's Fig. 8(c).
+//! * [`three_d`] — the §VII-B1 extension: ellipsoid reachable sets against
+//!   cylindrical no-fly regions.
+//! * [`polygon`] — the §VII-B2 extension: arbitrary polygonal zones reduced
+//!   to their smallest enclosing circle (Welzl's algorithm).
+//! * [`trajectory`] — waypoint routes with speed profiles, used to generate
+//!   the synthetic field-study traces.
+//!
+//! # Example
+//!
+//! ```
+//! use alidrone_geo::{GeoPoint, GpsSample, NoFlyZone, Timestamp, Speed, Distance};
+//! use alidrone_geo::sufficiency::pair_is_sufficient;
+//!
+//! # fn main() -> Result<(), alidrone_geo::GeoError> {
+//! // An airport no-fly zone with a 5-mile radius (FAA rule, §VI-A2).
+//! let airport = GeoPoint::new(40.0, -88.0)?;
+//! let zone = NoFlyZone::new(airport, Distance::from_miles(5.0));
+//!
+//! // Two GPS samples taken 10 s apart, both ~6 miles from the airport.
+//! let p = airport.destination(90.0, Distance::from_miles(6.0));
+//! let s1 = GpsSample::new(p, Timestamp::from_secs(0.0));
+//! let s2 = GpsSample::new(p, Timestamp::from_secs(10.0));
+//!
+//! // At v_max = 100 mph the drone cannot have covered the 2-mile round
+//! // trip to the zone boundary in 10 s, so the pair proves alibi.
+//! assert!(pair_is_sufficient(&s1, &s2, &zone, Speed::from_mph(100.0)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod nfz;
+mod point;
+mod projection;
+mod reachable;
+mod sample;
+mod units;
+
+pub mod planner;
+pub mod polygon;
+pub mod sufficiency;
+pub mod three_d;
+pub mod trajectory;
+
+pub use error::GeoError;
+pub use nfz::{NoFlyZone, ZoneSet};
+pub use point::GeoPoint;
+pub use projection::{Enu, LocalTangentPlane};
+pub use reachable::ReachableSet;
+pub use sample::{check_monotonic, GpsSample};
+pub use units::{Distance, Duration, Speed, Timestamp, EARTH_RADIUS_M, FAA_MAX_SPEED};

@@ -1,0 +1,243 @@
+//! WGS-84 geographic points.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Distance, EARTH_RADIUS_M};
+use crate::GeoError;
+
+/// A point on the Earth's surface: a validated WGS-84 latitude/longitude
+/// pair in decimal degrees.
+///
+/// All planar geometry in this crate is performed after projecting points
+/// onto a [`LocalTangentPlane`](crate::LocalTangentPlane); `GeoPoint` itself
+/// only offers great-circle operations (haversine distance, destination
+/// point), which are what a GPS receiver's coordinates support natively.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from a latitude and longitude in decimal degrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidLatitude`] if `lat_deg` is outside
+    /// `[-90, 90]` or not finite, and [`GeoError::InvalidLongitude`] if
+    /// `lon_deg` is outside `[-180, 180]` or not finite.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<Self, GeoError> {
+        if !lat_deg.is_finite() || !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(GeoError::InvalidLatitude(lat_deg));
+        }
+        if !lon_deg.is_finite() || !(-180.0..=180.0).contains(&lon_deg) {
+            return Err(GeoError::InvalidLongitude(lon_deg));
+        }
+        Ok(GeoPoint { lat_deg, lon_deg })
+    }
+
+    /// The latitude in decimal degrees.
+    pub fn lat_deg(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// The longitude in decimal degrees.
+    pub fn lon_deg(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// The latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat_deg.to_radians()
+    }
+
+    /// The longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon_deg.to_radians()
+    }
+
+    /// Great-circle (haversine) distance to `other`.
+    ///
+    /// Accurate to ~0.5 % (spherical Earth model), which is far below the
+    /// GPS error floor and irrelevant at the <10 mi scales of the paper.
+    pub fn distance_to(&self, other: &GeoPoint) -> Distance {
+        let phi1 = self.lat_rad();
+        let phi2 = other.lat_rad();
+        let dphi = (other.lat_deg - self.lat_deg).to_radians();
+        let dlambda = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dphi / 2.0).sin().powi(2)
+            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().atan2((1.0 - a).sqrt());
+        Distance::from_meters(EARTH_RADIUS_M * c)
+    }
+
+    /// The initial bearing from `self` to `other`, in degrees clockwise
+    /// from true north, in `[0, 360)`.
+    pub fn bearing_to(&self, other: &GeoPoint) -> f64 {
+        let phi1 = self.lat_rad();
+        let phi2 = other.lat_rad();
+        let dlambda = (other.lon_deg - self.lon_deg).to_radians();
+        let y = dlambda.sin() * phi2.cos();
+        let x = phi1.cos() * phi2.sin() - phi1.sin() * phi2.cos() * dlambda.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// The point reached by travelling `distance` along the great circle
+    /// with initial bearing `bearing_deg` (degrees clockwise from north).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the result of the spherical formulas is always a valid
+    /// latitude/longitude.
+    pub fn destination(&self, bearing_deg: f64, distance: Distance) -> GeoPoint {
+        let delta = distance.meters() / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let phi1 = self.lat_rad();
+        let lambda1 = self.lon_rad();
+        let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+        let lambda2 = lambda1
+            + (theta.sin() * delta.sin() * phi1.cos())
+                .atan2(delta.cos() - phi1.sin() * phi2.sin());
+        // Normalise longitude to [-180, 180].
+        let lon = (lambda2.to_degrees() + 540.0) % 360.0 - 180.0;
+        GeoPoint {
+            lat_deg: phi2.to_degrees().clamp(-90.0, 90.0),
+            lon_deg: lon,
+        }
+    }
+
+    /// Linear interpolation between `self` and `other` by fraction
+    /// `f ∈ [0, 1]` (flat-earth interpolation, fine at short range).
+    pub fn lerp(&self, other: &GeoPoint, f: f64) -> GeoPoint {
+        let f = f.clamp(0.0, 1.0);
+        GeoPoint {
+            lat_deg: self.lat_deg + (other.lat_deg - self.lat_deg) * f,
+            lon_deg: self.lon_deg + (other.lon_deg - self.lon_deg) * f,
+        }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_latitude() {
+        assert!(matches!(
+            GeoPoint::new(91.0, 0.0),
+            Err(GeoError::InvalidLatitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::new(f64::NAN, 0.0),
+            Err(GeoError::InvalidLatitude(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_longitude() {
+        assert!(matches!(
+            GeoPoint::new(0.0, 181.0),
+            Err(GeoError::InvalidLongitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::new(0.0, f64::INFINITY),
+            Err(GeoError::InvalidLongitude(_))
+        ));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = p(40.0, -88.0);
+        assert!(a.distance_to(&a).meters() < 1e-9);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let a = p(40.0, -88.0);
+        let b = p(41.0, -88.0);
+        let d = a.distance_to(&b).km();
+        assert!((d - 111.19).abs() < 0.5, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = p(40.0, -88.0);
+        let b = p(40.5, -88.7);
+        let ab = a.distance_to(&b).meters();
+        let ba = b.distance_to(&a).meters();
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let a = p(40.0, -88.0);
+        for bearing in [0.0, 45.0, 90.0, 180.0, 270.0, 359.0] {
+            let b = a.destination(bearing, Distance::from_miles(3.0));
+            let d = a.distance_to(&b);
+            assert!(
+                (d.miles() - 3.0).abs() < 1e-6,
+                "bearing {bearing}: got {} mi",
+                d.miles()
+            );
+        }
+    }
+
+    #[test]
+    fn destination_bearing_consistency() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_km(1.0));
+        let bearing = a.bearing_to(&b);
+        assert!((bearing - 90.0).abs() < 0.1, "got {bearing}");
+    }
+
+    #[test]
+    fn bearing_north_is_zero() {
+        let a = p(40.0, -88.0);
+        let b = p(41.0, -88.0);
+        assert!(a.bearing_to(&b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = p(40.0, -88.0);
+        let b = p(41.0, -87.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.lat_deg() - 40.5).abs() < 1e-12);
+        assert!((mid.lon_deg() + 87.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_clamps_fraction() {
+        let a = p(40.0, -88.0);
+        let b = p(41.0, -87.0);
+        assert_eq!(a.lerp(&b, -1.0), a);
+        assert_eq!(a.lerp(&b, 2.0), b);
+    }
+
+    #[test]
+    fn destination_crossing_antimeridian_normalises() {
+        let a = p(0.0, 179.9);
+        let b = a.destination(90.0, Distance::from_km(50.0));
+        assert!(b.lon_deg() >= -180.0 && b.lon_deg() <= 180.0);
+        assert!(b.lon_deg() < 0.0, "should wrap to negative, got {}", b.lon_deg());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", p(40.0, -88.0)), "(40.000000, -88.000000)");
+    }
+}

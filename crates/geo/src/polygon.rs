@@ -1,0 +1,318 @@
+//! Arbitrary-shaped no-fly zones (paper §VII-B2).
+//!
+//! A zone owner may register a polygonal zone; at registration time the
+//! auditor covers it with its *smallest enclosing circle* and uses that
+//! circle everywhere else in the protocol. The reduction happens once per
+//! zone, so its cost is negligible (the paper cites Megiddo's linear-time
+//! algorithm; we use Welzl's randomized linear-expected-time algorithm,
+//! which is the standard practical choice).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::projection::{Enu, LocalTangentPlane};
+use crate::units::Distance;
+use crate::{GeoError, GeoPoint, NoFlyZone};
+
+/// A polygonal no-fly zone described by its vertices (at least three).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolygonZone {
+    vertices: Vec<GeoPoint>,
+}
+
+impl PolygonZone {
+    /// Creates a polygonal zone from its vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::DegeneratePolygon`] when fewer than three
+    /// vertices are supplied.
+    pub fn new(vertices: Vec<GeoPoint>) -> Result<Self, GeoError> {
+        if vertices.len() < 3 {
+            return Err(GeoError::DegeneratePolygon(vertices.len()));
+        }
+        Ok(PolygonZone { vertices })
+    }
+
+    /// The polygon's vertices.
+    pub fn vertices(&self) -> &[GeoPoint] {
+        &self.vertices
+    }
+
+    /// Reduces the polygon to the circular zone the auditor registers:
+    /// the smallest circle enclosing every vertex.
+    ///
+    /// The circle is computed on a local tangent plane centred at the
+    /// vertex centroid, then mapped back to a geographic centre + radius.
+    pub fn enclosing_zone(&self) -> NoFlyZone {
+        let centroid_lat =
+            self.vertices.iter().map(GeoPoint::lat_deg).sum::<f64>() / self.vertices.len() as f64;
+        let centroid_lon =
+            self.vertices.iter().map(GeoPoint::lon_deg).sum::<f64>() / self.vertices.len() as f64;
+        let centroid = GeoPoint::new(centroid_lat, centroid_lon)
+            .expect("centroid of valid points is valid");
+        let plane = LocalTangentPlane::new(centroid);
+        let pts: Vec<Enu> = self.vertices.iter().map(|v| plane.project(v)).collect();
+        let circle = smallest_enclosing_circle(&pts);
+        // Radius 0 cannot happen for a valid (3+-vertex, non-coincident)
+        // polygon, but guard against a degenerate all-equal-vertex input.
+        let radius = Distance::from_meters(circle.radius_m.max(1e-6));
+        NoFlyZone::new(plane.unproject(&circle.center), radius)
+    }
+}
+
+impl fmt::Display for PolygonZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PolygonZone[{} vertices]", self.vertices.len())
+    }
+}
+
+/// A circle in the local plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Centre in the plane.
+    pub center: Enu,
+    /// Radius in meters.
+    pub radius_m: f64,
+}
+
+impl Circle {
+    /// `true` if `p` is inside the circle, with a small tolerance.
+    pub fn contains(&self, p: &Enu) -> bool {
+        self.center.distance_to(p).meters() <= self.radius_m + 1e-7 * (1.0 + self.radius_m)
+    }
+}
+
+/// Computes the smallest circle enclosing all `points` (Welzl's algorithm,
+/// iterative formulation with move-to-front heuristic).
+///
+/// Runs in expected linear time for shuffled inputs; we apply a
+/// deterministic LCG shuffle so results are reproducible.
+///
+/// Returns a zero-radius circle at the origin for an empty input.
+pub fn smallest_enclosing_circle(points: &[Enu]) -> Circle {
+    if points.is_empty() {
+        return Circle {
+            center: Enu::new(0.0, 0.0),
+            radius_m: 0.0,
+        };
+    }
+    let mut pts: Vec<Enu> = points.to_vec();
+    // Deterministic Fisher–Yates with a fixed LCG: reproducible runs, and
+    // shuffling is what gives Welzl its expected-linear behaviour.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in (1..pts.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        pts.swap(i, j);
+    }
+
+    let mut c = Circle {
+        center: pts[0],
+        radius_m: 0.0,
+    };
+    for i in 1..pts.len() {
+        if c.contains(&pts[i]) {
+            continue;
+        }
+        // pts[i] is on the boundary of the new circle.
+        c = Circle {
+            center: pts[i],
+            radius_m: 0.0,
+        };
+        for j in 0..i {
+            if c.contains(&pts[j]) {
+                continue;
+            }
+            // pts[i] and pts[j] are both on the boundary.
+            c = circle_from_two(&pts[i], &pts[j]);
+            for k in 0..j {
+                if c.contains(&pts[k]) {
+                    continue;
+                }
+                c = circle_from_three(&pts[i], &pts[j], &pts[k]);
+            }
+        }
+    }
+    c
+}
+
+fn circle_from_two(a: &Enu, b: &Enu) -> Circle {
+    let center = a.midpoint(b);
+    Circle {
+        radius_m: center.distance_to(a).meters(),
+        center,
+    }
+}
+
+fn circle_from_three(a: &Enu, b: &Enu, c: &Enu) -> Circle {
+    // Circumcenter via the perpendicular-bisector intersection.
+    let ax = a.east;
+    let ay = a.north;
+    let bx = b.east;
+    let by = b.north;
+    let cx = c.east;
+    let cy = c.north;
+    let d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by));
+    if d.abs() < 1e-12 {
+        // Collinear: fall back to the diametral circle of the two farthest
+        // points among the three.
+        let ab = circle_from_two(a, b);
+        let ac = circle_from_two(a, c);
+        let bc = circle_from_two(b, c);
+        let mut best = ab;
+        for cand in [ac, bc] {
+            if cand.radius_m > best.radius_m {
+                best = cand;
+            }
+        }
+        return best;
+    }
+    let ux = ((ax * ax + ay * ay) * (by - cy)
+        + (bx * bx + by * by) * (cy - ay)
+        + (cx * cx + cy * cy) * (ay - by))
+        / d;
+    let uy = ((ax * ax + ay * ay) * (cx - bx)
+        + (bx * bx + by * by) * (ax - cx)
+        + (cx * cx + cy * cy) * (bx - ax))
+        / d;
+    let center = Enu::new(ux, uy);
+    Circle {
+        radius_m: center.distance_to(a).meters(),
+        center,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_zero_circle() {
+        let c = smallest_enclosing_circle(&[]);
+        assert_eq!(c.radius_m, 0.0);
+    }
+
+    #[test]
+    fn single_point() {
+        let c = smallest_enclosing_circle(&[Enu::new(3.0, 4.0)]);
+        assert_eq!(c.center, Enu::new(3.0, 4.0));
+        assert_eq!(c.radius_m, 0.0);
+    }
+
+    #[test]
+    fn two_points_diametral() {
+        let c = smallest_enclosing_circle(&[Enu::new(0.0, 0.0), Enu::new(10.0, 0.0)]);
+        assert!((c.radius_m - 5.0).abs() < 1e-9);
+        assert!((c.center.east - 5.0).abs() < 1e-9);
+        assert!(c.center.north.abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilateral_triangle_circumcircle() {
+        let h = 3f64.sqrt() / 2.0 * 10.0;
+        let pts = [
+            Enu::new(0.0, 0.0),
+            Enu::new(10.0, 0.0),
+            Enu::new(5.0, h),
+        ];
+        let c = smallest_enclosing_circle(&pts);
+        let expected_r = 10.0 / 3f64.sqrt();
+        assert!((c.radius_m - expected_r).abs() < 1e-9, "got {}", c.radius_m);
+        for p in &pts {
+            assert!(c.contains(p));
+        }
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diametral_circle() {
+        // For an obtuse triangle the smallest enclosing circle is the
+        // diametral circle of the longest side, not the circumcircle.
+        let pts = [
+            Enu::new(0.0, 0.0),
+            Enu::new(10.0, 0.0),
+            Enu::new(5.0, 0.5),
+        ];
+        let c = smallest_enclosing_circle(&pts);
+        assert!((c.radius_m - 5.0).abs() < 1e-6, "got {}", c.radius_m);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts = [
+            Enu::new(0.0, 0.0),
+            Enu::new(5.0, 0.0),
+            Enu::new(10.0, 0.0),
+        ];
+        let c = smallest_enclosing_circle(&pts);
+        assert!((c.radius_m - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_points_enclosed_random_cloud() {
+        // Deterministic pseudo-random cloud.
+        let mut state: u64 = 42;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 200.0 - 100.0
+        };
+        let pts: Vec<Enu> = (0..200).map(|_| Enu::new(next(), next())).collect();
+        let c = smallest_enclosing_circle(&pts);
+        for p in &pts {
+            assert!(c.contains(p), "point {p} outside circle r={}", c.radius_m);
+        }
+        // Minimality spot-check: some point must lie (nearly) on the boundary.
+        let max_d = pts
+            .iter()
+            .map(|p| c.center.distance_to(p).meters())
+            .fold(0.0, f64::max);
+        assert!((max_d - c.radius_m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polygon_zone_rejects_fewer_than_three_vertices() {
+        let p = GeoPoint::new(40.0, -88.0).unwrap();
+        assert!(matches!(
+            PolygonZone::new(vec![p, p]),
+            Err(GeoError::DegeneratePolygon(2))
+        ));
+    }
+
+    #[test]
+    fn polygon_zone_encloses_all_vertices() {
+        let o = GeoPoint::new(40.0, -88.0).unwrap();
+        let verts: Vec<GeoPoint> = [0.0, 72.0, 144.0, 216.0, 288.0]
+            .iter()
+            .map(|&b| o.destination(b, Distance::from_meters(100.0 + b)))
+            .collect();
+        let poly = PolygonZone::new(verts.clone()).unwrap();
+        let zone = poly.enclosing_zone();
+        for v in &verts {
+            // Every vertex inside (or on) the registered circle.
+            assert!(
+                zone.boundary_distance(v).meters() <= 0.5,
+                "vertex {} m outside",
+                zone.boundary_distance(v).meters()
+            );
+        }
+    }
+
+    #[test]
+    fn square_polygon_radius_is_half_diagonal() {
+        let o = GeoPoint::new(40.0, -88.0).unwrap();
+        let d = Distance::from_meters(100.0);
+        let verts = vec![
+            o.destination(45.0, d),
+            o.destination(135.0, d),
+            o.destination(225.0, d),
+            o.destination(315.0, d),
+        ];
+        let zone = PolygonZone::new(verts).unwrap().enclosing_zone();
+        assert!(
+            (zone.radius().meters() - 100.0).abs() < 0.5,
+            "got {}",
+            zone.radius().meters()
+        );
+    }
+}

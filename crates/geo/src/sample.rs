@@ -1,0 +1,182 @@
+//! GPS samples — the paper's tuple `S = (lat, lon, t)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Speed, Timestamp};
+use crate::{GeoError, GeoPoint};
+
+/// A single GPS sample: position plus timestamp (paper §III-A).
+///
+/// Samples are the atoms of an *alibi*; a signed sample is the atom of a
+/// *Proof-of-Alibi*. Construction is infallible given a valid [`GeoPoint`],
+/// so a `GpsSample` is always internally consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsSample {
+    point: GeoPoint,
+    time: Timestamp,
+}
+
+impl GpsSample {
+    /// Creates a sample at `point` taken at `time`.
+    pub fn new(point: GeoPoint, time: Timestamp) -> Self {
+        GpsSample { point, time }
+    }
+
+    /// The sampled position.
+    pub fn point(&self) -> GeoPoint {
+        self.point
+    }
+
+    /// The sample timestamp.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// The latitude in decimal degrees (convenience accessor).
+    pub fn lat_deg(&self) -> f64 {
+        self.point.lat_deg()
+    }
+
+    /// The longitude in decimal degrees (convenience accessor).
+    pub fn lon_deg(&self) -> f64 {
+        self.point.lon_deg()
+    }
+
+    /// Average ground speed between two samples, or `None` when the
+    /// timestamps are not strictly increasing.
+    pub fn speed_between(a: &GpsSample, b: &GpsSample) -> Option<Speed> {
+        let dt = b.time.since(a.time);
+        if dt.secs() <= 0.0 {
+            return None;
+        }
+        let d = a.point.distance_to(&b.point);
+        Some(Speed::from_mps(d.meters() / dt.secs()))
+    }
+
+    /// A canonical 24-byte wire encoding: big-endian IEEE-754 latitude,
+    /// longitude, and timestamp-seconds.
+    ///
+    /// This is the exact byte string that the TEE signs; auditor-side
+    /// verification recomputes it with [`GpsSample::from_bytes`].
+    pub fn to_bytes(&self) -> [u8; 24] {
+        let mut out = [0u8; 24];
+        out[0..8].copy_from_slice(&self.point.lat_deg().to_be_bytes());
+        out[8..16].copy_from_slice(&self.point.lon_deg().to_be_bytes());
+        out[16..24].copy_from_slice(&self.time.secs().to_be_bytes());
+        out
+    }
+
+    /// Decodes a sample from its canonical wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the encoded latitude or longitude is out of
+    /// range (e.g. a corrupted or forged message).
+    pub fn from_bytes(bytes: &[u8; 24]) -> Result<Self, GeoError> {
+        let lat = f64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let lon = f64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let t = f64::from_be_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        Ok(GpsSample {
+            point: GeoPoint::new(lat, lon)?,
+            time: Timestamp::from_secs(t),
+        })
+    }
+}
+
+impl fmt::Display for GpsSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.point, self.time)
+    }
+}
+
+/// Validates that a slice of samples has strictly increasing timestamps.
+///
+/// The verification pipeline rejects traces violating this (a replayed or
+/// spliced trace typically breaks monotonicity).
+///
+/// # Errors
+///
+/// Returns [`GeoError::NonMonotonicTime`] naming the first offending index.
+pub fn check_monotonic(samples: &[GpsSample]) -> Result<(), GeoError> {
+    for (i, w) in samples.windows(2).enumerate() {
+        if w[1].time().secs() <= w[0].time().secs() {
+            return Err(GeoError::NonMonotonicTime { index: i + 1 });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Distance;
+
+    fn sample(lat: f64, lon: f64, t: f64) -> GpsSample {
+        GpsSample::new(GeoPoint::new(lat, lon).unwrap(), Timestamp::from_secs(t))
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let s = sample(40.123456, -88.654321, 1234.5);
+        let rt = GpsSample::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s, rt);
+    }
+
+    #[test]
+    fn from_bytes_rejects_invalid_latitude() {
+        let s = sample(40.0, -88.0, 1.0);
+        let mut b = s.to_bytes();
+        b[0..8].copy_from_slice(&200.0f64.to_be_bytes());
+        assert!(GpsSample::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn speed_between_simple() {
+        let a = sample(40.0, -88.0, 0.0);
+        let b_pt = a.point().destination(0.0, Distance::from_meters(100.0));
+        let b = GpsSample::new(b_pt, Timestamp::from_secs(10.0));
+        let v = GpsSample::speed_between(&a, &b).unwrap();
+        assert!((v.mps() - 10.0).abs() < 0.01, "got {}", v.mps());
+    }
+
+    #[test]
+    fn speed_between_zero_dt_is_none() {
+        let a = sample(40.0, -88.0, 5.0);
+        let b = sample(40.1, -88.0, 5.0);
+        assert!(GpsSample::speed_between(&a, &b).is_none());
+        let c = sample(40.1, -88.0, 4.0);
+        assert!(GpsSample::speed_between(&a, &c).is_none());
+    }
+
+    #[test]
+    fn monotonic_check_accepts_increasing() {
+        let trace = vec![sample(40.0, -88.0, 0.0), sample(40.0, -88.0, 0.2), sample(40.0, -88.0, 1.0)];
+        assert!(check_monotonic(&trace).is_ok());
+    }
+
+    #[test]
+    fn monotonic_check_rejects_equal_and_decreasing() {
+        let trace = vec![sample(40.0, -88.0, 0.0), sample(40.0, -88.0, 0.0)];
+        assert_eq!(
+            check_monotonic(&trace),
+            Err(GeoError::NonMonotonicTime { index: 1 })
+        );
+        let trace = vec![
+            sample(40.0, -88.0, 0.0),
+            sample(40.0, -88.0, 1.0),
+            sample(40.0, -88.0, 0.5),
+        ];
+        assert_eq!(
+            check_monotonic(&trace),
+            Err(GeoError::NonMonotonicTime { index: 2 })
+        );
+    }
+
+    #[test]
+    fn monotonic_check_trivial_cases() {
+        assert!(check_monotonic(&[]).is_ok());
+        assert!(check_monotonic(&[sample(40.0, -88.0, 0.0)]).is_ok());
+    }
+}

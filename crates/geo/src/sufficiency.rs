@@ -1,0 +1,325 @@
+//! Alibi sufficiency — the paper's eq. (1) and the Fig. 8(c) counter.
+//!
+//! An alibi `{S0, …, Sn}` is *sufficient* against a zone set `Z` when every
+//! consecutive sample pair's possible-traveling-range excludes every zone:
+//!
+//! ```text
+//! E(S_i, S_{i+1}) ∩ (∪_{z ∈ Z} z) = ∅   for all i < n          (eq. 1)
+//! ```
+//!
+//! The per-pair test used throughout the paper (and by the field-study
+//! counter of Fig. 8(c)) is the boundary-distance criterion: pair
+//! `(S_i, S_{i+1})` is *insufficient* when
+//!
+//! ```text
+//! min_j ( D_{i,j} + D_{i+1,j} ) < v_max (t_{i+1} − t_i)
+//! ```
+//!
+//! where `D_{i,j}` is the distance from sample `i` to the boundary of zone
+//! `j`. This module implements both the paper criterion and an exact
+//! variant built on [`ReachableSet::intersects_zone`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Speed;
+use crate::{GpsSample, NoFlyZone, ReachableSet, ZoneSet};
+
+/// Paper criterion for a single pair against a single zone:
+/// `D1 + D2 > v_max (t2 − t1)`.
+///
+/// Returns `false` (insufficient) when `s2` does not strictly follow `s1`.
+pub fn pair_is_sufficient(
+    s1: &GpsSample,
+    s2: &GpsSample,
+    zone: &NoFlyZone,
+    v_max: Speed,
+) -> bool {
+    let dt = s2.time().since(s1.time());
+    if dt.secs() <= 0.0 {
+        return false;
+    }
+    let d1 = zone.boundary_distance(&s1.point()).meters();
+    let d2 = zone.boundary_distance(&s2.point()).meters();
+    d1 + d2 > v_max.mps() * dt.secs()
+}
+
+/// Exact per-pair test: the reachable ellipse does not intersect the zone.
+///
+/// Strictly weaker rejections than [`pair_is_sufficient`]: every pair the
+/// paper criterion accepts, this accepts too (soundness), and it
+/// additionally accepts pairs whose ellipse misses the disk even though the
+/// boundary-distance sum is within budget.
+pub fn pair_is_sufficient_exact(
+    s1: &GpsSample,
+    s2: &GpsSample,
+    zone: &NoFlyZone,
+    v_max: Speed,
+) -> bool {
+    match ReachableSet::from_samples(s1, s2, v_max) {
+        // An empty reachable set means the pair itself is impossible; the
+        // verifier flags that separately, but as alibi evidence it cannot
+        // prove presence in the zone.
+        Some(e) => !e.intersects_zone(&zone.clone()),
+        None => false,
+    }
+}
+
+/// Which per-pair test to apply.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Criterion {
+    /// The paper's boundary-distance criterion (conservative, O(1) per
+    /// zone). This is what the prototype and the Fig. 8(c) counter use.
+    #[default]
+    Paper,
+    /// Exact ellipse/disk intersection.
+    Exact,
+}
+
+/// The outcome for one consecutive sample pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairVerdict {
+    /// Index `i` of the first sample of the pair.
+    pub index: usize,
+    /// Whether the pair proves alibi against every zone.
+    pub sufficient: bool,
+    /// Index (into the zone set) of the tightest zone — the zone with the
+    /// smallest `D1 + D2 − v_max·dt` margin — if any zones exist.
+    pub tightest_zone: Option<usize>,
+    /// The margin `min_j (D1 + D2) − v_max·dt` in meters; negative when
+    /// insufficient.
+    pub margin_m: f64,
+}
+
+/// The outcome of checking a whole alibi against a zone set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SufficiencyReport {
+    /// Per-pair verdicts, one per consecutive pair.
+    pub pairs: Vec<PairVerdict>,
+    /// Number of insufficient pairs (the Fig. 8(c) count).
+    pub insufficient_count: usize,
+}
+
+impl SufficiencyReport {
+    /// `true` when every pair was sufficient (eq. 1 holds).
+    pub fn is_sufficient(&self) -> bool {
+        self.insufficient_count == 0
+    }
+
+    /// Indices of the first samples of insufficient pairs.
+    pub fn insufficient_indices(&self) -> Vec<usize> {
+        self.pairs
+            .iter()
+            .filter(|p| !p.sufficient)
+            .map(|p| p.index)
+            .collect()
+    }
+}
+
+/// Checks a full alibi trace against a zone set (paper eq. 1).
+///
+/// With an empty zone set every pair is trivially sufficient. A trace with
+/// fewer than two samples has no pairs and is trivially sufficient — the
+/// protocol layer separately requires coverage of the whole flight window.
+pub fn check_alibi(
+    samples: &[GpsSample],
+    zones: &ZoneSet,
+    v_max: Speed,
+    criterion: Criterion,
+) -> SufficiencyReport {
+    let mut pairs = Vec::with_capacity(samples.len().saturating_sub(1));
+    let mut insufficient = 0;
+    for (i, w) in samples.windows(2).enumerate() {
+        let (s1, s2) = (&w[0], &w[1]);
+        let dt = s2.time().since(s1.time());
+        let budget = v_max.mps() * dt.secs();
+
+        let mut tightest: Option<usize> = None;
+        let mut min_margin = f64::INFINITY;
+        let mut sufficient = true;
+        for (j, z) in zones.iter().enumerate() {
+            let d1 = z.boundary_distance(&s1.point()).meters();
+            let d2 = z.boundary_distance(&s2.point()).meters();
+            let margin = d1 + d2 - budget;
+            if margin < min_margin {
+                min_margin = margin;
+                tightest = Some(j);
+            }
+            let pair_ok = match criterion {
+                Criterion::Paper => pair_is_sufficient(s1, s2, z, v_max),
+                Criterion::Exact => pair_is_sufficient_exact(s1, s2, z, v_max),
+            };
+            if !pair_ok {
+                sufficient = false;
+            }
+        }
+        if !sufficient {
+            insufficient += 1;
+        }
+        pairs.push(PairVerdict {
+            index: i,
+            sufficient,
+            tightest_zone: tightest,
+            margin_m: if min_margin.is_finite() { min_margin } else { f64::INFINITY },
+        });
+    }
+    SufficiencyReport {
+        pairs,
+        insufficient_count: insufficient,
+    }
+}
+
+/// The Fig. 8(c) counter: number of consecutive pairs with
+/// `min_j (d_{i,j} + d_{i+1,j}) < v_max (t_{i+1} − t_i)`.
+pub fn count_insufficient_pairs(samples: &[GpsSample], zones: &ZoneSet, v_max: Speed) -> usize {
+    check_alibi(samples, zones, v_max, Criterion::Paper).insufficient_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Distance, Timestamp, FAA_MAX_SPEED};
+    use crate::GeoPoint;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    /// Trace moving east at `speed_mps`, one sample per `dt` seconds.
+    fn east_trace(origin: GeoPoint, n: usize, dt: f64, speed_mps: f64) -> Vec<GpsSample> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                GpsSample::new(
+                    origin.destination(90.0, Distance::from_meters(speed_mps * t)),
+                    Timestamp::from_secs(t),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distant_zone_sufficient_at_low_rate() {
+        let o = p(40.0, -88.0);
+        let trace = east_trace(o, 10, 1.0, 20.0);
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_km(5.0)),
+            Distance::from_meters(100.0),
+        );
+        let zones: ZoneSet = std::iter::once(zone).collect();
+        let rep = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper);
+        assert!(rep.is_sufficient());
+        assert_eq!(rep.pairs.len(), 9);
+        assert!(rep.pairs.iter().all(|pv| pv.margin_m > 0.0));
+    }
+
+    #[test]
+    fn nearby_zone_with_sparse_samples_is_insufficient() {
+        let o = p(40.0, -88.0);
+        // Samples 60 s apart: budget = 2682 m, zone only 200 m away.
+        let trace = east_trace(o, 3, 60.0, 5.0);
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_meters(250.0)),
+            Distance::from_meters(50.0),
+        );
+        let zones: ZoneSet = std::iter::once(zone).collect();
+        let rep = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper);
+        assert!(!rep.is_sufficient());
+        assert_eq!(rep.insufficient_count, 2);
+        assert_eq!(rep.insufficient_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_zone_set_always_sufficient() {
+        let o = p(40.0, -88.0);
+        let trace = east_trace(o, 5, 10.0, 40.0);
+        let rep = check_alibi(&trace, &ZoneSet::new(), FAA_MAX_SPEED, Criterion::Paper);
+        assert!(rep.is_sufficient());
+        assert!(rep.pairs.iter().all(|pv| pv.tightest_zone.is_none()));
+    }
+
+    #[test]
+    fn short_traces_trivially_sufficient() {
+        let o = p(40.0, -88.0);
+        let zones: ZoneSet =
+            std::iter::once(NoFlyZone::new(o, Distance::from_meters(10.0))).collect();
+        assert!(check_alibi(&[], &zones, FAA_MAX_SPEED, Criterion::Paper).is_sufficient());
+        let one = east_trace(o, 1, 1.0, 0.0);
+        assert!(check_alibi(&one, &zones, FAA_MAX_SPEED, Criterion::Paper).is_sufficient());
+    }
+
+    #[test]
+    fn exact_criterion_accepts_superset_of_paper() {
+        let o = p(40.0, -88.0);
+        let trace = east_trace(o, 20, 1.0, 25.0);
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_meters(60.0)),
+            Distance::from_meters(20.0),
+        );
+        let zones: ZoneSet = std::iter::once(zone).collect();
+        let paper = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper);
+        let exact = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Exact);
+        for (pp, pe) in paper.pairs.iter().zip(exact.pairs.iter()) {
+            if pp.sufficient {
+                assert!(pe.sufficient, "exact must accept what paper accepts");
+            }
+        }
+        assert!(exact.insufficient_count <= paper.insufficient_count);
+    }
+
+    #[test]
+    fn counter_matches_report() {
+        let o = p(40.0, -88.0);
+        let trace = east_trace(o, 8, 30.0, 10.0);
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_meters(300.0)),
+            Distance::from_meters(30.0),
+        );
+        let zones: ZoneSet = std::iter::once(zone).collect();
+        assert_eq!(
+            count_insufficient_pairs(&trace, &zones, FAA_MAX_SPEED),
+            check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper).insufficient_count
+        );
+    }
+
+    #[test]
+    fn tightest_zone_is_reported() {
+        let o = p(40.0, -88.0);
+        let trace = east_trace(o, 2, 1.0, 10.0);
+        let far = NoFlyZone::new(
+            o.destination(0.0, Distance::from_km(10.0)),
+            Distance::from_meters(10.0),
+        );
+        let near = NoFlyZone::new(
+            o.destination(180.0, Distance::from_meters(500.0)),
+            Distance::from_meters(10.0),
+        );
+        let zones: ZoneSet = [far, near].into_iter().collect();
+        let rep = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper);
+        assert_eq!(rep.pairs[0].tightest_zone, Some(1));
+    }
+
+    #[test]
+    fn pair_with_non_increasing_time_is_insufficient() {
+        let o = p(40.0, -88.0);
+        let s1 = GpsSample::new(o, Timestamp::from_secs(1.0));
+        let s2 = GpsSample::new(o, Timestamp::from_secs(1.0));
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_km(50.0)),
+            Distance::from_meters(10.0),
+        );
+        assert!(!pair_is_sufficient(&s1, &s2, &zone, FAA_MAX_SPEED));
+        assert!(!pair_is_sufficient_exact(&s1, &s2, &zone, FAA_MAX_SPEED));
+    }
+
+    #[test]
+    fn sample_inside_zone_never_sufficient() {
+        let o = p(40.0, -88.0);
+        let zone = NoFlyZone::new(o, Distance::from_meters(1_000.0));
+        let s1 = GpsSample::new(o, Timestamp::from_secs(0.0));
+        let s2 = GpsSample::new(
+            o.destination(90.0, Distance::from_meters(10.0)),
+            Timestamp::from_secs(1.0),
+        );
+        assert!(!pair_is_sufficient(&s1, &s2, &zone, FAA_MAX_SPEED));
+    }
+}

@@ -1,0 +1,545 @@
+//! Three-dimensional physical model (paper §VII-B1).
+//!
+//! The extension adds altitude: samples become 4-tuples
+//! `S = (lat, lon, alt, t)`, no-fly zones become *cylinders*
+//! `z = (lat, lon, alt, r)` (a circle of radius `r` in plan view, extending
+//! from the ground up to altitude `alt`), and the possible traveling range
+//! becomes an ellipsoid with the two sample positions as foci:
+//!
+//! ```text
+//! E'(S1, S2) = { (x, y, z) : d1 + d2 <= v_max (t2 - t1) }
+//! ```
+//!
+//! The pair proves alibi iff the ellipsoid does not intersect the cylinder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::projection::LocalTangentPlane;
+use crate::units::{Distance, Speed, Timestamp};
+use crate::{GeoError, GeoPoint};
+
+/// A GPS sample with altitude: the 4-tuple `(lat, lon, alt, t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsSample3d {
+    point: GeoPoint,
+    /// Altitude above ground level, in meters.
+    alt: Distance,
+    time: Timestamp,
+}
+
+impl GpsSample3d {
+    /// Creates a 3-D sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonPositiveDistance`] for a negative or
+    /// non-finite altitude (altitude zero — on the ground — is allowed).
+    pub fn new(point: GeoPoint, alt: Distance, time: Timestamp) -> Result<Self, GeoError> {
+        if alt.meters() < 0.0 || !alt.is_finite() {
+            return Err(GeoError::NonPositiveDistance(alt.meters()));
+        }
+        Ok(GpsSample3d { point, alt, time })
+    }
+
+    /// The horizontal position.
+    pub fn point(&self) -> GeoPoint {
+        self.point
+    }
+
+    /// The altitude above ground.
+    pub fn alt(&self) -> Distance {
+        self.alt
+    }
+
+    /// The sample timestamp.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// A canonical 32-byte wire encoding: big-endian IEEE-754 latitude,
+    /// longitude, altitude-meters, and timestamp-seconds — the 3-D
+    /// analogue of [`GpsSample::to_bytes`](crate::GpsSample::to_bytes),
+    /// and the exact byte string a 3-D-aware TEE signs.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[0..8].copy_from_slice(&self.point.lat_deg().to_be_bytes());
+        out[8..16].copy_from_slice(&self.point.lon_deg().to_be_bytes());
+        out[16..24].copy_from_slice(&self.alt.meters().to_be_bytes());
+        out[24..32].copy_from_slice(&self.time.secs().to_be_bytes());
+        out
+    }
+
+    /// Decodes a 3-D sample from its canonical wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range coordinates or a negative
+    /// altitude.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, GeoError> {
+        let lat = f64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let lon = f64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let alt = f64::from_be_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let t = f64::from_be_bytes(bytes[24..32].try_into().expect("8 bytes"));
+        GpsSample3d::new(
+            GeoPoint::new(lat, lon)?,
+            Distance::from_meters(alt),
+            Timestamp::from_secs(t),
+        )
+    }
+}
+
+/// A cylindrical no-fly region: plan-view circle of radius `r`, from the
+/// ground up to `top` altitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CylinderZone {
+    center: GeoPoint,
+    radius: Distance,
+    top: Distance,
+}
+
+impl CylinderZone {
+    /// Creates a cylindrical zone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonPositiveDistance`] when the radius or top
+    /// altitude is not strictly positive and finite.
+    pub fn new(center: GeoPoint, radius: Distance, top: Distance) -> Result<Self, GeoError> {
+        if radius.meters() <= 0.0 || !radius.is_finite() {
+            return Err(GeoError::NonPositiveDistance(radius.meters()));
+        }
+        if top.meters() <= 0.0 || !top.is_finite() {
+            return Err(GeoError::NonPositiveDistance(top.meters()));
+        }
+        Ok(CylinderZone {
+            center,
+            radius,
+            top,
+        })
+    }
+
+    /// The plan-view centre.
+    pub fn center(&self) -> GeoPoint {
+        self.center
+    }
+
+    /// The plan-view radius.
+    pub fn radius(&self) -> Distance {
+        self.radius
+    }
+
+    /// The top altitude of the region.
+    pub fn top(&self) -> Distance {
+        self.top
+    }
+
+    /// Signed distance from a 3-D position to the region boundary:
+    /// positive outside, negative inside.
+    pub fn boundary_distance(&self, s: &GpsSample3d) -> Distance {
+        let radial = self.center.distance_to(&s.point()).meters() - self.radius.meters();
+        let vertical = s.alt().meters() - self.top.meters();
+        if radial <= 0.0 && vertical <= 0.0 {
+            // Inside: depth is distance to the nearest face.
+            Distance::from_meters(radial.max(vertical))
+        } else {
+            let dr = radial.max(0.0);
+            let dv = vertical.max(0.0);
+            Distance::from_meters(dr.hypot(dv))
+        }
+    }
+
+    /// `true` when the position is strictly inside the region.
+    pub fn contains(&self, s: &GpsSample3d) -> bool {
+        self.boundary_distance(s).meters() < 0.0
+    }
+}
+
+/// The 3-D possible-traveling-range ellipsoid between two samples.
+#[derive(Debug, Clone, Copy)]
+pub struct ReachableSet3d {
+    plane: LocalTangentPlane,
+    f1: [f64; 3],
+    f2: [f64; 3],
+    budget_m: f64,
+}
+
+impl ReachableSet3d {
+    /// Builds the 3-D reachable set, or `None` when `s2` does not strictly
+    /// follow `s1` in time.
+    pub fn from_samples(s1: &GpsSample3d, s2: &GpsSample3d, v_max: Speed) -> Option<Self> {
+        let dt = s2.time().since(s1.time());
+        if dt.secs() <= 0.0 || v_max.mps() <= 0.0 {
+            return None;
+        }
+        let mid = s1.point().lerp(&s2.point(), 0.5);
+        let plane = LocalTangentPlane::new(mid);
+        let p1 = plane.project(&s1.point());
+        let p2 = plane.project(&s2.point());
+        Some(ReachableSet3d {
+            plane,
+            f1: [p1.east, p1.north, s1.alt().meters()],
+            f2: [p2.east, p2.north, s2.alt().meters()],
+            budget_m: v_max.mps() * dt.secs(),
+        })
+    }
+
+    /// The distance-sum budget `v_max (t2 − t1)`.
+    pub fn budget(&self) -> Distance {
+        Distance::from_meters(self.budget_m)
+    }
+
+    /// Distance between the foci.
+    pub fn focal_distance(&self) -> Distance {
+        Distance::from_meters(dist3(&self.f1, &self.f2))
+    }
+
+    /// `true` when the pair is physically impossible at `v_max`.
+    pub fn is_empty(&self) -> bool {
+        self.focal_distance().meters() > self.budget_m
+    }
+
+    fn sum_at(&self, p: &[f64; 3]) -> f64 {
+        dist3(p, &self.f1) + dist3(p, &self.f2)
+    }
+
+    /// Paper-style conservative criterion extended to 3-D: the sum of the
+    /// two cylinder boundary distances exceeds the budget.
+    pub fn paper_sufficient(&self, zone: &CylinderZone, s1: &GpsSample3d, s2: &GpsSample3d) -> bool {
+        let d1 = zone.boundary_distance(s1).meters();
+        let d2 = zone.boundary_distance(s2).meters();
+        d1 + d2 > self.budget_m
+    }
+
+    /// Exact test: does the ellipsoid intersect the cylinder?
+    ///
+    /// Minimises the convex distance-sum function over the convex solid
+    /// cylinder by projected gradient descent (projection onto a cylinder
+    /// is a radial + vertical clamp); the set intersects iff the minimum
+    /// is within budget. Accuracy is ~1 cm, far below GPS noise.
+    pub fn intersects_zone(&self, zone: &CylinderZone) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let min = self.min_distance_sum_over_zone(zone);
+        min <= self.budget_m + 1e-3
+    }
+
+    fn min_distance_sum_over_zone(&self, zone: &CylinderZone) -> f64 {
+        let c2d = self.plane.project(&zone.center());
+        let cx = c2d.east;
+        let cy = c2d.north;
+        let r = zone.radius().meters();
+        let top = zone.top().meters();
+
+        let project = |p: &[f64; 3]| -> [f64; 3] {
+            let dx = p[0] - cx;
+            let dy = p[1] - cy;
+            let rho = dx.hypot(dy);
+            let (px, py) = if rho <= r || rho == 0.0 {
+                (p[0], p[1])
+            } else {
+                (cx + dx / rho * r, cy + dy / rho * r)
+            };
+            [px, py, p[2].clamp(0.0, top)]
+        };
+
+        // Start from the projection of the midpoint of the foci.
+        let mid = [
+            (self.f1[0] + self.f2[0]) / 2.0,
+            (self.f1[1] + self.f2[1]) / 2.0,
+            (self.f1[2] + self.f2[2]) / 2.0,
+        ];
+        let mut p = project(&mid);
+        let mut best = self.sum_at(&p);
+        // Projected (sub)gradient descent with a geometric step schedule.
+        let scale = (self.budget_m + dist3(&mid, &p)).max(1.0);
+        let mut step = scale;
+        for _ in 0..200 {
+            let g = self.subgradient(&p);
+            let gnorm = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
+            if gnorm < 1e-12 {
+                break;
+            }
+            let cand = project(&[
+                p[0] - step * g[0] / gnorm,
+                p[1] - step * g[1] / gnorm,
+                p[2] - step * g[2] / gnorm,
+            ]);
+            let v = self.sum_at(&cand);
+            if v < best {
+                best = v;
+                p = cand;
+            } else {
+                step *= 0.7;
+                if step < 1e-6 {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    fn subgradient(&self, p: &[f64; 3]) -> [f64; 3] {
+        let mut g = [0.0f64; 3];
+        for f in [&self.f1, &self.f2] {
+            let d = dist3(p, f);
+            if d > 1e-12 {
+                g[0] += (p[0] - f[0]) / d;
+                g[1] += (p[1] - f[1]) / d;
+                g[2] += (p[2] - f[2]) / d;
+            }
+        }
+        g
+    }
+}
+
+/// The outcome of a 3-D alibi check (the eq. 1 analogue for cylinders).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sufficiency3dReport {
+    /// Indices (of the first sample) of insufficient pairs.
+    pub insufficient_pairs: Vec<usize>,
+    /// Indices of samples found *inside* a zone (direct violations).
+    pub violations: Vec<usize>,
+}
+
+impl Sufficiency3dReport {
+    /// `true` when the 3-D alibi proves compliance.
+    pub fn is_sufficient(&self) -> bool {
+        self.insufficient_pairs.is_empty() && self.violations.is_empty()
+    }
+}
+
+/// Checks a 3-D trace against a set of cylindrical zones using the
+/// paper-style conservative criterion per pair (with the exact ellipsoid
+/// test as a fallback before declaring a pair insufficient, so the
+/// conservative shortcut never *creates* insufficiency).
+pub fn check_alibi_3d(
+    samples: &[GpsSample3d],
+    zones: &[CylinderZone],
+    v_max: Speed,
+) -> Sufficiency3dReport {
+    let mut report = Sufficiency3dReport {
+        insufficient_pairs: Vec::new(),
+        violations: Vec::new(),
+    };
+    for (i, s) in samples.iter().enumerate() {
+        if zones.iter().any(|z| z.contains(s)) {
+            report.violations.push(i);
+        }
+    }
+    for (i, w) in samples.windows(2).enumerate() {
+        let (s1, s2) = (&w[0], &w[1]);
+        let Some(e) = ReachableSet3d::from_samples(s1, s2, v_max) else {
+            report.insufficient_pairs.push(i);
+            continue;
+        };
+        let ok = zones.iter().all(|z| {
+            e.paper_sufficient(z, s1, s2) || !e.intersects_zone(z)
+        });
+        if !ok {
+            report.insufficient_pairs.push(i);
+        }
+    }
+    report
+}
+
+fn dist3(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FAA_MAX_SPEED;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn s3(origin: &GeoPoint, bearing: f64, dist_m: f64, alt_m: f64, t: f64) -> GpsSample3d {
+        GpsSample3d::new(
+            origin.destination(bearing, Distance::from_meters(dist_m)),
+            Distance::from_meters(alt_m),
+            Timestamp::from_secs(t),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sample_rejects_negative_altitude() {
+        let o = p(40.0, -88.0);
+        assert!(GpsSample3d::new(o, Distance::from_meters(-1.0), Timestamp::EPOCH).is_err());
+        assert!(GpsSample3d::new(o, Distance::ZERO, Timestamp::EPOCH).is_ok());
+    }
+
+    #[test]
+    fn cylinder_rejects_bad_dimensions() {
+        let o = p(40.0, -88.0);
+        assert!(CylinderZone::new(o, Distance::ZERO, Distance::from_meters(10.0)).is_err());
+        assert!(CylinderZone::new(o, Distance::from_meters(10.0), Distance::ZERO).is_err());
+    }
+
+    #[test]
+    fn boundary_distance_above_cylinder() {
+        let o = p(40.0, -88.0);
+        let z = CylinderZone::new(o, Distance::from_meters(50.0), Distance::from_meters(100.0))
+            .unwrap();
+        // Directly above the centre at 150 m: 50 m above the top.
+        let s = s3(&o, 0.0, 0.0, 150.0, 0.0);
+        assert!((z.boundary_distance(&s).meters() - 50.0).abs() < 0.01);
+        assert!(!z.contains(&s));
+    }
+
+    #[test]
+    fn boundary_distance_beside_cylinder() {
+        let o = p(40.0, -88.0);
+        let z = CylinderZone::new(o, Distance::from_meters(50.0), Distance::from_meters(100.0))
+            .unwrap();
+        // 80 m east at 50 m altitude (below top): 30 m radially outside.
+        let s = s3(&o, 90.0, 80.0, 50.0, 0.0);
+        assert!((z.boundary_distance(&s).meters() - 30.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn corner_distance_is_euclidean() {
+        let o = p(40.0, -88.0);
+        let z = CylinderZone::new(o, Distance::from_meters(50.0), Distance::from_meters(100.0))
+            .unwrap();
+        // 80 m east (30 m outside radially), 140 m up (40 m above top):
+        // distance = hypot(30, 40) = 50.
+        let s = s3(&o, 90.0, 80.0, 140.0, 0.0);
+        assert!((z.boundary_distance(&s).meters() - 50.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn inside_cylinder_is_negative() {
+        let o = p(40.0, -88.0);
+        let z = CylinderZone::new(o, Distance::from_meters(50.0), Distance::from_meters(100.0))
+            .unwrap();
+        let s = s3(&o, 90.0, 10.0, 20.0, 0.0);
+        assert!(z.contains(&s));
+        assert!(z.boundary_distance(&s).meters() < 0.0);
+    }
+
+    #[test]
+    fn overflight_above_zone_is_distinguishable() {
+        // The key payoff of the 3-D model: flying *over* a low cylinder is
+        // legal, which the 2-D model cannot express.
+        let o = p(40.0, -88.0);
+        let z =
+            CylinderZone::new(o, Distance::from_meters(30.0), Distance::from_meters(60.0)).unwrap();
+        // Pass directly over the zone at 200 m altitude, samples 2 s apart.
+        let s1 = s3(&o, 270.0, 50.0, 200.0, 0.0);
+        let s2 = s3(&o, 90.0, 50.0, 200.0, 2.0);
+        let e = ReachableSet3d::from_samples(&s1, &s2, FAA_MAX_SPEED).unwrap();
+        // 2-D equivalent would intersect; 3-D exact test must not, since
+        // the ellipsoid (vertical half-extent < 45 m around alt 200 m)
+        // stays above the 60 m top... budget = 89.4, focal dist = 100:
+        // actually impossible pair; use dt=3 s for a feasible pair.
+        let s2 = s3(&o, 90.0, 50.0, 200.0, 3.0);
+        let e = {
+            let _ = e;
+            ReachableSet3d::from_samples(&s1, &s2, FAA_MAX_SPEED).unwrap()
+        };
+        assert!(!e.is_empty());
+        assert!(!e.intersects_zone(&z));
+        assert!(e.paper_sufficient(&z, &s1, &s2));
+    }
+
+    #[test]
+    fn slow_pass_beside_zone_at_low_altitude_intersects() {
+        let o = p(40.0, -88.0);
+        let z =
+            CylinderZone::new(o, Distance::from_meters(30.0), Distance::from_meters(60.0)).unwrap();
+        // Samples 60 s apart right next to the zone at 20 m altitude: the
+        // ellipsoid easily covers the cylinder.
+        let s1 = s3(&o, 90.0, 50.0, 20.0, 0.0);
+        let s2 = s3(&o, 90.0, 60.0, 20.0, 60.0);
+        let e = ReachableSet3d::from_samples(&s1, &s2, FAA_MAX_SPEED).unwrap();
+        assert!(e.intersects_zone(&z));
+        assert!(!e.paper_sufficient(&z, &s1, &s2));
+    }
+
+    #[test]
+    fn empty_ellipsoid_intersects_nothing() {
+        let o = p(40.0, -88.0);
+        let z =
+            CylinderZone::new(o, Distance::from_meters(30.0), Distance::from_meters(60.0)).unwrap();
+        let s1 = s3(&o, 90.0, 0.0, 10.0, 0.0);
+        let s2 = s3(&o, 90.0, 5_000.0, 10.0, 1.0);
+        let e = ReachableSet3d::from_samples(&s1, &s2, FAA_MAX_SPEED).unwrap();
+        assert!(e.is_empty());
+        assert!(!e.intersects_zone(&z));
+    }
+
+    #[test]
+    fn check_alibi_3d_high_pass_sufficient() {
+        let o = p(40.0, -88.0);
+        let zone =
+            CylinderZone::new(o, Distance::from_meters(30.0), Distance::from_meters(60.0)).unwrap();
+        // Cross over the zone at 200 m altitude, samples every 2 s.
+        let trace: Vec<GpsSample3d> = (0..10)
+            .map(|k| {
+                s3(
+                    &o,
+                    if k < 5 { 270.0 } else { 90.0 },
+                    (k as f64 - 4.5).abs() * 20.0,
+                    200.0,
+                    k as f64 * 2.0,
+                )
+            })
+            .collect();
+        let report = check_alibi_3d(&trace, &[zone], FAA_MAX_SPEED);
+        assert!(report.is_sufficient(), "{report:?}");
+    }
+
+    #[test]
+    fn check_alibi_3d_flags_violation_and_gaps() {
+        let o = p(40.0, -88.0);
+        let zone =
+            CylinderZone::new(o, Distance::from_meters(30.0), Distance::from_meters(60.0)).unwrap();
+        // One sample inside the cylinder, plus a huge time gap nearby.
+        let trace = vec![
+            s3(&o, 90.0, 100.0, 20.0, 0.0),
+            s3(&o, 90.0, 10.0, 20.0, 10.0), // inside (radial 10 < 30, alt 20 < 60)
+            s3(&o, 90.0, 100.0, 20.0, 120.0), // long gap beside the zone
+            s3(&o, 90.0, 110.0, 20.0, 240.0),
+        ];
+        let report = check_alibi_3d(&trace, &[zone], FAA_MAX_SPEED);
+        assert_eq!(report.violations, vec![1]);
+        assert!(!report.insufficient_pairs.is_empty());
+        assert!(!report.is_sufficient());
+    }
+
+    #[test]
+    fn check_alibi_3d_empty_inputs() {
+        let report = check_alibi_3d(&[], &[], FAA_MAX_SPEED);
+        assert!(report.is_sufficient());
+    }
+
+    #[test]
+    fn paper_criterion_sound_wrt_exact_3d() {
+        let o = p(40.0, -88.0);
+        let z =
+            CylinderZone::new(o, Distance::from_meters(40.0), Distance::from_meters(80.0)).unwrap();
+        for (d1, d2, alt, dt) in [
+            (100.0, 120.0, 30.0, 1.0),
+            (100.0, 120.0, 30.0, 3.0),
+            (60.0, 70.0, 120.0, 2.0),
+            (500.0, 510.0, 10.0, 10.0),
+        ] {
+            let s1 = s3(&o, 90.0, d1, alt, 0.0);
+            let s2 = s3(&o, 90.0, d2, alt, dt);
+            let e = ReachableSet3d::from_samples(&s1, &s2, FAA_MAX_SPEED).unwrap();
+            if e.paper_sufficient(&z, &s1, &s2) {
+                assert!(
+                    !e.intersects_zone(&z),
+                    "paper criterion accepted an intersecting pair d1={d1} d2={d2} alt={alt} dt={dt}"
+                );
+            }
+        }
+    }
+}

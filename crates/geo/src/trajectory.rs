@@ -1,0 +1,441 @@
+//! Waypoint trajectories with speed profiles.
+//!
+//! The field studies (paper §VI-A) replay recorded vehicle traces into the
+//! GPS sampler. This module generates equivalent traces synthetically: a
+//! trajectory is a sequence of legs, each travelled at a constant speed
+//! (plus optional dwell pauses), and can be queried for the position at any
+//! elapsed time or discretised into a stream of [`GpsSample`]s.
+
+use std::fmt;
+
+use crate::units::{Distance, Duration, Speed, Timestamp};
+use crate::{GeoError, GeoPoint, GpsSample};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Leg {
+    from: GeoPoint,
+    to: GeoPoint,
+    start: Duration,
+    duration: Duration,
+}
+
+/// A piecewise-constant-speed path through a sequence of waypoints.
+///
+/// Build one with [`TrajectoryBuilder`]:
+///
+/// ```
+/// use alidrone_geo::{GeoPoint, Speed, Duration};
+/// use alidrone_geo::trajectory::TrajectoryBuilder;
+///
+/// # fn main() -> Result<(), alidrone_geo::GeoError> {
+/// let a = GeoPoint::new(40.0, -88.0)?;
+/// let b = a.destination(90.0, alidrone_geo::Distance::from_km(1.0));
+/// let traj = TrajectoryBuilder::start_at(a)
+///     .travel_to(b, Speed::from_mph(30.0))
+///     .pause(Duration::from_secs(10.0))
+///     .build()?;
+/// assert!(traj.total_duration().secs() > 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    legs: Vec<Leg>,
+    total: Duration,
+}
+
+impl Trajectory {
+    /// Total elapsed time from start to finish.
+    pub fn total_duration(&self) -> Duration {
+        self.total
+    }
+
+    /// Total path length (pauses contribute zero distance).
+    pub fn total_distance(&self) -> Distance {
+        self.legs
+            .iter()
+            .fold(Distance::ZERO, |acc, l| acc + l.from.distance_to(&l.to))
+    }
+
+    /// The starting position.
+    pub fn start_point(&self) -> GeoPoint {
+        self.legs[0].from
+    }
+
+    /// The final position.
+    pub fn end_point(&self) -> GeoPoint {
+        self.legs[self.legs.len() - 1].to
+    }
+
+    /// The position at elapsed time `t`, clamped to the endpoints outside
+    /// `[0, total_duration]`.
+    pub fn position_at(&self, t: Duration) -> GeoPoint {
+        if t.secs() <= 0.0 {
+            return self.start_point();
+        }
+        for leg in &self.legs {
+            let local = t.secs() - leg.start.secs();
+            if local < 0.0 {
+                // Shouldn't happen (legs sorted), but be robust.
+                return leg.from;
+            }
+            if local <= leg.duration.secs() {
+                if leg.duration.secs() == 0.0 {
+                    return leg.to;
+                }
+                return leg.from.lerp(&leg.to, local / leg.duration.secs());
+            }
+        }
+        self.end_point()
+    }
+
+    /// Discretises the trajectory into samples every `dt`, starting at
+    /// `t0`. The final position is always included as the last sample.
+    pub fn sample_every(&self, dt: Duration, t0: Timestamp) -> Vec<GpsSample> {
+        let mut out = Vec::new();
+        let total = self.total.secs();
+        let step = dt.secs().max(1e-9);
+        // Integer step indexing avoids float-accumulation drift producing
+        // an extra near-duplicate sample just before the endpoint.
+        let n = (total / step).ceil() as u64;
+        for k in 0..n {
+            let t = k as f64 * step;
+            // Stop when within a hair of the endpoint (which is always
+            // appended below) — floating-point leg durations can put
+            // `total` a few ulps past the final regular step.
+            if t >= total - step * 1e-6 {
+                break;
+            }
+            out.push(GpsSample::new(
+                self.position_at(Duration::from_secs(t)),
+                t0 + Duration::from_secs(t),
+            ));
+        }
+        out.push(GpsSample::new(self.end_point(), t0 + self.total));
+        out
+    }
+}
+
+impl fmt::Display for Trajectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Trajectory[{} legs, {} over {}]",
+            self.legs.len(),
+            self.total_distance(),
+            self.total
+        )
+    }
+}
+
+/// Builder for [`Trajectory`] (non-consuming terminal would not help here;
+/// the builder is cheap and `build` validates).
+#[derive(Debug, Clone)]
+pub struct TrajectoryBuilder {
+    current: GeoPoint,
+    legs: Vec<Leg>,
+    elapsed: Duration,
+}
+
+impl TrajectoryBuilder {
+    /// Begins a trajectory at `start`.
+    pub fn start_at(start: GeoPoint) -> Self {
+        TrajectoryBuilder {
+            current: start,
+            legs: Vec::new(),
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Travels in a straight line to `to` at constant `speed`.
+    ///
+    /// A non-positive speed is caught at [`build`](Self::build) time.
+    pub fn travel_to(mut self, to: GeoPoint, speed: Speed) -> Self {
+        let d = self.current.distance_to(&to);
+        let duration = if speed.mps() > 0.0 {
+            Duration::from_secs(d.meters() / speed.mps())
+        } else {
+            Duration::from_secs(f64::NAN) // flagged in build()
+        };
+        self.legs.push(Leg {
+            from: self.current,
+            to,
+            start: self.elapsed,
+            duration,
+        });
+        self.elapsed = self.elapsed + duration;
+        self.current = to;
+        self
+    }
+
+    /// Dwells in place for `duration`.
+    pub fn pause(mut self, duration: Duration) -> Self {
+        self.legs.push(Leg {
+            from: self.current,
+            to: self.current,
+            start: self.elapsed,
+            duration,
+        });
+        self.elapsed = self.elapsed + duration;
+        self
+    }
+
+    /// Finalises the trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::TooFewWaypoints`] when no leg was added, and
+    /// [`GeoError::NonPositiveSpeed`] when any travel leg used a
+    /// non-positive speed.
+    pub fn build(self) -> Result<Trajectory, GeoError> {
+        if self.legs.is_empty() {
+            return Err(GeoError::TooFewWaypoints(1));
+        }
+        if self.legs.iter().any(|l| !l.duration.secs().is_finite()) {
+            return Err(GeoError::NonPositiveSpeed(0.0));
+        }
+        Ok(Trajectory {
+            legs: self.legs,
+            total: self.elapsed,
+        })
+    }
+}
+
+/// A 3-D trajectory: a plan-view [`Trajectory`] plus a piecewise-linear
+/// altitude profile over the same timeline (§VII-B1 flights).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory3d {
+    plan: Trajectory,
+    /// `(elapsed_secs, altitude_m)` knots, strictly increasing in time,
+    /// covering `[0, total_duration]`.
+    alt_knots: Vec<(f64, f64)>,
+}
+
+impl Trajectory3d {
+    /// Wraps a plan-view trajectory with an altitude profile given as
+    /// `(elapsed_secs, altitude)` knots. Knots are sorted; the profile
+    /// is clamped to its first/last knot outside their range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::TooFewWaypoints`] when fewer than one knot is
+    /// supplied, and [`GeoError::NonPositiveDistance`] for a negative
+    /// altitude.
+    pub fn new(
+        plan: Trajectory,
+        mut alt_knots: Vec<(f64, f64)>,
+    ) -> Result<Self, GeoError> {
+        if alt_knots.is_empty() {
+            return Err(GeoError::TooFewWaypoints(0));
+        }
+        if let Some(&(_, a)) = alt_knots.iter().find(|&&(_, a)| a < 0.0 || !a.is_finite()) {
+            return Err(GeoError::NonPositiveDistance(a));
+        }
+        alt_knots.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Ok(Trajectory3d { plan, alt_knots })
+    }
+
+    /// A constant-altitude 3-D trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonPositiveDistance`] for a negative altitude.
+    pub fn level(plan: Trajectory, altitude: Distance) -> Result<Self, GeoError> {
+        Self::new(plan, vec![(0.0, altitude.meters())])
+    }
+
+    /// The plan-view trajectory.
+    pub fn plan(&self) -> &Trajectory {
+        &self.plan
+    }
+
+    /// Total elapsed time (that of the plan view).
+    pub fn total_duration(&self) -> Duration {
+        self.plan.total_duration()
+    }
+
+    /// Position and altitude at elapsed time `t`.
+    pub fn position_at(&self, t: Duration) -> (GeoPoint, Distance) {
+        (self.plan.position_at(t), self.altitude_at(t))
+    }
+
+    /// Altitude at elapsed time `t` (linear between knots, clamped
+    /// outside).
+    pub fn altitude_at(&self, t: Duration) -> Distance {
+        let ts = t.secs();
+        let knots = &self.alt_knots;
+        if ts <= knots[0].0 {
+            return Distance::from_meters(knots[0].1);
+        }
+        for w in knots.windows(2) {
+            if ts <= w[1].0 {
+                let f = (ts - w[0].0) / (w[1].0 - w[0].0).max(1e-12);
+                return Distance::from_meters(w[0].1 + (w[1].1 - w[0].1) * f);
+            }
+        }
+        Distance::from_meters(knots[knots.len() - 1].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn empty_builder_errors() {
+        assert!(matches!(
+            TrajectoryBuilder::start_at(p(40.0, -88.0)).build(),
+            Err(GeoError::TooFewWaypoints(1))
+        ));
+    }
+
+    #[test]
+    fn zero_speed_errors() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_km(1.0));
+        assert!(matches!(
+            TrajectoryBuilder::start_at(a)
+                .travel_to(b, Speed::from_mps(0.0))
+                .build(),
+            Err(GeoError::NonPositiveSpeed(_))
+        ));
+    }
+
+    #[test]
+    fn duration_and_distance() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(1_000.0));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap();
+        assert!((traj.total_duration().secs() - 100.0).abs() < 1e-6);
+        assert!((traj.total_distance().meters() - 1_000.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn position_interpolates() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(1_000.0));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap();
+        let mid = traj.position_at(Duration::from_secs(50.0));
+        let d = a.distance_to(&mid);
+        assert!((d.meters() - 500.0).abs() < 1.0, "got {}", d.meters());
+    }
+
+    #[test]
+    fn position_clamps_to_endpoints() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(100.0));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap();
+        assert_eq!(traj.position_at(Duration::from_secs(-5.0)), a);
+        assert_eq!(traj.position_at(Duration::from_secs(1e9)), b);
+    }
+
+    #[test]
+    fn pause_holds_position() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(100.0));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .pause(Duration::from_secs(20.0))
+            .build()
+            .unwrap();
+        assert!((traj.total_duration().secs() - 30.0).abs() < 1e-6);
+        let during_pause = traj.position_at(Duration::from_secs(15.0));
+        assert!(b.distance_to(&during_pause).meters() < 0.01);
+        // Pause adds no distance.
+        assert!((traj.total_distance().meters() - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn multi_leg_path() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(500.0));
+        let c = b.destination(0.0, Distance::from_meters(500.0));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .travel_to(c, Speed::from_mps(25.0))
+            .build()
+            .unwrap();
+        assert!((traj.total_duration().secs() - 70.0).abs() < 0.01);
+        assert!((traj.total_distance().meters() - 1_000.0).abs() < 0.1);
+        assert_eq!(traj.end_point(), c);
+    }
+
+    #[test]
+    fn trajectory3d_level_altitude() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(100.0));
+        let plan = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap();
+        let t3 = Trajectory3d::level(plan, Distance::from_meters(120.0)).unwrap();
+        for t in [0.0, 3.0, 10.0, 100.0] {
+            let (_, alt) = t3.position_at(Duration::from_secs(t));
+            assert!((alt.meters() - 120.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trajectory3d_climb_profile_interpolates() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(1_000.0));
+        let plan = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap(); // 100 s
+        // Climb 0→100 m in 20 s, cruise, descend to 0 in the last 20 s.
+        let t3 = Trajectory3d::new(
+            plan,
+            vec![(0.0, 0.0), (20.0, 100.0), (80.0, 100.0), (100.0, 0.0)],
+        )
+        .unwrap();
+        assert!((t3.altitude_at(Duration::from_secs(10.0)).meters() - 50.0).abs() < 1e-9);
+        assert!((t3.altitude_at(Duration::from_secs(50.0)).meters() - 100.0).abs() < 1e-9);
+        assert!((t3.altitude_at(Duration::from_secs(90.0)).meters() - 50.0).abs() < 1e-9);
+        // Clamped outside the profile.
+        assert!((t3.altitude_at(Duration::from_secs(500.0)).meters()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory3d_rejects_bad_profiles() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(100.0));
+        let plan = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap();
+        assert!(Trajectory3d::new(plan.clone(), vec![]).is_err());
+        assert!(Trajectory3d::new(plan, vec![(0.0, -5.0)]).is_err());
+    }
+
+    #[test]
+    fn sample_every_covers_whole_trace() {
+        let a = p(40.0, -88.0);
+        let b = a.destination(90.0, Distance::from_meters(100.0));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap();
+        let samples = traj.sample_every(Duration::from_secs(1.0), Timestamp::from_secs(100.0));
+        // 10 s of travel at 1 Hz: samples at t = 0..9 plus the endpoint.
+        assert_eq!(samples.len(), 11);
+        assert!((samples[0].time().secs() - 100.0).abs() < 1e-9);
+        assert!((samples.last().unwrap().time().secs() - 110.0).abs() < 1e-6);
+        assert_eq!(samples.last().unwrap().point(), b);
+        // Monotonic timestamps.
+        assert!(crate::sample::check_monotonic(&samples).is_ok());
+    }
+}

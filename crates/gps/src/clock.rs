@@ -1,0 +1,104 @@
+//! The simulation clock.
+
+use std::sync::Arc;
+
+use alidrone_geo::{Duration, Timestamp};
+use parking_lot::Mutex;
+
+/// A shared, monotonically-advancing virtual clock.
+///
+/// Cloning a `SimClock` yields a handle onto the *same* underlying time,
+/// so a receiver, a sampler, and an experiment driver can all observe one
+/// timeline. Time only moves when someone calls
+/// [`advance`](SimClock::advance) (or [`set`](SimClock::set)), which is
+/// what makes every experiment in the workspace deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<Mutex<f64>>,
+}
+
+impl SimClock {
+    /// Creates a clock at `t = 0`.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Creates a clock starting at `t0`.
+    pub fn starting_at(t0: Timestamp) -> Self {
+        SimClock {
+            now: Arc::new(Mutex::new(t0.secs())),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_secs(*self.now.lock())
+    }
+
+    /// Advances the clock by `dt` (negative durations are ignored — the
+    /// clock never goes backwards).
+    pub fn advance(&self, dt: Duration) {
+        if dt.secs() > 0.0 {
+            *self.now.lock() += dt.secs();
+        }
+    }
+
+    /// Jumps the clock forward to `t` (ignored if `t` is in the past).
+    pub fn set(&self, t: Timestamp) {
+        let mut now = self.now.lock();
+        if t.secs() > *now {
+            *now = t.secs();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = SimClock::new();
+        assert_eq!(c.now().secs(), 0.0);
+    }
+
+    #[test]
+    fn starting_at_offset() {
+        let c = SimClock::starting_at(Timestamp::from_secs(100.0));
+        assert_eq!(c.now().secs(), 100.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(Duration::from_secs(1.5));
+        c.advance(Duration::from_secs(0.5));
+        assert!((c.now().secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_secs(3.0));
+        assert!((b.now().secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_goes_backwards() {
+        let c = SimClock::new();
+        c.advance(Duration::from_secs(5.0));
+        c.advance(Duration::from_secs(-10.0));
+        assert!((c.now().secs() - 5.0).abs() < 1e-12);
+        c.set(Timestamp::from_secs(1.0));
+        assert!((c.now().secs() - 5.0).abs() < 1e-12);
+        c.set(Timestamp::from_secs(7.0));
+        assert!((c.now().secs() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimClock>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Simulated GPS receiver stack for the AliDrone reproduction.
+//!
+//! The paper's prototype reads an Adafruit Ultimate GPS breakout whose
+//! update rate is configurable between 1 Hz and 5 Hz (§V-A), and its
+//! field studies *replay recorded traces* into the GPS sampler (§VI-A-1).
+//! This crate provides the equivalent pieces:
+//!
+//! * [`SimClock`] — a shared, deterministic virtual clock; all sampling
+//!   experiments run on simulated time and are exactly reproducible.
+//! * [`GpsDevice`] — the receiver interface the (simulated) secure-world
+//!   GPS driver reads from.
+//! * [`SimulatedReceiver`] — produces fixes from a
+//!   [`Trajectory`](alidrone_geo::trajectory::Trajectory) or a recorded
+//!   trace at a configurable update rate, with optional measurement noise
+//!   and *fix dropouts* (the paper's residential study observed the
+//!   hardware miss an update, §VI-A3 — dropout injection reproduces it).
+//! * [`nmea_feed`] — renders fixes as `$GPRMC`/`$GPGGA` sentences, the
+//!   wire format the real driver parses.
+//!
+//! # Example
+//!
+//! ```
+//! use alidrone_geo::trajectory::TrajectoryBuilder;
+//! use alidrone_geo::{Distance, Duration, GeoPoint, Speed};
+//! use alidrone_gps::{GpsDevice, SimClock, SimulatedReceiver};
+//!
+//! # fn main() -> Result<(), alidrone_geo::GeoError> {
+//! let a = GeoPoint::new(40.0, -88.0)?;
+//! let b = a.destination(90.0, Distance::from_km(1.0));
+//! let traj = TrajectoryBuilder::start_at(a)
+//!     .travel_to(b, Speed::from_mph(30.0))
+//!     .build()?;
+//!
+//! let clock = SimClock::new();
+//! let rx = SimulatedReceiver::from_trajectory(traj, clock.clone(), 5.0);
+//! clock.advance(Duration::from_secs(2.0));
+//! let fix = rx.latest_fix().expect("fix after 2 s");
+//! assert!(fix.sample.time().secs() <= 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+pub mod nmea_feed;
+mod receiver;
+mod receiver3d;
+mod trace;
+
+pub use clock::SimClock;
+pub use receiver::{GpsDevice, GpsFix, SimulatedReceiver};
+pub use receiver3d::{GpsDevice3d, GpsFix3d, SimulatedReceiver3d};
+pub use trace::{trace_from_trajectory, TraceStats};

@@ -1,0 +1,214 @@
+//! Rendering fixes as NMEA sentences — the wire format the real GPS
+//! driver parses out of the UART buffer (paper §V-B).
+
+use alidrone_geo::{GeoPoint, GpsSample, Timestamp};
+use alidrone_nmea::{FixQuality, Gga, NmeaError, Rmc};
+
+use crate::GpsFix;
+
+/// Renders a fix as a `$GPRMC` line (active status, date fixed to the
+/// simulation epoch 2026-07-06).
+pub fn fix_to_rmc(fix: &GpsFix) -> String {
+    Rmc {
+        utc_seconds: fix.sample.time().secs().rem_euclid(86_400.0),
+        active: true,
+        lat_deg: fix.sample.lat_deg(),
+        lon_deg: fix.sample.lon_deg(),
+        speed_knots: fix.speed.mps() / 0.514_444,
+        course_deg: None,
+        date: (6, 7, 26),
+    }
+    .to_sentence()
+}
+
+/// Renders a fix as a `$GPGGA` line with the given altitude.
+pub fn fix_to_gga(fix: &GpsFix, altitude_m: f64) -> String {
+    Gga {
+        utc_seconds: fix.sample.time().secs().rem_euclid(86_400.0),
+        lat_deg: fix.sample.lat_deg(),
+        lon_deg: fix.sample.lon_deg(),
+        quality: FixQuality::Gps,
+        num_satellites: 9,
+        hdop: 1.1,
+        altitude_m,
+    }
+    .to_sentence()
+}
+
+/// Parses a `$GPRMC` line back into a [`GpsSample`], resolving the time
+/// of day against `day_base` (the timestamp of local midnight) — the
+/// inverse of [`fix_to_rmc`], and what the secure-world GPS driver does
+/// with the raw UART text.
+///
+/// # Errors
+///
+/// Returns the underlying [`NmeaError`] for malformed sentences, or a
+/// `MalformedField` if the coordinates are out of range.
+pub fn rmc_to_sample(line: &str, day_base: Timestamp) -> Result<GpsSample, NmeaError> {
+    let rmc: Rmc = line.parse()?;
+    let point =
+        GeoPoint::new(rmc.lat_deg, rmc.lon_deg).map_err(|_| NmeaError::MalformedField {
+            field: "coordinates",
+            value: format!("({}, {})", rmc.lat_deg, rmc.lon_deg),
+        })?;
+    Ok(GpsSample::new(
+        point,
+        Timestamp::from_secs(day_base.secs() + rmc.utc_seconds),
+    ))
+}
+
+/// Renders a fix as a `$GPVTG` line (track and ground speed).
+pub fn fix_to_vtg(fix: &GpsFix) -> String {
+    let knots = fix.speed.mps() / 0.514_444;
+    alidrone_nmea::Vtg {
+        course_true_deg: None,
+        course_mag_deg: None,
+        speed_knots: knots,
+        speed_kmh: fix.speed.mps() * 3.6,
+    }
+    .to_sentence()
+}
+
+/// Renders a healthy 3-D `$GPGSA` line (fixed satellite set — the
+/// simulator does not model the constellation).
+pub fn fix_to_gsa() -> String {
+    alidrone_nmea::Gsa {
+        auto_selection: true,
+        mode: alidrone_nmea::FixMode::Fix3d,
+        satellites: vec![4, 7, 9, 12, 16, 23, 27, 30, 31],
+        pdop: 1.8,
+        hdop: 1.1,
+        vdop: 1.4,
+    }
+    .to_sentence()
+}
+
+/// The full per-update sentence burst a real receiver emits: RMC, GGA,
+/// VTG, GSA — in that order, each CRLF-terminated.
+///
+/// This is what would flow over the UART; the secure-world driver picks
+/// the `$GPRMC` line out of exactly such a burst.
+pub fn fix_to_burst(fix: &GpsFix, altitude_m: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&fix_to_rmc(fix));
+    out.push_str("\r\n");
+    out.push_str(&fix_to_gga(fix, altitude_m));
+    out.push_str("\r\n");
+    out.push_str(&fix_to_vtg(fix));
+    out.push_str("\r\n");
+    out.push_str(&fix_to_gsa());
+    out.push_str("\r\n");
+    out
+}
+
+/// Extracts the `$--RMC` line from a sentence burst and parses it —
+/// the driver-side counterpart of [`fix_to_burst`].
+///
+/// # Errors
+///
+/// Returns [`NmeaError::MissingField`] when no RMC line is present, or
+/// the underlying parse error.
+pub fn burst_to_sample(burst: &str, day_base: Timestamp) -> Result<GpsSample, NmeaError> {
+    for line in burst.lines() {
+        if line.len() > 6 && line[1..].starts_with("GP") && line[3..6] == *"RMC" {
+            return rmc_to_sample(line, day_base);
+        }
+    }
+    Err(NmeaError::MissingField("rmc sentence in burst"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_geo::Speed;
+
+    fn fix(lat: f64, lon: f64, t: f64, speed_mps: f64) -> GpsFix {
+        GpsFix {
+            sample: GpsSample::new(GeoPoint::new(lat, lon).unwrap(), Timestamp::from_secs(t)),
+            speed: Speed::from_mps(speed_mps),
+            sequence: 7,
+        }
+    }
+
+    #[test]
+    fn rmc_round_trip_through_wire_format() {
+        let f = fix(40.0987, -88.2543, 4_521.25, 13.0);
+        let line = fix_to_rmc(&f);
+        let sample = rmc_to_sample(&line, Timestamp::EPOCH).unwrap();
+        assert!(
+            f.sample.point().distance_to(&sample.point()).meters() < 0.5,
+            "position drifted"
+        );
+        assert!((sample.time().secs() - 4_521.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn rmc_time_wraps_at_midnight() {
+        let f = fix(40.0, -88.0, 90_000.0, 0.0); // > 24 h
+        let line = fix_to_rmc(&f);
+        let sample = rmc_to_sample(&line, Timestamp::EPOCH).unwrap();
+        assert!((sample.time().secs() - 3_600.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn day_base_offsets_time() {
+        let f = fix(40.0, -88.0, 100.0, 0.0);
+        let line = fix_to_rmc(&f);
+        let sample = rmc_to_sample(&line, Timestamp::from_secs(86_400.0)).unwrap();
+        assert!((sample.time().secs() - 86_500.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gga_renders_altitude() {
+        let f = fix(40.0, -88.0, 10.0, 5.0);
+        let line = fix_to_gga(&f, 120.5);
+        let gga: Gga = line.parse().unwrap();
+        assert!((gga.altitude_m - 120.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        assert!(rmc_to_sample("$GPRMC,garbage*00", Timestamp::EPOCH).is_err());
+        assert!(rmc_to_sample("not nmea at all", Timestamp::EPOCH).is_err());
+    }
+
+    #[test]
+    fn burst_contains_all_four_sentences() {
+        let f = fix(40.0987, -88.2543, 100.0, 12.0);
+        let burst = fix_to_burst(&f, 230.0);
+        let lines: Vec<&str> = burst.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("$GPRMC"));
+        assert!(lines[1].starts_with("$GPGGA"));
+        assert!(lines[2].starts_with("$GPVTG"));
+        assert!(lines[3].starts_with("$GPGSA"));
+        // Every line carries a valid checksum.
+        for line in lines {
+            alidrone_nmea::split_sentence(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn burst_round_trips_through_driver_path() {
+        let f = fix(40.0987, -88.2543, 4_521.25, 13.0);
+        let burst = fix_to_burst(&f, 230.0);
+        let sample = burst_to_sample(&burst, Timestamp::EPOCH).unwrap();
+        assert!(f.sample.point().distance_to(&sample.point()).meters() < 0.5);
+        assert!((sample.time().secs() - 4_521.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn burst_without_rmc_rejected() {
+        let f = fix(40.0, -88.0, 10.0, 5.0);
+        let burst = format!("{}\r\n{}\r\n", fix_to_gga(&f, 1.0), fix_to_gsa());
+        assert!(burst_to_sample(&burst, Timestamp::EPOCH).is_err());
+    }
+
+    #[test]
+    fn vtg_speed_round_trip() {
+        let f = fix(40.0, -88.0, 10.0, 20.0);
+        let line = fix_to_vtg(&f);
+        let vtg: alidrone_nmea::Vtg = line.parse().unwrap();
+        assert!((vtg.speed_mps() - 20.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,387 @@
+//! The simulated GPS receiver.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use alidrone_geo::trajectory::Trajectory;
+use alidrone_geo::{Distance, GeoPoint, GpsSample, Speed, Timestamp};
+
+use crate::SimClock;
+
+/// One receiver measurement: the sample plus receiver-reported metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsFix {
+    /// The position/time sample.
+    pub sample: GpsSample,
+    /// Receiver-reported ground speed.
+    pub speed: Speed,
+    /// Monotonic update counter. Two reads returning the same `sequence`
+    /// saw the same measurement — the paper's fixed-rate sampler uses
+    /// this to "wait until the first measurement update" (§VI-A1).
+    pub sequence: u64,
+}
+
+impl fmt::Display for GpsFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fix #{} {}", self.sequence, self.sample)
+    }
+}
+
+/// A GPS receiver as seen by the (secure-world) GPS driver: something
+/// that holds a latest measurement, refreshed at its own update rate.
+pub trait GpsDevice: Send + Sync {
+    /// The most recent fix at the current simulated time, or `None`
+    /// before the first update (or during a cold start).
+    fn latest_fix(&self) -> Option<GpsFix>;
+
+    /// The receiver's configured update rate in Hz.
+    fn update_rate_hz(&self) -> f64;
+}
+
+impl<T: GpsDevice + ?Sized> GpsDevice for std::sync::Arc<T> {
+    fn latest_fix(&self) -> Option<GpsFix> {
+        (**self).latest_fix()
+    }
+
+    fn update_rate_hz(&self) -> f64 {
+        (**self).update_rate_hz()
+    }
+}
+
+enum Source {
+    /// Follow a trajectory in real (simulated) time.
+    Trajectory { traj: Trajectory, start: Timestamp },
+    /// Replay a recorded trace; updates occur at the recorded timestamps.
+    Trace(Vec<GpsSample>),
+}
+
+/// A deterministic simulated receiver.
+///
+/// Update `k` becomes available at `t_k = start + k / rate` (trajectory
+/// mode) or at the recorded timestamp (trace mode). Specific updates can
+/// be *dropped* to model the missed fixes the paper observed in the
+/// field, and zero-mean measurement noise can be added; both are
+/// deterministic functions of the sequence number.
+pub struct SimulatedReceiver {
+    clock: SimClock,
+    source: Source,
+    rate_hz: f64,
+    dropped: BTreeSet<u64>,
+    noise_std_m: f64,
+    noise_seed: u64,
+}
+
+impl SimulatedReceiver {
+    /// Creates a receiver that follows `traj` starting at the clock's
+    /// *current* time, updating at `rate_hz` (clamped to the hardware's
+    /// 1–5 Hz range, §V-A).
+    pub fn from_trajectory(traj: Trajectory, clock: SimClock, rate_hz: f64) -> Self {
+        let start = clock.now();
+        SimulatedReceiver {
+            clock,
+            source: Source::Trajectory { traj, start },
+            rate_hz: rate_hz.clamp(1.0, 5.0),
+            dropped: BTreeSet::new(),
+            noise_std_m: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// Creates a receiver replaying a recorded `trace` (samples must have
+    /// strictly increasing timestamps). `rate_hz` describes the nominal
+    /// rate the trace was recorded at.
+    pub fn from_trace(trace: Vec<GpsSample>, clock: SimClock, rate_hz: f64) -> Self {
+        SimulatedReceiver {
+            clock,
+            source: Source::Trace(trace),
+            rate_hz: rate_hz.clamp(1.0, 5.0),
+            dropped: BTreeSet::new(),
+            noise_std_m: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// Marks update `sequence` as lost: the receiver will keep reporting
+    /// the previous fix through that interval (models the §VI-A3 missed
+    /// update that halved the effective rate to 2.5 Hz).
+    pub fn drop_update(&mut self, sequence: u64) -> &mut Self {
+        self.dropped.insert(sequence);
+        self
+    }
+
+    /// Adds zero-mean Gaussian position noise with the given standard
+    /// deviation, as a deterministic function of `(seed, sequence)`.
+    pub fn with_noise(&mut self, std_m: f64, seed: u64) -> &mut Self {
+        self.noise_std_m = std_m.max(0.0);
+        self.noise_seed = seed;
+        self
+    }
+
+    fn fix_at_index(&self, k: u64) -> Option<GpsFix> {
+        match &self.source {
+            Source::Trajectory { traj, start } => {
+                let t = *start + alidrone_geo::Duration::from_secs(k as f64 / self.rate_hz);
+                let elapsed = t - *start;
+                let pos = traj.position_at(elapsed);
+                let pos = self.perturb(pos, k);
+                // Approximate speed from a small backward difference.
+                let eps = 0.2;
+                let prev = traj.position_at(alidrone_geo::Duration::from_secs(
+                    (elapsed.secs() - eps).max(0.0),
+                ));
+                let speed = if elapsed.secs() > 0.0 {
+                    Speed::from_mps(prev.distance_to(&pos).meters() / eps)
+                } else {
+                    Speed::from_mps(0.0)
+                };
+                Some(GpsFix {
+                    sample: GpsSample::new(pos, t),
+                    speed,
+                    sequence: k,
+                })
+            }
+            Source::Trace(samples) => {
+                let s = samples.get(k as usize)?;
+                let pos = self.perturb(s.point(), k);
+                let speed = if k > 0 {
+                    let prev = &samples[(k - 1) as usize];
+                    GpsSample::speed_between(prev, s).unwrap_or(Speed::from_mps(0.0))
+                } else {
+                    Speed::from_mps(0.0)
+                };
+                Some(GpsFix {
+                    sample: GpsSample::new(pos, s.time()),
+                    speed,
+                    sequence: k,
+                })
+            }
+        }
+    }
+
+    fn perturb(&self, p: GeoPoint, sequence: u64) -> GeoPoint {
+        if self.noise_std_m <= 0.0 {
+            return p;
+        }
+        // Two deterministic standard normals via Box–Muller over a
+        // SplitMix64 stream keyed by (seed, sequence).
+        let mut state = self.noise_seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next_unit = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let u1 = next_unit().max(1e-12);
+        let u2 = next_unit();
+        let mag = (-2.0 * u1.ln()).sqrt() * self.noise_std_m;
+        let east = mag * (std::f64::consts::TAU * u2).cos();
+        let north = mag * (std::f64::consts::TAU * u2).sin();
+        p.destination(90.0, Distance::from_meters(east))
+            .destination(0.0, Distance::from_meters(north))
+    }
+
+    /// The index of the most recent *non-dropped* update at time `now`,
+    /// if any update has occurred yet.
+    fn current_index(&self) -> Option<u64> {
+        let now = self.clock.now();
+        let latest = match &self.source {
+            Source::Trajectory { start, .. } => {
+                let dt = now - *start;
+                if dt.secs() < 0.0 {
+                    return None;
+                }
+                (dt.secs() * self.rate_hz).floor() as u64
+            }
+            Source::Trace(samples) => {
+                let n = samples
+                    .iter()
+                    .take_while(|s| s.time().secs() <= now.secs())
+                    .count();
+                if n == 0 {
+                    return None;
+                }
+                (n - 1) as u64
+            }
+        };
+        // Walk back over dropped updates.
+        let mut k = latest;
+        loop {
+            if !self.dropped.contains(&k) {
+                return Some(k);
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+    }
+}
+
+impl GpsDevice for SimulatedReceiver {
+    fn latest_fix(&self) -> Option<GpsFix> {
+        let k = self.current_index()?;
+        self.fix_at_index(k)
+    }
+
+    fn update_rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+}
+
+impl fmt::Debug for SimulatedReceiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.source {
+            Source::Trajectory { .. } => "trajectory",
+            Source::Trace(_) => "trace",
+        };
+        f.debug_struct("SimulatedReceiver")
+            .field("source", &kind)
+            .field("rate_hz", &self.rate_hz)
+            .field("dropped", &self.dropped.len())
+            .field("noise_std_m", &self.noise_std_m)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_geo::trajectory::TrajectoryBuilder;
+    use alidrone_geo::Duration;
+
+    fn east_trajectory() -> Trajectory {
+        let a = GeoPoint::new(40.0, -88.0).unwrap();
+        let b = a.destination(90.0, Distance::from_meters(1_000.0));
+        TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn no_fix_before_clock_moves_is_fix_zero() {
+        let clock = SimClock::new();
+        let rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 5.0);
+        // Update 0 happens at t=0 exactly.
+        let fix = rx.latest_fix().unwrap();
+        assert_eq!(fix.sequence, 0);
+    }
+
+    #[test]
+    fn updates_follow_rate() {
+        let clock = SimClock::new();
+        let rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 5.0);
+        clock.advance(Duration::from_secs(1.01));
+        let fix = rx.latest_fix().unwrap();
+        // At 5 Hz, just past t=1.0 we are at update 5.
+        assert_eq!(fix.sequence, 5);
+        assert!((fix.sample.time().secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_clamped_to_hardware_range() {
+        let clock = SimClock::new();
+        let rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 50.0);
+        assert_eq!(rx.update_rate_hz(), 5.0);
+        let rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock, 0.1);
+        assert_eq!(rx.update_rate_hz(), 1.0);
+    }
+
+    #[test]
+    fn position_advances_along_trajectory() {
+        let clock = SimClock::new();
+        let rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 1.0);
+        clock.advance(Duration::from_secs(50.0));
+        let fix = rx.latest_fix().unwrap();
+        let origin = GeoPoint::new(40.0, -88.0).unwrap();
+        let d = origin.distance_to(&fix.sample.point()).meters();
+        assert!((d - 500.0).abs() < 1.0, "travelled {d} m");
+        // Speed estimate near 10 m/s.
+        assert!((fix.speed.mps() - 10.0).abs() < 1.0, "{}", fix.speed);
+    }
+
+    #[test]
+    fn dropped_update_repeats_previous() {
+        let clock = SimClock::new();
+        let mut rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 1.0);
+        rx.drop_update(3);
+        clock.advance(Duration::from_secs(3.5));
+        let fix = rx.latest_fix().unwrap();
+        assert_eq!(fix.sequence, 2, "update 3 dropped; still seeing 2");
+        clock.advance(Duration::from_secs(1.0));
+        assert_eq!(rx.latest_fix().unwrap().sequence, 4);
+    }
+
+    #[test]
+    fn all_updates_dropped_yields_none() {
+        let clock = SimClock::new();
+        let mut rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 1.0);
+        rx.drop_update(0).drop_update(1);
+        clock.advance(Duration::from_secs(1.5));
+        assert!(rx.latest_fix().is_none());
+    }
+
+    #[test]
+    fn trace_replay_uses_recorded_timestamps() {
+        let origin = GeoPoint::new(40.0, -88.0).unwrap();
+        let trace: Vec<GpsSample> = (0..5)
+            .map(|i| {
+                GpsSample::new(
+                    origin.destination(90.0, Distance::from_meters(i as f64 * 10.0)),
+                    Timestamp::from_secs(i as f64 * 0.5),
+                )
+            })
+            .collect();
+        let clock = SimClock::new();
+        let rx = SimulatedReceiver::from_trace(trace, clock.clone(), 2.0);
+        clock.advance(Duration::from_secs(1.2));
+        let fix = rx.latest_fix().unwrap();
+        assert_eq!(fix.sequence, 2);
+        assert!((fix.sample.time().secs() - 1.0).abs() < 1e-9);
+        // Past the end of the trace the last sample persists.
+        clock.advance(Duration::from_secs(100.0));
+        assert_eq!(rx.latest_fix().unwrap().sequence, 4);
+    }
+
+    #[test]
+    fn trace_before_first_sample_yields_none() {
+        let origin = GeoPoint::new(40.0, -88.0).unwrap();
+        let trace = vec![GpsSample::new(origin, Timestamp::from_secs(10.0))];
+        let clock = SimClock::new();
+        let rx = SimulatedReceiver::from_trace(trace, clock.clone(), 1.0);
+        assert!(rx.latest_fix().is_none());
+        clock.advance(Duration::from_secs(10.0));
+        assert!(rx.latest_fix().is_some());
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let clock = SimClock::new();
+        let mut rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 1.0);
+        rx.with_noise(3.0, 42);
+        clock.advance(Duration::from_secs(10.0));
+        let f1 = rx.latest_fix().unwrap();
+        let f2 = rx.latest_fix().unwrap();
+        assert_eq!(f1, f2, "same sequence must give identical noise");
+        // Noise should displace but not teleport (6 sigma bound).
+        let clean_clock = SimClock::new();
+        let clean = SimulatedReceiver::from_trajectory(east_trajectory(), clean_clock.clone(), 1.0);
+        clean_clock.advance(Duration::from_secs(10.0));
+        let cf = clean.latest_fix().unwrap();
+        let d = cf.sample.point().distance_to(&f1.sample.point()).meters();
+        assert!(d < 18.0, "noise displaced {d} m");
+    }
+
+    #[test]
+    fn zero_noise_leaves_position_exact() {
+        let clock = SimClock::new();
+        let mut rx = SimulatedReceiver::from_trajectory(east_trajectory(), clock.clone(), 1.0);
+        rx.with_noise(0.0, 1);
+        clock.advance(Duration::from_secs(5.0));
+        let fix = rx.latest_fix().unwrap();
+        let origin = GeoPoint::new(40.0, -88.0).unwrap();
+        assert!((origin.distance_to(&fix.sample.point()).meters() - 50.0).abs() < 0.5);
+    }
+}

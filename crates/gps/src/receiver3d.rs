@@ -1,0 +1,154 @@
+//! 3-D receiver support (§VII-B1): a receiver that also reports
+//! altitude, as the GGA sentence stream of a real module does.
+
+use alidrone_geo::three_d::GpsSample3d;
+use alidrone_geo::trajectory::Trajectory3d;
+use alidrone_geo::{Distance, Timestamp};
+
+use crate::receiver::{GpsDevice, GpsFix};
+use crate::SimClock;
+
+/// A fix with altitude: the 2-D fix plus the GGA-reported altitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsFix3d {
+    /// The plan-view fix.
+    pub fix: GpsFix,
+    /// Altitude above ground.
+    pub alt: Distance,
+}
+
+impl GpsFix3d {
+    /// The 4-tuple sample `(lat, lon, alt, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for fixes produced by [`SimulatedReceiver3d`] (whose
+    /// altitudes are validated at trajectory construction).
+    pub fn sample3d(&self) -> GpsSample3d {
+        GpsSample3d::new(self.fix.sample.point(), self.alt, self.fix.sample.time())
+            .expect("receiver altitudes are non-negative")
+    }
+}
+
+/// A receiver exposing altitude alongside the 2-D interface.
+pub trait GpsDevice3d: GpsDevice {
+    /// The latest fix with altitude, or `None` before the first update.
+    fn latest_fix_3d(&self) -> Option<GpsFix3d>;
+}
+
+/// A deterministic 3-D receiver following a [`Trajectory3d`].
+///
+/// Wraps the plan-view [`SimulatedReceiver`](crate::SimulatedReceiver)
+/// and adds the altitude profile; the 2-D interface ([`GpsDevice`])
+/// keeps working, so all existing 2-D consumers (the default TEE driver,
+/// the samplers) run unchanged against a 3-D receiver.
+pub struct SimulatedReceiver3d {
+    inner: crate::SimulatedReceiver,
+    trajectory: Trajectory3d,
+    start: Timestamp,
+}
+
+impl SimulatedReceiver3d {
+    /// Creates a receiver following `trajectory` from the clock's
+    /// current time, updating at `rate_hz` (clamped to 1–5 Hz).
+    pub fn from_trajectory(trajectory: Trajectory3d, clock: SimClock, rate_hz: f64) -> Self {
+        let start = clock.now();
+        let inner =
+            crate::SimulatedReceiver::from_trajectory(trajectory.plan().clone(), clock, rate_hz);
+        SimulatedReceiver3d {
+            inner,
+            trajectory,
+            start,
+        }
+    }
+}
+
+impl GpsDevice for SimulatedReceiver3d {
+    fn latest_fix(&self) -> Option<GpsFix> {
+        self.inner.latest_fix()
+    }
+
+    fn update_rate_hz(&self) -> f64 {
+        self.inner.update_rate_hz()
+    }
+}
+
+impl GpsDevice3d for SimulatedReceiver3d {
+    fn latest_fix_3d(&self) -> Option<GpsFix3d> {
+        let fix = self.inner.latest_fix()?;
+        let elapsed = fix.sample.time() - self.start;
+        Some(GpsFix3d {
+            fix,
+            alt: self.trajectory.altitude_at(elapsed),
+        })
+    }
+}
+
+impl<T: GpsDevice3d + ?Sized> GpsDevice3d for std::sync::Arc<T> {
+    fn latest_fix_3d(&self) -> Option<GpsFix3d> {
+        (**self).latest_fix_3d()
+    }
+}
+
+impl std::fmt::Debug for SimulatedReceiver3d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedReceiver3d")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_geo::trajectory::TrajectoryBuilder;
+    use alidrone_geo::{Duration, GeoPoint, Speed};
+
+    fn receiver(clock: SimClock) -> SimulatedReceiver3d {
+        let a = GeoPoint::new(40.0, -88.0).unwrap();
+        let b = a.destination(90.0, Distance::from_meters(1_000.0));
+        let plan = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap(); // 100 s
+        let t3 = alidrone_geo::trajectory::Trajectory3d::new(
+            plan,
+            vec![(0.0, 0.0), (20.0, 100.0), (80.0, 100.0), (100.0, 0.0)],
+        )
+        .unwrap();
+        SimulatedReceiver3d::from_trajectory(t3, clock, 5.0)
+    }
+
+    #[test]
+    fn altitude_tracks_profile() {
+        let clock = SimClock::new();
+        let rx = receiver(clock.clone());
+        clock.advance(Duration::from_secs(10.0));
+        let f = rx.latest_fix_3d().unwrap();
+        assert!((f.alt.meters() - 50.0).abs() < 1.0, "{}", f.alt.meters());
+        clock.advance(Duration::from_secs(40.0));
+        let f = rx.latest_fix_3d().unwrap();
+        assert!((f.alt.meters() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_d_interface_still_works() {
+        let clock = SimClock::new();
+        let rx = receiver(clock.clone());
+        clock.advance(Duration::from_secs(50.0));
+        let f2 = rx.latest_fix().unwrap();
+        let f3 = rx.latest_fix_3d().unwrap();
+        assert_eq!(f2, f3.fix);
+        assert_eq!(rx.update_rate_hz(), 5.0);
+    }
+
+    #[test]
+    fn sample3d_round_trips_through_bytes() {
+        let clock = SimClock::new();
+        let rx = receiver(clock.clone());
+        clock.advance(Duration::from_secs(30.0));
+        let s = rx.latest_fix_3d().unwrap().sample3d();
+        let rt = GpsSample3d::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s, rt);
+    }
+}

@@ -1,0 +1,112 @@
+//! Trace utilities: generation from trajectories and summary statistics.
+
+use alidrone_geo::trajectory::Trajectory;
+use alidrone_geo::{Distance, Duration, GpsSample, Speed, Timestamp};
+
+/// Discretises a trajectory into the trace a receiver running at
+/// `rate_hz` would record, starting at `t0`.
+///
+/// This is the "recorded GPS trace" of the paper's field studies; replay
+/// it with [`SimulatedReceiver::from_trace`](crate::SimulatedReceiver::from_trace).
+pub fn trace_from_trajectory(traj: &Trajectory, rate_hz: f64, t0: Timestamp) -> Vec<GpsSample> {
+    let rate = rate_hz.clamp(1.0, 5.0);
+    traj.sample_every(Duration::from_secs(1.0 / rate), t0)
+}
+
+/// Summary statistics over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of samples.
+    pub len: usize,
+    /// Total elapsed time.
+    pub duration: Duration,
+    /// Total path length (sum of consecutive distances).
+    pub path_length: Distance,
+    /// Maximum speed between consecutive samples.
+    pub max_speed: Speed,
+    /// Mean speed over the whole trace (path length / duration).
+    pub mean_speed: Speed,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`. Returns `None` for traces with
+    /// fewer than two samples (no intervals to measure).
+    pub fn compute(trace: &[GpsSample]) -> Option<Self> {
+        if trace.len() < 2 {
+            return None;
+        }
+        let mut path = Distance::ZERO;
+        let mut max_speed = Speed::from_mps(0.0);
+        for w in trace.windows(2) {
+            let d = w[0].point().distance_to(&w[1].point());
+            path += d;
+            if let Some(v) = GpsSample::speed_between(&w[0], &w[1]) {
+                if v > max_speed {
+                    max_speed = v;
+                }
+            }
+        }
+        let duration = trace[trace.len() - 1].time() - trace[0].time();
+        let mean_speed = if duration.secs() > 0.0 {
+            Speed::from_mps(path.meters() / duration.secs())
+        } else {
+            Speed::from_mps(0.0)
+        };
+        Some(TraceStats {
+            len: trace.len(),
+            duration,
+            path_length: path,
+            max_speed,
+            mean_speed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_geo::trajectory::TrajectoryBuilder;
+    use alidrone_geo::GeoPoint;
+
+    fn traj(dist_m: f64, speed_mps: f64) -> Trajectory {
+        let a = GeoPoint::new(40.0, -88.0).unwrap();
+        let b = a.destination(90.0, Distance::from_meters(dist_m));
+        TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(speed_mps))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_has_expected_density() {
+        let trace = trace_from_trajectory(&traj(1_000.0, 10.0), 5.0, Timestamp::EPOCH);
+        // 100 s at 5 Hz = 500 samples + final endpoint.
+        assert_eq!(trace.len(), 501);
+        assert!(alidrone_geo::check_monotonic(&trace).is_ok());
+    }
+
+    #[test]
+    fn trace_rate_clamped() {
+        let trace = trace_from_trajectory(&traj(100.0, 10.0), 100.0, Timestamp::EPOCH);
+        // Clamped to 5 Hz: 10 s * 5 Hz + endpoint.
+        assert_eq!(trace.len(), 51);
+    }
+
+    #[test]
+    fn stats_match_construction() {
+        let trace = trace_from_trajectory(&traj(1_000.0, 10.0), 1.0, Timestamp::EPOCH);
+        let stats = TraceStats::compute(&trace).unwrap();
+        assert_eq!(stats.len, trace.len());
+        assert!((stats.duration.secs() - 100.0).abs() < 1e-6);
+        assert!((stats.path_length.meters() - 1_000.0).abs() < 1.0);
+        assert!((stats.mean_speed.mps() - 10.0).abs() < 0.1);
+        assert!((stats.max_speed.mps() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn stats_of_short_traces_none() {
+        assert!(TraceStats::compute(&[]).is_none());
+        let one = trace_from_trajectory(&traj(10.0, 10.0), 1.0, Timestamp::EPOCH);
+        assert!(TraceStats::compute(&one[..1]).is_none());
+    }
+}

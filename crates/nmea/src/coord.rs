@@ -1,0 +1,188 @@
+//! The NMEA `ddmm.mmmm` coordinate format.
+//!
+//! NMEA encodes latitude as `ddmm.mmmm` (degrees then decimal minutes)
+//! with a `N`/`S` hemisphere field, and longitude as `dddmm.mmmm` with
+//! `E`/`W`.
+
+use crate::NmeaError;
+
+/// Converts an NMEA latitude field + hemisphere to signed decimal degrees.
+///
+/// # Errors
+///
+/// Returns [`NmeaError::MalformedField`] for unparsable text or an
+/// out-of-range result.
+pub fn parse_lat(field: &str, hemi: &str) -> Result<f64, NmeaError> {
+    let v = parse_ddmm(field, 2).ok_or_else(|| NmeaError::MalformedField {
+        field: "latitude",
+        value: format!("{field},{hemi}"),
+    })?;
+    let signed = match hemi {
+        "N" => v,
+        "S" => -v,
+        _ => {
+            return Err(NmeaError::MalformedField {
+                field: "latitude hemisphere",
+                value: hemi.to_string(),
+            })
+        }
+    };
+    if !(-90.0..=90.0).contains(&signed) {
+        return Err(NmeaError::MalformedField {
+            field: "latitude",
+            value: field.to_string(),
+        });
+    }
+    Ok(signed)
+}
+
+/// Converts an NMEA longitude field + hemisphere to signed decimal degrees.
+///
+/// # Errors
+///
+/// Returns [`NmeaError::MalformedField`] for unparsable text or an
+/// out-of-range result.
+pub fn parse_lon(field: &str, hemi: &str) -> Result<f64, NmeaError> {
+    let v = parse_ddmm(field, 3).ok_or_else(|| NmeaError::MalformedField {
+        field: "longitude",
+        value: format!("{field},{hemi}"),
+    })?;
+    let signed = match hemi {
+        "E" => v,
+        "W" => -v,
+        _ => {
+            return Err(NmeaError::MalformedField {
+                field: "longitude hemisphere",
+                value: hemi.to_string(),
+            })
+        }
+    };
+    if !(-180.0..=180.0).contains(&signed) {
+        return Err(NmeaError::MalformedField {
+            field: "longitude",
+            value: field.to_string(),
+        });
+    }
+    Ok(signed)
+}
+
+fn parse_ddmm(field: &str, deg_digits: usize) -> Option<f64> {
+    let dot = field.find('.')?;
+    if dot < deg_digits + 1 {
+        return None;
+    }
+    let deg_end = dot - 2; // minutes are always two integer digits
+    if deg_end == 0 || deg_end > deg_digits {
+        return None;
+    }
+    let degrees: f64 = field[..deg_end].parse().ok()?;
+    let minutes: f64 = field[deg_end..].parse().ok()?;
+    if minutes >= 60.0 {
+        return None;
+    }
+    Some(degrees + minutes / 60.0)
+}
+
+/// Formats a signed latitude as `(ddmm.mmmm, hemisphere)` NMEA fields.
+pub fn format_lat(lat_deg: f64) -> (String, char) {
+    let hemi = if lat_deg < 0.0 { 'S' } else { 'N' };
+    (format_ddmm(lat_deg.abs(), 2), hemi)
+}
+
+/// Formats a signed longitude as `(dddmm.mmmm, hemisphere)` NMEA fields.
+pub fn format_lon(lon_deg: f64) -> (String, char) {
+    let hemi = if lon_deg < 0.0 { 'W' } else { 'E' };
+    (format_ddmm(lon_deg.abs(), 3), hemi)
+}
+
+fn format_ddmm(abs_deg: f64, deg_digits: usize) -> String {
+    let degrees = abs_deg.floor();
+    let mut minutes = (abs_deg - degrees) * 60.0;
+    let mut degrees = degrees as u32;
+    // Guard against 59.99999 rounding up to 60.0000.
+    if minutes >= 59.99995 {
+        minutes = 0.0;
+        degrees += 1;
+    }
+    format!("{degrees:0width$}{minutes:07.4}", width = deg_digits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_latitude() {
+        // 4807.038 N = 48° + 7.038' = 48.1173°.
+        let v = parse_lat("4807.038", "N").unwrap();
+        assert!((v - 48.1173).abs() < 1e-4);
+        assert!((parse_lat("4807.038", "S").unwrap() + 48.1173).abs() < 1e-4);
+    }
+
+    #[test]
+    fn parse_known_longitude() {
+        let v = parse_lon("01131.000", "E").unwrap();
+        assert!((v - 11.516_666).abs() < 1e-4);
+        assert!((parse_lon("01131.000", "W").unwrap() + 11.516_666).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_bad_hemisphere() {
+        assert!(parse_lat("4807.038", "E").is_err());
+        assert!(parse_lon("01131.000", "N").is_err());
+        assert!(parse_lat("4807.038", "").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_lat("garbage", "N").is_err());
+        assert!(parse_lat("48", "N").is_err()); // no dot
+        assert!(parse_lat("4899.000", "N").is_err()); // minutes >= 60
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(parse_lat("9101.000", "N").is_err()); // 91.016°
+        assert!(parse_lon("18101.000", "E").is_err());
+    }
+
+    #[test]
+    fn format_known_values() {
+        let (f, h) = format_lat(48.1173);
+        assert_eq!(h, 'N');
+        assert_eq!(f, "4807.0380");
+        let (f, h) = format_lon(-88.2);
+        assert_eq!(h, 'W');
+        assert_eq!(f, "08812.0000");
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        for lat in [-89.9, -45.123456, 0.0, 0.5, 40.0987, 89.9] {
+            let (f, h) = format_lat(lat);
+            let rt = parse_lat(&f, &h.to_string()).unwrap();
+            assert!((rt - lat).abs() < 1e-5, "lat {lat} -> {f} -> {rt}");
+        }
+        for lon in [-179.9, -88.254, 0.0, 11.5167, 179.9] {
+            let (f, h) = format_lon(lon);
+            let rt = parse_lon(&f, &h.to_string()).unwrap();
+            assert!((rt - lon).abs() < 1e-5, "lon {lon} -> {f} -> {rt}");
+        }
+    }
+
+    #[test]
+    fn rounding_edge_near_60_minutes() {
+        // 39.9999999° would naively format as 3960.0000.
+        let (f, _) = format_lat(39.999_999_9);
+        let rt = parse_lat(&f, "N").unwrap();
+        assert!((rt - 40.0).abs() < 1e-4, "{f} -> {rt}");
+    }
+
+    #[test]
+    fn equator_and_meridian() {
+        let (f, h) = format_lat(0.0);
+        assert_eq!((f.as_str(), h), ("0000.0000", 'N'));
+        let (f, h) = format_lon(0.0);
+        assert_eq!((f.as_str(), h), ("00000.0000", 'E'));
+    }
+}

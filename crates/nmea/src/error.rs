@@ -1,0 +1,87 @@
+//! Error type for NMEA parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing NMEA 0183 sentences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NmeaError {
+    /// The sentence did not start with `$`.
+    MissingStart,
+    /// The sentence had no `*` checksum delimiter.
+    MissingChecksum,
+    /// The checksum did not match the sentence body.
+    ChecksumMismatch {
+        /// Checksum computed over the body.
+        computed: u8,
+        /// Checksum stated in the sentence.
+        stated: u8,
+    },
+    /// The checksum field was not two hex digits.
+    MalformedChecksum,
+    /// The sentence type was not the one the parser expected.
+    WrongSentenceType {
+        /// The type found (e.g. `"GPGGA"`).
+        found: String,
+    },
+    /// A required field was missing.
+    MissingField(&'static str),
+    /// A field failed to parse.
+    MalformedField {
+        /// Which field.
+        field: &'static str,
+        /// The offending raw text.
+        value: String,
+    },
+}
+
+impl fmt::Display for NmeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NmeaError::MissingStart => write!(f, "sentence does not start with '$'"),
+            NmeaError::MissingChecksum => write!(f, "sentence has no '*' checksum delimiter"),
+            NmeaError::ChecksumMismatch { computed, stated } => write!(
+                f,
+                "checksum mismatch: computed {computed:02X}, sentence says {stated:02X}"
+            ),
+            NmeaError::MalformedChecksum => write!(f, "checksum is not two hex digits"),
+            NmeaError::WrongSentenceType { found } => {
+                write!(f, "unexpected sentence type {found}")
+            }
+            NmeaError::MissingField(name) => write!(f, "missing field {name}"),
+            NmeaError::MalformedField { field, value } => {
+                write!(f, "malformed field {field}: {value:?}")
+            }
+        }
+    }
+}
+
+impl Error for NmeaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            NmeaError::MissingStart,
+            NmeaError::MissingChecksum,
+            NmeaError::ChecksumMismatch {
+                computed: 0x6A,
+                stated: 0x6B,
+            },
+            NmeaError::MalformedChecksum,
+            NmeaError::WrongSentenceType {
+                found: "GPVTG".into(),
+            },
+            NmeaError::MissingField("lat"),
+            NmeaError::MalformedField {
+                field: "lon",
+                value: "xx".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

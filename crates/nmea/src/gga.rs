@@ -1,0 +1,225 @@
+//! `$GPGGA` — Global Positioning System Fix Data.
+//!
+//! RMC carries no altitude, so the 3-D extension (paper §VII-B1) needs
+//! GGA; the simulated receiver emits both, like the real Adafruit module.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::coord::{format_lat, format_lon, parse_lat, parse_lon};
+use crate::rmc::parse_utc;
+use crate::sentence::{frame_sentence, split_sentence};
+use crate::NmeaError;
+
+/// GGA fix quality indicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixQuality {
+    /// 0 — no fix available.
+    Invalid,
+    /// 1 — standard GPS fix.
+    Gps,
+    /// 2 — differential GPS fix.
+    Dgps,
+    /// Any other reported value (RTK, estimated, …).
+    Other(u8),
+}
+
+impl FixQuality {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => FixQuality::Invalid,
+            1 => FixQuality::Gps,
+            2 => FixQuality::Dgps,
+            other => FixQuality::Other(other),
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            FixQuality::Invalid => 0,
+            FixQuality::Gps => 1,
+            FixQuality::Dgps => 2,
+            FixQuality::Other(v) => v,
+        }
+    }
+
+    /// `true` when a usable fix is present.
+    pub fn has_fix(self) -> bool {
+        !matches!(self, FixQuality::Invalid)
+    }
+}
+
+/// A parsed `$GPGGA` sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gga {
+    /// UTC time of day in seconds.
+    pub utc_seconds: f64,
+    /// Latitude in signed decimal degrees.
+    pub lat_deg: f64,
+    /// Longitude in signed decimal degrees.
+    pub lon_deg: f64,
+    /// Fix quality indicator.
+    pub quality: FixQuality,
+    /// Number of satellites in use.
+    pub num_satellites: u8,
+    /// Horizontal dilution of precision.
+    pub hdop: f64,
+    /// Antenna altitude above mean sea level, meters.
+    pub altitude_m: f64,
+}
+
+impl Gga {
+    /// Encodes back into a framed `$GPGGA…*CS` line.
+    pub fn to_sentence(&self) -> String {
+        let h = (self.utc_seconds / 3600.0).floor() as u32 % 24;
+        let m = (self.utc_seconds / 60.0).floor() as u32 % 60;
+        let s = self.utc_seconds % 60.0;
+        let (lat, lat_h) = format_lat(self.lat_deg);
+        let (lon, lon_h) = format_lon(self.lon_deg);
+        let body = format!(
+            "GPGGA,{h:02}{m:02}{s:06.3},{lat},{lat_h},{lon},{lon_h},{},{:02},{:.1},{:.1},M,0.0,M,,",
+            self.quality.as_u8(),
+            self.num_satellites,
+            self.hdop,
+            self.altitude_m,
+        );
+        frame_sentence(&body)
+    }
+}
+
+impl FromStr for Gga {
+    type Err = NmeaError;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let fields = split_sentence(line)?;
+        let kind = fields.first().copied().unwrap_or("");
+        if kind.len() != 5 || !kind.ends_with("GGA") {
+            return Err(NmeaError::WrongSentenceType { found: kind.into() });
+        }
+        let get = |i: usize, name: &'static str| -> Result<&str, NmeaError> {
+            fields.get(i).copied().ok_or(NmeaError::MissingField(name))
+        };
+        let utc_seconds = parse_utc(get(1, "utc time")?)?;
+        let lat_deg = parse_lat(get(2, "latitude")?, get(3, "latitude hemisphere")?)?;
+        let lon_deg = parse_lon(get(4, "longitude")?, get(5, "longitude hemisphere")?)?;
+        let quality_raw: u8 =
+            get(6, "fix quality")?
+                .parse()
+                .map_err(|_| NmeaError::MalformedField {
+                    field: "fix quality",
+                    value: fields[6].into(),
+                })?;
+        let num_satellites: u8 =
+            get(7, "satellites")?
+                .parse()
+                .map_err(|_| NmeaError::MalformedField {
+                    field: "satellites",
+                    value: fields[7].into(),
+                })?;
+        let hdop: f64 = get(8, "hdop")?
+            .parse()
+            .map_err(|_| NmeaError::MalformedField {
+                field: "hdop",
+                value: fields[8].into(),
+            })?;
+        let altitude_m: f64 =
+            get(9, "altitude")?
+                .parse()
+                .map_err(|_| NmeaError::MalformedField {
+                    field: "altitude",
+                    value: fields[9].into(),
+                })?;
+        Ok(Gga {
+            utc_seconds,
+            lat_deg,
+            lon_deg,
+            quality: FixQuality::from_u8(quality_raw),
+            num_satellites,
+            hdop,
+            altitude_m,
+        })
+    }
+}
+
+impl fmt::Display for Gga {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GGA[({:.6}, {:.6}) alt {:.1} m, {} sats]",
+            self.lat_deg, self.lon_deg, self.altitude_m, self.num_satellites
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47";
+
+    #[test]
+    fn parses_reference_sentence() {
+        let gga: Gga = SAMPLE.parse().unwrap();
+        assert_eq!(gga.quality, FixQuality::Gps);
+        assert!(gga.quality.has_fix());
+        assert_eq!(gga.num_satellites, 8);
+        assert!((gga.hdop - 0.9).abs() < 1e-9);
+        assert!((gga.altitude_m - 545.4).abs() < 1e-9);
+        assert!((gga.lat_deg - 48.1173).abs() < 1e-4);
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let orig = Gga {
+            utc_seconds: 3_723.5,
+            lat_deg: 40.1,
+            lon_deg: -88.2,
+            quality: FixQuality::Dgps,
+            num_satellites: 11,
+            hdop: 1.2,
+            altitude_m: 228.3,
+        };
+        let rt: Gga = orig.to_sentence().parse().unwrap();
+        assert!((rt.lat_deg - orig.lat_deg).abs() < 1e-5);
+        assert!((rt.lon_deg - orig.lon_deg).abs() < 1e-5);
+        assert_eq!(rt.quality, orig.quality);
+        assert_eq!(rt.num_satellites, orig.num_satellites);
+        assert!((rt.altitude_m - orig.altitude_m).abs() < 0.05);
+    }
+
+    #[test]
+    fn no_fix_quality() {
+        let body = "GPGGA,123519,4807.038,N,01131.000,E,0,00,99.9,0.0,M,0.0,M,,";
+        let line = crate::frame_sentence(body);
+        let gga: Gga = line.parse().unwrap();
+        assert_eq!(gga.quality, FixQuality::Invalid);
+        assert!(!gga.quality.has_fix());
+    }
+
+    #[test]
+    fn other_quality_values_preserved() {
+        let body = "GPGGA,123519,4807.038,N,01131.000,E,4,08,0.9,545.4,M,46.9,M,,";
+        let line = crate::frame_sentence(body);
+        let gga: Gga = line.parse().unwrap();
+        assert_eq!(gga.quality, FixQuality::Other(4));
+        assert!(gga.quality.has_fix());
+        let rt: Gga = gga.to_sentence().parse().unwrap();
+        assert_eq!(rt.quality, FixQuality::Other(4));
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let rmc = "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
+        assert!(matches!(
+            rmc.parse::<Gga>(),
+            Err(NmeaError::WrongSentenceType { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_fields() {
+        let body = "GPGGA,123519,4807.038,N,01131.000,E,X,08,0.9,545.4,M,46.9,M,,";
+        let line = crate::frame_sentence(body);
+        assert!(line.parse::<Gga>().is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! `$GPGSA` — GNSS DOP and Active Satellites.
+//!
+//! Carries the fix mode (no fix / 2-D / 3-D) and the dilution-of-
+//! precision values — the receiver-health signals a production Adapter
+//! watches to decide whether samples are worth authenticating at all.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::sentence::{frame_sentence, split_sentence};
+use crate::NmeaError;
+
+/// GSA fix mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixMode {
+    /// 1 — fix not available.
+    NoFix,
+    /// 2 — 2-D fix.
+    Fix2d,
+    /// 3 — 3-D fix.
+    Fix3d,
+}
+
+impl FixMode {
+    fn from_u8(v: u8) -> Result<Self, NmeaError> {
+        Ok(match v {
+            1 => FixMode::NoFix,
+            2 => FixMode::Fix2d,
+            3 => FixMode::Fix3d,
+            _ => {
+                return Err(NmeaError::MalformedField {
+                    field: "fix mode",
+                    value: v.to_string(),
+                })
+            }
+        })
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            FixMode::NoFix => 1,
+            FixMode::Fix2d => 2,
+            FixMode::Fix3d => 3,
+        }
+    }
+}
+
+/// A parsed `$GPGSA` sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gsa {
+    /// `true` for automatic 2-D/3-D selection (`A`), `false` for manual
+    /// (`M`).
+    pub auto_selection: bool,
+    /// Fix mode.
+    pub mode: FixMode,
+    /// PRNs of satellites used in the solution (up to 12).
+    pub satellites: Vec<u8>,
+    /// Position dilution of precision.
+    pub pdop: f64,
+    /// Horizontal dilution of precision.
+    pub hdop: f64,
+    /// Vertical dilution of precision.
+    pub vdop: f64,
+}
+
+impl Gsa {
+    /// `true` when a usable (2-D or 3-D) fix is present.
+    pub fn has_fix(&self) -> bool {
+        self.mode != FixMode::NoFix
+    }
+
+    /// Encodes back into a framed `$GPGSA…*CS` line.
+    pub fn to_sentence(&self) -> String {
+        let sel = if self.auto_selection { 'A' } else { 'M' };
+        let mut sats: Vec<String> = self
+            .satellites
+            .iter()
+            .take(12)
+            .map(|p| format!("{p:02}"))
+            .collect();
+        sats.resize(12, String::new());
+        let body = format!(
+            "GPGSA,{sel},{},{},{:.1},{:.1},{:.1}",
+            self.mode.as_u8(),
+            sats.join(","),
+            self.pdop,
+            self.hdop,
+            self.vdop
+        );
+        frame_sentence(&body)
+    }
+}
+
+impl FromStr for Gsa {
+    type Err = NmeaError;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let fields = split_sentence(line)?;
+        let kind = fields.first().copied().unwrap_or("");
+        if kind.len() != 5 || !kind.ends_with("GSA") {
+            return Err(NmeaError::WrongSentenceType { found: kind.into() });
+        }
+        if fields.len() < 18 {
+            return Err(NmeaError::MissingField("gsa fields"));
+        }
+        let auto_selection = match fields[1] {
+            "A" => true,
+            "M" => false,
+            other => {
+                return Err(NmeaError::MalformedField {
+                    field: "selection mode",
+                    value: other.into(),
+                })
+            }
+        };
+        let mode_raw: u8 = fields[2].parse().map_err(|_| NmeaError::MalformedField {
+            field: "fix mode",
+            value: fields[2].into(),
+        })?;
+        let mode = FixMode::from_u8(mode_raw)?;
+        let mut satellites = Vec::new();
+        for f in &fields[3..15] {
+            if f.is_empty() {
+                continue;
+            }
+            satellites.push(f.parse().map_err(|_| NmeaError::MalformedField {
+                field: "satellite prn",
+                value: (*f).to_string(),
+            })?);
+        }
+        let dop = |i: usize, name: &'static str| -> Result<f64, NmeaError> {
+            fields[i].parse().map_err(|_| NmeaError::MalformedField {
+                field: name,
+                value: fields[i].into(),
+            })
+        };
+        Ok(Gsa {
+            auto_selection,
+            mode,
+            satellites,
+            pdop: dop(15, "pdop")?,
+            hdop: dop(16, "hdop")?,
+            vdop: dop(17, "vdop")?,
+        })
+    }
+}
+
+impl fmt::Display for Gsa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GSA[{:?}, {} sats, hdop {:.1}]",
+            self.mode,
+            self.satellites.len(),
+            self.hdop
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_reference_sentence() {
+        let line = crate::frame_sentence("GPGSA,A,3,04,05,,09,12,,,24,,,,,2.5,1.3,2.1");
+        let gsa: Gsa = line.parse().unwrap();
+        assert!(gsa.auto_selection);
+        assert_eq!(gsa.mode, FixMode::Fix3d);
+        assert!(gsa.has_fix());
+        assert_eq!(gsa.satellites, vec![4, 5, 9, 12, 24]);
+        assert!((gsa.pdop - 2.5).abs() < 1e-9);
+        assert!((gsa.hdop - 1.3).abs() < 1e-9);
+        assert!((gsa.vdop - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let orig = Gsa {
+            auto_selection: false,
+            mode: FixMode::Fix2d,
+            satellites: vec![1, 14, 22],
+            pdop: 3.2,
+            hdop: 1.8,
+            vdop: 2.6,
+        };
+        let rt: Gsa = orig.to_sentence().parse().unwrap();
+        assert_eq!(rt, orig);
+    }
+
+    #[test]
+    fn no_fix_mode() {
+        let line = crate::frame_sentence("GPGSA,A,1,,,,,,,,,,,,,99.9,99.9,99.9");
+        let gsa: Gsa = line.parse().unwrap();
+        assert_eq!(gsa.mode, FixMode::NoFix);
+        assert!(!gsa.has_fix());
+        assert!(gsa.satellites.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let bad_mode = crate::frame_sentence("GPGSA,A,7,,,,,,,,,,,,,1.0,1.0,1.0");
+        assert!(bad_mode.parse::<Gsa>().is_err());
+        let bad_sel = crate::frame_sentence("GPGSA,X,3,,,,,,,,,,,,,1.0,1.0,1.0");
+        assert!(bad_sel.parse::<Gsa>().is_err());
+        let short = crate::frame_sentence("GPGSA,A,3,1.0");
+        assert!(short.parse::<Gsa>().is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let gga = "$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47";
+        assert!(matches!(
+            gga.parse::<Gsa>(),
+            Err(NmeaError::WrongSentenceType { .. })
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! NMEA 0183 sentence parsing and encoding.
+//!
+//! The AliDrone prototype reads an Adafruit Ultimate GPS breakout over
+//! UART; the receiver emits NMEA 0183 sentences and the secure-world GPS
+//! driver parses the `$GPRMC` messages into `(lat, lon, timestamp)`
+//! tuples using libnmea (paper §V-B). This crate is the Rust equivalent
+//! of that parsing layer, plus the *encoding* direction needed by the
+//! simulated receiver:
+//!
+//! * [`split_sentence`] / [`frame_sentence`] — framing and checksums.
+//! * [`Rmc`] — recommended minimum data (position, speed, course, date).
+//! * [`Gga`] — fix data (position, fix quality, satellites, altitude).
+//! * [`coord`] — the `ddmm.mmmm` coordinate format.
+//!
+//! # Example
+//!
+//! ```
+//! use alidrone_nmea::Rmc;
+//!
+//! let line = "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
+//! let rmc: Rmc = line.parse()?;
+//! assert!(rmc.is_active());
+//! assert!((rmc.lat_deg - 48.1173).abs() < 1e-4);
+//! assert!((rmc.lon_deg - 11.5166).abs() < 1e-4);
+//! # Ok::<(), alidrone_nmea::NmeaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+mod error;
+mod gga;
+mod gsa;
+mod rmc;
+mod sentence;
+mod vtg;
+
+pub use error::NmeaError;
+pub use gga::{FixQuality, Gga};
+pub use gsa::{FixMode, Gsa};
+pub use rmc::Rmc;
+pub use sentence::{checksum, frame_sentence, split_sentence};
+pub use vtg::Vtg;

@@ -1,0 +1,276 @@
+//! `$GPRMC` — Recommended Minimum data, the sentence AliDrone's GPS
+//! driver extracts position and timestamps from (paper §V-B).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::coord::{format_lat, format_lon, parse_lat, parse_lon};
+use crate::sentence::{frame_sentence, split_sentence};
+use crate::NmeaError;
+
+/// A parsed `$GPRMC` sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rmc {
+    /// UTC time of day in seconds (0 .. 86400, fractional).
+    pub utc_seconds: f64,
+    /// Receiver status: `true` = `A` (active/valid fix), `false` = `V`.
+    pub active: bool,
+    /// Latitude in signed decimal degrees.
+    pub lat_deg: f64,
+    /// Longitude in signed decimal degrees.
+    pub lon_deg: f64,
+    /// Speed over ground in knots.
+    pub speed_knots: f64,
+    /// Course over ground in degrees true, if reported.
+    pub course_deg: Option<f64>,
+    /// Date as (day, month, two-digit year).
+    pub date: (u8, u8, u8),
+}
+
+impl Rmc {
+    /// `true` when the fix is valid (`A` status).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Speed over ground in meters per second.
+    pub fn speed_mps(&self) -> f64 {
+        self.speed_knots * 0.514_444
+    }
+
+    /// Encodes back into a framed `$GPRMC…*CS` line.
+    pub fn to_sentence(&self) -> String {
+        let h = (self.utc_seconds / 3600.0).floor() as u32 % 24;
+        let m = (self.utc_seconds / 60.0).floor() as u32 % 60;
+        let s = self.utc_seconds % 60.0;
+        let (lat, lat_h) = format_lat(self.lat_deg);
+        let (lon, lon_h) = format_lon(self.lon_deg);
+        let status = if self.active { 'A' } else { 'V' };
+        let course = self
+            .course_deg
+            .map(|c| format!("{c:05.1}"))
+            .unwrap_or_default();
+        let (dd, mm, yy) = self.date;
+        let body = format!(
+            "GPRMC,{h:02}{m:02}{s:06.3},{status},{lat},{lat_h},{lon},{lon_h},{:05.1},{course},{dd:02}{mm:02}{yy:02},,,A",
+            self.speed_knots,
+        );
+        frame_sentence(&body)
+    }
+}
+
+impl FromStr for Rmc {
+    type Err = NmeaError;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let fields = split_sentence(line)?;
+        let kind = fields.first().copied().unwrap_or("");
+        // Accept any talker id (GP, GN, GL, …) with RMC type.
+        if kind.len() != 5 || !kind.ends_with("RMC") {
+            return Err(NmeaError::WrongSentenceType { found: kind.into() });
+        }
+        let get = |i: usize, name: &'static str| -> Result<&str, NmeaError> {
+            fields
+                .get(i)
+                .copied()
+                .ok_or(NmeaError::MissingField(name))
+        };
+
+        let utc_seconds = parse_utc(get(1, "utc time")?)?;
+        let active = match get(2, "status")? {
+            "A" => true,
+            "V" => false,
+            other => {
+                return Err(NmeaError::MalformedField {
+                    field: "status",
+                    value: other.into(),
+                })
+            }
+        };
+        let lat_deg = parse_lat(get(3, "latitude")?, get(4, "latitude hemisphere")?)?;
+        let lon_deg = parse_lon(get(5, "longitude")?, get(6, "longitude hemisphere")?)?;
+        let speed_knots = parse_f64(get(7, "speed")?, "speed")?;
+        let course_field = get(8, "course")?;
+        let course_deg = if course_field.is_empty() {
+            None
+        } else {
+            Some(parse_f64(course_field, "course")?)
+        };
+        let date = parse_date(get(9, "date")?)?;
+        Ok(Rmc {
+            utc_seconds,
+            active,
+            lat_deg,
+            lon_deg,
+            speed_knots,
+            course_deg,
+            date,
+        })
+    }
+}
+
+impl fmt::Display for Rmc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RMC[{} ({:.6}, {:.6}) {:.1} kn @ {:.1}s]",
+            if self.active { "A" } else { "V" },
+            self.lat_deg,
+            self.lon_deg,
+            self.speed_knots,
+            self.utc_seconds
+        )
+    }
+}
+
+pub(crate) fn parse_utc(field: &str) -> Result<f64, NmeaError> {
+    if field.len() < 6 {
+        return Err(NmeaError::MalformedField {
+            field: "utc time",
+            value: field.into(),
+        });
+    }
+    let bad = || NmeaError::MalformedField {
+        field: "utc time",
+        value: field.into(),
+    };
+    let h: f64 = field[0..2].parse().map_err(|_| bad())?;
+    let m: f64 = field[2..4].parse().map_err(|_| bad())?;
+    let s: f64 = field[4..].parse().map_err(|_| bad())?;
+    if h >= 24.0 || m >= 60.0 || s >= 61.0 {
+        return Err(bad());
+    }
+    Ok(h * 3600.0 + m * 60.0 + s)
+}
+
+fn parse_f64(field: &str, name: &'static str) -> Result<f64, NmeaError> {
+    field.parse().map_err(|_| NmeaError::MalformedField {
+        field: name,
+        value: field.into(),
+    })
+}
+
+fn parse_date(field: &str) -> Result<(u8, u8, u8), NmeaError> {
+    let bad = || NmeaError::MalformedField {
+        field: "date",
+        value: field.into(),
+    };
+    if field.len() != 6 {
+        return Err(bad());
+    }
+    let dd: u8 = field[0..2].parse().map_err(|_| bad())?;
+    let mm: u8 = field[2..4].parse().map_err(|_| bad())?;
+    let yy: u8 = field[4..6].parse().map_err(|_| bad())?;
+    if dd == 0 || dd > 31 || mm == 0 || mm > 12 {
+        return Err(bad());
+    }
+    Ok((dd, mm, yy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str =
+        "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
+
+    #[test]
+    fn parses_reference_sentence() {
+        let rmc: Rmc = SAMPLE.parse().unwrap();
+        assert!(rmc.is_active());
+        assert!((rmc.utc_seconds - (12.0 * 3600.0 + 35.0 * 60.0 + 19.0)).abs() < 1e-9);
+        assert!((rmc.lat_deg - 48.1173).abs() < 1e-4);
+        assert!((rmc.lon_deg - 11.516_666).abs() < 1e-4);
+        assert!((rmc.speed_knots - 22.4).abs() < 1e-9);
+        assert_eq!(rmc.course_deg, Some(84.4));
+        assert_eq!(rmc.date, (23, 3, 94));
+    }
+
+    #[test]
+    fn speed_conversion() {
+        let rmc: Rmc = SAMPLE.parse().unwrap();
+        assert!((rmc.speed_mps() - 22.4 * 0.514_444).abs() < 1e-9);
+    }
+
+    #[test]
+    fn void_status_parses_inactive() {
+        let body = "GPRMC,123519,V,4807.038,N,01131.000,E,000.0,084.4,230394,,";
+        let line = crate::frame_sentence(body);
+        let rmc: Rmc = line.parse().unwrap();
+        assert!(!rmc.is_active());
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let orig = Rmc {
+            utc_seconds: 45_296.25,
+            active: true,
+            lat_deg: 40.098_76,
+            lon_deg: -88.254_32,
+            speed_knots: 13.7,
+            course_deg: Some(271.3),
+            date: (6, 7, 26),
+        };
+        let line = orig.to_sentence();
+        let rt: Rmc = line.parse().unwrap();
+        assert!((rt.utc_seconds - orig.utc_seconds).abs() < 0.001);
+        assert!((rt.lat_deg - orig.lat_deg).abs() < 1e-5);
+        assert!((rt.lon_deg - orig.lon_deg).abs() < 1e-5);
+        assert!((rt.speed_knots - orig.speed_knots).abs() < 0.05);
+        assert_eq!(rt.date, orig.date);
+        assert!(rt.active);
+    }
+
+    #[test]
+    fn accepts_other_talkers() {
+        let body = "GNRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,,";
+        let line = crate::frame_sentence(body);
+        assert!(line.parse::<Rmc>().is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let body = "GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,";
+        let line = crate::frame_sentence(body);
+        assert!(matches!(
+            line.parse::<Rmc>(),
+            Err(NmeaError::WrongSentenceType { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_status() {
+        let body = "GPRMC,123519,X,4807.038,N,01131.000,E,022.4,084.4,230394,,";
+        let line = crate::frame_sentence(body);
+        assert!(matches!(
+            line.parse::<Rmc>(),
+            Err(NmeaError::MalformedField { field: "status", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_time_and_date() {
+        for (time, date) in [("993519", "230394"), ("123519", "320394"), ("123519", "231394")] {
+            let body =
+                format!("GPRMC,{time},A,4807.038,N,01131.000,E,022.4,084.4,{date},,");
+            let line = crate::frame_sentence(&body);
+            assert!(line.parse::<Rmc>().is_err(), "time={time} date={date}");
+        }
+    }
+
+    #[test]
+    fn missing_course_is_none() {
+        let body = "GPRMC,123519,A,4807.038,N,01131.000,E,022.4,,230394,,";
+        let line = crate::frame_sentence(body);
+        let rmc: Rmc = line.parse().unwrap();
+        assert_eq!(rmc.course_deg, None);
+    }
+
+    #[test]
+    fn fractional_seconds_supported() {
+        let body = "GPRMC,123519.200,A,4807.038,N,01131.000,E,022.4,084.4,230394,,";
+        let line = crate::frame_sentence(body);
+        let rmc: Rmc = line.parse().unwrap();
+        assert!((rmc.utc_seconds % 60.0 - 19.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Sentence framing and checksums.
+
+use crate::NmeaError;
+
+/// The NMEA checksum: XOR of every byte strictly between `$` and `*`.
+pub fn checksum(body: &str) -> u8 {
+    body.bytes().fold(0, |acc, b| acc ^ b)
+}
+
+/// Wraps a sentence body (e.g. `"GPRMC,123519,A,…"`) into a full framed
+/// line `$body*CS` (without a trailing CRLF — callers append line endings
+/// as their transport requires).
+pub fn frame_sentence(body: &str) -> String {
+    format!("${body}*{:02X}", checksum(body))
+}
+
+/// Validates framing + checksum and splits the body into fields.
+///
+/// Returns the fields (the first is the sentence type, e.g. `"GPRMC"`).
+/// Trailing `\r\n` is tolerated.
+///
+/// # Errors
+///
+/// Returns a [`NmeaError`] describing the first framing problem found.
+pub fn split_sentence(line: &str) -> Result<Vec<&str>, NmeaError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let rest = line.strip_prefix('$').ok_or(NmeaError::MissingStart)?;
+    let star = rest.rfind('*').ok_or(NmeaError::MissingChecksum)?;
+    let (body, cs_text) = rest.split_at(star);
+    let cs_text = &cs_text[1..];
+    if cs_text.len() != 2 {
+        return Err(NmeaError::MalformedChecksum);
+    }
+    let stated = u8::from_str_radix(cs_text, 16).map_err(|_| NmeaError::MalformedChecksum)?;
+    let computed = checksum(body);
+    if stated != computed {
+        return Err(NmeaError::ChecksumMismatch { computed, stated });
+    }
+    Ok(body.split(',').collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RMC: &str = "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
+
+    #[test]
+    fn checksum_known_value() {
+        assert_eq!(
+            checksum("GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W"),
+            0x6A
+        );
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let body = "GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,";
+        let framed = frame_sentence(body);
+        let fields = split_sentence(&framed).unwrap();
+        assert_eq!(fields[0], "GPGGA");
+        assert_eq!(fields.len(), body.split(',').count());
+    }
+
+    #[test]
+    fn split_valid_sentence() {
+        let fields = split_sentence(RMC).unwrap();
+        assert_eq!(fields[0], "GPRMC");
+        assert_eq!(fields[1], "123519");
+        assert_eq!(fields[2], "A");
+    }
+
+    #[test]
+    fn tolerates_crlf() {
+        let with_crlf = format!("{RMC}\r\n");
+        assert!(split_sentence(&with_crlf).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_dollar() {
+        assert_eq!(split_sentence(&RMC[1..]), Err(NmeaError::MissingStart));
+    }
+
+    #[test]
+    fn rejects_missing_star() {
+        let no_star = RMC.replace('*', "");
+        assert_eq!(split_sentence(&no_star), Err(NmeaError::MissingChecksum));
+    }
+
+    #[test]
+    fn rejects_bad_checksum() {
+        let bad = RMC.replace("*6A", "*6B");
+        assert_eq!(
+            split_sentence(&bad),
+            Err(NmeaError::ChecksumMismatch {
+                computed: 0x6A,
+                stated: 0x6B
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_checksum() {
+        let bad = RMC.replace("*6A", "*6");
+        assert_eq!(split_sentence(&bad), Err(NmeaError::MalformedChecksum));
+        let bad2 = RMC.replace("*6A", "*ZZ");
+        assert_eq!(split_sentence(&bad2), Err(NmeaError::MalformedChecksum));
+    }
+
+    #[test]
+    fn corrupted_body_detected() {
+        // Flip one character in the body: checksum must catch it.
+        let corrupted = RMC.replace("4807.038", "4807.039");
+        assert!(matches!(
+            split_sentence(&corrupted),
+            Err(NmeaError::ChecksumMismatch { .. })
+        ));
+    }
+}

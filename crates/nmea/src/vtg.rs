@@ -1,0 +1,146 @@
+//! `$GPVTG` — Track Made Good and Ground Speed.
+//!
+//! The Adafruit receiver interleaves VTG with RMC/GGA; the Adapter can
+//! use its ground speed without waiting for an RMC.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::sentence::{frame_sentence, split_sentence};
+use crate::NmeaError;
+
+/// A parsed `$GPVTG` sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vtg {
+    /// Course over ground, degrees true (if reported).
+    pub course_true_deg: Option<f64>,
+    /// Course over ground, degrees magnetic (if reported).
+    pub course_mag_deg: Option<f64>,
+    /// Speed over ground in knots.
+    pub speed_knots: f64,
+    /// Speed over ground in km/h.
+    pub speed_kmh: f64,
+}
+
+impl Vtg {
+    /// Speed over ground in meters per second (from the knots field).
+    pub fn speed_mps(&self) -> f64 {
+        self.speed_knots * 0.514_444
+    }
+
+    /// Encodes back into a framed `$GPVTG…*CS` line.
+    pub fn to_sentence(&self) -> String {
+        let t = self
+            .course_true_deg
+            .map(|c| format!("{c:05.1}"))
+            .unwrap_or_default();
+        let m = self
+            .course_mag_deg
+            .map(|c| format!("{c:05.1}"))
+            .unwrap_or_default();
+        let body = format!(
+            "GPVTG,{t},T,{m},M,{:05.1},N,{:05.1},K,A",
+            self.speed_knots, self.speed_kmh
+        );
+        frame_sentence(&body)
+    }
+}
+
+impl FromStr for Vtg {
+    type Err = NmeaError;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let fields = split_sentence(line)?;
+        let kind = fields.first().copied().unwrap_or("");
+        if kind.len() != 5 || !kind.ends_with("VTG") {
+            return Err(NmeaError::WrongSentenceType { found: kind.into() });
+        }
+        let get = |i: usize, name: &'static str| -> Result<&str, NmeaError> {
+            fields.get(i).copied().ok_or(NmeaError::MissingField(name))
+        };
+        let opt_f64 = |s: &str, name: &'static str| -> Result<Option<f64>, NmeaError> {
+            if s.is_empty() {
+                return Ok(None);
+            }
+            s.parse().map(Some).map_err(|_| NmeaError::MalformedField {
+                field: name,
+                value: s.into(),
+            })
+        };
+        let course_true_deg = opt_f64(get(1, "course true")?, "course true")?;
+        let course_mag_deg = opt_f64(get(3, "course magnetic")?, "course magnetic")?;
+        let speed_knots = get(5, "speed knots")?
+            .parse()
+            .map_err(|_| NmeaError::MalformedField {
+                field: "speed knots",
+                value: fields[5].into(),
+            })?;
+        let speed_kmh = get(7, "speed kmh")?
+            .parse()
+            .map_err(|_| NmeaError::MalformedField {
+                field: "speed kmh",
+                value: fields[7].into(),
+            })?;
+        Ok(Vtg {
+            course_true_deg,
+            course_mag_deg,
+            speed_knots,
+            speed_kmh,
+        })
+    }
+}
+
+impl fmt::Display for Vtg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VTG[{:.1} kn]", self.speed_knots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_reference_sentence() {
+        let line = crate::frame_sentence("GPVTG,054.7,T,034.4,M,005.5,N,010.2,K,A");
+        let vtg: Vtg = line.parse().unwrap();
+        assert_eq!(vtg.course_true_deg, Some(54.7));
+        assert_eq!(vtg.course_mag_deg, Some(34.4));
+        assert!((vtg.speed_knots - 5.5).abs() < 1e-9);
+        assert!((vtg.speed_kmh - 10.2).abs() < 1e-9);
+        assert!((vtg.speed_mps() - 5.5 * 0.514_444).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_courses_are_none() {
+        let line = crate::frame_sentence("GPVTG,,T,,M,005.5,N,010.2,K,A");
+        let vtg: Vtg = line.parse().unwrap();
+        assert_eq!(vtg.course_true_deg, None);
+        assert_eq!(vtg.course_mag_deg, None);
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let orig = Vtg {
+            course_true_deg: Some(271.3),
+            course_mag_deg: None,
+            speed_knots: 13.7,
+            speed_kmh: 25.4,
+        };
+        let rt: Vtg = orig.to_sentence().parse().unwrap();
+        assert_eq!(rt.course_true_deg, Some(271.3));
+        assert_eq!(rt.course_mag_deg, None);
+        assert!((rt.speed_knots - 13.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_wrong_type_and_garbage() {
+        let rmc = "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
+        assert!(matches!(
+            rmc.parse::<Vtg>(),
+            Err(NmeaError::WrongSentenceType { .. })
+        ));
+        let bad = crate::frame_sentence("GPVTG,054.7,T,034.4,M,xxx,N,010.2,K,A");
+        assert!(bad.parse::<Vtg>().is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for NMEA parsing and encoding.
+
+use alidrone_nmea::{frame_sentence, split_sentence, Gga, NmeaError, Rmc};
+use alidrone_nmea::coord::{format_lat, format_lon, parse_lat, parse_lon};
+use proptest::prelude::*;
+
+proptest! {
+    /// Coordinate format round trip at GPS precision.
+    #[test]
+    fn lat_round_trip(lat in -89.9999..89.9999f64) {
+        let (f, h) = format_lat(lat);
+        let rt = parse_lat(&f, &h.to_string()).unwrap();
+        prop_assert!((rt - lat).abs() < 1e-5, "{lat} -> {f}{h} -> {rt}");
+    }
+
+    #[test]
+    fn lon_round_trip(lon in -179.9999..179.9999f64) {
+        let (f, h) = format_lon(lon);
+        let rt = parse_lon(&f, &h.to_string()).unwrap();
+        prop_assert!((rt - lon).abs() < 1e-5);
+    }
+
+    /// RMC encode/parse round trip for arbitrary valid samples.
+    #[test]
+    fn rmc_round_trip(
+        lat in -89.9..89.9f64,
+        lon in -179.9..179.9f64,
+        utc in 0.0..86_399.0f64,
+        speed in 0.0..120.0f64,
+        active in any::<bool>(),
+        day in 1u8..=28, month in 1u8..=12, year in 0u8..=99,
+    ) {
+        let orig = Rmc {
+            utc_seconds: utc,
+            active,
+            lat_deg: lat,
+            lon_deg: lon,
+            speed_knots: speed,
+            course_deg: None,
+            date: (day, month, year),
+        };
+        let line = orig.to_sentence();
+        let rt: Rmc = line.parse().unwrap();
+        prop_assert!((rt.lat_deg - lat).abs() < 1e-5);
+        prop_assert!((rt.lon_deg - lon).abs() < 1e-5);
+        prop_assert!((rt.utc_seconds - utc).abs() < 0.01);
+        prop_assert!((rt.speed_knots - speed).abs() < 0.06);
+        prop_assert_eq!(rt.active, active);
+        prop_assert_eq!(rt.date, (day, month, year));
+    }
+
+    /// GGA encode/parse round trip including altitude.
+    #[test]
+    fn gga_round_trip(
+        lat in -89.9..89.9f64,
+        lon in -179.9..179.9f64,
+        utc in 0.0..86_399.0f64,
+        alt in -100.0..9_000.0f64,
+        sats in 0u8..24,
+    ) {
+        let orig = Gga {
+            utc_seconds: utc,
+            lat_deg: lat,
+            lon_deg: lon,
+            quality: alidrone_nmea::FixQuality::Gps,
+            num_satellites: sats,
+            hdop: 1.0,
+            altitude_m: alt,
+        };
+        let rt: Gga = orig.to_sentence().parse().unwrap();
+        prop_assert!((rt.lat_deg - lat).abs() < 1e-5);
+        prop_assert!((rt.lon_deg - lon).abs() < 1e-5);
+        prop_assert!((rt.altitude_m - alt).abs() < 0.06);
+        prop_assert_eq!(rt.num_satellites, sats);
+    }
+
+    /// Any single-character corruption of the body is caught by the
+    /// checksum (unless it collides, which XOR of one changed character
+    /// cannot do).
+    #[test]
+    fn checksum_detects_single_corruption(
+        idx in 0usize..50,
+        replacement in b'0'..=b'9',
+    ) {
+        let body = "GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W";
+        let framed = frame_sentence(body);
+        // Corrupt one body character (skip '$' at 0).
+        let pos = 1 + idx % body.len();
+        let mut bytes = framed.clone().into_bytes();
+        if bytes[pos] == replacement {
+            return Ok(()); // no-op corruption
+        }
+        bytes[pos] = replacement;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        match split_sentence(&corrupted) {
+            Err(NmeaError::ChecksumMismatch { .. }) => {}
+            Err(_) => {} // corrupting a comma etc. can break other framing
+            Ok(_) => prop_assert!(false, "corruption undetected: {corrupted}"),
+        }
+    }
+
+    /// Framing arbitrary field content round-trips through the splitter.
+    #[test]
+    fn frame_split_round_trip(fields in prop::collection::vec("[A-Za-z0-9.]{0,8}", 1..10)) {
+        let body = fields.join(",");
+        let framed = frame_sentence(&body);
+        let split = split_sentence(&framed).unwrap();
+        prop_assert_eq!(split.len(), fields.len());
+        for (a, b) in split.iter().zip(fields.iter()) {
+            prop_assert_eq!(*a, b.as_str());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Recovery policy** — the literal Algorithm 1 vs. our recovering
+//!    variant, on the residential scenario with its GPS dropout.
+//! 2. **Sufficiency criterion** — the paper's boundary-distance shortcut
+//!    vs. exact ellipse intersection, swept over zone lateral offsets.
+//! 3. **Signing strategy** (§VII-A1) — per-sample RSA vs. batch vs.
+//!    HMAC, as modelled per-flight CPU cost on the RPi3 model.
+//!
+//! Run with `cargo run -p alidrone-sim --release --bin exp_ablation`.
+
+use alidrone_core::SamplingStrategy;
+use alidrone_geo::sufficiency::{pair_is_sufficient, pair_is_sufficient_exact};
+use alidrone_geo::{
+    Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp, FAA_MAX_SPEED,
+};
+use alidrone_sim::report::render_table;
+use alidrone_sim::runner::{experiment_key, run_scenario};
+use alidrone_sim::scenarios::residential;
+use alidrone_tee::CostModel;
+
+fn main() {
+    recovery_ablation();
+    criterion_ablation();
+    signing_ablation();
+}
+
+/// Ablation 1: strict Algorithm 1 vs. recovery after the dropout.
+fn recovery_ablation() {
+    println!("== Ablation 1: adaptive-sampling recovery policy ==");
+    let scenario = residential();
+    let mut rows = Vec::new();
+    for (name, strategy) in [
+        ("Algorithm 1 (literal)", SamplingStrategy::AdaptiveStrict),
+        ("with recovery (ours)", SamplingStrategy::Adaptive),
+    ] {
+        let run = run_scenario(&scenario, strategy, experiment_key(), CostModel::free())
+            .expect("scenario run");
+        // Size of the largest time gap between recorded samples: the
+        // literal algorithm stalls after the dropout, producing a
+        // monster gap.
+        let alibi = run.record.poa.alibi();
+        let max_gap = alibi
+            .windows(2)
+            .map(|w| w[1].time().secs() - w[0].time().secs())
+            .fold(0.0f64, f64::max);
+        rows.push(vec![
+            name.to_string(),
+            run.sample_count().to_string(),
+            run.insufficient_pairs.to_string(),
+            format!("{max_gap:.1} s"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["policy", "samples", "insufficient pairs", "largest gap"],
+            &rows
+        )
+    );
+    println!(
+        "the literal algorithm never samples again once eq. 2 has failed;\n\
+         the dropout near the zones therefore truncates its PoA — evidence\n\
+         the prototype must have recovered, as our default variant does.\n"
+    );
+}
+
+/// Ablation 2: paper criterion vs. exact ellipse test over a lateral
+/// sweep of zone offsets (fixed pair geometry).
+fn criterion_ablation() {
+    println!("== Ablation 2: sufficiency criterion conservatism ==");
+    let origin = GeoPoint::new(40.1164, -88.2434).expect("valid");
+    let s1 = GpsSample::new(origin, Timestamp::from_secs(0.0));
+    let s2 = GpsSample::new(
+        origin.destination(90.0, Distance::from_meters(60.0)),
+        Timestamp::from_secs(2.0), // budget ≈ 89.4 m
+    );
+    let mut paper_accepts = 0usize;
+    let mut exact_accepts = 0usize;
+    let mut disagreements = 0usize;
+    let offsets: Vec<f64> = (0..200).map(|i| 20.0 + i as f64 * 0.5).collect();
+    for &off in &offsets {
+        let zone = NoFlyZone::new(
+            origin
+                .destination(90.0, Distance::from_meters(30.0))
+                .destination(0.0, Distance::from_meters(off)),
+            Distance::from_meters(15.0),
+        );
+        let paper = pair_is_sufficient(&s1, &s2, &zone, FAA_MAX_SPEED);
+        let exact = pair_is_sufficient_exact(&s1, &s2, &zone, FAA_MAX_SPEED);
+        paper_accepts += usize::from(paper);
+        exact_accepts += usize::from(exact);
+        if paper != exact {
+            disagreements += 1;
+        }
+        assert!(!paper || exact, "paper criterion must be sound");
+    }
+    println!(
+        "{}",
+        render_table(
+            &["criterion", "accepted (of 200 offsets)"],
+            &[
+                vec!["paper (boundary distance)".into(), paper_accepts.to_string()],
+                vec!["exact (ellipse ∩ disk)".into(), exact_accepts.to_string()],
+            ]
+        )
+    );
+    println!(
+        "exact accepts {disagreements} offset(s) the paper criterion rejects — the price of\n\
+         the O(1) shortcut; it is never unsound (asserted during the sweep).\n"
+    );
+}
+
+/// Ablation 3: per-flight authentication cost by signing strategy,
+/// modelled on the RPi3 for the residential flight's sample count.
+fn signing_ablation() {
+    println!("== Ablation 3: signing strategy cost (§VII-A1) ==");
+    let scenario = residential();
+    let run = run_scenario(
+        &scenario,
+        SamplingStrategy::Adaptive,
+        experiment_key(),
+        CostModel::free(),
+    )
+    .expect("scenario run");
+    let n = run.sample_count() as f64;
+    let model = CostModel::raspberry_pi_3();
+    // HMAC-SHA256 of a 24-byte message on the RPi3 class hardware is on
+    // the order of 5 µs — four orders below RSA; the world switches and
+    // the driver read still apply.
+    let hmac_cost = 5.0e-6;
+    let mut rows = Vec::new();
+    for bits in [1024usize, 2048] {
+        let per_sample = model.get_gps_auth_cost(bits).secs();
+        let individual = n * per_sample;
+        let batch = n * (model.world_switch.secs() * 2.0 + model.read_gps.secs())
+            + model.sign_cost(bits).secs();
+        let symmetric =
+            n * (model.world_switch.secs() * 2.0 + model.read_gps.secs() + hmac_cost);
+        rows.push(vec![
+            format!("{bits}-bit RSA per sample"),
+            format!("{individual:.2} s"),
+        ]);
+        rows.push(vec![
+            format!("{bits}-bit RSA, batch (§VII-A1b)"),
+            format!("{batch:.2} s"),
+        ]);
+        if bits == 1024 {
+            rows.push(vec![
+                "HMAC per sample (§VII-A1a)".to_string(),
+                format!("{symmetric:.2} s"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "strategy",
+                &format!("CPU for the residential flight ({} samples)", n as usize),
+            ],
+            &rows
+        )
+    );
+    println!(
+        "batching amortises the signature; HMAC removes it — but gives up\n\
+         third-party non-repudiation, which is why the paper keeps RSA by default."
+    );
+}

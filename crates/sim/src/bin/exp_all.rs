@@ -1,0 +1,23 @@
+//! Runs every experiment in sequence (Fig. 6, Fig. 8, Table II).
+//!
+//! `cargo run -p alidrone-sim --release --bin exp_all`
+
+use std::process::Command;
+
+fn main() {
+    // The individual experiments are separate binaries; exec each so a
+    // single command regenerates the whole evaluation section.
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for name in ["exp_fig6", "exp_fig7", "exp_fig8", "exp_table2", "exp_ablation"] {
+        let path = dir.join(name);
+        println!("\n############ {name} ############\n");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{name} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Regenerates **Fig. 6** (paper §VI-A2): cumulative GPS samples vs.
+//! distance to the no-fly zone in the airport scenario, for 1 Hz
+//! fixed-rate sampling and adaptive sampling.
+//!
+//! Run with `cargo run -p alidrone-sim --release --bin exp_fig6`.
+
+use alidrone_core::SamplingStrategy;
+use alidrone_sim::metrics::fig6_series;
+use alidrone_sim::report::{render_table, sparkline};
+use alidrone_sim::runner::{experiment_key, run_scenario};
+use alidrone_sim::scenarios::airport;
+use alidrone_tee::CostModel;
+
+fn main() {
+    let scenario = airport();
+    println!("== Fig. 6: airport scenario ==");
+    println!(
+        "NFZ radius 5 mi; start 30 ft outside the boundary; drive ~3 mi away in {:.0} s; GPS {} Hz\n",
+        scenario.duration.secs(),
+        scenario.hw_rate_hz
+    );
+
+    let fixed = run_scenario(
+        &scenario,
+        SamplingStrategy::FixedRate(1.0),
+        experiment_key(),
+        CostModel::free(),
+    )
+    .expect("fixed-rate run");
+    let adaptive = run_scenario(
+        &scenario,
+        SamplingStrategy::Adaptive,
+        experiment_key(),
+        CostModel::free(),
+    )
+    .expect("adaptive run");
+
+    let rows = vec![
+        vec![
+            "1 Hz fix rate".to_string(),
+            fixed.sample_count().to_string(),
+            "649".to_string(),
+            fixed.insufficient_pairs.to_string(),
+        ],
+        vec![
+            "adaptive".to_string(),
+            adaptive.sample_count().to_string(),
+            "14".to_string(),
+            adaptive.insufficient_pairs.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["strategy", "samples (ours)", "samples (paper)", "insufficient pairs"],
+            &rows
+        )
+    );
+    println!(
+        "sample-count reduction: ours {:.1}x, paper {:.1}x\n",
+        fixed.sample_count() as f64 / adaptive.sample_count() as f64,
+        649.0 / 14.0,
+    );
+
+    // The figure itself: cumulative samples (log y in the paper) over
+    // distance to the zone, printed at decade distances.
+    println!("cumulative samples at distance-to-NFZ checkpoints:");
+    let checkpoints_ft = [30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 15_000.0];
+    let mut rows = Vec::new();
+    for strategy_run in [("1 Hz fix rate", &fixed), ("adaptive", &adaptive)] {
+        let series = fig6_series(&strategy_run.1.record);
+        let mut row = vec![strategy_run.0.to_string()];
+        for cp in checkpoints_ft {
+            let cum = series
+                .iter()
+                .take_while(|p| p.distance_ft <= cp)
+                .last()
+                .map(|p| p.cumulative_samples)
+                .unwrap_or(0);
+            row.push(cum.to_string());
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("strategy".to_string())
+        .chain(checkpoints_ft.iter().map(|c| format!("{c:.0} ft")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+
+    for (name, run) in [("fixed", &fixed), ("adaptive", &adaptive)] {
+        let series = fig6_series(&run.record);
+        let values: Vec<f64> = series.iter().map(|p| p.cumulative_samples as f64).collect();
+        println!("{name:>8} cumulative-samples shape: {}", sparkline(&values, 60));
+    }
+
+    // Dump the raw series for external plotting.
+    let dir = alidrone_sim::export::default_export_dir();
+    for (name, run) in [("fig6_fixed_1hz", &fixed), ("fig6_adaptive", &adaptive)] {
+        let export =
+            alidrone_sim::export::Fig6Export::new(&run.record.strategy, &fig6_series(&run.record));
+        match alidrone_sim::export::write_json(&dir, name, &export) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("export failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerates **Fig. 8** (paper §VI-A3): the residential scenario's
+//! three panels — (a) distance to the nearest NFZ, (b) instantaneous
+//! sampling rate, (c) cumulative insufficient-PoA count — for fixed
+//! 2/3/5 Hz sampling and adaptive sampling.
+//!
+//! Run with `cargo run -p alidrone-sim --release --bin exp_fig8`.
+
+use alidrone_core::SamplingStrategy;
+use alidrone_sim::metrics::{fig8a_series, fig8b_series, fig8c_series};
+use alidrone_sim::report::{render_table, sparkline};
+use alidrone_sim::runner::{experiment_key, run_scenario, ScenarioRun};
+use alidrone_sim::scenarios::residential;
+use alidrone_tee::CostModel;
+
+fn main() {
+    let scenario = residential();
+    println!("== Fig. 8: residential scenario ==");
+    println!(
+        "{} NFZs of 20 ft radius along a ~1 mi route over {:.0} s; GPS {} Hz with {} dropout(s)\n",
+        scenario.zones.len(),
+        scenario.duration.secs(),
+        scenario.hw_rate_hz,
+        scenario.dropouts.len()
+    );
+
+    let strategies: Vec<(&str, SamplingStrategy, Option<usize>)> = vec![
+        ("2 Hz fix rate", SamplingStrategy::FixedRate(2.0), Some(39)),
+        ("3 Hz fix rate", SamplingStrategy::FixedRate(3.0), Some(9)),
+        ("5 Hz fix rate", SamplingStrategy::FixedRate(5.0), None),
+        ("adaptive", SamplingStrategy::Adaptive, Some(1)),
+    ];
+
+    let runs: Vec<(&str, Option<usize>, ScenarioRun)> = strategies
+        .into_iter()
+        .map(|(name, s, paper)| {
+            let run = run_scenario(&scenario, s, experiment_key(), CostModel::free())
+                .expect("scenario run");
+            (name, paper, run)
+        })
+        .collect();
+
+    // Panel (a): distance to nearest NFZ (same trace for all runs).
+    let a = fig8a_series(&runs[0].2.record);
+    let dist: Vec<f64> = a.iter().map(|p| p.value).collect();
+    let min = dist.iter().copied().fold(f64::INFINITY, f64::min);
+    println!("(a) distance to nearest NFZ over time (ft):");
+    println!("    shape: {}", sparkline(&dist, 60));
+    println!("    min {min:.0} ft (paper: 21 ft); early stretch 50-100 ft, dense stretch 20-70 ft\n");
+
+    // Panel (b): instantaneous sampling rate (4 s sliding window).
+    println!("(b) instantaneous sampling rate (Hz), 4 s window:");
+    for (name, _, run) in &runs {
+        let b = fig8b_series(&run.record, 4.0);
+        let rates: Vec<f64> = b.iter().map(|p| p.value).collect();
+        let mean = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
+        let max = rates.iter().copied().fold(0.0, f64::max);
+        println!(
+            "    {name:>14}: {}  mean {mean:.2} Hz, max {max:.1} Hz",
+            sparkline(&rates, 50)
+        );
+    }
+    println!();
+
+    // Panel (c): cumulative insufficient PoA count.
+    println!("(c) total number of insufficient PoA pairs:");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(name, paper, run)| {
+            vec![
+                name.to_string(),
+                run.sample_count().to_string(),
+                run.insufficient_pairs.to_string(),
+                paper.map(|p| p.to_string()).unwrap_or_else(|| "~1".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["strategy", "samples", "insufficient (ours)", "insufficient (paper)"],
+            &rows
+        )
+    );
+    for (name, _, run) in &runs {
+        let c = fig8c_series(&run.record, &scenario.zones);
+        let values: Vec<f64> = c.iter().map(|p| p.value).collect();
+        println!("    {name:>14} cumulative shape: {}", sparkline(&values, 50));
+    }
+
+    // Dump every panel's raw series for external plotting.
+    let dir = alidrone_sim::export::default_export_dir();
+    let mut exports: Vec<(String, alidrone_sim::export::TimelineExport)> = vec![(
+        "fig8a_distance".to_string(),
+        alidrone_sim::export::TimelineExport::new("distance_ft", &fig8a_series(&runs[0].2.record)),
+    )];
+    for (name, _, run) in &runs {
+        let tag = name.replace(' ', "_");
+        exports.push((
+            format!("fig8b_rate_{tag}"),
+            alidrone_sim::export::TimelineExport::new(name, &fig8b_series(&run.record, 4.0)),
+        ));
+        exports.push((
+            format!("fig8c_insufficient_{tag}"),
+            alidrone_sim::export::TimelineExport::new(
+                name,
+                &fig8c_series(&run.record, &scenario.zones),
+            ),
+        ));
+    }
+    for (name, export) in &exports {
+        match alidrone_sim::export::write_json(&dir, name, export) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("export failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Local cost-model calibration.
+//!
+//! The default [`CostModel`] is calibrated from the paper's Table II
+//! (Raspberry Pi 3). This module derives an *independent* model from
+//! timings measured on the current machine, so the experiment harness
+//! can print a "this machine" column next to the paper one and so the
+//! cost-model's internal ratios (sign₂₀₄₈/sign₁₀₂₄, sign vs switch) can
+//! be validated against real silicon.
+
+use std::time::Instant;
+
+use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
+use alidrone_geo::Duration;
+use alidrone_tee::CostModel;
+
+/// Measured local costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalTimings {
+    /// Mean local RSASSA-PKCS1-v1.5(SHA-1) time for the given key.
+    pub sign: Duration,
+    /// Key size measured.
+    pub key_bits: usize,
+    /// Iterations averaged over.
+    pub iterations: u32,
+}
+
+/// Measures the local per-signature cost for `key` by averaging
+/// `iterations` signatures of a GPS-sample-sized message.
+pub fn measure_sign(key: &RsaPrivateKey, iterations: u32) -> LocalTimings {
+    let iterations = iterations.max(1);
+    let msg = [0x42u8; 24];
+    // Warm up once (page in the code path).
+    let _ = key.sign(&msg, HashAlg::Sha1);
+    let start = Instant::now();
+    for _ in 0..iterations {
+        let _ = key.sign(&msg, HashAlg::Sha1);
+    }
+    let elapsed = start.elapsed().as_secs_f64() / iterations as f64;
+    LocalTimings {
+        sign: Duration::from_secs(elapsed),
+        key_bits: key.bits(),
+        iterations,
+    }
+}
+
+/// Builds a cost model for *this machine* from a measured signing time:
+/// the RSA costs scale from the measurement (cubically in key size), and
+/// the non-crypto costs (world switch, driver read) keep the RPi3 model's
+/// proportions relative to its 1024-bit signature — i.e. we assume this
+/// machine is uniformly faster/slower, the same assumption the paper's
+/// own single-platform calibration makes.
+pub fn local_cost_model(timings: &LocalTimings) -> CostModel {
+    let rpi = CostModel::raspberry_pi_3();
+    // Normalise the measurement to an equivalent 1024-bit signing time.
+    let scale_to_1024 = (1024.0 / timings.key_bits as f64).powi(3);
+    let sign_1024 = timings.sign.secs() * scale_to_1024;
+    let speed_ratio = sign_1024 / rpi.sign_1024.secs();
+    CostModel {
+        world_switch: Duration::from_secs(rpi.world_switch.secs() * speed_ratio),
+        sign_1024: Duration::from_secs(sign_1024),
+        sign_2048: Duration::from_secs(sign_1024 * (rpi.sign_2048.secs() / rpi.sign_1024.secs())),
+        read_gps: Duration::from_secs(rpi.read_gps.secs() * speed_ratio),
+        encrypt: Duration::from_secs(rpi.encrypt.secs() * speed_ratio),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::experiment_key;
+
+    #[test]
+    fn measurement_is_positive_and_finite() {
+        let t = measure_sign(&experiment_key(), 3);
+        assert!(t.sign.secs() > 0.0);
+        assert!(t.sign.secs().is_finite());
+        assert_eq!(t.key_bits, 512);
+    }
+
+    #[test]
+    fn local_model_preserves_rpi_ratios() {
+        let t = LocalTimings {
+            sign: Duration::from_millis(2.0),
+            key_bits: 1024,
+            iterations: 10,
+        };
+        let m = local_cost_model(&t);
+        let rpi = CostModel::raspberry_pi_3();
+        assert!((m.sign_1024.millis() - 2.0).abs() < 1e-9);
+        let local_ratio = m.sign_2048.secs() / m.sign_1024.secs();
+        let rpi_ratio = rpi.sign_2048.secs() / rpi.sign_1024.secs();
+        assert!((local_ratio - rpi_ratio).abs() < 1e-9);
+        // Switch scaled by the same speed ratio.
+        let speed = 2.0 / rpi.sign_1024.millis();
+        assert!((m.world_switch.millis() - rpi.world_switch.millis() * speed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_key_measurement_scales_up_cubically() {
+        let t = LocalTimings {
+            sign: Duration::from_millis(1.0),
+            key_bits: 512,
+            iterations: 10,
+        };
+        let m = local_cost_model(&t);
+        // 512 → 1024 bits: 8x cubic scaling.
+        assert!((m.sign_1024.millis() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_iterations_clamped() {
+        let t = measure_sign(&experiment_key(), 0);
+        assert_eq!(t.iterations, 1);
+    }
+}

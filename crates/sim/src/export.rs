@@ -1,0 +1,136 @@
+//! JSON export of experiment series for external plotting.
+//!
+//! The `exp_*` binaries print tables; this module additionally dumps the
+//! raw series as JSON (via `serde_json` — justified in DESIGN.md: output
+//! formatting only, never on the security path) so the figures can be
+//! re-plotted with any tool.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::metrics::{Fig6Point, TimePoint};
+
+/// Where experiment dumps go by default: `target/experiments/`.
+pub fn default_export_dir() -> PathBuf {
+    PathBuf::from("target").join("experiments")
+}
+
+/// A labelled Fig. 6 series.
+#[derive(Debug, Serialize)]
+pub struct Fig6Export {
+    /// Strategy label.
+    pub strategy: String,
+    /// `(distance_ft, cumulative_samples)` points.
+    pub points: Vec<(f64, usize)>,
+}
+
+impl Fig6Export {
+    /// Builds from a metrics series.
+    pub fn new(strategy: &str, series: &[Fig6Point]) -> Self {
+        Fig6Export {
+            strategy: strategy.to_string(),
+            points: series
+                .iter()
+                .map(|p| (p.distance_ft, p.cumulative_samples))
+                .collect(),
+        }
+    }
+}
+
+/// A labelled timeline series (Fig. 8 panels).
+#[derive(Debug, Serialize)]
+pub struct TimelineExport {
+    /// Strategy / panel label.
+    pub label: String,
+    /// `(t_secs, value)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimelineExport {
+    /// Builds from a metrics timeline.
+    pub fn new(label: &str, series: &[TimePoint]) -> Self {
+        TimelineExport {
+            label: label.to_string(),
+            points: series.iter().map(|p| (p.t, p.value)).collect(),
+        }
+    }
+}
+
+/// Writes any serialisable payload as pretty JSON under `dir/name.json`,
+/// creating the directory if needed. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, payload: &T) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("alidrone-export-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_fig6_json() {
+        let dir = tmpdir("fig6");
+        let export = Fig6Export::new(
+            "adaptive",
+            &[
+                Fig6Point {
+                    distance_ft: 30.0,
+                    cumulative_samples: 1,
+                },
+                Fig6Point {
+                    distance_ft: 120.0,
+                    cumulative_samples: 3,
+                },
+            ],
+        );
+        let path = write_json(&dir, "fig6_adaptive", &export).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["strategy"], "adaptive");
+        assert_eq!(parsed["points"][1][1], 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_timeline_json() {
+        let dir = tmpdir("timeline");
+        let export = TimelineExport::new(
+            "fig8a",
+            &[
+                TimePoint { t: 0.0, value: 80.0 },
+                TimePoint { t: 1.0, value: 75.5 },
+            ],
+        );
+        let path = write_json(&dir, "fig8a", &export).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed["label"], "fig8a");
+        assert_eq!(parsed["points"][0][1], 80.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_nested_directories() {
+        let dir = tmpdir("nested").join("a").join("b");
+        let path = write_json(&dir, "x", &vec![1, 2, 3]).unwrap();
+        assert!(path.exists());
+        fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).unwrap();
+    }
+}

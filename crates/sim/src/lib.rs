@@ -1,0 +1,30 @@
+//! Field-study scenarios, metrics, and the power model reproducing the
+//! AliDrone ICDCS 2018 evaluation (§VI).
+//!
+//! The paper evaluates AliDrone with two synthetic-hardware-free assets:
+//!
+//! * **Field studies** (§VI-A) — recorded drive traces replayed into the
+//!   GPS sampler: an *airport* scenario (one 5-mile NFZ, drive away
+//!   ~3 miles) and a *residential* scenario (94 house NFZs of 20 ft
+//!   radius along a ~1 mile route). [`scenarios`] regenerates both with
+//!   the published geometry.
+//! * **Laboratory benchmarks** (§VI-B, Table II) — CPU / power / memory
+//!   for fixed 2/3/5 Hz sampling and the two field studies, at 1024- and
+//!   2048-bit key sizes. [`power`] implements the Kaup et al. power
+//!   model (eq. 4) over the TEE cost ledger.
+//!
+//! [`runner`] executes a scenario under any sampling strategy and
+//! [`metrics`] post-processes flight records into the exact series the
+//! paper's figures plot. One binary per figure/table regenerates it:
+//! `exp_fig6`, `exp_fig8`, `exp_table2` (plus `exp_all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod export;
+pub mod metrics;
+pub mod power;
+pub mod report;
+pub mod runner;
+pub mod scenarios;

@@ -1,0 +1,268 @@
+//! Post-processing of flight records into the series the paper plots.
+
+use alidrone_core::FlightRecord;
+use alidrone_geo::{Distance, ZoneSet};
+
+/// A `(distance_to_zone_ft, cumulative_samples)` point of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Point {
+    /// Distance from the vehicle to the NFZ boundary, feet.
+    pub distance_ft: f64,
+    /// Total samples recorded so far.
+    pub cumulative_samples: usize,
+}
+
+/// Fig. 6: cumulative number of recorded samples as a function of the
+/// distance to the (single) NFZ boundary.
+pub fn fig6_series(record: &FlightRecord) -> Vec<Fig6Point> {
+    let mut out = Vec::new();
+    let mut cum = 0usize;
+    for ev in &record.events {
+        if ev.recorded {
+            cum += 1;
+        }
+        if let Some(d) = ev.nearest_boundary {
+            out.push(Fig6Point {
+                distance_ft: d.feet(),
+                cumulative_samples: cum,
+            });
+        }
+    }
+    out
+}
+
+/// A timeline point `(t_secs, value)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimePoint {
+    /// Seconds since the start of the run.
+    pub t: f64,
+    /// Series value at `t`.
+    pub value: f64,
+}
+
+/// Fig. 8(a): distance to the nearest NFZ over time, feet.
+pub fn fig8a_series(record: &FlightRecord) -> Vec<TimePoint> {
+    let t0 = record.window_start.secs();
+    record
+        .events
+        .iter()
+        .filter_map(|ev| {
+            ev.nearest_boundary.map(|d| TimePoint {
+                t: ev.time.secs() - t0,
+                value: d.feet(),
+            })
+        })
+        .collect()
+}
+
+/// Fig. 8(b): instantaneous sampling rate over time (Hz), computed as
+/// the number of recorded samples in a sliding window.
+pub fn fig8b_series(record: &FlightRecord, window_secs: f64) -> Vec<TimePoint> {
+    let t0 = record.window_start.secs();
+    let times: Vec<f64> = record
+        .poa
+        .alibi()
+        .iter()
+        .map(|s| s.time().secs() - t0)
+        .collect();
+    record
+        .events
+        .iter()
+        .map(|ev| {
+            let t = ev.time.secs() - t0;
+            let lo = t - window_secs / 2.0;
+            let hi = t + window_secs / 2.0;
+            let n = times.iter().filter(|&&s| s >= lo && s < hi).count();
+            TimePoint {
+                t,
+                value: n as f64 / window_secs,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 8(c): cumulative count of insufficient PoA pairs over time.
+///
+/// A pair `(Sᵢ, Sᵢ₊₁)` is counted at time `tᵢ₊₁` when
+/// `min_j (Dᵢⱼ + Dᵢ₊₁ⱼ) < v_max (tᵢ₊₁ − tᵢ)`.
+pub fn fig8c_series(record: &FlightRecord, zones: &ZoneSet) -> Vec<TimePoint> {
+    let t0 = record.window_start.secs();
+    let alibi = record.poa.alibi();
+    let report = alidrone_geo::sufficiency::check_alibi(
+        &alibi,
+        zones,
+        alidrone_geo::FAA_MAX_SPEED,
+        alidrone_geo::sufficiency::Criterion::Paper,
+    );
+    // Cumulative count keyed by the time of the second sample of each
+    // insufficient pair, then sampled onto the event timeline.
+    let mut bad_times: Vec<f64> = report
+        .pairs
+        .iter()
+        .filter(|p| !p.sufficient)
+        .map(|p| alibi[p.index + 1].time().secs() - t0)
+        .collect();
+    bad_times.sort_by(f64::total_cmp);
+    record
+        .events
+        .iter()
+        .map(|ev| {
+            let t = ev.time.secs() - t0;
+            let n = bad_times.iter().take_while(|&&b| b <= t).count();
+            TimePoint { t, value: n as f64 }
+        })
+        .collect()
+}
+
+/// Summary of a Fig. 6-style comparison: total samples per strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleCountSummary {
+    /// Strategy label.
+    pub strategy: String,
+    /// Total recorded samples.
+    pub samples: usize,
+    /// Insufficient pairs against the scenario's zones.
+    pub insufficient: usize,
+}
+
+/// The minimum distance to any zone over a run, feet.
+pub fn min_distance_ft(record: &FlightRecord) -> Option<f64> {
+    record
+        .events
+        .iter()
+        .filter_map(|e| e.nearest_boundary.map(Distance::feet))
+        .min_by(f64::total_cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{experiment_key, run_scenario};
+    use crate::scenarios::{airport, residential};
+    use alidrone_core::SamplingStrategy;
+    use alidrone_tee::CostModel;
+
+    fn airport_run(strategy: SamplingStrategy) -> crate::runner::ScenarioRun {
+        run_scenario(&airport(), strategy, experiment_key(), CostModel::free()).unwrap()
+    }
+
+    #[test]
+    fn fig6_series_is_monotone_in_samples() {
+        let run = airport_run(SamplingStrategy::Adaptive);
+        let series = fig6_series(&run.record);
+        assert!(!series.is_empty());
+        for w in series.windows(2) {
+            assert!(w[1].cumulative_samples >= w[0].cumulative_samples);
+            // Driving away: distance grows.
+            assert!(w[1].distance_ft >= w[0].distance_ft - 1.0);
+        }
+        // The landing anchor recorded after the last event may add one.
+        let final_cum = series.last().unwrap().cumulative_samples;
+        assert!(run.sample_count() - final_cum <= 1);
+    }
+
+    #[test]
+    fn fig6_adaptive_density_decreases_with_distance() {
+        // Fig. 6 on a log scale: the adaptive gaps grow geometrically
+        // with distance, so far more samples land near the zone than far
+        // from it.
+        let run = airport_run(SamplingStrategy::Adaptive);
+        let series = fig6_series(&run.record);
+        let total = series.last().unwrap().cumulative_samples;
+        let near = series
+            .iter()
+            .find(|p| p.distance_ft >= 200.0)
+            .unwrap()
+            .cumulative_samples;
+        let at_5000ft = series
+            .iter()
+            .find(|p| p.distance_ft >= 5_000.0)
+            .map(|p| p.cumulative_samples)
+            .unwrap_or(total);
+        let far = total - at_5000ft;
+        assert!(
+            near >= far,
+            "{near} samples within 200 ft vs {far} beyond 5000 ft"
+        );
+        assert!(near >= total / 4, "{near} of {total} within 200 ft");
+    }
+
+    #[test]
+    fn fig8a_profile_spans_run() {
+        let run = run_scenario(
+            &residential(),
+            SamplingStrategy::Adaptive,
+            experiment_key(),
+            CostModel::free(),
+        )
+        .unwrap();
+        let series = fig8a_series(&run.record);
+        assert!(series.first().unwrap().t < 1.0);
+        assert!(series.last().unwrap().t > 150.0);
+        let min = series.iter().map(|p| p.value).fold(f64::INFINITY, f64::min);
+        assert!((min - 21.0).abs() < 3.0, "min distance {min} ft");
+    }
+
+    #[test]
+    fn fig8b_rates_bounded_by_hardware() {
+        let run = run_scenario(
+            &residential(),
+            SamplingStrategy::Adaptive,
+            experiment_key(),
+            CostModel::free(),
+        )
+        .unwrap();
+        let series = fig8b_series(&run.record, 4.0);
+        for p in &series {
+            assert!(p.value <= 5.5, "rate {} Hz at t={}", p.value, p.t);
+        }
+        // Dense stretch pushes the rate well above the sparse stretch.
+        let early_max = series
+            .iter()
+            .filter(|p| p.t < 40.0)
+            .map(|p| p.value)
+            .fold(0.0, f64::max);
+        let late_max = series
+            .iter()
+            .filter(|p| p.t > 80.0)
+            .map(|p| p.value)
+            .fold(0.0, f64::max);
+        assert!(
+            late_max > early_max,
+            "late {late_max} Hz vs early {early_max} Hz"
+        );
+    }
+
+    #[test]
+    fn fig8c_is_cumulative_and_matches_total() {
+        let scen = residential();
+        let run = run_scenario(
+            &scen,
+            SamplingStrategy::FixedRate(2.0),
+            experiment_key(),
+            CostModel::free(),
+        )
+        .unwrap();
+        let series = fig8c_series(&run.record, &scen.zones);
+        for w in series.windows(2) {
+            assert!(w[1].value >= w[0].value);
+        }
+        assert_eq!(
+            series.last().unwrap().value as usize,
+            run.insufficient_pairs
+        );
+    }
+
+    #[test]
+    fn min_distance_matches_scenario() {
+        let run = run_scenario(
+            &residential(),
+            SamplingStrategy::FixedRate(5.0),
+            experiment_key(),
+            CostModel::free(),
+        )
+        .unwrap();
+        let min = min_distance_ft(&run.record).unwrap();
+        assert!((min - 21.0).abs() < 3.0, "{min} ft");
+    }
+}

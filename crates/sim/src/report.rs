@@ -1,0 +1,253 @@
+//! Plain-text report formatting shared by the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders a fixed-width table: header row plus data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an `Option<f64>` with the table's "-" convention for
+/// infeasible cells.
+pub fn opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// A coarse ASCII sparkline of a series (for eyeballing figure shapes in
+/// a terminal).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let step = (values.len() as f64 / width as f64).max(1.0);
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < values.len() && out.chars().count() < width {
+        let v = values[i as usize];
+        let idx = (((v - min) / span) * 7.0).round() as usize;
+        out.push(GLYPHS[idx.min(7)]);
+        i += step;
+    }
+    out
+}
+
+/// Renders a plan-view ASCII map of a route through a zone field — the
+/// reproduction's stand-in for the paper's Fig. 7 satellite view.
+///
+/// `#` marks no-fly-zone interiors, `o` zone centres, `·` the route,
+/// `A`/`B` its endpoints.
+pub fn ascii_map(
+    route: &[alidrone_geo::GeoPoint],
+    zones: &alidrone_geo::ZoneSet,
+    cols: usize,
+    rows: usize,
+) -> String {
+    use alidrone_geo::LocalTangentPlane;
+    if route.is_empty() || cols < 2 || rows < 2 {
+        return String::new();
+    }
+    let plane = LocalTangentPlane::new(route[0]);
+    let pts: Vec<(f64, f64)> = route
+        .iter()
+        .map(|p| {
+            let e = plane.project(p);
+            (e.east, e.north)
+        })
+        .collect();
+    let zone_pts: Vec<(f64, f64, f64)> = zones
+        .iter()
+        .map(|z| {
+            let e = plane.project(&z.center());
+            (e.east, e.north, z.radius().meters())
+        })
+        .collect();
+    let all_x = pts
+        .iter()
+        .map(|p| p.0)
+        .chain(zone_pts.iter().flat_map(|z| [z.0 - z.2, z.0 + z.2]));
+    let all_y = pts
+        .iter()
+        .map(|p| p.1)
+        .chain(zone_pts.iter().flat_map(|z| [z.1 - z.2, z.1 + z.2]));
+    let (min_x, max_x) = bounds(all_x);
+    let (min_y, max_y) = bounds(all_y);
+    let sx = (max_x - min_x).max(1e-9) / (cols - 1) as f64;
+    let sy = (max_y - min_y).max(1e-9) / (rows - 1) as f64;
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    // Zones first (route draws over them).
+    for (r, row) in grid.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let x = min_x + c as f64 * sx;
+            let y = max_y - r as f64 * sy;
+            if zone_pts
+                .iter()
+                .any(|&(zx, zy, zr)| (x - zx).hypot(y - zy) <= zr)
+            {
+                *cell = '#';
+            }
+        }
+    }
+    for &(zx, zy, _) in &zone_pts {
+        if let Some((r, c)) = cell(zx, zy, min_x, max_y, sx, sy, cols, rows) {
+            grid[r][c] = 'o';
+        }
+    }
+    // Route: sample densely along each segment.
+    for w in pts.windows(2) {
+        let steps = 200;
+        for k in 0..=steps {
+            let t = k as f64 / steps as f64;
+            let x = w[0].0 + (w[1].0 - w[0].0) * t;
+            let y = w[0].1 + (w[1].1 - w[0].1) * t;
+            if let Some((r, c)) = cell(x, y, min_x, max_y, sx, sy, cols, rows) {
+                grid[r][c] = '·';
+            }
+        }
+    }
+    if let Some((r, c)) = cell(pts[0].0, pts[0].1, min_x, max_y, sx, sy, cols, rows) {
+        grid[r][c] = 'A';
+    }
+    let last = pts[pts.len() - 1];
+    if let Some((r, c)) = cell(last.0, last.1, min_x, max_y, sx, sy, cols, rows) {
+        grid[r][c] = 'B';
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cell(
+    x: f64,
+    y: f64,
+    min_x: f64,
+    max_y: f64,
+    sx: f64,
+    sy: f64,
+    cols: usize,
+    rows: usize,
+) -> Option<(usize, usize)> {
+    let c = ((x - min_x) / sx).round() as isize;
+    let r = ((max_y - y) / sy).round() as isize;
+    if c >= 0 && (c as usize) < cols && r >= 0 && (r as usize) < rows {
+        Some((r as usize, c as usize))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["case", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["long-case".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("case"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-case"));
+    }
+
+    #[test]
+    fn opt_formatting() {
+        assert_eq!(opt(Some(1.2345), 2), "1.23");
+        assert_eq!(opt(None, 2), "-");
+    }
+
+    #[test]
+    fn ascii_map_marks_route_and_zones() {
+        use alidrone_geo::{Distance, GeoPoint, NoFlyZone, ZoneSet};
+        let a = GeoPoint::new(40.0, -88.0).unwrap();
+        let b = a.destination(90.0, Distance::from_meters(1_000.0));
+        let zones: ZoneSet = std::iter::once(NoFlyZone::new(
+            a.destination(90.0, Distance::from_meters(500.0))
+                .destination(0.0, Distance::from_meters(200.0)),
+            Distance::from_meters(120.0),
+        ))
+        .collect();
+        let map = ascii_map(&[a, b], &zones, 60, 16);
+        assert!(map.contains('A'));
+        assert!(map.contains('B'));
+        assert!(map.contains('·'));
+        assert!(map.contains('#'));
+        assert_eq!(map.lines().count(), 16);
+        assert!(map.lines().all(|l| l.chars().count() == 60));
+    }
+
+    #[test]
+    fn ascii_map_degenerate_inputs() {
+        use alidrone_geo::ZoneSet;
+        assert_eq!(ascii_map(&[], &ZoneSet::new(), 40, 10), "");
+        let a = alidrone_geo::GeoPoint::new(40.0, -88.0).unwrap();
+        assert_eq!(ascii_map(&[a], &ZoneSet::new(), 1, 1), "");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[], 10), "");
+    }
+}

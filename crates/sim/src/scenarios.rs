@@ -1,0 +1,260 @@
+//! The two field-study scenarios with the paper's published geometry.
+
+use alidrone_geo::trajectory::{Trajectory, TrajectoryBuilder};
+use alidrone_geo::{Distance, Duration, GeoPoint, NoFlyZone, Speed, ZoneSet};
+
+/// A reproducible field-study scenario: a drive trajectory, the zone
+/// layout, the receiver configuration, and any injected GPS dropouts.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name for reports.
+    pub name: &'static str,
+    /// The vehicle's path.
+    pub trajectory: Trajectory,
+    /// The no-fly zones in force.
+    pub zones: ZoneSet,
+    /// GPS receiver update rate (Hz).
+    pub hw_rate_hz: f64,
+    /// Hardware update indices that are lost (the §VI-A3 missed update).
+    pub dropouts: Vec<u64>,
+    /// Flight/drive duration to simulate.
+    pub duration: Duration,
+}
+
+/// Geographic anchor for both scenarios (arbitrary; all geometry is
+/// relative).
+pub fn anchor() -> GeoPoint {
+    GeoPoint::new(40.1164, -88.2434).expect("valid anchor")
+}
+
+/// §VI-A2 — the airport scenario.
+///
+/// "We set an NFZ centered at an airport with a radius of 5 miles. The
+/// GPS trace starts about 30 feet outside the boundary of the NFZ. The
+/// vehicle drives away from the NFZ for about 3 miles in 12 minutes."
+/// The receiver runs at 1 Hz (the paper's configured rate for this
+/// study); the fixed baseline collects 649 samples, so the drive is
+/// 648 s long.
+pub fn airport() -> Scenario {
+    let airport_center = anchor();
+    let radius = Distance::from_miles(5.0);
+    let zone = NoFlyZone::new(airport_center, radius);
+
+    // Start 30 ft outside the boundary, drive straight away (east).
+    let start = airport_center.destination(90.0, radius + Distance::from_feet(30.0));
+    let drive_distance = Distance::from_miles(3.0);
+    let duration = Duration::from_secs(648.0);
+    let speed = Speed::from_mps(drive_distance.meters() / duration.secs());
+    let end = start.destination(90.0, drive_distance);
+    let trajectory = TrajectoryBuilder::start_at(start)
+        .travel_to(end, speed)
+        .build()
+        .expect("airport trajectory");
+
+    Scenario {
+        name: "airport",
+        trajectory,
+        zones: std::iter::once(zone).collect(),
+        hw_rate_hz: 1.0,
+        dropouts: Vec::new(),
+        duration,
+    }
+}
+
+/// §VI-A3 — the residential scenario.
+///
+/// "We drive the vehicle through a local county for about one mile …
+/// Every NFZ is represented by a circle centers at a house with a radius
+/// of 20 feet. In total, 94 NFZs are identified in this area." The trace
+/// spans ~160 s (Fig. 8's time axis) at 5 Hz, with distances to the
+/// nearest NFZ of 50–100 ft in the sparse first stretch and 20–70 ft in
+/// the dense second stretch, bottoming out at 21 ft; one GPS update is
+/// lost while the vehicle is ~25 ft from an NFZ, which is what produces
+/// adaptive sampling's single insufficient PoA.
+pub fn residential() -> Scenario {
+    let route_start = anchor().destination(180.0, Distance::from_miles(1.0));
+    let route_len = Distance::from_miles(1.0);
+    let duration = Duration::from_secs(160.0);
+    let speed = Speed::from_mps(route_len.meters() / duration.secs()); // ≈ 10 m/s ≈ 22 mph
+    let route_end = route_start.destination(90.0, route_len);
+    let trajectory = TrajectoryBuilder::start_at(route_start)
+        .travel_to(route_end, speed)
+        .build()
+        .expect("residential trajectory");
+
+    // 94 houses along the street, alternating sides. The first ~40 % of
+    // the street is sparse (setbacks giving 50–100 ft to the boundary),
+    // the rest dense (20–70 ft). House radius 20 ft.
+    let radius = Distance::from_feet(20.0);
+    let n = 94usize;
+    let spacing = route_len.meters() / n as f64;
+    let mut zones = ZoneSet::new();
+    for i in 0..n {
+        let along = (i as f64 + 0.5) * spacing;
+        let on_route = route_start.destination(90.0, Distance::from_meters(along));
+        let side = if i % 2 == 0 { 0.0 } else { 180.0 }; // north / south
+        let frac = along / route_len.meters();
+        // Lateral distance from route to house *center* = boundary
+        // distance + radius. A deterministic ripple varies the setbacks.
+        let ripple = ((i as f64 * 2.399) .sin() + 1.0) / 2.0; // in [0, 1]
+        let boundary_ft = if frac < 0.4 {
+            50.0 + 50.0 * ripple // sparse: 50–100 ft
+        } else {
+            26.0 + 44.0 * ripple // dense: 26–70 ft
+        };
+        let center_offset = Distance::from_feet(boundary_ft) + radius;
+        let house = on_route.destination(side, center_offset);
+        zones.push(NoFlyZone::new(house, radius));
+    }
+    // The paper's closest approach: one house at exactly 21 ft from the
+    // route, two-thirds in.
+    let closest_pos = route_start.destination(90.0, Distance::from_meters(0.66 * route_len.meters()));
+    zones.push(NoFlyZone::new(
+        closest_pos.destination(0.0, Distance::from_feet(21.0) + radius),
+        radius,
+    ));
+
+    // Dropout: lose one 5 Hz update while ~25 ft from a zone. With the
+    // geometry above the vehicle is ~25 ft from the nearest boundary a
+    // little before the closest approach; locate that update index.
+    let hw_rate_hz = 5.0;
+    let dropout_idx = find_update_near_boundary(&trajectory, &zones, hw_rate_hz, 24.0, 27.0)
+        .unwrap_or((0.6 * duration.secs() * hw_rate_hz) as u64);
+
+    Scenario {
+        name: "residential",
+        trajectory,
+        zones,
+        hw_rate_hz,
+        dropouts: vec![dropout_idx],
+        duration,
+    }
+}
+
+/// Finds the first hardware-update index (in the second half of the
+/// drive) whose distance to the nearest zone boundary lies within
+/// `[lo_ft, hi_ft]`.
+fn find_update_near_boundary(
+    trajectory: &Trajectory,
+    zones: &ZoneSet,
+    rate_hz: f64,
+    lo_ft: f64,
+    hi_ft: f64,
+) -> Option<u64> {
+    let total = trajectory.total_duration().secs();
+    let steps = (total * rate_hz) as u64;
+    for k in (steps / 2)..steps {
+        let t = Duration::from_secs(k as f64 / rate_hz);
+        let pos = trajectory.position_at(t);
+        if let Some(d) = zones.nearest_boundary_distance(&pos) {
+            let ft = d.feet();
+            if ft >= lo_ft && ft <= hi_ft {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airport_matches_published_geometry() {
+        let s = airport();
+        assert_eq!(s.name, "airport");
+        assert_eq!(s.zones.len(), 1);
+        let zone = s.zones.iter().next().unwrap();
+        assert!((zone.radius().miles() - 5.0).abs() < 1e-9);
+        // Start 30 ft outside the boundary.
+        let d0 = zone.boundary_distance(&s.trajectory.start_point());
+        assert!((d0.feet() - 30.0).abs() < 1.0, "start at {} ft", d0.feet());
+        // End ~3 miles farther out.
+        let d1 = zone.boundary_distance(&s.trajectory.end_point());
+        assert!((d1.miles() - 3.0).abs() < 0.05, "end at {} mi", d1.miles());
+        assert_eq!(s.hw_rate_hz, 1.0);
+        assert!(s.dropouts.is_empty());
+    }
+
+    #[test]
+    fn residential_has_95_zones_of_20ft() {
+        let s = residential();
+        // 94 houses + the 21 ft closest-approach house.
+        assert_eq!(s.zones.len(), 95);
+        for z in s.zones.iter() {
+            assert!((z.radius().feet() - 20.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn residential_distance_profile_matches_figure_8a() {
+        let s = residential();
+        let total = s.duration.secs();
+        let mut min_ft = f64::INFINITY;
+        let mut early: Vec<f64> = Vec::new();
+        let mut late: Vec<f64> = Vec::new();
+        let steps = (total * s.hw_rate_hz) as u64;
+        for k in 0..=steps {
+            let t = k as f64 / s.hw_rate_hz;
+            let pos = s.trajectory.position_at(Duration::from_secs(t));
+            let d = s.zones.nearest_boundary_distance(&pos).unwrap().feet();
+            min_ft = min_ft.min(d);
+            if t < 0.35 * total {
+                early.push(d);
+            } else if t > 0.45 * total {
+                late.push(d);
+            }
+        }
+        // Closest approach ≈ 21 ft (paper: "only 21 ft to the boundary").
+        assert!((min_ft - 21.0).abs() < 2.0, "min {min_ft} ft");
+        // Early sparse stretch mostly 50–100 ft.
+        let early_mean = early.iter().sum::<f64>() / early.len() as f64;
+        assert!(
+            early_mean > 45.0 && early_mean < 105.0,
+            "early mean {early_mean} ft"
+        );
+        // Dense stretch mostly 20–70 ft and clearly closer than early.
+        let late_mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(late_mean < early_mean, "late {late_mean} vs early {early_mean}");
+        assert!(late_mean > 15.0 && late_mean < 75.0, "late mean {late_mean} ft");
+    }
+
+    #[test]
+    fn residential_dropout_sits_near_25ft() {
+        let s = residential();
+        assert_eq!(s.dropouts.len(), 1);
+        let k = s.dropouts[0];
+        let pos = s
+            .trajectory
+            .position_at(Duration::from_secs(k as f64 / s.hw_rate_hz));
+        let d = s.zones.nearest_boundary_distance(&pos).unwrap().feet();
+        assert!(d > 20.0 && d < 30.0, "dropout at {d} ft");
+    }
+
+    #[test]
+    fn residential_no_zone_on_the_route() {
+        // The route itself must stay outside every zone, or the study
+        // would be a violation rather than an alibi demonstration.
+        let s = residential();
+        let steps = (s.duration.secs() * s.hw_rate_hz) as u64;
+        for k in 0..=steps {
+            let pos = s
+                .trajectory
+                .position_at(Duration::from_secs(k as f64 / s.hw_rate_hz));
+            assert!(
+                !s.zones.any_contains(&pos),
+                "route enters a zone at update {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn airport_route_stays_outside_zone() {
+        let s = airport();
+        for k in 0..=648u64 {
+            let pos = s.trajectory.position_at(Duration::from_secs(k as f64));
+            assert!(!s.zones.any_contains(&pos), "inside NFZ at t={k}s");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Cost accounting for secure-world operations.
+//!
+//! We cannot measure a Raspberry Pi 3's TrustZone on this machine, so the
+//! performance side of the reproduction runs on a *cost model*: every
+//! secure-world invocation deposits its modelled CPU time into a ledger,
+//! and the evaluation harness converts accumulated busy time into the
+//! CPU-utilisation and power numbers of the paper's Table II.
+//!
+//! The default model is calibrated **from the paper's own Table II**:
+//! with a 1024-bit key the fixed-rate rows give ≈ 43.5 ms of CPU per
+//! authenticated sample (2.17 %·4 cores / 2 Hz = 43.4 ms, 3 Hz ⇒ 42.3 ms,
+//! 5 Hz ⇒ 44.7 ms), and with a 2048-bit key ≈ 220 ms (2 Hz ⇒ 218.8 ms,
+//! 3 Hz ⇒ 224.1 ms). Those per-sample costs are dominated by the RSA
+//! signature plus two world switches.
+
+use std::sync::Arc;
+
+use alidrone_geo::Duration;
+use parking_lot::Mutex;
+
+/// Modelled CPU cost of each secure-world operation class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// One direction of a world switch (SMC + context save/restore).
+    pub world_switch: Duration,
+    /// RSASSA-PKCS1-v1.5 signature with a 1024-bit key.
+    pub sign_1024: Duration,
+    /// RSASSA-PKCS1-v1.5 signature with a 2048-bit key.
+    pub sign_2048: Duration,
+    /// Reading + parsing the latest NMEA message in the GPS driver.
+    pub read_gps: Duration,
+    /// RSAES-PKCS1-v1.5 encryption of a sample for the auditor (public
+    /// key op — cheap relative to signing).
+    pub encrypt: Duration,
+}
+
+impl CostModel {
+    /// The Raspberry Pi 3 Model B model calibrated from the paper's
+    /// Table II (see module docs).
+    pub fn raspberry_pi_3() -> Self {
+        CostModel {
+            world_switch: Duration::from_millis(0.75),
+            sign_1024: Duration::from_millis(41.0),
+            sign_2048: Duration::from_millis(217.5),
+            read_gps: Duration::from_millis(0.3),
+            encrypt: Duration::from_millis(0.7),
+        }
+    }
+
+    /// A zero-cost model for tests that don't care about accounting.
+    pub fn free() -> Self {
+        CostModel {
+            world_switch: Duration::ZERO,
+            sign_1024: Duration::ZERO,
+            sign_2048: Duration::ZERO,
+            read_gps: Duration::ZERO,
+            encrypt: Duration::ZERO,
+        }
+    }
+
+    /// Signature cost for an arbitrary key size, scaling cubically from
+    /// the calibrated points (CRT RSA signing is Θ(bits³) with schoolbook
+    /// multiplication, which both OP-TEE's libmpa-era code and our
+    /// [`BigUint`](alidrone_crypto::bigint::BigUint) exhibit).
+    pub fn sign_cost(&self, key_bits: usize) -> Duration {
+        match key_bits {
+            1024 => self.sign_1024,
+            2048 => self.sign_2048,
+            bits => {
+                let scale = (bits as f64 / 1024.0).powi(3);
+                Duration::from_secs(self.sign_1024.secs() * scale)
+            }
+        }
+    }
+
+    /// Total modelled cost of one `GetGPSAuth` call: enter + exit world
+    /// switches, a driver read, and a signature.
+    pub fn get_gps_auth_cost(&self, key_bits: usize) -> Duration {
+        self.world_switch * 2.0 + self.read_gps + self.sign_cost(key_bits)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::raspberry_pi_3()
+    }
+}
+
+/// A snapshot of accumulated costs.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct CostSnapshot {
+    /// Total modelled secure-world CPU time.
+    pub busy: Duration,
+    /// Number of world switches (each direction counted once).
+    pub world_switches: u64,
+    /// Number of signatures produced.
+    pub signatures: u64,
+    /// Number of GPS driver reads.
+    pub gps_reads: u64,
+}
+
+/// Thread-safe ledger accumulating modelled costs. Cloning shares the
+/// underlying ledger.
+#[derive(Debug, Default, Clone)]
+pub struct CostLedger {
+    inner: Arc<Mutex<CostSnapshot>>,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Records `n` world switches costing `each`.
+    pub fn record_world_switches(&self, n: u64, each: Duration) {
+        let mut s = self.inner.lock();
+        s.world_switches += n;
+        s.busy = s.busy + each * n as f64;
+    }
+
+    /// Records one signature costing `cost`.
+    pub fn record_signature(&self, cost: Duration) {
+        let mut s = self.inner.lock();
+        s.signatures += 1;
+        s.busy = s.busy + cost;
+    }
+
+    /// Records one GPS read costing `cost`.
+    pub fn record_gps_read(&self, cost: Duration) {
+        let mut s = self.inner.lock();
+        s.gps_reads += 1;
+        s.busy = s.busy + cost;
+    }
+
+    /// Records generic busy time.
+    pub fn record_busy(&self, cost: Duration) {
+        let mut s = self.inner.lock();
+        s.busy = s.busy + cost;
+    }
+
+    /// The current totals.
+    pub fn snapshot(&self) -> CostSnapshot {
+        *self.inner.lock()
+    }
+
+    /// Resets the ledger to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = CostSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpi3_per_sample_cost_matches_table_2_calibration() {
+        let m = CostModel::raspberry_pi_3();
+        let c1024 = m.get_gps_auth_cost(1024).millis();
+        let c2048 = m.get_gps_auth_cost(2048).millis();
+        // Paper-derived targets: ~43.5 ms and ~220 ms.
+        assert!((c1024 - 43.3).abs() < 1.5, "1024-bit {c1024} ms");
+        assert!((c2048 - 219.8).abs() < 3.0, "2048-bit {c2048} ms");
+        // The ratio ~5x is what makes 2048 @ 5 Hz infeasible in Table II.
+        assert!(c2048 / c1024 > 4.5 && c2048 / c1024 < 5.6);
+    }
+
+    #[test]
+    fn fixed_5hz_1024_fits_one_core_but_2048_does_not() {
+        let m = CostModel::raspberry_pi_3();
+        let per_sec_1024 = m.get_gps_auth_cost(1024).secs() * 5.0;
+        let per_sec_2048 = m.get_gps_auth_cost(2048).secs() * 5.0;
+        assert!(per_sec_1024 < 1.0, "1024-bit @5 Hz must be feasible");
+        assert!(per_sec_2048 > 1.0, "2048-bit @5 Hz must exceed one core");
+    }
+
+    #[test]
+    fn sign_cost_scales_cubically_for_other_sizes() {
+        let m = CostModel::raspberry_pi_3();
+        let c512 = m.sign_cost(512);
+        assert!((c512.millis() - m.sign_1024.millis() / 8.0).abs() < 1e-6);
+        let c4096 = m.sign_cost(4096);
+        assert!((c4096.millis() - m.sign_1024.millis() * 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let l = CostLedger::new();
+        l.record_world_switches(2, Duration::from_millis(1.0));
+        l.record_signature(Duration::from_millis(40.0));
+        l.record_gps_read(Duration::from_millis(0.5));
+        let s = l.snapshot();
+        assert_eq!(s.world_switches, 2);
+        assert_eq!(s.signatures, 1);
+        assert_eq!(s.gps_reads, 1);
+        assert!((s.busy.millis() - 42.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_clones_share_state() {
+        let a = CostLedger::new();
+        let b = a.clone();
+        a.record_signature(Duration::from_millis(10.0));
+        assert_eq!(b.snapshot().signatures, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let l = CostLedger::new();
+        l.record_signature(Duration::from_millis(10.0));
+        l.reset();
+        assert_eq!(l.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.get_gps_auth_cost(1024), Duration::ZERO);
+        assert_eq!(m.sign_cost(4096), Duration::ZERO);
+    }
+}

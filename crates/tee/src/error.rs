@@ -1,0 +1,91 @@
+//! Error type mirroring GlobalPlatform `TEE_Result` codes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced across the (modelled) world boundary.
+///
+/// Variants mirror the GlobalPlatform `TEE_ERROR_*` codes the OP-TEE
+/// client API would return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeError {
+    /// `TEE_ERROR_ITEM_NOT_FOUND` — no trusted application with the
+    /// requested UUID, or no stored object with the requested id.
+    ItemNotFound,
+    /// `TEE_ERROR_BAD_PARAMETERS` — wrong parameter types or counts for a
+    /// command.
+    BadParameters(&'static str),
+    /// `TEE_ERROR_NOT_SUPPORTED` — unknown command id.
+    NotSupported(u32),
+    /// `TEE_ERROR_NO_DATA` — e.g. the GPS receiver has no fix yet.
+    NoData,
+    /// `TEE_ERROR_ACCESS_DENIED` — operation not permitted from the
+    /// normal world.
+    AccessDenied,
+    /// `TEE_ERROR_GENERIC` wrapping a crypto failure inside the TEE.
+    CryptoFailure(String),
+    /// The secure world was configured without a required component.
+    MissingComponent(&'static str),
+    /// A signature presented for verification did not verify.
+    SignatureInvalid,
+    /// Malformed serialized data crossing the boundary.
+    MalformedData(&'static str),
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeError::ItemNotFound => write!(f, "item not found"),
+            TeeError::BadParameters(what) => write!(f, "bad parameters: {what}"),
+            TeeError::NotSupported(cmd) => write!(f, "command {cmd} not supported"),
+            TeeError::NoData => write!(f, "no data available"),
+            TeeError::AccessDenied => write!(f, "access denied"),
+            TeeError::CryptoFailure(e) => write!(f, "crypto failure in secure world: {e}"),
+            TeeError::MissingComponent(c) => write!(f, "secure world missing component: {c}"),
+            TeeError::SignatureInvalid => write!(f, "signature verification failed"),
+            TeeError::MalformedData(what) => write!(f, "malformed data: {what}"),
+        }
+    }
+}
+
+impl Error for TeeError {}
+
+impl From<alidrone_crypto::CryptoError> for TeeError {
+    fn from(e: alidrone_crypto::CryptoError) -> Self {
+        TeeError::CryptoFailure(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            TeeError::ItemNotFound,
+            TeeError::BadParameters("x"),
+            TeeError::NotSupported(9),
+            TeeError::NoData,
+            TeeError::AccessDenied,
+            TeeError::CryptoFailure("boom".into()),
+            TeeError::MissingComponent("gps"),
+            TeeError::SignatureInvalid,
+            TeeError::MalformedData("short"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_crypto_error() {
+        let e: TeeError = alidrone_crypto::CryptoError::DecryptionFailed.into();
+        assert!(matches!(e, TeeError::CryptoFailure(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TeeError>();
+    }
+}

@@ -1,0 +1,246 @@
+//! GPS-spoofing detection inside the secure world (paper §VII-A2).
+//!
+//! The paper's limitation discussion proposes "embedding the GPS
+//! spoofing detector into the secure world. If the hardware is running
+//! in a suspicious environment, the GPS Sampler can decline to provide
+//! authenticity services." This module provides that hook: a
+//! [`SpoofDetector`] consulted by the GPS Sampler TA before every
+//! signature, plus a concrete [`PlausibilityDetector`] implementing the
+//! classic consistency checks real detectors use (signal-free here:
+//! kinematic plausibility of the fix stream).
+
+use std::fmt;
+
+use alidrone_geo::{Speed, FAA_MAX_SPEED};
+use alidrone_gps::GpsFix;
+use parking_lot::Mutex;
+
+/// The detector's judgement of the current environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Environment {
+    /// Nothing suspicious: authenticity services continue.
+    Trusted,
+    /// Spoofing suspected: the sampler declines to sign.
+    Suspicious,
+}
+
+/// A spoofing detector running inside the secure world.
+///
+/// Implementations observe every fix the GPS driver parses and judge
+/// whether the receiver is being manipulated. The GPS Sampler refuses
+/// `GetGPSAuth` while the environment is [`Environment::Suspicious`].
+pub trait SpoofDetector: Send + Sync {
+    /// Observes a fix and returns the current judgement.
+    fn observe(&self, fix: &GpsFix) -> Environment;
+}
+
+/// A detector that never suspects anything (the paper's baseline: GPS
+/// spoofing is outside the threat model).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrustingDetector;
+
+impl SpoofDetector for TrustingDetector {
+    fn observe(&self, _fix: &GpsFix) -> Environment {
+        Environment::Trusted
+    }
+}
+
+/// Kinematic plausibility checks over the fix stream:
+///
+/// * **Teleportation** — implied speed between consecutive fixes above a
+///   configurable multiple of `v_max` (spoofers that jump the position).
+/// * **Time reversal** — fix timestamps running backwards.
+/// * **Reported-speed mismatch** — receiver-reported ground speed far
+///   from the position-derived speed.
+///
+/// Once tripped, the detector stays latched suspicious (a conservative
+/// policy: a spoofed enclave cannot un-suspect itself; recovery requires
+/// re-provisioning, which is out of scope).
+pub struct PlausibilityDetector {
+    max_speed: Speed,
+    speed_slack: f64,
+    state: Mutex<DetectorState>,
+}
+
+#[derive(Debug, Default)]
+struct DetectorState {
+    last: Option<GpsFix>,
+    latched: bool,
+    trip_count: u64,
+}
+
+impl PlausibilityDetector {
+    /// Creates a detector with the FAA `v_max` bound and 3x headroom for
+    /// GPS noise.
+    pub fn new() -> Self {
+        Self::with_limits(FAA_MAX_SPEED, 3.0)
+    }
+
+    /// Creates a detector with an explicit speed bound and headroom
+    /// multiplier.
+    pub fn with_limits(max_speed: Speed, speed_slack: f64) -> Self {
+        PlausibilityDetector {
+            max_speed,
+            speed_slack: speed_slack.max(1.0),
+            state: Mutex::new(DetectorState::default()),
+        }
+    }
+
+    /// How many plausibility violations have been observed.
+    pub fn trip_count(&self) -> u64 {
+        self.state.lock().trip_count
+    }
+}
+
+impl Default for PlausibilityDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpoofDetector for PlausibilityDetector {
+    fn observe(&self, fix: &GpsFix) -> Environment {
+        let mut st = self.state.lock();
+        if st.latched {
+            return Environment::Suspicious;
+        }
+        let mut suspicious = false;
+        if let Some(last) = &st.last {
+            if fix.sequence != last.sequence {
+                let dt = fix.sample.time().since(last.sample.time()).secs();
+                if dt < 0.0 {
+                    suspicious = true; // time reversal
+                } else if dt > 0.0 {
+                    let d = last.sample.point().distance_to(&fix.sample.point()).meters();
+                    let implied = d / dt;
+                    if implied > self.max_speed.mps() * self.speed_slack {
+                        suspicious = true; // teleportation
+                    }
+                    // Reported-speed mismatch: only meaningful when both
+                    // speeds are substantial.
+                    let reported = fix.speed.mps();
+                    if implied > 5.0
+                        && reported > 5.0
+                        && (implied / reported > 20.0 || reported / implied > 20.0)
+                    {
+                        suspicious = true;
+                    }
+                }
+            }
+        }
+        st.last = Some(*fix);
+        if suspicious {
+            st.latched = true;
+            st.trip_count += 1;
+            Environment::Suspicious
+        } else {
+            Environment::Trusted
+        }
+    }
+}
+
+impl fmt::Debug for PlausibilityDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("PlausibilityDetector")
+            .field("latched", &st.latched)
+            .field("trip_count", &st.trip_count)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_geo::{Distance, GeoPoint, GpsSample, Timestamp};
+
+    fn fix(east_m: f64, t: f64, seq: u64, speed_mps: f64) -> GpsFix {
+        let origin = GeoPoint::new(40.0, -88.0).unwrap();
+        GpsFix {
+            sample: GpsSample::new(
+                origin.destination(90.0, Distance::from_meters(east_m)),
+                Timestamp::from_secs(t),
+            ),
+            speed: Speed::from_mps(speed_mps),
+            sequence: seq,
+        }
+    }
+
+    #[test]
+    fn trusting_detector_never_suspects() {
+        let d = TrustingDetector;
+        assert_eq!(d.observe(&fix(0.0, 0.0, 0, 0.0)), Environment::Trusted);
+        assert_eq!(
+            d.observe(&fix(1.0e6, 0.1, 1, 0.0)),
+            Environment::Trusted
+        );
+    }
+
+    #[test]
+    fn plausible_stream_stays_trusted() {
+        let d = PlausibilityDetector::new();
+        for k in 0..50 {
+            let f = fix(k as f64 * 2.0, k as f64 * 0.2, k, 10.0);
+            assert_eq!(d.observe(&f), Environment::Trusted, "fix {k}");
+        }
+        assert_eq!(d.trip_count(), 0);
+    }
+
+    #[test]
+    fn teleportation_latches_suspicious() {
+        let d = PlausibilityDetector::new();
+        assert_eq!(d.observe(&fix(0.0, 0.0, 0, 10.0)), Environment::Trusted);
+        // 10 km in 0.2 s: 50 km/s.
+        assert_eq!(
+            d.observe(&fix(10_000.0, 0.2, 1, 10.0)),
+            Environment::Suspicious
+        );
+        // Latched: even a plausible follow-up stays suspicious.
+        assert_eq!(
+            d.observe(&fix(10_002.0, 0.4, 2, 10.0)),
+            Environment::Suspicious
+        );
+        assert_eq!(d.trip_count(), 1);
+    }
+
+    #[test]
+    fn time_reversal_detected() {
+        let d = PlausibilityDetector::new();
+        d.observe(&fix(0.0, 10.0, 0, 0.0));
+        assert_eq!(d.observe(&fix(1.0, 9.0, 1, 0.0)), Environment::Suspicious);
+    }
+
+    #[test]
+    fn reported_speed_mismatch_detected() {
+        let d = PlausibilityDetector::new();
+        d.observe(&fix(0.0, 0.0, 0, 40.0));
+        // Moving 40 m/s by position, but the receiver claims 4000 m/s?
+        // No — mismatch the other way: position implies 40 m/s while
+        // receiver reports 4000 m/s (ratio 100 > 20).
+        assert_eq!(
+            d.observe(&fix(40.0, 1.0, 1, 4_000.0)),
+            Environment::Suspicious
+        );
+    }
+
+    #[test]
+    fn repeated_fix_not_judged() {
+        // A dropout repeats the same sequence number: no judgement.
+        let d = PlausibilityDetector::new();
+        let f = fix(0.0, 0.0, 0, 10.0);
+        d.observe(&f);
+        assert_eq!(d.observe(&f), Environment::Trusted);
+    }
+
+    #[test]
+    fn headroom_allows_fast_but_legal_motion() {
+        // 2x v_max (GPS noise spike) is within the 3x headroom.
+        let d = PlausibilityDetector::new();
+        d.observe(&fix(0.0, 0.0, 0, 44.0));
+        let two_vmax = FAA_MAX_SPEED.mps() * 2.0;
+        assert_eq!(
+            d.observe(&fix(two_vmax, 1.0, 1, 44.0)),
+            Environment::Trusted
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Trusted-application UUIDs.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::TeeError;
+
+/// A 128-bit UUID identifying a trusted application (paper §II-C: "every
+/// TA is assigned a unique UUID").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uuid(u128);
+
+impl Uuid {
+    /// Creates a UUID from its 128-bit value.
+    pub const fn from_u128(v: u128) -> Self {
+        Uuid(v)
+    }
+
+    /// The 128-bit value.
+    pub const fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// The big-endian byte representation.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.to_bytes();
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+            b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15],
+        )
+    }
+}
+
+impl FromStr for Uuid {
+    type Err = TeeError;
+
+    /// Parses the canonical `8-4-4-4-12` hex form.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 || s.split('-').count() != 5 {
+            return Err(TeeError::MalformedData("uuid format"));
+        }
+        let v = u128::from_str_radix(&hex, 16).map_err(|_| TeeError::MalformedData("uuid hex"))?;
+        Ok(Uuid(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip() {
+        let u = Uuid::from_u128(0x8aaaf200_2450_11e4_abe2_0002a5d5c51b);
+        let s = u.to_string();
+        assert_eq!(s, "8aaaf200-2450-11e4-abe2-0002a5d5c51b");
+        assert_eq!(s.parse::<Uuid>().unwrap(), u);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("not-a-uuid".parse::<Uuid>().is_err());
+        assert!("8aaaf200245011e4abe20002a5d5c51b".parse::<Uuid>().is_err());
+        assert!("8aaaf200-2450-11e4-abe2-0002a5d5c51z".parse::<Uuid>().is_err());
+    }
+
+    #[test]
+    fn bytes_are_big_endian() {
+        let u = Uuid::from_u128(1);
+        let b = u.to_bytes();
+        assert_eq!(b[15], 1);
+        assert!(b[..15].iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,468 @@
+//! The secure world: OP-TEE core state and the SMC dispatch boundary.
+
+use std::fmt;
+use std::sync::Arc;
+
+use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey, RsaPublicKey};
+use alidrone_geo::{GpsSample, Timestamp};
+use alidrone_geo::three_d::GpsSample3d;
+use alidrone_gps::nmea_feed::{burst_to_sample, fix_to_burst};
+use alidrone_gps::{GpsDevice, GpsDevice3d};
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::keystore::KeyStore;
+use crate::spoof::{Environment, SpoofDetector, TrustingDetector};
+use crate::{sampler, CostLedger, CostModel, SecureStorage, TeeClient, TeeError, Uuid};
+
+/// A GlobalPlatform-style invocation parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Param {
+    /// A pair of 32-bit values packed as one u64 (`TEE_PARAM_TYPE_VALUE`).
+    Value(u64),
+    /// A memory reference (`TEE_PARAM_TYPE_MEMREF`).
+    Bytes(Vec<u8>),
+}
+
+impl Param {
+    /// The byte payload of a `Bytes` parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::BadParameters`] for a `Value` parameter.
+    pub fn as_bytes(&self) -> Result<&[u8], TeeError> {
+        match self {
+            Param::Bytes(b) => Ok(b),
+            Param::Value(_) => Err(TeeError::BadParameters("expected memref parameter")),
+        }
+    }
+
+    /// The numeric payload of a `Value` parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::BadParameters`] for a `Bytes` parameter.
+    pub fn as_value(&self) -> Result<u64, TeeError> {
+        match self {
+            Param::Value(v) => Ok(*v),
+            Param::Bytes(_) => Err(TeeError::BadParameters("expected value parameter")),
+        }
+    }
+}
+
+/// Internal secure-world state. Only reachable through SMC dispatch.
+pub(crate) struct WorldInner {
+    keystore: KeyStore,
+    storage: Mutex<SecureStorage>,
+    gps: Option<Box<dyn GpsDevice>>,
+    gps3d: Option<Box<dyn GpsDevice3d>>,
+    cost_model: CostModel,
+    ledger: CostLedger,
+    hash_alg_inner: HashAlg,
+    spoof: Box<dyn SpoofDetector>,
+}
+
+impl WorldInner {
+    /// The GPS Driver PTA: reads the receiver's latest NMEA output and
+    /// parses it back into a sample — the same `$GPRMC` path the real
+    /// kernel-space driver takes through libnmea (paper §V-B).
+    pub(crate) fn driver_read_gps(&self) -> Result<GpsSample, TeeError> {
+        self.driver_read_gps_inner().map(|(s, _)| s)
+    }
+
+    /// As [`driver_read_gps`](Self::driver_read_gps) but also returns
+    /// the spoof detector's judgement; authenticity services consult it
+    /// (paper §VII-A2).
+    pub(crate) fn driver_read_gps_checked(&self) -> Result<GpsSample, TeeError> {
+        let (sample, env) = self.driver_read_gps_inner()?;
+        if env == Environment::Suspicious {
+            return Err(TeeError::AccessDenied);
+        }
+        Ok(sample)
+    }
+
+    /// The 3-D driver path (§VII-B1): reads the GGA-equipped receiver
+    /// and returns the 4-tuple sample, consulting the spoof detector.
+    pub(crate) fn driver_read_gps_3d_checked(&self) -> Result<GpsSample3d, TeeError> {
+        let gps3d = self
+            .gps3d
+            .as_ref()
+            .ok_or(TeeError::MissingComponent("3d gps device"))?;
+        let fix3d = gps3d.latest_fix_3d().ok_or(TeeError::NoData)?;
+        self.ledger.record_gps_read(self.cost_model.read_gps);
+        if self.spoof.observe(&fix3d.fix) == Environment::Suspicious {
+            return Err(TeeError::AccessDenied);
+        }
+        // Altitude rides on the GGA sentence; round-trip it like the
+        // 2-D path round-trips RMC.
+        let line = alidrone_gps::nmea_feed::fix_to_gga(&fix3d.fix, fix3d.alt.meters());
+        let gga: alidrone_nmea::Gga = line
+            .parse()
+            .map_err(|_| TeeError::MalformedData("gga parse"))?;
+        GpsSample3d::new(
+            fix3d.fix.sample.point(),
+            alidrone_geo::Distance::from_meters(gga.altitude_m),
+            fix3d.fix.sample.time(),
+        )
+        .map_err(|_| TeeError::MalformedData("3d sample"))
+    }
+
+    fn driver_read_gps_inner(&self) -> Result<(GpsSample, Environment), TeeError> {
+        // A 3-D device also serves the 2-D path.
+        let fix = if let Some(gps) = self.gps.as_ref() {
+            gps.latest_fix()
+        } else if let Some(gps3d) = self.gps3d.as_ref() {
+            gps3d.latest_fix()
+        } else {
+            return Err(TeeError::MissingComponent("gps device"));
+        };
+        let fix = fix.ok_or(TeeError::NoData)?;
+        self.ledger.record_gps_read(self.cost_model.read_gps);
+        let env = self.spoof.observe(&fix);
+        // Round-trip through the NMEA wire format for fidelity: the
+        // driver sees the receiver's full UART burst (RMC+GGA+VTG+GSA)
+        // and picks the $GPRMC line out of it, exactly as the real
+        // kernel-space driver does. RMC timestamps wrap at 24 h, so
+        // recover the day base from the fix's own timestamp.
+        let day_base = Timestamp::from_secs((fix.sample.time().secs() / 86_400.0).floor() * 86_400.0);
+        let burst = fix_to_burst(&fix, 0.0);
+        let sample =
+            burst_to_sample(&burst, day_base).map_err(|_| TeeError::MalformedData("nmea parse"))?;
+        Ok((sample, env))
+    }
+
+    /// Signs on behalf of the GPS Sampler TA, with cost accounting.
+    pub(crate) fn keystore_sign(&self, data: &[u8]) -> Result<Vec<u8>, TeeError> {
+        let sig = self.keystore.sign(data)?;
+        self.ledger
+            .record_signature(self.cost_model.sign_cost(self.keystore.key_bits()));
+        Ok(sig)
+    }
+
+    /// The exportable verification key `T⁺`.
+    pub(crate) fn public_key(&self) -> RsaPublicKey {
+        self.keystore.public_key()
+    }
+
+    /// The signature hash algorithm in force (labels `SignedSample`s on
+    /// the client side).
+    pub(crate) fn hash_alg(&self) -> HashAlg {
+        self.hash_alg_inner
+    }
+
+    /// Locked access to secure storage, for TAs running in the secure
+    /// world.
+    pub(crate) fn storage_mut(&self) -> parking_lot::MutexGuard<'_, SecureStorage> {
+        self.storage.lock()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        keystore: KeyStore,
+        gps: Option<Box<dyn GpsDevice>>,
+        gps3d: Option<Box<dyn GpsDevice3d>>,
+        cost_model: CostModel,
+        hash_alg: HashAlg,
+        spoof: Box<dyn SpoofDetector>,
+    ) -> Self {
+        WorldInner {
+            keystore,
+            storage: Mutex::new(SecureStorage::new()),
+            gps,
+            gps3d,
+            cost_model,
+            ledger: CostLedger::new(),
+            hash_alg_inner: hash_alg,
+            spoof,
+        }
+    }
+}
+
+/// The secure world. Cheap to clone (shared state); hand the normal
+/// world a [`TeeClient`] via [`SecureWorld::client`].
+#[derive(Clone)]
+pub struct SecureWorld {
+    pub(crate) inner: Arc<WorldInner>,
+}
+
+impl SecureWorld {
+    /// Creates a client handle — the normal world's only way in.
+    pub fn client(&self) -> TeeClient {
+        TeeClient::new(self.clone())
+    }
+
+    /// The cost ledger (the "perf counter" interface; readable from the
+    /// normal world like cycle counters would be).
+    pub fn ledger(&self) -> CostLedger {
+        self.inner.ledger.clone()
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost_model
+    }
+
+    /// The SMC boundary: every normal-world invocation funnels through
+    /// here, paying two world switches.
+    pub(crate) fn smc_invoke(
+        &self,
+        ta: Uuid,
+        cmd: u32,
+        params: &[Param],
+    ) -> Result<Vec<Param>, TeeError> {
+        self.inner
+            .ledger
+            .record_world_switches(2, self.inner.cost_model.world_switch);
+        if ta == crate::GPS_SAMPLER_UUID {
+            sampler::invoke(&self.inner, cmd, params)
+        } else {
+            Err(TeeError::ItemNotFound)
+        }
+    }
+
+    /// Whether a trusted application with this UUID exists.
+    pub(crate) fn has_ta(&self, ta: Uuid) -> bool {
+        ta == crate::GPS_SAMPLER_UUID
+    }
+}
+
+impl fmt::Debug for SecureWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecureWorld")
+            .field("keystore", &self.inner.keystore)
+            .field("has_gps", &self.inner.gps.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`SecureWorld`].
+///
+/// The TEE keypair is "generated at manufacturing time" (paper §IV-B);
+/// building the world is the manufacturing step.
+pub struct SecureWorldBuilder {
+    sign_key: Option<RsaPrivateKey>,
+    gps: Option<Box<dyn GpsDevice>>,
+    gps3d: Option<Box<dyn GpsDevice3d>>,
+    cost_model: CostModel,
+    hash_alg: HashAlg,
+    spoof: Box<dyn SpoofDetector>,
+}
+
+impl SecureWorldBuilder {
+    /// Starts a builder with the Raspberry Pi 3 cost model and the
+    /// paper's SHA-1 signature algorithm.
+    pub fn new() -> Self {
+        SecureWorldBuilder {
+            sign_key: None,
+            gps: None,
+            gps3d: None,
+            cost_model: CostModel::raspberry_pi_3(),
+            hash_alg: HashAlg::Sha1,
+            spoof: Box::new(TrustingDetector),
+        }
+    }
+
+    /// Installs an existing sign key (e.g. a cached test key).
+    pub fn with_sign_key(mut self, key: RsaPrivateKey) -> Self {
+        self.sign_key = Some(key);
+        self
+    }
+
+    /// Generates a fresh sign key of `bits` bits.
+    pub fn with_generated_key<R: Rng + ?Sized>(mut self, bits: usize, rng: &mut R) -> Self {
+        self.sign_key = Some(RsaPrivateKey::generate(bits, rng));
+        self
+    }
+
+    /// Attaches the GPS receiver the secure-world driver will read.
+    pub fn with_gps_device(mut self, gps: Box<dyn GpsDevice>) -> Self {
+        self.gps = Some(gps);
+        self
+    }
+
+    /// Attaches a 3-D (altitude-reporting) receiver (§VII-B1). Serves
+    /// both the 2-D commands and `CMD_GET_GPS_AUTH_3D`.
+    pub fn with_gps_device_3d(mut self, gps: Box<dyn GpsDevice3d>) -> Self {
+        self.gps3d = Some(gps);
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Selects the signature hash (the paper uses SHA-1; SHA-256 is the
+    /// modern choice).
+    pub fn with_hash_alg(mut self, alg: HashAlg) -> Self {
+        self.hash_alg = alg;
+        self
+    }
+
+    /// Installs a GPS-spoofing detector (paper §VII-A2); the GPS
+    /// Sampler declines authenticity services while the detector judges
+    /// the environment suspicious. Defaults to [`TrustingDetector`].
+    pub fn with_spoof_detector(mut self, detector: Box<dyn SpoofDetector>) -> Self {
+        self.spoof = detector;
+        self
+    }
+
+    /// Builds the world.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::MissingComponent`] when no sign key was
+    /// provided (a GPS device is optional — key-only worlds are useful
+    /// for registration flows and tests).
+    pub fn build(self) -> Result<SecureWorld, TeeError> {
+        let key = self.sign_key.ok_or(TeeError::MissingComponent("sign key"))?;
+        Ok(SecureWorld {
+            inner: Arc::new(WorldInner::new(
+                KeyStore::new(key, self.hash_alg),
+                self.gps,
+                self.gps3d,
+                self.cost_model,
+                self.hash_alg,
+                self.spoof,
+            )),
+        })
+    }
+}
+
+impl Default for SecureWorldBuilder {
+    fn default() -> Self {
+        SecureWorldBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{test_key, TestReceiver};
+    use crate::{CMD_GET_GPS_AUTH, CMD_GET_PUBLIC_KEY, GPS_SAMPLER_UUID};
+
+    fn world_with_gps() -> SecureWorld {
+        SecureWorldBuilder::new()
+            .with_sign_key(test_key().clone())
+            .with_gps_device(Box::new(TestReceiver::fixed(40.1, -88.2, 12.0)))
+            .with_cost_model(CostModel::raspberry_pi_3())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_without_key_fails() {
+        assert_eq!(
+            SecureWorldBuilder::new().build().err(),
+            Some(TeeError::MissingComponent("sign key"))
+        );
+    }
+
+    #[test]
+    fn build_without_gps_is_ok_but_sampling_fails() {
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(test_key().clone())
+            .build()
+            .unwrap();
+        let r = world.smc_invoke(GPS_SAMPLER_UUID, CMD_GET_GPS_AUTH, &[]);
+        assert_eq!(r, Err(TeeError::MissingComponent("gps device")));
+    }
+
+    #[test]
+    fn unknown_ta_is_item_not_found() {
+        let world = world_with_gps();
+        let bogus = Uuid::from_u128(42);
+        assert_eq!(
+            world.smc_invoke(bogus, CMD_GET_GPS_AUTH, &[]),
+            Err(TeeError::ItemNotFound)
+        );
+        assert!(!world.has_ta(bogus));
+        assert!(world.has_ta(GPS_SAMPLER_UUID));
+    }
+
+    #[test]
+    fn unknown_command_not_supported() {
+        let world = world_with_gps();
+        assert_eq!(
+            world.smc_invoke(GPS_SAMPLER_UUID, 999, &[]),
+            Err(TeeError::NotSupported(999))
+        );
+    }
+
+    #[test]
+    fn get_gps_auth_returns_sample_and_signature() {
+        let world = world_with_gps();
+        let out = world
+            .smc_invoke(GPS_SAMPLER_UUID, CMD_GET_GPS_AUTH, &[])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let sample_bytes = out[0].as_bytes().unwrap();
+        let sig = out[1].as_bytes().unwrap();
+        assert_eq!(sample_bytes.len(), 24);
+        assert_eq!(sig.len(), 64); // 512-bit test key
+        // Signature verifies under the exported public key.
+        let pk = world.inner.public_key();
+        pk.verify(sample_bytes, sig, HashAlg::Sha1).unwrap();
+    }
+
+    #[test]
+    fn get_gps_auth_rejects_parameters() {
+        let world = world_with_gps();
+        assert!(matches!(
+            world.smc_invoke(GPS_SAMPLER_UUID, CMD_GET_GPS_AUTH, &[Param::Value(1)]),
+            Err(TeeError::BadParameters(_))
+        ));
+    }
+
+    #[test]
+    fn get_public_key_round_trips() {
+        let world = world_with_gps();
+        let out = world
+            .smc_invoke(GPS_SAMPLER_UUID, CMD_GET_PUBLIC_KEY, &[])
+            .unwrap();
+        let n = alidrone_crypto::bigint::BigUint::from_bytes_be(out[0].as_bytes().unwrap());
+        let e = alidrone_crypto::bigint::BigUint::from_bytes_be(out[1].as_bytes().unwrap());
+        let pk = RsaPublicKey::new(n, e).unwrap();
+        assert_eq!(&pk, test_key().public_key());
+    }
+
+    #[test]
+    fn every_invoke_pays_two_world_switches() {
+        let world = world_with_gps();
+        let _ = world.smc_invoke(GPS_SAMPLER_UUID, CMD_GET_PUBLIC_KEY, &[]);
+        let _ = world.smc_invoke(GPS_SAMPLER_UUID, CMD_GET_GPS_AUTH, &[]);
+        let snap = world.ledger().snapshot();
+        assert_eq!(snap.world_switches, 4);
+        assert_eq!(snap.signatures, 1);
+        assert_eq!(snap.gps_reads, 1);
+    }
+
+    #[test]
+    fn no_fix_is_no_data() {
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(test_key().clone())
+            .with_gps_device(Box::new(TestReceiver::no_fix()))
+            .build()
+            .unwrap();
+        assert_eq!(
+            world.smc_invoke(GPS_SAMPLER_UUID, CMD_GET_GPS_AUTH, &[]),
+            Err(TeeError::NoData)
+        );
+    }
+
+    #[test]
+    fn param_accessors() {
+        assert_eq!(Param::Value(7).as_value().unwrap(), 7);
+        assert!(Param::Value(7).as_bytes().is_err());
+        assert_eq!(Param::Bytes(vec![1]).as_bytes().unwrap(), &[1]);
+        assert!(Param::Bytes(vec![1]).as_value().is_err());
+    }
+
+    #[test]
+    fn secure_storage_reachable_only_in_crate() {
+        let world = world_with_gps();
+        world.inner.storage_mut().put("obj", vec![1, 2]);
+        assert_eq!(world.inner.storage_mut().get("obj").unwrap(), &[1, 2]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Concurrency tests: the secure world is shared state — the Adapter,
+//! a telemetry daemon, and diagnostics can all hold sessions at once.
+//! The model must stay consistent under parallel invocation (the real
+//! OP-TEE serialises entries into the TA; our model's locks play that
+//! role).
+
+use std::sync::Arc;
+
+use alidrone_crypto::rsa::RsaPrivateKey;
+use alidrone_geo::{GeoPoint, GpsSample, Speed, Timestamp};
+use alidrone_gps::{GpsDevice, GpsFix};
+use alidrone_tee::{CostModel, SecureWorldBuilder, GPS_SAMPLER_UUID};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct FixedReceiver;
+
+impl GpsDevice for FixedReceiver {
+    fn latest_fix(&self) -> Option<GpsFix> {
+        Some(GpsFix {
+            sample: GpsSample::new(
+                GeoPoint::new(40.0, -88.0).expect("valid"),
+                Timestamp::from_secs(1.0),
+            ),
+            speed: Speed::from_mps(0.0),
+            sequence: 0,
+        })
+    }
+
+    fn update_rate_hz(&self) -> f64 {
+        5.0
+    }
+}
+
+fn key() -> RsaPrivateKey {
+    let mut rng = StdRng::seed_from_u64(0xC0C0);
+    RsaPrivateKey::generate(512, &mut rng)
+}
+
+#[test]
+fn parallel_get_gps_auth_is_consistent() {
+    let world = SecureWorldBuilder::new()
+        .with_sign_key(key())
+        .with_gps_device(Box::new(FixedReceiver))
+        .with_cost_model(CostModel::raspberry_pi_3())
+        .build()
+        .unwrap();
+    let client = world.client();
+    let pk = Arc::new(client.tee_public_key());
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let client = client.clone();
+            let pk = Arc::clone(&pk);
+            s.spawn(move |_| {
+                let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+                for _ in 0..PER_THREAD {
+                    let signed = session.get_gps_auth().unwrap();
+                    signed.verify(&pk).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let snap = world.ledger().snapshot();
+    assert_eq!(snap.signatures, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.gps_reads, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.world_switches, 2 * (THREADS * PER_THREAD) as u64);
+    // Busy time adds up exactly (no lost updates under contention).
+    let model = world.cost_model();
+    let expected = model.get_gps_auth_cost(512).secs() * (THREADS * PER_THREAD) as f64;
+    assert!((snap.busy.secs() - expected).abs() < 1e-6);
+}
+
+#[test]
+fn parallel_batch_caching_counts_every_sample() {
+    let world = SecureWorldBuilder::new()
+        .with_sign_key(key())
+        .with_gps_device(Box::new(FixedReceiver))
+        .with_cost_model(CostModel::free())
+        .build()
+        .unwrap();
+    let client = world.client();
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 25;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let client = client.clone();
+            s.spawn(move |_| {
+                let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+                for _ in 0..PER_THREAD {
+                    session.cache_sample().unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+    let trace = session.sign_trace().unwrap();
+    assert_eq!(trace.samples().len(), THREADS * PER_THREAD);
+    trace.verify(&client.tee_public_key()).unwrap();
+}
+
+#[test]
+fn sessions_are_independently_cloneable() {
+    let world = SecureWorldBuilder::new()
+        .with_sign_key(key())
+        .with_gps_device(Box::new(FixedReceiver))
+        .with_cost_model(CostModel::free())
+        .build()
+        .unwrap();
+    let client = world.client();
+    let s1 = client.open_session(GPS_SAMPLER_UUID).unwrap();
+    let s2 = s1.clone();
+    let a = s1.get_gps_auth().unwrap();
+    let b = s2.get_gps_auth().unwrap();
+    // Same fix, same deterministic signature.
+    assert_eq!(a, b);
+}

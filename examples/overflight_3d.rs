@@ -1,0 +1,115 @@
+//! The 3-D physical model (paper §VII-B1): flying *over* a low no-fly
+//! cylinder is legal, which the 2-D model cannot express — a 2-D auditor
+//! would convict this flight, a 3-D one clears it.
+//!
+//! Run: `cargo run --example overflight_3d`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use alidrone::geo::three_d::{check_alibi_3d, CylinderZone};
+use alidrone::geo::trajectory::{Trajectory3d, TrajectoryBuilder};
+use alidrone::geo::{Distance, GeoPoint, NoFlyZone, Speed, FAA_MAX_SPEED};
+use alidrone::gps::{SimClock, SimulatedReceiver3d};
+use alidrone::tee::{SecureWorldBuilder, SignedSample3d, GPS_SAMPLER_UUID};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(33);
+    let start = GeoPoint::new(40.1164, -88.2434)?;
+    let end = start.destination(90.0, Distance::from_km(1.0));
+
+    // A 60 m-tall cylinder NFZ dead on the path (say, a construction
+    // crane exclusion), radius 40 m.
+    let zone_center = start.destination(90.0, Distance::from_meters(500.0));
+    let cylinder = CylinderZone::new(
+        zone_center,
+        Distance::from_meters(40.0),
+        Distance::from_meters(60.0),
+    )?;
+    // The 2-D view of the same zone (what a 2-D auditor would register).
+    let flat_zone = NoFlyZone::new(zone_center, Distance::from_meters(40.0));
+
+    // Flight plan: climb to 150 m, cruise straight over the zone,
+    // descend at the far end.
+    let plan = TrajectoryBuilder::start_at(start)
+        .travel_to(end, Speed::from_mph(30.0))
+        .build()?;
+    let total = plan.total_duration().secs();
+    let traj = Trajectory3d::new(
+        plan,
+        vec![(0.0, 0.0), (15.0, 150.0), (total - 15.0, 150.0), (total, 0.0)],
+    )?;
+
+    let clock = SimClock::new();
+    let receiver = Arc::new(SimulatedReceiver3d::from_trajectory(traj, clock.clone(), 5.0));
+    let world = SecureWorldBuilder::new()
+        .with_generated_key(512, &mut rng)
+        .with_gps_device_3d(Box::new(Arc::clone(&receiver)))
+        .build()?;
+    let session = world.client().open_session(GPS_SAMPLER_UUID)?;
+
+    // Sample a 3-D PoA at 1 Hz (plenty for a 40 m zone overflown at
+    // 150 m).
+    let mut poa3d: Vec<SignedSample3d> = Vec::new();
+    let steps = total.floor() as u64;
+    for k in 0..=steps {
+        clock.set(alidrone::geo::Timestamp::from_secs(k as f64));
+        poa3d.push(session.get_gps_auth_3d()?);
+    }
+    println!(
+        "recorded {} authenticated 3-D samples over {:.0} s",
+        poa3d.len(),
+        total
+    );
+
+    // Auditor side: verify every signature…
+    let tee_pub = world.client().tee_public_key();
+    for s in &poa3d {
+        s.verify(&tee_pub)?;
+    }
+    println!("all 3-D signatures verify ✔");
+
+    // …then check the 3-D alibi against the cylinder.
+    let samples: Vec<_> = poa3d.iter().map(|s| *s.sample()).collect();
+    let report3d = check_alibi_3d(&samples, &[cylinder], FAA_MAX_SPEED);
+    println!(
+        "3-D verdict: violations {:?}, insufficient pairs {:?} → {}",
+        report3d.violations,
+        report3d.insufficient_pairs,
+        if report3d.is_sufficient() { "compliant" } else { "NOT compliant" }
+    );
+    assert!(report3d.is_sufficient());
+
+    // A 2-D auditor sees the same trace without altitude: the cruise
+    // samples pass straight through the flat zone.
+    let flat_violations: Vec<usize> = samples
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| flat_zone.contains(&s.point()))
+        .map(|(i, _)| i)
+        .collect();
+    println!(
+        "2-D view of the same trace: {} samples inside the flat zone → would be convicted",
+        flat_violations.len()
+    );
+    assert!(!flat_violations.is_empty());
+
+    // And the altitude cannot be forged: raising a low pass to 150 m
+    // breaks the signature.
+    let low_sample = alidrone::geo::three_d::GpsSample3d::new(
+        samples[steps as usize / 2].point(),
+        Distance::from_meters(20.0),
+        samples[steps as usize / 2].time(),
+    )?;
+    let forged = SignedSample3d::from_parts(
+        low_sample,
+        poa3d[steps as usize / 2].signature().to_vec(),
+        alidrone::crypto::rsa::HashAlg::Sha1,
+    );
+    assert!(forged.verify(&tee_pub).is_err());
+    println!("forging the altitude field breaks the TEE signature ✔");
+
+    Ok(())
+}

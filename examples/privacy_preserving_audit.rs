@@ -1,0 +1,97 @@
+//! Privacy-preserving verification (paper §VII-B3): the auditor stores
+//! only *encrypted* PoA entries; an accusation is settled by revealing
+//! exactly two one-time keys, so the auditor learns a two-sample
+//! fragment of the trajectory and nothing more.
+//!
+//! Run: `cargo run --example privacy_preserving_audit`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use alidrone::core::privacy::{check_sealed_accusation, open_entry, PrivatePoa};
+use alidrone::core::{AccusationOutcome, DroneOperator, SamplingStrategy};
+use alidrone::crypto::rsa::RsaPrivateKey;
+use alidrone::geo::trajectory::TrajectoryBuilder;
+use alidrone::geo::{Distance, Duration, GeoPoint, NoFlyZone, Speed, Timestamp, FAA_MAX_SPEED};
+use alidrone::gps::{SimClock, SimulatedReceiver};
+use alidrone::tee::SecureWorldBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // A flight past a neighbour's registered zone.
+    let pad = GeoPoint::new(40.1164, -88.2434)?;
+    let end = pad.destination(90.0, Distance::from_km(1.0));
+    let zone = NoFlyZone::new(
+        pad.destination(90.0, Distance::from_meters(500.0))
+            .destination(0.0, Distance::from_meters(80.0)),
+        Distance::from_feet(25.0),
+    );
+
+    let route = TrajectoryBuilder::start_at(pad)
+        .travel_to(end, Speed::from_mph(25.0))
+        .build()?;
+    let clock = SimClock::new();
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let world = SecureWorldBuilder::new()
+        .with_generated_key(512, &mut rng)
+        .with_gps_device(Box::new(Arc::clone(&receiver)))
+        .build()?;
+    let operator = DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), world.client());
+
+    let zones = std::iter::once(zone).collect();
+    let record = operator.fly(
+        &clock,
+        receiver.as_ref(),
+        &zones,
+        SamplingStrategy::Adaptive,
+        Duration::from_secs(80.0),
+    )?;
+    println!("flight recorded {} authenticated samples", record.sample_count());
+
+    // The operator seals the PoA with per-sample one-time keys and
+    // uploads only the sealed form.
+    let private = PrivatePoa::seal(&record.poa, &mut rng);
+    println!(
+        "uploaded {} sealed entries (timestamps visible, positions encrypted)",
+        private.sealed().len()
+    );
+
+    // The auditor cannot open anything on its own.
+    let nosy = alidrone::core::privacy::KeyReveal {
+        index: 0,
+        key: [0u8; 32],
+    };
+    assert!(open_entry(private.sealed(), &nosy).is_err());
+    println!("auditor alone cannot decrypt any entry ✔");
+
+    // The neighbour reports a sighting mid-flight.
+    let accused_time = Timestamp::from_secs(40.0);
+    let (i, j) = private
+        .sealed()
+        .bracketing_indices(accused_time)
+        .expect("covered time");
+    println!("accusation at t=40 s brackets sealed entries {i} and {j}");
+
+    // The operator reveals exactly those two keys.
+    let reveals = private.reveal(&[i, j])?;
+    let outcome = check_sealed_accusation(
+        private.sealed(),
+        &reveals,
+        &world.client().tee_public_key(),
+        &zone,
+        accused_time,
+        FAA_MAX_SPEED,
+    )?;
+    println!("outcome with two revealed samples: {outcome:?}");
+    assert_eq!(outcome, AccusationOutcome::Refuted);
+
+    println!(
+        "\nthe auditor learned {} of {} samples — the rest of the trajectory stays private.",
+        reveals.len(),
+        private.sealed().len()
+    );
+    Ok(())
+}

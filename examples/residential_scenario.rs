@@ -1,0 +1,68 @@
+//! Field study 2 (paper §VI-A3): a dense residential street with 94+
+//! house NFZs, including the GPS dropout that costs adaptive sampling
+//! its single insufficient pair.
+//!
+//! Run: `cargo run --release --example residential_scenario`
+
+use std::error::Error;
+
+use alidrone::core::SamplingStrategy;
+use alidrone::sim::metrics::{fig8b_series, min_distance_ft};
+use alidrone::sim::runner::{experiment_key, run_scenario};
+use alidrone::sim::scenarios::residential;
+use alidrone::tee::CostModel;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scenario = residential();
+    println!(
+        "residential scenario: {} NFZs (20 ft radius), ~1 mi route, {:.0} s at {} Hz GPS, {} dropout(s)",
+        scenario.zones.len(),
+        scenario.duration.secs(),
+        scenario.hw_rate_hz,
+        scenario.dropouts.len()
+    );
+
+    println!("\nstrategy          samples  insufficient  mean rate");
+    println!("----------------------------------------------------");
+    for (name, strategy) in [
+        ("2 Hz fixed", SamplingStrategy::FixedRate(2.0)),
+        ("3 Hz fixed", SamplingStrategy::FixedRate(3.0)),
+        ("5 Hz fixed", SamplingStrategy::FixedRate(5.0)),
+        ("adaptive", SamplingStrategy::Adaptive),
+    ] {
+        let run = run_scenario(&scenario, strategy, experiment_key(), CostModel::free())?;
+        println!(
+            "{name:<16}  {:>7}  {:>12}  {:>6.2} Hz",
+            run.sample_count(),
+            run.insufficient_pairs,
+            run.record.mean_rate_hz()
+        );
+    }
+
+    // The adaptive run in detail: rate adapts to zone proximity.
+    let adaptive = run_scenario(
+        &scenario,
+        SamplingStrategy::Adaptive,
+        experiment_key(),
+        CostModel::free(),
+    )?;
+    println!(
+        "\nclosest approach: {:.0} ft (paper: 21 ft)",
+        min_distance_ft(&adaptive.record).unwrap()
+    );
+    let rates = fig8b_series(&adaptive.record, 4.0);
+    let early: Vec<f64> = rates.iter().filter(|p| p.t < 40.0).map(|p| p.value).collect();
+    let late: Vec<f64> = rates.iter().filter(|p| p.t > 100.0).map(|p| p.value).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "adaptive rate: {:.1} Hz in the sparse stretch → {:.1} Hz among the dense houses",
+        mean(&early),
+        mean(&late)
+    );
+    println!(
+        "adaptive's {} insufficient pair(s) come from the injected GPS dropout near 25 ft,\n\
+         matching the paper's observation that the hardware briefly fell to 2.5 Hz.",
+        adaptive.insufficient_pairs
+    );
+    Ok(())
+}

@@ -1,0 +1,224 @@
+//! Reproduction claims: the headline quantitative results of the paper's
+//! evaluation section, asserted as tests. Each test names the paper
+//! artefact it guards.
+//!
+//! Absolute agreement is asserted only where our substrate genuinely
+//! pins the number (e.g. the 1 Hz fixed-rate sample count and the
+//! cost-model-calibrated Table II cells); elsewhere the test pins the
+//! *shape* — orderings, feasibility patterns, crossovers.
+
+use std::sync::OnceLock;
+
+use alidrone::core::SamplingStrategy;
+use alidrone::sim::power::{fixed_rate_row, paper_table2, scenario_row};
+use alidrone::sim::runner::{experiment_key, run_scenario, ScenarioRun};
+use alidrone::sim::scenarios::{airport, residential};
+use alidrone::tee::CostModel;
+
+/// Runs are cached: the residential scenario in a debug build costs a
+/// few seconds per strategy.
+fn airport_runs() -> &'static (ScenarioRun, ScenarioRun) {
+    static RUNS: OnceLock<(ScenarioRun, ScenarioRun)> = OnceLock::new();
+    RUNS.get_or_init(|| {
+        let s = airport();
+        (
+            run_scenario(&s, SamplingStrategy::FixedRate(1.0), experiment_key(), CostModel::free())
+                .unwrap(),
+            run_scenario(&s, SamplingStrategy::Adaptive, experiment_key(), CostModel::free())
+                .unwrap(),
+        )
+    })
+}
+
+fn residential_runs() -> &'static [(f64, ScenarioRun); 4] {
+    static RUNS: OnceLock<[(f64, ScenarioRun); 4]> = OnceLock::new();
+    RUNS.get_or_init(|| {
+        let s = residential();
+        let go = |st| run_scenario(&s, st, experiment_key(), CostModel::free()).unwrap();
+        [
+            (2.0, go(SamplingStrategy::FixedRate(2.0))),
+            (3.0, go(SamplingStrategy::FixedRate(3.0))),
+            (5.0, go(SamplingStrategy::FixedRate(5.0))),
+            (0.0, go(SamplingStrategy::Adaptive)),
+        ]
+    })
+}
+
+// ------------------------------------------------------------------ Fig 6
+
+#[test]
+fn fig6_fixed_1hz_collects_649_samples() {
+    // Paper: "the 649 samples collected by 1Hz fix rate sampling".
+    let (fixed, _) = airport_runs();
+    assert!(
+        (fixed.sample_count() as i64 - 649).abs() <= 2,
+        "got {}",
+        fixed.sample_count()
+    );
+}
+
+#[test]
+fn fig6_adaptive_uses_order_of_magnitude_fewer() {
+    // Paper: adaptive uses 14 samples → 46x fewer. Our drive profile is
+    // constant-speed, which yields ~24 → >25x; the shape claim is the
+    // order-of-magnitude reduction at equal sufficiency.
+    let (fixed, adaptive) = airport_runs();
+    let ratio = fixed.sample_count() as f64 / adaptive.sample_count() as f64;
+    assert!(ratio > 20.0, "reduction only {ratio:.1}x");
+    assert!(adaptive.sample_count() < 35, "adaptive {}", adaptive.sample_count());
+}
+
+#[test]
+fn fig6_adaptive_sampling_density_falls_with_distance() {
+    let (_, adaptive) = airport_runs();
+    let series = alidrone::sim::metrics::fig6_series(&adaptive.record);
+    let total = series.last().unwrap().cumulative_samples as f64;
+    let within_500ft = series
+        .iter()
+        .find(|p| p.distance_ft >= 500.0)
+        .unwrap()
+        .cumulative_samples as f64;
+    assert!(
+        within_500ft / total > 0.4,
+        "only {within_500ft}/{total} samples within 500 ft"
+    );
+}
+
+// ------------------------------------------------------------------ Fig 8
+
+#[test]
+fn fig8a_distance_profile() {
+    // Paper: 50–100 ft early, 20–70 ft dense, minimum 21 ft.
+    let runs = residential_runs();
+    let series = alidrone::sim::metrics::fig8a_series(&runs[0].1.record);
+    let min = series.iter().map(|p| p.value).fold(f64::INFINITY, f64::min);
+    assert!((min - 21.0).abs() < 3.0, "min {min} ft (paper 21 ft)");
+}
+
+#[test]
+fn fig8b_adaptive_rate_adapts_to_density() {
+    let runs = residential_runs();
+    let adaptive = &runs[3].1;
+    let series = alidrone::sim::metrics::fig8b_series(&adaptive.record, 4.0);
+    let early: Vec<f64> = series.iter().filter(|p| p.t < 40.0).map(|p| p.value).collect();
+    let late: Vec<f64> = series.iter().filter(|p| p.t > 100.0).map(|p| p.value).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    // Paper Fig. 8(b): below ~2 Hz in the sparse stretch, pushed toward
+    // the hardware maximum among the dense houses.
+    assert!(mean(&early) < 2.5, "early mean {:.2} Hz", mean(&early));
+    assert!(mean(&late) > mean(&early) + 1.0, "no adaptation visible");
+}
+
+#[test]
+fn fig8c_insufficiency_ordering_matches_paper() {
+    // Paper: 39 (2 Hz) > 9 (3 Hz) > ~1 (5 Hz) ≈ 1 (adaptive).
+    let runs = residential_runs();
+    let c2 = runs[0].1.insufficient_pairs;
+    let c3 = runs[1].1.insufficient_pairs;
+    let c5 = runs[2].1.insufficient_pairs;
+    let ca = runs[3].1.insufficient_pairs;
+    assert!(c2 > c3 && c3 > c5, "ordering broken: {c2} / {c3} / {c5}");
+    assert!(c2 >= 20, "2 Hz should fail tens of pairs, got {c2}");
+    assert!(c5 <= 3, "5 Hz should be near-sufficient, got {c5}");
+    assert!(ca <= c5 + 1 && ca >= 1, "adaptive {ca} vs 5 Hz {c5}");
+}
+
+#[test]
+fn fig8c_adaptive_single_insufficiency_is_the_dropout() {
+    // Paper §VI-A3: "an insufficient PoA is identified at a time the
+    // vehicle is 25 ft to an NFZ … the GPS hardware misses an update".
+    let scen = residential();
+    let adaptive = &residential_runs()[3].1;
+    let report = alidrone::geo::sufficiency::check_alibi(
+        &adaptive.record.poa.alibi(),
+        &scen.zones,
+        alidrone::geo::FAA_MAX_SPEED,
+        alidrone::geo::sufficiency::Criterion::Paper,
+    );
+    assert_eq!(report.insufficient_count, 1);
+    // The offending pair sits in the dense stretch near the dropout.
+    let idx = report.insufficient_indices()[0];
+    let alibi = adaptive.record.poa.alibi();
+    let t = alibi[idx].time().secs();
+    let dropout_t = scen.dropouts[0] as f64 / scen.hw_rate_hz;
+    assert!(
+        (t - dropout_t).abs() < 2.0,
+        "insufficient pair at t={t:.1}s, dropout at t={dropout_t:.1}s"
+    );
+}
+
+// --------------------------------------------------------------- Table II
+
+#[test]
+fn table2_fixed_rate_cells_match_paper() {
+    let model = CostModel::raspberry_pi_3();
+    for (bits, case, cpu, power) in paper_table2() {
+        let Some(rate) = case.strip_prefix("Fixed ").and_then(|r| {
+            r.strip_suffix(" Hz").and_then(|x| x.parse::<f64>().ok())
+        }) else {
+            continue;
+        };
+        let row = fixed_rate_row(&model, bits, rate);
+        match (cpu, row.cpu_pct) {
+            (None, None) => {} // both infeasible: the 2048 @ 5 Hz cell
+            (Some(p), Some(m)) => {
+                assert!(
+                    (m - p).abs() / p < 0.15,
+                    "{bits}-bit {case}: {m:.2}% vs paper {p}%"
+                );
+                let pw = row.power_w.unwrap();
+                let ppw = power.unwrap();
+                assert!((pw - ppw).abs() < 0.005, "{bits}-bit {case}: {pw} W vs {ppw} W");
+            }
+            (p, m) => panic!("{bits}-bit {case}: feasibility mismatch {p:?} vs {m:?}"),
+        }
+    }
+}
+
+#[test]
+fn table2_airport_cell_is_negligible_cpu() {
+    // Paper: 0.024 % (1024-bit). The shape claim: adaptive sampling on a
+    // receding zone costs well under 0.1 % of the four cores.
+    let model = CostModel::raspberry_pi_3();
+    let s = airport();
+    let (_, adaptive) = airport_runs();
+    let row = scenario_row(
+        &model,
+        1024,
+        "Airport",
+        adaptive.sample_count(),
+        s.duration,
+        1.0,
+    );
+    assert!(row.cpu_pct.unwrap() < 0.1, "{:?}", row.cpu_pct);
+}
+
+#[test]
+fn table2_residential_cell_feasibility_pattern() {
+    // Paper: residential is feasible at 1024 bits (1.567 %) and "-" at
+    // 2048 bits (adaptive demands the full 5 Hz near the houses, which a
+    // 2048-bit signature cannot sustain).
+    let model = CostModel::raspberry_pi_3();
+    let s = residential();
+    let adaptive = &residential_runs()[3].1;
+    let peak = alidrone::sim::metrics::fig8b_series(&adaptive.record, 4.0)
+        .iter()
+        .map(|p| p.value)
+        .fold(0.0f64, f64::max);
+    let r1024 = scenario_row(&model, 1024, "Residential", adaptive.sample_count(), s.duration, peak);
+    let r2048 = scenario_row(&model, 2048, "Residential", adaptive.sample_count(), s.duration, peak);
+    assert!(!r1024.is_infeasible());
+    assert!(r1024.cpu_pct.unwrap() < 6.0, "{:?}", r1024.cpu_pct);
+    assert!(r2048.is_infeasible());
+}
+
+#[test]
+fn table2_key_size_cost_ratio() {
+    // Paper's implicit claim: 2048-bit signing is ~5x the 1024-bit cost
+    // (10.94/2.17 = 5.04 at 2 Hz).
+    let model = CostModel::raspberry_pi_3();
+    let r1 = fixed_rate_row(&model, 1024, 2.0).cpu_pct.unwrap();
+    let r2 = fixed_rate_row(&model, 2048, 2.0).cpu_pct.unwrap();
+    let ratio = r2 / r1;
+    assert!(ratio > 4.5 && ratio < 5.6, "ratio {ratio:.2}");
+}
