@@ -1,0 +1,26 @@
+# Offline-only developer entry points; CI (.github/workflows/ci.yml)
+# runs the same `check` sequence.
+
+CARGO ?= cargo
+
+.PHONY: check fmt clippy build test examples experiments
+
+check: fmt clippy test
+
+fmt:
+	$(CARGO) fmt --all -- --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets --offline -- -D warnings
+
+build:
+	$(CARGO) build --workspace --release --offline
+
+test:
+	$(CARGO) test --workspace --release --offline -q
+
+examples:
+	$(CARGO) build --release --offline --examples
+
+experiments:
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_all

@@ -4,14 +4,14 @@
 //! unable to sustain 5 Hz.
 
 use alidrone_bench::bench_key;
+use alidrone_bench::harness::{BenchmarkId, Criterion, Throughput};
+use alidrone_bench::{criterion_group, criterion_main};
 use alidrone_crypto::chacha20::chacha20_encrypt;
 use alidrone_crypto::hmac::hmac_sha256;
+use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::HashAlg;
 use alidrone_crypto::sha1::sha1;
 use alidrone_crypto::sha256::sha256;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A GPS-sample-sized message (24 bytes), the unit the TEE signs.
 const SAMPLE: [u8; 24] = [0x42; 24];
@@ -34,7 +34,11 @@ fn rsa_verify(c: &mut Criterion) {
         let key = bench_key(bits);
         let sig = key.sign(&SAMPLE, HashAlg::Sha1).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
-            b.iter(|| key.public_key().verify(&SAMPLE, &sig, HashAlg::Sha1).unwrap());
+            b.iter(|| {
+                key.public_key()
+                    .verify(&SAMPLE, &sig, HashAlg::Sha1)
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -45,7 +49,7 @@ fn rsa_encrypt_decrypt(c: &mut Criterion) {
     group.sample_size(10);
     for bits in [512usize, 1024] {
         let key = bench_key(bits);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = XorShift64::seed_from_u64(1);
         group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
             b.iter(|| key.public_key().encrypt(&SAMPLE, &mut rng).unwrap());
         });

@@ -2,12 +2,13 @@
 //! boundary distances) and the auditor (sufficiency predicates), plus
 //! the paper-vs-exact criterion ablation and Welzl's algorithm.
 
+use alidrone_bench::harness::{BenchmarkId, Criterion};
+use alidrone_bench::{criterion_group, criterion_main};
 use alidrone_geo::polygon::smallest_enclosing_circle;
 use alidrone_geo::sufficiency::{pair_is_sufficient, pair_is_sufficient_exact};
 use alidrone_geo::{
     Distance, Enu, GeoPoint, GpsSample, NoFlyZone, Timestamp, ZoneSet, FAA_MAX_SPEED,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn origin() -> GeoPoint {
     GeoPoint::new(40.1164, -88.2434).unwrap()

@@ -3,11 +3,12 @@
 //! scenario (receiver → TEE → sampler → PoA) under one strategy.
 
 use alidrone_bench::bench_key;
+use alidrone_bench::harness::{BenchmarkId, Criterion};
+use alidrone_bench::{criterion_group, criterion_main};
 use alidrone_core::SamplingStrategy;
 use alidrone_sim::runner::run_scenario;
 use alidrone_sim::scenarios::{airport, residential};
 use alidrone_tee::CostModel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig6_airport(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_airport");

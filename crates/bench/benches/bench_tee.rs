@@ -5,15 +5,15 @@
 use std::sync::Arc;
 
 use alidrone_bench::bench_key;
+use alidrone_bench::harness::{BenchmarkId, Criterion};
+use alidrone_bench::{criterion_group, criterion_main};
 use alidrone_core::symmetric::establish_flight_key;
 use alidrone_crypto::dh::DhGroup;
+use alidrone_crypto::rng::XorShift64;
 use alidrone_geo::trajectory::TrajectoryBuilder;
 use alidrone_geo::{Distance, GeoPoint, GpsSample, Speed, Timestamp};
 use alidrone_gps::{SimClock, SimulatedReceiver};
 use alidrone_tee::{CostModel, SecureWorldBuilder, TeeSession, GPS_SAMPLER_UUID};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn session(bits: usize) -> (SimClock, TeeSession) {
     let a = GeoPoint::new(40.1164, -88.2434).unwrap();
@@ -86,7 +86,7 @@ fn batch_vs_individual(c: &mut Criterion) {
 fn symmetric_session(c: &mut Criterion) {
     // §VII-A1a ablation: per-flight DH setup amortised over per-sample
     // HMAC authentication.
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = XorShift64::seed_from_u64(5);
     let group_params = DhGroup::test_512();
     c.bench_function("flight_key_exchange", |b| {
         b.iter(|| establish_flight_key(&group_params, &mut rng).unwrap());

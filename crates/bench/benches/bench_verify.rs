@@ -3,13 +3,13 @@
 //! function of trace length and zone count, plus encrypted submission.
 
 use alidrone_bench::bench_key;
+use alidrone_bench::harness::{BenchmarkId, Criterion};
+use alidrone_bench::{criterion_group, criterion_main};
 use alidrone_core::{Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi};
+use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::HashAlg;
 use alidrone_geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp};
 use alidrone_tee::SignedSample;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn origin() -> GeoPoint {
     GeoPoint::new(40.1164, -88.2434).unwrap()
@@ -69,7 +69,7 @@ fn verify_submission(c: &mut Criterion) {
                         a.verify_submission(&submission, Timestamp::from_secs(0.0))
                             .unwrap()
                     },
-                    criterion::BatchSize::SmallInput,
+                    alidrone_bench::harness::BatchSize::SmallInput,
                 );
             },
         );
@@ -84,7 +84,7 @@ fn encrypted_round_trip(c: &mut Criterion) {
     group.sample_size(10);
     let poa = signed_trace(50);
     let key = bench_key(512);
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = XorShift64::seed_from_u64(9);
     group.bench_function("encrypt_50_samples", |b| {
         b.iter(|| poa.encrypt(key.public_key(), &mut rng).unwrap());
     });

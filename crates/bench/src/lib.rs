@@ -17,11 +17,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use std::sync::OnceLock;
 
+use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::RsaPrivateKey;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Cached keys by size: keygen (especially 2048-bit) must happen once
 /// per process, not once per benchmark iteration batch.
@@ -36,7 +37,7 @@ pub fn bench_key(bits: usize) -> &'static RsaPrivateKey {
         _ => panic!("no cached bench key for {bits} bits"),
     };
     cell.get_or_init(|| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShift64::seed_from_u64(seed);
         RsaPrivateKey::generate(bits, &mut rng)
     })
 }

@@ -807,8 +807,8 @@ mod tests {
         // the wrong key.
         let mut a = auditor();
         let other_tee = {
-            use rand::{rngs::StdRng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(0xE1E);
+            use alidrone_crypto::rng::XorShift64;
+            let mut rng = XorShift64::seed_from_u64(0xE1E);
             alidrone_crypto::rsa::RsaPrivateKey::generate(512, &mut rng)
         };
         let d = a.register_drone(
@@ -997,8 +997,8 @@ mod tests {
 
     #[test]
     fn encrypted_submission_round_trip() {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(31);
+        use alidrone_crypto::rng::XorShift64;
+        let mut rng = XorShift64::seed_from_u64(31);
         let mut a = auditor();
         let d = registered(&mut a);
         a.register_zone(far_zone());
@@ -1170,8 +1170,8 @@ mod tests {
         // (The public modulus legitimately does.) We can't read the
         // private fields here, so check a proxy: restoring with a
         // *different* encryption key still works — the key is external.
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x5EC);
+        use alidrone_crypto::rng::XorShift64;
+        let mut rng = XorShift64::seed_from_u64(0x5EC);
         let other = alidrone_crypto::rsa::RsaPrivateKey::generate(512, &mut rng);
         let restored = Auditor::restore(&bytes, AuditorConfig::default(), other.clone()).unwrap();
         assert_eq!(

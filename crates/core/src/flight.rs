@@ -4,6 +4,7 @@
 
 use alidrone_geo::{Distance, Duration, GeoPoint, Timestamp, ZoneSet};
 use alidrone_gps::{GpsDevice, SimClock};
+use alidrone_obs::Obs;
 use alidrone_tee::TeeSession;
 
 use crate::poa::ProofOfAlibi;
@@ -91,14 +92,43 @@ pub fn run_flight(
     strategy: SamplingStrategy,
     duration: Duration,
 ) -> Result<FlightRecord, ProtocolError> {
+    run_flight_with_obs(
+        clock,
+        receiver,
+        session,
+        zones,
+        strategy,
+        duration,
+        &Obs::noop(),
+    )
+}
+
+/// As [`run_flight`], routing the sampling policy's decision counters
+/// and rate-change events into `obs`.
+///
+/// # Errors
+///
+/// As [`run_flight`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_flight_with_obs(
+    clock: &SimClock,
+    receiver: &dyn GpsDevice,
+    session: &TeeSession,
+    zones: &ZoneSet,
+    strategy: SamplingStrategy,
+    duration: Duration,
+    obs: &Obs,
+) -> Result<FlightRecord, ProtocolError> {
     let hw_rate = receiver.update_rate_hz();
     let mut policy: Box<dyn SamplingPolicy> = match strategy {
-        SamplingStrategy::Adaptive => Box::new(AdaptiveSampler::new(zones.clone(), hw_rate)),
+        SamplingStrategy::Adaptive => {
+            Box::new(AdaptiveSampler::new(zones.clone(), hw_rate).with_obs(obs))
+        }
         SamplingStrategy::AdaptiveStrict => {
-            Box::new(AdaptiveSampler::strict_paper(zones.clone(), hw_rate))
+            Box::new(AdaptiveSampler::strict_paper(zones.clone(), hw_rate).with_obs(obs))
         }
         SamplingStrategy::AdaptivePairwise => {
-            Box::new(AdaptiveSampler::pairwise_safe(zones.clone(), hw_rate))
+            Box::new(AdaptiveSampler::pairwise_safe(zones.clone(), hw_rate).with_obs(obs))
         }
         SamplingStrategy::FixedRate(hz) => Box::new(FixedRateSampler::new(hz)),
     };
@@ -142,9 +172,7 @@ pub fn run_flight(
 
     // Landing anchor: make sure the PoA reaches the window end.
     let window_end = clock.now();
-    let need_final = poa
-        .last_time()
-        .is_none_or(|t| t.secs() < window_end.secs());
+    let need_final = poa.last_time().is_none_or(|t| t.secs() < window_end.secs());
     if need_final {
         if let Ok(signed) = session.get_gps_auth() {
             if poa
@@ -176,7 +204,11 @@ mod tests {
     use std::sync::Arc;
 
     /// Sets up a shared receiver + TEE for a straight eastbound flight.
-    fn setup(dist_m: f64, speed_mps: f64, hw_rate: f64) -> (SimClock, Arc<SimulatedReceiver>, TeeClient) {
+    fn setup(
+        dist_m: f64,
+        speed_mps: f64,
+        hw_rate: f64,
+    ) -> (SimClock, Arc<SimulatedReceiver>, TeeClient) {
         let a = origin();
         let b = a.destination(90.0, Distance::from_meters(dist_m));
         let traj = TrajectoryBuilder::start_at(a)

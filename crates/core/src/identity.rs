@@ -2,13 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// `id_drone` — the drone's license-plate-like identifier, issued at
 /// registration and physically carried on the drone.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct DroneId(u64);
 
 impl DroneId {
@@ -31,9 +27,7 @@ impl fmt::Display for DroneId {
 }
 
 /// `id_zone` — a registered no-fly zone's identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ZoneId(u64);
 
 impl ZoneId {

@@ -66,10 +66,10 @@ pub mod symmetric;
 pub mod wire;
 
 pub use auditor::{
-    AccusationOutcome, Auditor, AuditorConfig, StoredPoa, VerificationReport, Verdict,
+    AccusationOutcome, Auditor, AuditorConfig, StoredPoa, Verdict, VerificationReport,
 };
 pub use error::ProtocolError;
-pub use flight::{FlightRecord, SampleEvent, SamplingStrategy, run_flight};
+pub use flight::{run_flight, run_flight_with_obs, FlightRecord, SampleEvent, SamplingStrategy};
 pub use identity::{DroneId, ZoneId};
 pub use messages::{Accusation, PoaSubmission, ZoneQuery, ZoneResponse};
 pub use operator::DroneOperator;

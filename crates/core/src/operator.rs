@@ -2,11 +2,11 @@
 
 use std::fmt;
 
+use alidrone_crypto::rng::Rng;
 use alidrone_crypto::rsa::RsaPrivateKey;
 use alidrone_geo::{Duration, GeoPoint, Timestamp, ZoneSet};
 use alidrone_gps::{GpsDevice, SimClock};
 use alidrone_tee::{TeeClient, GPS_SAMPLER_UUID};
-use rand::Rng;
 
 use crate::auditor::{Auditor, VerificationReport};
 use crate::flight::{run_flight, FlightRecord, SamplingStrategy};
@@ -179,12 +179,11 @@ mod tests {
     use super::*;
     use crate::auditor::AuditorConfig;
     use crate::test_support::{auditor_key, operator_key, origin, tee_key};
+    use alidrone_crypto::rng::XorShift64;
     use alidrone_geo::trajectory::TrajectoryBuilder;
     use alidrone_geo::{Distance, NoFlyZone, Speed};
     use alidrone_gps::SimulatedReceiver;
     use alidrone_tee::{CostModel, SecureWorldBuilder};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::sync::Arc;
 
     fn setup() -> (SimClock, Arc<SimulatedReceiver>, DroneOperator, Auditor) {
@@ -195,11 +194,7 @@ mod tests {
             .build()
             .unwrap();
         let clock = SimClock::new();
-        let receiver = Arc::new(SimulatedReceiver::from_trajectory(
-            traj,
-            clock.clone(),
-            5.0,
-        ));
+        let receiver = Arc::new(SimulatedReceiver::from_trajectory(traj, clock.clone(), 5.0));
         let world = SecureWorldBuilder::new()
             .with_sign_key(tee_key().clone())
             .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -214,7 +209,7 @@ mod tests {
     #[test]
     fn full_honest_protocol_run() {
         let (clock, receiver, mut operator, mut auditor) = setup();
-        let mut rng = StdRng::seed_from_u64(41);
+        let mut rng = XorShift64::seed_from_u64(41);
 
         // Registration.
         let id = operator.register_with(&mut auditor);
@@ -249,16 +244,14 @@ mod tests {
                 Duration::from_secs(60.0),
             )
             .unwrap();
-        let report = operator
-            .submit(&mut auditor, &record, clock.now())
-            .unwrap();
+        let report = operator.submit(&mut auditor, &record, clock.now()).unwrap();
         assert!(report.is_compliant(), "verdict {}", report.verdict);
     }
 
     #[test]
     fn encrypted_submission_also_compliant() {
         let (clock, receiver, mut operator, mut auditor) = setup();
-        let mut rng = StdRng::seed_from_u64(43);
+        let mut rng = XorShift64::seed_from_u64(43);
         operator.register_with(&mut auditor);
         let record = operator
             .fly(
@@ -278,7 +271,7 @@ mod tests {
     #[test]
     fn unregistered_operator_cannot_query_or_submit() {
         let (clock, receiver, operator, mut auditor) = setup();
-        let mut rng = StdRng::seed_from_u64(44);
+        let mut rng = XorShift64::seed_from_u64(44);
         assert!(operator
             .query_zones(&mut auditor, origin(), origin(), &mut rng)
             .is_err());

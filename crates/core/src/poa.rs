@@ -2,10 +2,10 @@
 
 use std::fmt;
 
+use alidrone_crypto::rng::Rng;
 use alidrone_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use alidrone_geo::{GpsSample, Timestamp};
 use alidrone_tee::SignedSample;
-use rand::Rng;
 
 use crate::ProtocolError;
 
@@ -260,8 +260,8 @@ mod tests {
 
     #[test]
     fn encrypt_decrypt_round_trip() {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        use alidrone_crypto::rng::XorShift64;
+        let mut rng = XorShift64::seed_from_u64(5);
         let poa = ProofOfAlibi::from_entries(signed_samples(6));
         let enc = poa.encrypt(auditor_key().public_key(), &mut rng).unwrap();
         assert!(enc.block_count() > 1, "multi-block for realistic sizes");
@@ -272,8 +272,8 @@ mod tests {
 
     #[test]
     fn decrypt_with_wrong_key_fails() {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(6);
+        use alidrone_crypto::rng::XorShift64;
+        let mut rng = XorShift64::seed_from_u64(6);
         let poa = ProofOfAlibi::from_entries(signed_samples(2));
         let enc = poa.encrypt(auditor_key().public_key(), &mut rng).unwrap();
         let other = alidrone_crypto::rsa::RsaPrivateKey::generate(512, &mut rng);

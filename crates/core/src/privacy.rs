@@ -9,10 +9,10 @@
 //! learning only that fragment of the trajectory.
 
 use alidrone_crypto::chacha20::{chacha20_decrypt, chacha20_encrypt};
+use alidrone_crypto::rng::Rng;
 use alidrone_crypto::rsa::RsaPublicKey;
 use alidrone_geo::{NoFlyZone, Speed, Timestamp};
 use alidrone_tee::SignedSample;
-use rand::Rng;
 
 use crate::auditor::AccusationOutcome;
 use crate::poa::ProofOfAlibi;
@@ -178,7 +178,9 @@ pub fn check_sealed_accusation(
         .ok_or(ProtocolError::TimeNotCovered)?;
     let find = |idx: usize| reveals.iter().find(|r| r.index == idx);
     let (Some(ri), Some(rj)) = (find(i), find(j)) else {
-        return Err(ProtocolError::Malformed("missing reveal for bracketing pair"));
+        return Err(ProtocolError::Malformed(
+            "missing reveal for bracketing pair",
+        ));
     };
     let si = open_entry(sealed, ri)?;
     let sj = open_entry(sealed, rj)?;
@@ -206,9 +208,8 @@ pub fn check_sealed_accusation(
 mod tests {
     use super::*;
     use crate::test_support::{origin, signed_samples, tee_key};
+    use alidrone_crypto::rng::XorShift64;
     use alidrone_geo::{Distance, FAA_MAX_SPEED};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn far_zone() -> NoFlyZone {
         NoFlyZone::new(
@@ -219,7 +220,7 @@ mod tests {
 
     fn sealed_fixture(n: usize) -> (PrivatePoa, ProofOfAlibi) {
         let poa = ProofOfAlibi::from_entries(signed_samples(n));
-        let mut rng = StdRng::seed_from_u64(61);
+        let mut rng = XorShift64::seed_from_u64(61);
         (PrivatePoa::seal(&poa, &mut rng), poa)
     }
 
@@ -267,11 +268,15 @@ mod tests {
     fn bracketing_indices_found() {
         let (private, _) = sealed_fixture(5); // samples at t = 0..4 s
         assert_eq!(
-            private.sealed().bracketing_indices(Timestamp::from_secs(2.5)),
+            private
+                .sealed()
+                .bracketing_indices(Timestamp::from_secs(2.5)),
             Some((2, 3))
         );
         assert_eq!(
-            private.sealed().bracketing_indices(Timestamp::from_secs(99.0)),
+            private
+                .sealed()
+                .bracketing_indices(Timestamp::from_secs(99.0)),
             None
         );
     }

@@ -22,8 +22,11 @@
 //! which equals Algorithm 1 when eq. 2 holds and recovers immediately
 //! (accepting the one already-insufficient pair) when it does not.
 
+use std::sync::Arc;
+
 use alidrone_geo::{GpsSample, Speed, ZoneSet, FAA_MAX_SPEED};
 use alidrone_gps::GpsFix;
+use alidrone_obs::{Counter, Level, Obs};
 
 use super::{Decision, SamplingPolicy};
 
@@ -36,6 +39,9 @@ pub struct AdaptiveSampler {
     last_recorded: Option<GpsSample>,
     strict: bool,
     pairwise: bool,
+    obs: Obs,
+    samples: Arc<Counter>,
+    skips: Arc<Counter>,
 }
 
 impl AdaptiveSampler {
@@ -47,6 +53,9 @@ impl AdaptiveSampler {
 
     /// As [`new`](Self::new) with an explicit speed bound.
     pub fn with_v_max(zones: ZoneSet, hw_rate_hz: f64, v_max: Speed) -> Self {
+        let obs = Obs::noop();
+        let samples = obs.counter("sampler.decisions.sample");
+        let skips = obs.counter("sampler.decisions.skip");
         AdaptiveSampler {
             zones,
             v_max,
@@ -54,7 +63,19 @@ impl AdaptiveSampler {
             last_recorded: None,
             strict: false,
             pairwise: false,
+            obs,
+            samples,
+            skips,
         }
+    }
+
+    /// Routes decision counters and rate-change events (with the
+    /// Algorithm 1 distance terms `D₁`, `D₂` as fields) into `obs`.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self.samples = obs.counter("sampler.decisions.sample");
+        self.skips = obs.counter("sampler.decisions.skip");
+        self
     }
 
     /// A variant that evaluates the trigger against **every** zone (the
@@ -98,16 +119,23 @@ impl SamplingPolicy for AdaptiveSampler {
     fn decide(&mut self, fix: &GpsFix) -> Decision {
         // The very first sample anchors the PoA.
         let Some(last) = self.last_recorded else {
+            self.samples.inc();
+            self.obs
+                .emit(Level::Info, "sampler.adaptive", "anchor_sample", |f| {
+                    f.field("t", fix.sample.time().secs());
+                });
             return Decision::Sample;
         };
         let dt = fix.sample.time().since(last.time());
         if dt.secs() <= 0.0 {
             // Stale measurement (dropout repeating the old fix).
+            self.skips.inc();
             return Decision::Skip;
         }
         if self.zones.is_empty() {
             // No zones: nothing to prove, skip (the flight driver still
             // records takeoff/landing anchors).
+            self.skips.inc();
             return Decision::Skip;
         }
         let (d1, d2) = if self.pairwise {
@@ -134,11 +162,23 @@ impl SamplingPolicy for AdaptiveSampler {
         let budget_next = self.v_max.mps() * (dt.secs() + 2.0 / self.hw_rate_hz);
         if self.strict && d1 + d2 < budget_now {
             // Literal Algorithm 1: eq. 2 already failed; never sample.
+            self.skips.inc();
             return Decision::Skip;
         }
         if d1 + d2 <= budget_next {
+            // The effective sampling rate steps up here: the trigger
+            // fired because the distance budget is nearly exhausted.
+            self.samples.inc();
+            self.obs
+                .emit(Level::Info, "sampler.adaptive", "rate_change", |f| {
+                    f.field("d1_m", d1)
+                        .field("d2_m", d2)
+                        .field("dt_s", dt.secs())
+                        .field("budget_m", budget_next);
+                });
             Decision::Sample
         } else {
+            self.skips.inc();
             Decision::Skip
         }
     }
@@ -280,6 +320,36 @@ mod tests {
     }
 
     #[test]
+    fn rate_change_events_carry_distances() {
+        use alidrone_obs::RingBuffer;
+        use std::sync::Arc;
+
+        let obs = Obs::noop();
+        let ring = Arc::new(RingBuffer::new(16));
+        obs.set_subscriber(ring.clone());
+        // Hovering 500 m from the boundary: skip at 21.6 s, sample at
+        // 22.0 s (see samples_just_before_insufficiency).
+        let mut s = AdaptiveSampler::new(zone_north(600.0, 100.0), 5.0).with_obs(&obs);
+        s.on_recorded(&fix_at(0.0, 0.0).sample);
+        assert_eq!(s.decide(&fix_at(0.0, 21.6)), Decision::Skip);
+        assert_eq!(s.decide(&fix_at(0.0, 22.0)), Decision::Sample);
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("sampler.decisions.sample"), 1);
+        assert_eq!(snap.counter("sampler.decisions.skip"), 1);
+        let events = ring.events();
+        let ev = events
+            .iter()
+            .find(|e| e.message == "rate_change")
+            .expect("rate_change event");
+        let d1 = ev.field("d1_m").unwrap().as_f64().unwrap();
+        let d2 = ev.field("d2_m").unwrap().as_f64().unwrap();
+        assert!((d1 - 500.0).abs() < 1.0, "d1 {d1}");
+        assert!((d2 - 500.0).abs() < 1.0, "d2 {d2}");
+        assert_eq!(ev.field("dt_s").unwrap().as_f64(), Some(22.0));
+    }
+
+    #[test]
     fn policy_names_distinguish_variants() {
         let z = zone_north(100.0, 10.0);
         assert_eq!(AdaptiveSampler::new(z.clone(), 5.0).name(), "adaptive");
@@ -287,7 +357,10 @@ mod tests {
             AdaptiveSampler::pairwise_safe(z.clone(), 5.0).name(),
             "adaptive-pairwise"
         );
-        assert_eq!(AdaptiveSampler::strict_paper(z, 5.0).name(), "adaptive-strict");
+        assert_eq!(
+            AdaptiveSampler::strict_paper(z, 5.0).name(),
+            "adaptive-strict"
+        );
     }
 
     #[test]

@@ -88,10 +88,7 @@ mod tests {
 
     fn fix_at(t: f64) -> GpsFix {
         GpsFix {
-            sample: GpsSample::new(
-                GeoPoint::new(40.0, -88.0).unwrap(),
-                Timestamp::from_secs(t),
-            ),
+            sample: GpsSample::new(GeoPoint::new(40.0, -88.0).unwrap(), Timestamp::from_secs(t)),
             speed: Speed::from_mps(0.0),
             sequence: (t * 5.0).round() as u64,
         }

@@ -11,8 +11,8 @@
 
 use alidrone_crypto::dh::{DhGroup, DhKeyPair};
 use alidrone_crypto::hmac::{hmac_sha256, hmac_sha256_verify, HMAC_SHA256_LEN};
+use alidrone_crypto::rng::Rng;
 use alidrone_geo::GpsSample;
-use rand::Rng;
 
 use crate::ProtocolError;
 
@@ -76,12 +76,11 @@ pub fn establish_flight_key<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::test_support::origin;
+    use alidrone_crypto::rng::XorShift64;
     use alidrone_geo::{Distance, Timestamp};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn sessions() -> (FlightSession, FlightSession) {
-        let mut rng = StdRng::seed_from_u64(71);
+        let mut rng = XorShift64::seed_from_u64(71);
         establish_flight_key(&DhGroup::test_512(), &mut rng).unwrap()
     }
 
@@ -119,7 +118,7 @@ mod tests {
     #[test]
     fn cross_flight_keys_do_not_verify() {
         let (drone1, _) = sessions();
-        let mut rng = StdRng::seed_from_u64(72);
+        let mut rng = XorShift64::seed_from_u64(72);
         let (_, auditor2) = establish_flight_key(&DhGroup::test_512(), &mut rng).unwrap();
         let m = drone1.authenticate(sample(1.0));
         assert!(!auditor2.verify(&m));

@@ -2,17 +2,16 @@
 
 use std::sync::OnceLock;
 
+use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
 use alidrone_geo::{Distance, GeoPoint, GpsSample, Timestamp};
 use alidrone_tee::SignedSample;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// 512-bit keys are test-size: keygen and signing in debug builds must
 /// stay fast. Each role gets a distinct cached key.
 fn cached_key(cell: &'static OnceLock<RsaPrivateKey>, seed: u64) -> &'static RsaPrivateKey {
     cell.get_or_init(|| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShift64::seed_from_u64(seed);
         RsaPrivateKey::generate(512, &mut rng)
     })
 }

@@ -1,6 +1,10 @@
 //! The AliDrone Server's request loop: bytes in, bytes out.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use alidrone_geo::Timestamp;
+use alidrone_obs::{Counter, Histogram, Level, Obs};
 
 use crate::auditor::{AccusationOutcome, Auditor};
 use crate::messages::PoaSubmission;
@@ -8,17 +12,103 @@ use crate::poa::ProofOfAlibi;
 use crate::wire::{ErrorCode, Request, Response};
 use crate::ProtocolError;
 
+/// The wire-visible request kinds, for per-kind metric names.
+const REQUEST_KINDS: [&str; 6] = [
+    "register_drone",
+    "register_zone",
+    "query_zones",
+    "submit_poa",
+    "submit_encrypted_poa",
+    "accuse",
+];
+
+fn request_kind_index(req: &Request) -> usize {
+    match req {
+        Request::RegisterDrone { .. } => 0,
+        Request::RegisterZone { .. } => 1,
+        Request::QueryZones(_) => 2,
+        Request::SubmitPoa { .. } => 3,
+        Request::SubmitEncryptedPoa { .. } => 4,
+        Request::Accuse(_) => 5,
+    }
+}
+
+/// The wire error codes, for per-code counter names. Indexed in the
+/// same order as [`error_code_index`].
+const ERROR_CODES: [&str; 7] = [
+    "malformed",
+    "unknown_drone",
+    "unknown_zone",
+    "bad_signature",
+    "nonce_replayed",
+    "decrypt_failed",
+    "internal",
+];
+
+fn error_code_index(code: ErrorCode) -> usize {
+    match code {
+        ErrorCode::Malformed => 0,
+        ErrorCode::UnknownDrone => 1,
+        ErrorCode::UnknownZone => 2,
+        ErrorCode::BadSignature => 3,
+        ErrorCode::NonceReplayed => 4,
+        ErrorCode::DecryptFailed => 5,
+        ErrorCode::Internal => 6,
+    }
+}
+
+/// Pre-registered metric handles (steady-state updates never touch the
+/// registry lock).
+#[derive(Debug)]
+struct ServerMetrics {
+    /// Wall-clock handling latency per request kind
+    /// (`server.latency.<kind>`). Latency is always measured in wall
+    /// time — even under a simulated clock — because it reflects real
+    /// verification CPU cost (RSA, sufficiency checks), which the sim
+    /// clock does not model.
+    latency: [Arc<Histogram>; 6],
+    /// Error responses per wire code (`server.errors.<code>`).
+    errors: [Arc<Counter>; 7],
+    /// Frames that failed to decode at all (`server.malformed_frames`).
+    malformed_frames: Arc<Counter>,
+    /// All frames seen, decodable or not (`server.requests`).
+    requests: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(obs: &Obs) -> Self {
+        ServerMetrics {
+            latency: REQUEST_KINDS.map(|kind| obs.histogram(&format!("server.latency.{kind}"))),
+            errors: ERROR_CODES.map(|code| obs.counter(&format!("server.errors.{code}"))),
+            malformed_frames: obs.counter("server.malformed_frames"),
+            requests: obs.counter("server.requests"),
+        }
+    }
+}
+
 /// Wraps an [`Auditor`] behind the byte-level protocol, the way the
 /// deployed AliDrone Server would sit behind a socket.
 #[derive(Debug)]
 pub struct AuditorServer {
     auditor: Auditor,
+    obs: Obs,
+    metrics: ServerMetrics,
 }
 
 impl AuditorServer {
-    /// Creates a server around an auditor.
+    /// Creates a server around an auditor, with metrics going to a
+    /// private no-op registry.
     pub fn new(auditor: Auditor) -> Self {
-        AuditorServer { auditor }
+        AuditorServer::with_obs(auditor, &Obs::noop())
+    }
+
+    /// Creates a server whose metrics and events flow into `obs`.
+    pub fn with_obs(auditor: Auditor, obs: &Obs) -> Self {
+        AuditorServer {
+            auditor,
+            obs: obs.clone(),
+            metrics: ServerMetrics::new(obs),
+        }
     }
 
     /// Read access to the wrapped auditor (e.g. for inspection in tests).
@@ -34,12 +124,40 @@ impl AuditorServer {
     /// Handles one request frame. Never fails: malformed input or
     /// protocol errors become [`Response::Error`] frames.
     pub fn handle(&mut self, request_bytes: &[u8], now: Timestamp) -> Vec<u8> {
+        self.metrics.requests.inc();
+        let t0 = Instant::now();
         let response = match Request::from_bytes(request_bytes) {
-            Ok(req) => self.dispatch(req, now),
-            Err(e) => Response::Error {
-                code: ErrorCode::Malformed,
-                message: e.to_string(),
-            },
+            Ok(req) => {
+                let kind = request_kind_index(&req);
+                let resp = self.dispatch(req, now);
+                self.metrics.latency[kind].record_micros(t0.elapsed().as_micros() as u64);
+                if let Response::Error { code, .. } = &resp {
+                    let code = *code;
+                    self.metrics.errors[error_code_index(code)].inc();
+                    self.obs
+                        .emit(Level::Warn, "wire.server", "error_response", |f| {
+                            f.field("kind", REQUEST_KINDS[kind])
+                                .field("code", ERROR_CODES[error_code_index(code)]);
+                        });
+                }
+                resp
+            }
+            Err(e) => {
+                // Undecodable frames used to vanish into a bare error
+                // string; now they are counted and the frame length is
+                // surfaced in both the event and the response.
+                let frame_len = request_bytes.len();
+                self.metrics.malformed_frames.inc();
+                self.metrics.errors[error_code_index(ErrorCode::Malformed)].inc();
+                self.obs
+                    .emit(Level::Warn, "wire.server", "malformed_frame", |f| {
+                        f.field("frame_len", frame_len as u64);
+                    });
+                Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!("malformed frame ({frame_len} bytes): {e}"),
+                }
+            }
         };
         response.to_bytes()
     }
@@ -49,9 +167,9 @@ impl AuditorServer {
             Request::RegisterDrone {
                 operator_public,
                 tee_public,
-            } => Response::DroneRegistered(
-                self.auditor.register_drone(operator_public, tee_public),
-            ),
+            } => {
+                Response::DroneRegistered(self.auditor.register_drone(operator_public, tee_public))
+            }
             Request::RegisterZone { zone } => {
                 Response::ZoneRegistered(self.auditor.register_zone(zone))
             }
@@ -138,7 +256,10 @@ mod tests {
     use alidrone_geo::{Distance, NoFlyZone};
 
     fn server() -> AuditorServer {
-        AuditorServer::new(Auditor::new(AuditorConfig::default(), auditor_key().clone()))
+        AuditorServer::new(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
     }
 
     fn now() -> Timestamp {
@@ -197,6 +318,78 @@ mod tests {
     }
 
     #[test]
+    fn malformed_frame_is_counted_and_reported_with_length() {
+        use alidrone_obs::RingBuffer;
+        use std::sync::Arc;
+
+        let obs = Obs::noop();
+        let ring = Arc::new(RingBuffer::new(8));
+        obs.set_subscriber(ring.clone());
+        let mut s = AuditorServer::with_obs(
+            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
+            &obs,
+        );
+
+        let frame = [0xFF, 0x01, 0x02];
+        let resp = Response::from_bytes(&s.handle(&frame, now())).unwrap();
+        let Response::Error { code, message } = resp else {
+            panic!("expected error response");
+        };
+        assert_eq!(code, ErrorCode::Malformed);
+        assert!(message.contains("3 bytes"), "message: {message}");
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("server.malformed_frames"), 1);
+        assert_eq!(snap.counter("server.errors.malformed"), 1);
+        let events = ring.events();
+        let ev = events
+            .iter()
+            .find(|e| e.message == "malformed_frame")
+            .expect("malformed_frame event");
+        assert_eq!(ev.level, Level::Warn);
+        assert_eq!(ev.field("frame_len").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn request_latency_and_error_codes_are_tracked() {
+        let obs = Obs::noop();
+        let mut s = AuditorServer::with_obs(
+            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
+            &obs,
+        );
+
+        // A successful registration and an unknown-drone submission.
+        let req = Request::RegisterDrone {
+            operator_public: operator_key().public_key().clone(),
+            tee_public: tee_key().public_key().clone(),
+        };
+        s.handle(&req.to_bytes(), now());
+        let req = Request::SubmitPoa {
+            drone_id: DroneId::new(404),
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(1.0),
+            poa: ProofOfAlibi::new().to_bytes(),
+        };
+        s.handle(&req.to_bytes(), now());
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("server.requests"), 2);
+        assert_eq!(
+            snap.histogram("server.latency.register_drone")
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(
+            snap.histogram("server.latency.submit_poa").unwrap().count,
+            1
+        );
+        assert!(snap.histogram("server.latency.accuse").unwrap().count == 0);
+        assert_eq!(snap.counter("server.errors.unknown_drone"), 1);
+        assert_eq!(snap.counter("server.errors.internal"), 0);
+    }
+
+    #[test]
     fn unknown_drone_error_code() {
         let mut s = server();
         let req = Request::SubmitPoa {
@@ -235,8 +428,8 @@ mod tests {
 
     #[test]
     fn encrypted_submission_over_the_wire() {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(55);
+        use alidrone_crypto::rng::XorShift64;
+        let mut rng = XorShift64::seed_from_u64(55);
         let mut s = server();
         let id = register(&mut s);
         let poa = ProofOfAlibi::from_entries(signed_samples(4));

@@ -5,7 +5,10 @@
 //! plus a deterministic fault-injecting wrapper used to test that both
 //! ends treat the network as untrusted.
 
+use std::sync::Arc;
+
 use alidrone_geo::{GeoPoint, NoFlyZone, Timestamp};
+use alidrone_obs::{Counter, Level, Obs};
 
 use crate::messages::{Accusation, ZoneQuery};
 use crate::wire::server::AuditorServer;
@@ -22,16 +25,43 @@ pub trait Transport {
     fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError>;
 }
 
+/// Pre-registered transport traffic counters.
+#[derive(Debug)]
+struct TrafficMetrics {
+    calls: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+impl TrafficMetrics {
+    fn new(obs: &Obs) -> Self {
+        TrafficMetrics {
+            calls: obs.counter("transport.calls"),
+            bytes_in: obs.counter("transport.bytes_in"),
+            bytes_out: obs.counter("transport.bytes_out"),
+        }
+    }
+}
+
 /// Direct in-process delivery to an [`AuditorServer`].
 #[derive(Debug)]
 pub struct InProcess {
     server: AuditorServer,
+    metrics: TrafficMetrics,
 }
 
 impl InProcess {
-    /// Wraps a server.
+    /// Wraps a server (traffic counters go to a private registry).
     pub fn new(server: AuditorServer) -> Self {
-        InProcess { server }
+        InProcess::with_obs(server, &Obs::noop())
+    }
+
+    /// Wraps a server, counting calls and bytes in/out into `obs`.
+    pub fn with_obs(server: AuditorServer, obs: &Obs) -> Self {
+        InProcess {
+            server,
+            metrics: TrafficMetrics::new(obs),
+        }
     }
 
     /// Access to the wrapped server.
@@ -47,7 +77,11 @@ impl InProcess {
 
 impl Transport for InProcess {
     fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
-        Ok(self.server.handle(request, now))
+        self.metrics.calls.inc();
+        self.metrics.bytes_in.add(request.len() as u64);
+        let response = self.server.handle(request, now);
+        self.metrics.bytes_out.add(response.len() as u64);
+        Ok(response)
     }
 }
 
@@ -59,16 +93,27 @@ pub struct Flaky<T> {
     drop_period: Option<u64>,
     corrupt_period: Option<u64>,
     calls: u64,
+    obs: Obs,
+    dropped: Arc<Counter>,
+    corrupted: Arc<Counter>,
 }
 
 impl<T: Transport> Flaky<T> {
     /// Wraps a transport with no faults configured.
     pub fn new(inner: T) -> Self {
+        Flaky::with_obs(inner, &Obs::noop())
+    }
+
+    /// As [`new`](Self::new), counting injected faults into `obs`.
+    pub fn with_obs(inner: T, obs: &Obs) -> Self {
         Flaky {
             inner,
             drop_period: None,
             corrupt_period: None,
             calls: 0,
+            obs: obs.clone(),
+            dropped: obs.counter("transport.faults.dropped"),
+            corrupted: obs.counter("transport.faults.corrupted"),
         }
     }
 
@@ -98,13 +143,31 @@ impl<T: Transport> Flaky<T> {
 impl<T: Transport> Transport for Flaky<T> {
     fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
         self.calls += 1;
-        if self.drop_period.is_some_and(|p| self.calls.is_multiple_of(p)) {
+        if self
+            .drop_period
+            .is_some_and(|p| self.calls.is_multiple_of(p))
+        {
+            self.dropped.inc();
+            let call = self.calls;
+            self.obs
+                .emit(Level::Warn, "wire.transport", "request_dropped", |f| {
+                    f.field("call", call);
+                });
             return Err(ProtocolError::Malformed("transport: request lost"));
         }
         let mut resp = self.inner.call(request, now)?;
-        if self.corrupt_period.is_some_and(|p| self.calls.is_multiple_of(p)) {
+        if self
+            .corrupt_period
+            .is_some_and(|p| self.calls.is_multiple_of(p))
+        {
             if let Some(b) = resp.get_mut(0) {
                 *b ^= 0x55;
+                self.corrupted.inc();
+                let call = self.calls;
+                self.obs
+                    .emit(Level::Warn, "wire.transport", "response_corrupted", |f| {
+                        f.field("call", call);
+                    });
             }
         }
         Ok(resp)
@@ -313,7 +376,13 @@ mod tests {
                 now(),
             )
             .unwrap();
-        assert_eq!(zones, vec![(zid, *c.transport_mut().server().auditor().zone(zid).unwrap())]);
+        assert_eq!(
+            zones,
+            vec![(
+                zid,
+                *c.transport_mut().server().auditor().zone(zid).unwrap()
+            )]
+        );
 
         let poa = ProofOfAlibi::from_entries(signed_samples(5));
         let verdict = c
@@ -363,22 +432,13 @@ mod tests {
         let flaky = Flaky::new(InProcess::new(AuditorServer::new(auditor))).drop_every(2);
         let mut c = AuditorClient::new(flaky);
         // First call passes, second is dropped, third passes.
-        c.register_zone(
-            NoFlyZone::new(origin(), Distance::from_meters(10.0)),
-            now(),
-        )
-        .unwrap();
+        c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
         assert!(c
-            .register_zone(
-                NoFlyZone::new(origin(), Distance::from_meters(10.0)),
-                now(),
-            )
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now(),)
             .is_err());
-        c.register_zone(
-            NoFlyZone::new(origin(), Distance::from_meters(10.0)),
-            now(),
-        )
-        .unwrap();
+        c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
     }
 
     #[test]
@@ -389,11 +449,27 @@ mod tests {
         // Every response is corrupted: the client must error, never
         // return a bogus typed value.
         assert!(c
-            .register_zone(
-                NoFlyZone::new(origin(), Distance::from_meters(10.0)),
-                now(),
-            )
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now(),)
             .is_err());
+    }
+
+    #[test]
+    fn traffic_and_fault_counters_accumulate() {
+        let obs = Obs::noop();
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let server = AuditorServer::with_obs(auditor, &obs);
+        let flaky = Flaky::with_obs(InProcess::with_obs(server, &obs), &obs).drop_every(2);
+        let mut c = AuditorClient::new(flaky);
+        for _ in 0..4 {
+            let _ = c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now());
+        }
+        let snap = obs.snapshot();
+        // Calls 2 and 4 dropped before reaching the in-process layer.
+        assert_eq!(snap.counter("transport.faults.dropped"), 2);
+        assert_eq!(snap.counter("transport.calls"), 2);
+        assert!(snap.counter("transport.bytes_in") > 0);
+        assert!(snap.counter("transport.bytes_out") > 0);
+        assert_eq!(snap.counter("server.requests"), 2);
     }
 
     #[test]
@@ -403,11 +479,8 @@ mod tests {
         let mut c = AuditorClient::new(flaky);
         let mut registered = 0;
         for _ in 0..9 {
-            if c.register_zone(
-                NoFlyZone::new(origin(), Distance::from_meters(10.0)),
-                now(),
-            )
-            .is_ok()
+            if c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+                .is_ok()
             {
                 registered += 1;
             }

@@ -94,7 +94,9 @@ mod tests {
         let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let mut o = owner();
         let zid = o.register_with(&mut auditor);
-        let acc = o.report(DroneId::new(9), Timestamp::from_secs(55.0)).unwrap();
+        let acc = o
+            .report(DroneId::new(9), Timestamp::from_secs(55.0))
+            .unwrap();
         assert_eq!(acc.zone_id, zid);
         assert_eq!(acc.drone_id, DroneId::new(9));
         assert!((acc.time.secs() - 55.0).abs() < 1e-9);

@@ -1,4 +1,4 @@
-//! Property-based tests for the protocol layer.
+//! Randomized tests for the protocol layer.
 //!
 //! Two classes of invariant:
 //!
@@ -7,6 +7,11 @@
 //! 2. **Verification soundness** — a `Compliant` verdict must imply that
 //!    no sample sits in any zone and every pair is sufficient, for
 //!    arbitrary traces and zone layouts.
+//!
+//! Inputs come from a seeded deterministic stream (no `proptest` — the
+//! offline build has no crates.io), so failures reproduce exactly.
+//! RSA signing in debug builds makes trace generation expensive; 64
+//! cases keeps the suite fast while still exploring the space.
 
 use std::sync::OnceLock;
 
@@ -14,17 +19,17 @@ use alidrone_core::wire::{Request, Response};
 use alidrone_core::{
     Auditor, AuditorConfig, DroneId, PoaSubmission, ProofOfAlibi, Verdict, ZoneId,
 };
+use alidrone_crypto::rng::{Rng, XorShift64};
 use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
 use alidrone_geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp, FAA_MAX_SPEED};
 use alidrone_tee::SignedSample;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const CASES: usize = 64;
 
 fn tee_key() -> &'static RsaPrivateKey {
     static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
     KEY.get_or_init(|| {
-        let mut rng = StdRng::seed_from_u64(0x9097);
+        let mut rng = XorShift64::seed_from_u64(0x9097);
         RsaPrivateKey::generate(512, &mut rng)
     })
 }
@@ -32,7 +37,7 @@ fn tee_key() -> &'static RsaPrivateKey {
 fn auditor_key() -> &'static RsaPrivateKey {
     static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
     KEY.get_or_init(|| {
-        let mut rng = StdRng::seed_from_u64(0x9098);
+        let mut rng = XorShift64::seed_from_u64(0x9098);
         RsaPrivateKey::generate(512, &mut rng)
     })
 }
@@ -41,53 +46,59 @@ fn origin() -> GeoPoint {
     GeoPoint::new(40.1164, -88.2434).unwrap()
 }
 
-prop_compose! {
-    /// A physically plausible signed trace: bounded speed, increasing
-    /// timestamps.
-    fn arb_trace()(
-        n in 2usize..20,
-        speed in 0.0..40.0f64,
-        dt in 0.2..20.0f64,
-        bearing in 0.0..360.0f64,
-    ) -> Vec<SignedSample> {
-        (0..n)
-            .map(|i| {
-                let s = GpsSample::new(
-                    origin().destination(bearing, Distance::from_meters(speed * dt * i as f64)),
-                    Timestamp::from_secs(dt * i as f64),
-                );
-                let sig = tee_key().sign(&s.to_bytes(), HashAlg::Sha1).unwrap();
-                SignedSample::from_parts(s, sig, HashAlg::Sha1)
-            })
-            .collect()
-    }
+fn in_range(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen_f64() * (hi - lo)
 }
 
-prop_compose! {
-    fn arb_zones()(
-        specs in prop::collection::vec((0.0..360.0f64, 10.0..5_000.0f64, 5.0..200.0f64), 0..8)
-    ) -> Vec<NoFlyZone> {
-        specs
-            .iter()
-            .map(|&(b, d, r)| {
-                NoFlyZone::new(
-                    origin().destination(b, Distance::from_meters(d)),
-                    Distance::from_meters(r),
-                )
-            })
-            .collect()
-    }
+fn arb_bytes(rng: &mut XorShift64, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range_u64(max_len as u64) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
 }
 
-proptest! {
-    // RSA signing in debug builds makes trace generation expensive;
-    // 64 cases keeps the suite fast while still exploring the space.
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A physically plausible signed trace: bounded speed, increasing
+/// timestamps.
+fn arb_trace(rng: &mut XorShift64) -> Vec<SignedSample> {
+    let n = 2 + rng.gen_range_u64(18) as usize;
+    let speed = in_range(rng, 0.0, 40.0);
+    let dt = in_range(rng, 0.2, 20.0);
+    let bearing = in_range(rng, 0.0, 360.0);
+    (0..n)
+        .map(|i| {
+            let s = GpsSample::new(
+                origin().destination(bearing, Distance::from_meters(speed * dt * i as f64)),
+                Timestamp::from_secs(dt * i as f64),
+            );
+            let sig = tee_key().sign(&s.to_bytes(), HashAlg::Sha1).unwrap();
+            SignedSample::from_parts(s, sig, HashAlg::Sha1)
+        })
+        .collect()
+}
 
-    /// Compliant verdicts are sound: no sample in any zone, every pair
-    /// sufficient, timestamps monotone.
-    #[test]
-    fn compliant_verdict_is_sound(trace in arb_trace(), zones in arb_zones()) {
+fn arb_zones(rng: &mut XorShift64) -> Vec<NoFlyZone> {
+    let n = rng.gen_range_u64(8) as usize;
+    (0..n)
+        .map(|_| {
+            NoFlyZone::new(
+                origin().destination(
+                    in_range(rng, 0.0, 360.0),
+                    Distance::from_meters(in_range(rng, 10.0, 5_000.0)),
+                ),
+                Distance::from_meters(in_range(rng, 5.0, 200.0)),
+            )
+        })
+        .collect()
+}
+
+/// Compliant verdicts are sound: no sample in any zone, every pair
+/// sufficient, timestamps monotone.
+#[test]
+fn compliant_verdict_is_sound() {
+    let mut rng = XorShift64::seed_from_u64(401);
+    for _ in 0..CASES {
+        let trace = arb_trace(&mut rng);
+        let zones = arb_zones(&mut rng);
         let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let drone = auditor.register_drone(
             tee_key().public_key().clone(),
@@ -109,10 +120,10 @@ proptest! {
             .unwrap();
         if report.is_compliant() {
             let alibi: Vec<GpsSample> = trace.iter().map(|e| *e.sample()).collect();
-            prop_assert!(alidrone_geo::check_monotonic(&alibi).is_ok());
+            assert!(alidrone_geo::check_monotonic(&alibi).is_ok());
             for s in &alibi {
                 for z in &zones {
-                    prop_assert!(!z.contains(&s.point()));
+                    assert!(!z.contains(&s.point()));
                 }
             }
             let zone_set: alidrone_geo::ZoneSet = zones.iter().copied().collect();
@@ -122,14 +133,19 @@ proptest! {
                 FAA_MAX_SPEED,
                 alidrone_geo::sufficiency::Criterion::Paper,
             );
-            prop_assert!(suff.is_sufficient());
+            assert!(suff.is_sufficient());
         }
     }
+}
 
-    /// Verification is deterministic: submitting the same PoA twice
-    /// yields the same verdict.
-    #[test]
-    fn verification_is_deterministic(trace in arb_trace(), zones in arb_zones()) {
+/// Verification is deterministic: submitting the same PoA twice
+/// yields the same verdict.
+#[test]
+fn verification_is_deterministic() {
+    let mut rng = XorShift64::seed_from_u64(402);
+    for _ in 0..CASES / 4 {
+        let trace = arb_trace(&mut rng);
+        let zones = arb_zones(&mut rng);
         let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let drone = auditor.register_drone(
             tee_key().public_key().clone(),
@@ -144,57 +160,77 @@ proptest! {
             window_end: trace.last().unwrap().sample().time(),
             poa: ProofOfAlibi::from_entries(trace),
         };
-        let a = auditor.verify_submission(&submission, Timestamp::EPOCH).unwrap();
-        let b = auditor.verify_submission(&submission, Timestamp::EPOCH).unwrap();
-        prop_assert_eq!(a.verdict, b.verdict);
+        let a = auditor
+            .verify_submission(&submission, Timestamp::EPOCH)
+            .unwrap();
+        let b = auditor
+            .verify_submission(&submission, Timestamp::EPOCH)
+            .unwrap();
+        assert_eq!(a.verdict, b.verdict);
     }
+}
 
-    /// PoA wire format round-trips for arbitrary well-formed traces.
-    #[test]
-    fn poa_wire_round_trip(trace in arb_trace()) {
-        let poa = ProofOfAlibi::from_entries(trace);
+/// PoA wire format round-trips for arbitrary well-formed traces.
+#[test]
+fn poa_wire_round_trip() {
+    let mut rng = XorShift64::seed_from_u64(403);
+    for _ in 0..CASES / 4 {
+        let poa = ProofOfAlibi::from_entries(arb_trace(&mut rng));
         let rt = ProofOfAlibi::from_bytes(&poa.to_bytes()).unwrap();
-        prop_assert_eq!(poa, rt);
+        assert_eq!(poa, rt);
     }
+}
 
-    /// Arbitrary bytes never panic the PoA / SignedSample parsers.
-    #[test]
-    fn poa_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+/// Arbitrary bytes never panic the PoA / SignedSample parsers.
+#[test]
+fn poa_parser_never_panics() {
+    let mut rng = XorShift64::seed_from_u64(404);
+    for _ in 0..CASES * 4 {
+        let bytes = arb_bytes(&mut rng, 400);
         let _ = ProofOfAlibi::from_bytes(&bytes);
         let _ = SignedSample::from_bytes(&bytes);
     }
+}
 
-    /// Arbitrary bytes never panic the wire decoders.
-    #[test]
-    fn wire_parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+/// Arbitrary bytes never panic the wire decoders.
+#[test]
+fn wire_parsers_never_panic() {
+    let mut rng = XorShift64::seed_from_u64(405);
+    for _ in 0..CASES * 4 {
+        let bytes = arb_bytes(&mut rng, 400);
         let _ = Request::from_bytes(&bytes);
         let _ = Response::from_bytes(&bytes);
     }
+}
 
-    /// Wire round trip for submit requests with arbitrary payloads.
-    #[test]
-    fn wire_submit_round_trip(
-        id in 0u64..1_000_000,
-        ws in -1.0e6..1.0e6f64,
-        dur in 0.0..1.0e5f64,
-        payload in prop::collection::vec(any::<u8>(), 0..200),
-    ) {
+/// Wire round trip for submit requests with arbitrary payloads.
+#[test]
+fn wire_submit_round_trip() {
+    let mut rng = XorShift64::seed_from_u64(406);
+    for _ in 0..CASES {
+        let ws = in_range(&mut rng, -1.0e6, 1.0e6);
+        let dur = in_range(&mut rng, 0.0, 1.0e5);
         let req = Request::SubmitPoa {
-            drone_id: DroneId::new(id),
+            drone_id: DroneId::new(rng.gen_range_u64(1_000_000)),
             window_start: Timestamp::from_secs(ws),
             window_end: Timestamp::from_secs(ws + dur),
-            poa: payload,
+            poa: arb_bytes(&mut rng, 200),
         };
-        prop_assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
     }
+}
 
-    /// Verdict wire encoding round-trips for arbitrary index payloads.
-    #[test]
-    fn wire_verdict_round_trip(
-        index in 0usize..1_000_000,
-        zone in 0u64..1_000_000,
-        pairs in prop::collection::vec(0usize..1_000_000, 0..20),
-    ) {
+/// Verdict wire encoding round-trips for arbitrary index payloads.
+#[test]
+fn wire_verdict_round_trip() {
+    let mut rng = XorShift64::seed_from_u64(407);
+    for _ in 0..CASES {
+        let index = rng.gen_range_u64(1_000_000) as usize;
+        let zone = rng.gen_range_u64(1_000_000);
+        let npairs = rng.gen_range_u64(20) as usize;
+        let pairs: Vec<usize> = (0..npairs)
+            .map(|_| rng.gen_range_u64(1_000_000) as usize)
+            .collect();
         for v in [
             Verdict::Compliant,
             Verdict::EmptyPoa,
@@ -202,35 +238,40 @@ proptest! {
             Verdict::BadSignature { index },
             Verdict::NonMonotonic { index },
             Verdict::ImpossibleTrace { index },
-            Verdict::InsideZone { index, zone: ZoneId::new(zone) },
-            Verdict::InsufficientAlibi { pair_indices: pairs.clone() },
+            Verdict::InsideZone {
+                index,
+                zone: ZoneId::new(zone),
+            },
+            Verdict::InsufficientAlibi {
+                pair_indices: pairs.clone(),
+            },
         ] {
             let resp = Response::Verdict(v.clone());
-            prop_assert_eq!(Response::from_bytes(&resp.to_bytes()).unwrap(), resp);
+            assert_eq!(Response::from_bytes(&resp.to_bytes()).unwrap(), resp);
         }
     }
+}
 
-    /// Corrupting any single byte of a serialized request never yields a
-    /// *different valid request of the same variant with same payload* —
-    /// i.e. decode either fails or differs.
-    #[test]
-    fn wire_corruption_never_silent(
-        id in 0u64..1_000,
-        flip_pos in 0usize..64,
-        flip_bit in 0u8..8,
-    ) {
+/// Corrupting any single byte of a serialized request never yields a
+/// *different valid request of the same variant with same payload* —
+/// i.e. decode either fails or differs.
+#[test]
+fn wire_corruption_never_silent() {
+    let mut rng = XorShift64::seed_from_u64(408);
+    for _ in 0..CASES * 2 {
         let req = Request::SubmitPoa {
-            drone_id: DroneId::new(id),
+            drone_id: DroneId::new(rng.gen_range_u64(1_000)),
             window_start: Timestamp::from_secs(1.0),
             window_end: Timestamp::from_secs(2.0),
             poa: vec![1, 2, 3],
         };
         let mut bytes = req.to_bytes();
-        let pos = flip_pos % bytes.len();
-        bytes[pos] ^= 1 << flip_bit;
+        let pos = rng.gen_range_u64(bytes.len() as u64) as usize;
+        let bit = rng.gen_range_u64(8) as u8;
+        bytes[pos] ^= 1 << bit;
         match Request::from_bytes(&bytes) {
             Err(_) => {}
-            Ok(decoded) => prop_assert_ne!(decoded, req),
+            Ok(decoded) => assert_ne!(decoded, req),
         }
     }
 }

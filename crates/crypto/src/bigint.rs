@@ -341,9 +341,7 @@ impl BigUint {
             let num = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut q_hat = num / v_hi;
             let mut r_hat = num % v_hi;
-            while q_hat >= 1 << 32
-                || q_hat * v_next > ((r_hat << 32) | un[j + n - 2] as u64)
-            {
+            while q_hat >= 1 << 32 || q_hat * v_next > ((r_hat << 32) | un[j + n - 2] as u64) {
                 q_hat -= 1;
                 r_hat += v_hi;
                 if r_hat >= 1 << 32 {
@@ -755,7 +753,13 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = BigUint::from_hex(s).unwrap();
             assert_eq!(v.to_hex(), s);
             assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);

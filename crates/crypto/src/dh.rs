@@ -5,7 +5,7 @@
 //!
 //! The derived shared secret is hashed with SHA-256 into an HMAC key.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::bigint::BigUint;
 use crate::error::CryptoError;
@@ -115,8 +115,7 @@ impl DhKeyPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::XorShift64;
 
     #[test]
     fn modp_2048_loads() {
@@ -127,7 +126,7 @@ mod tests {
     #[test]
     fn agreement_produces_same_key() {
         let group = DhGroup::test_512();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = XorShift64::seed_from_u64(11);
         let alice = group.generate_keypair(&mut rng);
         let bob = group.generate_keypair(&mut rng);
         let ka = alice.derive_shared_key(bob.public_value()).unwrap();
@@ -138,7 +137,7 @@ mod tests {
     #[test]
     fn different_sessions_different_keys() {
         let group = DhGroup::test_512();
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = XorShift64::seed_from_u64(12);
         let a1 = group.generate_keypair(&mut rng);
         let b1 = group.generate_keypair(&mut rng);
         let a2 = group.generate_keypair(&mut rng);
@@ -151,7 +150,7 @@ mod tests {
     #[test]
     fn rejects_degenerate_public_values() {
         let group = DhGroup::test_512();
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = XorShift64::seed_from_u64(13);
         let kp = group.generate_keypair(&mut rng);
         for bad in [
             BigUint::zero(),
@@ -170,7 +169,7 @@ mod tests {
     #[test]
     fn public_value_in_range() {
         let group = DhGroup::test_512();
-        let mut rng = StdRng::seed_from_u64(14);
+        let mut rng = XorShift64::seed_from_u64(14);
         let kp = group.generate_keypair(&mut rng);
         assert!(kp.public_value() >= &BigUint::from_u64(2));
         assert!(kp.public_value() < group.prime());

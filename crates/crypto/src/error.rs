@@ -34,7 +34,10 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::MessageTooLong { max, got } => {
-                write!(f, "message of {got} bytes exceeds maximum {max} for this key")
+                write!(
+                    f,
+                    "message of {got} bytes exceeds maximum {max} for this key"
+                )
             }
             CryptoError::DecryptionFailed => write!(f, "decryption failed"),
             CryptoError::InvalidSignature => write!(f, "signature verification failed"),
@@ -60,7 +63,10 @@ mod tests {
             CryptoError::DecryptionFailed,
             CryptoError::InvalidSignature,
             CryptoError::InvalidKey("zero modulus"),
-            CryptoError::InvalidLength { expected: 4, got: 2 },
+            CryptoError::InvalidLength {
+                expected: 4,
+                got: 2,
+            },
             CryptoError::InvalidDhPublic,
         ] {
             assert!(!e.to_string().is_empty());

@@ -17,6 +17,9 @@
 //!   PoA extension (§VII-B3).
 //! * [`dh`] — ephemeral Diffie–Hellman for per-flight symmetric keys
 //!   (§VII-A1a).
+//! * [`rng`] — a vendored deterministic xorshift64* generator behind a
+//!   minimal [`Rng`](rng::Rng) trait (the build environment has no
+//!   crates.io access, so `rand` is hand-rolled like everything else).
 //!
 //! # Security note
 //!
@@ -28,11 +31,11 @@
 //! # Example
 //!
 //! ```
+//! use alidrone_crypto::rng::XorShift64;
 //! use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! # fn main() -> Result<(), alidrone_crypto::CryptoError> {
-//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut rng = XorShift64::seed_from_u64(1);
 //! let key = RsaPrivateKey::generate(512, &mut rng); // test-size key
 //! let sig = key.sign(b"(40.1, -88.2) @ 12.0s", HashAlg::Sha1)?;
 //! key.public_key().verify(b"(40.1, -88.2) @ 12.0s", &sig, HashAlg::Sha1)?;
@@ -49,6 +52,7 @@ pub mod dh;
 mod error;
 pub mod hmac;
 pub mod prime;
+pub mod rng;
 pub mod rsa;
 pub mod sha1;
 pub mod sha256;

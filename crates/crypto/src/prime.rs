@@ -1,6 +1,6 @@
 //! Probabilistic primality testing and prime generation for RSA keygen.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::bigint::BigUint;
 
@@ -143,11 +143,10 @@ pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::XorShift64;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xA11D_2024)
+    fn rng() -> XorShift64 {
+        XorShift64::seed_from_u64(0xA11D_2024)
     }
 
     #[test]
@@ -166,7 +165,17 @@ mod tests {
     #[test]
     fn known_primes_pass() {
         let mut r = rng();
-        for p in [2u64, 3, 5, 7, 97, 7919, 104_729, 1_000_000_007, 2_147_483_647] {
+        for p in [
+            2u64,
+            3,
+            5,
+            7,
+            97,
+            7919,
+            104_729,
+            1_000_000_007,
+            2_147_483_647,
+        ] {
             assert!(
                 is_probable_prime(&BigUint::from_u64(p), 20, &mut r),
                 "{p} should be prime"

@@ -1,0 +1,196 @@
+//! A vendored deterministic random-number generator.
+//!
+//! The repository's from-scratch ethos (and the offline build
+//! environment) rules out the `rand` crate, so randomness comes from a
+//! hand-rolled xorshift64* generator behind a minimal [`Rng`] trait.
+//! Every use of randomness in this workspace is *deterministic by
+//! construction* — keys, nonces, and test inputs are derived from
+//! explicit seeds — so a small, fast, well-understood PRNG is exactly
+//! the right tool. It is **not** cryptographically secure; a deployment
+//! would source key material from the TEE's hardware TRNG instead
+//! (OP-TEE `TEE_GenerateRandom`), which this trait models.
+
+/// A source of pseudo-random bytes.
+///
+/// Mirrors the subset of `rand::Rng` the workspace actually uses, so
+/// generic bounds read the same: `fn f<R: Rng + ?Sized>(rng: &mut R)`.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits (upper half of
+    /// [`next_u64`](Self::next_u64), which are the better-mixed bits of
+    /// xorshift64*).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// One random byte.
+    fn gen_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// A uniformly distributed `u64` below `bound` (which must be
+    /// nonzero). Uses rejection sampling to avoid modulo bias.
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be nonzero");
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A fair coin flip.
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// The xorshift64* generator (Vigna 2016): a 64-bit xorshift state
+/// scrambled by a multiply. Passes BigCrush except MatrixRank; more than
+/// adequate for deterministic test vectors and Miller–Rabin bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed. A zero seed (invalid for
+    /// xorshift) is remapped through splitmix64 so every seed works.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // Run the seed through splitmix64 once so that small,
+        // correlated seeds (0, 1, 2, ...) land in well-separated states.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64 {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+}
+
+impl Rng for XorShift64 {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = XorShift64::seed_from_u64(42);
+        let mut b = XorShift64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::seed_from_u64(1);
+        let mut b = XorShift64::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::seed_from_u64(0);
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = XorShift64::seed_from_u64(7);
+        for len in [0usize, 1, 7, 8, 9, 16, 31] {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = XorShift64::seed_from_u64(9);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.gen_range_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = XorShift64::seed_from_u64(11);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of 1000 uniforms: well inside [0.4, 0.6].
+        assert!((sum / 1000.0 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn bytes_look_balanced() {
+        let mut r = XorShift64::seed_from_u64(13);
+        let mut buf = [0u8; 4096];
+        r.fill_bytes(&mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        let total = buf.len() as f64 * 8.0;
+        let ratio = ones as f64 / total;
+        assert!((ratio - 0.5).abs() < 0.02, "bit ratio {ratio}");
+    }
+
+    #[test]
+    fn trait_object_and_reference_both_work() {
+        fn take_generic<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut r = XorShift64::seed_from_u64(5);
+        let via_ref = take_generic(&mut r);
+        let dynr: &mut dyn Rng = &mut r;
+        let via_dyn = take_generic(dynr);
+        assert_ne!(via_ref, via_dyn);
+    }
+}

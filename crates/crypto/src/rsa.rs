@@ -10,7 +10,7 @@
 //! also what real TEE crypto stacks do; this matters for the benchmarks
 //! because CRT makes the 2048-bit/1024-bit signing cost ratio realistic.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::bigint::BigUint;
 use crate::error::CryptoError;
@@ -25,8 +25,8 @@ const SHA1_PREFIX: [u8; 15] = [
 
 /// ASN.1 DER `DigestInfo` prefix for SHA-256.
 const SHA256_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// Hash algorithm used inside an RSASSA-PKCS1-v1.5 signature.
@@ -150,7 +150,7 @@ impl RsaPublicKey {
         let ps_len = k - msg.len() - 3;
         for b in &mut em[2..2 + ps_len] {
             loop {
-                let v: u8 = rng.gen();
+                let v = rng.gen_u8();
                 if v != 0 {
                     *b = v;
                     break;
@@ -185,7 +185,10 @@ impl RsaPrivateKey {
     ///
     /// Panics if `bits < 32` (each prime needs ≥ 16 bits) or `bits` is odd.
     pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
-        assert!(bits >= 32 && bits.is_multiple_of(2), "invalid RSA key size {bits}");
+        assert!(
+            bits >= 32 && bits.is_multiple_of(2),
+            "invalid RSA key size {bits}"
+        );
         let e = BigUint::from_u64(65_537);
         loop {
             let p = gen_prime(bits / 2, rng);
@@ -344,8 +347,7 @@ fn emsa_pkcs1_v15_encode(msg: &[u8], k: usize, alg: HashAlg) -> Result<Vec<u8>, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::XorShift64;
     use std::sync::OnceLock;
 
     /// A cached 512-bit test key: keygen in debug builds is slow enough
@@ -353,7 +355,7 @@ mod tests {
     fn test_key() -> &'static RsaPrivateKey {
         static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
         KEY.get_or_init(|| {
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = XorShift64::seed_from_u64(7);
             RsaPrivateKey::generate(512, &mut rng)
         })
     }
@@ -397,7 +399,10 @@ mod tests {
         let key = test_key();
         let mut sig = key.sign(b"msg", HashAlg::Sha1).unwrap();
         sig[10] ^= 0x01;
-        assert!(key.public_key().verify(b"msg", &sig, HashAlg::Sha1).is_err());
+        assert!(key
+            .public_key()
+            .verify(b"msg", &sig, HashAlg::Sha1)
+            .is_err());
     }
 
     #[test]
@@ -426,16 +431,19 @@ mod tests {
     #[test]
     fn verify_with_different_key_fails() {
         let key = test_key();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = XorShift64::seed_from_u64(99);
         let other = RsaPrivateKey::generate(512, &mut rng);
         let sig = key.sign(b"msg", HashAlg::Sha1).unwrap();
-        assert!(other.public_key().verify(b"msg", &sig, HashAlg::Sha1).is_err());
+        assert!(other
+            .public_key()
+            .verify(b"msg", &sig, HashAlg::Sha1)
+            .is_err());
     }
 
     #[test]
     fn encrypt_decrypt_round_trip() {
         let key = test_key();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = XorShift64::seed_from_u64(3);
         let msg = b"alibi payload bytes";
         let ct = key.public_key().encrypt(msg, &mut rng).unwrap();
         assert_eq!(ct.len(), 64);
@@ -445,7 +453,7 @@ mod tests {
     #[test]
     fn encrypt_empty_message() {
         let key = test_key();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = XorShift64::seed_from_u64(4);
         let ct = key.public_key().encrypt(b"", &mut rng).unwrap();
         assert_eq!(key.decrypt(&ct).unwrap(), b"");
     }
@@ -453,7 +461,7 @@ mod tests {
     #[test]
     fn encrypt_max_length_message() {
         let key = test_key();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = XorShift64::seed_from_u64(5);
         let msg = vec![0x42u8; 64 - 11];
         let ct = key.public_key().encrypt(&msg, &mut rng).unwrap();
         assert_eq!(key.decrypt(&ct).unwrap(), msg);
@@ -462,7 +470,7 @@ mod tests {
     #[test]
     fn encrypt_too_long_fails() {
         let key = test_key();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = XorShift64::seed_from_u64(6);
         let msg = vec![0u8; 64 - 10];
         assert_eq!(
             key.public_key().encrypt(&msg, &mut rng),
@@ -480,7 +488,7 @@ mod tests {
     #[test]
     fn decrypt_rejects_bitflipped_ciphertext() {
         let key = test_key();
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = XorShift64::seed_from_u64(8);
         let mut ct = key.public_key().encrypt(b"payload", &mut rng).unwrap();
         ct[20] ^= 0xFF;
         // Overwhelmingly likely to break padding; a silent wrong-plaintext
@@ -495,7 +503,7 @@ mod tests {
     #[test]
     fn ciphertexts_are_randomised() {
         let key = test_key();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = XorShift64::seed_from_u64(9);
         let c1 = key.public_key().encrypt(b"same", &mut rng).unwrap();
         let c2 = key.public_key().encrypt(b"same", &mut rng).unwrap();
         assert_ne!(c1, c2);

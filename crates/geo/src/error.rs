@@ -47,7 +47,10 @@ impl fmt::Display for GeoError {
                 write!(f, "trajectory with {n} waypoints needs at least 2")
             }
             GeoError::NonMonotonicTime { index } => {
-                write!(f, "sample timestamps not strictly increasing at index {index}")
+                write!(
+                    f,
+                    "sample timestamps not strictly increasing at index {index}"
+                )
             }
         }
     }

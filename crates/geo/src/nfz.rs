@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::Distance;
 use crate::{GeoError, GeoPoint};
 
@@ -11,7 +9,7 @@ use crate::{GeoError, GeoPoint};
 ///
 /// A drone whose position is ever inside the circle has violated the zone
 /// owner's privacy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoFlyZone {
     center: GeoPoint,
     radius: Distance,
@@ -77,7 +75,7 @@ impl fmt::Display for NoFlyZone {
 /// Only the *nearest* zone governs the adaptive sampling rate (paper
 /// §IV-C3: "we only need to prove PoA sufficiency for the closest zone"),
 /// so the key operation is [`ZoneSet::nearest`].
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ZoneSet {
     zones: Vec<NoFlyZone>,
 }

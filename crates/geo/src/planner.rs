@@ -132,7 +132,9 @@ pub fn route_is_clear(route: &[GeoPoint], zones: &ZoneSet, margin: Distance) -> 
 }
 
 fn inside_any(p: &Enu, obstacles: &[(Enu, f64)]) -> bool {
-    obstacles.iter().any(|(c, r)| p.distance_to(c).meters() < *r)
+    obstacles
+        .iter()
+        .any(|(c, r)| p.distance_to(c).meters() < *r)
 }
 
 /// Recursively routes from `a` to `b` around obstacles, returning a
@@ -298,20 +300,14 @@ mod tests {
     #[test]
     fn start_or_goal_inside_zone_rejected() {
         let goal = origin().destination(90.0, Distance::from_km(1.0));
-        let zones: ZoneSet = std::iter::once(NoFlyZone::new(
-            origin(),
-            Distance::from_meters(50.0),
-        ))
-        .collect();
+        let zones: ZoneSet =
+            std::iter::once(NoFlyZone::new(origin(), Distance::from_meters(50.0))).collect();
         assert_eq!(
             plan_route(origin(), goal, &zones, MARGIN),
             Err(PlanError::StartInsideZone)
         );
-        let zones2: ZoneSet = std::iter::once(NoFlyZone::new(
-            goal,
-            Distance::from_meters(50.0),
-        ))
-        .collect();
+        let zones2: ZoneSet =
+            std::iter::once(NoFlyZone::new(goal, Distance::from_meters(50.0))).collect();
         assert_eq!(
             plan_route(origin(), goal, &zones2, MARGIN),
             Err(PlanError::GoalInsideZone)

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Distance, EARTH_RADIUS_M};
 use crate::GeoError;
 
@@ -14,7 +12,7 @@ use crate::GeoError;
 /// onto a [`LocalTangentPlane`](crate::LocalTangentPlane); `GeoPoint` itself
 /// only offers great-circle operations (haversine distance, destination
 /// point), which are what a GPS receiver's coordinates support natively.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     lat_deg: f64,
     lon_deg: f64,
@@ -67,8 +65,8 @@ impl GeoPoint {
         let phi2 = other.lat_rad();
         let dphi = (other.lat_deg - self.lat_deg).to_radians();
         let dlambda = (other.lon_deg - self.lon_deg).to_radians();
-        let a = (dphi / 2.0).sin().powi(2)
-            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let a =
+            (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().atan2((1.0 - a).sqrt());
         Distance::from_meters(EARTH_RADIUS_M * c)
     }
@@ -98,8 +96,7 @@ impl GeoPoint {
         let lambda1 = self.lon_rad();
         let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
         let lambda2 = lambda1
-            + (theta.sin() * delta.sin() * phi1.cos())
-                .atan2(delta.cos() - phi1.sin() * phi2.sin());
+            + (theta.sin() * delta.sin() * phi1.cos()).atan2(delta.cos() - phi1.sin() * phi2.sin());
         // Normalise longitude to [-180, 180].
         let lon = (lambda2.to_degrees() + 540.0) % 360.0 - 180.0;
         GeoPoint {
@@ -233,7 +230,11 @@ mod tests {
         let a = p(0.0, 179.9);
         let b = a.destination(90.0, Distance::from_km(50.0));
         assert!(b.lon_deg() >= -180.0 && b.lon_deg() <= 180.0);
-        assert!(b.lon_deg() < 0.0, "should wrap to negative, got {}", b.lon_deg());
+        assert!(
+            b.lon_deg() < 0.0,
+            "should wrap to negative, got {}",
+            b.lon_deg()
+        );
     }
 
     #[test]

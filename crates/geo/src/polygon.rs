@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::projection::{Enu, LocalTangentPlane};
 use crate::units::Distance;
 use crate::{GeoError, GeoPoint, NoFlyZone};
 
 /// A polygonal no-fly zone described by its vertices (at least three).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolygonZone {
     vertices: Vec<GeoPoint>,
 }
@@ -50,8 +48,8 @@ impl PolygonZone {
             self.vertices.iter().map(GeoPoint::lat_deg).sum::<f64>() / self.vertices.len() as f64;
         let centroid_lon =
             self.vertices.iter().map(GeoPoint::lon_deg).sum::<f64>() / self.vertices.len() as f64;
-        let centroid = GeoPoint::new(centroid_lat, centroid_lon)
-            .expect("centroid of valid points is valid");
+        let centroid =
+            GeoPoint::new(centroid_lat, centroid_lon).expect("centroid of valid points is valid");
         let plane = LocalTangentPlane::new(centroid);
         let pts: Vec<Enu> = self.vertices.iter().map(|v| plane.project(v)).collect();
         let circle = smallest_enclosing_circle(&pts);
@@ -103,7 +101,9 @@ pub fn smallest_enclosing_circle(points: &[Enu]) -> Circle {
     // shuffling is what gives Welzl its expected-linear behaviour.
     let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
     for i in (1..pts.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         pts.swap(i, j);
     }
@@ -212,11 +212,7 @@ mod tests {
     #[test]
     fn equilateral_triangle_circumcircle() {
         let h = 3f64.sqrt() / 2.0 * 10.0;
-        let pts = [
-            Enu::new(0.0, 0.0),
-            Enu::new(10.0, 0.0),
-            Enu::new(5.0, h),
-        ];
+        let pts = [Enu::new(0.0, 0.0), Enu::new(10.0, 0.0), Enu::new(5.0, h)];
         let c = smallest_enclosing_circle(&pts);
         let expected_r = 10.0 / 3f64.sqrt();
         assert!((c.radius_m - expected_r).abs() < 1e-9, "got {}", c.radius_m);
@@ -229,22 +225,14 @@ mod tests {
     fn obtuse_triangle_uses_diametral_circle() {
         // For an obtuse triangle the smallest enclosing circle is the
         // diametral circle of the longest side, not the circumcircle.
-        let pts = [
-            Enu::new(0.0, 0.0),
-            Enu::new(10.0, 0.0),
-            Enu::new(5.0, 0.5),
-        ];
+        let pts = [Enu::new(0.0, 0.0), Enu::new(10.0, 0.0), Enu::new(5.0, 0.5)];
         let c = smallest_enclosing_circle(&pts);
         assert!((c.radius_m - 5.0).abs() < 1e-6, "got {}", c.radius_m);
     }
 
     #[test]
     fn collinear_points() {
-        let pts = [
-            Enu::new(0.0, 0.0),
-            Enu::new(5.0, 0.0),
-            Enu::new(10.0, 0.0),
-        ];
+        let pts = [Enu::new(0.0, 0.0), Enu::new(5.0, 0.0), Enu::new(10.0, 0.0)];
         let c = smallest_enclosing_circle(&pts);
         assert!((c.radius_m - 5.0).abs() < 1e-9);
     }
@@ -254,7 +242,9 @@ mod tests {
         // Deterministic pseudo-random cloud.
         let mut state: u64 = 42;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) * 200.0 - 100.0
         };
         let pts: Vec<Enu> = (0..200).map(|_| Enu::new(next(), next())).collect();

@@ -7,13 +7,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Distance, EARTH_RADIUS_M};
 use crate::GeoPoint;
 
 /// A position in a local east/north plane, in meters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct Enu {
     /// Meters east of the plane origin.
     pub east: f64,

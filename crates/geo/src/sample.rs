@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Speed, Timestamp};
 use crate::{GeoError, GeoPoint};
 
@@ -12,7 +10,7 @@ use crate::{GeoError, GeoPoint};
 /// Samples are the atoms of an *alibi*; a signed sample is the atom of a
 /// *Proof-of-Alibi*. Construction is infallible given a valid [`GeoPoint`],
 /// so a `GpsSample` is always internally consistent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpsSample {
     point: GeoPoint,
     time: Timestamp,
@@ -152,7 +150,11 @@ mod tests {
 
     #[test]
     fn monotonic_check_accepts_increasing() {
-        let trace = vec![sample(40.0, -88.0, 0.0), sample(40.0, -88.0, 0.2), sample(40.0, -88.0, 1.0)];
+        let trace = vec![
+            sample(40.0, -88.0, 0.0),
+            sample(40.0, -88.0, 0.2),
+            sample(40.0, -88.0, 1.0),
+        ];
         assert!(check_monotonic(&trace).is_ok());
     }
 

@@ -19,8 +19,6 @@
 //! `j`. This module implements both the paper criterion and an exact
 //! variant built on [`ReachableSet::intersects_zone`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::Speed;
 use crate::{GpsSample, NoFlyZone, ReachableSet, ZoneSet};
 
@@ -28,12 +26,7 @@ use crate::{GpsSample, NoFlyZone, ReachableSet, ZoneSet};
 /// `D1 + D2 > v_max (t2 − t1)`.
 ///
 /// Returns `false` (insufficient) when `s2` does not strictly follow `s1`.
-pub fn pair_is_sufficient(
-    s1: &GpsSample,
-    s2: &GpsSample,
-    zone: &NoFlyZone,
-    v_max: Speed,
-) -> bool {
+pub fn pair_is_sufficient(s1: &GpsSample, s2: &GpsSample, zone: &NoFlyZone, v_max: Speed) -> bool {
     let dt = s2.time().since(s1.time());
     if dt.secs() <= 0.0 {
         return false;
@@ -65,7 +58,7 @@ pub fn pair_is_sufficient_exact(
 }
 
 /// Which per-pair test to apply.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub enum Criterion {
     /// The paper's boundary-distance criterion (conservative, O(1) per
     /// zone). This is what the prototype and the Fig. 8(c) counter use.
@@ -76,7 +69,7 @@ pub enum Criterion {
 }
 
 /// The outcome for one consecutive sample pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairVerdict {
     /// Index `i` of the first sample of the pair.
     pub index: usize,
@@ -91,7 +84,7 @@ pub struct PairVerdict {
 }
 
 /// The outcome of checking a whole alibi against a zone set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SufficiencyReport {
     /// Per-pair verdicts, one per consecutive pair.
     pub pairs: Vec<PairVerdict>,
@@ -159,7 +152,11 @@ pub fn check_alibi(
             index: i,
             sufficient,
             tightest_zone: tightest,
-            margin_m: if min_margin.is_finite() { min_margin } else { f64::INFINITY },
+            margin_m: if min_margin.is_finite() {
+                min_margin
+            } else {
+                f64::INFINITY
+            },
         });
     }
     SufficiencyReport {

@@ -12,14 +12,12 @@
 //!
 //! The pair proves alibi iff the ellipsoid does not intersect the cylinder.
 
-use serde::{Deserialize, Serialize};
-
 use crate::projection::LocalTangentPlane;
 use crate::units::{Distance, Speed, Timestamp};
 use crate::{GeoError, GeoPoint};
 
 /// A GPS sample with altitude: the 4-tuple `(lat, lon, alt, t)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpsSample3d {
     point: GeoPoint,
     /// Altitude above ground level, in meters.
@@ -90,7 +88,7 @@ impl GpsSample3d {
 
 /// A cylindrical no-fly region: plan-view circle of radius `r`, from the
 /// ground up to `top` altitude.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CylinderZone {
     center: GeoPoint,
     radius: Distance,
@@ -204,7 +202,12 @@ impl ReachableSet3d {
 
     /// Paper-style conservative criterion extended to 3-D: the sum of the
     /// two cylinder boundary distances exceeds the budget.
-    pub fn paper_sufficient(&self, zone: &CylinderZone, s1: &GpsSample3d, s2: &GpsSample3d) -> bool {
+    pub fn paper_sufficient(
+        &self,
+        zone: &CylinderZone,
+        s1: &GpsSample3d,
+        s2: &GpsSample3d,
+    ) -> bool {
         let d1 = zone.boundary_distance(s1).meters();
         let d2 = zone.boundary_distance(s2).meters();
         d1 + d2 > self.budget_m
@@ -333,9 +336,9 @@ pub fn check_alibi_3d(
             report.insufficient_pairs.push(i);
             continue;
         };
-        let ok = zones.iter().all(|z| {
-            e.paper_sufficient(z, s1, s2) || !e.intersects_zone(z)
-        });
+        let ok = zones
+            .iter()
+            .all(|z| e.paper_sufficient(z, s1, s2) || !e.intersects_zone(z));
         if !ok {
             report.insufficient_pairs.push(i);
         }

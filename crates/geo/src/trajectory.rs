@@ -221,10 +221,7 @@ impl Trajectory3d {
     /// Returns [`GeoError::TooFewWaypoints`] when fewer than one knot is
     /// supplied, and [`GeoError::NonPositiveDistance`] for a negative
     /// altitude.
-    pub fn new(
-        plan: Trajectory,
-        mut alt_knots: Vec<(f64, f64)>,
-    ) -> Result<Self, GeoError> {
+    pub fn new(plan: Trajectory, mut alt_knots: Vec<(f64, f64)>) -> Result<Self, GeoError> {
         if alt_knots.is_empty() {
             return Err(GeoError::TooFewWaypoints(0));
         }
@@ -396,7 +393,7 @@ mod tests {
             .travel_to(b, Speed::from_mps(10.0))
             .build()
             .unwrap(); // 100 s
-        // Climb 0→100 m in 20 s, cruise, descend to 0 in the last 20 s.
+                       // Climb 0→100 m in 20 s, cruise, descend to 0 in the last 20 s.
         let t3 = Trajectory3d::new(
             plan,
             vec![(0.0, 0.0), (20.0, 100.0), (80.0, 100.0), (100.0, 0.0)],

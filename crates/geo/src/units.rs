@@ -7,8 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Mean Earth radius in meters, used by the haversine formula.
 pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
 
@@ -25,7 +23,7 @@ pub const METERS_PER_FOOT: f64 = 0.3048;
 pub const FAA_MAX_SPEED: Speed = Speed(44.704);
 
 /// A distance, stored internally in meters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Distance(f64);
 
 impl Distance {
@@ -159,7 +157,7 @@ impl fmt::Display for Distance {
 }
 
 /// A speed, stored internally in meters per second.
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Speed(f64);
 
 impl Speed {
@@ -213,7 +211,7 @@ impl fmt::Display for Speed {
 ///
 /// Unlike [`std::time::Duration`] this may be fractional and is cheap to do
 /// arithmetic on; all simulation time in the workspace uses this type.
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Duration(f64);
 
 impl Duration {
@@ -294,7 +292,7 @@ impl fmt::Display for Duration {
 ///
 /// The paper's samples carry a GPS timestamp; in this reproduction all
 /// timestamps come from the simulation clock and only differences matter.
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Timestamp(f64);
 
 impl Timestamp {

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use alidrone_geo::{Duration, Timestamp};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A shared, monotonically-advancing virtual clock.
 ///
@@ -32,20 +32,20 @@ impl SimClock {
 
     /// The current simulated time.
     pub fn now(&self) -> Timestamp {
-        Timestamp::from_secs(*self.now.lock())
+        Timestamp::from_secs(*self.now.lock().unwrap())
     }
 
     /// Advances the clock by `dt` (negative durations are ignored — the
     /// clock never goes backwards).
     pub fn advance(&self, dt: Duration) {
         if dt.secs() > 0.0 {
-            *self.now.lock() += dt.secs();
+            *self.now.lock().unwrap() += dt.secs();
         }
     }
 
     /// Jumps the clock forward to `t` (ignored if `t` is in the past).
     pub fn set(&self, t: Timestamp) {
-        let mut now = self.now.lock();
+        let mut now = self.now.lock().unwrap();
         if t.secs() > *now {
             *now = t.secs();
         }

@@ -46,11 +46,10 @@ pub fn fix_to_gga(fix: &GpsFix, altitude_m: f64) -> String {
 /// `MalformedField` if the coordinates are out of range.
 pub fn rmc_to_sample(line: &str, day_base: Timestamp) -> Result<GpsSample, NmeaError> {
     let rmc: Rmc = line.parse()?;
-    let point =
-        GeoPoint::new(rmc.lat_deg, rmc.lon_deg).map_err(|_| NmeaError::MalformedField {
-            field: "coordinates",
-            value: format!("({}, {})", rmc.lat_deg, rmc.lon_deg),
-        })?;
+    let point = GeoPoint::new(rmc.lat_deg, rmc.lon_deg).map_err(|_| NmeaError::MalformedField {
+        field: "coordinates",
+        value: format!("({}, {})", rmc.lat_deg, rmc.lon_deg),
+    })?;
     Ok(GpsSample::new(
         point,
         Timestamp::from_secs(day_base.secs() + rmc.utc_seconds),

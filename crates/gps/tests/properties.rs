@@ -1,19 +1,23 @@
-//! Property-based tests for the receiver model: the invariants every
+//! Randomized tests for the receiver model: the invariants every
 //! consumer (the sampler, the TEE driver) silently depends on.
+//!
+//! Inputs come from a seeded deterministic stream (no `proptest` — the
+//! offline build has no crates.io), so failures reproduce exactly.
 
-
+use alidrone_crypto::rng::{Rng, XorShift64};
 use alidrone_geo::trajectory::TrajectoryBuilder;
 use alidrone_geo::{Distance, Duration, GeoPoint, Speed};
 use alidrone_gps::nmea_feed::{burst_to_sample, fix_to_burst};
 use alidrone_gps::{GpsDevice, SimClock, SimulatedReceiver};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-fn receiver(
-    rate_hz: f64,
-    speed_mps: f64,
-    dist_m: f64,
-    clock: SimClock,
-) -> SimulatedReceiver {
+const CASES: usize = 64;
+
+fn in_range(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen_f64() * (hi - lo)
+}
+
+fn receiver(rate_hz: f64, speed_mps: f64, dist_m: f64, clock: SimClock) -> SimulatedReceiver {
     let a = GeoPoint::new(40.1, -88.2).unwrap();
     let b = a.destination(90.0, Distance::from_meters(dist_m));
     let traj = TrajectoryBuilder::start_at(a)
@@ -23,51 +27,60 @@ fn receiver(
     SimulatedReceiver::from_trajectory(traj, clock, rate_hz)
 }
 
-proptest! {
-    /// Fix sequence numbers and timestamps never go backwards as the
-    /// clock advances.
-    #[test]
-    fn fixes_are_monotone(
-        rate in 1.0..5.0f64,
-        speed in 1.0..40.0f64,
-        advances in prop::collection::vec(0.01..3.0f64, 1..40),
-    ) {
+/// Fix sequence numbers and timestamps never go backwards as the
+/// clock advances.
+#[test]
+fn fixes_are_monotone() {
+    let mut rng = XorShift64::seed_from_u64(201);
+    for _ in 0..CASES {
+        let rate = in_range(&mut rng, 1.0, 5.0);
+        let speed = in_range(&mut rng, 1.0, 40.0);
+        let steps = 1 + rng.gen_range_u64(39) as usize;
         let clock = SimClock::new();
         let rx = receiver(rate, speed, 10_000.0, clock.clone());
         let mut last_seq = 0u64;
         let mut last_t = f64::NEG_INFINITY;
-        for dt in advances {
+        for _ in 0..steps {
+            let dt = in_range(&mut rng, 0.01, 3.0);
             clock.advance(Duration::from_secs(dt));
             if let Some(fix) = rx.latest_fix() {
-                prop_assert!(fix.sequence >= last_seq);
-                prop_assert!(fix.sample.time().secs() >= last_t);
+                assert!(fix.sequence >= last_seq);
+                assert!(fix.sample.time().secs() >= last_t);
                 last_seq = fix.sequence;
                 last_t = fix.sample.time().secs();
             }
         }
     }
+}
 
-    /// A fix's timestamp never exceeds the clock, and lags it by at most
-    /// one update period.
-    #[test]
-    fn fix_time_tracks_clock(rate in 1.0..5.0f64, t in 0.5..100.0f64) {
+/// A fix's timestamp never exceeds the clock, and lags it by at most
+/// one update period.
+#[test]
+fn fix_time_tracks_clock() {
+    let mut rng = XorShift64::seed_from_u64(202);
+    for _ in 0..CASES {
+        let rate = in_range(&mut rng, 1.0, 5.0);
+        let t = in_range(&mut rng, 0.5, 100.0);
         let clock = SimClock::new();
         let rx = receiver(rate, 10.0, 10_000.0, clock.clone());
         clock.advance(Duration::from_secs(t));
         let fix = rx.latest_fix().expect("clock moved");
         let ft = fix.sample.time().secs();
-        prop_assert!(ft <= t + 1e-9);
-        prop_assert!(t - ft <= 1.0 / rate + 1e-9, "lag {} at rate {rate}", t - ft);
+        assert!(ft <= t + 1e-9);
+        assert!(t - ft <= 1.0 / rate + 1e-9, "lag {} at rate {rate}", t - ft);
     }
+}
 
-    /// Dropping updates only ever makes the reported fix *older*, never
-    /// newer, and never fabricates positions.
-    #[test]
-    fn dropouts_only_delay(
-        rate in 1.0..5.0f64,
-        t in 2.0..60.0f64,
-        dropped in prop::collection::btree_set(0u64..100, 0..20),
-    ) {
+/// Dropping updates only ever makes the reported fix *older*, never
+/// newer, and never fabricates positions.
+#[test]
+fn dropouts_only_delay() {
+    let mut rng = XorShift64::seed_from_u64(203);
+    for _ in 0..CASES {
+        let rate = in_range(&mut rng, 1.0, 5.0);
+        let t = in_range(&mut rng, 2.0, 60.0);
+        let ndropped = rng.gen_range_u64(20);
+        let dropped: BTreeSet<u64> = (0..ndropped).map(|_| rng.gen_range_u64(100)).collect();
         let clock_a = SimClock::new();
         let clean = receiver(rate, 10.0, 10_000.0, clock_a.clone());
         let clock_b = SimClock::new();
@@ -79,26 +92,31 @@ proptest! {
         clock_b.advance(Duration::from_secs(t));
         match (clean.latest_fix(), lossy.latest_fix()) {
             (Some(c), Some(l)) => {
-                prop_assert!(l.sequence <= c.sequence);
-                prop_assert!(!dropped.contains(&l.sequence));
+                assert!(l.sequence <= c.sequence);
+                assert!(!dropped.contains(&l.sequence));
             }
             (Some(_), None) => {} // everything up to now dropped
-            (None, Some(_)) => prop_assert!(false, "lossy saw more than clean"),
+            (None, Some(_)) => panic!("lossy saw more than clean"),
             (None, None) => {}
         }
     }
+}
 
-    /// The NMEA burst round trip preserves position to sub-meter and
-    /// time to centiseconds for any reachable fix.
-    #[test]
-    fn burst_round_trip_accuracy(rate in 1.0..5.0f64, t in 0.5..500.0f64) {
+/// The NMEA burst round trip preserves position to sub-meter and
+/// time to centiseconds for any reachable fix.
+#[test]
+fn burst_round_trip_accuracy() {
+    let mut rng = XorShift64::seed_from_u64(204);
+    for _ in 0..CASES {
+        let rate = in_range(&mut rng, 1.0, 5.0);
+        let t = in_range(&mut rng, 0.5, 500.0);
         let clock = SimClock::new();
         let rx = receiver(rate, 15.0, 50_000.0, clock.clone());
         clock.advance(Duration::from_secs(t));
         let fix = rx.latest_fix().expect("clock moved");
         let burst = fix_to_burst(&fix, 100.0);
         let sample = burst_to_sample(&burst, alidrone_geo::Timestamp::EPOCH).unwrap();
-        prop_assert!(fix.sample.point().distance_to(&sample.point()).meters() < 1.0);
-        prop_assert!((fix.sample.time().secs() - sample.time().secs()).abs() < 0.011);
+        assert!(fix.sample.point().distance_to(&sample.point()).meters() < 1.0);
+        assert!((fix.sample.time().secs() - sample.time().secs()).abs() < 0.011);
     }
 }

@@ -70,10 +70,7 @@ impl FromStr for Rmc {
             return Err(NmeaError::WrongSentenceType { found: kind.into() });
         }
         let get = |i: usize, name: &'static str| -> Result<&str, NmeaError> {
-            fields
-                .get(i)
-                .copied()
-                .ok_or(NmeaError::MissingField(name))
+            fields.get(i).copied().ok_or(NmeaError::MissingField(name))
         };
 
         let utc_seconds = parse_utc(get(1, "utc time")?)?;
@@ -171,8 +168,7 @@ fn parse_date(field: &str) -> Result<(u8, u8, u8), NmeaError> {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str =
-        "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
+    const SAMPLE: &str = "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
 
     #[test]
     fn parses_reference_sentence() {
@@ -244,15 +240,21 @@ mod tests {
         let line = crate::frame_sentence(body);
         assert!(matches!(
             line.parse::<Rmc>(),
-            Err(NmeaError::MalformedField { field: "status", .. })
+            Err(NmeaError::MalformedField {
+                field: "status",
+                ..
+            })
         ));
     }
 
     #[test]
     fn rejects_bad_time_and_date() {
-        for (time, date) in [("993519", "230394"), ("123519", "320394"), ("123519", "231394")] {
-            let body =
-                format!("GPRMC,{time},A,4807.038,N,01131.000,E,022.4,084.4,{date},,");
+        for (time, date) in [
+            ("993519", "230394"),
+            ("123519", "320394"),
+            ("123519", "231394"),
+        ] {
+            let body = format!("GPRMC,{time},A,4807.038,N,01131.000,E,022.4,084.4,{date},,");
             let line = crate::frame_sentence(&body);
             assert!(line.parse::<Rmc>().is_err(), "time={time} date={date}");
         }

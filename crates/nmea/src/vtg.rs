@@ -69,12 +69,13 @@ impl FromStr for Vtg {
         };
         let course_true_deg = opt_f64(get(1, "course true")?, "course true")?;
         let course_mag_deg = opt_f64(get(3, "course magnetic")?, "course magnetic")?;
-        let speed_knots = get(5, "speed knots")?
-            .parse()
-            .map_err(|_| NmeaError::MalformedField {
-                field: "speed knots",
-                value: fields[5].into(),
-            })?;
+        let speed_knots =
+            get(5, "speed knots")?
+                .parse()
+                .map_err(|_| NmeaError::MalformedField {
+                    field: "speed knots",
+                    value: fields[5].into(),
+                })?;
         let speed_kmh = get(7, "speed kmh")?
             .parse()
             .map_err(|_| NmeaError::MalformedField {

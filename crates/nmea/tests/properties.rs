@@ -1,35 +1,81 @@
-//! Property-based tests for NMEA parsing and encoding.
+//! Randomized tests for NMEA parsing and encoding.
+//!
+//! This crate is dependency-free (it sits below even `alidrone-crypto`
+//! in the graph), so the test carries its own tiny xorshift64* instead
+//! of pulling in the workspace RNG. Each case stream is seeded, so any
+//! failure reproduces exactly.
 
-use alidrone_nmea::{frame_sentence, split_sentence, Gga, NmeaError, Rmc};
 use alidrone_nmea::coord::{format_lat, format_lon, parse_lat, parse_lon};
-use proptest::prelude::*;
+use alidrone_nmea::{frame_sentence, split_sentence, Gga, NmeaError, Rmc};
 
-proptest! {
-    /// Coordinate format round trip at GPS precision.
-    #[test]
-    fn lat_round_trip(lat in -89.9999..89.9999f64) {
+const CASES: usize = 256;
+
+/// Minimal deterministic PRNG (xorshift64*), local to this test.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Coordinate format round trip at GPS precision.
+#[test]
+fn lat_round_trip() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let lat = rng.in_range(-89.9999, 89.9999);
         let (f, h) = format_lat(lat);
         let rt = parse_lat(&f, &h.to_string()).unwrap();
-        prop_assert!((rt - lat).abs() < 1e-5, "{lat} -> {f}{h} -> {rt}");
+        assert!((rt - lat).abs() < 1e-5, "{lat} -> {f}{h} -> {rt}");
     }
+}
 
-    #[test]
-    fn lon_round_trip(lon in -179.9999..179.9999f64) {
+#[test]
+fn lon_round_trip() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let lon = rng.in_range(-179.9999, 179.9999);
         let (f, h) = format_lon(lon);
         let rt = parse_lon(&f, &h.to_string()).unwrap();
-        prop_assert!((rt - lon).abs() < 1e-5);
+        assert!((rt - lon).abs() < 1e-5);
     }
+}
 
-    /// RMC encode/parse round trip for arbitrary valid samples.
-    #[test]
-    fn rmc_round_trip(
-        lat in -89.9..89.9f64,
-        lon in -179.9..179.9f64,
-        utc in 0.0..86_399.0f64,
-        speed in 0.0..120.0f64,
-        active in any::<bool>(),
-        day in 1u8..=28, month in 1u8..=12, year in 0u8..=99,
-    ) {
+/// RMC encode/parse round trip for arbitrary valid samples.
+#[test]
+fn rmc_round_trip() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let lat = rng.in_range(-89.9, 89.9);
+        let lon = rng.in_range(-179.9, 179.9);
+        let utc = rng.in_range(0.0, 86_399.0);
+        let speed = rng.in_range(0.0, 120.0);
+        let active = rng.next_u64() & 1 == 1;
+        let date = (
+            1 + rng.below(28) as u8,
+            1 + rng.below(12) as u8,
+            rng.below(100) as u8,
+        );
         let orig = Rmc {
             utc_seconds: utc,
             active,
@@ -37,77 +83,90 @@ proptest! {
             lon_deg: lon,
             speed_knots: speed,
             course_deg: None,
-            date: (day, month, year),
+            date,
         };
         let line = orig.to_sentence();
         let rt: Rmc = line.parse().unwrap();
-        prop_assert!((rt.lat_deg - lat).abs() < 1e-5);
-        prop_assert!((rt.lon_deg - lon).abs() < 1e-5);
-        prop_assert!((rt.utc_seconds - utc).abs() < 0.01);
-        prop_assert!((rt.speed_knots - speed).abs() < 0.06);
-        prop_assert_eq!(rt.active, active);
-        prop_assert_eq!(rt.date, (day, month, year));
+        assert!((rt.lat_deg - lat).abs() < 1e-5);
+        assert!((rt.lon_deg - lon).abs() < 1e-5);
+        assert!((rt.utc_seconds - utc).abs() < 0.01);
+        assert!((rt.speed_knots - speed).abs() < 0.06);
+        assert_eq!(rt.active, active);
+        assert_eq!(rt.date, date);
     }
+}
 
-    /// GGA encode/parse round trip including altitude.
-    #[test]
-    fn gga_round_trip(
-        lat in -89.9..89.9f64,
-        lon in -179.9..179.9f64,
-        utc in 0.0..86_399.0f64,
-        alt in -100.0..9_000.0f64,
-        sats in 0u8..24,
-    ) {
+/// GGA encode/parse round trip including altitude.
+#[test]
+fn gga_round_trip() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let lat = rng.in_range(-89.9, 89.9);
+        let lon = rng.in_range(-179.9, 179.9);
         let orig = Gga {
-            utc_seconds: utc,
+            utc_seconds: rng.in_range(0.0, 86_399.0),
             lat_deg: lat,
             lon_deg: lon,
             quality: alidrone_nmea::FixQuality::Gps,
-            num_satellites: sats,
+            num_satellites: rng.below(24) as u8,
             hdop: 1.0,
-            altitude_m: alt,
+            altitude_m: rng.in_range(-100.0, 9_000.0),
         };
         let rt: Gga = orig.to_sentence().parse().unwrap();
-        prop_assert!((rt.lat_deg - lat).abs() < 1e-5);
-        prop_assert!((rt.lon_deg - lon).abs() < 1e-5);
-        prop_assert!((rt.altitude_m - alt).abs() < 0.06);
-        prop_assert_eq!(rt.num_satellites, sats);
+        assert!((rt.lat_deg - lat).abs() < 1e-5);
+        assert!((rt.lon_deg - lon).abs() < 1e-5);
+        assert!((rt.altitude_m - orig.altitude_m).abs() < 0.06);
+        assert_eq!(rt.num_satellites, orig.num_satellites);
     }
+}
 
-    /// Any single-character corruption of the body is caught by the
-    /// checksum (unless it collides, which XOR of one changed character
-    /// cannot do).
-    #[test]
-    fn checksum_detects_single_corruption(
-        idx in 0usize..50,
-        replacement in b'0'..=b'9',
-    ) {
-        let body = "GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W";
+/// Any single-character corruption of the body is caught by the
+/// checksum (unless it collides, which XOR of one changed character
+/// cannot do).
+#[test]
+fn checksum_detects_single_corruption() {
+    let mut rng = Rng::new(5);
+    let body = "GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W";
+    for _ in 0..CASES {
+        let replacement = b'0' + rng.below(10) as u8;
         let framed = frame_sentence(body);
         // Corrupt one body character (skip '$' at 0).
-        let pos = 1 + idx % body.len();
-        let mut bytes = framed.clone().into_bytes();
+        let pos = 1 + rng.below(body.len() as u64) as usize;
+        let mut bytes = framed.into_bytes();
         if bytes[pos] == replacement {
-            return Ok(()); // no-op corruption
+            continue; // no-op corruption
         }
         bytes[pos] = replacement;
         let corrupted = String::from_utf8(bytes).unwrap();
         match split_sentence(&corrupted) {
             Err(NmeaError::ChecksumMismatch { .. }) => {}
             Err(_) => {} // corrupting a comma etc. can break other framing
-            Ok(_) => prop_assert!(false, "corruption undetected: {corrupted}"),
+            Ok(_) => panic!("corruption undetected: {corrupted}"),
         }
     }
+}
 
-    /// Framing arbitrary field content round-trips through the splitter.
-    #[test]
-    fn frame_split_round_trip(fields in prop::collection::vec("[A-Za-z0-9.]{0,8}", 1..10)) {
+/// Framing arbitrary field content round-trips through the splitter.
+#[test]
+fn frame_split_round_trip() {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789.";
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
+        let nfields = 1 + rng.below(9) as usize;
+        let fields: Vec<String> = (0..nfields)
+            .map(|_| {
+                let len = rng.below(9) as usize;
+                (0..len)
+                    .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
+                    .collect()
+            })
+            .collect();
         let body = fields.join(",");
         let framed = frame_sentence(&body);
         let split = split_sentence(&framed).unwrap();
-        prop_assert_eq!(split.len(), fields.len());
+        assert_eq!(split.len(), fields.len());
         for (a, b) in split.iter().zip(fields.iter()) {
-            prop_assert_eq!(*a, b.as_str());
+            assert_eq!(*a, b.as_str());
         }
     }
 }

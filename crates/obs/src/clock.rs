@@ -1,0 +1,123 @@
+//! Injectable time sources.
+//!
+//! Spans and events need a notion of "now", but the workspace has two:
+//! real wall time (benchmarks, a deployed auditor) and simulated time
+//! (the scenario runner drives a `SimClock` that jumps forward in
+//! sample-period steps). The [`Clock`] trait abstracts over both so the
+//! same instrumentation works under either; the sim crate bridges its
+//! own clock onto this trait with a two-line adapter.
+
+use alidrone_geo::{Duration, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic time source for instrumentation.
+pub trait Clock: Send + Sync {
+    /// The current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// Wall time, anchored to the instant the clock was created.
+///
+/// Timestamps are seconds since construction, which keeps them small
+/// and comparable with sim timestamps (both start near zero).
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock starting at `t = 0` now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_secs(self.origin.elapsed().as_secs_f64())
+    }
+}
+
+/// A clock advanced explicitly by the caller — for tests.
+///
+/// Stores the time as `f64` bits in an atomic so reads on the hot path
+/// are lock-free.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock at the epoch.
+    pub fn new() -> Self {
+        ManualClock {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the absolute time.
+    pub fn set(&self, t: Timestamp) {
+        self.bits.store(t.secs().to_bits(), Ordering::Relaxed);
+    }
+
+    /// Moves the clock forward.
+    pub fn advance(&self, dt: Duration) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + dt.secs()).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_secs(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a.secs() >= 0.0);
+    }
+
+    #[test]
+    fn manual_clock_set_and_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Timestamp::EPOCH);
+        c.set(Timestamp::from_secs(5.0));
+        c.advance(Duration::from_millis(250.0));
+        assert!((c.now().secs() - 5.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_works_as_trait_object() {
+        let c = ManualClock::new();
+        c.set(Timestamp::from_secs(3.0));
+        let dynref: &dyn Clock = &c;
+        assert_eq!(dynref.now().secs(), 3.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Hand-rolled observability for the AliDrone reproduction.
+//!
+//! The paper's evaluation (Table II costs, Figs. 6–8 sampling
+//! behaviour) is an observability exercise the prototype performed by
+//! hand. This crate makes that first-class: a metrics registry of
+//! atomic [`Counter`]s / [`Gauge`]s / [`Histogram`]s, scope-timing
+//! [`Span`]s, and structured [`Event`]s with levels and typed fields —
+//! all std-only, like the rest of the workspace's from-scratch stack
+//! (the build environment has no crates.io access).
+//!
+//! # Design
+//!
+//! Everything hangs off a cheaply-cloneable [`Obs`] handle:
+//!
+//! * **Metrics** are pre-registered by name; the registry locks only at
+//!   registration, so steady-state updates are single atomic RMWs.
+//! * **Time is injected** via the [`Clock`] trait. The simulator passes
+//!   an adapter over its `SimClock`, so spans and events are stamped
+//!   in *simulated* time; benchmarks and real servers use
+//!   [`WallClock`]. Paper-modelled costs (world switches, signatures)
+//!   are recorded directly into histograms from the TEE cost ledger.
+//! * **Events are pull-gated**: [`Obs::emit`] takes a closure that
+//!   builds fields, and only runs it when a subscriber is installed.
+//!   The disabled path is one atomic load — no allocation, no
+//!   formatting (a test enforces this with a counting allocator).
+//! * **Export** is the hand-rolled [`Json`] document model, shared with
+//!   the sim's figure exporter.
+//!
+//! # Example
+//!
+//! ```
+//! use alidrone_obs::{Level, Obs, RingBuffer};
+//! use alidrone_geo::Duration;
+//! use std::sync::Arc;
+//!
+//! let obs = Obs::wall();
+//! let requests = obs.counter("server.requests");
+//! let latency = obs.histogram("server.latency");
+//!
+//! let ring = Arc::new(RingBuffer::new(64));
+//! obs.set_subscriber(ring.clone());
+//!
+//! requests.inc();
+//! latency.record(Duration::from_millis(1.5));
+//! obs.emit(Level::Info, "server", "request_done", |f| {
+//!     f.field("code", 200u64);
+//! });
+//!
+//! assert_eq!(obs.snapshot().counter("server.requests"), 1);
+//! assert_eq!(ring.events()[0].field("code").unwrap().as_u64(), Some(200));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod json;
+pub mod metrics;
+mod span;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use event::{Event, FieldSet, Level, RingBuffer, Subscriber, Value};
+pub use json::{Json, JsonError, ToJson};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::Span;
+
+use alidrone_geo::Timestamp;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct ObsInner {
+    clock: Arc<dyn Clock>,
+    registry: Registry,
+    has_subscriber: AtomicBool,
+    subscriber: Mutex<Option<Arc<dyn Subscriber>>>,
+}
+
+/// The shared observability handle.
+///
+/// Clone freely — clones share one registry, clock, and subscriber
+/// slot. Components accept an `Obs` at construction and pre-register
+/// the handles they will update.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("subscribed", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    /// An observability handle reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Obs {
+        Obs {
+            inner: Arc::new(ObsInner {
+                clock,
+                registry: Registry::new(),
+                has_subscriber: AtomicBool::new(false),
+                subscriber: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A handle on wall time.
+    pub fn wall() -> Obs {
+        Obs::new(Arc::new(WallClock::new()))
+    }
+
+    /// A do-nothing-visible handle: metrics still count (atomics are
+    /// cheaper than a branch worth caring about) but no subscriber is
+    /// installed, so `emit` closures never run. The default for
+    /// components constructed without explicit instrumentation.
+    pub fn noop() -> Obs {
+        Obs::new(Arc::new(ManualClock::new()))
+    }
+
+    /// The injected clock's current time.
+    pub fn now(&self) -> Timestamp {
+        self.inner.clock.now()
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Gets or creates a named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.inner.registry.counter(name)
+    }
+
+    /// Gets or creates a named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.inner.registry.gauge(name)
+    }
+
+    /// Gets or creates a named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.inner.registry.histogram(name)
+    }
+
+    /// A point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Installs the subscriber that will receive events (replacing any
+    /// previous one).
+    pub fn set_subscriber(&self, sub: Arc<dyn Subscriber>) {
+        *self.inner.subscriber.lock().unwrap() = Some(sub);
+        self.inner.has_subscriber.store(true, Ordering::Release);
+    }
+
+    /// Removes the subscriber; subsequent `emit` calls revert to the
+    /// zero-allocation disabled path.
+    pub fn clear_subscriber(&self) {
+        self.inner.has_subscriber.store(false, Ordering::Release);
+        *self.inner.subscriber.lock().unwrap() = None;
+    }
+
+    /// `true` when a subscriber is installed.
+    pub fn enabled(&self) -> bool {
+        self.inner.has_subscriber.load(Ordering::Acquire)
+    }
+
+    /// Emits a structured event.
+    ///
+    /// `fields` runs only when a subscriber is installed — when none
+    /// is, the whole call is one atomic load.
+    pub fn emit(
+        &self,
+        level: Level,
+        target: &'static str,
+        message: &'static str,
+        fields: impl FnOnce(&mut FieldSet),
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let mut set = FieldSet::default();
+        fields(&mut set);
+        let event = Event {
+            time: self.now(),
+            level,
+            target,
+            message,
+            fields: set.fields,
+        };
+        if let Some(sub) = self.inner.subscriber.lock().unwrap().as_ref() {
+            sub.on_event(&event);
+        }
+    }
+
+    /// Starts a [`Span`] that records into `histogram` when it ends.
+    pub fn span(&self, histogram: &Arc<Histogram>) -> Span {
+        Span::new(self.clone(), Arc::clone(histogram))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_geo::Duration;
+
+    #[test]
+    fn emit_without_subscriber_runs_no_closure() {
+        let obs = Obs::noop();
+        let mut ran = false;
+        obs.emit(Level::Info, "t", "m", |_| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn emit_with_subscriber_delivers_fields_and_time() {
+        let clock = Arc::new(ManualClock::new());
+        clock.set(Timestamp::from_secs(42.0));
+        let obs = Obs::new(clock);
+        let ring = Arc::new(RingBuffer::new(4));
+        obs.set_subscriber(ring.clone());
+        obs.emit(Level::Warn, "wire", "malformed_frame", |f| {
+            f.field("frame_len", 3u64);
+        });
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time.secs(), 42.0);
+        assert_eq!(events[0].level, Level::Warn);
+        assert_eq!(events[0].field("frame_len").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn clear_subscriber_restores_disabled_path() {
+        let obs = Obs::wall();
+        let ring = Arc::new(RingBuffer::new(4));
+        obs.set_subscriber(ring.clone());
+        obs.emit(Level::Info, "t", "a", |_| {});
+        obs.clear_subscriber();
+        obs.emit(Level::Info, "t", "b", |_| {});
+        assert_eq!(ring.len(), 1);
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn clones_share_registry_and_subscriber() {
+        let obs = Obs::noop();
+        let other = obs.clone();
+        obs.counter("shared").inc();
+        assert_eq!(other.snapshot().counter("shared"), 1);
+        let ring = Arc::new(RingBuffer::new(4));
+        other.set_subscriber(ring.clone());
+        obs.emit(Level::Debug, "t", "via_original", |_| {});
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn span_through_obs_records_sim_time() {
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new(clock.clone());
+        let h = obs.histogram("flight.step");
+        let span = obs.span(&h);
+        clock.advance(Duration::from_secs(1.5));
+        drop(span);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum_micros, 1_500_000);
+    }
+}

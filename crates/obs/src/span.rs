@@ -1,0 +1,120 @@
+//! Scope timers.
+//!
+//! A [`Span`] measures the time between its creation and its drop (or
+//! explicit [`finish`](Span::finish)) against the observability
+//! handle's injected clock, and records the elapsed time into a
+//! histogram. Creating one clones two `Arc`s and reads the clock —
+//! no allocation — so spans are safe on request-loop hot paths.
+
+use crate::metrics::Histogram;
+use crate::Obs;
+use alidrone_geo::{Duration, Timestamp};
+use std::sync::Arc;
+
+/// Times a scope and records the result on drop.
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    histogram: Arc<Histogram>,
+    start: Timestamp,
+    finished: bool,
+}
+
+impl Span {
+    pub(crate) fn new(obs: Obs, histogram: Arc<Histogram>) -> Span {
+        let start = obs.now();
+        Span {
+            obs,
+            histogram,
+            start,
+            finished: false,
+        }
+    }
+
+    /// When the span started.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Time elapsed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.obs.now().since(self.start)
+    }
+
+    /// Ends the span now and returns the recorded duration.
+    pub fn finish(mut self) -> Duration {
+        let d = self.elapsed();
+        self.histogram.record(d);
+        self.finished = true;
+        d
+    }
+
+    /// Ends the span without recording anything (e.g. the operation
+    /// was aborted and its latency would pollute the distribution).
+    pub fn cancel(mut self) {
+        self.finished = true;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.histogram.record(self.obs.now().since(self.start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual_obs() -> (Obs, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (Obs::new(clock.clone()), clock)
+    }
+
+    #[test]
+    fn drop_records_elapsed_time() {
+        let (obs, clock) = manual_obs();
+        let h = obs.histogram("op");
+        {
+            let _span = obs.span(&h);
+            clock.advance(Duration::from_millis(5.0));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum_micros, 5_000);
+    }
+
+    #[test]
+    fn finish_returns_duration_and_records_once() {
+        let (obs, clock) = manual_obs();
+        let h = obs.histogram("op");
+        let span = obs.span(&h);
+        clock.advance(Duration::from_secs(2.0));
+        let d = span.finish();
+        assert!((d.secs() - 2.0).abs() < 1e-9);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let (obs, clock) = manual_obs();
+        let h = obs.histogram("op");
+        let span = obs.span(&h);
+        clock.advance(Duration::from_secs(1.0));
+        span.cancel();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn elapsed_tracks_the_injected_clock() {
+        let (obs, clock) = manual_obs();
+        let h = obs.histogram("op");
+        let span = obs.span(&h);
+        assert_eq!(span.elapsed(), Duration::ZERO);
+        clock.advance(Duration::from_millis(300.0));
+        assert!((span.elapsed().millis() - 300.0).abs() < 1e-9);
+    }
+}

@@ -11,9 +11,7 @@
 
 use alidrone_core::SamplingStrategy;
 use alidrone_geo::sufficiency::{pair_is_sufficient, pair_is_sufficient_exact};
-use alidrone_geo::{
-    Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp, FAA_MAX_SPEED,
-};
+use alidrone_geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp, FAA_MAX_SPEED};
 use alidrone_sim::report::render_table;
 use alidrone_sim::runner::{experiment_key, run_scenario};
 use alidrone_sim::scenarios::residential;
@@ -100,7 +98,10 @@ fn criterion_ablation() {
         render_table(
             &["criterion", "accepted (of 200 offsets)"],
             &[
-                vec!["paper (boundary distance)".into(), paper_accepts.to_string()],
+                vec![
+                    "paper (boundary distance)".into(),
+                    paper_accepts.to_string()
+                ],
                 vec!["exact (ellipse ∩ disk)".into(), exact_accepts.to_string()],
             ]
         )
@@ -135,8 +136,7 @@ fn signing_ablation() {
         let individual = n * per_sample;
         let batch = n * (model.world_switch.secs() * 2.0 + model.read_gps.secs())
             + model.sign_cost(bits).secs();
-        let symmetric =
-            n * (model.world_switch.secs() * 2.0 + model.read_gps.secs() + hmac_cost);
+        let symmetric = n * (model.world_switch.secs() * 2.0 + model.read_gps.secs() + hmac_cost);
         rows.push(vec![
             format!("{bits}-bit RSA per sample"),
             format!("{individual:.2} s"),

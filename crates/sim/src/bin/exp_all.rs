@@ -9,7 +9,13 @@ fn main() {
     // single command regenerates the whole evaluation section.
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for name in ["exp_fig6", "exp_fig7", "exp_fig8", "exp_table2", "exp_ablation"] {
+    for name in [
+        "exp_fig6",
+        "exp_fig7",
+        "exp_fig8",
+        "exp_table2",
+        "exp_ablation",
+    ] {
         let path = dir.join(name);
         println!("\n############ {name} ############\n");
         let status = Command::new(&path)

@@ -52,7 +52,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["strategy", "samples (ours)", "samples (paper)", "insufficient pairs"],
+            &[
+                "strategy",
+                "samples (ours)",
+                "samples (paper)",
+                "insufficient pairs"
+            ],
             &rows
         )
     );
@@ -90,7 +95,10 @@ fn main() {
     for (name, run) in [("fixed", &fixed), ("adaptive", &adaptive)] {
         let series = fig6_series(&run.record);
         let values: Vec<f64> = series.iter().map(|p| p.cumulative_samples as f64).collect();
-        println!("{name:>8} cumulative-samples shape: {}", sparkline(&values, 60));
+        println!(
+            "{name:>8} cumulative-samples shape: {}",
+            sparkline(&values, 60)
+        );
     }
 
     // Dump the raw series for external plotting.

@@ -45,7 +45,9 @@ fn main() {
     let min = dist.iter().copied().fold(f64::INFINITY, f64::min);
     println!("(a) distance to nearest NFZ over time (ft):");
     println!("    shape: {}", sparkline(&dist, 60));
-    println!("    min {min:.0} ft (paper: 21 ft); early stretch 50-100 ft, dense stretch 20-70 ft\n");
+    println!(
+        "    min {min:.0} ft (paper: 21 ft); early stretch 50-100 ft, dense stretch 20-70 ft\n"
+    );
 
     // Panel (b): instantaneous sampling rate (4 s sliding window).
     println!("(b) instantaneous sampling rate (Hz), 4 s window:");
@@ -77,14 +79,22 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["strategy", "samples", "insufficient (ours)", "insufficient (paper)"],
+            &[
+                "strategy",
+                "samples",
+                "insufficient (ours)",
+                "insufficient (paper)"
+            ],
             &rows
         )
     );
     for (name, _, run) in &runs {
         let c = fig8c_series(&run.record, &scenario.zones);
         let values: Vec<f64> = c.iter().map(|p| p.value).collect();
-        println!("    {name:>14} cumulative shape: {}", sparkline(&values, 50));
+        println!(
+            "    {name:>14} cumulative shape: {}",
+            sparkline(&values, 50)
+        );
     }
 
     // Dump every panel's raw series for external plotting.

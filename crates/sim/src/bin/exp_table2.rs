@@ -10,9 +10,7 @@
 //! Run with `cargo run -p alidrone-sim --release --bin exp_table2`.
 
 use alidrone_core::SamplingStrategy;
-use alidrone_sim::power::{
-    fixed_rate_row, paper_table2, scenario_row, Table2Row, MEMORY_MB,
-};
+use alidrone_sim::power::{fixed_rate_row, paper_table2, scenario_row, Table2Row, MEMORY_MB};
 use alidrone_sim::report::{opt, render_table};
 use alidrone_sim::runner::{experiment_key, run_scenario};
 use alidrone_sim::scenarios::{airport, residential};

@@ -1,15 +1,15 @@
 //! JSON export of experiment series for external plotting.
 //!
 //! The `exp_*` binaries print tables; this module additionally dumps the
-//! raw series as JSON (via `serde_json` — justified in DESIGN.md: output
-//! formatting only, never on the security path) so the figures can be
-//! re-plotted with any tool.
+//! raw series as JSON (via the hand-rolled `alidrone_obs::json` document
+//! model — output formatting only, never on the security path) so the
+//! figures can be re-plotted with any tool.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
+use alidrone_obs::{Json, ToJson};
 
 use crate::metrics::{Fig6Point, TimePoint};
 
@@ -19,7 +19,7 @@ pub fn default_export_dir() -> PathBuf {
 }
 
 /// A labelled Fig. 6 series.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig6Export {
     /// Strategy label.
     pub strategy: String,
@@ -40,8 +40,17 @@ impl Fig6Export {
     }
 }
 
+impl ToJson for Fig6Export {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy", self.strategy.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
 /// A labelled timeline series (Fig. 8 panels).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct TimelineExport {
     /// Strategy / panel label.
     pub label: String,
@@ -59,18 +68,25 @@ impl TimelineExport {
     }
 }
 
-/// Writes any serialisable payload as pretty JSON under `dir/name.json`,
+impl ToJson for TimelineExport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+/// Writes any exportable payload as pretty JSON under `dir/name.json`,
 /// creating the directory if needed. Returns the written path.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_json<T: Serialize>(dir: &Path, name: &str, payload: &T) -> io::Result<PathBuf> {
+pub fn write_json<T: ToJson + ?Sized>(dir: &Path, name: &str, payload: &T) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(&path, json)?;
+    fs::write(&path, payload.to_json().to_pretty())?;
     Ok(path)
 }
 
@@ -79,7 +95,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("alidrone-export-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("alidrone-export-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -102,9 +119,19 @@ mod tests {
         );
         let path = write_json(&dir, "fig6_adaptive", &export).unwrap();
         let text = fs::read_to_string(&path).unwrap();
-        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["strategy"], "adaptive");
-        assert_eq!(parsed["points"][1][1], 3);
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("strategy").unwrap().as_str(), Some("adaptive"));
+        assert_eq!(
+            parsed
+                .get("points")
+                .unwrap()
+                .at(1)
+                .unwrap()
+                .at(1)
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -114,22 +141,37 @@ mod tests {
         let export = TimelineExport::new(
             "fig8a",
             &[
-                TimePoint { t: 0.0, value: 80.0 },
-                TimePoint { t: 1.0, value: 75.5 },
+                TimePoint {
+                    t: 0.0,
+                    value: 80.0,
+                },
+                TimePoint {
+                    t: 1.0,
+                    value: 75.5,
+                },
             ],
         );
         let path = write_json(&dir, "fig8a", &export).unwrap();
-        let parsed: serde_json::Value =
-            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(parsed["label"], "fig8a");
-        assert_eq!(parsed["points"][0][1], 80.0);
+        let parsed = Json::parse(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("fig8a"));
+        assert_eq!(
+            parsed
+                .get("points")
+                .unwrap()
+                .at(0)
+                .unwrap()
+                .at(1)
+                .unwrap()
+                .as_f64(),
+            Some(80.0)
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn creates_nested_directories() {
         let dir = tmpdir("nested").join("a").join("b");
-        let path = write_json(&dir, "x", &vec![1, 2, 3]).unwrap();
+        let path = write_json(&dir, "x", &vec![1u64, 2, 3]).unwrap();
         assert!(path.exists());
         fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).unwrap();
     }

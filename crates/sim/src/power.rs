@@ -175,7 +175,10 @@ mod tests {
             let row = fixed_rate_row(&m, bits, rate);
             let cpu = row.cpu_pct.expect("feasible");
             let rel = (cpu - paper_cpu).abs() / paper_cpu;
-            assert!(rel < 0.15, "{bits}-bit {rate} Hz: {cpu:.2}% vs paper {paper_cpu}%");
+            assert!(
+                rel < 0.15,
+                "{bits}-bit {rate} Hz: {cpu:.2}% vs paper {paper_cpu}%"
+            );
             let pw = row.power_w.expect("feasible");
             assert!(
                 (pw - paper_pw).abs() < 0.005,
@@ -207,10 +210,24 @@ mod tests {
         let m = model();
         // Even a modest mean rate is infeasible when the *peak* demanded
         // rate (5 Hz near the zones) exceeds the key's throughput.
-        let row = scenario_row(&m, 2048, "Residential", 470, Duration::from_secs(160.0), 5.0);
+        let row = scenario_row(
+            &m,
+            2048,
+            "Residential",
+            470,
+            Duration::from_secs(160.0),
+            5.0,
+        );
         assert!(row.is_infeasible());
         // With a 1024-bit key the same peak is sustainable.
-        let row = scenario_row(&m, 1024, "Residential", 470, Duration::from_secs(160.0), 5.0);
+        let row = scenario_row(
+            &m,
+            1024,
+            "Residential",
+            470,
+            Duration::from_secs(160.0),
+            5.0,
+        );
         assert!(!row.is_infeasible());
     }
 

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use alidrone_obs::MetricsSnapshot;
+
 /// Renders a fixed-width table: header row plus data rows.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -43,6 +45,62 @@ pub fn opt(v: Option<f64>, digits: usize) -> String {
         Some(x) => format!("{x:.digits$}"),
         None => "-".to_string(),
     }
+}
+
+/// Renders a [`MetricsSnapshot`] as fixed-width tables: one for
+/// counters/gauges, one for histograms (count, mean, p50/p95/p99 in
+/// milliseconds). Zero-valued counters are skipped so unexercised code
+/// paths do not clutter scenario reports.
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let counter_rows: Vec<Vec<String>> = snapshot
+        .counters
+        .iter()
+        .filter(|(_, &v)| v > 0)
+        .map(|(name, v)| vec![name.clone(), v.to_string()])
+        .chain(
+            snapshot
+                .gauges
+                .iter()
+                .filter(|(_, &v)| v != 0)
+                .map(|(name, v)| vec![name.clone(), v.to_string()]),
+        )
+        .collect();
+    if !counter_rows.is_empty() {
+        out.push_str(&render_table(&["counter", "value"], &counter_rows));
+    }
+    let histogram_rows: Vec<Vec<String>> = snapshot
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(name, h)| {
+            vec![
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.3}", h.mean_millis()),
+                format!("{:.3}", h.p50_micros / 1000.0),
+                format!("{:.3}", h.p95_micros / 1000.0),
+                format!("{:.3}", h.p99_micros / 1000.0),
+            ]
+        })
+        .collect();
+    if !histogram_rows.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&render_table(
+            &[
+                "histogram",
+                "count",
+                "mean_ms",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+            ],
+            &histogram_rows,
+        ));
+    }
+    out
 }
 
 /// A coarse ASCII sparkline of a series (for eyeballing figure shapes in
@@ -240,6 +298,30 @@ mod tests {
         assert_eq!(ascii_map(&[], &ZoneSet::new(), 40, 10), "");
         let a = alidrone_geo::GeoPoint::new(40.0, -88.0).unwrap();
         assert_eq!(ascii_map(&[a], &ZoneSet::new(), 1, 1), "");
+    }
+
+    #[test]
+    fn render_metrics_shows_nonzero_counters_and_histograms() {
+        use alidrone_geo::Duration;
+        let obs = alidrone_obs::Obs::noop();
+        obs.counter("tee.signatures").add(3);
+        obs.counter("untouched"); // zero: must not appear
+        obs.histogram("server.latency.submit_poa")
+            .record(Duration::from_millis(2.0));
+        let text = render_metrics(&obs.snapshot());
+        assert!(text.contains("tee.signatures"));
+        assert!(text.contains('3'));
+        assert!(!text.contains("untouched"));
+        assert!(text.contains("server.latency.submit_poa"));
+        assert!(text.contains("p95_ms"));
+    }
+
+    #[test]
+    fn render_metrics_empty_snapshot_is_empty() {
+        assert_eq!(
+            render_metrics(&alidrone_obs::MetricsSnapshot::default()),
+            ""
+        );
     }
 
     #[test]

@@ -4,9 +4,10 @@
 use std::sync::Arc;
 
 use alidrone_core::sampling::{self};
-use alidrone_core::{run_flight, FlightRecord, ProtocolError, SamplingStrategy};
+use alidrone_core::{run_flight_with_obs, FlightRecord, ProtocolError, SamplingStrategy};
 use alidrone_crypto::rsa::RsaPrivateKey;
 use alidrone_gps::{SimClock, SimulatedReceiver};
+use alidrone_obs::{Event, MetricsSnapshot, Obs, RingBuffer};
 use alidrone_tee::{CostLedger, CostModel, SecureWorldBuilder, TeeClient, GPS_SAMPLER_UUID};
 
 use crate::scenarios::Scenario;
@@ -14,6 +15,22 @@ use crate::scenarios::Scenario;
 // `sampling` is re-exported so experiment binaries can reach policies
 // without an extra dependency edge.
 pub use sampling::SamplingPolicy;
+
+/// Bridges the simulator's [`SimClock`] into the observability
+/// [`Clock`](alidrone_obs::Clock) trait, so events and spans recorded
+/// during a scenario are stamped in *simulated* time.
+#[derive(Debug, Clone)]
+pub struct SimClockBridge(pub SimClock);
+
+impl alidrone_obs::Clock for SimClockBridge {
+    fn now(&self) -> alidrone_geo::Timestamp {
+        self.0.now()
+    }
+}
+
+/// Events retained per scenario run (a long fixed-rate flight can emit
+/// thousands; the ring keeps the most recent ones and counts drops).
+const EVENT_CAPACITY: usize = 4096;
 
 /// The output of one scenario execution.
 #[derive(Debug, Clone)]
@@ -27,6 +44,17 @@ pub struct ScenarioRun {
     pub insufficient_pairs: usize,
     /// The TEE client (for signature verification in callers).
     pub tee: TeeClient,
+    /// Metric totals at the end of the flight (world switches,
+    /// signature counts by key size, sampler decisions, modelled cost
+    /// histograms).
+    pub metrics: MetricsSnapshot,
+    /// Structured events captured during the flight, stamped in sim
+    /// time (most recent [`EVENT_CAPACITY`]).
+    pub events: Vec<Event>,
+    /// The live observability handle the run used. Share it with e.g.
+    /// an [`AuditorServer`](alidrone_core::wire::AuditorServer) to
+    /// accumulate wire metrics in the same registry, then re-snapshot.
+    pub obs: Obs,
 }
 
 impl ScenarioRun {
@@ -39,6 +67,11 @@ impl ScenarioRun {
 /// Runs `scenario` under `strategy`, signing with `sign_key` and
 /// accounting costs with `cost_model`.
 ///
+/// The run instruments the whole stack: a fresh [`Obs`] on the
+/// scenario's sim clock collects TEE and sampler metrics plus
+/// structured events, returned in [`ScenarioRun::metrics`] /
+/// [`ScenarioRun::events`].
+///
 /// # Errors
 ///
 /// Propagates TEE construction and flight errors.
@@ -49,8 +82,15 @@ pub fn run_scenario(
     cost_model: CostModel,
 ) -> Result<ScenarioRun, ProtocolError> {
     let clock = SimClock::new();
-    let mut receiver =
-        SimulatedReceiver::from_trajectory(scenario.trajectory.clone(), clock.clone(), scenario.hw_rate_hz);
+    let obs = Obs::new(Arc::new(SimClockBridge(clock.clone())));
+    let ring = Arc::new(RingBuffer::new(EVENT_CAPACITY));
+    obs.set_subscriber(ring.clone());
+
+    let mut receiver = SimulatedReceiver::from_trajectory(
+        scenario.trajectory.clone(),
+        clock.clone(),
+        scenario.hw_rate_hz,
+    );
     for &k in &scenario.dropouts {
         receiver.drop_update(k);
     }
@@ -60,18 +100,20 @@ pub fn run_scenario(
         .with_sign_key(sign_key)
         .with_gps_device(Box::new(Arc::clone(&receiver)))
         .with_cost_model(cost_model)
+        .with_obs(&obs)
         .build()?;
     let tee = world.client();
     let ledger = world.ledger();
 
     let session = tee.open_session(GPS_SAMPLER_UUID)?;
-    let record = run_flight(
+    let record = run_flight_with_obs(
         &clock,
         receiver.as_ref(),
         &session,
         &scenario.zones,
         strategy,
         scenario.duration,
+        &obs,
     )?;
 
     let insufficient_pairs = alidrone_geo::sufficiency::count_insufficient_pairs(
@@ -85,6 +127,9 @@ pub fn run_scenario(
         ledger,
         insufficient_pairs,
         tee,
+        metrics: obs.snapshot(),
+        events: ring.events(),
+        obs,
     })
 }
 
@@ -94,8 +139,8 @@ pub fn experiment_key() -> RsaPrivateKey {
     use std::sync::OnceLock;
     static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
     KEY.get_or_init(|| {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x51D);
+        use alidrone_crypto::rng::XorShift64;
+        let mut rng = XorShift64::seed_from_u64(0x51D);
         RsaPrivateKey::generate(512, &mut rng)
     })
     .clone()
@@ -172,7 +217,10 @@ mod tests {
         assert!(c3 > c5, "3 Hz {c3} vs 5 Hz {c5}");
         assert!(ca <= c5 + 1, "adaptive {ca} vs 5 Hz {c5}");
         assert!(ca >= 1, "adaptive must show the dropout-induced pair");
-        assert!(c2 >= 15, "2 Hz should produce tens of insufficient pairs, got {c2}");
+        assert!(
+            c2 >= 15,
+            "2 Hz should produce tens of insufficient pairs, got {c2}"
+        );
     }
 
     #[test]
@@ -213,6 +261,51 @@ mod tests {
         let snap = run.ledger.snapshot();
         assert_eq!(snap.signatures as usize, run.sample_count());
         assert!(snap.busy.secs() > 0.0);
+    }
+
+    #[test]
+    fn scenario_run_carries_metrics_and_events() {
+        let s = airport();
+        let run = run_scenario(
+            &s,
+            SamplingStrategy::Adaptive,
+            experiment_key(),
+            CostModel::raspberry_pi_3(),
+        )
+        .unwrap();
+        let ledger = run.ledger.snapshot();
+        // The obs counters mirror the ledger.
+        assert_eq!(
+            run.metrics.counter("tee.world_switches"),
+            ledger.world_switches
+        );
+        assert_eq!(run.metrics.counter("tee.signatures"), ledger.signatures);
+        assert_eq!(
+            run.metrics.counter("tee.signatures.rsa_512"),
+            ledger.signatures
+        );
+        // Sampler decisions cover every fresh hardware update.
+        let decisions = run.metrics.counter("sampler.decisions.sample")
+            + run.metrics.counter("sampler.decisions.skip");
+        assert!(decisions > 0);
+        assert_eq!(
+            run.metrics.counter("sampler.decisions.sample") as usize,
+            // The landing anchor is recorded outside the policy.
+            run.sample_count() - 1,
+        );
+        // Rate-change events are stamped in sim time and carry the
+        // Algorithm 1 distance terms.
+        let rate_changes: Vec<_> = run
+            .events
+            .iter()
+            .filter(|e| e.message == "rate_change")
+            .collect();
+        assert!(!rate_changes.is_empty());
+        for ev in &rate_changes {
+            assert!(ev.field("d1_m").unwrap().as_f64().is_some());
+            assert!(ev.field("d2_m").unwrap().as_f64().is_some());
+            assert!(ev.time.secs() >= 0.0 && ev.time.secs() <= s.duration.secs());
+        }
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub fn residential() -> Scenario {
         let frac = along / route_len.meters();
         // Lateral distance from route to house *center* = boundary
         // distance + radius. A deterministic ripple varies the setbacks.
-        let ripple = ((i as f64 * 2.399) .sin() + 1.0) / 2.0; // in [0, 1]
+        let ripple = ((i as f64 * 2.399).sin() + 1.0) / 2.0; // in [0, 1]
         let boundary_ft = if frac < 0.4 {
             50.0 + 50.0 * ripple // sparse: 50–100 ft
         } else {
@@ -108,7 +108,8 @@ pub fn residential() -> Scenario {
     }
     // The paper's closest approach: one house at exactly 21 ft from the
     // route, two-thirds in.
-    let closest_pos = route_start.destination(90.0, Distance::from_meters(0.66 * route_len.meters()));
+    let closest_pos =
+        route_start.destination(90.0, Distance::from_meters(0.66 * route_len.meters()));
     zones.push(NoFlyZone::new(
         closest_pos.destination(0.0, Distance::from_feet(21.0) + radius),
         radius,
@@ -216,8 +217,14 @@ mod tests {
         );
         // Dense stretch mostly 20–70 ft and clearly closer than early.
         let late_mean = late.iter().sum::<f64>() / late.len() as f64;
-        assert!(late_mean < early_mean, "late {late_mean} vs early {early_mean}");
-        assert!(late_mean > 15.0 && late_mean < 75.0, "late mean {late_mean} ft");
+        assert!(
+            late_mean < early_mean,
+            "late {late_mean} vs early {early_mean}"
+        );
+        assert!(
+            late_mean > 15.0 && late_mean < 75.0,
+            "late mean {late_mean} ft"
+        );
     }
 
     #[test]

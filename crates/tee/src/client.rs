@@ -256,12 +256,7 @@ mod tests {
         let s = c.open_session(GPS_SAMPLER_UUID).unwrap();
         let raw = s.read_gps_raw().unwrap();
         let signed = s.get_gps_auth().unwrap();
-        assert!(
-            raw.point()
-                .distance_to(&signed.sample().point())
-                .meters()
-                < 0.5
-        );
+        assert!(raw.point().distance_to(&signed.sample().point()).meters() < 0.5);
     }
 
     #[test]
@@ -311,8 +306,7 @@ mod tests {
     fn signature_from_wrong_tee_rejected() {
         // Relay attack: a sample signed by drone A presented as drone B's.
         let a = client();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(777);
+        let mut rng = alidrone_crypto::rng::XorShift64::seed_from_u64(777);
         let other_world = SecureWorldBuilder::new()
             .with_generated_key(512, &mut rng)
             .build()

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use alidrone_geo::Duration;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Modelled CPU cost of each secure-world operation class.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,39 +114,39 @@ impl CostLedger {
 
     /// Records `n` world switches costing `each`.
     pub fn record_world_switches(&self, n: u64, each: Duration) {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.lock().unwrap();
         s.world_switches += n;
         s.busy = s.busy + each * n as f64;
     }
 
     /// Records one signature costing `cost`.
     pub fn record_signature(&self, cost: Duration) {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.lock().unwrap();
         s.signatures += 1;
         s.busy = s.busy + cost;
     }
 
     /// Records one GPS read costing `cost`.
     pub fn record_gps_read(&self, cost: Duration) {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.lock().unwrap();
         s.gps_reads += 1;
         s.busy = s.busy + cost;
     }
 
     /// Records generic busy time.
     pub fn record_busy(&self, cost: Duration) {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.lock().unwrap();
         s.busy = s.busy + cost;
     }
 
     /// The current totals.
     pub fn snapshot(&self) -> CostSnapshot {
-        *self.inner.lock()
+        *self.inner.lock().unwrap()
     }
 
     /// Resets the ledger to zero.
     pub fn reset(&self) {
-        *self.inner.lock() = CostSnapshot::default();
+        *self.inner.lock().unwrap() = CostSnapshot::default();
     }
 }
 

@@ -51,21 +51,22 @@ impl std::fmt::Debug for KeyStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use alidrone_crypto::rng::XorShift64;
 
     #[test]
     fn signs_and_public_verifies() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = XorShift64::seed_from_u64(21);
         let ks = KeyStore::new(RsaPrivateKey::generate(512, &mut rng), HashAlg::Sha1);
         let sig = ks.sign(b"payload").unwrap();
-        ks.public_key().verify(b"payload", &sig, HashAlg::Sha1).unwrap();
+        ks.public_key()
+            .verify(b"payload", &sig, HashAlg::Sha1)
+            .unwrap();
         assert_eq!(ks.key_bits(), 512);
     }
 
     #[test]
     fn debug_does_not_leak_key_material() {
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = XorShift64::seed_from_u64(22);
         let key = RsaPrivateKey::generate(512, &mut rng);
         let modulus_hex = key.public_key().modulus().to_hex();
         let ks = KeyStore::new(key, HashAlg::Sha1);

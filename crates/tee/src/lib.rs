@@ -31,7 +31,7 @@
 //! use alidrone_geo::trajectory::TrajectoryBuilder;
 //! use alidrone_geo::{Distance, Duration, GeoPoint, Speed};
 //! use alidrone_tee::{SecureWorldBuilder, GPS_SAMPLER_UUID, CMD_GET_GPS_AUTH};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use alidrone_crypto::rng::XorShift64;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let a = GeoPoint::new(40.0, -88.0)?;
@@ -42,7 +42,7 @@
 //! let clock = SimClock::new();
 //! let receiver = SimulatedReceiver::from_trajectory(traj, clock.clone(), 5.0);
 //!
-//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut rng = XorShift64::seed_from_u64(1);
 //! let world = SecureWorldBuilder::new()
 //!     .with_generated_key(512, &mut rng) // test-size key
 //!     .with_gps_device(Box::new(receiver))

@@ -243,10 +243,7 @@ pub(crate) fn invoke(
             let sample = world.driver_read_gps_checked()?;
             let bytes = sample.to_bytes();
             let signature = world.keystore_sign(&bytes)?;
-            Ok(vec![
-                Param::Bytes(bytes.to_vec()),
-                Param::Bytes(signature),
-            ])
+            Ok(vec![Param::Bytes(bytes.to_vec()), Param::Bytes(signature)])
         }
         CMD_GET_PUBLIC_KEY => {
             let pk = world.public_key();
@@ -283,7 +280,9 @@ pub(crate) fn invoke(
         }
         CMD_SIGN_TRACE => {
             let mut storage = world.storage_mut();
-            let trace = storage.delete(TRACE_CACHE_ID).map_err(|_| TeeError::NoData)?;
+            let trace = storage
+                .delete(TRACE_CACHE_ID)
+                .map_err(|_| TeeError::NoData)?;
             drop(storage);
             if trace.is_empty() {
                 return Err(TeeError::NoData);

@@ -13,7 +13,7 @@ use std::fmt;
 
 use alidrone_geo::{Speed, FAA_MAX_SPEED};
 use alidrone_gps::GpsFix;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// The detector's judgement of the current environment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +88,7 @@ impl PlausibilityDetector {
 
     /// How many plausibility violations have been observed.
     pub fn trip_count(&self) -> u64 {
-        self.state.lock().trip_count
+        self.state.lock().unwrap().trip_count
     }
 }
 
@@ -100,7 +100,7 @@ impl Default for PlausibilityDetector {
 
 impl SpoofDetector for PlausibilityDetector {
     fn observe(&self, fix: &GpsFix) -> Environment {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if st.latched {
             return Environment::Suspicious;
         }
@@ -111,7 +111,11 @@ impl SpoofDetector for PlausibilityDetector {
                 if dt < 0.0 {
                     suspicious = true; // time reversal
                 } else if dt > 0.0 {
-                    let d = last.sample.point().distance_to(&fix.sample.point()).meters();
+                    let d = last
+                        .sample
+                        .point()
+                        .distance_to(&fix.sample.point())
+                        .meters();
                     let implied = d / dt;
                     if implied > self.max_speed.mps() * self.speed_slack {
                         suspicious = true; // teleportation
@@ -141,7 +145,7 @@ impl SpoofDetector for PlausibilityDetector {
 
 impl fmt::Debug for PlausibilityDetector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         f.debug_struct("PlausibilityDetector")
             .field("latched", &st.latched)
             .field("trip_count", &st.trip_count)
@@ -170,10 +174,7 @@ mod tests {
     fn trusting_detector_never_suspects() {
         let d = TrustingDetector;
         assert_eq!(d.observe(&fix(0.0, 0.0, 0, 0.0)), Environment::Trusted);
-        assert_eq!(
-            d.observe(&fix(1.0e6, 0.1, 1, 0.0)),
-            Environment::Trusted
-        );
+        assert_eq!(d.observe(&fix(1.0e6, 0.1, 1, 0.0)), Environment::Trusted);
     }
 
     #[test]

@@ -2,18 +2,17 @@
 
 use std::sync::OnceLock;
 
+use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::RsaPrivateKey;
 use alidrone_geo::{GeoPoint, GpsSample, Speed, Timestamp};
 use alidrone_gps::{GpsDevice, GpsFix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A cached 512-bit RSA key: keygen in debug builds is slow enough that
 /// regenerating per test would dominate the suite.
 pub(crate) fn test_key() -> &'static RsaPrivateKey {
     static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
     KEY.get_or_init(|| {
-        let mut rng = StdRng::seed_from_u64(0x7EE);
+        let mut rng = XorShift64::seed_from_u64(0x7EE);
         RsaPrivateKey::generate(512, &mut rng)
     })
 }

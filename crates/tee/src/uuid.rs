@@ -69,7 +69,9 @@ mod tests {
     fn parse_rejects_malformed() {
         assert!("not-a-uuid".parse::<Uuid>().is_err());
         assert!("8aaaf200245011e4abe20002a5d5c51b".parse::<Uuid>().is_err());
-        assert!("8aaaf200-2450-11e4-abe2-0002a5d5c51z".parse::<Uuid>().is_err());
+        assert!("8aaaf200-2450-11e4-abe2-0002a5d5c51z"
+            .parse::<Uuid>()
+            .is_err());
     }
 
     #[test]

@@ -3,13 +3,14 @@
 use std::fmt;
 use std::sync::Arc;
 
+use alidrone_crypto::rng::Rng;
 use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey, RsaPublicKey};
-use alidrone_geo::{GpsSample, Timestamp};
 use alidrone_geo::three_d::GpsSample3d;
+use alidrone_geo::{GpsSample, Timestamp};
 use alidrone_gps::nmea_feed::{burst_to_sample, fix_to_burst};
 use alidrone_gps::{GpsDevice, GpsDevice3d};
-use parking_lot::Mutex;
-use rand::Rng;
+use alidrone_obs::{Counter, Histogram, Level, Obs};
+use std::sync::Mutex;
 
 use crate::keystore::KeyStore;
 use crate::spoof::{Environment, SpoofDetector, TrustingDetector};
@@ -50,6 +51,38 @@ impl Param {
     }
 }
 
+/// Pre-registered secure-world metric handles. The counters mirror the
+/// [`CostLedger`] (which stays the canonical evaluation interface); the
+/// histograms record the *modelled* per-operation cost from the
+/// [`CostModel`], so a snapshot shows both how often each secure-world
+/// operation ran and what it would have cost on the calibrated target.
+struct TeeMetrics {
+    world_switches: Arc<Counter>,
+    smc_invokes: Arc<Counter>,
+    signatures: Arc<Counter>,
+    /// Signature count by key size (`tee.signatures.rsa_<bits>`).
+    signatures_by_bits: Arc<Counter>,
+    gps_reads: Arc<Counter>,
+    cost_world_switch: Arc<Histogram>,
+    cost_sign: Arc<Histogram>,
+    cost_read_gps: Arc<Histogram>,
+}
+
+impl TeeMetrics {
+    fn new(obs: &Obs, key_bits: usize) -> Self {
+        TeeMetrics {
+            world_switches: obs.counter("tee.world_switches"),
+            smc_invokes: obs.counter("tee.smc_invokes"),
+            signatures: obs.counter("tee.signatures"),
+            signatures_by_bits: obs.counter(&format!("tee.signatures.rsa_{key_bits}")),
+            gps_reads: obs.counter("tee.gps_reads"),
+            cost_world_switch: obs.histogram("tee.cost.world_switch"),
+            cost_sign: obs.histogram("tee.cost.sign"),
+            cost_read_gps: obs.histogram("tee.cost.read_gps"),
+        }
+    }
+}
+
 /// Internal secure-world state. Only reachable through SMC dispatch.
 pub(crate) struct WorldInner {
     keystore: KeyStore,
@@ -60,6 +93,8 @@ pub(crate) struct WorldInner {
     ledger: CostLedger,
     hash_alg_inner: HashAlg,
     spoof: Box<dyn SpoofDetector>,
+    obs: Obs,
+    metrics: TeeMetrics,
 }
 
 impl WorldInner {
@@ -90,6 +125,8 @@ impl WorldInner {
             .ok_or(TeeError::MissingComponent("3d gps device"))?;
         let fix3d = gps3d.latest_fix_3d().ok_or(TeeError::NoData)?;
         self.ledger.record_gps_read(self.cost_model.read_gps);
+        self.metrics.gps_reads.inc();
+        self.metrics.cost_read_gps.record(self.cost_model.read_gps);
         if self.spoof.observe(&fix3d.fix) == Environment::Suspicious {
             return Err(TeeError::AccessDenied);
         }
@@ -118,13 +155,16 @@ impl WorldInner {
         };
         let fix = fix.ok_or(TeeError::NoData)?;
         self.ledger.record_gps_read(self.cost_model.read_gps);
+        self.metrics.gps_reads.inc();
+        self.metrics.cost_read_gps.record(self.cost_model.read_gps);
         let env = self.spoof.observe(&fix);
         // Round-trip through the NMEA wire format for fidelity: the
         // driver sees the receiver's full UART burst (RMC+GGA+VTG+GSA)
         // and picks the $GPRMC line out of it, exactly as the real
         // kernel-space driver does. RMC timestamps wrap at 24 h, so
         // recover the day base from the fix's own timestamp.
-        let day_base = Timestamp::from_secs((fix.sample.time().secs() / 86_400.0).floor() * 86_400.0);
+        let day_base =
+            Timestamp::from_secs((fix.sample.time().secs() / 86_400.0).floor() * 86_400.0);
         let burst = fix_to_burst(&fix, 0.0);
         let sample =
             burst_to_sample(&burst, day_base).map_err(|_| TeeError::MalformedData("nmea parse"))?;
@@ -134,8 +174,11 @@ impl WorldInner {
     /// Signs on behalf of the GPS Sampler TA, with cost accounting.
     pub(crate) fn keystore_sign(&self, data: &[u8]) -> Result<Vec<u8>, TeeError> {
         let sig = self.keystore.sign(data)?;
-        self.ledger
-            .record_signature(self.cost_model.sign_cost(self.keystore.key_bits()));
+        let cost = self.cost_model.sign_cost(self.keystore.key_bits());
+        self.ledger.record_signature(cost);
+        self.metrics.signatures.inc();
+        self.metrics.signatures_by_bits.inc();
+        self.metrics.cost_sign.record(cost);
         Ok(sig)
     }
 
@@ -152,8 +195,8 @@ impl WorldInner {
 
     /// Locked access to secure storage, for TAs running in the secure
     /// world.
-    pub(crate) fn storage_mut(&self) -> parking_lot::MutexGuard<'_, SecureStorage> {
-        self.storage.lock()
+    pub(crate) fn storage_mut(&self) -> std::sync::MutexGuard<'_, SecureStorage> {
+        self.storage.lock().unwrap()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -164,7 +207,9 @@ impl WorldInner {
         cost_model: CostModel,
         hash_alg: HashAlg,
         spoof: Box<dyn SpoofDetector>,
+        obs: Obs,
     ) -> Self {
+        let metrics = TeeMetrics::new(&obs, keystore.key_bits());
         WorldInner {
             keystore,
             storage: Mutex::new(SecureStorage::new()),
@@ -174,6 +219,8 @@ impl WorldInner {
             ledger: CostLedger::new(),
             hash_alg_inner: hash_alg,
             spoof,
+            obs,
+            metrics,
         }
     }
 }
@@ -213,11 +260,34 @@ impl SecureWorld {
         self.inner
             .ledger
             .record_world_switches(2, self.inner.cost_model.world_switch);
-        if ta == crate::GPS_SAMPLER_UUID {
+        self.inner.metrics.smc_invokes.inc();
+        self.inner.metrics.world_switches.add(2);
+        // Each direction of the switch is one histogram observation, so
+        // count == world_switches and sum == modelled switch time.
+        self.inner
+            .metrics
+            .cost_world_switch
+            .record(self.inner.cost_model.world_switch);
+        self.inner
+            .metrics
+            .cost_world_switch
+            .record(self.inner.cost_model.world_switch);
+        let result = if ta == crate::GPS_SAMPLER_UUID {
             sampler::invoke(&self.inner, cmd, params)
         } else {
             Err(TeeError::ItemNotFound)
+        };
+        if let Err(e) = &result {
+            let failed = *e != TeeError::NoData;
+            if failed {
+                self.inner
+                    .obs
+                    .emit(Level::Warn, "tee.world", "smc_failed", |f| {
+                        f.field("cmd", cmd as u64);
+                    });
+            }
         }
+        result
     }
 
     /// Whether a trusted application with this UUID exists.
@@ -246,6 +316,7 @@ pub struct SecureWorldBuilder {
     cost_model: CostModel,
     hash_alg: HashAlg,
     spoof: Box<dyn SpoofDetector>,
+    obs: Obs,
 }
 
 impl SecureWorldBuilder {
@@ -259,7 +330,15 @@ impl SecureWorldBuilder {
             cost_model: CostModel::raspberry_pi_3(),
             hash_alg: HashAlg::Sha1,
             spoof: Box::new(TrustingDetector),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Routes secure-world metrics (world switches, signatures by key
+    /// size, modelled per-op costs) and events into `obs`.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// Installs an existing sign key (e.g. a cached test key).
@@ -316,7 +395,9 @@ impl SecureWorldBuilder {
     /// provided (a GPS device is optional — key-only worlds are useful
     /// for registration flows and tests).
     pub fn build(self) -> Result<SecureWorld, TeeError> {
-        let key = self.sign_key.ok_or(TeeError::MissingComponent("sign key"))?;
+        let key = self
+            .sign_key
+            .ok_or(TeeError::MissingComponent("sign key"))?;
         Ok(SecureWorld {
             inner: Arc::new(WorldInner::new(
                 KeyStore::new(key, self.hash_alg),
@@ -325,6 +406,7 @@ impl SecureWorldBuilder {
                 self.cost_model,
                 self.hash_alg,
                 self.spoof,
+                self.obs,
             )),
         })
     }
@@ -401,7 +483,7 @@ mod tests {
         let sig = out[1].as_bytes().unwrap();
         assert_eq!(sample_bytes.len(), 24);
         assert_eq!(sig.len(), 64); // 512-bit test key
-        // Signature verifies under the exported public key.
+                                   // Signature verifies under the exported public key.
         let pk = world.inner.public_key();
         pk.verify(sample_bytes, sig, HashAlg::Sha1).unwrap();
     }
@@ -436,6 +518,61 @@ mod tests {
         assert_eq!(snap.world_switches, 4);
         assert_eq!(snap.signatures, 1);
         assert_eq!(snap.gps_reads, 1);
+    }
+
+    #[test]
+    fn obs_mirrors_ledger_and_tracks_key_size() {
+        let obs = Obs::noop();
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(test_key().clone())
+            .with_gps_device(Box::new(TestReceiver::fixed(40.1, -88.2, 12.0)))
+            .with_cost_model(CostModel::raspberry_pi_3())
+            .with_obs(&obs)
+            .build()
+            .unwrap();
+        let _ = world.smc_invoke(GPS_SAMPLER_UUID, CMD_GET_PUBLIC_KEY, &[]);
+        let _ = world.smc_invoke(GPS_SAMPLER_UUID, CMD_GET_GPS_AUTH, &[]);
+        let ledger = world.ledger().snapshot();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("tee.world_switches"), ledger.world_switches);
+        assert_eq!(snap.counter("tee.smc_invokes"), 2);
+        assert_eq!(snap.counter("tee.signatures"), ledger.signatures);
+        // The test key is 512-bit: the by-size counter carries the size
+        // in its name.
+        assert_eq!(snap.counter("tee.signatures.rsa_512"), ledger.signatures);
+        assert_eq!(snap.counter("tee.gps_reads"), ledger.gps_reads);
+        // The cost histograms carry the modelled durations: summing
+        // them reproduces the ledger's busy time.
+        let hist_ms = |name: &str| {
+            snap.histogram(name)
+                .map_or(0.0, |h| h.sum_micros as f64 / 1000.0)
+        };
+        let total_ms = hist_ms("tee.cost.world_switch")
+            + hist_ms("tee.cost.sign")
+            + hist_ms("tee.cost.read_gps");
+        assert!(
+            (total_ms - ledger.busy.millis()).abs() < 0.01,
+            "histograms {total_ms} ms vs ledger {} ms",
+            ledger.busy.millis()
+        );
+    }
+
+    #[test]
+    fn failed_smc_emits_warning_event() {
+        use alidrone_obs::RingBuffer;
+        let obs = Obs::noop();
+        let ring = Arc::new(RingBuffer::new(8));
+        obs.set_subscriber(ring.clone());
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(test_key().clone())
+            .with_obs(&obs)
+            .build()
+            .unwrap();
+        let _ = world.smc_invoke(GPS_SAMPLER_UUID, 999, &[]);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "smc_failed");
+        assert_eq!(events[0].field("cmd").unwrap().as_u64(), Some(999));
     }
 
     #[test]

@@ -6,12 +6,11 @@
 
 use std::sync::Arc;
 
+use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::RsaPrivateKey;
 use alidrone_geo::{GeoPoint, GpsSample, Speed, Timestamp};
 use alidrone_gps::{GpsDevice, GpsFix};
 use alidrone_tee::{CostModel, SecureWorldBuilder, GPS_SAMPLER_UUID};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 struct FixedReceiver;
 
@@ -33,7 +32,7 @@ impl GpsDevice for FixedReceiver {
 }
 
 fn key() -> RsaPrivateKey {
-    let mut rng = StdRng::seed_from_u64(0xC0C0);
+    let mut rng = XorShift64::seed_from_u64(0xC0C0);
     RsaPrivateKey::generate(512, &mut rng)
 }
 
@@ -50,11 +49,11 @@ fn parallel_get_gps_auth_is_consistent() {
 
     const THREADS: usize = 8;
     const PER_THREAD: usize = 20;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..THREADS {
             let client = client.clone();
             let pk = Arc::clone(&pk);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
                 for _ in 0..PER_THREAD {
                     let signed = session.get_gps_auth().unwrap();
@@ -62,8 +61,7 @@ fn parallel_get_gps_auth_is_consistent() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     let snap = world.ledger().snapshot();
     assert_eq!(snap.signatures, (THREADS * PER_THREAD) as u64);
@@ -87,18 +85,17 @@ fn parallel_batch_caching_counts_every_sample() {
 
     const THREADS: usize = 4;
     const PER_THREAD: usize = 25;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..THREADS {
             let client = client.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
                 for _ in 0..PER_THREAD {
                     session.cache_sample().unwrap();
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
     let trace = session.sign_trace().unwrap();

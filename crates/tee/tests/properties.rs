@@ -1,69 +1,106 @@
-//! Property-based tests for the TEE wire formats and UUIDs.
+//! Randomized tests for the TEE wire formats and UUIDs.
+//!
+//! Inputs come from a seeded deterministic stream (no `proptest` — the
+//! offline build has no crates.io), so failures reproduce exactly.
 
+use alidrone_crypto::rng::{Rng, XorShift64};
 use alidrone_crypto::rsa::HashAlg;
 use alidrone_geo::{GeoPoint, GpsSample, Timestamp};
 use alidrone_tee::{SignedSample, SignedTrace, TeeError, Uuid};
-use proptest::prelude::*;
 
-prop_compose! {
-    fn arb_sample()(
-        lat in -89.9..89.9f64,
-        lon in -179.9..179.9f64,
-        t in -1.0e6..1.0e6f64,
-    ) -> GpsSample {
-        GpsSample::new(GeoPoint::new(lat, lon).expect("in range"), Timestamp::from_secs(t))
+const CASES: usize = 128;
+
+fn in_range(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen_f64() * (hi - lo)
+}
+
+fn arb_sample(rng: &mut XorShift64) -> GpsSample {
+    let lat = in_range(rng, -89.9, 89.9);
+    let lon = in_range(rng, -179.9, 179.9);
+    let t = in_range(rng, -1.0e6, 1.0e6);
+    GpsSample::new(
+        GeoPoint::new(lat, lon).expect("in range"),
+        Timestamp::from_secs(t),
+    )
+}
+
+fn arb_bytes(rng: &mut XorShift64, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range_u64(max_len as u64) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// SignedSample wire format round-trips for arbitrary contents.
+#[test]
+fn signed_sample_round_trip() {
+    let mut rng = XorShift64::seed_from_u64(301);
+    for _ in 0..CASES {
+        let sample = arb_sample(&mut rng);
+        let sig = arb_bytes(&mut rng, 300);
+        let alg = if rng.gen_bool() {
+            HashAlg::Sha256
+        } else {
+            HashAlg::Sha1
+        };
+        let s = SignedSample::from_parts(sample, sig, alg);
+        let rt = SignedSample::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s, rt);
     }
 }
 
-proptest! {
-    /// SignedSample wire format round-trips for arbitrary contents.
-    #[test]
-    fn signed_sample_round_trip(
-        sample in arb_sample(),
-        sig in prop::collection::vec(any::<u8>(), 0..300),
-        sha256 in any::<bool>(),
-    ) {
-        let alg = if sha256 { HashAlg::Sha256 } else { HashAlg::Sha1 };
-        let s = SignedSample::from_parts(sample, sig, alg);
-        let rt = SignedSample::from_bytes(&s.to_bytes()).unwrap();
-        prop_assert_eq!(s, rt);
-    }
-
-    /// Arbitrary bytes never panic the SignedSample / SignedTrace parsers.
-    #[test]
-    fn parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+/// Arbitrary bytes never panic the SignedSample / SignedTrace parsers.
+#[test]
+fn parsers_never_panic() {
+    let mut rng = XorShift64::seed_from_u64(302);
+    for _ in 0..CASES {
+        let bytes = arb_bytes(&mut rng, 200);
         let _ = SignedSample::from_bytes(&bytes);
         let _ = SignedTrace::from_parts(bytes.clone(), vec![1, 2], HashAlg::Sha1);
     }
+}
 
-    /// Truncating a serialized SignedSample is always detected.
-    #[test]
-    fn truncation_always_detected(sample in arb_sample(), cut_frac in 0.0..0.99f64) {
+/// Truncating a serialized SignedSample is always detected.
+#[test]
+fn truncation_always_detected() {
+    let mut rng = XorShift64::seed_from_u64(303);
+    for _ in 0..CASES {
+        let sample = arb_sample(&mut rng);
+        let cut_frac = in_range(&mut rng, 0.0, 0.99);
         let s = SignedSample::from_parts(sample, vec![0xAB; 64], HashAlg::Sha1);
         let bytes = s.to_bytes();
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
-        prop_assert!(SignedSample::from_bytes(&bytes[..cut]).is_err());
+        assert!(SignedSample::from_bytes(&bytes[..cut]).is_err());
     }
+}
 
-    /// SignedTrace accepts exactly 24-byte-aligned non-empty payloads of
-    /// valid samples and decodes every one.
-    #[test]
-    fn trace_alignment_enforced(samples in prop::collection::vec(arb_sample(), 1..20)) {
+/// SignedTrace accepts exactly 24-byte-aligned non-empty payloads of
+/// valid samples and decodes every one.
+#[test]
+fn trace_alignment_enforced() {
+    let mut rng = XorShift64::seed_from_u64(304);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_range_u64(19) as usize;
+        let samples: Vec<GpsSample> = (0..n).map(|_| arb_sample(&mut rng)).collect();
         let mut bytes: Vec<u8> = samples.iter().flat_map(|s| s.to_bytes()).collect();
         let trace = SignedTrace::from_parts(bytes.clone(), vec![9; 8], HashAlg::Sha1).unwrap();
-        prop_assert_eq!(trace.samples(), &samples[..]);
+        assert_eq!(trace.samples(), &samples[..]);
         // One stray byte breaks alignment.
         bytes.push(0);
-        prop_assert_eq!(
+        assert_eq!(
             SignedTrace::from_parts(bytes, vec![9; 8], HashAlg::Sha1).err(),
             Some(TeeError::MalformedData("trace length not 24-byte aligned"))
         );
     }
+}
 
-    /// UUID display/parse round trip over arbitrary 128-bit values.
-    #[test]
-    fn uuid_round_trip(v in any::<u128>()) {
+/// UUID display/parse round trip over arbitrary 128-bit values.
+#[test]
+fn uuid_round_trip() {
+    let mut rng = XorShift64::seed_from_u64(305);
+    for _ in 0..CASES {
+        let v = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
         let u = Uuid::from_u128(v);
-        prop_assert_eq!(u.to_string().parse::<Uuid>().unwrap(), u);
+        assert_eq!(u.to_string().parse::<Uuid>().unwrap(), u);
     }
 }

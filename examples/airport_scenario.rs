@@ -3,14 +3,25 @@
 //! Reproduces the Fig. 6 experiment through the example API rather than
 //! the experiment harness: builds the scenario, runs 1 Hz fixed-rate and
 //! adaptive sampling, and shows the sample-count gap and where the
-//! adaptive samples concentrate.
+//! adaptive samples concentrate. The adaptive run's observability
+//! handle is then shared with a wire-level auditor server, and the
+//! combined metrics snapshot — request latencies by request type, world
+//! switches, signature counts by key size, sampler rate-change events —
+//! is printed as JSON.
 //!
 //! Run: `cargo run --release --example airport_scenario`
 
 use std::error::Error;
 
-use alidrone::core::SamplingStrategy;
+use alidrone::core::wire::server::AuditorServer;
+use alidrone::core::wire::transport::{AuditorClient, InProcess};
+use alidrone::core::{Auditor, AuditorConfig, SamplingStrategy, Verdict};
+use alidrone::crypto::rng::XorShift64;
+use alidrone::crypto::rsa::RsaPrivateKey;
+use alidrone::geo::Timestamp;
+use alidrone::obs::{Json, ToJson};
 use alidrone::sim::metrics::fig6_series;
+use alidrone::sim::report::render_metrics;
 use alidrone::sim::runner::{experiment_key, run_scenario};
 use alidrone::sim::scenarios::airport;
 use alidrone::tee::CostModel;
@@ -64,5 +75,60 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
     println!("\ngaps grow geometrically with distance — exactly the Fig. 6 shape.");
+
+    // Submit the adaptive PoA over the wire. The server shares the
+    // scenario run's obs handle, so wire latency histograms and error
+    // counters land in the same registry as the TEE and sampler
+    // metrics.
+    let obs = adaptive.obs.clone();
+    let mut rng = XorShift64::seed_from_u64(0xA1B0);
+    let auditor_key = RsaPrivateKey::generate(512, &mut rng);
+    let operator_key = RsaPrivateKey::generate(512, &mut rng);
+    let server = AuditorServer::with_obs(Auditor::new(AuditorConfig::default(), auditor_key), &obs);
+    let mut client = AuditorClient::new(InProcess::with_obs(server, &obs));
+
+    let now = Timestamp::from_secs(scenario.duration.secs() + 60.0);
+    let drone = client.register_drone(
+        operator_key.public_key().clone(),
+        adaptive.tee.tee_public_key(),
+        now,
+    )?;
+    for zone in scenario.zones.iter() {
+        client.register_zone(*zone, now)?;
+    }
+    let verdict = client.submit_poa(
+        drone,
+        (adaptive.record.window_start, adaptive.record.window_end),
+        &adaptive.record.poa,
+        now,
+    )?;
+    // Starting 30 ft from the boundary, the first pair cannot be
+    // sufficient at any hardware rate (see the runner tests): the
+    // auditor flags exactly those unavoidable initial pairs.
+    println!("\nwire submission verdict: {verdict:?}");
+    assert!(matches!(
+        verdict,
+        Verdict::Compliant | Verdict::InsufficientAlibi { .. }
+    ));
+    // One garbage frame, to show the malformed-frame accounting.
+    let _ = client
+        .transport_mut()
+        .server_mut()
+        .handle(&[0xDE, 0xAD, 0xBE, 0xEF], now);
+
+    println!("\nmetrics:\n{}", render_metrics(&obs.snapshot()));
+
+    // The full snapshot plus the sampler's rate-change events, as JSON.
+    let rate_changes: Vec<Json> = adaptive
+        .events
+        .iter()
+        .filter(|e| e.message == "rate_change" || e.message == "anchor_sample")
+        .map(|e| e.to_json())
+        .collect();
+    let doc = Json::obj([
+        ("metrics", obs.snapshot().to_json()),
+        ("sampler_events", Json::Arr(rate_changes)),
+    ]);
+    println!("metrics snapshot (JSON):\n{}", doc.to_pretty());
     Ok(())
 }

@@ -18,11 +18,10 @@ use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, Duration, GeoPoint, NoFlyZone, Speed};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::{SecureWorldBuilder, GPS_SAMPLER_UUID};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = XorShift64::seed_from_u64(8);
     let depot = GeoPoint::new(40.1164, -88.2434)?;
 
     let mut auditor = Auditor::new(
@@ -61,7 +60,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             .build()?;
         let flight_time = route.total_duration();
         let clock = SimClock::new();
-        let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+        let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+            route,
+            clock.clone(),
+            5.0,
+        ));
         let world = SecureWorldBuilder::new()
             .with_generated_key(512, &mut rng)
             .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -106,7 +109,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             Speed::from_mph(30.0),
         )
         .build()?;
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_generated_key(512, &mut rng)
         .with_gps_device(Box::new(Arc::clone(&receiver)))

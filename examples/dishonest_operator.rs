@@ -29,8 +29,7 @@ use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Speed};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::{SecureWorldBuilder, SignedSample, TeeClient};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 struct Setup {
     clock: SimClock,
@@ -39,13 +38,17 @@ struct Setup {
 }
 
 /// Builds a drone whose route passes `offset_m` north of the zone line.
-fn drone(rng: &mut StdRng, start: GeoPoint, dist_m: f64) -> Result<Setup, Box<dyn Error>> {
+fn drone(rng: &mut XorShift64, start: GeoPoint, dist_m: f64) -> Result<Setup, Box<dyn Error>> {
     let end = start.destination(90.0, Distance::from_meters(dist_m));
     let route = TrajectoryBuilder::start_at(start)
         .travel_to(end, Speed::from_mph(30.0))
         .build()?;
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_generated_key(512, rng)
         .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -58,7 +61,7 @@ fn drone(rng: &mut StdRng, start: GeoPoint, dist_m: f64) -> Result<Setup, Box<dy
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut rng = StdRng::seed_from_u64(666);
+    let mut rng = XorShift64::seed_from_u64(666);
     let pad = GeoPoint::new(40.1164, -88.2434)?;
 
     let mut auditor = Auditor::new(
@@ -74,7 +77,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // An honest flight to start from.
     let setup = drone(&mut rng, pad, 800.0)?;
-    let mut operator = DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), setup.tee.clone());
+    let mut operator =
+        DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), setup.tee.clone());
     operator.register_with(&mut auditor);
     let honest = operator.fly(
         &setup.clock,

@@ -12,11 +12,10 @@ use alidrone::geo::trajectory::{Trajectory3d, TrajectoryBuilder};
 use alidrone::geo::{Distance, GeoPoint, NoFlyZone, Speed, FAA_MAX_SPEED};
 use alidrone::gps::{SimClock, SimulatedReceiver3d};
 use alidrone::tee::{SecureWorldBuilder, SignedSample3d, GPS_SAMPLER_UUID};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut rng = StdRng::seed_from_u64(33);
+    let mut rng = XorShift64::seed_from_u64(33);
     let start = GeoPoint::new(40.1164, -88.2434)?;
     let end = start.destination(90.0, Distance::from_km(1.0));
 
@@ -39,11 +38,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let total = plan.total_duration().secs();
     let traj = Trajectory3d::new(
         plan,
-        vec![(0.0, 0.0), (15.0, 150.0), (total - 15.0, 150.0), (total, 0.0)],
+        vec![
+            (0.0, 0.0),
+            (15.0, 150.0),
+            (total - 15.0, 150.0),
+            (total, 0.0),
+        ],
     )?;
 
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver3d::from_trajectory(traj, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver3d::from_trajectory(
+        traj,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_generated_key(512, &mut rng)
         .with_gps_device_3d(Box::new(Arc::clone(&receiver)))
@@ -78,7 +86,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "3-D verdict: violations {:?}, insufficient pairs {:?} → {}",
         report3d.violations,
         report3d.insufficient_pairs,
-        if report3d.is_sufficient() { "compliant" } else { "NOT compliant" }
+        if report3d.is_sufficient() {
+            "compliant"
+        } else {
+            "NOT compliant"
+        }
     );
     assert!(report3d.is_sufficient());
 

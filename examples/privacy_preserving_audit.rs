@@ -15,11 +15,10 @@ use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, Duration, GeoPoint, NoFlyZone, Speed, Timestamp, FAA_MAX_SPEED};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::SecureWorldBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = XorShift64::seed_from_u64(77);
 
     // A flight past a neighbour's registered zone.
     let pad = GeoPoint::new(40.1164, -88.2434)?;
@@ -34,7 +33,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         .travel_to(end, Speed::from_mph(25.0))
         .build()?;
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_generated_key(512, &mut rng)
         .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -49,7 +52,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         SamplingStrategy::Adaptive,
         Duration::from_secs(80.0),
     )?;
-    println!("flight recorded {} authenticated samples", record.sample_count());
+    println!(
+        "flight recorded {} authenticated samples",
+        record.sample_count()
+    );
 
     // The operator seals the PoA with per-sample one-time keys and
     // uploads only the sealed form.

@@ -13,19 +13,16 @@
 use std::error::Error;
 use std::sync::Arc;
 
-use alidrone::core::{
-    Auditor, AuditorConfig, DroneOperator, SamplingStrategy, ZoneOwner,
-};
+use alidrone::core::{Auditor, AuditorConfig, DroneOperator, SamplingStrategy, ZoneOwner};
 use alidrone::crypto::rsa::RsaPrivateKey;
 use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, GeoPoint, NoFlyZone, Speed};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::SecureWorldBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = XorShift64::seed_from_u64(2026);
 
     // --- The world: a launch pad, a delivery point, a neighbour's NFZ.
     let pad = GeoPoint::new(40.1164, -88.2434)?;

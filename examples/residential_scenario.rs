@@ -51,8 +51,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         min_distance_ft(&adaptive.record).unwrap()
     );
     let rates = fig8b_series(&adaptive.record, 4.0);
-    let early: Vec<f64> = rates.iter().filter(|p| p.t < 40.0).map(|p| p.value).collect();
-    let late: Vec<f64> = rates.iter().filter(|p| p.t > 100.0).map(|p| p.value).collect();
+    let early: Vec<f64> = rates
+        .iter()
+        .filter(|p| p.t < 40.0)
+        .map(|p| p.value)
+        .collect();
+    let late: Vec<f64> = rates
+        .iter()
+        .filter(|p| p.t > 100.0)
+        .map(|p| p.value)
+        .collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!(
         "adaptive rate: {:.1} Hz in the sparse stretch → {:.1} Hz among the dense houses",

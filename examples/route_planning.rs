@@ -13,11 +13,10 @@ use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, GeoPoint, NoFlyZone, Speed};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::SecureWorldBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut rng = StdRng::seed_from_u64(12);
+    let mut rng = XorShift64::seed_from_u64(12);
     let depot = GeoPoint::new(40.1164, -88.2434)?;
     let customer = depot.destination(90.0, Distance::from_km(2.0));
 
@@ -26,8 +25,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         AuditorConfig::default(),
         RsaPrivateKey::generate(512, &mut rng),
     );
-    for (east_m, north_m, r_m) in [(600.0, 0.0, 70.0), (1_100.0, 60.0, 50.0), (1_500.0, -50.0, 60.0)]
-    {
+    for (east_m, north_m, r_m) in [
+        (600.0, 0.0, 70.0),
+        (1_100.0, 60.0, 50.0),
+        (1_500.0, -50.0, 60.0),
+    ] {
         auditor.register_zone(NoFlyZone::new(
             depot
                 .destination(90.0, Distance::from_meters(east_m))
@@ -46,7 +48,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         let tmp_world = SecureWorldBuilder::new()
             .with_generated_key(512, &mut rng)
             .build()?;
-        let mut operator = DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), tmp_world.client());
+        let mut operator =
+            DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), tmp_world.client());
         operator.register_with(&mut auditor);
         zones_resp = operator.query_zones(
             &mut auditor,

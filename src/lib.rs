@@ -12,6 +12,7 @@
 //! | [`gps`] | `alidrone-gps` | simulated receiver, virtual clock, trace replay |
 //! | [`tee`] | `alidrone-tee` | the TrustZone/OP-TEE model: worlds, TAs, key isolation, cost ledger |
 //! | [`core`] | `alidrone-core` | the PoA protocol: auditor, operator, zone owner, Algorithm 1 |
+//! | [`obs`] | `alidrone-obs` | metrics, spans, structured events, JSON export |
 //! | [`sim`] | `alidrone-sim` | field-study scenarios, power model, experiment harness |
 //!
 //! # Quickstart
@@ -28,5 +29,6 @@ pub use alidrone_crypto as crypto;
 pub use alidrone_geo as geo;
 pub use alidrone_gps as gps;
 pub use alidrone_nmea as nmea;
+pub use alidrone_obs as obs;
 pub use alidrone_sim as sim;
 pub use alidrone_tee as tee;

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/alidrone-28ab52f07e268a3a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libalidrone-28ab52f07e268a3a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libalidrone-28ab52f07e268a3a.rmeta: src/lib.rs
+
+src/lib.rs:

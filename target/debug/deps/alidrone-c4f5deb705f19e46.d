@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alidrone-c4f5deb705f19e46.d: src/lib.rs
+
+/root/repo/target/debug/deps/alidrone-c4f5deb705f19e46: src/lib.rs
+
+src/lib.rs:

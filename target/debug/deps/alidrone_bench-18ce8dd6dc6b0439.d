@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/alidrone_bench-18ce8dd6dc6b0439.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libalidrone_bench-18ce8dd6dc6b0439.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libalidrone_bench-18ce8dd6dc6b0439.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

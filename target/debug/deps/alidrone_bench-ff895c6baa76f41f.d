@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/alidrone_bench-ff895c6baa76f41f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/alidrone_bench-ff895c6baa76f41f: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

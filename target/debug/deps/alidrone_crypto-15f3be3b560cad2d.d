@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/alidrone_crypto-15f3be3b560cad2d.d: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_crypto-15f3be3b560cad2d.rmeta: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/bigint.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/dh.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/alidrone_crypto-d09df0dc102d0def.d: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libalidrone_crypto-d09df0dc102d0def.rlib: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libalidrone_crypto-d09df0dc102d0def.rmeta: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/bigint.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/dh.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/alidrone_geo-09f173313d29736d.d: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/nfz.rs crates/geo/src/point.rs crates/geo/src/projection.rs crates/geo/src/reachable.rs crates/geo/src/sample.rs crates/geo/src/units.rs crates/geo/src/planner.rs crates/geo/src/polygon.rs crates/geo/src/sufficiency.rs crates/geo/src/three_d.rs crates/geo/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_geo-09f173313d29736d.rmeta: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/nfz.rs crates/geo/src/point.rs crates/geo/src/projection.rs crates/geo/src/reachable.rs crates/geo/src/sample.rs crates/geo/src/units.rs crates/geo/src/planner.rs crates/geo/src/polygon.rs crates/geo/src/sufficiency.rs crates/geo/src/three_d.rs crates/geo/src/trajectory.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/error.rs:
+crates/geo/src/nfz.rs:
+crates/geo/src/point.rs:
+crates/geo/src/projection.rs:
+crates/geo/src/reachable.rs:
+crates/geo/src/sample.rs:
+crates/geo/src/units.rs:
+crates/geo/src/planner.rs:
+crates/geo/src/polygon.rs:
+crates/geo/src/sufficiency.rs:
+crates/geo/src/three_d.rs:
+crates/geo/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

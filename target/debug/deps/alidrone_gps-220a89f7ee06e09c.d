@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/alidrone_gps-220a89f7ee06e09c.d: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+/root/repo/target/debug/deps/alidrone_gps-220a89f7ee06e09c: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+crates/gps/src/lib.rs:
+crates/gps/src/clock.rs:
+crates/gps/src/nmea_feed.rs:
+crates/gps/src/receiver.rs:
+crates/gps/src/receiver3d.rs:
+crates/gps/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/alidrone_gps-31df7b66bd84fab2.d: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_gps-31df7b66bd84fab2.rmeta: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs Cargo.toml
+
+crates/gps/src/lib.rs:
+crates/gps/src/clock.rs:
+crates/gps/src/nmea_feed.rs:
+crates/gps/src/receiver.rs:
+crates/gps/src/receiver3d.rs:
+crates/gps/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/alidrone_gps-89f64d09f1326256.d: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+/root/repo/target/debug/deps/libalidrone_gps-89f64d09f1326256.rlib: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+/root/repo/target/debug/deps/libalidrone_gps-89f64d09f1326256.rmeta: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+crates/gps/src/lib.rs:
+crates/gps/src/clock.rs:
+crates/gps/src/nmea_feed.rs:
+crates/gps/src/receiver.rs:
+crates/gps/src/receiver3d.rs:
+crates/gps/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/alidrone_nmea-085d2b22d40a8471.d: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_nmea-085d2b22d40a8471.rmeta: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs Cargo.toml
+
+crates/nmea/src/lib.rs:
+crates/nmea/src/coord.rs:
+crates/nmea/src/error.rs:
+crates/nmea/src/gga.rs:
+crates/nmea/src/gsa.rs:
+crates/nmea/src/rmc.rs:
+crates/nmea/src/sentence.rs:
+crates/nmea/src/vtg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/alidrone_nmea-8779039b17d8f912.d: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_nmea-8779039b17d8f912.rmeta: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs Cargo.toml
+
+crates/nmea/src/lib.rs:
+crates/nmea/src/coord.rs:
+crates/nmea/src/error.rs:
+crates/nmea/src/gga.rs:
+crates/nmea/src/gsa.rs:
+crates/nmea/src/rmc.rs:
+crates/nmea/src/sentence.rs:
+crates/nmea/src/vtg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

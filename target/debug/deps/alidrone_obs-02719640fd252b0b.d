@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/alidrone_obs-02719640fd252b0b.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libalidrone_obs-02719640fd252b0b.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libalidrone_obs-02719640fd252b0b.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

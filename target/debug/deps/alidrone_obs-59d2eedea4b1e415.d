@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/alidrone_obs-59d2eedea4b1e415.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/alidrone_obs-59d2eedea4b1e415: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-3ee7980c66f55a12.d: tests/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-3ee7980c66f55a12.rmeta: tests/attacks.rs Cargo.toml
+
+tests/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-f50329c0b72749c7.d: tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-f50329c0b72749c7: tests/attacks.rs
+
+tests/attacks.rs:

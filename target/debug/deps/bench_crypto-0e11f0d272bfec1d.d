@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_crypto-0e11f0d272bfec1d.d: crates/bench/benches/bench_crypto.rs
+
+/root/repo/target/debug/deps/bench_crypto-0e11f0d272bfec1d: crates/bench/benches/bench_crypto.rs
+
+crates/bench/benches/bench_crypto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_geometry-3c2ff365f39b3f33.d: crates/bench/benches/bench_geometry.rs
+
+/root/repo/target/debug/deps/bench_geometry-3c2ff365f39b3f33: crates/bench/benches/bench_geometry.rs
+
+crates/bench/benches/bench_geometry.rs:

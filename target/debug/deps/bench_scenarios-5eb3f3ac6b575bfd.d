@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_scenarios-5eb3f3ac6b575bfd.d: crates/bench/benches/bench_scenarios.rs
+
+/root/repo/target/debug/deps/bench_scenarios-5eb3f3ac6b575bfd: crates/bench/benches/bench_scenarios.rs
+
+crates/bench/benches/bench_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_tee-81da180bf87e21d1.d: crates/bench/benches/bench_tee.rs
+
+/root/repo/target/debug/deps/bench_tee-81da180bf87e21d1: crates/bench/benches/bench_tee.rs
+
+crates/bench/benches/bench_tee.rs:

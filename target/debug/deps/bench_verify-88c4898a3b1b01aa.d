@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_verify-88c4898a3b1b01aa.d: crates/bench/benches/bench_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_verify-88c4898a3b1b01aa.rmeta: crates/bench/benches/bench_verify.rs Cargo.toml
+
+crates/bench/benches/bench_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_verify-a30cdf1f049c3ef8.d: crates/bench/benches/bench_verify.rs
+
+/root/repo/target/debug/deps/bench_verify-a30cdf1f049c3ef8: crates/bench/benches/bench_verify.rs
+
+crates/bench/benches/bench_verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-8454e2ad92ab9862.d: crates/tee/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-8454e2ad92ab9862: crates/tee/tests/concurrency.rs
+
+crates/tee/tests/concurrency.rs:

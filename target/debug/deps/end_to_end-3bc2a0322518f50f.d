@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3bc2a0322518f50f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3bc2a0322518f50f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-79c48582f84e7b53.d: crates/sim/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-79c48582f84e7b53: crates/sim/src/bin/exp_ablation.rs
+
+crates/sim/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-ce00992fa3660dfc.d: crates/sim/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-ce00992fa3660dfc: crates/sim/src/bin/exp_ablation.rs
+
+crates/sim/src/bin/exp_ablation.rs:

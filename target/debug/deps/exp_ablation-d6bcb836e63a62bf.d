@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation-d6bcb836e63a62bf.d: crates/sim/src/bin/exp_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation-d6bcb836e63a62bf.rmeta: crates/sim/src/bin/exp_ablation.rs Cargo.toml
+
+crates/sim/src/bin/exp_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

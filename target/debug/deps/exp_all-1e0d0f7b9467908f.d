@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-1e0d0f7b9467908f.d: crates/sim/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-1e0d0f7b9467908f: crates/sim/src/bin/exp_all.rs
+
+crates/sim/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-64c9feb53a558d1a.d: crates/sim/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-64c9feb53a558d1a: crates/sim/src/bin/exp_all.rs
+
+crates/sim/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-24b073b24f7ef40a.d: crates/sim/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-24b073b24f7ef40a: crates/sim/src/bin/exp_fig6.rs
+
+crates/sim/src/bin/exp_fig6.rs:

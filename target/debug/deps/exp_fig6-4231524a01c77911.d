@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-4231524a01c77911.d: crates/sim/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-4231524a01c77911: crates/sim/src/bin/exp_fig6.rs
+
+crates/sim/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-5be20f65c2a07b92.d: crates/sim/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-5be20f65c2a07b92: crates/sim/src/bin/exp_fig7.rs
+
+crates/sim/src/bin/exp_fig7.rs:

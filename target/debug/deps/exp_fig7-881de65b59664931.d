@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-881de65b59664931.d: crates/sim/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-881de65b59664931: crates/sim/src/bin/exp_fig7.rs
+
+crates/sim/src/bin/exp_fig7.rs:

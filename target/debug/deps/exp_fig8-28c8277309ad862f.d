@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-28c8277309ad862f.d: crates/sim/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-28c8277309ad862f: crates/sim/src/bin/exp_fig8.rs
+
+crates/sim/src/bin/exp_fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig8-4f4d1aeaae98c101.d: crates/sim/src/bin/exp_fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig8-4f4d1aeaae98c101.rmeta: crates/sim/src/bin/exp_fig8.rs Cargo.toml
+
+crates/sim/src/bin/exp_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-77b98631e3694b87.d: crates/sim/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-77b98631e3694b87: crates/sim/src/bin/exp_fig8.rs
+
+crates/sim/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-2d0499ce937e7a14.d: crates/sim/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-2d0499ce937e7a14: crates/sim/src/bin/exp_table2.rs
+
+crates/sim/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-e71658c80f5c638f.d: crates/sim/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-e71658c80f5c638f: crates/sim/src/bin/exp_table2.rs
+
+crates/sim/src/bin/exp_table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-b2999b55d0c2bb77.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-b2999b55d0c2bb77.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

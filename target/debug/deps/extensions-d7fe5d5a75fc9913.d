@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d7fe5d5a75fc9913.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d7fe5d5a75fc9913: tests/extensions.rs
+
+tests/extensions.rs:

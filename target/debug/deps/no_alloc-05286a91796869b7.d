@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_alloc-05286a91796869b7.d: crates/obs/tests/no_alloc.rs
+
+/root/repo/target/debug/deps/no_alloc-05286a91796869b7: crates/obs/tests/no_alloc.rs
+
+crates/obs/tests/no_alloc.rs:

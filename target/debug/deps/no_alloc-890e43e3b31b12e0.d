@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/no_alloc-890e43e3b31b12e0.d: crates/obs/tests/no_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libno_alloc-890e43e3b31b12e0.rmeta: crates/obs/tests/no_alloc.rs Cargo.toml
+
+crates/obs/tests/no_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

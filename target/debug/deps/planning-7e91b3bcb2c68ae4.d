@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planning-7e91b3bcb2c68ae4.d: tests/planning.rs
+
+/root/repo/target/debug/deps/planning-7e91b3bcb2c68ae4: tests/planning.rs
+
+tests/planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planning-c9cd1729ffc608de.d: tests/planning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanning-c9cd1729ffc608de.rmeta: tests/planning.rs Cargo.toml
+
+tests/planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4adb5ec67a31ccba.d: crates/nmea/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4adb5ec67a31ccba: crates/nmea/tests/properties.rs
+
+crates/nmea/tests/properties.rs:

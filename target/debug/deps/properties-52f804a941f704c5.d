@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-52f804a941f704c5.d: crates/nmea/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-52f804a941f704c5.rmeta: crates/nmea/tests/properties.rs Cargo.toml
+
+crates/nmea/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

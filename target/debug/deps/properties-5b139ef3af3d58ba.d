@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5b139ef3af3d58ba.d: crates/gps/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5b139ef3af3d58ba: crates/gps/tests/properties.rs
+
+crates/gps/tests/properties.rs:

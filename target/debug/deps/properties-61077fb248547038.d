@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-61077fb248547038.d: crates/tee/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-61077fb248547038: crates/tee/tests/properties.rs
+
+crates/tee/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6545fe7e8c3fc598.d: crates/gps/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6545fe7e8c3fc598.rmeta: crates/gps/tests/properties.rs Cargo.toml
+
+crates/gps/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

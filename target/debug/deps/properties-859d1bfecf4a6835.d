@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-859d1bfecf4a6835.d: crates/crypto/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-859d1bfecf4a6835.rmeta: crates/crypto/tests/properties.rs Cargo.toml
+
+crates/crypto/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

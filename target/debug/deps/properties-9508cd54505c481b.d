@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9508cd54505c481b.d: crates/crypto/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9508cd54505c481b: crates/crypto/tests/properties.rs
+
+crates/crypto/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a0d127491e939ab9.d: crates/geo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a0d127491e939ab9: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

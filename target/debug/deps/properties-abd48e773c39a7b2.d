@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-abd48e773c39a7b2.d: crates/tee/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-abd48e773c39a7b2.rmeta: crates/tee/tests/properties.rs Cargo.toml
+
+crates/tee/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cfdbf3d9653f9893.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cfdbf3d9653f9893: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

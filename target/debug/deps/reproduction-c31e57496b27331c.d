@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-c31e57496b27331c.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-c31e57496b27331c: tests/reproduction.rs
+
+tests/reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/airport_scenario-1cf9cdfc3779dee6.d: examples/airport_scenario.rs
+
+/root/repo/target/debug/examples/airport_scenario-1cf9cdfc3779dee6: examples/airport_scenario.rs
+
+examples/airport_scenario.rs:

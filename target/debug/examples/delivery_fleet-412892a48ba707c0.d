@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/delivery_fleet-412892a48ba707c0.d: examples/delivery_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdelivery_fleet-412892a48ba707c0.rmeta: examples/delivery_fleet.rs Cargo.toml
+
+examples/delivery_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delivery_fleet-8d0fda29afa3555e.d: examples/delivery_fleet.rs
+
+/root/repo/target/debug/examples/delivery_fleet-8d0fda29afa3555e: examples/delivery_fleet.rs
+
+examples/delivery_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dishonest_operator-5f623719d3faa643.d: examples/dishonest_operator.rs
+
+/root/repo/target/debug/examples/dishonest_operator-5f623719d3faa643: examples/dishonest_operator.rs
+
+examples/dishonest_operator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dishonest_operator-928c42cc3e104ef5.d: examples/dishonest_operator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdishonest_operator-928c42cc3e104ef5.rmeta: examples/dishonest_operator.rs Cargo.toml
+
+examples/dishonest_operator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

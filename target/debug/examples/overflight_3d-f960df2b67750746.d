@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overflight_3d-f960df2b67750746.d: examples/overflight_3d.rs
+
+/root/repo/target/debug/examples/overflight_3d-f960df2b67750746: examples/overflight_3d.rs
+
+examples/overflight_3d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_preserving_audit-c564cf495c728d2a.d: examples/privacy_preserving_audit.rs
+
+/root/repo/target/debug/examples/privacy_preserving_audit-c564cf495c728d2a: examples/privacy_preserving_audit.rs
+
+examples/privacy_preserving_audit.rs:

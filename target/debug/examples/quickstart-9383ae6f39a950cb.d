@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9383ae6f39a950cb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9383ae6f39a950cb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/residential_scenario-462b5648e3831af9.d: examples/residential_scenario.rs
+
+/root/repo/target/debug/examples/residential_scenario-462b5648e3831af9: examples/residential_scenario.rs
+
+examples/residential_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/route_planning-49da43b42ffbff84.d: examples/route_planning.rs
+
+/root/repo/target/debug/examples/route_planning-49da43b42ffbff84: examples/route_planning.rs
+
+examples/route_planning.rs:

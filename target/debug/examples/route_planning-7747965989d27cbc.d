@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/route_planning-7747965989d27cbc.d: examples/route_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroute_planning-7747965989d27cbc.rmeta: examples/route_planning.rs Cargo.toml
+
+examples/route_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

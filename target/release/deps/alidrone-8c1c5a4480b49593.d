@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/alidrone-8c1c5a4480b49593.d: src/lib.rs
+
+/root/repo/target/release/deps/libalidrone-8c1c5a4480b49593.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libalidrone-8c1c5a4480b49593.rmeta: src/lib.rs
+
+src/lib.rs:

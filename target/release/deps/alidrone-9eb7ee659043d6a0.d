@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alidrone-9eb7ee659043d6a0.d: src/lib.rs
+
+/root/repo/target/release/deps/alidrone-9eb7ee659043d6a0: src/lib.rs
+
+src/lib.rs:

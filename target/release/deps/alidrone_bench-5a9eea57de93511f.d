@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/alidrone_bench-5a9eea57de93511f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libalidrone_bench-5a9eea57de93511f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libalidrone_bench-5a9eea57de93511f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

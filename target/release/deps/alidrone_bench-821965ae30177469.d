@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/alidrone_bench-821965ae30177469.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/alidrone_bench-821965ae30177469: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/alidrone_crypto-981a2977d9a30329.d: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libalidrone_crypto-981a2977d9a30329.rlib: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libalidrone_crypto-981a2977d9a30329.rmeta: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/bigint.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/dh.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/alidrone_geo-e307e07ea48ff177.d: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/nfz.rs crates/geo/src/point.rs crates/geo/src/projection.rs crates/geo/src/reachable.rs crates/geo/src/sample.rs crates/geo/src/units.rs crates/geo/src/planner.rs crates/geo/src/polygon.rs crates/geo/src/sufficiency.rs crates/geo/src/three_d.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/release/deps/alidrone_geo-e307e07ea48ff177: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/nfz.rs crates/geo/src/point.rs crates/geo/src/projection.rs crates/geo/src/reachable.rs crates/geo/src/sample.rs crates/geo/src/units.rs crates/geo/src/planner.rs crates/geo/src/polygon.rs crates/geo/src/sufficiency.rs crates/geo/src/three_d.rs crates/geo/src/trajectory.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/error.rs:
+crates/geo/src/nfz.rs:
+crates/geo/src/point.rs:
+crates/geo/src/projection.rs:
+crates/geo/src/reachable.rs:
+crates/geo/src/sample.rs:
+crates/geo/src/units.rs:
+crates/geo/src/planner.rs:
+crates/geo/src/polygon.rs:
+crates/geo/src/sufficiency.rs:
+crates/geo/src/three_d.rs:
+crates/geo/src/trajectory.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/alidrone_gps-3582fda143cd45be.d: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+/root/repo/target/release/deps/libalidrone_gps-3582fda143cd45be.rlib: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+/root/repo/target/release/deps/libalidrone_gps-3582fda143cd45be.rmeta: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+crates/gps/src/lib.rs:
+crates/gps/src/clock.rs:
+crates/gps/src/nmea_feed.rs:
+crates/gps/src/receiver.rs:
+crates/gps/src/receiver3d.rs:
+crates/gps/src/trace.rs:

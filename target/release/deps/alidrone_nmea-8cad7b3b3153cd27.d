@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/alidrone_nmea-8cad7b3b3153cd27.d: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs
+
+/root/repo/target/release/deps/alidrone_nmea-8cad7b3b3153cd27: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs
+
+crates/nmea/src/lib.rs:
+crates/nmea/src/coord.rs:
+crates/nmea/src/error.rs:
+crates/nmea/src/gga.rs:
+crates/nmea/src/gsa.rs:
+crates/nmea/src/rmc.rs:
+crates/nmea/src/sentence.rs:
+crates/nmea/src/vtg.rs:

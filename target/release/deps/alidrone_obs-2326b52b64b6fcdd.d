@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/alidrone_obs-2326b52b64b6fcdd.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/alidrone_obs-2326b52b64b6fcdd: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attacks-4c5f2778f6963923.d: tests/attacks.rs
+
+/root/repo/target/release/deps/attacks-4c5f2778f6963923: tests/attacks.rs
+
+tests/attacks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_crypto-aeeec594903e04bf.d: crates/bench/benches/bench_crypto.rs
+
+/root/repo/target/release/deps/bench_crypto-aeeec594903e04bf: crates/bench/benches/bench_crypto.rs
+
+crates/bench/benches/bench_crypto.rs:

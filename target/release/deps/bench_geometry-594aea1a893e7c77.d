@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_geometry-594aea1a893e7c77.d: crates/bench/benches/bench_geometry.rs
+
+/root/repo/target/release/deps/bench_geometry-594aea1a893e7c77: crates/bench/benches/bench_geometry.rs
+
+crates/bench/benches/bench_geometry.rs:

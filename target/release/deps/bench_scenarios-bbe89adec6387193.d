@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_scenarios-bbe89adec6387193.d: crates/bench/benches/bench_scenarios.rs
+
+/root/repo/target/release/deps/bench_scenarios-bbe89adec6387193: crates/bench/benches/bench_scenarios.rs
+
+crates/bench/benches/bench_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_tee-a9d41bc54a8db601.d: crates/bench/benches/bench_tee.rs
+
+/root/repo/target/release/deps/bench_tee-a9d41bc54a8db601: crates/bench/benches/bench_tee.rs
+
+crates/bench/benches/bench_tee.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_verify-0298e8526bf09d88.d: crates/bench/benches/bench_verify.rs
+
+/root/repo/target/release/deps/bench_verify-0298e8526bf09d88: crates/bench/benches/bench_verify.rs
+
+crates/bench/benches/bench_verify.rs:

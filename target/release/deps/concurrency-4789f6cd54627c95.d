@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-4789f6cd54627c95.d: crates/tee/tests/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-4789f6cd54627c95: crates/tee/tests/concurrency.rs
+
+crates/tee/tests/concurrency.rs:

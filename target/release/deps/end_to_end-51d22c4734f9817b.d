@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-51d22c4734f9817b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-51d22c4734f9817b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-281ee8ab31de18ff.d: crates/sim/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-281ee8ab31de18ff: crates/sim/src/bin/exp_ablation.rs
+
+crates/sim/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-f5a5146d67f34cd7.d: crates/sim/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-f5a5146d67f34cd7: crates/sim/src/bin/exp_ablation.rs
+
+crates/sim/src/bin/exp_ablation.rs:

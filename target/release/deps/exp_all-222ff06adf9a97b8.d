@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-222ff06adf9a97b8.d: crates/sim/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-222ff06adf9a97b8: crates/sim/src/bin/exp_all.rs
+
+crates/sim/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-67745ad4fefc5b90.d: crates/sim/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-67745ad4fefc5b90: crates/sim/src/bin/exp_all.rs
+
+crates/sim/src/bin/exp_all.rs:

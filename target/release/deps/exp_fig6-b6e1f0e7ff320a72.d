@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-b6e1f0e7ff320a72.d: crates/sim/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-b6e1f0e7ff320a72: crates/sim/src/bin/exp_fig6.rs
+
+crates/sim/src/bin/exp_fig6.rs:

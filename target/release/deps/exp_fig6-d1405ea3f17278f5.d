@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-d1405ea3f17278f5.d: crates/sim/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-d1405ea3f17278f5: crates/sim/src/bin/exp_fig6.rs
+
+crates/sim/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-6329586f60eda8ee.d: crates/sim/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-6329586f60eda8ee: crates/sim/src/bin/exp_fig7.rs
+
+crates/sim/src/bin/exp_fig7.rs:

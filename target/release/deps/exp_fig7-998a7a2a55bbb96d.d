@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-998a7a2a55bbb96d.d: crates/sim/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-998a7a2a55bbb96d: crates/sim/src/bin/exp_fig7.rs
+
+crates/sim/src/bin/exp_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-1b26aa21f4fc2dc2.d: crates/sim/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-1b26aa21f4fc2dc2: crates/sim/src/bin/exp_fig8.rs
+
+crates/sim/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-db0f3b08a48b4351.d: crates/sim/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-db0f3b08a48b4351: crates/sim/src/bin/exp_fig8.rs
+
+crates/sim/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-bf042ba077d59fa5.d: crates/sim/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-bf042ba077d59fa5: crates/sim/src/bin/exp_table2.rs
+
+crates/sim/src/bin/exp_table2.rs:

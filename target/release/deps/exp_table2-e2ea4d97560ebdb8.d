@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-e2ea4d97560ebdb8.d: crates/sim/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-e2ea4d97560ebdb8: crates/sim/src/bin/exp_table2.rs
+
+crates/sim/src/bin/exp_table2.rs:

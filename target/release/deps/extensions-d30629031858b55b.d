@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-d30629031858b55b.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-d30629031858b55b: tests/extensions.rs
+
+tests/extensions.rs:

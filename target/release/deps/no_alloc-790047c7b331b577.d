@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/no_alloc-790047c7b331b577.d: crates/obs/tests/no_alloc.rs
+
+/root/repo/target/release/deps/no_alloc-790047c7b331b577: crates/obs/tests/no_alloc.rs
+
+crates/obs/tests/no_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/planning-40f7c262fbbfc7d6.d: tests/planning.rs
+
+/root/repo/target/release/deps/planning-40f7c262fbbfc7d6: tests/planning.rs
+
+tests/planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-16b183116d3cea00.d: crates/geo/tests/properties.rs
+
+/root/repo/target/release/deps/properties-16b183116d3cea00: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-1f2a765b0117c1dd.d: crates/crypto/tests/properties.rs
+
+/root/repo/target/release/deps/properties-1f2a765b0117c1dd: crates/crypto/tests/properties.rs
+
+crates/crypto/tests/properties.rs:

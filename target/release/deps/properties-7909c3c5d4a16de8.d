@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7909c3c5d4a16de8.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-7909c3c5d4a16de8: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

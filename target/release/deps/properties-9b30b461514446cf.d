@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-9b30b461514446cf.d: crates/nmea/tests/properties.rs
+
+/root/repo/target/release/deps/properties-9b30b461514446cf: crates/nmea/tests/properties.rs
+
+crates/nmea/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a7b3f69f081169b0.d: crates/tee/tests/properties.rs
+
+/root/repo/target/release/deps/properties-a7b3f69f081169b0: crates/tee/tests/properties.rs
+
+crates/tee/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d15a74bd3836e285.d: crates/gps/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d15a74bd3836e285: crates/gps/tests/properties.rs
+
+crates/gps/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction-4a7e1e80f2abb0e1.d: tests/reproduction.rs
+
+/root/repo/target/release/deps/reproduction-4a7e1e80f2abb0e1: tests/reproduction.rs
+
+tests/reproduction.rs:

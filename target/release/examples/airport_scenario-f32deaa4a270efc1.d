@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/airport_scenario-f32deaa4a270efc1.d: examples/airport_scenario.rs
+
+/root/repo/target/release/examples/airport_scenario-f32deaa4a270efc1: examples/airport_scenario.rs
+
+examples/airport_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/delivery_fleet-a254809e725c7a10.d: examples/delivery_fleet.rs
+
+/root/repo/target/release/examples/delivery_fleet-a254809e725c7a10: examples/delivery_fleet.rs
+
+examples/delivery_fleet.rs:

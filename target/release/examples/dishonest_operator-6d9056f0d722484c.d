@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dishonest_operator-6d9056f0d722484c.d: examples/dishonest_operator.rs
+
+/root/repo/target/release/examples/dishonest_operator-6d9056f0d722484c: examples/dishonest_operator.rs
+
+examples/dishonest_operator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/overflight_3d-32374204bd92a8f5.d: examples/overflight_3d.rs
+
+/root/repo/target/release/examples/overflight_3d-32374204bd92a8f5: examples/overflight_3d.rs
+
+examples/overflight_3d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/privacy_preserving_audit-a3fdb01f9d67bc03.d: examples/privacy_preserving_audit.rs
+
+/root/repo/target/release/examples/privacy_preserving_audit-a3fdb01f9d67bc03: examples/privacy_preserving_audit.rs
+
+examples/privacy_preserving_audit.rs:

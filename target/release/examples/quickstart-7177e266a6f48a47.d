@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7177e266a6f48a47.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7177e266a6f48a47: examples/quickstart.rs
+
+examples/quickstart.rs:

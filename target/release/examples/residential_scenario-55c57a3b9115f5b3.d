@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/residential_scenario-55c57a3b9115f5b3.d: examples/residential_scenario.rs
+
+/root/repo/target/release/examples/residential_scenario-55c57a3b9115f5b3: examples/residential_scenario.rs
+
+examples/residential_scenario.rs:

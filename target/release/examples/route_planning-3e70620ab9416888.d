@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/route_planning-3e70620ab9416888.d: examples/route_planning.rs
+
+/root/repo/target/release/examples/route_planning-3e70620ab9416888: examples/route_planning.rs
+
+examples/route_planning.rs:

@@ -12,8 +12,7 @@ use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, Duration, GeoPoint, GpsSample, NoFlyZone, Speed, Timestamp};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::{CostModel, SecureWorldBuilder, SignedSample};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn key(seed: u64) -> RsaPrivateKey {
     use std::collections::HashMap;
@@ -23,7 +22,7 @@ fn key(seed: u64) -> RsaPrivateKey {
     let mut map = cache.lock().unwrap();
     map.entry(seed)
         .or_insert_with(|| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = XorShift64::seed_from_u64(seed);
             RsaPrivateKey::generate(512, &mut rng)
         })
         .clone()
@@ -49,7 +48,11 @@ fn fixture() -> Fixture {
         .build()
         .unwrap();
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_sign_key(key(50))
         .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -204,7 +207,11 @@ fn relayed_poa_from_other_drone_rejected() {
         .build()
         .unwrap();
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let other_world = SecureWorldBuilder::new()
         .with_sign_key(key(54))
         .with_gps_device(Box::new(Arc::clone(&receiver)))

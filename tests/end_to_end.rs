@@ -11,8 +11,7 @@ use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, Duration, GeoPoint, NoFlyZone, Speed, Timestamp};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::{CostModel, SecureWorldBuilder, TeeClient};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 /// Per-seed key cache: 512-bit keygen in debug builds is slow enough
 /// that regenerating per test would dominate the suite.
@@ -24,7 +23,7 @@ fn key(seed: u64) -> RsaPrivateKey {
     let mut map = cache.lock().unwrap();
     map.entry(seed)
         .or_insert_with(|| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = XorShift64::seed_from_u64(seed);
             RsaPrivateKey::generate(512, &mut rng)
         })
         .clone()
@@ -49,7 +48,11 @@ fn rig(route_dist_m: f64, tee_seed: u64) -> Rig {
         .unwrap();
     let flight_time = route.total_duration();
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_sign_key(key(tee_seed))
         .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -70,7 +73,7 @@ fn auditor() -> Auditor {
 
 #[test]
 fn honest_flight_full_protocol() {
-    let mut rng = StdRng::seed_from_u64(100);
+    let mut rng = XorShift64::seed_from_u64(100);
     let r = rig(900.0, 10);
     let mut auditor = auditor();
     let mut operator = DroneOperator::new(key(2), r.tee.clone());
@@ -122,7 +125,7 @@ fn honest_flight_full_protocol() {
 
 #[test]
 fn violating_flight_is_caught_and_accusation_upheld() {
-    let mut rng = StdRng::seed_from_u64(101);
+    let mut rng = XorShift64::seed_from_u64(101);
     let r = rig(900.0, 11);
     let mut auditor = auditor();
     let mut operator = DroneOperator::new(key(3), r.tee.clone());
@@ -161,7 +164,7 @@ fn violating_flight_is_caught_and_accusation_upheld() {
 
 #[test]
 fn multiple_drones_one_auditor() {
-    let mut rng = StdRng::seed_from_u64(102);
+    let mut rng = XorShift64::seed_from_u64(102);
     let mut auditor = auditor();
     auditor.register_zone(NoFlyZone::new(
         pad().destination(0.0, Distance::from_km(10.0)),
@@ -196,7 +199,7 @@ fn multiple_drones_one_auditor() {
 
 #[test]
 fn nonce_replay_rejected_across_flights() {
-    let mut rng = StdRng::seed_from_u64(103);
+    let mut rng = XorShift64::seed_from_u64(103);
     let r = rig(500.0, 12);
     let mut auditor = auditor();
     let mut operator = DroneOperator::new(key(4), r.tee.clone());
@@ -223,7 +226,7 @@ fn nonce_replay_rejected_across_flights() {
 
 #[test]
 fn poa_retention_expires() {
-    let mut rng = StdRng::seed_from_u64(104);
+    let mut rng = XorShift64::seed_from_u64(104);
     let r = rig(500.0, 13);
     let mut auditor = auditor();
     let mut operator = DroneOperator::new(key(5), r.tee.clone());
@@ -267,7 +270,11 @@ fn tee_cost_ledger_tracks_flight() {
         .build()
         .unwrap();
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_sign_key(key(14))
         .with_gps_device(Box::new(Arc::clone(&receiver)))

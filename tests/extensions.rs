@@ -5,21 +5,16 @@ use std::sync::{Arc, OnceLock};
 
 use alidrone::core::privacy::{check_sealed_accusation, PrivatePoa};
 use alidrone::core::symmetric::establish_flight_key;
-use alidrone::core::{
-    AccusationOutcome, Auditor, AuditorConfig, DroneOperator, SamplingStrategy,
-};
+use alidrone::core::{AccusationOutcome, Auditor, AuditorConfig, DroneOperator, SamplingStrategy};
 use alidrone::crypto::dh::DhGroup;
 use alidrone::crypto::rsa::RsaPrivateKey;
 use alidrone::geo::polygon::PolygonZone;
 use alidrone::geo::three_d::{CylinderZone, GpsSample3d, ReachableSet3d};
 use alidrone::geo::trajectory::TrajectoryBuilder;
-use alidrone::geo::{
-    Distance, Duration, GeoPoint, NoFlyZone, Speed, Timestamp, FAA_MAX_SPEED,
-};
+use alidrone::geo::{Distance, Duration, GeoPoint, NoFlyZone, Speed, Timestamp, FAA_MAX_SPEED};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::{CostModel, SecureWorldBuilder, GPS_SAMPLER_UUID};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn key(seed: u64) -> RsaPrivateKey {
     use std::collections::HashMap;
@@ -29,7 +24,7 @@ fn key(seed: u64) -> RsaPrivateKey {
     let mut map = cache.lock().unwrap();
     map.entry(seed)
         .or_insert_with(|| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = XorShift64::seed_from_u64(seed);
             RsaPrivateKey::generate(512, &mut rng)
         })
         .clone()
@@ -86,10 +81,18 @@ fn three_d_overflight_legal_but_low_pass_is_not() {
     let west = pad().destination(270.0, Distance::from_meters(50.0));
     let east = pad().destination(90.0, Distance::from_meters(50.0));
 
-    let high1 =
-        GpsSample3d::new(west, Distance::from_meters(200.0), Timestamp::from_secs(0.0)).unwrap();
-    let high2 =
-        GpsSample3d::new(east, Distance::from_meters(200.0), Timestamp::from_secs(3.0)).unwrap();
+    let high1 = GpsSample3d::new(
+        west,
+        Distance::from_meters(200.0),
+        Timestamp::from_secs(0.0),
+    )
+    .unwrap();
+    let high2 = GpsSample3d::new(
+        east,
+        Distance::from_meters(200.0),
+        Timestamp::from_secs(3.0),
+    )
+    .unwrap();
     let e = ReachableSet3d::from_samples(&high1, &high2, FAA_MAX_SPEED).unwrap();
     assert!(!e.intersects_zone(&zone), "high overflight must be clear");
 
@@ -103,7 +106,7 @@ fn three_d_overflight_legal_but_low_pass_is_not() {
 
 #[test]
 fn privacy_preserving_flow_end_to_end() {
-    let mut rng = StdRng::seed_from_u64(81);
+    let mut rng = XorShift64::seed_from_u64(81);
     // Fly past a zone, seal the PoA, settle an accusation with a
     // two-sample reveal.
     let end = pad().destination(90.0, Distance::from_km(1.0));
@@ -118,7 +121,11 @@ fn privacy_preserving_flow_end_to_end() {
         .build()
         .unwrap();
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_sign_key(key(82))
         .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -167,7 +174,7 @@ fn privacy_preserving_flow_end_to_end() {
 
 #[test]
 fn symmetric_flight_key_authenticates_trace() {
-    let mut rng = StdRng::seed_from_u64(84);
+    let mut rng = XorShift64::seed_from_u64(84);
     let (drone, auditor_side) = establish_flight_key(&DhGroup::test_512(), &mut rng).unwrap();
     // Authenticate a whole synthetic trace and verify every tag.
     for t in 0..50 {
@@ -194,7 +201,11 @@ fn batch_signing_amortises_to_one_signature() {
         .build()
         .unwrap();
     let clock = SimClock::new();
-    let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
     let world = SecureWorldBuilder::new()
         .with_sign_key(key(85))
         .with_gps_device(Box::new(Arc::clone(&receiver)))
@@ -301,16 +312,20 @@ fn exact_criterion_auditor_accepts_marginal_flights() {
     // Ablation: a trace that the paper criterion rejects but the exact
     // ellipse test accepts (zone beside the path at the margin).
     use alidrone::geo::sufficiency::Criterion;
-    let mut rng = StdRng::seed_from_u64(86);
+    let mut rng = XorShift64::seed_from_u64(86);
 
-    let run_with = |criterion: Criterion, rng: &mut StdRng| {
+    let run_with = |criterion: Criterion, rng: &mut XorShift64| {
         let end = pad().destination(90.0, Distance::from_meters(600.0));
         let route = TrajectoryBuilder::start_at(pad())
             .travel_to(end, Speed::from_mph(30.0))
             .build()
             .unwrap();
         let clock = SimClock::new();
-        let receiver = Arc::new(SimulatedReceiver::from_trajectory(route, clock.clone(), 5.0));
+        let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+            route,
+            clock.clone(),
+            5.0,
+        ));
         let world = SecureWorldBuilder::new()
             .with_sign_key(key(87))
             .with_gps_device(Box::new(Arc::clone(&receiver)))

@@ -12,8 +12,7 @@ use alidrone::geo::trajectory::TrajectoryBuilder;
 use alidrone::geo::{Distance, GeoPoint, NoFlyZone, Speed};
 use alidrone::gps::{SimClock, SimulatedReceiver};
 use alidrone::tee::{CostModel, SecureWorldBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use alidrone_crypto::rng::XorShift64;
 
 fn key(seed: u64) -> RsaPrivateKey {
     use std::collections::HashMap;
@@ -23,7 +22,7 @@ fn key(seed: u64) -> RsaPrivateKey {
     let mut map = cache.lock().unwrap();
     map.entry(seed)
         .or_insert_with(|| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = XorShift64::seed_from_u64(seed);
             RsaPrivateKey::generate(512, &mut rng)
         })
         .clone()
@@ -44,7 +43,7 @@ fn trajectory_from_route(route: &[GeoPoint]) -> alidrone::geo::trajectory::Traje
 
 #[test]
 fn planned_detour_flight_is_compliant_but_direct_is_not() {
-    let mut rng = StdRng::seed_from_u64(200);
+    let mut rng = XorShift64::seed_from_u64(200);
     let goal = pad().destination(90.0, Distance::from_km(1.0));
     // Zone dead on the direct path.
     let zone = NoFlyZone::new(
@@ -56,7 +55,7 @@ fn planned_detour_flight_is_compliant_but_direct_is_not() {
     auditor.register_zone(zone);
     let zones = auditor.zone_set();
 
-    let fly = |route: &[GeoPoint], tee_seed: u64, auditor: &mut Auditor, rng: &mut StdRng| {
+    let fly = |route: &[GeoPoint], tee_seed: u64, auditor: &mut Auditor, rng: &mut XorShift64| {
         let traj = trajectory_from_route(route);
         let flight_time = traj.total_duration();
         let clock = SimClock::new();
@@ -115,9 +114,11 @@ fn planned_detour_flight_is_compliant_but_direct_is_not() {
 fn nearest_zone_heuristic_fails_at_sharp_turns_pairwise_fixes_it() {
     let goal = pad().destination(90.0, Distance::from_km(2.0));
     let mut auditor = Auditor::new(AuditorConfig::default(), key(401));
-    for (east_m, north_m, r_m) in
-        [(600.0, 0.0, 70.0), (1_100.0, 60.0, 50.0), (1_500.0, -50.0, 60.0)]
-    {
+    for (east_m, north_m, r_m) in [
+        (600.0, 0.0, 70.0),
+        (1_100.0, 60.0, 50.0),
+        (1_500.0, -50.0, 60.0),
+    ] {
         auditor.register_zone(NoFlyZone::new(
             pad()
                 .destination(90.0, Distance::from_meters(east_m))
@@ -173,14 +174,17 @@ fn nearest_zone_heuristic_fails_at_sharp_turns_pairwise_fixes_it() {
 
 #[test]
 fn planner_threads_multiple_zones_and_adaptive_poa_verifies() {
-    let mut rng = StdRng::seed_from_u64(300);
+    let mut rng = XorShift64::seed_from_u64(300);
     let goal = pad().destination(90.0, Distance::from_km(2.0));
     let mut auditor = Auditor::new(AuditorConfig::default(), key(301));
     for i in 0..4 {
         auditor.register_zone(NoFlyZone::new(
             pad()
                 .destination(90.0, Distance::from_meters(400.0 + i as f64 * 400.0))
-                .destination(0.0, Distance::from_meters(if i % 2 == 0 { 40.0 } else { -40.0 })),
+                .destination(
+                    0.0,
+                    Distance::from_meters(if i % 2 == 0 { 40.0 } else { -40.0 }),
+                ),
             Distance::from_meters(50.0),
         ));
     }

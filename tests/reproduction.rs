@@ -22,10 +22,20 @@ fn airport_runs() -> &'static (ScenarioRun, ScenarioRun) {
     RUNS.get_or_init(|| {
         let s = airport();
         (
-            run_scenario(&s, SamplingStrategy::FixedRate(1.0), experiment_key(), CostModel::free())
-                .unwrap(),
-            run_scenario(&s, SamplingStrategy::Adaptive, experiment_key(), CostModel::free())
-                .unwrap(),
+            run_scenario(
+                &s,
+                SamplingStrategy::FixedRate(1.0),
+                experiment_key(),
+                CostModel::free(),
+            )
+            .unwrap(),
+            run_scenario(
+                &s,
+                SamplingStrategy::Adaptive,
+                experiment_key(),
+                CostModel::free(),
+            )
+            .unwrap(),
         )
     })
 }
@@ -65,7 +75,11 @@ fn fig6_adaptive_uses_order_of_magnitude_fewer() {
     let (fixed, adaptive) = airport_runs();
     let ratio = fixed.sample_count() as f64 / adaptive.sample_count() as f64;
     assert!(ratio > 20.0, "reduction only {ratio:.1}x");
-    assert!(adaptive.sample_count() < 35, "adaptive {}", adaptive.sample_count());
+    assert!(
+        adaptive.sample_count() < 35,
+        "adaptive {}",
+        adaptive.sample_count()
+    );
 }
 
 #[test]
@@ -100,8 +114,16 @@ fn fig8b_adaptive_rate_adapts_to_density() {
     let runs = residential_runs();
     let adaptive = &runs[3].1;
     let series = alidrone::sim::metrics::fig8b_series(&adaptive.record, 4.0);
-    let early: Vec<f64> = series.iter().filter(|p| p.t < 40.0).map(|p| p.value).collect();
-    let late: Vec<f64> = series.iter().filter(|p| p.t > 100.0).map(|p| p.value).collect();
+    let early: Vec<f64> = series
+        .iter()
+        .filter(|p| p.t < 40.0)
+        .map(|p| p.value)
+        .collect();
+    let late: Vec<f64> = series
+        .iter()
+        .filter(|p| p.t > 100.0)
+        .map(|p| p.value)
+        .collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     // Paper Fig. 8(b): below ~2 Hz in the sparse stretch, pushed toward
     // the hardware maximum among the dense houses.
@@ -153,9 +175,10 @@ fn fig8c_adaptive_single_insufficiency_is_the_dropout() {
 fn table2_fixed_rate_cells_match_paper() {
     let model = CostModel::raspberry_pi_3();
     for (bits, case, cpu, power) in paper_table2() {
-        let Some(rate) = case.strip_prefix("Fixed ").and_then(|r| {
-            r.strip_suffix(" Hz").and_then(|x| x.parse::<f64>().ok())
-        }) else {
+        let Some(rate) = case
+            .strip_prefix("Fixed ")
+            .and_then(|r| r.strip_suffix(" Hz").and_then(|x| x.parse::<f64>().ok()))
+        else {
             continue;
         };
         let row = fixed_rate_row(&model, bits, rate);
@@ -168,7 +191,10 @@ fn table2_fixed_rate_cells_match_paper() {
                 );
                 let pw = row.power_w.unwrap();
                 let ppw = power.unwrap();
-                assert!((pw - ppw).abs() < 0.005, "{bits}-bit {case}: {pw} W vs {ppw} W");
+                assert!(
+                    (pw - ppw).abs() < 0.005,
+                    "{bits}-bit {case}: {pw} W vs {ppw} W"
+                );
             }
             (p, m) => panic!("{bits}-bit {case}: feasibility mismatch {p:?} vs {m:?}"),
         }
@@ -205,8 +231,22 @@ fn table2_residential_cell_feasibility_pattern() {
         .iter()
         .map(|p| p.value)
         .fold(0.0f64, f64::max);
-    let r1024 = scenario_row(&model, 1024, "Residential", adaptive.sample_count(), s.duration, peak);
-    let r2048 = scenario_row(&model, 2048, "Residential", adaptive.sample_count(), s.duration, peak);
+    let r1024 = scenario_row(
+        &model,
+        1024,
+        "Residential",
+        adaptive.sample_count(),
+        s.duration,
+        peak,
+    );
+    let r2048 = scenario_row(
+        &model,
+        2048,
+        "Residential",
+        adaptive.sample_count(),
+        s.duration,
+        peak,
+    );
     assert!(!r1024.is_infeasible());
     assert!(r1024.cpu_pct.unwrap() < 6.0, "{:?}", r1024.cpu_pct);
     assert!(r2048.is_infeasible());
