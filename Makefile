@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy build test examples experiments
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke
 
-check: fmt clippy test
+check: fmt clippy doc test trace-smoke
 
 fmt:
 	$(CARGO) fmt --all -- --check
@@ -13,11 +13,17 @@ fmt:
 clippy:
 	$(CARGO) clippy --workspace --all-targets --offline -- -D warnings
 
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps --offline
+
 build:
 	$(CARGO) build --workspace --release --offline
 
 test:
 	$(CARGO) test --workspace --release --offline -q
+
+trace-smoke:
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_trace
 
 examples:
 	$(CARGO) build --release --offline --examples

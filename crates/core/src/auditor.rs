@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use alidrone_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use alidrone_geo::polygon::PolygonZone;
@@ -10,6 +11,7 @@ use alidrone_geo::{
     check_monotonic, Duration, GeoError, NoFlyZone, ReachableSet, Speed, Timestamp, ZoneSet,
     FAA_MAX_SPEED,
 };
+use alidrone_obs::{Histogram, Obs};
 
 use crate::messages::{Accusation, PoaSubmission, ZoneQuery, ZoneResponse};
 use crate::poa::{EncryptedPoa, ProofOfAlibi};
@@ -181,12 +183,25 @@ pub struct Auditor {
     stored: Vec<StoredPoa>,
     next_drone: u64,
     next_zone: u64,
+    obs: Obs,
+    verify_latency: Arc<Histogram>,
+    decrypt_latency: Arc<Histogram>,
 }
 
 impl Auditor {
     /// Creates an auditor with the given policy and its PoA-decryption
-    /// keypair.
+    /// keypair. Observability is a no-op; use
+    /// [`with_obs`](Self::with_obs) to trace and time verification.
     pub fn new(config: AuditorConfig, encryption_key: RsaPrivateKey) -> Self {
+        Auditor::with_obs(config, encryption_key, &Obs::noop())
+    }
+
+    /// Creates an auditor whose verification and decryption steps are
+    /// recorded as spans (and latency histograms) on `obs`. Spans open
+    /// under whatever span is current on the handle, so an
+    /// [`AuditorServer`](crate::wire::server::AuditorServer) sharing the handle
+    /// stitches `auditor.verify` under its own request span.
+    pub fn with_obs(config: AuditorConfig, encryption_key: RsaPrivateKey, obs: &Obs) -> Self {
         Auditor {
             config,
             encryption_key,
@@ -196,6 +211,9 @@ impl Auditor {
             stored: Vec::new(),
             next_drone: 1,
             next_zone: 1,
+            obs: obs.clone(),
+            verify_latency: obs.histogram("auditor.verify_latency_us"),
+            decrypt_latency: obs.histogram("auditor.decrypt_latency_us"),
         }
     }
 
@@ -306,11 +324,18 @@ impl Auditor {
         submission: &PoaSubmission,
         now: Timestamp,
     ) -> Result<VerificationReport, ProtocolError> {
-        let record = self
-            .drones
-            .get(&submission.drone_id)
-            .ok_or(ProtocolError::UnknownDrone(submission.drone_id))?;
+        let span = self
+            .obs
+            .enter_span_recording("auditor.verify", &self.verify_latency);
+        let record = match self.drones.get(&submission.drone_id) {
+            Some(record) => record,
+            None => {
+                drop(span);
+                return Err(ProtocolError::UnknownDrone(submission.drone_id));
+            }
+        };
         let report = self.verify_poa_inner(&submission.poa, record, submission);
+        drop(span);
         self.stored.push(StoredPoa {
             drone_id: submission.drone_id,
             window: (submission.window_start, submission.window_end),
@@ -337,7 +362,12 @@ impl Auditor {
         encrypted: &EncryptedPoa,
         now: Timestamp,
     ) -> Result<VerificationReport, ProtocolError> {
-        let poa = encrypted.decrypt(&self.encryption_key)?;
+        let span = self
+            .obs
+            .enter_span_recording("auditor.decrypt", &self.decrypt_latency);
+        let poa = encrypted.decrypt(&self.encryption_key);
+        drop(span);
+        let poa = poa?;
         self.verify_submission(
             &PoaSubmission {
                 drone_id,
@@ -677,6 +707,12 @@ impl Auditor {
         }
         r.finish()?;
 
+        // Observability handles are process-local, not durable state: a
+        // restored auditor starts with a no-op handle (re-attach via
+        // `with_obs` at construction of the replacement process).
+        let obs = Obs::noop();
+        let verify_latency = obs.histogram("auditor.verify_latency_us");
+        let decrypt_latency = obs.histogram("auditor.decrypt_latency_us");
         Ok(Auditor {
             config,
             encryption_key,
@@ -686,6 +722,9 @@ impl Auditor {
             stored,
             next_drone,
             next_zone,
+            obs,
+            verify_latency,
+            decrypt_latency,
         })
     }
 }

@@ -152,6 +152,10 @@ pub fn run_flight_with_obs(
         }
         let mut recorded = false;
         if is_new && policy.decide(&fix) == Decision::Sample {
+            // One traced span per authenticated sample: the TEE's
+            // `tee.sign` span opens on the same handle and nests under
+            // this one (see `Obs::enter_span`).
+            let span = obs.enter_span("drone.sample");
             match session.get_gps_auth() {
                 Ok(signed) => {
                     policy.on_recorded(signed.sample());
@@ -159,8 +163,12 @@ pub fn run_flight_with_obs(
                     recorded = true;
                 }
                 Err(alidrone_tee::TeeError::NoData) => {}
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    span.cancel();
+                    return Err(e.into());
+                }
             }
+            drop(span);
         }
         events.push(SampleEvent {
             time: clock.now(),
@@ -174,6 +182,7 @@ pub fn run_flight_with_obs(
     let window_end = clock.now();
     let need_final = poa.last_time().is_none_or(|t| t.secs() < window_end.secs());
     if need_final {
+        let _span = obs.enter_span("drone.sample");
         if let Ok(signed) = session.get_gps_auth() {
             if poa
                 .last_time()

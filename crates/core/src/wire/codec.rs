@@ -41,6 +41,12 @@ impl Writer {
         self
     }
 
+    /// Appends a big-endian `u128` (trace ids in the frame envelope).
+    pub fn put_u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
     /// Appends a big-endian IEEE-754 `f64`.
     pub fn put_f64(&mut self, v: f64) -> &mut Self {
         self.buf.extend_from_slice(&v.to_be_bytes());
@@ -122,6 +128,12 @@ impl<'a> Reader<'a> {
         Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
     }
 
+    /// Reads a big-endian `u128`.
+    #[allow(missing_docs)]
+    pub fn get_u128(&mut self) -> Result<u128, ProtocolError> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().expect("16")))
+    }
+
     /// Reads a big-endian `f64`, rejecting NaN (no protocol field is
     /// allowed to be NaN).
     #[allow(missing_docs)]
@@ -168,6 +180,7 @@ mod tests {
         w.put_u8(7)
             .put_u32(0xDEAD_BEEF)
             .put_u64(u64::MAX)
+            .put_u128(u128::MAX - 1)
             .put_f64(-1.5)
             .put_bytes(b"abc")
             .put_str("hello");
@@ -176,6 +189,7 @@ mod tests {
         assert_eq!(r.get_u8().unwrap(), 7);
         assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX - 1);
         assert_eq!(r.get_f64().unwrap(), -1.5);
         assert_eq!(r.get_bytes().unwrap(), b"abc");
         assert_eq!(r.get_str().unwrap(), "hello");

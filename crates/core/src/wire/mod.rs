@@ -6,6 +6,24 @@
 //! length-prefixed binary codec ([`codec`]), a server loop
 //! ([`AuditorServer`](crate::wire::server::AuditorServer)) and a typed
 //! client over any [`Transport`](crate::wire::transport::Transport).
+//!
+//! # Trace envelope
+//!
+//! Request frames may be wrapped in an optional, backward-compatible
+//! envelope that carries distributed-tracing context:
+//!
+//! ```text
+//! +------+---------+-------------------+-------------+------------------+
+//! | 0xE7 | version | trace_id (16, BE) | span_id (8) | request payload… |
+//! +------+---------+-------------------+-------------+------------------+
+//! ```
+//!
+//! The magic byte `0xE7` can never begin a bare request (tags are 1–6),
+//! so [`split_envelope`] distinguishes the two by the first byte: bare
+//! frames pass through untouched and old clients keep working, while
+//! enveloped frames stitch the client's span into the server's trace.
+//! A frame that *starts* like an envelope but is truncated or carries
+//! an unknown version is malformed — never a panic.
 
 pub mod codec;
 pub mod server;
@@ -133,6 +151,109 @@ impl ErrorCode {
             6 => ErrorCode::Internal,
             _ => return Err(ProtocolError::Malformed("error code")),
         })
+    }
+}
+
+// --------------------------------------------------------- trace envelope
+
+/// First byte of an enveloped frame. Deliberately outside the request
+/// tag space (1–6) so the envelope is detectable without ambiguity.
+pub const ENVELOPE_MAGIC: u8 = 0xE7;
+
+/// Current envelope layout version.
+pub const ENVELOPE_VERSION: u8 = 1;
+
+/// The trace context a frame envelope carries across the wire: which
+/// trace the request belongs to and which client-side span is its
+/// parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTraceContext {
+    /// The 128-bit trace id shared by every span of the causal chain.
+    pub trace_id: u128,
+    /// The client-side span that issued the request (the server's
+    /// remote parent).
+    pub span_id: u64,
+}
+
+/// Wraps a request payload in the trace envelope.
+pub fn encode_enveloped(ctx: WireTraceContext, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(ENVELOPE_MAGIC)
+        .put_u8(ENVELOPE_VERSION)
+        .put_u128(ctx.trace_id)
+        .put_u64(ctx.span_id);
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Splits an incoming frame into its optional trace context and the
+/// request payload.
+///
+/// Frames not starting with [`ENVELOPE_MAGIC`] are pre-envelope frames
+/// and pass through unchanged (`None` context) — backward compatibility
+/// is by construction, not by version negotiation.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] when a frame announces the
+/// envelope but is truncated or carries an unknown version.
+pub fn split_envelope(bytes: &[u8]) -> Result<(Option<WireTraceContext>, &[u8]), ProtocolError> {
+    match bytes.first() {
+        Some(&ENVELOPE_MAGIC) => {
+            let mut r = Reader::new(&bytes[1..]);
+            let version = r.get_u8()?;
+            if version != ENVELOPE_VERSION {
+                return Err(ProtocolError::Malformed("unsupported envelope version"));
+            }
+            let trace_id = r.get_u128()?;
+            let span_id = r.get_u64()?;
+            let header = 1 + 1 + 16 + 8;
+            Ok((
+                Some(WireTraceContext { trace_id, span_id }),
+                &bytes[header..],
+            ))
+        }
+        _ => Ok((None, bytes)),
+    }
+}
+
+// ----------------------------------------------------------- request kinds
+
+/// The wire-visible request kinds, indexed like the request tags minus
+/// one; used for per-kind metric and span names.
+pub const REQUEST_KINDS: [&str; 6] = [
+    "register_drone",
+    "register_zone",
+    "query_zones",
+    "submit_poa",
+    "submit_encrypted_poa",
+    "accuse",
+];
+
+pub(crate) fn request_kind_index(req: &Request) -> usize {
+    match req {
+        Request::RegisterDrone { .. } => 0,
+        Request::RegisterZone { .. } => 1,
+        Request::QueryZones(_) => 2,
+        Request::SubmitPoa { .. } => 3,
+        Request::SubmitEncryptedPoa { .. } => 4,
+        Request::Accuse(_) => 5,
+    }
+}
+
+/// The kind name for a request.
+pub fn request_kind(req: &Request) -> &'static str {
+    REQUEST_KINDS[request_kind_index(req)]
+}
+
+/// The kind name for a raw request tag byte (the first payload byte),
+/// `None` for unknown tags. Lets transports label frames without fully
+/// decoding them.
+pub fn request_kind_from_tag(tag: u8) -> Option<&'static str> {
+    match tag {
+        REQ_REGISTER_DRONE..=REQ_ACCUSE => Some(REQUEST_KINDS[(tag - 1) as usize]),
+        _ => None,
     }
 }
 
@@ -598,6 +719,69 @@ mod tests {
         let mut bytes = Request::RegisterZone { zone: zone() }.to_bytes();
         bytes.push(0);
         assert!(Request::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn envelope_round_trips_and_bare_frames_pass_through() {
+        let payload = Request::RegisterZone { zone: zone() }.to_bytes();
+        let ctx = WireTraceContext {
+            trace_id: 0x0123_4567_89AB_CDEF_0011_2233_4455_6677,
+            span_id: 0xFEED_F00D,
+        };
+        let framed = encode_enveloped(ctx, &payload);
+        assert_eq!(framed[0], ENVELOPE_MAGIC);
+        let (got_ctx, got_payload) = split_envelope(&framed).unwrap();
+        assert_eq!(got_ctx, Some(ctx));
+        assert_eq!(got_payload, &payload[..]);
+        // A bare frame passes through unchanged.
+        let (none_ctx, bare) = split_envelope(&payload).unwrap();
+        assert_eq!(none_ctx, None);
+        assert_eq!(bare, &payload[..]);
+    }
+
+    #[test]
+    fn truncated_envelope_is_malformed_not_a_panic() {
+        let framed = encode_enveloped(
+            WireTraceContext {
+                trace_id: 7,
+                span_id: 9,
+            },
+            &[],
+        );
+        for cut in 1..framed.len() {
+            assert!(split_envelope(&framed[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_envelope_version_rejected() {
+        let mut framed = encode_enveloped(
+            WireTraceContext {
+                trace_id: 1,
+                span_id: 2,
+            },
+            &[REQ_ACCUSE],
+        );
+        framed[1] = 99;
+        assert!(split_envelope(&framed).is_err());
+    }
+
+    #[test]
+    fn request_tags_never_collide_with_the_envelope_magic() {
+        for tag in [
+            REQ_REGISTER_DRONE,
+            REQ_REGISTER_ZONE,
+            REQ_QUERY_ZONES,
+            REQ_SUBMIT_POA,
+            REQ_SUBMIT_ENCRYPTED,
+            REQ_ACCUSE,
+        ] {
+            assert_ne!(tag, ENVELOPE_MAGIC);
+            assert!(request_kind_from_tag(tag).is_some());
+        }
+        assert_eq!(request_kind_from_tag(ENVELOPE_MAGIC), None);
+        assert_eq!(request_kind_from_tag(0), None);
+        assert_eq!(request_kind_from_tag(REQ_SUBMIT_POA), Some("submit_poa"));
     }
 
     #[test]

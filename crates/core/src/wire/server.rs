@@ -4,34 +4,25 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use alidrone_geo::Timestamp;
-use alidrone_obs::{Counter, Histogram, Level, Obs};
+use alidrone_obs::{Counter, FlightRecorder, Histogram, Level, Obs, RecorderDump};
 
 use crate::auditor::{AccusationOutcome, Auditor};
 use crate::messages::PoaSubmission;
 use crate::poa::ProofOfAlibi;
-use crate::wire::{ErrorCode, Request, Response};
+use crate::wire::{
+    request_kind_index, split_envelope, ErrorCode, Request, Response, REQUEST_KINDS,
+};
 use crate::ProtocolError;
 
-/// The wire-visible request kinds, for per-kind metric names.
-const REQUEST_KINDS: [&str; 6] = [
-    "register_drone",
-    "register_zone",
-    "query_zones",
-    "submit_poa",
-    "submit_encrypted_poa",
-    "accuse",
+/// Server-side span names, indexed like [`REQUEST_KINDS`].
+const SERVER_SPAN_NAMES: [&str; 6] = [
+    "server.register_drone",
+    "server.register_zone",
+    "server.query_zones",
+    "server.submit_poa",
+    "server.submit_encrypted_poa",
+    "server.accuse",
 ];
-
-fn request_kind_index(req: &Request) -> usize {
-    match req {
-        Request::RegisterDrone { .. } => 0,
-        Request::RegisterZone { .. } => 1,
-        Request::QueryZones(_) => 2,
-        Request::SubmitPoa { .. } => 3,
-        Request::SubmitEncryptedPoa { .. } => 4,
-        Request::Accuse(_) => 5,
-    }
-}
 
 /// The wire error codes, for per-code counter names. Indexed in the
 /// same order as [`error_code_index`].
@@ -93,6 +84,8 @@ pub struct AuditorServer {
     auditor: Auditor,
     obs: Obs,
     metrics: ServerMetrics,
+    recorder: Option<Arc<FlightRecorder>>,
+    last_crash_dump: Option<RecorderDump>,
 }
 
 impl AuditorServer {
@@ -108,7 +101,25 @@ impl AuditorServer {
             auditor,
             obs: obs.clone(),
             metrics: ServerMetrics::new(obs),
+            recorder: None,
+            last_crash_dump: None,
         }
+    }
+
+    /// Attaches a flight recorder (normally the same one installed as
+    /// the obs subscriber). With one attached, the server captures a
+    /// crash dump automatically on malformed frames and error
+    /// responses; the latest dump is kept in
+    /// [`last_crash_dump`](AuditorServer::last_crash_dump).
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The most recent automatic flight-recorder dump, if any protocol
+    /// failure has occurred since a recorder was attached.
+    pub fn last_crash_dump(&self) -> Option<&RecorderDump> {
+        self.last_crash_dump.as_ref()
     }
 
     /// Read access to the wrapped auditor (e.g. for inspection in tests).
@@ -123,13 +134,28 @@ impl AuditorServer {
 
     /// Handles one request frame. Never fails: malformed input or
     /// protocol errors become [`Response::Error`] frames.
+    ///
+    /// Frames may arrive bare or wrapped in the trace envelope (see
+    /// [`split_envelope`]); with an envelope, the per-request server
+    /// span joins the caller's trace as a child of the caller's span.
     pub fn handle(&mut self, request_bytes: &[u8], now: Timestamp) -> Vec<u8> {
         self.metrics.requests.inc();
         let t0 = Instant::now();
-        let response = match Request::from_bytes(request_bytes) {
-            Ok(req) => {
+        let decoded = split_envelope(request_bytes)
+            .and_then(|(trace, payload)| Request::from_bytes(payload).map(|req| (trace, req)));
+        let response = match decoded {
+            Ok((trace, req)) => {
                 let kind = request_kind_index(&req);
+                let span = match trace {
+                    Some(ctx) => self.obs.span_with_remote_parent(
+                        SERVER_SPAN_NAMES[kind],
+                        ctx.trace_id,
+                        ctx.span_id,
+                    ),
+                    None => self.obs.enter_span(SERVER_SPAN_NAMES[kind]),
+                };
                 let resp = self.dispatch(req, now);
+                span.finish();
                 self.metrics.latency[kind].record_micros(t0.elapsed().as_micros() as u64);
                 if let Response::Error { code, .. } = &resp {
                     let code = *code;
@@ -139,6 +165,7 @@ impl AuditorServer {
                             f.field("kind", REQUEST_KINDS[kind])
                                 .field("code", ERROR_CODES[error_code_index(code)]);
                         });
+                    self.capture_crash_dump("error_response");
                 }
                 resp
             }
@@ -153,6 +180,7 @@ impl AuditorServer {
                     .emit(Level::Warn, "wire.server", "malformed_frame", |f| {
                         f.field("frame_len", frame_len as u64);
                     });
+                self.capture_crash_dump("malformed_frame");
                 Response::Error {
                     code: ErrorCode::Malformed,
                     message: format!("malformed frame ({frame_len} bytes): {e}"),
@@ -160,6 +188,22 @@ impl AuditorServer {
             }
         };
         response.to_bytes()
+    }
+
+    /// Freezes the attached recorder into a crash dump (including the
+    /// event/span that triggered it, which the subscriber has already
+    /// seen by the time this runs).
+    fn capture_crash_dump(&mut self, reason: &'static str) {
+        if let Some(rec) = &self.recorder {
+            let dump = rec.dump();
+            self.obs
+                .emit(Level::Info, "wire.server", "flight_recorder_dump", |f| {
+                    f.field("reason", reason)
+                        .field("spans", dump.spans.len())
+                        .field("events", dump.events.len());
+                });
+            self.last_crash_dump = Some(dump);
+        }
     }
 
     fn dispatch(&mut self, req: Request, now: Timestamp) -> Response {
@@ -464,6 +508,100 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn enveloped_request_adopts_the_wire_trace() {
+        use crate::wire::{encode_enveloped, WireTraceContext};
+        use std::sync::Arc;
+
+        let obs = Obs::noop();
+        let recorder = Arc::new(FlightRecorder::new(16));
+        obs.set_subscriber(recorder.clone());
+        let mut s = AuditorServer::with_obs(
+            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
+            &obs,
+        );
+        let req = Request::RegisterDrone {
+            operator_public: operator_key().public_key().clone(),
+            tee_public: tee_key().public_key().clone(),
+        };
+        let ctx = WireTraceContext {
+            trace_id: 0xFACE,
+            span_id: 0xBEEF,
+        };
+        let frame = encode_enveloped(ctx, &req.to_bytes());
+        let resp = Response::from_bytes(&s.handle(&frame, now())).unwrap();
+        assert!(matches!(resp, Response::DroneRegistered(_)));
+        let spans = recorder.spans();
+        let server_span = spans
+            .iter()
+            .find(|sp| sp.name == "server.register_drone")
+            .expect("server span");
+        assert_eq!(server_span.context.trace_id, 0xFACE);
+        assert_eq!(server_span.context.parent_id, Some(0xBEEF));
+    }
+
+    #[test]
+    fn untraced_server_still_accepts_enveloped_frames() {
+        use crate::wire::{encode_enveloped, WireTraceContext};
+        let mut s = server();
+        let req = Request::RegisterDrone {
+            operator_public: operator_key().public_key().clone(),
+            tee_public: tee_key().public_key().clone(),
+        };
+        let ctx = WireTraceContext {
+            trace_id: 1,
+            span_id: 2,
+        };
+        let resp = Response::from_bytes(&s.handle(&encode_enveloped(ctx, &req.to_bytes()), now()))
+            .unwrap();
+        assert!(matches!(resp, Response::DroneRegistered(_)));
+    }
+
+    #[test]
+    fn malformed_frame_and_error_response_dump_the_recorder() {
+        use std::sync::Arc;
+
+        let obs = Obs::noop();
+        let recorder = Arc::new(FlightRecorder::new(32));
+        obs.set_subscriber(recorder.clone());
+        let mut s = AuditorServer::with_obs(
+            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
+            &obs,
+        )
+        .with_flight_recorder(recorder);
+        assert!(s.last_crash_dump().is_none());
+
+        // Build up some context first, then trip the malformed path.
+        let req = Request::RegisterDrone {
+            operator_public: operator_key().public_key().clone(),
+            tee_public: tee_key().public_key().clone(),
+        };
+        s.handle(&req.to_bytes(), now());
+        s.handle(&[0xFF, 0x01], now());
+        let dump = s.last_crash_dump().expect("malformed frame dumps");
+        assert!(!dump.is_empty());
+        assert!(dump
+            .spans
+            .iter()
+            .any(|sp| sp.name == "server.register_drone"));
+
+        // An error response (unknown drone) refreshes the dump.
+        let req = Request::SubmitPoa {
+            drone_id: DroneId::new(404),
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(1.0),
+            poa: ProofOfAlibi::new().to_bytes(),
+        };
+        s.handle(&req.to_bytes(), now());
+        let dump = s.last_crash_dump().expect("error response dumps");
+        assert!(dump.spans.iter().any(|sp| sp.name == "server.submit_poa"));
+        // The dump itself is reported as an event for live observers.
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.message == "flight_recorder_dump"));
     }
 
     #[test]

@@ -8,12 +8,45 @@
 use std::sync::Arc;
 
 use alidrone_geo::{GeoPoint, NoFlyZone, Timestamp};
-use alidrone_obs::{Counter, Level, Obs};
+use alidrone_obs::{Counter, Level, Obs, SpanContext};
 
 use crate::messages::{Accusation, ZoneQuery};
 use crate::wire::server::AuditorServer;
-use crate::wire::{Request, Response};
+use crate::wire::{
+    encode_enveloped, request_kind_from_tag, request_kind_index, split_envelope, Request, Response,
+    WireTraceContext,
+};
 use crate::{DroneId, ProtocolError, Verdict, ZoneId};
+
+/// Client-side span names, indexed like
+/// [`REQUEST_KINDS`](crate::wire::REQUEST_KINDS).
+const WIRE_SPAN_NAMES: [&str; 6] = [
+    "wire.register_drone",
+    "wire.register_zone",
+    "wire.query_zones",
+    "wire.submit_poa",
+    "wire.submit_encrypted_poa",
+    "wire.accuse",
+];
+
+/// Peeks at a (possibly enveloped) request frame: the request kind from
+/// its tag byte and the trace context, if present. Never fails —
+/// unintelligible frames report as `"unknown"` with no trace id —
+/// because fault injectors must be able to label whatever passes
+/// through them.
+fn peek_frame(request: &[u8]) -> (&'static str, Option<WireTraceContext>) {
+    match split_envelope(request) {
+        Ok((ctx, payload)) => (
+            payload
+                .first()
+                .copied()
+                .and_then(request_kind_from_tag)
+                .unwrap_or("unknown"),
+            ctx,
+        ),
+        Err(_) => ("unknown", None),
+    }
+}
 
 /// A request/response byte transport.
 pub trait Transport {
@@ -151,7 +184,13 @@ impl<T: Transport> Transport for Flaky<T> {
             let call = self.calls;
             self.obs
                 .emit(Level::Warn, "wire.transport", "request_dropped", |f| {
-                    f.field("call", call);
+                    // Tag the fault with what was lost, so injected
+                    // faults are attributable in the flight recorder.
+                    let (kind, trace) = peek_frame(request);
+                    f.field("call", call).field("kind", kind);
+                    if let Some(ctx) = trace {
+                        f.field("trace_id", format!("{:032x}", ctx.trace_id));
+                    }
                 });
             return Err(ProtocolError::Malformed("transport: request lost"));
         }
@@ -166,7 +205,11 @@ impl<T: Transport> Transport for Flaky<T> {
                 let call = self.calls;
                 self.obs
                     .emit(Level::Warn, "wire.transport", "response_corrupted", |f| {
-                        f.field("call", call);
+                        let (kind, trace) = peek_frame(request);
+                        f.field("call", call).field("kind", kind);
+                        if let Some(ctx) = trace {
+                            f.field("trace_id", format!("{:032x}", ctx.trace_id));
+                        }
                     });
             }
         }
@@ -175,15 +218,40 @@ impl<T: Transport> Transport for Flaky<T> {
 }
 
 /// A typed protocol client over any transport.
+///
+/// With an [`Obs`] handle attached (and a subscriber installed), every
+/// request opens a `wire.<kind>` span whose trace context rides the
+/// frame envelope to the server, stitching client and server spans
+/// into one trace. Without one, requests go out as bare pre-envelope
+/// frames.
 #[derive(Debug)]
 pub struct AuditorClient<T> {
     transport: T,
+    obs: Obs,
+    trace_parent: Option<SpanContext>,
 }
 
 impl<T: Transport> AuditorClient<T> {
-    /// Creates a client over `transport`.
+    /// Creates a client over `transport` (untraced).
     pub fn new(transport: T) -> Self {
-        AuditorClient { transport }
+        AuditorClient::with_obs(transport, &Obs::noop())
+    }
+
+    /// Creates a client whose wire spans flow into `obs`.
+    pub fn with_obs(transport: T, obs: &Obs) -> Self {
+        AuditorClient {
+            transport,
+            obs: obs.clone(),
+            trace_parent: None,
+        }
+    }
+
+    /// Parents subsequent wire spans under `parent` instead of the
+    /// handle's current span — e.g. under a completed flight span, so
+    /// a post-landing submission joins the flight's trace. `None`
+    /// restores automatic parenting.
+    pub fn set_trace_parent(&mut self, parent: Option<SpanContext>) {
+        self.trace_parent = parent;
     }
 
     /// The underlying transport (e.g. to reach the in-process server).
@@ -192,7 +260,26 @@ impl<T: Transport> AuditorClient<T> {
     }
 
     fn roundtrip(&mut self, req: &Request, now: Timestamp) -> Result<Response, ProtocolError> {
-        let bytes = self.transport.call(&req.to_bytes(), now)?;
+        let name = WIRE_SPAN_NAMES[request_kind_index(req)];
+        let span = match &self.trace_parent {
+            Some(parent) => self.obs.span_with_parent(name, Some(parent)),
+            None => self.obs.enter_span(name),
+        };
+        let payload = req.to_bytes();
+        let frame = match span.context() {
+            Some(ctx) => encode_enveloped(
+                WireTraceContext {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                },
+                &payload,
+            ),
+            None => payload,
+        };
+        // `span` stays live (and on the handle's span stack) until this
+        // function returns, so it covers transport, server handling on
+        // in-process transports, and response decoding.
+        let bytes = self.transport.call(&frame, now)?;
         let resp = Response::from_bytes(&bytes)?;
         if let Response::Error { code, .. } = &resp {
             // Map wire error codes back onto typed errors where callers
@@ -470,6 +557,103 @@ mod tests {
         assert!(snap.counter("transport.bytes_in") > 0);
         assert!(snap.counter("transport.bytes_out") > 0);
         assert_eq!(snap.counter("server.requests"), 2);
+    }
+
+    #[test]
+    fn traced_client_stitches_client_and_server_spans() {
+        use alidrone_obs::FlightRecorder;
+
+        let obs = Obs::noop();
+        let rec = Arc::new(FlightRecorder::new(64));
+        obs.set_subscriber(rec.clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let server = AuditorServer::with_obs(auditor, &obs);
+        let mut c = AuditorClient::with_obs(InProcess::with_obs(server, &obs), &obs);
+        c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
+
+        let spans = rec.spans();
+        let wire = spans
+            .iter()
+            .find(|s| s.name == "wire.register_zone")
+            .expect("client span");
+        let server_span = spans
+            .iter()
+            .find(|s| s.name == "server.register_zone")
+            .expect("server span");
+        assert_eq!(server_span.context.trace_id, wire.context.trace_id);
+        assert_eq!(server_span.context.parent_id, Some(wire.context.span_id));
+        assert_eq!(wire.context.parent_id, None);
+    }
+
+    #[test]
+    fn untraced_client_sends_bare_frames_the_server_accepts() {
+        // The server has tracing on; the client does not. Old-style
+        // bare frames must keep working and produce root server spans.
+        use alidrone_obs::FlightRecorder;
+
+        let obs = Obs::noop();
+        let rec = Arc::new(FlightRecorder::new(16));
+        obs.set_subscriber(rec.clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let server = AuditorServer::with_obs(auditor, &obs);
+        let mut c = AuditorClient::new(InProcess::new(server));
+        c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "server.register_zone");
+        assert_eq!(spans[0].context.parent_id, None);
+    }
+
+    #[test]
+    fn flaky_fault_events_carry_kind_and_trace_id() {
+        use alidrone_obs::RingBuffer;
+
+        let obs = Obs::noop();
+        let ring = Arc::new(RingBuffer::new(8));
+        obs.set_subscriber(ring.clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky =
+            Flaky::with_obs(InProcess::new(AuditorServer::new(auditor)), &obs).drop_every(1);
+        let mut c = AuditorClient::with_obs(flaky, &obs);
+        assert!(c
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .is_err());
+
+        let dropped = ring.events_where(|e| e.message == "request_dropped");
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(
+            dropped[0].field("kind").unwrap().as_str(),
+            Some("register_zone")
+        );
+        let trace_hex = dropped[0].field("trace_id").unwrap().as_str().unwrap();
+        assert_eq!(trace_hex.len(), 32);
+        assert!(trace_hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn flaky_corrupt_events_carry_kind() {
+        use alidrone_obs::RingBuffer;
+
+        let obs = Obs::noop();
+        let ring = Arc::new(RingBuffer::new(8));
+        obs.set_subscriber(ring.clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky =
+            Flaky::with_obs(InProcess::new(AuditorServer::new(auditor)), &obs).corrupt_every(1);
+        let mut c = AuditorClient::new(flaky);
+        assert!(c
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .is_err());
+        let corrupted = ring.events_where(|e| e.message == "response_corrupted");
+        assert_eq!(corrupted.len(), 1);
+        assert_eq!(
+            corrupted[0].field("kind").unwrap().as_str(),
+            Some("register_zone")
+        );
+        // Untraced client → bare frame → no trace id to attribute.
+        assert!(corrupted[0].field("trace_id").is_none());
     }
 
     #[test]

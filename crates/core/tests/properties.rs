@@ -15,7 +15,9 @@
 
 use std::sync::OnceLock;
 
-use alidrone_core::wire::{Request, Response};
+use alidrone_core::wire::{
+    encode_enveloped, split_envelope, Request, Response, WireTraceContext, ENVELOPE_MAGIC,
+};
 use alidrone_core::{
     Auditor, AuditorConfig, DroneId, PoaSubmission, ProofOfAlibi, Verdict, ZoneId,
 };
@@ -249,6 +251,80 @@ fn wire_verdict_round_trip() {
             let resp = Response::Verdict(v.clone());
             assert_eq!(Response::from_bytes(&resp.to_bytes()).unwrap(), resp);
         }
+    }
+}
+
+/// Backward compatibility of the trace envelope: every pre-envelope
+/// frame (any byte string not starting with the envelope magic — which
+/// includes every encoded request, whose tags live in 1..=6) passes
+/// through `split_envelope` byte-identically with no trace context.
+#[test]
+fn envelope_bare_frames_decode_identically() {
+    let mut rng = XorShift64::seed_from_u64(409);
+    for _ in 0..CASES * 4 {
+        let bytes = arb_bytes(&mut rng, 400);
+        if bytes.first() == Some(&ENVELOPE_MAGIC) {
+            continue; // enveloped by construction, covered below
+        }
+        let (ctx, payload) = split_envelope(&bytes).expect("bare frame must parse");
+        assert_eq!(ctx, None);
+        assert_eq!(payload, &bytes[..]);
+    }
+    // And specifically: every encoded request is such a frame.
+    let req = Request::SubmitPoa {
+        drone_id: DroneId::new(7),
+        window_start: Timestamp::from_secs(1.0),
+        window_end: Timestamp::from_secs(2.0),
+        poa: vec![1, 2, 3],
+    };
+    let bytes = req.to_bytes();
+    assert_ne!(bytes[0], ENVELOPE_MAGIC);
+    let (ctx, payload) = split_envelope(&bytes).unwrap();
+    assert_eq!(ctx, None);
+    assert_eq!(Request::from_bytes(payload).unwrap(), req);
+}
+
+/// The envelope round-trips arbitrary trace ids and payloads.
+#[test]
+fn envelope_round_trips_trace_ids() {
+    let mut rng = XorShift64::seed_from_u64(410);
+    for _ in 0..CASES * 2 {
+        let ctx = WireTraceContext {
+            trace_id: (rng.next_u64() as u128) << 64 | rng.next_u64() as u128,
+            span_id: rng.next_u64(),
+        };
+        let payload = arb_bytes(&mut rng, 200);
+        let frame = encode_enveloped(ctx, &payload);
+        let (got_ctx, got_payload) = split_envelope(&frame).expect("envelope must parse");
+        assert_eq!(got_ctx, Some(ctx));
+        assert_eq!(got_payload, &payload[..]);
+    }
+}
+
+/// Truncating an enveloped frame anywhere inside the header yields a
+/// clean `ProtocolError`, never a panic; arbitrary bytes after the
+/// magic never panic either.
+#[test]
+fn envelope_truncation_is_an_error_not_a_panic() {
+    let mut rng = XorShift64::seed_from_u64(411);
+    for _ in 0..CASES {
+        let ctx = WireTraceContext {
+            trace_id: (rng.next_u64() as u128) << 64 | rng.next_u64() as u128,
+            span_id: rng.next_u64(),
+        };
+        let frame = encode_enveloped(ctx, &arb_bytes(&mut rng, 50));
+        // Any cut inside the 26-byte header must fail cleanly.
+        for cut in 1..26.min(frame.len()) {
+            assert!(
+                split_envelope(&frame[..cut]).is_err(),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+    for _ in 0..CASES * 2 {
+        let mut bytes = arb_bytes(&mut rng, 60);
+        bytes.insert(0, ENVELOPE_MAGIC);
+        let _ = split_envelope(&bytes); // must not panic
     }
 }
 

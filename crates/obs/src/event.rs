@@ -8,10 +8,11 @@
 //! and never allocates.
 
 use crate::json::{Json, ToJson};
+use crate::span::SpanRecord;
 use alidrone_geo::Timestamp;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Event severity, lowest to highest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -202,10 +203,51 @@ impl FieldSet {
     }
 }
 
-/// Receives every emitted event.
+/// Receives every emitted event and completed traced span.
 pub trait Subscriber: Send + Sync {
     /// Called once per event, in emission order per thread.
     fn on_event(&self, event: &Event);
+
+    /// Called once per completed traced span (children before parents,
+    /// in completion order). Default is a no-op so event-only
+    /// subscribers like [`RingBuffer`] need no changes.
+    fn on_span(&self, _span: &SpanRecord) {}
+}
+
+/// Forwards every event and span to each of a list of subscribers, in
+/// order — the way to keep a [`RingBuffer`] *and* a
+/// [`FlightRecorder`](crate::FlightRecorder) on one handle.
+pub struct Fanout {
+    subscribers: Vec<Arc<dyn Subscriber>>,
+}
+
+impl Fanout {
+    /// A fanout over `subscribers` (delivery order = vec order).
+    pub fn new(subscribers: Vec<Arc<dyn Subscriber>>) -> Self {
+        Fanout { subscribers }
+    }
+}
+
+impl fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fanout")
+            .field("subscribers", &self.subscribers.len())
+            .finish()
+    }
+}
+
+impl Subscriber for Fanout {
+    fn on_event(&self, event: &Event) {
+        for sub in &self.subscribers {
+            sub.on_event(event);
+        }
+    }
+
+    fn on_span(&self, span: &SpanRecord) {
+        for sub in &self.subscribers {
+            sub.on_span(span);
+        }
+    }
 }
 
 /// A bounded in-memory subscriber: keeps the most recent `capacity`
@@ -327,6 +369,19 @@ mod tests {
             json.get("fields").unwrap().get("d1_m").unwrap().as_f64(),
             Some(321.0)
         );
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_subscriber() {
+        let a = Arc::new(RingBuffer::new(4));
+        let b = Arc::new(RingBuffer::new(4));
+        let fan = Fanout::new(vec![
+            a.clone() as Arc<dyn Subscriber>,
+            b.clone() as Arc<dyn Subscriber>,
+        ]);
+        fan.on_event(&ev("x", 0.0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Trace and metrics exporters: Chrome trace-event JSON and Prometheus
+//! text exposition.
+//!
+//! Both formats are emitted with the crate's hand-rolled tooling (no
+//! serde, no prometheus client — the build is offline):
+//!
+//! * [`chrome_trace`] renders completed spans and events as a Chrome
+//!   trace-event document (the JSON Array Format with a
+//!   `traceEvents` wrapper) that loads directly in Perfetto or
+//!   `chrome://tracing`: spans become `"ph": "X"` complete events with
+//!   microsecond `ts`/`dur`, events become `"ph": "i"` instants.
+//! * [`prometheus_text`] renders a [`MetricsSnapshot`] in the
+//!   Prometheus text exposition format, including cumulative
+//!   `_bucket{le="…"}` series reconstructed from the histograms'
+//!   power-of-two microsecond buckets.
+
+use crate::event::Event;
+use crate::json::{Json, ToJson};
+use crate::metrics::{bucket_upper_micros, MetricsSnapshot};
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Renders spans + events as a Chrome trace-event JSON document.
+///
+/// Each span becomes a complete (`"X"`) event: `ts` is its start and
+/// `dur` its duration, both in microseconds of the injected clock
+/// (simulated time in the experiments). The trace id picks the `tid`
+/// lane, so concurrent traces render side by side, and the full ids
+/// ride along in `args` as fixed-width hex strings (they do not fit
+/// JSON's f64 numbers). Events become instant (`"i"`) events on lane 0
+/// with their fields as `args`.
+pub fn chrome_trace(spans: &[SpanRecord], events: &[Event]) -> Json {
+    let mut entries: Vec<Json> = Vec::with_capacity(spans.len() + events.len());
+    for span in spans {
+        entries.push(Json::obj([
+            ("name", Json::str(span.name)),
+            ("cat", Json::str("span")),
+            ("ph", Json::str("X")),
+            ("ts", Json::Num(span.start.secs() * 1e6)),
+            ("dur", Json::Num(span.duration().secs().max(0.0) * 1e6)),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(trace_lane(span.context.trace_id) as f64)),
+            (
+                "args",
+                Json::obj([
+                    ("trace_id", Json::Str(span.context.trace_id_hex())),
+                    ("span_id", Json::Str(span.context.span_id_hex())),
+                    (
+                        "parent_id",
+                        match span.context.parent_id {
+                            Some(p) => Json::Str(format!("{p:016x}")),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
+        ]));
+    }
+    for event in events {
+        entries.push(Json::obj([
+            ("name", Json::str(event.message)),
+            ("cat", Json::str(event.target)),
+            ("ph", Json::str("i")),
+            ("ts", Json::Num(event.time.secs() * 1e6)),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(0.0)),
+            ("s", Json::str("g")),
+            (
+                "args",
+                Json::Obj(
+                    event
+                        .fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(entries)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+/// A stable small lane number for a trace, so Perfetto renders each
+/// trace's spans in their own row.
+fn trace_lane(trace_id: u128) -> u64 {
+    (trace_id as u64) % 1_000 + 1
+}
+
+/// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format.
+///
+/// Metric names are sanitised (`.` and other non-identifier bytes
+/// become `_`). Counters and gauges emit one sample each; histograms
+/// emit cumulative `_bucket{le="…"}` samples (bucket upper bounds in
+/// seconds, from the power-of-two microsecond buckets), `_sum`
+/// (seconds) and `_count`.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let prom = sanitize_metric_name(name);
+        let _ = writeln!(out, "# HELP {prom} Counter `{name}`.");
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let prom = sanitize_metric_name(name);
+        let _ = writeln!(out, "# HELP {prom} Gauge `{name}`.");
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let prom = sanitize_metric_name(name);
+        let _ = writeln!(out, "# HELP {prom} Histogram `{name}` (seconds).");
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        let mut cumulative = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            cumulative += n;
+            match bucket_upper_micros(i) {
+                Some(upper) => {
+                    let le = upper as f64 / 1e6;
+                    let _ = writeln!(out, "{prom}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{prom}_sum {}", h.sum_micros as f64 / 1e6);
+        let _ = writeln!(out, "{prom}_count {}", h.count);
+    }
+    out
+}
+
+/// Maps a registry name onto the Prometheus identifier charset
+/// (`[a-zA-Z0-9_:]`, not starting with a digit).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanContext;
+    use crate::{Level, Obs, Value};
+    use alidrone_geo::{Duration, Timestamp};
+    use std::collections::BTreeMap;
+
+    fn sample_span(name: &'static str, parent: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            name,
+            context: SpanContext {
+                trace_id: 0xDEAD_BEEF,
+                span_id: 42,
+                parent_id: parent,
+            },
+            start: Timestamp::from_secs(1.0),
+            end: Timestamp::from_secs(1.5),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let spans = vec![sample_span("root", None), sample_span("child", Some(42))];
+        let events = vec![Event {
+            time: Timestamp::from_secs(1.25),
+            level: Level::Warn,
+            target: "wire",
+            message: "request_dropped",
+            fields: vec![("call", Value::U64(3))],
+        }];
+        let doc = chrome_trace(&spans, &events);
+        let parsed = Json::parse(&doc.to_pretty()).unwrap();
+        let entries = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 3);
+        let root = &entries[0];
+        assert_eq!(root.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(root.get("ts").unwrap().as_f64(), Some(1_000_000.0));
+        assert_eq!(root.get("dur").unwrap().as_f64(), Some(500_000.0));
+        assert!(root
+            .get("args")
+            .unwrap()
+            .get("parent_id")
+            .unwrap()
+            .as_str()
+            .is_none());
+        let child = &entries[1];
+        assert_eq!(
+            child
+                .get("args")
+                .unwrap()
+                .get("parent_id")
+                .unwrap()
+                .as_str(),
+            Some("000000000000002a")
+        );
+        let instant = &entries[2];
+        assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(
+            instant.get("args").unwrap().get("call").unwrap().as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(
+            sanitize_metric_name("server.latency.submit_poa"),
+            "server_latency_submit_poa"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+    }
+
+    /// A minimal parser for the subset of the exposition format the
+    /// exporter emits, used to assert the export is lossless.
+    fn parse_prometheus(text: &str) -> BTreeMap<String, Vec<(String, f64)>> {
+        let mut families: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name_and_labels, value) = line.rsplit_once(' ').expect("sample line");
+            let value: f64 = value.parse().expect("float value");
+            let (base, label) = match name_and_labels.split_once('{') {
+                Some((base, rest)) => (base.to_string(), format!("{{{rest}")),
+                None => (name_and_labels.to_string(), String::new()),
+            };
+            families.entry(base).or_default().push((label, value));
+        }
+        families
+    }
+
+    #[test]
+    fn prometheus_round_trips_every_metric() {
+        let obs = Obs::noop();
+        obs.counter("server.requests").add(7);
+        obs.counter("tee.world_switches").add(28);
+        obs.gauge("inflight").set(-2);
+        let h = obs.histogram("server.latency.submit_poa");
+        h.record(Duration::from_millis(1.0));
+        h.record(Duration::from_millis(1.0));
+        h.record(Duration::from_millis(100.0));
+        let snapshot = obs.snapshot();
+
+        let text = prometheus_text(&snapshot);
+        let families = parse_prometheus(&text);
+
+        for (name, &v) in &snapshot.counters {
+            let samples = &families[&sanitize_metric_name(name)];
+            assert_eq!(samples, &vec![(String::new(), v as f64)], "{name}");
+        }
+        for (name, &v) in &snapshot.gauges {
+            let samples = &families[&sanitize_metric_name(name)];
+            assert_eq!(samples, &vec![(String::new(), v as f64)], "{name}");
+        }
+        for (name, h) in &snapshot.histograms {
+            let prom = sanitize_metric_name(name);
+            let count = families[&format!("{prom}_count")][0].1;
+            let sum = families[&format!("{prom}_sum")][0].1;
+            assert_eq!(count, h.count as f64);
+            assert!((sum - h.sum_micros as f64 / 1e6).abs() < 1e-9);
+            let buckets = &families[&format!("{prom}_bucket")];
+            assert_eq!(buckets.len(), h.buckets.len());
+            // The +Inf bucket is cumulative over everything.
+            let (last_label, last_value) = buckets.last().unwrap();
+            assert_eq!(last_label, "{le=\"+Inf\"}");
+            assert_eq!(*last_value, h.count as f64);
+            // Cumulative counts reconstruct the raw buckets exactly.
+            let mut prev = 0.0;
+            for ((_, cum), &raw) in buckets.iter().zip(h.buckets.iter()) {
+                assert_eq!(cum - prev, raw as f64);
+                prev = *cum;
+            }
+        }
+        // Nothing extra: every family maps back to a snapshot entry.
+        assert_eq!(
+            families.len(),
+            snapshot.counters.len() + snapshot.gauges.len() + 3 * snapshot.histograms.len()
+        );
+    }
+
+    #[test]
+    fn prometheus_bucket_bounds_are_seconds() {
+        let obs = Obs::noop();
+        obs.histogram("lat").record_micros(1);
+        let text = prometheus_text(&obs.snapshot());
+        // Bucket 0 upper bound: 1 µs = 1e-6 s.
+        assert!(text.contains("lat_bucket{le=\"0.000001\"} 0"), "{text}");
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_count 1"));
+    }
+}

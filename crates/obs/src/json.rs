@@ -561,7 +561,14 @@ mod tests {
     #[test]
     fn non_finite_numbers_serialise_as_null() {
         assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_compact(), "null");
         assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        // Nested and pretty-printed forms too: the null must be valid
+        // JSON wherever the number sits, so the output always re-parses.
+        let doc = Json::obj([("v", Json::Num(f64::NAN))]);
+        assert_eq!(doc.to_compact(), r#"{"v":null}"#);
+        let back = Json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(back.get("v"), Some(&Json::Null));
     }
 
     #[test]

@@ -55,25 +55,43 @@
 
 pub mod clock;
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 mod span;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use event::{Event, FieldSet, Level, RingBuffer, Subscriber, Value};
+pub use event::{Event, Fanout, FieldSet, Level, RingBuffer, Subscriber, Value};
+pub use export::{chrome_trace, prometheus_text};
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
-pub use span::Span;
+pub use recorder::{FlightRecorder, RecorderDump};
+pub use span::{Span, SpanContext, SpanRecord};
 
+use alidrone_crypto::rng::{Rng, XorShift64};
 use alidrone_geo::Timestamp;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default seed for the trace/span id stream. Deterministic on purpose:
+/// two runs of the same simulation produce the same ids, so traces can
+/// be diffed. Override per-handle with [`Obs::seed_trace_ids`].
+const DEFAULT_TRACE_SEED: u64 = 0xA11D_0E7A_CE1D_5EED;
 
 struct ObsInner {
     clock: Arc<dyn Clock>,
     registry: Registry,
     has_subscriber: AtomicBool,
     subscriber: Mutex<Option<Arc<dyn Subscriber>>>,
+    /// Deterministic id stream for traces and spans.
+    trace_ids: Mutex<XorShift64>,
+    /// Live traced spans, innermost last. New traced spans parent on
+    /// the top. The workspace drives one logical flow per handle
+    /// (simulation and request loops are synchronous), so a per-handle
+    /// stack is the honest model; a multi-threaded server would move
+    /// this to thread-local storage.
+    span_stack: Mutex<Vec<SpanContext>>,
 }
 
 /// The shared observability handle.
@@ -103,6 +121,8 @@ impl Obs {
                 registry: Registry::new(),
                 has_subscriber: AtomicBool::new(false),
                 subscriber: Mutex::new(None),
+                trace_ids: Mutex::new(XorShift64::seed_from_u64(DEFAULT_TRACE_SEED)),
+                span_stack: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -198,8 +218,138 @@ impl Obs {
     }
 
     /// Starts a [`Span`] that records into `histogram` when it ends.
+    ///
+    /// This is the untraced scope timer: no trace context, nothing
+    /// reported to the subscriber, no allocation on creation.
     pub fn span(&self, histogram: &Arc<Histogram>) -> Span {
         Span::new(self.clone(), Arc::clone(histogram))
+    }
+
+    /// Reseeds the deterministic trace/span id stream.
+    ///
+    /// Ids default to a fixed seed so repeated simulations produce
+    /// identical traces; inject a different seed to make independent
+    /// handles draw disjoint id streams.
+    pub fn seed_trace_ids(&self, seed: u64) {
+        *self.inner.trace_ids.lock().unwrap() = XorShift64::seed_from_u64(seed);
+    }
+
+    /// Starts a traced span named `name`, parented on the innermost
+    /// live traced span (or rooting a fresh trace when there is none).
+    ///
+    /// Tracing is subscriber-gated like [`emit`](Obs::emit): without a
+    /// subscriber this returns an untraced span — one atomic load, no
+    /// ids drawn, nothing reported — so the call is safe on hot paths.
+    pub fn enter_span(&self, name: &'static str) -> Span {
+        Span::build(self.clone(), name, None, self.make_context(None))
+    }
+
+    /// Like [`enter_span`](Obs::enter_span), but the elapsed time is
+    /// also recorded into `histogram` (even when tracing is disabled —
+    /// metrics always count).
+    pub fn enter_span_recording(&self, name: &'static str, histogram: &Arc<Histogram>) -> Span {
+        Span::build(
+            self.clone(),
+            name,
+            Some(Arc::clone(histogram)),
+            self.make_context(None),
+        )
+    }
+
+    /// Starts a traced span whose parent arrived from elsewhere — the
+    /// wire envelope's `(trace_id, span_id)` pair. The new span joins
+    /// that trace as a child of `parent_span_id` and becomes the
+    /// current parent for spans opened while it is live.
+    pub fn span_with_remote_parent(
+        &self,
+        name: &'static str,
+        trace_id: u128,
+        parent_span_id: u64,
+    ) -> Span {
+        Span::build(
+            self.clone(),
+            name,
+            None,
+            self.make_context(Some((trace_id, Some(parent_span_id)))),
+        )
+    }
+
+    /// Starts a traced span explicitly parented on `parent` (which may
+    /// be a span that has already finished — e.g. a wire submission
+    /// parented under the completed flight span). With `None` this is
+    /// [`enter_span`](Obs::enter_span).
+    pub fn span_with_parent(&self, name: &'static str, parent: Option<&SpanContext>) -> Span {
+        match parent {
+            Some(p) => self.span_with_remote_parent(name, p.trace_id, p.span_id),
+            None => self.enter_span(name),
+        }
+    }
+
+    /// The innermost live traced span, if any.
+    pub fn current_span(&self) -> Option<SpanContext> {
+        self.inner.span_stack.lock().unwrap().last().copied()
+    }
+
+    /// Builds and pushes a context for a new traced span, or returns
+    /// `None` (untraced) when no subscriber is installed. `explicit`
+    /// overrides the stack-derived parent with `(trace_id, parent_id)`.
+    fn make_context(&self, explicit: Option<(u128, Option<u64>)>) -> Option<SpanContext> {
+        if !self.enabled() {
+            return None;
+        }
+        let (trace_id, parent_id) = match explicit {
+            Some(pair) => pair,
+            None => match self.current_span() {
+                Some(parent) => (parent.trace_id, Some(parent.span_id)),
+                None => (self.next_trace_id(), None),
+            },
+        };
+        let ctx = SpanContext {
+            trace_id,
+            span_id: self.next_span_id(),
+            parent_id,
+        };
+        self.inner.span_stack.lock().unwrap().push(ctx);
+        Some(ctx)
+    }
+
+    fn next_span_id(&self) -> u64 {
+        let mut rng = self.inner.trace_ids.lock().unwrap();
+        loop {
+            let id = rng.next_u64();
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    fn next_trace_id(&self) -> u128 {
+        let mut rng = self.inner.trace_ids.lock().unwrap();
+        loop {
+            let id = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Removes a finished traced span from the live stack. Pops by id,
+    /// not position, so out-of-order drops cannot corrupt the stack.
+    pub(crate) fn exit_span(&self, ctx: SpanContext) {
+        let mut stack = self.inner.span_stack.lock().unwrap();
+        if let Some(pos) = stack.iter().rposition(|c| c.span_id == ctx.span_id) {
+            stack.remove(pos);
+        }
+    }
+
+    /// Hands a completed span to the subscriber, if one is installed.
+    pub(crate) fn deliver_span(&self, record: &SpanRecord) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(sub) = self.inner.subscriber.lock().unwrap().as_ref() {
+            sub.on_span(record);
+        }
     }
 }
 

@@ -94,6 +94,18 @@ fn bucket_index(micros: u64) -> usize {
     ((64 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
 
+/// The exclusive upper bound of bucket `i`, in microseconds — `None`
+/// for the final catch-all bucket (+∞). Bucket 0 is `[0, 1)` µs,
+/// bucket `i ≥ 1` is `[2^(i-1), 2^i)` µs. Exporters (Prometheus `le`
+/// labels) use this to reconstruct the bucket boundaries.
+pub fn bucket_upper_micros(i: usize) -> Option<u64> {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        None
+    } else {
+        Some(1u64 << i)
+    }
+}
+
 impl Histogram {
     /// Records one observation.
     ///
@@ -132,6 +144,7 @@ impl Histogram {
             p50_micros: q(0.50),
             p95_micros: q(0.95),
             p99_micros: q(0.99),
+            buckets,
         }
     }
 }
@@ -180,6 +193,10 @@ pub struct HistogramSnapshot {
     pub p95_micros: f64,
     /// Estimated 99th percentile, microseconds.
     pub p99_micros: f64,
+    /// Raw per-bucket counts (length [`HISTOGRAM_BUCKETS`]); bucket
+    /// boundaries come from [`bucket_upper_micros`]. Exporters need
+    /// the full distribution, not just the interpolated quantiles.
+    pub buckets: Vec<u64>,
 }
 
 impl HistogramSnapshot {

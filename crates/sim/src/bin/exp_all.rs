@@ -15,6 +15,7 @@ fn main() {
         "exp_fig8",
         "exp_table2",
         "exp_ablation",
+        "exp_trace",
     ] {
         let path = dir.join(name);
         println!("\n############ {name} ############\n");

@@ -1,0 +1,115 @@
+//! End-to-end PoA trace of the airport scenario: one adaptive flight on
+//! simulated time, its PoA submitted over the wire, everything stitched
+//! into a single trace (`flight` → `drone.sample` → `tee.sign`, then
+//! `wire.submit_poa` → `server.submit_poa` → `auditor.verify` parented
+//! under the same flight span).
+//!
+//! Dumps the trace as Chrome trace-event JSON (load it at
+//! <https://ui.perfetto.dev> or `chrome://tracing`) and the metrics
+//! registry as a Prometheus text exposition, then prints the span tree.
+//!
+//! Run with `cargo run -p alidrone-sim --release --bin exp_trace`.
+
+use alidrone_core::wire::server::AuditorServer;
+use alidrone_core::wire::transport::{AuditorClient, InProcess};
+use alidrone_core::{Auditor, AuditorConfig, SamplingStrategy};
+use alidrone_crypto::rng::XorShift64;
+use alidrone_crypto::rsa::RsaPrivateKey;
+use alidrone_geo::Timestamp;
+use alidrone_obs::export::{chrome_trace, prometheus_text};
+use alidrone_sim::export::{default_export_dir, write_json, write_text};
+use alidrone_sim::report::render_trace_tree;
+use alidrone_sim::runner::{experiment_key, run_scenario};
+use alidrone_sim::scenarios::airport;
+use alidrone_tee::CostModel;
+
+fn main() {
+    let scenario = airport();
+    println!(
+        "== exp_trace: one stitched PoA trace ({}) ==",
+        scenario.name
+    );
+
+    let run = run_scenario(
+        &scenario,
+        SamplingStrategy::Adaptive,
+        experiment_key(),
+        CostModel::raspberry_pi_3(),
+    )
+    .expect("adaptive run");
+    println!(
+        "flight: {} authenticated samples over {:.0} s",
+        run.sample_count(),
+        scenario.duration.secs()
+    );
+
+    // The server shares the run's obs handle and its flight recorder, so
+    // wire/server/auditor spans land in the same trace store as the
+    // flight's — and the client parents its wire spans under the
+    // completed flight span, stitching the submission into the flight's
+    // trace.
+    let obs = run.obs.clone();
+    let mut rng = XorShift64::seed_from_u64(0x7ACE);
+    let auditor_key = RsaPrivateKey::generate(512, &mut rng);
+    let operator_key = RsaPrivateKey::generate(512, &mut rng);
+    let auditor = Auditor::with_obs(AuditorConfig::default(), auditor_key, &obs);
+    let server = AuditorServer::with_obs(auditor, &obs).with_flight_recorder(run.recorder.clone());
+    let mut client = AuditorClient::with_obs(InProcess::with_obs(server, &obs), &obs);
+    client.set_trace_parent(run.flight_span);
+
+    let now = Timestamp::from_secs(scenario.duration.secs() + 60.0);
+    let drone = client
+        .register_drone(
+            operator_key.public_key().clone(),
+            run.tee.tee_public_key(),
+            now,
+        )
+        .expect("register drone");
+    for zone in scenario.zones.iter() {
+        client.register_zone(*zone, now).expect("register zone");
+    }
+    let verdict = client
+        .submit_poa(
+            drone,
+            (run.record.window_start, run.record.window_end),
+            &run.record.poa,
+            now,
+        )
+        .expect("submit poa");
+    println!("submission verdict: {verdict}");
+
+    // One garbage frame: the server dumps the flight recorder, showing
+    // the crash-forensics path.
+    let _ = client
+        .transport_mut()
+        .server_mut()
+        .handle(&[0xDE, 0xAD, 0xBE, 0xEF], now);
+    let dump = client
+        .transport_mut()
+        .server_mut()
+        .last_crash_dump()
+        .expect("malformed frame must dump the recorder");
+    println!(
+        "crash dump after garbage frame: {} spans, {} events",
+        dump.spans.len(),
+        dump.events.len()
+    );
+
+    let spans = run.recorder.spans();
+    let events = run.recorder.events();
+    println!("\n{}", render_trace_tree(&spans));
+
+    let dir = default_export_dir();
+    match write_json(&dir, "trace_airport", &chrome_trace(&spans, &events)) {
+        Ok(path) => println!("wrote {} (load in https://ui.perfetto.dev)", path.display()),
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
+    match write_text(
+        &dir,
+        "metrics_airport.prom",
+        &prometheus_text(&obs.snapshot()),
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("prometheus export failed: {e}"),
+    }
+}

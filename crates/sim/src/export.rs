@@ -90,6 +90,20 @@ pub fn write_json<T: ToJson + ?Sized>(dir: &Path, name: &str, payload: &T) -> io
     Ok(path)
 }
 
+/// Writes a plain-text payload under `dir/name` (the name carries its
+/// own extension — e.g. `metrics.prom` for a Prometheus exposition),
+/// creating the directory if needed. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_text(dir: &Path, name: &str, payload: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, payload)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +178,18 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(80.0)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_plain_text() {
+        let dir = tmpdir("text");
+        let path = write_text(&dir, "metrics.prom", "# TYPE x counter\nx 1\n").unwrap();
+        assert!(path.ends_with("metrics.prom"));
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "# TYPE x counter\nx 1\n"
         );
         fs::remove_dir_all(&dir).unwrap();
     }

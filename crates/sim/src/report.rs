@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use alidrone_obs::MetricsSnapshot;
+use alidrone_obs::{MetricsSnapshot, SpanRecord};
 
 /// Renders a fixed-width table: header row plus data rows.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -101,6 +101,79 @@ pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
         ));
     }
     out
+}
+
+/// Renders completed spans as one ASCII tree per trace, with per-span
+/// total and self time in milliseconds (self = total minus the children's
+/// totals, clamped at zero — a `finish_with` child can model more time
+/// than its parent's clock-measured extent).
+///
+/// Spans whose parent never completed (or was evicted from a bounded
+/// recorder) are promoted to roots, so a truncated dump still renders.
+pub fn render_trace_tree(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    // Group by trace, in order of each trace's first span.
+    let mut trace_order: Vec<u128> = Vec::new();
+    for s in spans {
+        if !trace_order.contains(&s.context.trace_id) {
+            trace_order.push(s.context.trace_id);
+        }
+    }
+    for (t, trace_id) in trace_order.iter().enumerate() {
+        if t > 0 {
+            out.push('\n');
+        }
+        let mut members: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.context.trace_id == *trace_id)
+            .collect();
+        members.sort_by(|a, b| a.start.secs().total_cmp(&b.start.secs()));
+        let ids: std::collections::BTreeSet<u64> =
+            members.iter().map(|s| s.context.span_id).collect();
+        let roots: Vec<&SpanRecord> = members
+            .iter()
+            .copied()
+            .filter(|s| s.context.parent_id.is_none_or(|p| !ids.contains(&p)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "trace {:032x} ({} span{})",
+            trace_id,
+            members.len(),
+            if members.len() == 1 { "" } else { "s" }
+        );
+        for (i, root) in roots.iter().enumerate() {
+            render_span_subtree(&mut out, root, &members, "", i + 1 == roots.len());
+        }
+    }
+    out
+}
+
+fn render_span_subtree(
+    out: &mut String,
+    span: &SpanRecord,
+    members: &[&SpanRecord],
+    prefix: &str,
+    last: bool,
+) {
+    let children: Vec<&SpanRecord> = members
+        .iter()
+        .copied()
+        .filter(|s| s.context.parent_id == Some(span.context.span_id))
+        .collect();
+    let total_ms = span.duration().secs() * 1e3;
+    let child_ms: f64 = children.iter().map(|c| c.duration().secs() * 1e3).sum();
+    let self_ms = (total_ms - child_ms).max(0.0);
+    let branch = if last { "└─ " } else { "├─ " };
+    let _ = writeln!(
+        out,
+        "{prefix}{branch}{} [{:016x}]  total {:.3} ms  self {:.3} ms",
+        span.name, span.context.span_id, total_ms, self_ms
+    );
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    for (i, child) in children.iter().enumerate() {
+        render_span_subtree(out, child, members, &child_prefix, i + 1 == children.len());
+    }
 }
 
 /// A coarse ASCII sparkline of a series (for eyeballing figure shapes in
@@ -322,6 +395,63 @@ mod tests {
             render_metrics(&alidrone_obs::MetricsSnapshot::default()),
             ""
         );
+    }
+
+    #[test]
+    fn trace_tree_nests_and_totals() {
+        use alidrone_geo::Timestamp;
+        use alidrone_obs::{SpanContext, SpanRecord};
+        let span = |name, span_id, parent_id, start: f64, end: f64| SpanRecord {
+            name,
+            context: SpanContext {
+                trace_id: 0xABC,
+                span_id,
+                parent_id,
+            },
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        };
+        let spans = vec![
+            span("tee.sign", 3, Some(2), 1.0, 1.2),
+            span("flight", 1, None, 0.0, 10.0),
+            span("drone.sample", 2, Some(1), 1.0, 1.5),
+        ];
+        let tree = render_trace_tree(&spans);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines[0], "trace 00000000000000000000000000000abc (3 spans)");
+        assert!(lines[1].contains("flight"), "{tree}");
+        assert!(lines[2].contains("drone.sample"), "{tree}");
+        assert!(lines[3].contains("tee.sign"), "{tree}");
+        // Indentation deepens down the chain.
+        let indent = |l: &str| l.find('─').unwrap();
+        assert!(indent(lines[2]) > indent(lines[1]), "{tree}");
+        assert!(indent(lines[3]) > indent(lines[2]), "{tree}");
+        // flight: total 10 s, self 10 - 0.5 = 9.5 s.
+        assert!(lines[1].contains("total 10000.000 ms"), "{tree}");
+        assert!(lines[1].contains("self 9500.000 ms"), "{tree}");
+        // drone.sample: total 0.5 s, self 0.5 - 0.2 = 0.3 s.
+        assert!(lines[2].contains("self 300.000 ms"), "{tree}");
+    }
+
+    #[test]
+    fn trace_tree_promotes_orphans_and_splits_traces() {
+        use alidrone_geo::Timestamp;
+        use alidrone_obs::{SpanContext, SpanRecord};
+        let span = |trace_id, span_id, parent_id| SpanRecord {
+            name: "s",
+            context: SpanContext {
+                trace_id,
+                span_id,
+                parent_id,
+            },
+            start: Timestamp::from_secs(0.0),
+            end: Timestamp::from_secs(1.0),
+        };
+        // Parent 99 never completed; span 2 must still render as a root.
+        let tree = render_trace_tree(&[span(1, 2, Some(99)), span(7, 3, None)]);
+        assert_eq!(tree.matches("trace ").count(), 2);
+        assert_eq!(tree.matches("└─ s").count(), 2);
+        assert_eq!(render_trace_tree(&[]), "");
     }
 
     #[test]

@@ -7,7 +7,9 @@ use alidrone_core::sampling::{self};
 use alidrone_core::{run_flight_with_obs, FlightRecord, ProtocolError, SamplingStrategy};
 use alidrone_crypto::rsa::RsaPrivateKey;
 use alidrone_gps::{SimClock, SimulatedReceiver};
-use alidrone_obs::{Event, MetricsSnapshot, Obs, RingBuffer};
+use alidrone_obs::{
+    Event, Fanout, FlightRecorder, MetricsSnapshot, Obs, RingBuffer, SpanContext, SpanRecord,
+};
 use alidrone_tee::{CostLedger, CostModel, SecureWorldBuilder, TeeClient, GPS_SAMPLER_UUID};
 
 use crate::scenarios::Scenario;
@@ -32,6 +34,10 @@ impl alidrone_obs::Clock for SimClockBridge {
 /// thousands; the ring keeps the most recent ones and counts drops).
 const EVENT_CAPACITY: usize = 4096;
 
+/// Completed spans retained by the run's flight recorder (a 1 Hz
+/// fixed-rate flight completes ~1300 sample/sign spans; keep them all).
+const SPAN_CAPACITY: usize = 8192;
+
 /// The output of one scenario execution.
 #[derive(Debug, Clone)]
 pub struct ScenarioRun {
@@ -49,12 +55,24 @@ pub struct ScenarioRun {
     /// histograms).
     pub metrics: MetricsSnapshot,
     /// Structured events captured during the flight, stamped in sim
-    /// time (most recent [`EVENT_CAPACITY`]).
+    /// time (most recent `EVENT_CAPACITY`).
     pub events: Vec<Event>,
     /// The live observability handle the run used. Share it with e.g.
-    /// an [`AuditorServer`](alidrone_core::wire::AuditorServer) to
-    /// accumulate wire metrics in the same registry, then re-snapshot.
+    /// an [`AuditorServer`](alidrone_core::wire::server::AuditorServer)
+    /// to accumulate wire metrics in the same registry, then
+    /// re-snapshot.
     pub obs: Obs,
+    /// The flight recorder that subscribed for the whole run; it stays
+    /// subscribed (through [`ScenarioRun::obs`]) so submission spans
+    /// recorded after the flight land in the same recorder.
+    pub recorder: Arc<FlightRecorder>,
+    /// Spans completed *during* the flight (the recorder keeps
+    /// accumulating afterwards; see [`ScenarioRun::recorder`]).
+    pub spans: Vec<SpanRecord>,
+    /// The root `flight` span's context, for parenting post-flight work
+    /// into the same trace via
+    /// [`AuditorClient::set_trace_parent`](alidrone_core::wire::transport::AuditorClient::set_trace_parent).
+    pub flight_span: Option<SpanContext>,
 }
 
 impl ScenarioRun {
@@ -84,7 +102,14 @@ pub fn run_scenario(
     let clock = SimClock::new();
     let obs = Obs::new(Arc::new(SimClockBridge(clock.clone())));
     let ring = Arc::new(RingBuffer::new(EVENT_CAPACITY));
-    obs.set_subscriber(ring.clone());
+    let recorder = Arc::new(FlightRecorder::with_capacities(
+        SPAN_CAPACITY,
+        EVENT_CAPACITY,
+    ));
+    obs.set_subscriber(Arc::new(Fanout::new(vec![
+        ring.clone() as Arc<dyn alidrone_obs::Subscriber>,
+        recorder.clone() as Arc<dyn alidrone_obs::Subscriber>,
+    ])));
 
     let mut receiver = SimulatedReceiver::from_trajectory(
         scenario.trajectory.clone(),
@@ -106,6 +131,11 @@ pub fn run_scenario(
     let ledger = world.ledger();
 
     let session = tee.open_session(GPS_SAMPLER_UUID)?;
+    // The root span of the run's trace: every `drone.sample` (and the
+    // `tee.sign` under it) nests here, and callers can parent
+    // post-flight submission spans to it via `flight_span`.
+    let flight_root = obs.enter_span("flight");
+    let flight_span = flight_root.context().copied();
     let record = run_flight_with_obs(
         &clock,
         receiver.as_ref(),
@@ -114,7 +144,9 @@ pub fn run_scenario(
         strategy,
         scenario.duration,
         &obs,
-    )?;
+    );
+    flight_root.finish();
+    let record = record?;
 
     let insufficient_pairs = alidrone_geo::sufficiency::count_insufficient_pairs(
         &record.poa.alibi(),
@@ -130,6 +162,9 @@ pub fn run_scenario(
         metrics: obs.snapshot(),
         events: ring.events(),
         obs,
+        spans: recorder.spans(),
+        recorder,
+        flight_span,
     })
 }
 

@@ -173,8 +173,16 @@ impl WorldInner {
 
     /// Signs on behalf of the GPS Sampler TA, with cost accounting.
     pub(crate) fn keystore_sign(&self, data: &[u8]) -> Result<Vec<u8>, TeeError> {
-        let sig = self.keystore.sign(data)?;
+        // The span's extent is the *modelled* signing cost, not host CPU
+        // time: the sim clock does not advance through `sign`, so the
+        // span is closed with `finish_with` at the cost model's duration
+        // (the cost histogram keeps sole ownership of the metric — the
+        // span only gives the trace view).
+        let span = self.obs.enter_span("tee.sign");
+        let sig = self.keystore.sign(data);
         let cost = self.cost_model.sign_cost(self.keystore.key_bits());
+        span.finish_with(cost);
+        let sig = sig?;
         self.ledger.record_signature(cost);
         self.metrics.signatures.inc();
         self.metrics.signatures_by_bits.inc();

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alidrone-5ab0e1a61a0fe16f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone-5ab0e1a61a0fe16f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

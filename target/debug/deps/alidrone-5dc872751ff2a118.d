@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/alidrone-5dc872751ff2a118.d: src/lib.rs
+
+/root/repo/target/debug/deps/libalidrone-5dc872751ff2a118.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libalidrone-5dc872751ff2a118.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/alidrone_core-6fb10cca8af92db1.d: crates/core/src/lib.rs crates/core/src/auditor.rs crates/core/src/error.rs crates/core/src/flight.rs crates/core/src/identity.rs crates/core/src/messages.rs crates/core/src/operator.rs crates/core/src/poa.rs crates/core/src/test_support.rs crates/core/src/zone_owner.rs crates/core/src/privacy.rs crates/core/src/sampling/mod.rs crates/core/src/sampling/adaptive.rs crates/core/src/sampling/fixed.rs crates/core/src/symmetric.rs crates/core/src/wire/mod.rs crates/core/src/wire/codec.rs crates/core/src/wire/server.rs crates/core/src/wire/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_core-6fb10cca8af92db1.rmeta: crates/core/src/lib.rs crates/core/src/auditor.rs crates/core/src/error.rs crates/core/src/flight.rs crates/core/src/identity.rs crates/core/src/messages.rs crates/core/src/operator.rs crates/core/src/poa.rs crates/core/src/test_support.rs crates/core/src/zone_owner.rs crates/core/src/privacy.rs crates/core/src/sampling/mod.rs crates/core/src/sampling/adaptive.rs crates/core/src/sampling/fixed.rs crates/core/src/symmetric.rs crates/core/src/wire/mod.rs crates/core/src/wire/codec.rs crates/core/src/wire/server.rs crates/core/src/wire/transport.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/auditor.rs:
+crates/core/src/error.rs:
+crates/core/src/flight.rs:
+crates/core/src/identity.rs:
+crates/core/src/messages.rs:
+crates/core/src/operator.rs:
+crates/core/src/poa.rs:
+crates/core/src/test_support.rs:
+crates/core/src/zone_owner.rs:
+crates/core/src/privacy.rs:
+crates/core/src/sampling/mod.rs:
+crates/core/src/sampling/adaptive.rs:
+crates/core/src/sampling/fixed.rs:
+crates/core/src/symmetric.rs:
+crates/core/src/wire/mod.rs:
+crates/core/src/wire/codec.rs:
+crates/core/src/wire/server.rs:
+crates/core/src/wire/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

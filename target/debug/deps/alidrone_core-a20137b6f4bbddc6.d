@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/alidrone_core-a20137b6f4bbddc6.d: crates/core/src/lib.rs crates/core/src/auditor.rs crates/core/src/error.rs crates/core/src/flight.rs crates/core/src/identity.rs crates/core/src/messages.rs crates/core/src/operator.rs crates/core/src/poa.rs crates/core/src/zone_owner.rs crates/core/src/privacy.rs crates/core/src/sampling/mod.rs crates/core/src/sampling/adaptive.rs crates/core/src/sampling/fixed.rs crates/core/src/symmetric.rs crates/core/src/wire/mod.rs crates/core/src/wire/codec.rs crates/core/src/wire/server.rs crates/core/src/wire/transport.rs
+
+/root/repo/target/debug/deps/libalidrone_core-a20137b6f4bbddc6.rlib: crates/core/src/lib.rs crates/core/src/auditor.rs crates/core/src/error.rs crates/core/src/flight.rs crates/core/src/identity.rs crates/core/src/messages.rs crates/core/src/operator.rs crates/core/src/poa.rs crates/core/src/zone_owner.rs crates/core/src/privacy.rs crates/core/src/sampling/mod.rs crates/core/src/sampling/adaptive.rs crates/core/src/sampling/fixed.rs crates/core/src/symmetric.rs crates/core/src/wire/mod.rs crates/core/src/wire/codec.rs crates/core/src/wire/server.rs crates/core/src/wire/transport.rs
+
+/root/repo/target/debug/deps/libalidrone_core-a20137b6f4bbddc6.rmeta: crates/core/src/lib.rs crates/core/src/auditor.rs crates/core/src/error.rs crates/core/src/flight.rs crates/core/src/identity.rs crates/core/src/messages.rs crates/core/src/operator.rs crates/core/src/poa.rs crates/core/src/zone_owner.rs crates/core/src/privacy.rs crates/core/src/sampling/mod.rs crates/core/src/sampling/adaptive.rs crates/core/src/sampling/fixed.rs crates/core/src/symmetric.rs crates/core/src/wire/mod.rs crates/core/src/wire/codec.rs crates/core/src/wire/server.rs crates/core/src/wire/transport.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auditor.rs:
+crates/core/src/error.rs:
+crates/core/src/flight.rs:
+crates/core/src/identity.rs:
+crates/core/src/messages.rs:
+crates/core/src/operator.rs:
+crates/core/src/poa.rs:
+crates/core/src/zone_owner.rs:
+crates/core/src/privacy.rs:
+crates/core/src/sampling/mod.rs:
+crates/core/src/sampling/adaptive.rs:
+crates/core/src/sampling/fixed.rs:
+crates/core/src/symmetric.rs:
+crates/core/src/wire/mod.rs:
+crates/core/src/wire/codec.rs:
+crates/core/src/wire/server.rs:
+crates/core/src/wire/transport.rs:

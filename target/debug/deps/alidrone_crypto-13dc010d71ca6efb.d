@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/alidrone_crypto-13dc010d71ca6efb.d: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libalidrone_crypto-13dc010d71ca6efb.rmeta: crates/crypto/src/lib.rs crates/crypto/src/bigint.rs crates/crypto/src/chacha20.rs crates/crypto/src/dh.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/prime.rs crates/crypto/src/rng.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/bigint.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/dh.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:

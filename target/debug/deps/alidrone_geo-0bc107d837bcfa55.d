@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/alidrone_geo-0bc107d837bcfa55.d: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/nfz.rs crates/geo/src/point.rs crates/geo/src/projection.rs crates/geo/src/reachable.rs crates/geo/src/sample.rs crates/geo/src/units.rs crates/geo/src/planner.rs crates/geo/src/polygon.rs crates/geo/src/sufficiency.rs crates/geo/src/three_d.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/debug/deps/libalidrone_geo-0bc107d837bcfa55.rmeta: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/nfz.rs crates/geo/src/point.rs crates/geo/src/projection.rs crates/geo/src/reachable.rs crates/geo/src/sample.rs crates/geo/src/units.rs crates/geo/src/planner.rs crates/geo/src/polygon.rs crates/geo/src/sufficiency.rs crates/geo/src/three_d.rs crates/geo/src/trajectory.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/error.rs:
+crates/geo/src/nfz.rs:
+crates/geo/src/point.rs:
+crates/geo/src/projection.rs:
+crates/geo/src/reachable.rs:
+crates/geo/src/sample.rs:
+crates/geo/src/units.rs:
+crates/geo/src/planner.rs:
+crates/geo/src/polygon.rs:
+crates/geo/src/sufficiency.rs:
+crates/geo/src/three_d.rs:
+crates/geo/src/trajectory.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/alidrone_gps-574d49ab5259f91c.d: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+/root/repo/target/debug/deps/libalidrone_gps-574d49ab5259f91c.rmeta: crates/gps/src/lib.rs crates/gps/src/clock.rs crates/gps/src/nmea_feed.rs crates/gps/src/receiver.rs crates/gps/src/receiver3d.rs crates/gps/src/trace.rs
+
+crates/gps/src/lib.rs:
+crates/gps/src/clock.rs:
+crates/gps/src/nmea_feed.rs:
+crates/gps/src/receiver.rs:
+crates/gps/src/receiver3d.rs:
+crates/gps/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/alidrone_nmea-09908ea55ecac49b.d: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs
+
+/root/repo/target/debug/deps/libalidrone_nmea-09908ea55ecac49b.rmeta: crates/nmea/src/lib.rs crates/nmea/src/coord.rs crates/nmea/src/error.rs crates/nmea/src/gga.rs crates/nmea/src/gsa.rs crates/nmea/src/rmc.rs crates/nmea/src/sentence.rs crates/nmea/src/vtg.rs
+
+crates/nmea/src/lib.rs:
+crates/nmea/src/coord.rs:
+crates/nmea/src/error.rs:
+crates/nmea/src/gga.rs:
+crates/nmea/src/gsa.rs:
+crates/nmea/src/rmc.rs:
+crates/nmea/src/sentence.rs:
+crates/nmea/src/vtg.rs:

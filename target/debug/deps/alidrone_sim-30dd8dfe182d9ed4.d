@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/alidrone_sim-30dd8dfe182d9ed4.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs
+
+/root/repo/target/debug/deps/libalidrone_sim-30dd8dfe182d9ed4.rlib: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs
+
+/root/repo/target/debug/deps/libalidrone_sim-30dd8dfe182d9ed4.rmeta: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/export.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/power.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenarios.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/alidrone_sim-3ae613c2f1d2de07.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs
+
+/root/repo/target/debug/deps/alidrone_sim-3ae613c2f1d2de07: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/export.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/power.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenarios.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/alidrone_sim-ad63a6496953b2d3.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_sim-ad63a6496953b2d3.rmeta: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/export.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/power.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/alidrone_tee-25be6ea9f3897d05.d: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/test_support.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+/root/repo/target/debug/deps/alidrone_tee-25be6ea9f3897d05: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/test_support.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+crates/tee/src/lib.rs:
+crates/tee/src/client.rs:
+crates/tee/src/cost.rs:
+crates/tee/src/error.rs:
+crates/tee/src/keystore.rs:
+crates/tee/src/sampler.rs:
+crates/tee/src/spoof.rs:
+crates/tee/src/storage.rs:
+crates/tee/src/test_support.rs:
+crates/tee/src/uuid.rs:
+crates/tee/src/world.rs:

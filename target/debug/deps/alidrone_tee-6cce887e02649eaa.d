@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/alidrone_tee-6cce887e02649eaa.d: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+/root/repo/target/debug/deps/libalidrone_tee-6cce887e02649eaa.rmeta: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+crates/tee/src/lib.rs:
+crates/tee/src/client.rs:
+crates/tee/src/cost.rs:
+crates/tee/src/error.rs:
+crates/tee/src/keystore.rs:
+crates/tee/src/sampler.rs:
+crates/tee/src/spoof.rs:
+crates/tee/src/storage.rs:
+crates/tee/src/uuid.rs:
+crates/tee/src/world.rs:

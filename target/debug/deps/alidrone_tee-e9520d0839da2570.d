@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/alidrone_tee-e9520d0839da2570.d: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/test_support.rs crates/tee/src/uuid.rs crates/tee/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalidrone_tee-e9520d0839da2570.rmeta: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/test_support.rs crates/tee/src/uuid.rs crates/tee/src/world.rs Cargo.toml
+
+crates/tee/src/lib.rs:
+crates/tee/src/client.rs:
+crates/tee/src/cost.rs:
+crates/tee/src/error.rs:
+crates/tee/src/keystore.rs:
+crates/tee/src/sampler.rs:
+crates/tee/src/spoof.rs:
+crates/tee/src/storage.rs:
+crates/tee/src/test_support.rs:
+crates/tee/src/uuid.rs:
+crates/tee/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-35ba4d5f23758b56.d: tests/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-35ba4d5f23758b56.rmeta: tests/attacks.rs Cargo.toml
+
+tests/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_crypto-c730838381562b89.d: crates/bench/benches/bench_crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_crypto-c730838381562b89.rmeta: crates/bench/benches/bench_crypto.rs Cargo.toml
+
+crates/bench/benches/bench_crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

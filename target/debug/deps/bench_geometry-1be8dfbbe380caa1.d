@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_geometry-1be8dfbbe380caa1.d: crates/bench/benches/bench_geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_geometry-1be8dfbbe380caa1.rmeta: crates/bench/benches/bench_geometry.rs Cargo.toml
+
+crates/bench/benches/bench_geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

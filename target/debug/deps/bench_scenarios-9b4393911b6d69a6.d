@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_scenarios-9b4393911b6d69a6.d: crates/bench/benches/bench_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_scenarios-9b4393911b6d69a6.rmeta: crates/bench/benches/bench_scenarios.rs Cargo.toml
+
+crates/bench/benches/bench_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_tee-cb87ae2442bb98d3.d: crates/bench/benches/bench_tee.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_tee-cb87ae2442bb98d3.rmeta: crates/bench/benches/bench_tee.rs Cargo.toml
+
+crates/bench/benches/bench_tee.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_verify-2c4db3efc750004d.d: crates/bench/benches/bench_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_verify-2c4db3efc750004d.rmeta: crates/bench/benches/bench_verify.rs Cargo.toml
+
+crates/bench/benches/bench_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-8ed0359df53b836f.d: crates/tee/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-8ed0359df53b836f.rmeta: crates/tee/tests/concurrency.rs Cargo.toml
+
+crates/tee/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-fd291a0514e782e6.d: crates/tee/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-fd291a0514e782e6: crates/tee/tests/concurrency.rs
+
+crates/tee/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-93dc1deb51dbf1e2.d: crates/sim/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-93dc1deb51dbf1e2: crates/sim/src/bin/exp_ablation.rs
+
+crates/sim/src/bin/exp_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation-d93a718eb2cae909.d: crates/sim/src/bin/exp_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation-d93a718eb2cae909.rmeta: crates/sim/src/bin/exp_ablation.rs Cargo.toml
+
+crates/sim/src/bin/exp_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

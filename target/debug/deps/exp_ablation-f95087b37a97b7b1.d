@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation-f95087b37a97b7b1.d: crates/sim/src/bin/exp_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation-f95087b37a97b7b1.rmeta: crates/sim/src/bin/exp_ablation.rs Cargo.toml
+
+crates/sim/src/bin/exp_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_all-9ba9ee96ce5d093e.d: crates/sim/src/bin/exp_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_all-9ba9ee96ce5d093e.rmeta: crates/sim/src/bin/exp_all.rs Cargo.toml
+
+crates/sim/src/bin/exp_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-d97370aa381b8a31.d: crates/sim/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-d97370aa381b8a31: crates/sim/src/bin/exp_all.rs
+
+crates/sim/src/bin/exp_all.rs:

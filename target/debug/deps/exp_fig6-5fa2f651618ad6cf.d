@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-5fa2f651618ad6cf.d: crates/sim/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-5fa2f651618ad6cf: crates/sim/src/bin/exp_fig6.rs
+
+crates/sim/src/bin/exp_fig6.rs:

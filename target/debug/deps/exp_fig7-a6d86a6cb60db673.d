@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-a6d86a6cb60db673.d: crates/sim/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-a6d86a6cb60db673: crates/sim/src/bin/exp_fig7.rs
+
+crates/sim/src/bin/exp_fig7.rs:

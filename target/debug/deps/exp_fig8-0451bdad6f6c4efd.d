@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-0451bdad6f6c4efd.d: crates/sim/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-0451bdad6f6c4efd: crates/sim/src/bin/exp_fig8.rs
+
+crates/sim/src/bin/exp_fig8.rs:

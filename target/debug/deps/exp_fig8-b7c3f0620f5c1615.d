@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig8-b7c3f0620f5c1615.d: crates/sim/src/bin/exp_fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig8-b7c3f0620f5c1615.rmeta: crates/sim/src/bin/exp_fig8.rs Cargo.toml
+
+crates/sim/src/bin/exp_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

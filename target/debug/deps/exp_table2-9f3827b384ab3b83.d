@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-9f3827b384ab3b83.d: crates/sim/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-9f3827b384ab3b83: crates/sim/src/bin/exp_table2.rs
+
+crates/sim/src/bin/exp_table2.rs:

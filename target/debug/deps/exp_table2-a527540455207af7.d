@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table2-a527540455207af7.d: crates/sim/src/bin/exp_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table2-a527540455207af7.rmeta: crates/sim/src/bin/exp_table2.rs Cargo.toml
+
+crates/sim/src/bin/exp_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

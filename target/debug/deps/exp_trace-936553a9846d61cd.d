@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_trace-936553a9846d61cd.d: crates/sim/src/bin/exp_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_trace-936553a9846d61cd.rmeta: crates/sim/src/bin/exp_trace.rs Cargo.toml
+
+crates/sim/src/bin/exp_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

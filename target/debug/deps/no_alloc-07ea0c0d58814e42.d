@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_alloc-07ea0c0d58814e42.d: crates/obs/tests/no_alloc.rs
+
+/root/repo/target/debug/deps/no_alloc-07ea0c0d58814e42: crates/obs/tests/no_alloc.rs
+
+crates/obs/tests/no_alloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/no_alloc-e5edea57af88555d.d: crates/obs/tests/no_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libno_alloc-e5edea57af88555d.rmeta: crates/obs/tests/no_alloc.rs Cargo.toml
+
+crates/obs/tests/no_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

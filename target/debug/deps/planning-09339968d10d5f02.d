@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planning-09339968d10d5f02.d: tests/planning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanning-09339968d10d5f02.rmeta: tests/planning.rs Cargo.toml
+
+tests/planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

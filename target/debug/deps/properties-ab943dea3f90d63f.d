@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ab943dea3f90d63f.d: crates/tee/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ab943dea3f90d63f: crates/tee/tests/properties.rs
+
+crates/tee/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ba6933dffb85dc2d.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ba6933dffb85dc2d.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bb64f62a6f823408.d: crates/tee/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bb64f62a6f823408.rmeta: crates/tee/tests/properties.rs Cargo.toml
+
+crates/tee/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

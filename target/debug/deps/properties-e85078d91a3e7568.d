@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e85078d91a3e7568.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e85078d91a3e7568: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

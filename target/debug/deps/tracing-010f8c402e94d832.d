@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracing-010f8c402e94d832.d: tests/tracing.rs
+
+/root/repo/target/debug/deps/tracing-010f8c402e94d832: tests/tracing.rs
+
+tests/tracing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracing-ecd2d2bf640327e4.d: tests/tracing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracing-ecd2d2bf640327e4.rmeta: tests/tracing.rs Cargo.toml
+
+tests/tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/airport_scenario-8c46f1092a23a7b4.d: examples/airport_scenario.rs Cargo.toml
+
+/root/repo/target/debug/examples/libairport_scenario-8c46f1092a23a7b4.rmeta: examples/airport_scenario.rs Cargo.toml
+
+examples/airport_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/delivery_fleet-8e7f3b7c4d76135d.d: examples/delivery_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdelivery_fleet-8e7f3b7c4d76135d.rmeta: examples/delivery_fleet.rs Cargo.toml
+
+examples/delivery_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

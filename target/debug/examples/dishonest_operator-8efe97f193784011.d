@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dishonest_operator-8efe97f193784011.d: examples/dishonest_operator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdishonest_operator-8efe97f193784011.rmeta: examples/dishonest_operator.rs Cargo.toml
+
+examples/dishonest_operator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

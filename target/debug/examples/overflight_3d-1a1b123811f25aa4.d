@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overflight_3d-1a1b123811f25aa4.d: examples/overflight_3d.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboverflight_3d-1a1b123811f25aa4.rmeta: examples/overflight_3d.rs Cargo.toml
+
+examples/overflight_3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/privacy_preserving_audit-93a1a1ccba8a298c.d: examples/privacy_preserving_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprivacy_preserving_audit-93a1a1ccba8a298c.rmeta: examples/privacy_preserving_audit.rs Cargo.toml
+
+examples/privacy_preserving_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

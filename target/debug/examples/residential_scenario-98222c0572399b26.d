@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/residential_scenario-98222c0572399b26.d: examples/residential_scenario.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresidential_scenario-98222c0572399b26.rmeta: examples/residential_scenario.rs Cargo.toml
+
+examples/residential_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/route_planning-c7538843c880747e.d: examples/route_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroute_planning-c7538843c880747e.rmeta: examples/route_planning.rs Cargo.toml
+
+examples/route_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

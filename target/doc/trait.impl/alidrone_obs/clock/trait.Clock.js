@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["alidrone_obs",[]],["alidrone_sim",[["impl <a class=\"trait\" href=\"alidrone_obs/clock/trait.Clock.html\" title=\"trait alidrone_obs::clock::Clock\">Clock</a> for <a class=\"struct\" href=\"alidrone_sim/runner/struct.SimClockBridge.html\" title=\"struct alidrone_sim::runner::SimClockBridge\">SimClockBridge</a>",0]]],["alidrone_sim",[["impl Clock for <a class=\"struct\" href=\"alidrone_sim/runner/struct.SimClockBridge.html\" title=\"struct alidrone_sim::runner::SimClockBridge\">SimClockBridge</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[19,300,189]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["alidrone_obs",[]],["alidrone_sim",[["impl <a class=\"trait\" href=\"alidrone_obs/json/trait.ToJson.html\" title=\"trait alidrone_obs::json::ToJson\">ToJson</a> for <a class=\"struct\" href=\"alidrone_sim/export/struct.Fig6Export.html\" title=\"struct alidrone_sim::export::Fig6Export\">Fig6Export</a>",0],["impl <a class=\"trait\" href=\"alidrone_obs/json/trait.ToJson.html\" title=\"trait alidrone_obs::json::ToJson\">ToJson</a> for <a class=\"struct\" href=\"alidrone_sim/export/struct.TimelineExport.html\" title=\"struct alidrone_sim::export::TimelineExport\">TimelineExport</a>",0]]],["alidrone_sim",[["impl ToJson for <a class=\"struct\" href=\"alidrone_sim/export/struct.Fig6Export.html\" title=\"struct alidrone_sim::export::Fig6Export\">Fig6Export</a>",0],["impl ToJson for <a class=\"struct\" href=\"alidrone_sim/export/struct.TimelineExport.html\" title=\"struct alidrone_sim::export::TimelineExport\">TimelineExport</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[19,571,349]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["alidrone_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.Extend.html\" title=\"trait core::iter::traits::collect::Extend\">Extend</a>&lt;<a class=\"struct\" href=\"alidrone_tee/sampler/struct.SignedSample.html\" title=\"struct alidrone_tee::sampler::SignedSample\">SignedSample</a>&gt; for <a class=\"struct\" href=\"alidrone_core/struct.ProofOfAlibi.html\" title=\"struct alidrone_core::ProofOfAlibi\">ProofOfAlibi</a>",0]]],["alidrone_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.Extend.html\" title=\"trait core::iter::traits::collect::Extend\">Extend</a>&lt;SignedSample&gt; for <a class=\"struct\" href=\"alidrone_core/struct.ProofOfAlibi.html\" title=\"struct alidrone_core::ProofOfAlibi\">ProofOfAlibi</a>",0]]],["alidrone_geo",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.Extend.html\" title=\"trait core::iter::traits::collect::Extend\">Extend</a>&lt;<a class=\"struct\" href=\"alidrone_geo/struct.NoFlyZone.html\" title=\"struct alidrone_geo::NoFlyZone\">NoFlyZone</a>&gt; for <a class=\"struct\" href=\"alidrone_geo/struct.ZoneSet.html\" title=\"struct alidrone_geo::ZoneSet\">ZoneSet</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[483,352,440]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["alidrone_geo",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Sub.html\" title=\"trait core::ops::arith::Sub\">Sub</a> for <a class=\"struct\" href=\"alidrone_geo/struct.Distance.html\" title=\"struct alidrone_geo::Distance\">Distance</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Sub.html\" title=\"trait core::ops::arith::Sub\">Sub</a> for <a class=\"struct\" href=\"alidrone_geo/struct.Duration.html\" title=\"struct alidrone_geo::Duration\">Duration</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Sub.html\" title=\"trait core::ops::arith::Sub\">Sub</a> for <a class=\"struct\" href=\"alidrone_geo/struct.Timestamp.html\" title=\"struct alidrone_geo::Timestamp\">Timestamp</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Sub.html\" title=\"trait core::ops::arith::Sub\">Sub</a>&lt;<a class=\"struct\" href=\"alidrone_geo/struct.Duration.html\" title=\"struct alidrone_geo::Duration\">Duration</a>&gt; for <a class=\"struct\" href=\"alidrone_geo/struct.Timestamp.html\" title=\"struct alidrone_geo::Timestamp\">Timestamp</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1219]}

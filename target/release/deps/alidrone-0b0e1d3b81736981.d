@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alidrone-0b0e1d3b81736981.d: src/lib.rs
+
+/root/repo/target/release/deps/alidrone-0b0e1d3b81736981: src/lib.rs
+
+src/lib.rs:

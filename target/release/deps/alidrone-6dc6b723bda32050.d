@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/alidrone-6dc6b723bda32050.d: src/lib.rs
+
+/root/repo/target/release/deps/libalidrone-6dc6b723bda32050.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libalidrone-6dc6b723bda32050.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/alidrone_bench-9eb603d7e2eab5ef.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/alidrone_bench-9eb603d7e2eab5ef: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

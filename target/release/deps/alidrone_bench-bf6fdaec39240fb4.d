@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/alidrone_bench-bf6fdaec39240fb4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libalidrone_bench-bf6fdaec39240fb4.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libalidrone_bench-bf6fdaec39240fb4.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

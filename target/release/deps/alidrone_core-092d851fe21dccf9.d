@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/alidrone_core-092d851fe21dccf9.d: crates/core/src/lib.rs crates/core/src/auditor.rs crates/core/src/error.rs crates/core/src/flight.rs crates/core/src/identity.rs crates/core/src/messages.rs crates/core/src/operator.rs crates/core/src/poa.rs crates/core/src/test_support.rs crates/core/src/zone_owner.rs crates/core/src/privacy.rs crates/core/src/sampling/mod.rs crates/core/src/sampling/adaptive.rs crates/core/src/sampling/fixed.rs crates/core/src/symmetric.rs crates/core/src/wire/mod.rs crates/core/src/wire/codec.rs crates/core/src/wire/server.rs crates/core/src/wire/transport.rs
+
+/root/repo/target/release/deps/alidrone_core-092d851fe21dccf9: crates/core/src/lib.rs crates/core/src/auditor.rs crates/core/src/error.rs crates/core/src/flight.rs crates/core/src/identity.rs crates/core/src/messages.rs crates/core/src/operator.rs crates/core/src/poa.rs crates/core/src/test_support.rs crates/core/src/zone_owner.rs crates/core/src/privacy.rs crates/core/src/sampling/mod.rs crates/core/src/sampling/adaptive.rs crates/core/src/sampling/fixed.rs crates/core/src/symmetric.rs crates/core/src/wire/mod.rs crates/core/src/wire/codec.rs crates/core/src/wire/server.rs crates/core/src/wire/transport.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auditor.rs:
+crates/core/src/error.rs:
+crates/core/src/flight.rs:
+crates/core/src/identity.rs:
+crates/core/src/messages.rs:
+crates/core/src/operator.rs:
+crates/core/src/poa.rs:
+crates/core/src/test_support.rs:
+crates/core/src/zone_owner.rs:
+crates/core/src/privacy.rs:
+crates/core/src/sampling/mod.rs:
+crates/core/src/sampling/adaptive.rs:
+crates/core/src/sampling/fixed.rs:
+crates/core/src/symmetric.rs:
+crates/core/src/wire/mod.rs:
+crates/core/src/wire/codec.rs:
+crates/core/src/wire/server.rs:
+crates/core/src/wire/transport.rs:

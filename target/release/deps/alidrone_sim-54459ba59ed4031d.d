@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/alidrone_sim-54459ba59ed4031d.d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs
+
+/root/repo/target/release/deps/alidrone_sim-54459ba59ed4031d: crates/sim/src/lib.rs crates/sim/src/calibrate.rs crates/sim/src/export.rs crates/sim/src/metrics.rs crates/sim/src/power.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/scenarios.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calibrate.rs:
+crates/sim/src/export.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/power.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenarios.rs:

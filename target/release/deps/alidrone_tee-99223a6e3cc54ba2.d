@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/alidrone_tee-99223a6e3cc54ba2.d: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+/root/repo/target/release/deps/libalidrone_tee-99223a6e3cc54ba2.rlib: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+/root/repo/target/release/deps/libalidrone_tee-99223a6e3cc54ba2.rmeta: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+crates/tee/src/lib.rs:
+crates/tee/src/client.rs:
+crates/tee/src/cost.rs:
+crates/tee/src/error.rs:
+crates/tee/src/keystore.rs:
+crates/tee/src/sampler.rs:
+crates/tee/src/spoof.rs:
+crates/tee/src/storage.rs:
+crates/tee/src/uuid.rs:
+crates/tee/src/world.rs:

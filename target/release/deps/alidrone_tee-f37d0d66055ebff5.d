@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/alidrone_tee-f37d0d66055ebff5.d: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/test_support.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+/root/repo/target/release/deps/alidrone_tee-f37d0d66055ebff5: crates/tee/src/lib.rs crates/tee/src/client.rs crates/tee/src/cost.rs crates/tee/src/error.rs crates/tee/src/keystore.rs crates/tee/src/sampler.rs crates/tee/src/spoof.rs crates/tee/src/storage.rs crates/tee/src/test_support.rs crates/tee/src/uuid.rs crates/tee/src/world.rs
+
+crates/tee/src/lib.rs:
+crates/tee/src/client.rs:
+crates/tee/src/cost.rs:
+crates/tee/src/error.rs:
+crates/tee/src/keystore.rs:
+crates/tee/src/sampler.rs:
+crates/tee/src/spoof.rs:
+crates/tee/src/storage.rs:
+crates/tee/src/test_support.rs:
+crates/tee/src/uuid.rs:
+crates/tee/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attacks-1cb55b16b50a59a9.d: tests/attacks.rs
+
+/root/repo/target/release/deps/attacks-1cb55b16b50a59a9: tests/attacks.rs
+
+tests/attacks.rs:

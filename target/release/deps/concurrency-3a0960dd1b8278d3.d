@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-3a0960dd1b8278d3.d: crates/tee/tests/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-3a0960dd1b8278d3: crates/tee/tests/concurrency.rs
+
+crates/tee/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-bf10fda3fe0469f0.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-bf10fda3fe0469f0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

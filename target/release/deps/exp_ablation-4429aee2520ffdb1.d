@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-4429aee2520ffdb1.d: crates/sim/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-4429aee2520ffdb1: crates/sim/src/bin/exp_ablation.rs
+
+crates/sim/src/bin/exp_ablation.rs:

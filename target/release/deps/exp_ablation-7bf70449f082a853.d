@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-7bf70449f082a853.d: crates/sim/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-7bf70449f082a853: crates/sim/src/bin/exp_ablation.rs
+
+crates/sim/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-19cbcf5e155af74f.d: crates/sim/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-19cbcf5e155af74f: crates/sim/src/bin/exp_all.rs
+
+crates/sim/src/bin/exp_all.rs:

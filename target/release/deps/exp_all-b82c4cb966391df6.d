@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-b82c4cb966391df6.d: crates/sim/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-b82c4cb966391df6: crates/sim/src/bin/exp_all.rs
+
+crates/sim/src/bin/exp_all.rs:

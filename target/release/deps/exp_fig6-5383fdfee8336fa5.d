@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-5383fdfee8336fa5.d: crates/sim/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-5383fdfee8336fa5: crates/sim/src/bin/exp_fig6.rs
+
+crates/sim/src/bin/exp_fig6.rs:

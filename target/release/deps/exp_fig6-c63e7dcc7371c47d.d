@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-c63e7dcc7371c47d.d: crates/sim/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-c63e7dcc7371c47d: crates/sim/src/bin/exp_fig6.rs
+
+crates/sim/src/bin/exp_fig6.rs:

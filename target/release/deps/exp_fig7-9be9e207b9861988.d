@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-9be9e207b9861988.d: crates/sim/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-9be9e207b9861988: crates/sim/src/bin/exp_fig7.rs
+
+crates/sim/src/bin/exp_fig7.rs:

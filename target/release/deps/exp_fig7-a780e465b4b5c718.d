@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-a780e465b4b5c718.d: crates/sim/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-a780e465b4b5c718: crates/sim/src/bin/exp_fig7.rs
+
+crates/sim/src/bin/exp_fig7.rs:

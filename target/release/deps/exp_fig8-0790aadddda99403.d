@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-0790aadddda99403.d: crates/sim/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-0790aadddda99403: crates/sim/src/bin/exp_fig8.rs
+
+crates/sim/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-2b6b16da8fa8a957.d: crates/sim/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-2b6b16da8fa8a957: crates/sim/src/bin/exp_fig8.rs
+
+crates/sim/src/bin/exp_fig8.rs:

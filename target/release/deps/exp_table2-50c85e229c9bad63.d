@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-50c85e229c9bad63.d: crates/sim/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-50c85e229c9bad63: crates/sim/src/bin/exp_table2.rs
+
+crates/sim/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-d107189bc4f7e4e8.d: crates/sim/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-d107189bc4f7e4e8: crates/sim/src/bin/exp_table2.rs
+
+crates/sim/src/bin/exp_table2.rs:

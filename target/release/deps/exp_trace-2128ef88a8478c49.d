@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_trace-2128ef88a8478c49.d: crates/sim/src/bin/exp_trace.rs
+
+/root/repo/target/release/deps/exp_trace-2128ef88a8478c49: crates/sim/src/bin/exp_trace.rs
+
+crates/sim/src/bin/exp_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_trace-679184cc64694ff8.d: crates/sim/src/bin/exp_trace.rs
+
+/root/repo/target/release/deps/exp_trace-679184cc64694ff8: crates/sim/src/bin/exp_trace.rs
+
+crates/sim/src/bin/exp_trace.rs:

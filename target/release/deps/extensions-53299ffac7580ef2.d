@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-53299ffac7580ef2.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-53299ffac7580ef2: tests/extensions.rs
+
+tests/extensions.rs:

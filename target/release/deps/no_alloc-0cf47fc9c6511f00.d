@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/no_alloc-0cf47fc9c6511f00.d: crates/obs/tests/no_alloc.rs
+
+/root/repo/target/release/deps/no_alloc-0cf47fc9c6511f00: crates/obs/tests/no_alloc.rs
+
+crates/obs/tests/no_alloc.rs:

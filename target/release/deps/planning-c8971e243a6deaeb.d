@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/planning-c8971e243a6deaeb.d: tests/planning.rs
+
+/root/repo/target/release/deps/planning-c8971e243a6deaeb: tests/planning.rs
+
+tests/planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-05f10bbc2b39af3d.d: crates/tee/tests/properties.rs
+
+/root/repo/target/release/deps/properties-05f10bbc2b39af3d: crates/tee/tests/properties.rs
+
+crates/tee/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a3cf04d37d45f7f1.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-a3cf04d37d45f7f1: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction-21c0dc52d48e794e.d: tests/reproduction.rs
+
+/root/repo/target/release/deps/reproduction-21c0dc52d48e794e: tests/reproduction.rs
+
+tests/reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracing-35d2bb773c6d2fd7.d: tests/tracing.rs
+
+/root/repo/target/release/deps/tracing-35d2bb773c6d2fd7: tests/tracing.rs
+
+tests/tracing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/airport_scenario-46151908be6a0327.d: examples/airport_scenario.rs
+
+/root/repo/target/release/examples/airport_scenario-46151908be6a0327: examples/airport_scenario.rs
+
+examples/airport_scenario.rs:

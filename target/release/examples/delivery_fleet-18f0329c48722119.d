@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/delivery_fleet-18f0329c48722119.d: examples/delivery_fleet.rs
+
+/root/repo/target/release/examples/delivery_fleet-18f0329c48722119: examples/delivery_fleet.rs
+
+examples/delivery_fleet.rs:

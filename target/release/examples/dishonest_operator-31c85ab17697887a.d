@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dishonest_operator-31c85ab17697887a.d: examples/dishonest_operator.rs
+
+/root/repo/target/release/examples/dishonest_operator-31c85ab17697887a: examples/dishonest_operator.rs
+
+examples/dishonest_operator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/overflight_3d-8523e23384c86a5a.d: examples/overflight_3d.rs
+
+/root/repo/target/release/examples/overflight_3d-8523e23384c86a5a: examples/overflight_3d.rs
+
+examples/overflight_3d.rs:

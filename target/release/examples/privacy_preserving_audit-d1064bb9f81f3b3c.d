@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/privacy_preserving_audit-d1064bb9f81f3b3c.d: examples/privacy_preserving_audit.rs
+
+/root/repo/target/release/examples/privacy_preserving_audit-d1064bb9f81f3b3c: examples/privacy_preserving_audit.rs
+
+examples/privacy_preserving_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ef97cea886a2bdf0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ef97cea886a2bdf0: examples/quickstart.rs
+
+examples/quickstart.rs:

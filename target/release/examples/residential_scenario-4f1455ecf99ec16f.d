@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/residential_scenario-4f1455ecf99ec16f.d: examples/residential_scenario.rs
+
+/root/repo/target/release/examples/residential_scenario-4f1455ecf99ec16f: examples/residential_scenario.rs
+
+examples/residential_scenario.rs:

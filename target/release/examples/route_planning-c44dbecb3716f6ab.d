@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/route_planning-c44dbecb3716f6ab.d: examples/route_planning.rs
+
+/root/repo/target/release/examples/route_planning-c44dbecb3716f6ab: examples/route_planning.rs
+
+examples/route_planning.rs:
