@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alidrone-c7f81ff2e770ee49.d: src/lib.rs
+
+/root/repo/target/debug/deps/alidrone-c7f81ff2e770ee49: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-bfcd15e8d3ea1cc3.d: tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-bfcd15e8d3ea1cc3: tests/attacks.rs
+
+tests/attacks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e50b2f4a1ebb5056.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e50b2f4a1ebb5056: tests/end_to_end.rs
+
+tests/end_to_end.rs:

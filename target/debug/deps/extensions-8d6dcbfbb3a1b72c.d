@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-8d6dcbfbb3a1b72c.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-8d6dcbfbb3a1b72c: tests/extensions.rs
+
+tests/extensions.rs:

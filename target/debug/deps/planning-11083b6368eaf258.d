@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planning-11083b6368eaf258.d: tests/planning.rs
+
+/root/repo/target/debug/deps/planning-11083b6368eaf258: tests/planning.rs
+
+tests/planning.rs:

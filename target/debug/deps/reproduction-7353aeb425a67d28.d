@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-7353aeb425a67d28.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-7353aeb425a67d28: tests/reproduction.rs
+
+tests/reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/airport_scenario-8cfc690d599482e1.d: examples/airport_scenario.rs
+
+/root/repo/target/debug/examples/airport_scenario-8cfc690d599482e1: examples/airport_scenario.rs
+
+examples/airport_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delivery_fleet-90bbd12cbeb1851f.d: examples/delivery_fleet.rs
+
+/root/repo/target/debug/examples/delivery_fleet-90bbd12cbeb1851f: examples/delivery_fleet.rs
+
+examples/delivery_fleet.rs:

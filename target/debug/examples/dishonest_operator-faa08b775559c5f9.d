@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dishonest_operator-faa08b775559c5f9.d: examples/dishonest_operator.rs
+
+/root/repo/target/debug/examples/dishonest_operator-faa08b775559c5f9: examples/dishonest_operator.rs
+
+examples/dishonest_operator.rs:

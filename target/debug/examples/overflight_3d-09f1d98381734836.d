@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overflight_3d-09f1d98381734836.d: examples/overflight_3d.rs
+
+/root/repo/target/debug/examples/overflight_3d-09f1d98381734836: examples/overflight_3d.rs
+
+examples/overflight_3d.rs:

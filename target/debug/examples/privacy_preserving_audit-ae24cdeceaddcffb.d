@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_preserving_audit-ae24cdeceaddcffb.d: examples/privacy_preserving_audit.rs
+
+/root/repo/target/debug/examples/privacy_preserving_audit-ae24cdeceaddcffb: examples/privacy_preserving_audit.rs
+
+examples/privacy_preserving_audit.rs:

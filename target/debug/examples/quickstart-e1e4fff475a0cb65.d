@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e1e4fff475a0cb65.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e1e4fff475a0cb65: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/residential_scenario-8400f2dd0a77b08e.d: examples/residential_scenario.rs
+
+/root/repo/target/debug/examples/residential_scenario-8400f2dd0a77b08e: examples/residential_scenario.rs
+
+examples/residential_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/route_planning-9d12cb4ed6c35adc.d: examples/route_planning.rs
+
+/root/repo/target/debug/examples/route_planning-9d12cb4ed6c35adc: examples/route_planning.rs
+
+examples/route_planning.rs:
