@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy doc build test examples experiments trace-smoke
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress
 
-check: fmt clippy doc test trace-smoke
+check: fmt clippy doc test trace-smoke tcp-smoke
 
 fmt:
 	$(CARGO) fmt --all -- --check
@@ -24,6 +24,15 @@ test:
 
 trace-smoke:
 	$(CARGO) run -p alidrone-sim --release --offline --bin exp_trace
+
+# Loopback-only: submits a scenario PoA over 127.0.0.1 TCP and checks
+# byte parity with the in-process transport. No external network.
+tcp-smoke:
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_tcp
+
+# The networked-auditor stress test on its own (it also runs in `test`).
+stress:
+	$(CARGO) test --release --offline --test wire_concurrency -q
 
 examples:
 	$(CARGO) build --release --offline --examples

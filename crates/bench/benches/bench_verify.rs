@@ -30,7 +30,7 @@ fn signed_trace(n: usize) -> ProofOfAlibi {
 }
 
 fn auditor_with(zones: usize) -> Auditor {
-    let mut a = Auditor::new(AuditorConfig::default(), bench_key(512).clone());
+    let a = Auditor::new(AuditorConfig::default(), bench_key(512).clone());
     for i in 0..zones {
         let bearing = (i as f64 * 137.5) % 360.0;
         a.register_zone(NoFlyZone::new(
@@ -58,14 +58,14 @@ fn verify_submission(c: &mut Criterion) {
             |b, _| {
                 b.iter_batched(
                     || {
-                        let mut a = auditor_with(zones);
+                        let a = auditor_with(zones);
                         a.register_drone(
                             bench_key(512).public_key().clone(),
                             bench_key(512).public_key().clone(),
                         );
                         a
                     },
-                    |mut a| {
+                    |a| {
                         a.verify_submission(&submission, Timestamp::from_secs(0.0))
                             .unwrap()
                     },

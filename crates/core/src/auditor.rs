@@ -1,8 +1,20 @@
 //! The Auditor: registration authority, zone directory, and PoA verifier.
+//!
+//! # Concurrency
+//!
+//! Every protocol entry point takes `&self`: the auditor's mutable state
+//! is sharded behind interior locks (one lock per registry — drones,
+//! zones, anti-replay nonces, the PoA log — plus atomic id counters), so
+//! one instance can serve many threads through an
+//! `Arc<AuditorServer>`. The expensive work — RSA signature checks,
+//! reachable-set geometry — runs on snapshots taken under a read lock
+//! and released before verification starts, so verification never
+//! serialises behind registrations.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use alidrone_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use alidrone_geo::polygon::PolygonZone;
@@ -174,15 +186,21 @@ struct DroneRecord {
 }
 
 /// The AliDrone Server run by the auditor (paper §IV-C2).
+///
+/// Shareable: all methods take `&self` (see the module docs for the
+/// locking layout), so wrap one in an `Arc` to drive it from many
+/// threads.
 pub struct Auditor {
     config: AuditorConfig,
     encryption_key: RsaPrivateKey,
-    drones: BTreeMap<DroneId, DroneRecord>,
-    zones: BTreeMap<ZoneId, NoFlyZone>,
-    used_nonces: BTreeSet<(DroneId, [u8; 16])>,
-    stored: Vec<StoredPoa>,
-    next_drone: u64,
-    next_zone: u64,
+    /// Records are `Arc`ed so verification can clone a handle out and
+    /// release the registry lock before the RSA work starts.
+    drones: RwLock<BTreeMap<DroneId, Arc<DroneRecord>>>,
+    zones: RwLock<BTreeMap<ZoneId, NoFlyZone>>,
+    used_nonces: Mutex<BTreeSet<(DroneId, [u8; 16])>>,
+    stored: RwLock<Vec<StoredPoa>>,
+    next_drone: AtomicU64,
+    next_zone: AtomicU64,
     obs: Obs,
     verify_latency: Arc<Histogram>,
     decrypt_latency: Arc<Histogram>,
@@ -205,12 +223,12 @@ impl Auditor {
         Auditor {
             config,
             encryption_key,
-            drones: BTreeMap::new(),
-            zones: BTreeMap::new(),
-            used_nonces: BTreeSet::new(),
-            stored: Vec::new(),
-            next_drone: 1,
-            next_zone: 1,
+            drones: RwLock::new(BTreeMap::new()),
+            zones: RwLock::new(BTreeMap::new()),
+            used_nonces: Mutex::new(BTreeSet::new()),
+            stored: RwLock::new(Vec::new()),
+            next_drone: AtomicU64::new(1),
+            next_zone: AtomicU64::new(1),
             obs: obs.clone(),
             verify_latency: obs.histogram("auditor.verify_latency_us"),
             decrypt_latency: obs.histogram("auditor.decrypt_latency_us"),
@@ -229,28 +247,38 @@ impl Auditor {
 
     /// Step 0 — registers a drone: records `(id_drone, D⁺, T⁺)` and
     /// issues the id.
+    ///
+    /// Idempotent by construction: resending a registration whose
+    /// response was lost issues a second id for the same key pair, and
+    /// the orphaned record is inert — it never matches a query,
+    /// submission, or accusation, so a retry can never corrupt state.
     pub fn register_drone(
-        &mut self,
+        &self,
         operator_public: RsaPublicKey,
         tee_public: RsaPublicKey,
     ) -> DroneId {
-        let id = DroneId::new(self.next_drone);
-        self.next_drone += 1;
-        self.drones.insert(
+        let id = DroneId::new(self.next_drone.fetch_add(1, Ordering::Relaxed));
+        self.drones.write().expect("drone registry lock").insert(
             id,
-            DroneRecord {
+            Arc::new(DroneRecord {
                 operator_public,
                 tee_public,
-            },
+            }),
         );
         id
     }
 
-    /// Step 1 — registers a circular zone, issuing its id.
-    pub fn register_zone(&mut self, zone: NoFlyZone) -> ZoneId {
-        let id = ZoneId::new(self.next_zone);
-        self.next_zone += 1;
-        self.zones.insert(id, zone);
+    /// Step 1 — registers a circular zone, issuing its id. Idempotent
+    /// under retry for the same reason as
+    /// [`register_drone`](Self::register_drone): a duplicate zone is a
+    /// second id over identical geometry, which only *strengthens* what
+    /// a PoA must prove.
+    pub fn register_zone(&self, zone: NoFlyZone) -> ZoneId {
+        let id = ZoneId::new(self.next_zone.fetch_add(1, Ordering::Relaxed));
+        self.zones
+            .write()
+            .expect("zone registry lock")
+            .insert(id, zone);
         id
     }
 
@@ -260,28 +288,46 @@ impl Auditor {
     /// # Errors
     ///
     /// Propagates degenerate-polygon errors.
-    pub fn register_polygon_zone(&mut self, polygon: &PolygonZone) -> Result<ZoneId, GeoError> {
+    pub fn register_polygon_zone(&self, polygon: &PolygonZone) -> Result<ZoneId, GeoError> {
         Ok(self.register_zone(polygon.enclosing_zone()))
     }
 
     /// Look up a zone's geometry.
-    pub fn zone(&self, id: ZoneId) -> Option<&NoFlyZone> {
-        self.zones.get(&id)
+    pub fn zone(&self, id: ZoneId) -> Option<NoFlyZone> {
+        self.zones
+            .read()
+            .expect("zone registry lock")
+            .get(&id)
+            .copied()
     }
 
     /// All registered zones as a set.
     pub fn zone_set(&self) -> ZoneSet {
-        self.zones.values().copied().collect()
+        self.zones
+            .read()
+            .expect("zone registry lock")
+            .values()
+            .copied()
+            .collect()
     }
 
     /// Number of registered drones.
     pub fn drone_count(&self) -> usize {
-        self.drones.len()
+        self.drones.read().expect("drone registry lock").len()
+    }
+
+    /// Number of registered zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.read().expect("zone registry lock").len()
     }
 
     /// The registered TEE verification key for a drone.
-    pub fn tee_public_key(&self, id: DroneId) -> Option<&RsaPublicKey> {
-        self.drones.get(&id).map(|d| &d.tee_public)
+    pub fn tee_public_key(&self, id: DroneId) -> Option<RsaPublicKey> {
+        self.drones
+            .read()
+            .expect("drone registry lock")
+            .get(&id)
+            .map(|d| d.tee_public.clone())
     }
 
     /// Steps 2–3 — answers a zone query after verifying the signed nonce
@@ -292,19 +338,28 @@ impl Auditor {
     /// [`ProtocolError::UnknownDrone`] for unregistered ids,
     /// [`ProtocolError::QuerySignatureInvalid`] for bad signatures, and
     /// [`ProtocolError::NonceReplayed`] for nonce reuse.
-    pub fn handle_zone_query(&mut self, query: &ZoneQuery) -> Result<ZoneResponse, ProtocolError> {
+    pub fn handle_zone_query(&self, query: &ZoneQuery) -> Result<ZoneResponse, ProtocolError> {
         let record = self
             .drones
+            .read()
+            .expect("drone registry lock")
             .get(&query.drone_id)
+            .cloned()
             .ok_or(ProtocolError::UnknownDrone(query.drone_id))?;
+        // Signature verification runs outside every lock.
         query.verify(&record.operator_public)?;
-        if !self.used_nonces.insert((query.drone_id, query.nonce)) {
+        if !self
+            .used_nonces
+            .lock()
+            .expect("nonce set lock")
+            .insert((query.drone_id, query.nonce))
+        {
             return Err(ProtocolError::NonceReplayed);
         }
-        let all = self.zone_set();
+        let zones = self.zones.read().expect("zone registry lock");
+        let all: ZoneSet = zones.values().copied().collect();
         let within = all.within_rect(&query.corner1, &query.corner2);
-        let zones = self
-            .zones
+        let zones = zones
             .iter()
             .filter(|(_, z)| within.as_slice().contains(z))
             .map(|(id, z)| (*id, *z))
@@ -314,29 +369,47 @@ impl Auditor {
 
     /// Step 4 — verifies a plaintext submission and retains it.
     ///
+    /// Idempotent by construction: verification is a pure function of
+    /// the PoA and the zone registry, so a resubmission after a lost
+    /// response receives the same verdict and appends a byte-identical
+    /// [`StoredPoa`]; accusation handling scans for the *latest*
+    /// covering proof, so duplicates cannot change any later outcome.
+    ///
     /// # Errors
     ///
     /// Only transport-level problems (unknown drone) are errors; every
     /// judgement about the PoA itself is expressed in the returned
     /// [`VerificationReport`].
     pub fn verify_submission(
-        &mut self,
+        &self,
         submission: &PoaSubmission,
         now: Timestamp,
     ) -> Result<VerificationReport, ProtocolError> {
         let span = self
             .obs
             .enter_span_recording("auditor.verify", &self.verify_latency);
-        let record = match self.drones.get(&submission.drone_id) {
+        let record = match self
+            .drones
+            .read()
+            .expect("drone registry lock")
+            .get(&submission.drone_id)
+            .cloned()
+        {
             Some(record) => record,
             None => {
                 drop(span);
                 return Err(ProtocolError::UnknownDrone(submission.drone_id));
             }
         };
-        let report = self.verify_poa_inner(&submission.poa, record, submission);
+        // Verify against a point-in-time snapshot of the zone registry:
+        // the locks are released before the RSA/geometry work begins.
+        let zones: Vec<(ZoneId, NoFlyZone)> = {
+            let zones = self.zones.read().expect("zone registry lock");
+            zones.iter().map(|(id, z)| (*id, *z)).collect()
+        };
+        let report = self.verify_poa_inner(&submission.poa, &record, submission, &zones);
         drop(span);
-        self.stored.push(StoredPoa {
+        self.stored.write().expect("poa log lock").push(StoredPoa {
             drone_id: submission.drone_id,
             window: (submission.window_start, submission.window_end),
             poa: submission.poa.clone(),
@@ -355,7 +428,7 @@ impl Auditor {
     /// Adds decryption failures to the error set of
     /// [`verify_submission`](Self::verify_submission).
     pub fn verify_encrypted_submission(
-        &mut self,
+        &self,
         drone_id: DroneId,
         window_start: Timestamp,
         window_end: Timestamp,
@@ -379,11 +452,14 @@ impl Auditor {
         )
     }
 
+    /// The 7-step verification pipeline, run against a `zones` snapshot
+    /// taken by the caller — no auditor lock is held while this executes.
     fn verify_poa_inner(
         &self,
         poa: &ProofOfAlibi,
         record: &DroneRecord,
         submission: &PoaSubmission,
+        zones: &[(ZoneId, NoFlyZone)],
     ) -> VerificationReport {
         // 1. Non-empty.
         if poa.is_empty() {
@@ -435,7 +511,7 @@ impl Auditor {
         }
         // 6. No sample inside any zone.
         for (i, s) in alibi.iter().enumerate() {
-            for (zid, z) in &self.zones {
+            for (zid, z) in zones {
                 if z.contains(&s.point()) {
                     return VerificationReport {
                         verdict: Verdict::InsideZone {
@@ -448,8 +524,8 @@ impl Auditor {
             }
         }
         // 7. Alibi sufficiency, eq. (1).
-        let zones = self.zone_set();
-        let suff = check_alibi(&alibi, &zones, self.config.v_max, self.config.criterion);
+        let zone_set: ZoneSet = zones.iter().map(|(_, z)| *z).collect();
+        let suff = check_alibi(&alibi, &zone_set, self.config.v_max, self.config.criterion);
         let verdict = if suff.is_sufficient() {
             Verdict::Compliant
         } else {
@@ -477,11 +553,14 @@ impl Auditor {
     ) -> Result<AccusationOutcome, ProtocolError> {
         let zone = self
             .zones
+            .read()
+            .expect("zone registry lock")
             .get(&accusation.zone_id)
             .copied()
             .ok_or(ProtocolError::UnknownZone(accusation.zone_id))?;
         // Find a stored PoA from this drone whose window covers the time.
-        let stored = self.stored.iter().rev().find(|s| {
+        let log = self.stored.read().expect("poa log lock");
+        let stored = log.iter().rev().find(|s| {
             s.drone_id == accusation.drone_id
                 && s.window.0.secs() <= accusation.time.secs()
                 && accusation.time.secs() <= s.window.1.secs()
@@ -524,18 +603,27 @@ impl Auditor {
 
     /// Number of retained PoAs.
     pub fn stored_poa_count(&self) -> usize {
-        self.stored.len()
+        self.stored.read().expect("poa log lock").len()
     }
 
-    /// The most recent stored PoA for a drone, if any.
-    pub fn latest_stored(&self, drone: DroneId) -> Option<&StoredPoa> {
-        self.stored.iter().rev().find(|s| s.drone_id == drone)
+    /// The most recent stored PoA for a drone, if any (cloned out of the
+    /// log, so no lock is held by the caller).
+    pub fn latest_stored(&self, drone: DroneId) -> Option<StoredPoa> {
+        self.stored
+            .read()
+            .expect("poa log lock")
+            .iter()
+            .rev()
+            .find(|s| s.drone_id == drone)
+            .cloned()
     }
 
     /// Drops stored PoAs older than the retention window.
-    pub fn purge_expired(&mut self, now: Timestamp) {
+    pub fn purge_expired(&self, now: Timestamp) {
         let retention = self.config.retention;
         self.stored
+            .write()
+            .expect("poa log lock")
             .retain(|s| (now - s.stored_at).secs() <= retention.secs());
     }
 }
@@ -543,9 +631,9 @@ impl Auditor {
 impl fmt::Debug for Auditor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Auditor")
-            .field("drones", &self.drones.len())
-            .field("zones", &self.zones.len())
-            .field("stored_poas", &self.stored.len())
+            .field("drones", &self.drone_count())
+            .field("zones", &self.zone_count())
+            .field("stored_poas", &self.stored_poa_count())
             .finish_non_exhaustive()
     }
 }
@@ -570,36 +658,43 @@ impl Auditor {
         use crate::wire::codec::Writer;
         let mut w = Writer::new();
         w.put_u32(SNAPSHOT_MAGIC);
-        w.put_u64(self.next_drone);
-        w.put_u64(self.next_zone);
+        w.put_u64(self.next_drone.load(Ordering::Relaxed));
+        w.put_u64(self.next_zone.load(Ordering::Relaxed));
 
-        w.put_u32(self.drones.len() as u32);
-        for (id, rec) in &self.drones {
+        let drones = self.drones.read().expect("drone registry lock");
+        w.put_u32(drones.len() as u32);
+        for (id, rec) in drones.iter() {
             w.put_u64(id.value());
             w.put_bytes(&rec.operator_public.modulus().to_bytes_be());
             w.put_bytes(&rec.operator_public.exponent().to_bytes_be());
             w.put_bytes(&rec.tee_public.modulus().to_bytes_be());
             w.put_bytes(&rec.tee_public.exponent().to_bytes_be());
         }
+        drop(drones);
 
-        w.put_u32(self.zones.len() as u32);
-        for (id, z) in &self.zones {
+        let zones = self.zones.read().expect("zone registry lock");
+        w.put_u32(zones.len() as u32);
+        for (id, z) in zones.iter() {
             w.put_u64(id.value());
             w.put_f64(z.center().lat_deg());
             w.put_f64(z.center().lon_deg());
             w.put_f64(z.radius().meters());
         }
+        drop(zones);
 
-        w.put_u32(self.used_nonces.len() as u32);
-        for (drone, nonce) in &self.used_nonces {
+        let nonces = self.used_nonces.lock().expect("nonce set lock");
+        w.put_u32(nonces.len() as u32);
+        for (drone, nonce) in nonces.iter() {
             w.put_u64(drone.value());
             for b in nonce {
                 w.put_u8(*b);
             }
         }
+        drop(nonces);
 
-        w.put_u32(self.stored.len() as u32);
-        for s in &self.stored {
+        let stored = self.stored.read().expect("poa log lock");
+        w.put_u32(stored.len() as u32);
+        for s in stored.iter() {
             w.put_u64(s.drone_id.value());
             w.put_f64(s.window.0.secs());
             w.put_f64(s.window.1.secs());
@@ -649,10 +744,10 @@ impl Auditor {
             let tee_public = read_key(&mut r)?;
             drones.insert(
                 id,
-                DroneRecord {
+                Arc::new(DroneRecord {
                     operator_public,
                     tee_public,
-                },
+                }),
             );
         }
 
@@ -716,12 +811,12 @@ impl Auditor {
         Ok(Auditor {
             config,
             encryption_key,
-            drones,
-            zones,
-            used_nonces,
-            stored,
-            next_drone,
-            next_zone,
+            drones: RwLock::new(drones),
+            zones: RwLock::new(zones),
+            used_nonces: Mutex::new(used_nonces),
+            stored: RwLock::new(stored),
+            next_drone: AtomicU64::new(next_drone),
+            next_zone: AtomicU64::new(next_zone),
             obs,
             verify_latency,
             decrypt_latency,
@@ -741,7 +836,7 @@ mod tests {
         Auditor::new(AuditorConfig::default(), auditor_key().clone())
     }
 
-    fn registered(auditor: &mut Auditor) -> DroneId {
+    fn registered(auditor: &Auditor) -> DroneId {
         auditor.register_drone(
             operator_key().public_key().clone(),
             tee_key().public_key().clone(),
@@ -766,9 +861,9 @@ mod tests {
 
     #[test]
     fn registration_issues_sequential_ids() {
-        let mut a = auditor();
-        let d1 = registered(&mut a);
-        let d2 = registered(&mut a);
+        let a = auditor();
+        let d1 = registered(&a);
+        let d2 = registered(&a);
         assert_ne!(d1, d2);
         assert_eq!(a.drone_count(), 2);
         let z1 = a.register_zone(far_zone());
@@ -780,8 +875,8 @@ mod tests {
 
     #[test]
     fn compliant_flight_accepted_and_stored() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         a.register_zone(far_zone());
         let rep = a
             .verify_submission(&submission(d, 10), Timestamp::from_secs(100.0))
@@ -794,7 +889,7 @@ mod tests {
 
     #[test]
     fn unknown_drone_is_error() {
-        let mut a = auditor();
+        let a = auditor();
         let err = a
             .verify_submission(&submission(DroneId::new(9), 3), Timestamp::EPOCH)
             .unwrap_err();
@@ -803,8 +898,8 @@ mod tests {
 
     #[test]
     fn empty_poa_rejected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let s = PoaSubmission {
             drone_id: d,
             window_start: Timestamp::EPOCH,
@@ -817,8 +912,8 @@ mod tests {
 
     #[test]
     fn forged_signature_detected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let mut entries = signed_samples(5);
         // Attacker swaps in a different position, keeping the signature.
         let forged = GpsSample::new(
@@ -844,7 +939,7 @@ mod tests {
     fn relay_attack_detected() {
         // PoA signed by a *different* drone's TEE: signatures valid under
         // the wrong key.
-        let mut a = auditor();
+        let a = auditor();
         let other_tee = {
             use alidrone_crypto::rng::XorShift64;
             let mut rng = XorShift64::seed_from_u64(0xE1E);
@@ -863,8 +958,8 @@ mod tests {
 
     #[test]
     fn replayed_trace_nonmonotonic_detected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let mut entries = signed_samples(4);
         let replayed = entries[1].clone();
         entries.push(replayed); // appending an old signed sample
@@ -880,8 +975,8 @@ mod tests {
 
     #[test]
     fn window_coverage_enforced() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         // Claim a window that extends far beyond the trace.
         let s = PoaSubmission {
             drone_id: d,
@@ -904,8 +999,8 @@ mod tests {
 
     #[test]
     fn impossible_trace_detected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         // Two samples 0.5 s apart but 5 km apart in space, individually
         // well-signed: a spliced/forged trace.
         let s1 = GpsSample::new(origin(), Timestamp::from_secs(0.0));
@@ -932,8 +1027,8 @@ mod tests {
 
     #[test]
     fn violation_inside_zone_detected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         // Zone sits right on the trace.
         let zid = a.register_zone(NoFlyZone::new(
             origin().destination(90.0, Distance::from_meters(20.0)),
@@ -950,8 +1045,8 @@ mod tests {
 
     #[test]
     fn insufficient_alibi_detected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         // Zone near the path but not containing any sample; samples 1 s
         // apart → budget ~44.7 m; zone boundary within reach.
         a.register_zone(NoFlyZone::new(
@@ -972,8 +1067,8 @@ mod tests {
 
     #[test]
     fn zone_query_flow() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let near = a.register_zone(NoFlyZone::new(
             origin().destination(45.0, Distance::from_km(2.0)),
             Distance::from_meters(100.0),
@@ -997,8 +1092,8 @@ mod tests {
 
     #[test]
     fn zone_query_nonce_replay_rejected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let q = ZoneQuery::new_signed(d, origin(), origin(), [2u8; 16], operator_key()).unwrap();
         a.handle_zone_query(&q).unwrap();
         assert_eq!(a.handle_zone_query(&q), Err(ProtocolError::NonceReplayed));
@@ -1006,8 +1101,8 @@ mod tests {
 
     #[test]
     fn zone_query_bad_signature_rejected() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let mut q =
             ZoneQuery::new_signed(d, origin(), origin(), [3u8; 16], operator_key()).unwrap();
         q.signature[0] ^= 1;
@@ -1019,7 +1114,7 @@ mod tests {
 
     #[test]
     fn zone_query_unknown_drone_rejected() {
-        let mut a = auditor();
+        let a = auditor();
         let q = ZoneQuery::new_signed(
             DroneId::new(77),
             origin(),
@@ -1038,8 +1133,8 @@ mod tests {
     fn encrypted_submission_round_trip() {
         use alidrone_crypto::rng::XorShift64;
         let mut rng = XorShift64::seed_from_u64(31);
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         a.register_zone(far_zone());
         let poa = ProofOfAlibi::from_entries(signed_samples(6));
         let enc = poa.encrypt(a.public_encryption_key(), &mut rng).unwrap();
@@ -1057,8 +1152,8 @@ mod tests {
 
     #[test]
     fn accusation_refuted_by_good_alibi() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let zid = a.register_zone(far_zone());
         a.verify_submission(&submission(d, 10), Timestamp::EPOCH)
             .unwrap();
@@ -1074,8 +1169,8 @@ mod tests {
 
     #[test]
     fn accusation_upheld_without_stored_poa() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let zid = a.register_zone(far_zone());
         let outcome = a
             .handle_accusation(&Accusation {
@@ -1102,8 +1197,8 @@ mod tests {
 
     #[test]
     fn accusation_upheld_when_pair_cannot_exonerate() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         // Register a zone close enough that 1 s pairs cannot prove alibi,
         // but which contains no sample (so submission verdict is
         // InsufficientAlibi → stored as judged).
@@ -1125,8 +1220,8 @@ mod tests {
 
     #[test]
     fn retention_purges_old_poas() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         a.verify_submission(&submission(d, 3), Timestamp::from_secs(0.0))
             .unwrap();
         a.verify_submission(&submission(d, 3), Timestamp::from_secs(86_400.0))
@@ -1139,8 +1234,8 @@ mod tests {
 
     #[test]
     fn snapshot_restore_round_trip() {
-        let mut a = auditor();
-        let d = registered(&mut a);
+        let a = auditor();
+        let d = registered(&a);
         let z = a.register_zone(far_zone());
         // One completed flight + one consumed nonce.
         a.verify_submission(&submission(d, 5), Timestamp::from_secs(7.0))
@@ -1149,7 +1244,7 @@ mod tests {
         a.handle_zone_query(&q).unwrap();
 
         let bytes = a.snapshot();
-        let mut restored =
+        let restored =
             Auditor::restore(&bytes, AuditorConfig::default(), auditor_key().clone()).unwrap();
 
         // Registries intact.
@@ -1162,7 +1257,7 @@ mod tests {
             Err(ProtocolError::NonceReplayed)
         );
         // Id counters continue, not restart.
-        let d2 = registered(&mut restored);
+        let d2 = registered(&restored);
         assert!(d2 > d);
         // Stored PoA still answers accusations.
         let outcome = restored
@@ -1177,8 +1272,8 @@ mod tests {
 
     #[test]
     fn snapshot_restore_rejects_corruption() {
-        let mut a = auditor();
-        registered(&mut a);
+        let a = auditor();
+        registered(&a);
         a.register_zone(far_zone());
         let bytes = a.snapshot();
         // Magic corruption.
@@ -1202,8 +1297,8 @@ mod tests {
 
     #[test]
     fn snapshot_excludes_private_key_material() {
-        let mut a = auditor();
-        registered(&mut a);
+        let a = auditor();
+        registered(&a);
         let bytes = a.snapshot();
         // The private exponent/primes must not appear in the snapshot.
         // (The public modulus legitimately does.) We can't read the
@@ -1228,14 +1323,14 @@ mod tests {
             Distance::from_meters(12.0),
         );
         for criterion in [Criterion::Paper, Criterion::Exact] {
-            let mut a = Auditor::new(
+            let a = Auditor::new(
                 AuditorConfig {
                     criterion,
                     ..AuditorConfig::default()
                 },
                 auditor_key().clone(),
             );
-            let d = registered(&mut a);
+            let d = registered(&a);
             a.register_zone(zone);
             let rep = a
                 .verify_submission(&submission(d, 5), Timestamp::EPOCH)
@@ -1245,8 +1340,8 @@ mod tests {
                 // paper first and remembering; here we simply require the
                 // exact run not to be *stricter*.
                 let paper_rep = {
-                    let mut ap = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-                    let dp = registered(&mut ap);
+                    let ap = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+                    let dp = registered(&ap);
                     ap.register_zone(zone);
                     ap.verify_submission(&submission(dp, 5), Timestamp::EPOCH)
                         .unwrap()

@@ -27,12 +27,29 @@ pub enum ProtocolError {
     Geo(alidrone_geo::GeoError),
     /// Malformed message or payload.
     Malformed(&'static str),
+    /// A transport-level failure: the request or response was lost in
+    /// flight (connection reset, broken pipe, injected fault). Retryable
+    /// for idempotent request kinds — see
+    /// [`Request::is_idempotent`](crate::wire::Request::is_idempotent).
+    Transport(String),
+    /// A per-call deadline or socket timeout elapsed before a response
+    /// arrived. Retryable like [`ProtocolError::Transport`].
+    Timeout,
     /// A requested stored PoA does not exist.
     PoaNotFound,
     /// An accusation referenced a time not covered by the stored PoA.
     TimeNotCovered,
     /// Privacy extension: a revealed key does not decrypt its sample.
     RevealInvalid,
+}
+
+impl ProtocolError {
+    /// `true` for transport-level losses ([`ProtocolError::Transport`]
+    /// and [`ProtocolError::Timeout`]) — the failures a client may
+    /// answer by resending, provided the request kind is idempotent.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ProtocolError::Transport(_) | ProtocolError::Timeout)
+    }
 }
 
 impl fmt::Display for ProtocolError {
@@ -46,6 +63,8 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Crypto(e) => write!(f, "crypto error: {e}"),
             ProtocolError::Geo(e) => write!(f, "geometry error: {e}"),
             ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtocolError::Transport(what) => write!(f, "transport failure: {what}"),
+            ProtocolError::Timeout => write!(f, "deadline exceeded waiting for response"),
             ProtocolError::PoaNotFound => write!(f, "no stored proof-of-alibi found"),
             ProtocolError::TimeNotCovered => {
                 write!(f, "accused time not covered by the stored proof-of-alibi")

@@ -46,7 +46,7 @@ impl DroneOperator {
     }
 
     /// Step 0 — registers with the auditor, submitting `D⁺` and `T⁺`.
-    pub fn register_with(&mut self, auditor: &mut Auditor) -> DroneId {
+    pub fn register_with(&mut self, auditor: &Auditor) -> DroneId {
         let id = auditor.register_drone(self.key.public_key().clone(), self.tee.tee_public_key());
         self.drone_id = Some(id);
         id
@@ -61,7 +61,7 @@ impl DroneOperator {
     /// query.
     pub fn query_zones<R: Rng + ?Sized>(
         &self,
-        auditor: &mut Auditor,
+        auditor: &Auditor,
         corner1: GeoPoint,
         corner2: GeoPoint,
         rng: &mut R,
@@ -121,7 +121,7 @@ impl DroneOperator {
     /// Fails if unregistered or the auditor rejects the transport.
     pub fn submit(
         &self,
-        auditor: &mut Auditor,
+        auditor: &Auditor,
         record: &FlightRecord,
         now: Timestamp,
     ) -> Result<VerificationReport, ProtocolError> {
@@ -147,7 +147,7 @@ impl DroneOperator {
     /// Adds encryption failures to those of [`submit`](Self::submit).
     pub fn submit_encrypted<R: Rng + ?Sized>(
         &self,
-        auditor: &mut Auditor,
+        auditor: &Auditor,
         record: &FlightRecord,
         now: Timestamp,
         rng: &mut R,
@@ -208,11 +208,11 @@ mod tests {
 
     #[test]
     fn full_honest_protocol_run() {
-        let (clock, receiver, mut operator, mut auditor) = setup();
+        let (clock, receiver, mut operator, auditor) = setup();
         let mut rng = XorShift64::seed_from_u64(41);
 
         // Registration.
-        let id = operator.register_with(&mut auditor);
+        let id = operator.register_with(&auditor);
         assert_eq!(operator.drone_id(), Some(id));
 
         // A zone near (but off) the flight path.
@@ -226,7 +226,7 @@ mod tests {
         // Zone query for the navigation area.
         let resp = operator
             .query_zones(
-                &mut auditor,
+                &auditor,
                 origin().destination(225.0, Distance::from_km(2.0)),
                 origin().destination(45.0, Distance::from_km(2.0)),
                 &mut rng,
@@ -244,15 +244,15 @@ mod tests {
                 Duration::from_secs(60.0),
             )
             .unwrap();
-        let report = operator.submit(&mut auditor, &record, clock.now()).unwrap();
+        let report = operator.submit(&auditor, &record, clock.now()).unwrap();
         assert!(report.is_compliant(), "verdict {}", report.verdict);
     }
 
     #[test]
     fn encrypted_submission_also_compliant() {
-        let (clock, receiver, mut operator, mut auditor) = setup();
+        let (clock, receiver, mut operator, auditor) = setup();
         let mut rng = XorShift64::seed_from_u64(43);
-        operator.register_with(&mut auditor);
+        operator.register_with(&auditor);
         let record = operator
             .fly(
                 &clock,
@@ -263,17 +263,17 @@ mod tests {
             )
             .unwrap();
         let report = operator
-            .submit_encrypted(&mut auditor, &record, clock.now(), &mut rng)
+            .submit_encrypted(&auditor, &record, clock.now(), &mut rng)
             .unwrap();
         assert!(report.is_compliant());
     }
 
     #[test]
     fn unregistered_operator_cannot_query_or_submit() {
-        let (clock, receiver, operator, mut auditor) = setup();
+        let (clock, receiver, operator, auditor) = setup();
         let mut rng = XorShift64::seed_from_u64(44);
         assert!(operator
-            .query_zones(&mut auditor, origin(), origin(), &mut rng)
+            .query_zones(&auditor, origin(), origin(), &mut rng)
             .is_err());
         let record = operator
             .fly(
@@ -284,6 +284,6 @@ mod tests {
                 Duration::from_secs(5.0),
             )
             .unwrap();
-        assert!(operator.submit(&mut auditor, &record, clock.now()).is_err());
+        assert!(operator.submit(&auditor, &record, clock.now()).is_err());
     }
 }

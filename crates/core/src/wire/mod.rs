@@ -27,6 +27,7 @@
 
 pub mod codec;
 pub mod server;
+pub mod tcp;
 pub mod transport;
 
 use alidrone_crypto::bigint::BigUint;
@@ -302,6 +303,25 @@ const REQ_SUBMIT_ENCRYPTED: u8 = 5;
 const REQ_ACCUSE: u8 = 6;
 
 impl Request {
+    /// `true` when resending this request after a lost response cannot
+    /// corrupt auditor state, so a client may retry it blindly.
+    ///
+    /// - Registrations issue a fresh id per delivery; an orphaned
+    ///   duplicate never matches any later query, submission, or
+    ///   accusation, so it is inert (idempotent *by construction*, not
+    ///   by deduplication).
+    /// - PoA submissions re-verify to the same verdict (verification is
+    ///   a pure function of the PoA and the zone registry), and
+    ///   accusation handling scans for the latest covering proof, so a
+    ///   duplicate [`StoredPoa`](crate::StoredPoa) changes nothing.
+    /// - Accusations are read-only.
+    /// - Zone queries are **not** idempotent: each consumes its signed
+    ///   nonce, so a replay is indistinguishable from an attack and is
+    ///   rejected by the anti-replay check.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::QueryZones(_))
+    }
+
     /// Serialises the request.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
@@ -782,6 +802,35 @@ mod tests {
         assert_eq!(request_kind_from_tag(ENVELOPE_MAGIC), None);
         assert_eq!(request_kind_from_tag(0), None);
         assert_eq!(request_kind_from_tag(REQ_SUBMIT_POA), Some("submit_poa"));
+    }
+
+    #[test]
+    fn only_zone_queries_are_non_idempotent() {
+        let q = ZoneQuery::new_signed(
+            DroneId::new(3),
+            origin(),
+            origin(),
+            [5u8; 16],
+            operator_key(),
+        )
+        .unwrap();
+        assert!(!Request::QueryZones(q).is_idempotent());
+        for req in [
+            Request::RegisterZone { zone: zone() },
+            Request::SubmitPoa {
+                drone_id: DroneId::new(1),
+                window_start: Timestamp::from_secs(0.0),
+                window_end: Timestamp::from_secs(1.0),
+                poa: vec![],
+            },
+            Request::Accuse(Accusation {
+                zone_id: ZoneId::new(1),
+                drone_id: DroneId::new(1),
+                time: Timestamp::from_secs(0.0),
+            }),
+        ] {
+            assert!(req.is_idempotent(), "{req:?}");
+        }
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! The AliDrone Server's request loop: bytes in, bytes out.
+//!
+//! [`AuditorServer::handle`] takes `&self` — the server owns no mutable
+//! state outside the auditor's interior locks and one mutex around the
+//! latest crash dump — so a single instance behind an `Arc` can serve
+//! requests from any number of threads (the
+//! [`TcpServer`](crate::wire::tcp::TcpServer) worker pool does exactly
+//! that).
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use alidrone_geo::Timestamp;
 use alidrone_obs::{Counter, FlightRecorder, Histogram, Level, Obs, RecorderDump};
@@ -77,33 +84,61 @@ impl ServerMetrics {
     }
 }
 
+/// Serving knobs consumed by the networked front end
+/// ([`TcpServer`](crate::wire::tcp::TcpServer)); the in-process
+/// [`handle`](AuditorServer::handle) path ignores them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads handling decoded frames.
+    pub workers: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
 /// Wraps an [`Auditor`] behind the byte-level protocol, the way the
 /// deployed AliDrone Server would sit behind a socket.
+///
+/// Construct with [`AuditorServer::builder`]. All request handling goes
+/// through [`handle(&self)`](AuditorServer::handle), so share one
+/// instance across threads with `Arc<AuditorServer>`.
 #[derive(Debug)]
 pub struct AuditorServer {
     auditor: Auditor,
     obs: Obs,
     metrics: ServerMetrics,
     recorder: Option<Arc<FlightRecorder>>,
-    last_crash_dump: Option<RecorderDump>,
+    last_crash_dump: Mutex<Option<RecorderDump>>,
+    serve: ServeConfig,
 }
 
-impl AuditorServer {
-    /// Creates a server around an auditor, with metrics going to a
-    /// private no-op registry.
-    pub fn new(auditor: Auditor) -> Self {
-        AuditorServer::with_obs(auditor, &Obs::noop())
-    }
+/// Builder for [`AuditorServer`] — one place for every knob that used
+/// to be spread over `new` / `with_obs` / `with_flight_recorder`.
+#[derive(Debug)]
+pub struct AuditorServerBuilder {
+    auditor: Auditor,
+    obs: Obs,
+    recorder: Option<Arc<FlightRecorder>>,
+    serve: ServeConfig,
+}
 
-    /// Creates a server whose metrics and events flow into `obs`.
-    pub fn with_obs(auditor: Auditor, obs: &Obs) -> Self {
-        AuditorServer {
-            auditor,
-            obs: obs.clone(),
-            metrics: ServerMetrics::new(obs),
-            recorder: None,
-            last_crash_dump: None,
-        }
+impl AuditorServerBuilder {
+    /// Routes the server's metrics, events, and request spans into
+    /// `obs` (default: a private no-op registry).
+    pub fn obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// Attaches a flight recorder (normally the same one installed as
@@ -111,25 +146,101 @@ impl AuditorServer {
     /// crash dump automatically on malformed frames and error
     /// responses; the latest dump is kept in
     /// [`last_crash_dump`](AuditorServer::last_crash_dump).
+    pub fn flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Worker-thread count for the networked front end (default 4).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.serve.workers = n.max(1);
+        self
+    }
+
+    /// Per-connection socket read timeout (default 5 s).
+    pub fn read_timeout(mut self, d: Duration) -> Self {
+        self.serve.read_timeout = d;
+        self
+    }
+
+    /// Per-connection socket write timeout (default 5 s).
+    pub fn write_timeout(mut self, d: Duration) -> Self {
+        self.serve.write_timeout = d;
+        self
+    }
+
+    /// Finalises the server.
+    pub fn build(self) -> AuditorServer {
+        AuditorServer {
+            auditor: self.auditor,
+            metrics: ServerMetrics::new(&self.obs),
+            obs: self.obs,
+            recorder: self.recorder,
+            last_crash_dump: Mutex::new(None),
+            serve: self.serve,
+        }
+    }
+}
+
+impl AuditorServer {
+    /// Starts building a server around an auditor; see
+    /// [`AuditorServerBuilder`] for the knobs.
+    pub fn builder(auditor: Auditor) -> AuditorServerBuilder {
+        AuditorServerBuilder {
+            auditor,
+            obs: Obs::noop(),
+            recorder: None,
+            serve: ServeConfig::default(),
+        }
+    }
+
+    /// Creates a server around an auditor, with metrics going to a
+    /// private no-op registry.
+    #[deprecated(note = "use `AuditorServer::builder(auditor).build()`")]
+    pub fn new(auditor: Auditor) -> Self {
+        AuditorServer::builder(auditor).build()
+    }
+
+    /// Creates a server whose metrics and events flow into `obs`.
+    #[deprecated(note = "use `AuditorServer::builder(auditor).obs(obs).build()`")]
+    pub fn with_obs(auditor: Auditor, obs: &Obs) -> Self {
+        AuditorServer::builder(auditor).obs(obs).build()
+    }
+
+    /// Attaches a flight recorder after construction.
+    #[deprecated(note = "use `AuditorServer::builder(auditor).flight_recorder(rec).build()`")]
     pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
         self.recorder = Some(recorder);
         self
     }
 
     /// The most recent automatic flight-recorder dump, if any protocol
-    /// failure has occurred since a recorder was attached.
-    pub fn last_crash_dump(&self) -> Option<&RecorderDump> {
-        self.last_crash_dump.as_ref()
+    /// failure has occurred since a recorder was attached. Cloned out
+    /// from behind the dump mutex, so callers hold no lock.
+    pub fn last_crash_dump(&self) -> Option<RecorderDump> {
+        self.last_crash_dump
+            .lock()
+            .expect("crash dump lock")
+            .clone()
     }
 
-    /// Read access to the wrapped auditor (e.g. for inspection in tests).
+    /// Read access to the wrapped auditor (e.g. for inspection in
+    /// tests). Every auditor entry point takes `&self`, so this is all
+    /// the access anyone needs — there is no `auditor_mut`.
     pub fn auditor(&self) -> &Auditor {
         &self.auditor
     }
 
-    /// Mutable access (e.g. for out-of-band retention purging).
-    pub fn auditor_mut(&mut self) -> &mut Auditor {
-        &mut self.auditor
+    /// The serving knobs the networked front end should honour.
+    pub fn serve_config(&self) -> ServeConfig {
+        self.serve
+    }
+
+    /// The observability handle the server reports into (shared with
+    /// the networked front end so connection counters land in the same
+    /// registry).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Handles one request frame. Never fails: malformed input or
@@ -138,7 +249,7 @@ impl AuditorServer {
     /// Frames may arrive bare or wrapped in the trace envelope (see
     /// [`split_envelope`]); with an envelope, the per-request server
     /// span joins the caller's trace as a child of the caller's span.
-    pub fn handle(&mut self, request_bytes: &[u8], now: Timestamp) -> Vec<u8> {
+    pub fn handle(&self, request_bytes: &[u8], now: Timestamp) -> Vec<u8> {
         self.metrics.requests.inc();
         let t0 = Instant::now();
         let decoded = split_envelope(request_bytes)
@@ -193,7 +304,7 @@ impl AuditorServer {
     /// Freezes the attached recorder into a crash dump (including the
     /// event/span that triggered it, which the subscriber has already
     /// seen by the time this runs).
-    fn capture_crash_dump(&mut self, reason: &'static str) {
+    fn capture_crash_dump(&self, reason: &'static str) {
         if let Some(rec) = &self.recorder {
             let dump = rec.dump();
             self.obs
@@ -202,11 +313,11 @@ impl AuditorServer {
                         .field("spans", dump.spans.len())
                         .field("events", dump.events.len());
                 });
-            self.last_crash_dump = Some(dump);
+            *self.last_crash_dump.lock().expect("crash dump lock") = Some(dump);
         }
     }
 
-    fn dispatch(&mut self, req: Request, now: Timestamp) -> Response {
+    fn dispatch(&self, req: Request, now: Timestamp) -> Response {
         match req {
             Request::RegisterDrone {
                 operator_public,
@@ -300,17 +411,18 @@ mod tests {
     use alidrone_geo::{Distance, NoFlyZone};
 
     fn server() -> AuditorServer {
-        AuditorServer::new(Auditor::new(
+        AuditorServer::builder(Auditor::new(
             AuditorConfig::default(),
             auditor_key().clone(),
         ))
+        .build()
     }
 
     fn now() -> Timestamp {
         Timestamp::from_secs(50.0)
     }
 
-    fn register(server: &mut AuditorServer) -> DroneId {
+    fn register(server: &AuditorServer) -> DroneId {
         let req = Request::RegisterDrone {
             operator_public: operator_key().public_key().clone(),
             tee_public: tee_key().public_key().clone(),
@@ -323,8 +435,8 @@ mod tests {
 
     #[test]
     fn register_and_submit_over_the_wire() {
-        let mut s = server();
-        let id = register(&mut s);
+        let s = server();
+        let id = register(&s);
         // Register a far zone.
         let zreq = Request::RegisterZone {
             zone: NoFlyZone::new(
@@ -350,7 +462,7 @@ mod tests {
 
     #[test]
     fn malformed_frame_yields_error_response() {
-        let mut s = server();
+        let s = server();
         let resp = Response::from_bytes(&s.handle(&[0xFF, 0x01], now())).unwrap();
         assert!(matches!(
             resp,
@@ -369,10 +481,12 @@ mod tests {
         let obs = Obs::noop();
         let ring = Arc::new(RingBuffer::new(8));
         obs.set_subscriber(ring.clone());
-        let mut s = AuditorServer::with_obs(
-            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
-            &obs,
-        );
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .build();
 
         let frame = [0xFF, 0x01, 0x02];
         let resp = Response::from_bytes(&s.handle(&frame, now())).unwrap();
@@ -397,10 +511,12 @@ mod tests {
     #[test]
     fn request_latency_and_error_codes_are_tracked() {
         let obs = Obs::noop();
-        let mut s = AuditorServer::with_obs(
-            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
-            &obs,
-        );
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .build();
 
         // A successful registration and an unknown-drone submission.
         let req = Request::RegisterDrone {
@@ -435,7 +551,7 @@ mod tests {
 
     #[test]
     fn unknown_drone_error_code() {
-        let mut s = server();
+        let s = server();
         let req = Request::SubmitPoa {
             drone_id: DroneId::new(404),
             window_start: Timestamp::from_secs(0.0),
@@ -454,8 +570,8 @@ mod tests {
 
     #[test]
     fn replayed_query_error_code() {
-        let mut s = server();
-        let id = register(&mut s);
+        let s = server();
+        let id = register(&s);
         let q = ZoneQuery::new_signed(id, origin(), origin(), [3u8; 16], operator_key()).unwrap();
         let req = Request::QueryZones(q).to_bytes();
         let first = Response::from_bytes(&s.handle(&req, now())).unwrap();
@@ -474,8 +590,8 @@ mod tests {
     fn encrypted_submission_over_the_wire() {
         use alidrone_crypto::rng::XorShift64;
         let mut rng = XorShift64::seed_from_u64(55);
-        let mut s = server();
-        let id = register(&mut s);
+        let s = server();
+        let id = register(&s);
         let poa = ProofOfAlibi::from_entries(signed_samples(4));
         let enc = poa
             .encrypt(s.auditor().public_encryption_key(), &mut rng)
@@ -492,8 +608,8 @@ mod tests {
 
     #[test]
     fn garbage_encrypted_blocks_yield_decrypt_error() {
-        let mut s = server();
-        let id = register(&mut s);
+        let s = server();
+        let id = register(&s);
         let req = Request::SubmitEncryptedPoa {
             drone_id: id,
             window_start: Timestamp::from_secs(0.0),
@@ -518,10 +634,12 @@ mod tests {
         let obs = Obs::noop();
         let recorder = Arc::new(FlightRecorder::new(16));
         obs.set_subscriber(recorder.clone());
-        let mut s = AuditorServer::with_obs(
-            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
-            &obs,
-        );
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .build();
         let req = Request::RegisterDrone {
             operator_public: operator_key().public_key().clone(),
             tee_public: tee_key().public_key().clone(),
@@ -545,7 +663,7 @@ mod tests {
     #[test]
     fn untraced_server_still_accepts_enveloped_frames() {
         use crate::wire::{encode_enveloped, WireTraceContext};
-        let mut s = server();
+        let s = server();
         let req = Request::RegisterDrone {
             operator_public: operator_key().public_key().clone(),
             tee_public: tee_key().public_key().clone(),
@@ -566,11 +684,13 @@ mod tests {
         let obs = Obs::noop();
         let recorder = Arc::new(FlightRecorder::new(32));
         obs.set_subscriber(recorder.clone());
-        let mut s = AuditorServer::with_obs(
-            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
-            &obs,
-        )
-        .with_flight_recorder(recorder);
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .flight_recorder(recorder)
+        .build();
         assert!(s.last_crash_dump().is_none());
 
         // Build up some context first, then trip the malformed path.
@@ -605,9 +725,76 @@ mod tests {
     }
 
     #[test]
+    fn server_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AuditorServer>();
+        assert_send_sync::<Auditor>();
+
+        // Serve the same Arc'd instance from two threads at once.
+        let s = Arc::new(server());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || register(&s))
+            })
+            .collect();
+        let ids: Vec<DroneId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(s.auditor().drone_count(), 2);
+    }
+
+    #[test]
+    fn builder_sets_serve_config() {
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .workers(9)
+        .read_timeout(Duration::from_millis(250))
+        .write_timeout(Duration::from_millis(750))
+        .build();
+        assert_eq!(
+            s.serve_config(),
+            ServeConfig {
+                workers: 9,
+                read_timeout: Duration::from_millis(250),
+                write_timeout: Duration::from_millis(750),
+            }
+        );
+        // Zero workers is clamped to one.
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .workers(0)
+        .build();
+        assert_eq!(s.serve_config().workers, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_serve() {
+        let recorder = Arc::new(FlightRecorder::new(8));
+        let obs = Obs::noop();
+        obs.set_subscriber(recorder.clone());
+        let s = AuditorServer::with_obs(
+            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
+            &obs,
+        )
+        .with_flight_recorder(recorder);
+        register(&s);
+        let s2 = AuditorServer::new(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ));
+        register(&s2);
+        assert_eq!(s.auditor().drone_count(), 1);
+    }
+
+    #[test]
     fn accusation_over_the_wire() {
-        let mut s = server();
-        let id = register(&mut s);
+        let s = server();
+        let id = register(&s);
         let zreq = Request::RegisterZone {
             zone: NoFlyZone::new(
                 origin().destination(0.0, Distance::from_km(50.0)),

@@ -1,0 +1,599 @@
+//! Networked serving over `std::net`: the paper's Fig. 4 deployment,
+//! where drones reach the AliDrone Server through a socket.
+//!
+//! # Framing
+//!
+//! Both directions carry the existing codec frames unchanged, one per
+//! length-prefixed TCP message:
+//!
+//! ```text
+//! request:  | u32 len (BE) | f64 now_secs (BE) | request frame… |
+//! response: | u32 len (BE) | response frame…                    |
+//! ```
+//!
+//! The `request frame` is byte-for-byte what [`AuditorServer::handle`]
+//! accepts in-process — bare or wrapped in the `0xE7` trace envelope —
+//! so verdicts, PoA outcomes, and stitched traces are identical over
+//! TCP and over [`InProcess`](crate::wire::transport::InProcess). The
+//! `now_secs` prologue carries the caller's (possibly simulated) clock
+//! in-frame, keeping simulation runs deterministic across the socket.
+//!
+//! # Threading model
+//!
+//! [`TcpServer`] runs one accept thread plus a bounded worker pool
+//! ([`ServeConfig::workers`](crate::wire::server::ServeConfig)); each accepted connection is handed to
+//! one worker, which owns it for its lifetime and streams frames
+//! sequentially (concurrency comes from connections, not from frames
+//! within one). Workers set per-connection read/write timeouts from
+//! [`ServeConfig`](crate::wire::server::ServeConfig); an idle read timeout between frames is the
+//! shutdown-check point, while a stall *mid-frame* drops the
+//! connection. [`TcpServer::shutdown`] drains: in-flight requests
+//! finish and their responses are written before threads join.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use alidrone_geo::Timestamp;
+use alidrone_obs::{Counter, Level, Obs};
+
+use crate::wire::server::AuditorServer;
+use crate::wire::transport::Transport;
+use crate::ProtocolError;
+
+/// Hard cap on one TCP message body (matches the codec's own limit).
+const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// How often blocked accept/worker loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+// ---------------------------------------------------------------- framing
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Blocking read of one length-prefixed frame (client side: the socket
+/// read timeout bounds the wait).
+fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds 16 MiB cap",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Pops one complete frame body off the front of `buf`, if present.
+fn extract_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, io::Error> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds 16 MiB cap",
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let body = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Ok(Some(body))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+// -------------------------------------------------------------- TcpServer
+
+/// A listening front end serving one shared [`AuditorServer`] over TCP.
+///
+/// Created with [`TcpServer::bind`]; serving starts immediately on
+/// background threads. Dropping the handle shuts down gracefully, or
+/// call [`shutdown`](TcpServer::shutdown) explicitly to join the
+/// threads and observe completion.
+#[derive(Debug)]
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an OS-assigned loopback port) and
+    /// starts serving `server` with the worker count and timeouts from
+    /// its [`ServeConfig`](crate::wire::server::ServeConfig).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, server: Arc<AuditorServer>) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe shutdown without
+        // a wake-up connection.
+        listener.set_nonblocking(true)?;
+
+        let cfg = server.serve_config();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = server.obs().counter("server.connections");
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let server = Arc::clone(&server);
+                let shutdown = Arc::clone(&shutdown);
+                thread::spawn(move || loop {
+                    let next = rx
+                        .lock()
+                        .expect("worker queue lock")
+                        .recv_timeout(POLL_INTERVAL);
+                    match next {
+                        Ok(stream) => {
+                            if let Err(e) = serve_connection(&server, stream, &shutdown, &cfg) {
+                                server.obs().emit(
+                                    Level::Warn,
+                                    "wire.tcp",
+                                    "connection_error",
+                                    |f| {
+                                        f.field("error", e.to_string());
+                                    },
+                                );
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                        // Accept loop gone and queue drained.
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = thread::spawn(move || {
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        connections.inc();
+                        // Workers use blocking reads with timeouts.
+                        if stream.set_nonblocking(false).is_ok() && tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(ref e) if is_timeout(e) => thread::sleep(POLL_INTERVAL),
+                    Err(_) => thread::sleep(POLL_INTERVAL),
+                }
+            }
+            // Dropping `tx` lets idle workers exit once the queue is dry.
+        });
+
+        Ok(TcpServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stops accepting, lets workers finish (and
+    /// answer) every request already received, then joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serves one connection until the peer closes, shutdown drains it, or
+/// an error/mid-frame stall drops it.
+fn serve_connection(
+    server: &AuditorServer,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    cfg: &crate::wire::server::ServeConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(cfg.read_timeout.max(POLL_INTERVAL)))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 8192];
+    loop {
+        // Serve every complete frame already received — including after
+        // shutdown, so in-flight requests drain with responses.
+        while let Some(body) = extract_frame(&mut buf)? {
+            let response = handle_framed(server, &body);
+            write_frame(&mut stream, &response)?;
+        }
+        if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+            return Ok(());
+        }
+        match stream.read(&mut tmp) {
+            // Peer closed; a partial trailing frame is a peer bug but
+            // not ours to report.
+            Ok(0) => return Ok(()),
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(ref e) if is_timeout(e) && buf.is_empty() => {
+                // Idle between frames: loop around to re-check shutdown.
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Mid-frame stall or hard error: drop the connection.
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Unpacks the `now_secs` prologue and hands the frame to the server.
+/// A body too short to carry the prologue is fed through anyway so it
+/// lands in the server's malformed-frame accounting.
+fn handle_framed(server: &AuditorServer, body: &[u8]) -> Vec<u8> {
+    match body.get(..8) {
+        Some(prologue) => {
+            let now = f64::from_be_bytes(prologue.try_into().expect("8-byte slice"));
+            server.handle(&body[8..], Timestamp::from_secs(now))
+        }
+        None => server.handle(body, Timestamp::from_secs(0.0)),
+    }
+}
+
+// ------------------------------------------------------------ TcpTransport
+
+/// A client-side [`Transport`] over one TCP connection.
+///
+/// Connects lazily on the first call and keeps the stream behind a
+/// mutex, so the transport is `Send + Sync`; calls on one transport
+/// serialise (use one transport per thread for parallelism — the
+/// server end is concurrent across connections).
+///
+/// A write failure on a *reused* stream means the pooled connection
+/// died since the last call (server restart, idle drop): the transport
+/// reconnects once and resends, emitting `transport.reconnects`. A
+/// *read* failure is never resent here — whether the request executed
+/// is unknown, so the typed error surfaces and only the
+/// [`AuditorClient`](crate::wire::transport::AuditorClient) retry
+/// layer, which knows idempotency, may resend.
+#[derive(Debug)]
+pub struct TcpTransport {
+    addr: SocketAddr,
+    stream: Mutex<Option<TcpStream>>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    calls: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    obs: Obs,
+}
+
+impl TcpTransport {
+    /// A transport for `addr` (untraced; connects on first use).
+    pub fn new(addr: SocketAddr) -> Self {
+        TcpTransport::with_obs(addr, &Obs::noop())
+    }
+
+    /// As [`new`](Self::new), counting traffic into `obs` under the
+    /// same `transport.*` names the in-process transport uses, plus
+    /// `transport.reconnects`.
+    pub fn with_obs(addr: SocketAddr, obs: &Obs) -> Self {
+        TcpTransport {
+            addr,
+            stream: Mutex::new(None),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            calls: obs.counter("transport.calls"),
+            bytes_in: obs.counter("transport.bytes_in"),
+            bytes_out: obs.counter("transport.bytes_out"),
+            reconnects: obs.counter("transport.reconnects"),
+            obs: obs.clone(),
+        }
+    }
+
+    /// Socket-level read/write timeouts (default 5 s each). An elapsed
+    /// read timeout surfaces as [`ProtocolError::Timeout`].
+    pub fn timeouts(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// The server address this transport dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn connect(&self) -> Result<TcpStream, ProtocolError> {
+        let stream = TcpStream::connect(self.addr).map_err(io_to_protocol)?;
+        stream
+            .set_read_timeout(Some(self.read_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.write_timeout)))
+            .map_err(io_to_protocol)?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+}
+
+fn io_to_protocol(e: io::Error) -> ProtocolError {
+    if is_timeout(&e) {
+        ProtocolError::Timeout
+    } else {
+        ProtocolError::Transport(e.to_string())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+        self.calls.inc();
+        self.bytes_in.add(request.len() as u64);
+        let mut body = Vec::with_capacity(8 + request.len());
+        body.extend_from_slice(&now.secs().to_be_bytes());
+        body.extend_from_slice(request);
+
+        let mut guard = self.stream.lock().expect("tcp stream lock");
+        let reused = guard.is_some();
+        if guard.is_none() {
+            *guard = Some(self.connect()?);
+        }
+        let stream = guard.as_mut().expect("stream just ensured");
+        if let Err(e) = write_frame(stream, &body) {
+            if !reused {
+                *guard = None;
+                return Err(io_to_protocol(e));
+            }
+            // Broken pipe on a pooled connection: reconnect and resend.
+            // Safe because the request bytes never reached a live
+            // server — the failure was on write, not read.
+            self.reconnects.inc();
+            self.obs.emit(Level::Warn, "wire.tcp", "reconnecting", |f| {
+                f.field("error", e.to_string());
+            });
+            *guard = Some(self.connect()?);
+            write_frame(guard.as_mut().expect("fresh stream"), &body).map_err(|e| {
+                *guard = None;
+                io_to_protocol(e)
+            })?;
+        }
+        match read_frame(guard.as_mut().expect("stream present")) {
+            Ok(response) => {
+                self.bytes_out.add(response.len() as u64);
+                Ok(response)
+            }
+            Err(e) => {
+                // The response is lost and the stream state unknown:
+                // drop it so the next call starts clean.
+                *guard = None;
+                Err(io_to_protocol(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::{Auditor, AuditorConfig};
+    use crate::test_support::{auditor_key, operator_key, origin, tee_key};
+    use crate::wire::transport::AuditorClient;
+    use crate::wire::{ErrorCode, Request, Response};
+    use alidrone_geo::{Distance, NoFlyZone};
+
+    fn spawn_server(workers: usize) -> (TcpServer, Arc<AuditorServer>, Obs) {
+        let obs = Obs::noop();
+        let server = Arc::new(
+            AuditorServer::builder(Auditor::new(
+                AuditorConfig::default(),
+                auditor_key().clone(),
+            ))
+            .obs(&obs)
+            .workers(workers)
+            .read_timeout(Duration::from_millis(200))
+            .build(),
+        );
+        let tcp = TcpServer::bind("127.0.0.1:0", Arc::clone(&server)).unwrap();
+        (tcp, server, obs)
+    }
+
+    fn now() -> Timestamp {
+        Timestamp::from_secs(42.0)
+    }
+
+    #[test]
+    fn register_and_query_over_loopback() {
+        let (tcp, server, _obs) = spawn_server(2);
+        let mut client = AuditorClient::new(TcpTransport::new(tcp.local_addr()));
+        let id = client
+            .register_drone(
+                operator_key().public_key().clone(),
+                tee_key().public_key().clone(),
+                now(),
+            )
+            .unwrap();
+        let zid = client
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(25.0)), now())
+            .unwrap();
+        assert_eq!(server.auditor().drone_count(), 1);
+        assert_eq!(server.auditor().zone_count(), 1);
+        let zones = client
+            .query_rect(
+                id,
+                origin().destination(225.0, Distance::from_km(1.0)),
+                origin().destination(45.0, Distance::from_km(1.0)),
+                [7u8; 16],
+                operator_key(),
+                now(),
+            )
+            .unwrap();
+        assert_eq!(zones.len(), 1);
+        assert_eq!(zones[0].0, zid);
+        tcp.shutdown();
+    }
+
+    #[test]
+    fn malformed_tcp_body_gets_an_error_response() {
+        let (tcp, _server, obs) = spawn_server(1);
+        let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Too short to even carry the now-prologue.
+        write_frame(&mut stream, &[0xAB, 0xCD]).unwrap();
+        let resp = Response::from_bytes(&read_frame(&mut stream).unwrap()).unwrap();
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ));
+        assert_eq!(obs.snapshot().counter("server.malformed_frames"), 1);
+        tcp.shutdown();
+    }
+
+    #[test]
+    fn now_prologue_carries_the_callers_clock() {
+        // The server stores PoAs stamped with the *request's* timestamp,
+        // not its own wall clock — submit at a chosen sim time and check
+        // the retention boundary honours it.
+        let (tcp, server, _obs) = spawn_server(1);
+        let mut client = AuditorClient::new(TcpTransport::new(tcp.local_addr()));
+        let id = client
+            .register_drone(
+                operator_key().public_key().clone(),
+                tee_public(),
+                Timestamp::from_secs(0.0),
+            )
+            .unwrap();
+        let poa = crate::ProofOfAlibi::from_entries(crate::test_support::signed_samples(3));
+        client
+            .submit_poa(
+                id,
+                (Timestamp::from_secs(0.0), Timestamp::from_secs(2.0)),
+                &poa,
+                Timestamp::from_secs(1_000.0),
+            )
+            .unwrap();
+        let stored = server.auditor().latest_stored(id).unwrap();
+        assert_eq!(stored.stored_at, Timestamp::from_secs(1_000.0));
+        tcp.shutdown();
+    }
+
+    fn tee_public() -> alidrone_crypto::rsa::RsaPublicKey {
+        tee_key().public_key().clone()
+    }
+
+    #[test]
+    fn connection_counter_and_multiple_clients() {
+        let (tcp, server, obs) = spawn_server(2);
+        for _ in 0..3 {
+            let mut client = AuditorClient::new(TcpTransport::new(tcp.local_addr()));
+            client
+                .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+                .unwrap();
+        }
+        assert_eq!(server.auditor().zone_count(), 3);
+        tcp.shutdown();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("server.connections"), 3);
+        assert_eq!(snap.counter("server.requests"), 3);
+    }
+
+    #[test]
+    fn transport_reconnects_after_server_restart_on_same_port() {
+        let (tcp, _server, _obs) = spawn_server(1);
+        let addr = tcp.local_addr();
+        let obs = Obs::noop();
+        let transport = TcpTransport::with_obs(addr, &obs);
+        let req = Request::RegisterZone {
+            zone: NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+        };
+        transport.call(&req.to_bytes(), now()).unwrap();
+
+        // Kill the server; the pooled stream is now dead.
+        tcp.shutdown();
+        let server2 = Arc::new(
+            AuditorServer::builder(Auditor::new(
+                AuditorConfig::default(),
+                auditor_key().clone(),
+            ))
+            .build(),
+        );
+        let tcp2 = TcpServer::bind(addr, Arc::clone(&server2)).unwrap();
+
+        // The first call may surface the stale-stream failure (written
+        // bytes vanished into the dead socket's buffer); the transport
+        // reconnects on the write-failure path or drops the stream on
+        // the read-failure path, so a bounded number of calls must get
+        // through without constructing a new transport.
+        let mut ok = false;
+        for _ in 0..3 {
+            if transport.call(&req.to_bytes(), now()).is_ok() {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "transport never recovered after server restart");
+        assert!(server2.auditor().zone_count() >= 1);
+        tcp2.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_answers_inflight_requests() {
+        let (tcp, server, _obs) = spawn_server(2);
+        let addr = tcp.local_addr();
+        // Park a request on the wire, then shut down while it is being
+        // handled: the response must still arrive.
+        let handle = thread::spawn(move || {
+            let mut client = AuditorClient::new(TcpTransport::new(addr));
+            client.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+        });
+        // Give the request time to hit a worker, then drain.
+        thread::sleep(Duration::from_millis(50));
+        tcp.shutdown();
+        handle.join().unwrap().unwrap();
+        assert_eq!(server.auditor().zone_count(), 1);
+    }
+}

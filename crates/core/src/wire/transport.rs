@@ -1,11 +1,18 @@
 //! Transports and the typed client.
 //!
-//! The deployed system would speak this protocol over a socket; the
-//! reproduction provides an in-process transport (direct function call)
-//! plus a deterministic fault-injecting wrapper used to test that both
-//! ends treat the network as untrusted.
+//! The deployed system speaks this protocol over a socket
+//! ([`TcpTransport`](crate::wire::tcp::TcpTransport)); the reproduction
+//! also provides an in-process transport (direct function call) plus a
+//! deterministic fault-injecting wrapper used to test that both ends
+//! treat the network as untrusted.
+//!
+//! [`Transport::call`] takes `&self`: every transport keeps its state
+//! behind interior locks or atomics, so transports — and the
+//! [`AuditorClient`] above them — are `Send + Sync` and shareable.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use alidrone_geo::{GeoPoint, NoFlyZone, Timestamp};
 use alidrone_obs::{Counter, Level, Obs, SpanContext};
@@ -49,13 +56,30 @@ fn peek_frame(request: &[u8]) -> (&'static str, Option<WireTraceContext>) {
 }
 
 /// A request/response byte transport.
+///
+/// `call` takes `&self` so one transport can serve concurrent callers;
+/// implementations guard any connection or schedule state internally.
 pub trait Transport {
     /// Sends one request frame and returns the response frame.
     ///
     /// # Errors
     ///
-    /// Returns a [`ProtocolError`] for transport-level loss.
-    fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError>;
+    /// Returns a [`ProtocolError`] for transport-level loss —
+    /// [`ProtocolError::Transport`] for a lost frame,
+    /// [`ProtocolError::Timeout`] for an elapsed socket deadline.
+    fn call(&self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError>;
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn call(&self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+        (**self).call(request, now)
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn call(&self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+        (**self).call(request, now)
+    }
 }
 
 /// Pre-registered transport traffic counters.
@@ -77,9 +101,12 @@ impl TrafficMetrics {
 }
 
 /// Direct in-process delivery to an [`AuditorServer`].
+///
+/// Holds the server behind an `Arc`, so the same instance can also be
+/// served by other transports (or inspected) concurrently.
 #[derive(Debug)]
 pub struct InProcess {
-    server: AuditorServer,
+    server: Arc<AuditorServer>,
     metrics: TrafficMetrics,
 }
 
@@ -91,6 +118,12 @@ impl InProcess {
 
     /// Wraps a server, counting calls and bytes in/out into `obs`.
     pub fn with_obs(server: AuditorServer, obs: &Obs) -> Self {
+        InProcess::shared(Arc::new(server), obs)
+    }
+
+    /// Wraps an already-shared server — e.g. the same instance a
+    /// [`TcpServer`](crate::wire::tcp::TcpServer) is serving.
+    pub fn shared(server: Arc<AuditorServer>, obs: &Obs) -> Self {
         InProcess {
             server,
             metrics: TrafficMetrics::new(obs),
@@ -102,14 +135,14 @@ impl InProcess {
         &self.server
     }
 
-    /// Mutable access to the wrapped server.
-    pub fn server_mut(&mut self) -> &mut AuditorServer {
-        &mut self.server
+    /// A clone of the shared server handle.
+    pub fn server_arc(&self) -> Arc<AuditorServer> {
+        Arc::clone(&self.server)
     }
 }
 
 impl Transport for InProcess {
-    fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+    fn call(&self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
         self.metrics.calls.inc();
         self.metrics.bytes_in.add(request.len() as u64);
         let response = self.server.handle(request, now);
@@ -120,12 +153,17 @@ impl Transport for InProcess {
 
 /// Deterministic fault injection: drops every `drop_period`-th call
 /// and/or flips one byte of every `corrupt_period`-th response.
+///
+/// The call counter is atomic, so the schedule stays exact (every
+/// `p`-th call globally) even when the transport is shared across
+/// threads — though cross-thread arrival order is then up to the
+/// scheduler. Single-threaded use is fully deterministic.
 #[derive(Debug)]
 pub struct Flaky<T> {
     inner: T,
     drop_period: Option<u64>,
     corrupt_period: Option<u64>,
-    calls: u64,
+    calls: AtomicU64,
     obs: Obs,
     dropped: Arc<Counter>,
     corrupted: Arc<Counter>,
@@ -143,7 +181,7 @@ impl<T: Transport> Flaky<T> {
             inner,
             drop_period: None,
             corrupt_period: None,
-            calls: 0,
+            calls: AtomicU64::new(0),
             obs: obs.clone(),
             dropped: obs.counter("transport.faults.dropped"),
             corrupted: obs.counter("transport.faults.corrupted"),
@@ -174,14 +212,10 @@ impl<T: Transport> Flaky<T> {
 }
 
 impl<T: Transport> Transport for Flaky<T> {
-    fn call(&mut self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
-        self.calls += 1;
-        if self
-            .drop_period
-            .is_some_and(|p| self.calls.is_multiple_of(p))
-        {
+    fn call(&self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.drop_period.is_some_and(|p| call.is_multiple_of(p)) {
             self.dropped.inc();
-            let call = self.calls;
             self.obs
                 .emit(Level::Warn, "wire.transport", "request_dropped", |f| {
                     // Tag the fault with what was lost, so injected
@@ -192,17 +226,13 @@ impl<T: Transport> Transport for Flaky<T> {
                         f.field("trace_id", format!("{:032x}", ctx.trace_id));
                     }
                 });
-            return Err(ProtocolError::Malformed("transport: request lost"));
+            return Err(ProtocolError::Transport("request lost".into()));
         }
         let mut resp = self.inner.call(request, now)?;
-        if self
-            .corrupt_period
-            .is_some_and(|p| self.calls.is_multiple_of(p))
-        {
+        if self.corrupt_period.is_some_and(|p| call.is_multiple_of(p)) {
             if let Some(b) = resp.get_mut(0) {
                 *b ^= 0x55;
                 self.corrupted.inc();
-                let call = self.calls;
                 self.obs
                     .emit(Level::Warn, "wire.transport", "response_corrupted", |f| {
                         let (kind, trace) = peek_frame(request);
@@ -217,6 +247,38 @@ impl<T: Transport> Transport for Flaky<T> {
     }
 }
 
+/// Retry policy for [`AuditorClient`]: bounded exponential backoff with
+/// deterministic, seedable jitter.
+///
+/// Retries apply **only** to transport-level losses
+/// ([`ProtocolError::is_transport`]) of **idempotent** request kinds
+/// ([`Request::is_idempotent`]) — a lost zone query is surfaced to the
+/// caller rather than replayed, because its nonce is already burned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per logical call (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the jitter sequence: the same seed reproduces the same
+    /// backoff schedule exactly (tested — determinism is part of the
+    /// contract).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
 /// A typed protocol client over any transport.
 ///
 /// With an [`Obs`] handle attached (and a subscriber installed), every
@@ -224,11 +286,25 @@ impl<T: Transport> Transport for Flaky<T> {
 /// frame envelope to the server, stitching client and server spans
 /// into one trace. Without one, requests go out as bare pre-envelope
 /// frames.
+///
+/// With a [`RetryPolicy`] attached, each attempt additionally opens a
+/// `wire.attempt` child span (and it is the *attempt's* context that
+/// rides the envelope), so a retried call renders as one `wire.<kind>`
+/// span with several attempt spans, each parenting its server span.
+/// Retries increment the `transport.retries` counter; blown deadlines
+/// increment `transport.timeouts`.
 #[derive(Debug)]
 pub struct AuditorClient<T> {
     transport: T,
     obs: Obs,
     trace_parent: Option<SpanContext>,
+    retry: Option<RetryPolicy>,
+    /// Jitter RNG state, advanced per retry (xorshift64).
+    jitter_state: u64,
+    /// Wall-clock budget per logical call, spanning all attempts.
+    deadline: Option<Duration>,
+    retries: Arc<Counter>,
+    timeouts: Arc<Counter>,
 }
 
 impl<T: Transport> AuditorClient<T> {
@@ -243,7 +319,28 @@ impl<T: Transport> AuditorClient<T> {
             transport,
             obs: obs.clone(),
             trace_parent: None,
+            retry: None,
+            jitter_state: 0,
+            deadline: None,
+            retries: obs.counter("transport.retries"),
+            timeouts: obs.counter("transport.timeouts"),
         }
+    }
+
+    /// Attaches a retry policy: transport-level failures of idempotent
+    /// requests are resent with exponential backoff.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.jitter_state = policy.jitter_seed.max(1);
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Caps the wall-clock time one logical call may spend across all
+    /// its attempts (backoffs included). On expiry the call returns
+    /// [`ProtocolError::Timeout`].
+    pub fn deadline(mut self, per_call: Duration) -> Self {
+        self.deadline = Some(per_call);
+        self
     }
 
     /// Parents subsequent wire spans under `parent` instead of the
@@ -259,27 +356,110 @@ impl<T: Transport> AuditorClient<T> {
         &mut self.transport
     }
 
+    /// Shared access to the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Next jitter sample in `[0, cap]` (xorshift64 — deterministic for
+    /// a given [`RetryPolicy::jitter_seed`]).
+    fn next_jitter(&mut self, cap: Duration) -> Duration {
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        let cap_us = cap.as_micros() as u64;
+        if cap_us == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(x % (cap_us + 1))
+    }
+
+    /// Backoff before retry number `retry_no` (1-based): exponential
+    /// from `base_backoff`, capped, plus jitter of up to half itself.
+    fn backoff_for(&mut self, policy: &RetryPolicy, retry_no: u32) -> Duration {
+        let exp = policy
+            .base_backoff
+            .saturating_mul(1u32 << retry_no.saturating_sub(1).min(20));
+        let capped = exp.min(policy.max_backoff);
+        capped + self.next_jitter(capped / 2)
+    }
+
     fn roundtrip(&mut self, req: &Request, now: Timestamp) -> Result<Response, ProtocolError> {
-        let name = WIRE_SPAN_NAMES[request_kind_index(req)];
+        let kind = request_kind_index(req);
+        let name = WIRE_SPAN_NAMES[kind];
         let span = match &self.trace_parent {
             Some(parent) => self.obs.span_with_parent(name, Some(parent)),
             None => self.obs.enter_span(name),
         };
         let payload = req.to_bytes();
-        let frame = match span.context() {
-            Some(ctx) => encode_enveloped(
-                WireTraceContext {
-                    trace_id: ctx.trace_id,
-                    span_id: ctx.span_id,
-                },
-                &payload,
-            ),
-            None => payload,
+        let max_attempts = match self.retry {
+            Some(p) if req.is_idempotent() => p.max_attempts.max(1),
+            _ => 1,
+        };
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        let bytes = loop {
+            attempt += 1;
+            // Only a retry-capable client opens per-attempt spans: a
+            // plain client keeps the historical single-span shape, so
+            // the server span parents directly on `wire.<kind>`.
+            let attempt_span = self
+                .retry
+                .is_some()
+                .then(|| self.obs.enter_span("wire.attempt"));
+            let envelope_ctx = attempt_span
+                .as_ref()
+                .and_then(|s| s.context())
+                .or_else(|| span.context());
+            let frame = match envelope_ctx {
+                Some(ctx) => encode_enveloped(
+                    WireTraceContext {
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
+                    },
+                    &payload,
+                ),
+                None => payload.clone(),
+            };
+            let result = self.transport.call(&frame, now);
+            if let Some(s) = attempt_span {
+                s.finish();
+            }
+            match result {
+                Ok(bytes) => break bytes,
+                Err(e) if e.is_transport() && attempt < max_attempts => {
+                    let policy = self.retry.expect("max_attempts > 1 implies a policy");
+                    let backoff = self.backoff_for(&policy, attempt);
+                    if let Some(deadline) = self.deadline {
+                        // Never start a backoff the deadline cannot
+                        // absorb: fail fast with Timeout instead.
+                        if started.elapsed() + backoff >= deadline {
+                            self.timeouts.inc();
+                            return Err(ProtocolError::Timeout);
+                        }
+                    }
+                    self.retries.inc();
+                    self.obs.emit(Level::Warn, "wire.client", "retrying", |f| {
+                        f.field("kind", crate::wire::REQUEST_KINDS[kind])
+                            .field("attempt", attempt as u64)
+                            .field("backoff_us", backoff.as_micros() as u64)
+                            .field("error", e.to_string());
+                    });
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => {
+                    if matches!(e, ProtocolError::Timeout) {
+                        self.timeouts.inc();
+                    }
+                    return Err(e);
+                }
+            }
         };
         // `span` stays live (and on the handle's span stack) until this
         // function returns, so it covers transport, server handling on
         // in-process transports, and response decoding.
-        let bytes = self.transport.call(&frame, now)?;
         let resp = Response::from_bytes(&bytes)?;
         if let Response::Error { code, .. } = &resp {
             // Map wire error codes back onto typed errors where callers
@@ -427,7 +607,7 @@ mod tests {
 
     fn client() -> AuditorClient<InProcess> {
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        AuditorClient::new(InProcess::new(AuditorServer::new(auditor)))
+        AuditorClient::new(InProcess::new(AuditorServer::builder(auditor).build()))
     }
 
     fn now() -> Timestamp {
@@ -465,10 +645,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             zones,
-            vec![(
-                zid,
-                *c.transport_mut().server().auditor().zone(zid).unwrap()
-            )]
+            vec![(zid, c.transport().server().auditor().zone(zid).unwrap())]
         );
 
         let poa = ProofOfAlibi::from_entries(signed_samples(5));
@@ -516,7 +693,8 @@ mod tests {
     #[test]
     fn dropped_requests_surface_as_errors() {
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let flaky = Flaky::new(InProcess::new(AuditorServer::new(auditor))).drop_every(2);
+        let flaky =
+            Flaky::new(InProcess::new(AuditorServer::builder(auditor).build())).drop_every(2);
         let mut c = AuditorClient::new(flaky);
         // First call passes, second is dropped, third passes.
         c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
@@ -531,7 +709,8 @@ mod tests {
     #[test]
     fn corrupted_responses_are_rejected_not_misparsed() {
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let flaky = Flaky::new(InProcess::new(AuditorServer::new(auditor))).corrupt_every(1);
+        let flaky =
+            Flaky::new(InProcess::new(AuditorServer::builder(auditor).build())).corrupt_every(1);
         let mut c = AuditorClient::new(flaky);
         // Every response is corrupted: the client must error, never
         // return a bogus typed value.
@@ -544,7 +723,7 @@ mod tests {
     fn traffic_and_fault_counters_accumulate() {
         let obs = Obs::noop();
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let server = AuditorServer::with_obs(auditor, &obs);
+        let server = AuditorServer::builder(auditor).obs(&obs).build();
         let flaky = Flaky::with_obs(InProcess::with_obs(server, &obs), &obs).drop_every(2);
         let mut c = AuditorClient::new(flaky);
         for _ in 0..4 {
@@ -567,7 +746,7 @@ mod tests {
         let rec = Arc::new(FlightRecorder::new(64));
         obs.set_subscriber(rec.clone());
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let server = AuditorServer::with_obs(auditor, &obs);
+        let server = AuditorServer::builder(auditor).obs(&obs).build();
         let mut c = AuditorClient::with_obs(InProcess::with_obs(server, &obs), &obs);
         c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
             .unwrap();
@@ -596,7 +775,7 @@ mod tests {
         let rec = Arc::new(FlightRecorder::new(16));
         obs.set_subscriber(rec.clone());
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let server = AuditorServer::with_obs(auditor, &obs);
+        let server = AuditorServer::builder(auditor).obs(&obs).build();
         let mut c = AuditorClient::new(InProcess::new(server));
         c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
             .unwrap();
@@ -614,8 +793,11 @@ mod tests {
         let ring = Arc::new(RingBuffer::new(8));
         obs.set_subscriber(ring.clone());
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let flaky =
-            Flaky::with_obs(InProcess::new(AuditorServer::new(auditor)), &obs).drop_every(1);
+        let flaky = Flaky::with_obs(
+            InProcess::new(AuditorServer::builder(auditor).build()),
+            &obs,
+        )
+        .drop_every(1);
         let mut c = AuditorClient::with_obs(flaky, &obs);
         assert!(c
             .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
@@ -640,8 +822,11 @@ mod tests {
         let ring = Arc::new(RingBuffer::new(8));
         obs.set_subscriber(ring.clone());
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let flaky =
-            Flaky::with_obs(InProcess::new(AuditorServer::new(auditor)), &obs).corrupt_every(1);
+        let flaky = Flaky::with_obs(
+            InProcess::new(AuditorServer::builder(auditor).build()),
+            &obs,
+        )
+        .corrupt_every(1);
         let mut c = AuditorClient::new(flaky);
         assert!(c
             .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
@@ -659,7 +844,8 @@ mod tests {
     #[test]
     fn server_state_persists_across_transport_faults() {
         let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
-        let flaky = Flaky::new(InProcess::new(AuditorServer::new(auditor))).drop_every(3);
+        let flaky =
+            Flaky::new(InProcess::new(AuditorServer::builder(auditor).build())).drop_every(3);
         let mut c = AuditorClient::new(flaky);
         let mut registered = 0;
         for _ in 0..9 {
@@ -670,5 +856,179 @@ mod tests {
             }
         }
         assert_eq!(registered, 6); // every third call dropped
+    }
+
+    fn fast_retry(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(400),
+            jitter_seed: seed,
+        }
+    }
+
+    #[test]
+    fn retry_recovers_idempotent_calls_from_transport_loss() {
+        let obs = Obs::noop();
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        // Calls 2, 4, 6, … are dropped; with retries every logical call
+        // still lands.
+        let flaky =
+            Flaky::new(InProcess::new(AuditorServer::builder(auditor).build())).drop_every(2);
+        let mut c = AuditorClient::with_obs(flaky, &obs).retry(fast_retry(7));
+        for _ in 0..6 {
+            c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+                .unwrap();
+        }
+        let snap = obs.snapshot();
+        // Physical schedule: 1 ok, 2 drop, 3 ok, 4 drop, 5 ok, … —
+        // after the first call every logical call burns one retry, so
+        // 6 logical calls = 11 physical = 5 retries. Pinned exactly to
+        // catch schedule drift.
+        assert_eq!(snap.counter("transport.retries"), 5);
+        assert_eq!(snap.counter("transport.timeouts"), 0);
+    }
+
+    #[test]
+    fn retry_attempt_count_is_deterministic_for_a_seed() {
+        // Same seed, same fault schedule → byte-identical retry
+        // behaviour: attempt counts and outcomes match across runs.
+        let run = |seed: u64| -> (u64, u64, usize) {
+            let obs = Obs::noop();
+            let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+            let flaky = Flaky::with_obs(
+                InProcess::new(AuditorServer::builder(auditor).build()),
+                &obs,
+            )
+            .drop_every(3);
+            let mut c = AuditorClient::with_obs(flaky, &obs).retry(fast_retry(seed));
+            let mut ok = 0;
+            for _ in 0..10 {
+                if c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+                    .is_ok()
+                {
+                    ok += 1;
+                }
+            }
+            let snap = obs.snapshot();
+            (
+                snap.counter("transport.retries"),
+                snap.counter("transport.calls"),
+                ok,
+            )
+        };
+        let a = run(0xAB);
+        let b = run(0xAB);
+        assert_eq!(a, b);
+        // And with retries every logical call eventually succeeds.
+        assert_eq!(a.2, 10);
+    }
+
+    #[test]
+    fn non_idempotent_queries_are_never_retried() {
+        let obs = Obs::noop();
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky =
+            Flaky::new(InProcess::new(AuditorServer::builder(auditor).build())).drop_every(1); // drop everything
+        let mut c = AuditorClient::with_obs(flaky, &obs).retry(fast_retry(1));
+        let id = DroneId::new(1); // never reaches the server anyway
+        let q = ZoneQuery::new_signed(id, origin(), origin(), [9u8; 16], operator_key()).unwrap();
+        let err = c.query_zones(q, now()).unwrap_err();
+        assert!(err.is_transport());
+        // One attempt only: the nonce is burned server-side on first
+        // delivery, so a replayed query could never succeed.
+        assert_eq!(obs.snapshot().counter("transport.retries"), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transport_error() {
+        let obs = Obs::noop();
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky =
+            Flaky::new(InProcess::new(AuditorServer::builder(auditor).build())).drop_every(1);
+        let mut c = AuditorClient::with_obs(flaky, &obs).retry(fast_retry(2));
+        let err = c
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Transport(_)));
+        assert_eq!(obs.snapshot().counter("transport.retries"), 2); // 3 attempts
+    }
+
+    #[test]
+    fn deadline_caps_the_retry_loop_with_timeout() {
+        let obs = Obs::noop();
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let flaky =
+            Flaky::new(InProcess::new(AuditorServer::builder(auditor).build())).drop_every(1);
+        let mut c = AuditorClient::with_obs(flaky, &obs)
+            .retry(RetryPolicy {
+                max_attempts: 100,
+                base_backoff: Duration::from_millis(40),
+                max_backoff: Duration::from_millis(40),
+                jitter_seed: 3,
+            })
+            .deadline(Duration::from_millis(20));
+        let err = c
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::Timeout);
+        assert_eq!(obs.snapshot().counter("transport.timeouts"), 1);
+    }
+
+    #[test]
+    fn retried_call_is_one_trace_with_attempt_spans() {
+        use alidrone_obs::FlightRecorder;
+
+        let obs = Obs::noop();
+        let rec = Arc::new(FlightRecorder::new(64));
+        obs.set_subscriber(rec.clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let server = AuditorServer::builder(auditor).obs(&obs).build();
+        // Call 1 (the probe) succeeds; call 2 is dropped, so logical
+        // call #2 takes attempts 2 and 3.
+        let flaky = Flaky::with_obs(InProcess::with_obs(server, &obs), &obs).drop_every(2);
+        let mut c = AuditorClient::with_obs(flaky, &obs).retry(fast_retry(11));
+        c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
+        c.register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
+
+        let spans = rec.spans();
+        let wire: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "wire.register_zone")
+            .collect();
+        assert_eq!(wire.len(), 2);
+        let retried = wire[1];
+        // Two attempt spans under the second wire span, one trace id.
+        let attempts: Vec<_> = spans
+            .iter()
+            .filter(|s| {
+                s.name == "wire.attempt" && s.context.parent_id == Some(retried.context.span_id)
+            })
+            .collect();
+        assert_eq!(attempts.len(), 2);
+        // The server span of the successful attempt parents on that
+        // attempt's span, in the same trace.
+        let server_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| {
+                s.name == "server.register_zone" && s.context.trace_id == retried.context.trace_id
+            })
+            .collect();
+        assert_eq!(server_spans.len(), 1);
+        assert_eq!(
+            server_spans[0].context.parent_id,
+            Some(attempts[1].context.span_id)
+        );
+    }
+
+    #[test]
+    fn transports_and_client_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InProcess>();
+        assert_send_sync::<Flaky<InProcess>>();
+        assert_send_sync::<AuditorClient<InProcess>>();
+        assert_send_sync::<AuditorClient<Flaky<InProcess>>>();
     }
 }

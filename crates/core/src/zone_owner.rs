@@ -48,7 +48,7 @@ impl ZoneOwner {
     }
 
     /// Step 1 — registers the zone with the auditor.
-    pub fn register_with(&mut self, auditor: &mut Auditor) -> ZoneId {
+    pub fn register_with(&mut self, auditor: &Auditor) -> ZoneId {
         let id = auditor.register_zone(self.zone);
         self.zone_id = Some(id);
         id
@@ -80,20 +80,20 @@ mod tests {
 
     #[test]
     fn registration_issues_id() {
-        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let mut o = owner();
         assert!(o.zone_id().is_none());
         assert!(o.report(DroneId::new(1), Timestamp::EPOCH).is_none());
-        let id = o.register_with(&mut auditor);
+        let id = o.register_with(&auditor);
         assert_eq!(o.zone_id(), Some(id));
         assert!(auditor.zone(id).is_some());
     }
 
     #[test]
     fn report_carries_ids_and_time() {
-        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let mut o = owner();
-        let zid = o.register_with(&mut auditor);
+        let zid = o.register_with(&auditor);
         let acc = o
             .report(DroneId::new(9), Timestamp::from_secs(55.0))
             .unwrap();
@@ -104,14 +104,14 @@ mod tests {
 
     #[test]
     fn polygon_owner_registers_enclosing_circle() {
-        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let verts: Vec<GeoPoint> = [0.0, 90.0, 180.0, 270.0]
             .iter()
             .map(|&b| origin().destination(b, Distance::from_meters(30.0)))
             .collect();
         let poly = PolygonZone::new(verts).unwrap();
         let mut o = ZoneOwner::with_polygon(&poly).unwrap();
-        let id = o.register_with(&mut auditor);
+        let id = o.register_with(&auditor);
         let stored = auditor.zone(id).unwrap();
         assert!((stored.radius().meters() - 30.0).abs() < 0.5);
     }

@@ -101,7 +101,7 @@ fn compliant_verdict_is_sound() {
     for _ in 0..CASES {
         let trace = arb_trace(&mut rng);
         let zones = arb_zones(&mut rng);
-        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let drone = auditor.register_drone(
             tee_key().public_key().clone(),
             tee_key().public_key().clone(),
@@ -148,7 +148,7 @@ fn verification_is_deterministic() {
     for _ in 0..CASES / 4 {
         let trace = arb_trace(&mut rng);
         let zones = arb_zones(&mut rng);
-        let mut auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+        let auditor = Auditor::new(AuditorConfig::default(), auditor_key().clone());
         let drone = auditor.register_drone(
             tee_key().public_key().clone(),
             tee_key().public_key().clone(),

@@ -53,8 +53,13 @@ fn main() {
     let auditor_key = RsaPrivateKey::generate(512, &mut rng);
     let operator_key = RsaPrivateKey::generate(512, &mut rng);
     let auditor = Auditor::with_obs(AuditorConfig::default(), auditor_key, &obs);
-    let server = AuditorServer::with_obs(auditor, &obs).with_flight_recorder(run.recorder.clone());
-    let mut client = AuditorClient::with_obs(InProcess::with_obs(server, &obs), &obs);
+    let server = std::sync::Arc::new(
+        AuditorServer::builder(auditor)
+            .obs(&obs)
+            .flight_recorder(run.recorder.clone())
+            .build(),
+    );
+    let mut client = AuditorClient::with_obs(InProcess::shared(server.clone(), &obs), &obs);
     client.set_trace_parent(run.flight_span);
 
     let now = Timestamp::from_secs(scenario.duration.secs() + 60.0);
@@ -80,13 +85,8 @@ fn main() {
 
     // One garbage frame: the server dumps the flight recorder, showing
     // the crash-forensics path.
-    let _ = client
-        .transport_mut()
-        .server_mut()
-        .handle(&[0xDE, 0xAD, 0xBE, 0xEF], now);
-    let dump = client
-        .transport_mut()
-        .server_mut()
+    let _ = server.handle(&[0xDE, 0xAD, 0xBE, 0xEF], now);
+    let dump = server
         .last_crash_dump()
         .expect("malformed frame must dump the recorder");
     println!(

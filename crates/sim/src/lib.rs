@@ -24,6 +24,7 @@
 pub mod calibrate;
 pub mod export;
 pub mod metrics;
+pub mod net;
 pub mod power;
 pub mod report;
 pub mod runner;

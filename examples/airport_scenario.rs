@@ -84,8 +84,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut rng = XorShift64::seed_from_u64(0xA1B0);
     let auditor_key = RsaPrivateKey::generate(512, &mut rng);
     let operator_key = RsaPrivateKey::generate(512, &mut rng);
-    let server = AuditorServer::with_obs(Auditor::new(AuditorConfig::default(), auditor_key), &obs);
-    let mut client = AuditorClient::new(InProcess::with_obs(server, &obs));
+    let server = std::sync::Arc::new(
+        AuditorServer::builder(Auditor::new(AuditorConfig::default(), auditor_key))
+            .obs(&obs)
+            .build(),
+    );
+    let mut client = AuditorClient::new(InProcess::shared(server.clone(), &obs));
 
     let now = Timestamp::from_secs(scenario.duration.secs() + 60.0);
     let drone = client.register_drone(
@@ -111,10 +115,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         Verdict::Compliant | Verdict::InsufficientAlibi { .. }
     ));
     // One garbage frame, to show the malformed-frame accounting.
-    let _ = client
-        .transport_mut()
-        .server_mut()
-        .handle(&[0xDE, 0xAD, 0xBE, 0xEF], now);
+    let _ = server.handle(&[0xDE, 0xAD, 0xBE, 0xEF], now);
 
     println!("\nmetrics:\n{}", render_metrics(&obs.snapshot()));
 

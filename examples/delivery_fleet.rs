@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut rng = XorShift64::seed_from_u64(8);
     let depot = GeoPoint::new(40.1164, -88.2434)?;
 
-    let mut auditor = Auditor::new(
+    let auditor = Auditor::new(
         AuditorConfig::default(),
         RsaPrivateKey::generate(512, &mut rng),
     );
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         })
         .collect();
     for o in &mut owners {
-        o.register_with(&mut auditor);
+        o.register_with(&auditor);
     }
     println!("{} zones registered", owners.len());
 
@@ -71,11 +71,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             .build()?;
         let mut operator =
             DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), world.client());
-        let id = operator.register_with(&mut auditor);
+        let id = operator.register_with(&auditor);
 
         let zones = operator
             .query_zones(
-                &mut auditor,
+                &auditor,
                 depot.destination(225.0, Distance::from_km(4.0)),
                 depot.destination(45.0, Distance::from_km(4.0)),
                 &mut rng,
@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             .zone_set();
 
         let record = operator.fly(&clock, receiver.as_ref(), &zones, strategy, flight_time)?;
-        let report = operator.submit_encrypted(&mut auditor, &record, clock.now(), &mut rng)?;
+        let report = operator.submit_encrypted(&auditor, &record, clock.now(), &mut rng)?;
         println!(
             "{name:>8} ({id}): {:3} samples via {:<11} → {}",
             record.sample_count(),

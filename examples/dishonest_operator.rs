@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut rng = XorShift64::seed_from_u64(666);
     let pad = GeoPoint::new(40.1164, -88.2434)?;
 
-    let mut auditor = Auditor::new(
+    let auditor = Auditor::new(
         AuditorConfig::default(),
         RsaPrivateKey::generate(512, &mut rng),
     );
@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let setup = drone(&mut rng, pad, 800.0)?;
     let mut operator =
         DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), setup.tee.clone());
-    operator.register_with(&mut auditor);
+    operator.register_with(&auditor);
     let honest = operator.fly(
         &setup.clock,
         setup.receiver.as_ref(),
@@ -87,12 +87,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         SamplingStrategy::Adaptive,
         alidrone::geo::Duration::from_secs(59.0),
     )?;
-    let report = operator.submit(&mut auditor, &honest, setup.clock.now())?;
+    let report = operator.submit(&auditor, &honest, setup.clock.now())?;
     println!("honest flight:          {}", report.verdict);
     assert!(report.is_compliant());
 
     let drone_id = operator.drone_id().unwrap();
-    let submit = |auditor: &mut Auditor, poa: ProofOfAlibi| {
+    let submit = |auditor: &Auditor, poa: ProofOfAlibi| {
         auditor
             .verify_submission(
                 &PoaSubmission {
@@ -118,7 +118,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             SignedSample::from_parts(*s, sig, HashAlg::Sha1)
         })
         .collect();
-    let verdict = submit(&mut auditor, forged);
+    let verdict = submit(&auditor, forged);
     println!("pre-computed route:     {verdict}");
     assert!(matches!(verdict, Verdict::BadSignature { .. }));
 
@@ -134,14 +134,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     entries[idx] =
         SignedSample::from_parts(shifted, entries[idx].signature().to_vec(), HashAlg::Sha1);
-    let verdict = submit(&mut auditor, ProofOfAlibi::from_entries(entries));
+    let verdict = submit(&auditor, ProofOfAlibi::from_entries(entries));
     println!("tampered sample:        {verdict}");
     assert!(matches!(verdict, Verdict::BadSignature { .. }));
 
     // 3. Replay: append an old signed sample to the end of the trace.
     let mut entries: Vec<SignedSample> = honest.poa.entries().to_vec();
     entries.push(entries[0].clone());
-    let verdict = submit(&mut auditor, ProofOfAlibi::from_entries(entries));
+    let verdict = submit(&auditor, ProofOfAlibi::from_entries(entries));
     println!("replayed sample:        {verdict}");
     assert!(matches!(verdict, Verdict::NonMonotonic { .. }));
 
@@ -150,7 +150,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let other = drone(&mut rng, pad, 800.0)?;
     let mut other_operator =
         DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), other.tee.clone());
-    other_operator.register_with(&mut auditor);
+    other_operator.register_with(&auditor);
     let other_flight = other_operator.fly(
         &other.clock,
         other.receiver.as_ref(),
@@ -158,7 +158,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         SamplingStrategy::Adaptive,
         alidrone::geo::Duration::from_secs(59.0),
     )?;
-    let verdict = submit(&mut auditor, other_flight.poa.clone());
+    let verdict = submit(&auditor, other_flight.poa.clone());
     println!("relayed PoA:            {verdict}");
     assert!(matches!(verdict, Verdict::BadSignature { .. }));
 
@@ -172,7 +172,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .filter(|(i, _)| *i < 2 || *i + 2 >= honest.poa.len())
         .map(|(_, e)| e.clone())
         .collect();
-    let verdict = submit(&mut auditor, ProofOfAlibi::from_entries(entries));
+    let verdict = submit(&auditor, ProofOfAlibi::from_entries(entries));
     println!("omitted samples:        {verdict}");
     assert!(matches!(verdict, Verdict::InsufficientAlibi { .. }));
 
@@ -182,7 +182,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let bad = drone(&mut rng, violating_start, 800.0)?;
     let mut bad_operator =
         DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), bad.tee.clone());
-    bad_operator.register_with(&mut auditor);
+    bad_operator.register_with(&auditor);
     let bad_flight = bad_operator.fly(
         &bad.clock,
         bad.receiver.as_ref(),
@@ -190,7 +190,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         SamplingStrategy::FixedRate(5.0),
         alidrone::geo::Duration::from_secs(59.0),
     )?;
-    let report = bad_operator.submit(&mut auditor, &bad_flight, bad.clock.now())?;
+    let report = bad_operator.submit(&auditor, &bad_flight, bad.clock.now())?;
     println!("actual violation:       {}", report.verdict);
     assert!(matches!(report.verdict, Verdict::InsideZone { .. }));
 

@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .build()?;
 
     // --- Roles.
-    let mut auditor = Auditor::new(
+    let auditor = Auditor::new(
         AuditorConfig::default(),
         RsaPrivateKey::generate(512, &mut rng),
     );
@@ -61,13 +61,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut neighbour = ZoneOwner::new(NoFlyZone::new(neighbour_home, Distance::from_feet(20.0)));
 
     // Step 0/1 — registration.
-    let drone_id = operator.register_with(&mut auditor);
-    let zone_id = neighbour.register_with(&mut auditor);
+    let drone_id = operator.register_with(&auditor);
+    let zone_id = neighbour.register_with(&auditor);
     println!("registered {drone_id} and {zone_id}");
 
     // Step 2–3 — zone query for the navigation rectangle.
     let response = operator.query_zones(
-        &mut auditor,
+        &auditor,
         pad.destination(225.0, Distance::from_km(2.0)),
         pad.destination(45.0, Distance::from_km(2.0)),
         &mut rng,
@@ -92,7 +92,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         record.strategy,
     );
 
-    let report = operator.submit_encrypted(&mut auditor, &record, clock.now(), &mut rng)?;
+    let report = operator.submit_encrypted(&auditor, &record, clock.now(), &mut rng)?;
     println!("auditor verdict: {}", report.verdict);
     assert!(report.is_compliant());
 

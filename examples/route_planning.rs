@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let customer = depot.destination(90.0, Distance::from_km(2.0));
 
     // Three zones sit between depot and customer.
-    let mut auditor = Auditor::new(
+    let auditor = Auditor::new(
         AuditorConfig::default(),
         RsaPrivateKey::generate(512, &mut rng),
     );
@@ -50,9 +50,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             .build()?;
         let mut operator =
             DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), tmp_world.client());
-        operator.register_with(&mut auditor);
+        operator.register_with(&auditor);
         zones_resp = operator.query_zones(
-            &mut auditor,
+            &auditor,
             depot.destination(225.0, Distance::from_km(3.0)),
             depot.destination(45.0, Distance::from_km(3.0)),
             &mut rng,
@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     planning_world = planning_world.with_gps_device(Box::new(Arc::clone(&receiver)));
     let world = planning_world.build()?;
     let mut operator = DroneOperator::new(RsaPrivateKey::generate(512, &mut rng), world.client());
-    operator.register_with(&mut auditor);
+    operator.register_with(&auditor);
     let record = operator.fly(
         &clock,
         receiver.as_ref(),
@@ -97,7 +97,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         SamplingStrategy::AdaptivePairwise,
         flight_time,
     )?;
-    let report = operator.submit_encrypted(&mut auditor, &record, clock.now(), &mut rng)?;
+    let report = operator.submit_encrypted(&auditor, &record, clock.now(), &mut rng)?;
     println!(
         "flew {} authenticated samples → auditor verdict: {}",
         record.sample_count(),

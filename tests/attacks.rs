@@ -59,7 +59,7 @@ fn fixture() -> Fixture {
         .with_cost_model(CostModel::free())
         .build()
         .unwrap();
-    let mut auditor = Auditor::new(AuditorConfig::default(), key(51));
+    let auditor = Auditor::new(AuditorConfig::default(), key(51));
     auditor.register_zone(NoFlyZone::new(
         pad()
             .destination(90.0, Distance::from_meters(400.0))
@@ -67,7 +67,7 @@ fn fixture() -> Fixture {
         Distance::from_meters(30.0),
     ));
     let mut operator = DroneOperator::new(key(52), world.client());
-    let drone_id = operator.register_with(&mut auditor);
+    let drone_id = operator.register_with(&auditor);
     let honest = operator
         .fly(
             &clock,
@@ -178,7 +178,7 @@ fn replayed_old_samples_rejected() {
 
 #[test]
 fn whole_poa_replayed_for_later_window_rejected() {
-    let mut f = fixture();
+    let f = fixture();
     // Claim the same PoA covers a flight two hours later.
     let poa = f.honest.poa.clone();
     let verdict = f
@@ -256,7 +256,7 @@ fn omitting_near_zone_samples_rejected() {
 
 #[test]
 fn spliced_impossible_trace_rejected() {
-    let mut f = fixture();
+    let f = fixture();
     // Splice two genuinely-signed samples from different parts of the
     // flight into adjacent instants: physically impossible.
     let entries = f.honest.poa.entries();

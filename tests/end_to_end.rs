@@ -75,9 +75,9 @@ fn auditor() -> Auditor {
 fn honest_flight_full_protocol() {
     let mut rng = XorShift64::seed_from_u64(100);
     let r = rig(900.0, 10);
-    let mut auditor = auditor();
+    let auditor = auditor();
     let mut operator = DroneOperator::new(key(2), r.tee.clone());
-    let drone_id = operator.register_with(&mut auditor);
+    let drone_id = operator.register_with(&auditor);
 
     // Zone owner registers a zone beside (not on) the route.
     let mut owner = ZoneOwner::new(NoFlyZone::new(
@@ -86,11 +86,11 @@ fn honest_flight_full_protocol() {
             .destination(0.0, Distance::from_meters(70.0)),
         Distance::from_feet(20.0),
     ));
-    owner.register_with(&mut auditor);
+    owner.register_with(&auditor);
 
     let zones = operator
         .query_zones(
-            &mut auditor,
+            &auditor,
             pad().destination(225.0, Distance::from_km(2.0)),
             pad().destination(45.0, Distance::from_km(2.0)),
             &mut rng,
@@ -109,7 +109,7 @@ fn honest_flight_full_protocol() {
         )
         .unwrap();
     let report = operator
-        .submit_encrypted(&mut auditor, &record, r.clock.now(), &mut rng)
+        .submit_encrypted(&auditor, &record, r.clock.now(), &mut rng)
         .unwrap();
     assert!(report.is_compliant(), "verdict {}", report.verdict);
 
@@ -127,16 +127,16 @@ fn honest_flight_full_protocol() {
 fn violating_flight_is_caught_and_accusation_upheld() {
     let mut rng = XorShift64::seed_from_u64(101);
     let r = rig(900.0, 11);
-    let mut auditor = auditor();
+    let auditor = auditor();
     let mut operator = DroneOperator::new(key(3), r.tee.clone());
-    let drone_id = operator.register_with(&mut auditor);
+    let drone_id = operator.register_with(&auditor);
 
     // Zone directly on the route.
     let mut owner = ZoneOwner::new(NoFlyZone::new(
         pad().destination(90.0, Distance::from_meters(450.0)),
         Distance::from_feet(25.0),
     ));
-    owner.register_with(&mut auditor);
+    owner.register_with(&auditor);
 
     let zones = auditor.zone_set();
     let record = operator
@@ -149,7 +149,7 @@ fn violating_flight_is_caught_and_accusation_upheld() {
         )
         .unwrap();
     let report = operator
-        .submit_encrypted(&mut auditor, &record, r.clock.now(), &mut rng)
+        .submit_encrypted(&auditor, &record, r.clock.now(), &mut rng)
         .unwrap();
     assert!(!report.is_compliant());
 
@@ -165,7 +165,7 @@ fn violating_flight_is_caught_and_accusation_upheld() {
 #[test]
 fn multiple_drones_one_auditor() {
     let mut rng = XorShift64::seed_from_u64(102);
-    let mut auditor = auditor();
+    let auditor = auditor();
     auditor.register_zone(NoFlyZone::new(
         pad().destination(0.0, Distance::from_km(10.0)),
         Distance::from_meters(100.0),
@@ -174,7 +174,7 @@ fn multiple_drones_one_auditor() {
     for (i, dist) in [600.0, 900.0, 1_200.0].iter().enumerate() {
         let r = rig(*dist, 20 + i as u64);
         let mut operator = DroneOperator::new(key(30 + i as u64), r.tee.clone());
-        let id = operator.register_with(&mut auditor);
+        let id = operator.register_with(&auditor);
         ids.push(id);
         let record = operator
             .fly(
@@ -186,7 +186,7 @@ fn multiple_drones_one_auditor() {
             )
             .unwrap();
         let report = operator
-            .submit_encrypted(&mut auditor, &record, r.clock.now(), &mut rng)
+            .submit_encrypted(&auditor, &record, r.clock.now(), &mut rng)
             .unwrap();
         assert!(report.is_compliant());
     }
@@ -201,15 +201,15 @@ fn multiple_drones_one_auditor() {
 fn nonce_replay_rejected_across_flights() {
     let mut rng = XorShift64::seed_from_u64(103);
     let r = rig(500.0, 12);
-    let mut auditor = auditor();
+    let auditor = auditor();
     let mut operator = DroneOperator::new(key(4), r.tee.clone());
-    operator.register_with(&mut auditor);
+    operator.register_with(&auditor);
     // Two queries with independent nonces succeed...
     operator
-        .query_zones(&mut auditor, pad(), pad(), &mut rng)
+        .query_zones(&auditor, pad(), pad(), &mut rng)
         .unwrap();
     operator
-        .query_zones(&mut auditor, pad(), pad(), &mut rng)
+        .query_zones(&auditor, pad(), pad(), &mut rng)
         .unwrap();
     // ...a verbatim replay of a captured query does not.
     let q = alidrone::core::ZoneQuery::new_signed(
@@ -228,9 +228,9 @@ fn nonce_replay_rejected_across_flights() {
 fn poa_retention_expires() {
     let mut rng = XorShift64::seed_from_u64(104);
     let r = rig(500.0, 13);
-    let mut auditor = auditor();
+    let auditor = auditor();
     let mut operator = DroneOperator::new(key(5), r.tee.clone());
-    let drone_id = operator.register_with(&mut auditor);
+    let drone_id = operator.register_with(&auditor);
     let record = operator
         .fly(
             &r.clock,
@@ -241,7 +241,7 @@ fn poa_retention_expires() {
         )
         .unwrap();
     operator
-        .submit_encrypted(&mut auditor, &record, r.clock.now(), &mut rng)
+        .submit_encrypted(&auditor, &record, r.clock.now(), &mut rng)
         .unwrap();
     assert_eq!(auditor.stored_poa_count(), 1);
     // Three days later the 2-day retention has purged it; a late
@@ -250,7 +250,7 @@ fn poa_retention_expires() {
         pad().destination(0.0, Distance::from_km(5.0)),
         Distance::from_meters(50.0),
     ));
-    owner.register_with(&mut auditor);
+    owner.register_with(&auditor);
     auditor.purge_expired(Timestamp::from_secs(3.0 * 86_400.0));
     assert_eq!(auditor.stored_poa_count(), 0);
     let accusation = owner

@@ -38,7 +38,7 @@ fn pad() -> GeoPoint {
 fn polygon_zone_registration_end_to_end() {
     // §VII-B2: a zone owner registers an L-shaped lot; the auditor covers
     // it with the smallest enclosing circle and verification uses that.
-    let mut auditor = Auditor::new(AuditorConfig::default(), key(80));
+    let auditor = Auditor::new(AuditorConfig::default(), key(80));
     let verts: Vec<GeoPoint> = [
         (0.0, 0.0),
         (60.0, 0.0),
@@ -332,7 +332,7 @@ fn exact_criterion_auditor_accepts_marginal_flights() {
             .with_cost_model(CostModel::free())
             .build()
             .unwrap();
-        let mut auditor = Auditor::new(
+        let auditor = Auditor::new(
             AuditorConfig {
                 criterion,
                 ..AuditorConfig::default()
@@ -346,7 +346,7 @@ fn exact_criterion_auditor_accepts_marginal_flights() {
             Distance::from_meters(15.0),
         ));
         let mut operator = DroneOperator::new(key(89), world.client());
-        operator.register_with(&mut auditor);
+        operator.register_with(&auditor);
         // Sample sparsely on purpose (1 Hz): marginal sufficiency.
         let record = operator
             .fly(
@@ -358,7 +358,7 @@ fn exact_criterion_auditor_accepts_marginal_flights() {
             )
             .unwrap();
         operator
-            .submit_encrypted(&mut auditor, &record, clock.now(), rng)
+            .submit_encrypted(&auditor, &record, clock.now(), rng)
             .unwrap()
     };
 

@@ -51,11 +51,11 @@ fn planned_detour_flight_is_compliant_but_direct_is_not() {
         Distance::from_meters(60.0),
     );
 
-    let mut auditor = Auditor::new(AuditorConfig::default(), key(201));
+    let auditor = Auditor::new(AuditorConfig::default(), key(201));
     auditor.register_zone(zone);
     let zones = auditor.zone_set();
 
-    let fly = |route: &[GeoPoint], tee_seed: u64, auditor: &mut Auditor, rng: &mut XorShift64| {
+    let fly = |route: &[GeoPoint], tee_seed: u64, auditor: &Auditor, rng: &mut XorShift64| {
         let traj = trajectory_from_route(route);
         let flight_time = traj.total_duration();
         let clock = SimClock::new();
@@ -97,12 +97,12 @@ fn planned_detour_flight_is_compliant_but_direct_is_not() {
         .unwrap();
     assert!(route.len() >= 3, "expected a detour waypoint");
     assert!(route_is_clear(&route, &zones, margin));
-    let report = fly(&route, 210, &mut auditor, &mut rng);
+    let report = fly(&route, 210, &auditor, &mut rng);
     assert!(report.is_compliant(), "detour verdict {}", report.verdict);
 
     // Flying the direct line violates the zone.
     let direct = vec![pad(), goal];
-    let report = fly(&direct, 220, &mut auditor, &mut rng);
+    let report = fly(&direct, 220, &auditor, &mut rng);
     assert!(matches!(report.verdict, Verdict::InsideZone { .. }));
 }
 
@@ -113,7 +113,7 @@ fn planned_detour_flight_is_compliant_but_direct_is_not() {
 #[test]
 fn nearest_zone_heuristic_fails_at_sharp_turns_pairwise_fixes_it() {
     let goal = pad().destination(90.0, Distance::from_km(2.0));
-    let mut auditor = Auditor::new(AuditorConfig::default(), key(401));
+    let auditor = Auditor::new(AuditorConfig::default(), key(401));
     for (east_m, north_m, r_m) in [
         (600.0, 0.0, 70.0),
         (1_100.0, 60.0, 50.0),
@@ -176,7 +176,7 @@ fn nearest_zone_heuristic_fails_at_sharp_turns_pairwise_fixes_it() {
 fn planner_threads_multiple_zones_and_adaptive_poa_verifies() {
     let mut rng = XorShift64::seed_from_u64(300);
     let goal = pad().destination(90.0, Distance::from_km(2.0));
-    let mut auditor = Auditor::new(AuditorConfig::default(), key(301));
+    let auditor = Auditor::new(AuditorConfig::default(), key(301));
     for i in 0..4 {
         auditor.register_zone(NoFlyZone::new(
             pad()
@@ -215,7 +215,7 @@ fn planner_threads_multiple_zones_and_adaptive_poa_verifies() {
         .build()
         .unwrap();
     let mut operator = DroneOperator::new(key(305), world.client());
-    operator.register_with(&mut auditor);
+    operator.register_with(&auditor);
     let record = operator
         .fly(
             &clock,
@@ -226,7 +226,7 @@ fn planner_threads_multiple_zones_and_adaptive_poa_verifies() {
         )
         .unwrap();
     let report = operator
-        .submit_encrypted(&mut auditor, &record, clock.now(), &mut rng)
+        .submit_encrypted(&auditor, &record, clock.now(), &mut rng)
         .unwrap();
     assert!(report.is_compliant(), "verdict {}", report.verdict);
 }

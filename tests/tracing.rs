@@ -32,8 +32,13 @@ fn traced_submission() -> (ScenarioRun, AuditorClient<InProcess>) {
     let auditor_key = RsaPrivateKey::generate(512, &mut rng);
     let operator_key = RsaPrivateKey::generate(512, &mut rng);
     let auditor = Auditor::with_obs(AuditorConfig::default(), auditor_key, &obs);
-    let server = AuditorServer::with_obs(auditor, &obs).with_flight_recorder(run.recorder.clone());
-    let mut client = AuditorClient::with_obs(InProcess::with_obs(server, &obs), &obs);
+    let server = std::sync::Arc::new(
+        AuditorServer::builder(auditor)
+            .obs(&obs)
+            .flight_recorder(run.recorder.clone())
+            .build(),
+    );
+    let mut client = AuditorClient::with_obs(InProcess::shared(server, &obs), &obs);
     client.set_trace_parent(run.flight_span);
 
     let now = Timestamp::from_secs(scenario.duration.secs() + 60.0);
@@ -135,8 +140,8 @@ fn airport_poa_is_one_stitched_trace() {
 
 #[test]
 fn malformed_frame_dumps_the_flight_recorder() {
-    let (_run, mut client) = traced_submission();
-    let server = client.transport_mut().server_mut();
+    let (_run, client) = traced_submission();
+    let server = client.transport().server_arc();
     assert!(server.last_crash_dump().is_none());
     let now = Timestamp::from_secs(1_000.0);
     let _ = server.handle(&[0xDE, 0xAD, 0xBE, 0xEF], now);
