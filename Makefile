@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos
 
-check: fmt clippy doc test trace-smoke tcp-smoke
+check: fmt clippy doc test trace-smoke tcp-smoke chaos
 
 fmt:
 	$(CARGO) fmt --all -- --check
@@ -33,6 +33,12 @@ tcp-smoke:
 # The networked-auditor stress test on its own (it also runs in `test`).
 stress:
 	$(CARGO) test --release --offline --test wire_concurrency -q
+
+# Seeded chaos campaign (fixed seeds, deterministic replay, offline)
+# plus the on-disk crash-recovery smoke. Also runs inside `test`.
+chaos:
+	$(CARGO) test --release --offline --test chaos -q
+	$(CARGO) run --release --offline --example crash_recovery
 
 examples:
 	$(CARGO) build --release --offline --examples

@@ -41,6 +41,14 @@ pub enum ProtocolError {
     TimeNotCovered,
     /// Privacy extension: a revealed key does not decrypt its sample.
     RevealInvalid,
+    /// Durable-storage failure: the auditor's write-ahead journal could
+    /// not be read or written (I/O error, disk full, or detected
+    /// corruption). Not retryable — storage faults need operator action.
+    Storage(String),
+    /// A shared-state lock was poisoned by a panicking handler thread.
+    /// Surfaced instead of propagating the panic so clients see a typed
+    /// error, never a torn response.
+    LockPoisoned(&'static str),
 }
 
 impl ProtocolError {
@@ -70,6 +78,10 @@ impl fmt::Display for ProtocolError {
                 write!(f, "accused time not covered by the stored proof-of-alibi")
             }
             ProtocolError::RevealInvalid => write!(f, "revealed key does not open the sample"),
+            ProtocolError::Storage(what) => write!(f, "storage failure: {what}"),
+            ProtocolError::LockPoisoned(which) => {
+                write!(f, "internal lock poisoned: {which}")
+            }
         }
     }
 }

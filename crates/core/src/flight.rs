@@ -83,7 +83,11 @@ impl FlightRecord {
 /// # Errors
 ///
 /// Propagates TEE errors other than `NoData` (a receiver dropout is
-/// handled by skipping the update, as the real Adapter would).
+/// handled by skipping the update, as the real Adapter would). A dropout
+/// lasting more than three hardware update periods is *declared*: the
+/// TEE signs a gap marker over the outage window and the marker rides in
+/// the returned PoA, where the auditor's sufficiency check accounts for
+/// it.
 pub fn run_flight(
     clock: &SimClock,
     receiver: &dyn GpsDevice,
@@ -138,17 +142,52 @@ pub fn run_flight_with_obs(
     let mut poa = ProofOfAlibi::new();
     let mut events = Vec::with_capacity(steps as usize + 1);
     let mut last_seen_fix_time = f64::NEG_INFINITY;
+    // Degraded mode: a fix older than three hardware update periods means
+    // the receiver has lost lock. Instead of silently skipping, the
+    // Adapter declares the outage and has the TEE sign a gap marker, so
+    // the missing stretch *weakens* the alibi rather than vanishing.
+    let stale_after = 3.0 / hw_rate;
+    let mut gap_open: Option<Timestamp> = None;
 
     for k in 0..=steps {
         clock.set(start + Duration::from_secs(k as f64 / hw_rate));
         let Some(fix) = receiver.latest_fix() else {
-            continue; // cold receiver
+            // Before the first fix this is a cold receiver; after it, a
+            // receiver reporting no fix at all is an outage and must
+            // open a gap just like a stale repeated fix does.
+            if gap_open.is_none()
+                && last_seen_fix_time.is_finite()
+                && clock.now().secs() - last_seen_fix_time > stale_after
+            {
+                gap_open = Some(Timestamp::from_secs(last_seen_fix_time));
+            }
+            continue;
         };
         // Only consult the policy when the measurement actually changed
         // (a dropout leaves the previous fix in place).
         let is_new = fix.sample.time().secs() > last_seen_fix_time;
         if is_new {
+            if let Some(gap_start) = gap_open.take() {
+                // Lock regained: attest the outage window that just ended.
+                let marker = session.sign_gap(gap_start, fix.sample.time())?;
+                obs.emit(
+                    alidrone_obs::Level::Warn,
+                    "drone.flight",
+                    "gps gap declared",
+                    |f| {
+                        f.field("start_s", gap_start.secs());
+                        f.field("end_s", fix.sample.time().secs());
+                    },
+                );
+                obs.counter("flight.gaps_declared").inc();
+                poa.push_gap(marker);
+            }
             last_seen_fix_time = fix.sample.time().secs();
+        } else if gap_open.is_none()
+            && last_seen_fix_time.is_finite()
+            && clock.now().secs() - last_seen_fix_time > stale_after
+        {
+            gap_open = Some(Timestamp::from_secs(last_seen_fix_time));
         }
         let mut recorded = false;
         if is_new && policy.decide(&fix) == Decision::Sample {
@@ -180,6 +219,12 @@ pub fn run_flight_with_obs(
 
     // Landing anchor: make sure the PoA reaches the window end.
     let window_end = clock.now();
+    if let Some(gap_start) = gap_open.take() {
+        // Still in outage at landing: the gap runs to the window end.
+        let marker = session.sign_gap(gap_start, window_end)?;
+        obs.counter("flight.gaps_declared").inc();
+        poa.push_gap(marker);
+    }
     let need_final = poa.last_time().is_none_or(|t| t.secs() < window_end.secs());
     if need_final {
         let _span = obs.enter_span("drone.sample");
@@ -264,6 +309,53 @@ mod tests {
         assert_eq!(rec.sample_count(), 31);
         assert_eq!(rec.events.len(), 151);
         assert!(alidrone_geo::check_monotonic(&rec.poa.alibi()).is_ok());
+        // A healthy receiver never triggers a gap declaration.
+        assert!(rec.poa.gaps().is_empty());
+    }
+
+    #[test]
+    fn mid_flight_dropout_declares_signed_gap() {
+        let a = origin();
+        let b = a.destination(90.0, Distance::from_meters(600.0));
+        let traj = TrajectoryBuilder::start_at(a)
+            .travel_to(b, Speed::from_mps(10.0))
+            .build()
+            .unwrap();
+        let clock = SimClock::new();
+        let mut receiver = SimulatedReceiver::from_trajectory(traj, clock.clone(), 5.0);
+        // Lose lock for t in (10.0, 14.2): updates 51..=70 never arrive.
+        for seq in 51..=70 {
+            receiver.drop_update(seq);
+        }
+        let receiver = Arc::new(receiver);
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(tee_key().clone())
+            .with_gps_device(Box::new(Arc::clone(&receiver)))
+            .with_cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        let client = world.client();
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        let rec = run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &ZoneSet::new(),
+            SamplingStrategy::FixedRate(1.0),
+            Duration::from_secs(30.0),
+        )
+        .unwrap();
+        let gaps = rec.poa.gaps();
+        assert_eq!(gaps.len(), 1, "one outage, one marker");
+        assert!((gaps[0].start().secs() - 10.0).abs() < 1e-9);
+        assert!((gaps[0].end().secs() - 14.2).abs() < 1e-9);
+        gaps[0].verify(&client.tee_public_key()).unwrap();
+        // No sample timestamp may sit strictly inside the declared gap.
+        assert!(rec
+            .poa
+            .alibi()
+            .iter()
+            .all(|s| s.time().secs() <= 10.0 || s.time().secs() >= 14.2));
     }
 
     #[test]

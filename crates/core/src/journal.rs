@@ -1,0 +1,956 @@
+//! Crash-safe write-ahead journal for the auditor's durable state.
+//!
+//! The networked auditor (PR 3) keeps every registration, zone, nonce,
+//! and verified PoA in memory; one crash silently destroys the audit
+//! trail the whole protocol exists to produce. This module gives the
+//! auditor a durable append-only journal with bounded-cost recovery:
+//!
+//! ```text
+//! | magic "ALDJ" u32 | version u8 |            file header (5 bytes)
+//! | len u32 | crc32 u32 | payload (len bytes) |   record frame
+//! | len u32 | crc32 u32 | payload (len bytes) |
+//! ...
+//! ```
+//!
+//! The CRC covers the payload only; the payload's first byte is a record
+//! tag (see [`Record`]) followed by a body in the wire codec. Records are
+//! written with a single [`StorageBackend::append`] call each, so a crash
+//! can only ever leave a *torn tail*: a truncated final frame. Recovery
+//! distinguishes the two failure shapes the paper's threat model cares
+//! about:
+//!
+//! - **Torn tail** (truncated final record): the crash interrupted the
+//!   last write. Recovery stops cleanly at the last whole record, logs
+//!   the event, and truncates the tail so the journal is appendable
+//!   again.
+//! - **Mid-journal corruption** (CRC mismatch, bad length, bad header):
+//!   bytes *behind* the durable horizon changed — storage rot or
+//!   tampering. Recovery refuses with a typed [`JournalError::Corrupt`];
+//!   silently skipping records would forge history.
+//!
+//! Compaction bounds recovery cost: [`Journal::compact`] atomically
+//! replaces the whole journal with a single [`Record::Snapshot`] frame
+//! (the auditor's existing snapshot format), after which appends resume.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::wire::codec::{Reader, Writer};
+use crate::ProtocolError;
+
+/// Journal file magic: `"ALDJ"`.
+pub const JOURNAL_MAGIC: u32 = 0x414C_444A;
+/// Current journal format version.
+pub const JOURNAL_VERSION: u8 = 1;
+/// Header length in bytes (magic + version).
+pub const HEADER_LEN: usize = 5;
+/// Frame overhead per record (length + CRC).
+const FRAME_OVERHEAD: usize = 8;
+/// Upper bound on a single record payload (matches the wire codec cap).
+const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+// ------------------------------------------------------------------ errors
+
+/// Typed journal failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An I/O failure in the storage backend.
+    Io(String),
+    /// The backend has no space left (injected or real `ENOSPC`).
+    DiskFull,
+    /// Bytes behind the durable horizon are damaged: a record whose
+    /// frame is complete fails its CRC, declares an impossible length,
+    /// or the file header itself is wrong.
+    Corrupt {
+        /// Byte offset of the damaged frame (0 for the header).
+        offset: usize,
+        /// What recovery found there.
+        reason: &'static str,
+    },
+    /// A record payload decoded to something the auditor cannot apply.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::DiskFull => write!(f, "journal storage full"),
+            JournalError::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+            JournalError::Malformed(what) => write!(f, "malformed journal record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<JournalError> for ProtocolError {
+    fn from(e: JournalError) -> Self {
+        ProtocolError::Storage(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::StorageFull {
+            JournalError::DiskFull
+        } else {
+            JournalError::Io(e.to_string())
+        }
+    }
+}
+
+// ----------------------------------------------------------------- backend
+
+/// Where journal bytes live. Implementations take `&self`; they are the
+/// single writer for their underlying store and serialize internally.
+pub trait StorageBackend: Send + Sync {
+    /// Reads the entire journal image (empty for a fresh store).
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    fn read(&self) -> Result<Vec<u8>, JournalError>;
+
+    /// Appends `bytes` atomically-enough: a crash mid-append may leave a
+    /// prefix of `bytes` (a torn tail) but never interleaved garbage.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures, including [`JournalError::DiskFull`].
+    fn append(&self, bytes: &[u8]) -> Result<(), JournalError>;
+
+    /// Atomically replaces the whole journal image (compaction). After a
+    /// crash the store holds either the old image or the new one, never
+    /// a mix.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    fn replace(&self, bytes: &[u8]) -> Result<(), JournalError>;
+}
+
+/// A real filesystem backend. Appends go through `O_APPEND` + flush;
+/// [`replace`](StorageBackend::replace) writes a sibling temp file and
+/// renames it over the journal, the standard atomic-swap idiom.
+#[derive(Debug)]
+pub struct FsBackend {
+    path: PathBuf,
+    /// Serializes writers; the fs itself orders appends, but the tmp
+    /// path used by `replace` must not race a concurrent `replace`.
+    lock: Mutex<()>,
+}
+
+impl FsBackend {
+    /// A backend at `path`. The file need not exist yet.
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        FsBackend {
+            path: path.as_ref().to_path_buf(),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn read(&self) -> Result<Vec<u8>, JournalError> {
+        match std::fs::read(&self.path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&self, bytes: &[u8]) -> Result<(), JournalError> {
+        // A poisoned lock only means another writer panicked mid-append;
+        // the fs state is still a clean prefix, so keep going.
+        let _g = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    fn replace(&self, bytes: &[u8]) -> Result<(), JournalError> {
+        let _g = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+}
+
+/// Knobs for the in-memory backend's injected faults (driven by the
+/// chaos plane; every field optional and one-shot where noted).
+#[derive(Debug, Default)]
+struct MemFaults {
+    /// Total byte budget; appends that would exceed it fail with
+    /// [`JournalError::DiskFull`] without writing anything.
+    capacity: Option<usize>,
+    /// One-shot torn write: the next append persists only this many
+    /// bytes of the record, then reports an I/O error (the "crash
+    /// during write" shape).
+    tear_next: Option<usize>,
+    /// One-shot hard failure for the next append.
+    fail_next: bool,
+}
+
+/// An in-memory backend with deterministic fault injection, used by the
+/// chaos campaign and the crash-at-every-offset property test.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    data: Mutex<Vec<u8>>,
+    faults: Mutex<MemFaults>,
+}
+
+impl MemBackend {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemBackend::default()
+    }
+
+    /// A store pre-seeded with a journal image (e.g. a truncated copy of
+    /// another backend's bytes, to model a crash at that offset).
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        MemBackend {
+            data: Mutex::new(bytes),
+            faults: Mutex::new(MemFaults::default()),
+        }
+    }
+
+    /// A copy of the current journal image.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.data.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Caps the store at `capacity` total bytes; appends beyond it fail
+    /// with [`JournalError::DiskFull`].
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .capacity = capacity;
+    }
+
+    /// Arms a one-shot torn write: the next append persists only `keep`
+    /// bytes and reports an error, modelling a crash mid-write.
+    pub fn tear_next_append(&self, keep: usize) {
+        self.faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .tear_next = Some(keep);
+    }
+
+    /// Arms a one-shot append failure that persists nothing.
+    pub fn fail_next_append(&self) {
+        self.faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .fail_next = true;
+    }
+
+    /// Flips the bits selected by `mask` at `offset`, modelling storage
+    /// rot behind the durable horizon. Out-of-range offsets are ignored.
+    pub fn flip_bits(&self, offset: usize, mask: u8) {
+        let mut data = self.data.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(b) = data.get_mut(offset) {
+            *b ^= mask;
+        }
+    }
+
+    /// Truncates the image to `len` bytes, modelling a crash that lost
+    /// the tail.
+    pub fn truncate(&self, len: usize) {
+        let mut data = self.data.lock().unwrap_or_else(|p| p.into_inner());
+        data.truncate(len);
+    }
+
+    /// Current image length.
+    pub fn len(&self) -> usize {
+        self.data.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_empty()
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn read(&self) -> Result<Vec<u8>, JournalError> {
+        Ok(self.bytes())
+    }
+
+    fn append(&self, bytes: &[u8]) -> Result<(), JournalError> {
+        let mut faults = self.faults.lock().unwrap_or_else(|p| p.into_inner());
+        if faults.fail_next {
+            faults.fail_next = false;
+            return Err(JournalError::Io("injected append failure".into()));
+        }
+        if let Some(keep) = faults.tear_next.take() {
+            let keep = keep.min(bytes.len());
+            drop(faults);
+            let mut data = self.data.lock().unwrap_or_else(|p| p.into_inner());
+            data.extend_from_slice(&bytes[..keep]);
+            return Err(JournalError::Io("injected torn write".into()));
+        }
+        let capacity = faults.capacity;
+        drop(faults);
+        let mut data = self.data.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(cap) = capacity {
+            if data.len() + bytes.len() > cap {
+                return Err(JournalError::DiskFull);
+            }
+        }
+        data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn replace(&self, bytes: &[u8]) -> Result<(), JournalError> {
+        let capacity = self
+            .faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .capacity;
+        if let Some(cap) = capacity {
+            if bytes.len() > cap {
+                return Err(JournalError::DiskFull);
+            }
+        }
+        let mut data = self.data.lock().unwrap_or_else(|p| p.into_inner());
+        *data = bytes.to_vec();
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------- crc32
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ----------------------------------------------------------------- records
+
+/// Record payload tags.
+const TAG_REGISTER_DRONE: u8 = 1;
+const TAG_REGISTER_ZONE: u8 = 2;
+const TAG_NONCE_USED: u8 = 3;
+const TAG_POA_STORED: u8 = 4;
+const TAG_SNAPSHOT: u8 = 5;
+
+/// One durable state mutation. Records carry the ids the live auditor
+/// assigned, so replay reconstructs *exactly* the same registries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A drone registration: the assigned id plus `D⁺` and `T⁺` as
+    /// big-endian (modulus, exponent) byte strings.
+    RegisterDrone {
+        /// Assigned drone id.
+        id: u64,
+        /// Operator public key modulus.
+        op_modulus: Vec<u8>,
+        /// Operator public key exponent.
+        op_exponent: Vec<u8>,
+        /// TEE public key modulus.
+        tee_modulus: Vec<u8>,
+        /// TEE public key exponent.
+        tee_exponent: Vec<u8>,
+    },
+    /// A circular zone registration.
+    RegisterZone {
+        /// Assigned zone id.
+        id: u64,
+        /// Center latitude, degrees.
+        lat_deg: f64,
+        /// Center longitude, degrees.
+        lon_deg: f64,
+        /// Radius, meters.
+        radius_m: f64,
+    },
+    /// A query nonce was consumed (anti-replay state is durable: losing
+    /// it would reopen query replay after a crash).
+    NonceUsed {
+        /// The querying drone.
+        drone: u64,
+        /// The consumed nonce.
+        nonce: [u8; 16],
+    },
+    /// A verified PoA was retained, with the verdict it received.
+    PoaStored {
+        /// Submitting drone.
+        drone: u64,
+        /// Claimed window start, seconds.
+        window_start: f64,
+        /// Claimed window end, seconds.
+        window_end: f64,
+        /// `ProofOfAlibi::to_bytes`.
+        poa: Vec<u8>,
+        /// `wire`-encoded verdict bytes.
+        verdict: Vec<u8>,
+        /// Storage time, seconds.
+        stored_at: f64,
+    },
+    /// A full auditor snapshot (`Auditor::snapshot` bytes). Written by
+    /// compaction as the first record of a fresh journal image.
+    Snapshot(Vec<u8>),
+}
+
+impl Record {
+    /// Encodes the payload (tag + body).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Record::RegisterDrone {
+                id,
+                op_modulus,
+                op_exponent,
+                tee_modulus,
+                tee_exponent,
+            } => {
+                w.put_u8(TAG_REGISTER_DRONE)
+                    .put_u64(*id)
+                    .put_bytes(op_modulus)
+                    .put_bytes(op_exponent)
+                    .put_bytes(tee_modulus)
+                    .put_bytes(tee_exponent);
+            }
+            Record::RegisterZone {
+                id,
+                lat_deg,
+                lon_deg,
+                radius_m,
+            } => {
+                w.put_u8(TAG_REGISTER_ZONE)
+                    .put_u64(*id)
+                    .put_f64(*lat_deg)
+                    .put_f64(*lon_deg)
+                    .put_f64(*radius_m);
+            }
+            Record::NonceUsed { drone, nonce } => {
+                w.put_u8(TAG_NONCE_USED).put_u64(*drone);
+                for b in nonce {
+                    w.put_u8(*b);
+                }
+            }
+            Record::PoaStored {
+                drone,
+                window_start,
+                window_end,
+                poa,
+                verdict,
+                stored_at,
+            } => {
+                w.put_u8(TAG_POA_STORED)
+                    .put_u64(*drone)
+                    .put_f64(*window_start)
+                    .put_f64(*window_end)
+                    .put_bytes(poa)
+                    .put_bytes(verdict)
+                    .put_f64(*stored_at);
+            }
+            Record::Snapshot(bytes) => {
+                w.put_u8(TAG_SNAPSHOT).put_bytes(bytes);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Malformed`] for unknown tags or truncated bodies.
+    pub fn from_payload(payload: &[u8]) -> Result<Record, JournalError> {
+        let mut r = Reader::new(payload);
+        let mal = |_| JournalError::Malformed("truncated record body");
+        let tag = r.get_u8().map_err(mal)?;
+        let rec = match tag {
+            TAG_REGISTER_DRONE => Record::RegisterDrone {
+                id: r.get_u64().map_err(mal)?,
+                op_modulus: r.get_bytes().map_err(mal)?.to_vec(),
+                op_exponent: r.get_bytes().map_err(mal)?.to_vec(),
+                tee_modulus: r.get_bytes().map_err(mal)?.to_vec(),
+                tee_exponent: r.get_bytes().map_err(mal)?.to_vec(),
+            },
+            TAG_REGISTER_ZONE => Record::RegisterZone {
+                id: r.get_u64().map_err(mal)?,
+                lat_deg: r.get_f64().map_err(mal)?,
+                lon_deg: r.get_f64().map_err(mal)?,
+                radius_m: r.get_f64().map_err(mal)?,
+            },
+            TAG_NONCE_USED => Record::NonceUsed {
+                drone: r.get_u64().map_err(mal)?,
+                nonce: r.get_array().map_err(mal)?,
+            },
+            TAG_POA_STORED => Record::PoaStored {
+                drone: r.get_u64().map_err(mal)?,
+                window_start: r.get_f64().map_err(mal)?,
+                window_end: r.get_f64().map_err(mal)?,
+                poa: r.get_bytes().map_err(mal)?.to_vec(),
+                verdict: r.get_bytes().map_err(mal)?.to_vec(),
+                stored_at: r.get_f64().map_err(mal)?,
+            },
+            TAG_SNAPSHOT => Record::Snapshot(r.get_bytes().map_err(mal)?.to_vec()),
+            _ => return Err(JournalError::Malformed("unknown record tag")),
+        };
+        r.finish()
+            .map_err(|_| JournalError::Malformed("trailing record bytes"))?;
+        Ok(rec)
+    }
+}
+
+// ------------------------------------------------------------------ replay
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Whole records successfully decoded.
+    pub records_applied: usize,
+    /// `true` when a truncated final frame was discarded (crash during
+    /// the last append).
+    pub torn_tail: bool,
+    /// Bytes of torn tail discarded (0 when `torn_tail` is false).
+    pub torn_bytes: usize,
+    /// Total journal bytes scanned (after any tail truncation).
+    pub bytes_replayed: usize,
+}
+
+/// Parses a journal image into records, applying the torn-tail rule.
+///
+/// # Errors
+///
+/// [`JournalError::Corrupt`] for a bad header or any damaged frame that
+/// is *not* a clean truncation of the final record.
+pub fn parse_image(bytes: &[u8]) -> Result<(Vec<Record>, ReplayReport), JournalError> {
+    let mut report = ReplayReport::default();
+    if bytes.is_empty() {
+        return Ok((Vec::new(), report));
+    }
+    if bytes.len() < HEADER_LEN {
+        // Crash while writing the very first header: treat as torn tail
+        // of an empty journal.
+        report.torn_tail = true;
+        report.torn_bytes = bytes.len();
+        return Ok((Vec::new(), report));
+    }
+    if u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) != JOURNAL_MAGIC {
+        return Err(JournalError::Corrupt {
+            offset: 0,
+            reason: "bad magic",
+        });
+    }
+    if bytes[4] != JOURNAL_VERSION {
+        return Err(JournalError::Corrupt {
+            offset: 4,
+            reason: "unsupported version",
+        });
+    }
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN;
+    while off < bytes.len() {
+        let rest = &bytes[off..];
+        if rest.len() < FRAME_OVERHEAD {
+            // Truncated frame header at the tail: torn write.
+            report.torn_tail = true;
+            report.torn_bytes = rest.len();
+            break;
+        }
+        let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let crc = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len == 0 || len > MAX_RECORD_LEN {
+            // A frame header this wrong cannot be a clean truncation —
+            // the length bytes themselves were fully written.
+            return Err(JournalError::Corrupt {
+                offset: off,
+                reason: "impossible record length",
+            });
+        }
+        let payload = &rest[FRAME_OVERHEAD..];
+        if payload.len() < len {
+            // Payload shorter than declared *at the tail*: torn write.
+            report.torn_tail = true;
+            report.torn_bytes = rest.len();
+            break;
+        }
+        let payload = &payload[..len];
+        if crc32(payload) != crc {
+            // The whole frame is present but its checksum fails: this is
+            // rot or tampering, never a clean crash.
+            return Err(JournalError::Corrupt {
+                offset: off,
+                reason: "crc mismatch",
+            });
+        }
+        records.push(Record::from_payload(payload)?);
+        report.records_applied += 1;
+        off += FRAME_OVERHEAD + len;
+    }
+    report.bytes_replayed = off;
+    Ok((records, report))
+}
+
+// ----------------------------------------------------------------- journal
+
+/// An open, appendable journal over a [`StorageBackend`].
+pub struct Journal {
+    backend: std::sync::Arc<dyn StorageBackend>,
+    /// Serializes record framing so concurrent appends cannot interleave.
+    write_lock: Mutex<()>,
+}
+
+impl Journal {
+    /// Opens (or creates) a journal on `backend`, returning the decoded
+    /// records and a replay report. A torn tail is truncated away so the
+    /// journal is appendable; mid-journal corruption is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Corrupt`] for damaged journals, plus backend I/O
+    /// failures.
+    pub fn open(
+        backend: std::sync::Arc<dyn StorageBackend>,
+    ) -> Result<(Journal, Vec<Record>, ReplayReport), JournalError> {
+        let bytes = backend.read()?;
+        let (records, report) = parse_image(&bytes)?;
+        if bytes.is_empty() {
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&JOURNAL_MAGIC.to_be_bytes());
+            header.push(JOURNAL_VERSION);
+            backend.append(&header)?;
+        } else if report.torn_tail {
+            // Drop the torn tail so future appends land on a record
+            // boundary. bytes_replayed is the clean prefix length, but a
+            // headerless torn image replays to a fresh header.
+            if report.bytes_replayed >= HEADER_LEN {
+                backend.replace(&bytes[..report.bytes_replayed])?;
+            } else {
+                let mut header = Vec::with_capacity(HEADER_LEN);
+                header.extend_from_slice(&JOURNAL_MAGIC.to_be_bytes());
+                header.push(JOURNAL_VERSION);
+                backend.replace(&header)?;
+            }
+        }
+        Ok((
+            Journal {
+                backend,
+                write_lock: Mutex::new(()),
+            },
+            records,
+            report,
+        ))
+    }
+
+    /// Appends one record as a single backend write (frame = length,
+    /// CRC, payload), so a crash can only tear the final record.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures; on error the journal may hold a torn tail,
+    /// which the next [`Journal::open`] cleans up.
+    pub fn append_record(&self, record: &Record) -> Result<(), JournalError> {
+        let payload = record.to_payload();
+        let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        self.backend.append(&frame)
+    }
+
+    /// Compacts the journal to a single [`Record::Snapshot`] frame via an
+    /// atomic image replacement, bounding future recovery cost.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures; the old image survives a failed replace.
+    pub fn compact(&self, snapshot: &[u8]) -> Result<(), JournalError> {
+        let payload = Record::Snapshot(snapshot.to_vec()).to_payload();
+        let mut image = Vec::with_capacity(HEADER_LEN + FRAME_OVERHEAD + payload.len());
+        image.extend_from_slice(&JOURNAL_MAGIC.to_be_bytes());
+        image.push(JOURNAL_VERSION);
+        image.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        image.extend_from_slice(&crc32(&payload).to_be_bytes());
+        image.extend_from_slice(&payload);
+        let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        self.backend.replace(&image)
+    }
+
+    /// The backend, for inspection in tests.
+    pub fn backend(&self) -> &std::sync::Arc<dyn StorageBackend> {
+        &self.backend
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn zone_record(id: u64) -> Record {
+        Record::RegisterZone {
+            id,
+            lat_deg: 40.0,
+            lon_deg: -88.0,
+            radius_m: 150.0,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn open_fresh_writes_header_then_round_trips() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, records, report) = Journal::open(backend.clone()).unwrap();
+        assert!(records.is_empty());
+        assert!(!report.torn_tail);
+        journal.append_record(&zone_record(1)).unwrap();
+        journal
+            .append_record(&Record::NonceUsed {
+                drone: 7,
+                nonce: [9; 16],
+            })
+            .unwrap();
+        drop(journal);
+        let (_, records, report) = Journal::open(backend).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], zone_record(1));
+        assert_eq!(report.records_applied, 2);
+        assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn every_record_variant_round_trips() {
+        let all = vec![
+            Record::RegisterDrone {
+                id: 3,
+                op_modulus: vec![1, 2, 3],
+                op_exponent: vec![1, 0, 1],
+                tee_modulus: vec![9, 9],
+                tee_exponent: vec![3],
+            },
+            zone_record(5),
+            Record::NonceUsed {
+                drone: 1,
+                nonce: [0xAB; 16],
+            },
+            Record::PoaStored {
+                drone: 2,
+                window_start: 0.0,
+                window_end: 30.0,
+                poa: vec![0, 0, 0, 0],
+                verdict: vec![0],
+                stored_at: 31.0,
+            },
+            Record::Snapshot(vec![0xDE, 0xAD]),
+        ];
+        for rec in all {
+            let payload = rec.to_payload();
+            assert_eq!(Record::from_payload(&payload).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_logged() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        journal.append_record(&zone_record(2)).unwrap();
+        let full = backend.bytes();
+        // Crash mid-way through the second record.
+        for cut in 1..FRAME_OVERHEAD + 4 {
+            let torn = Arc::new(MemBackend::with_bytes(full[..full.len() - cut].to_vec()));
+            let (_, records, report) = Journal::open(torn.clone()).unwrap();
+            assert_eq!(records.len(), 1, "cut {cut}");
+            assert!(report.torn_tail, "cut {cut}");
+            // The tail was truncated away; reopening is now clean.
+            let (_, records2, report2) = Journal::open(torn).unwrap();
+            assert_eq!(records2.len(), 1);
+            assert!(!report2.torn_tail);
+        }
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_typed_error() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        journal.append_record(&zone_record(2)).unwrap();
+        // Flip a payload bit inside the *first* record.
+        backend.flip_bits(HEADER_LEN + FRAME_OVERHEAD + 2, 0x10);
+        let err = Journal::open(Arc::new(MemBackend::with_bytes(backend.bytes()))).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JournalError::Corrupt {
+                    reason: "crc mismatch",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        let mut bytes = backend.bytes();
+        bytes[0] ^= 0xFF;
+        let err = parse_image(&bytes).unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { offset: 0, .. }));
+        let mut bytes = backend.bytes();
+        bytes[4] = 99;
+        let err = parse_image(&bytes).unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { offset: 4, .. }));
+    }
+
+    #[test]
+    fn impossible_length_is_corruption_not_torn_tail() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        let mut bytes = backend.bytes();
+        // Zero out the length field of the first frame.
+        for b in &mut bytes[HEADER_LEN..HEADER_LEN + 4] {
+            *b = 0;
+        }
+        let err = parse_image(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            JournalError::Corrupt {
+                reason: "impossible record length",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn compaction_replaces_image_with_snapshot_record() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        for i in 0..10 {
+            journal.append_record(&zone_record(i)).unwrap();
+        }
+        let before = backend.bytes().len();
+        journal.compact(b"snapshot-bytes").unwrap();
+        assert!(backend.bytes().len() < before);
+        journal.append_record(&zone_record(99)).unwrap();
+        let (_, records, _) = Journal::open(backend).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], Record::Snapshot(b"snapshot-bytes".to_vec()));
+        assert_eq!(records[1], zone_record(99));
+    }
+
+    #[test]
+    fn disk_full_is_typed_and_nondestructive() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        let len = backend.bytes().len();
+        backend.set_capacity(Some(len));
+        assert_eq!(
+            journal.append_record(&zone_record(2)),
+            Err(JournalError::DiskFull)
+        );
+        // Nothing was written; the journal still parses cleanly.
+        backend.set_capacity(None);
+        let (_, records, report) = Journal::open(backend).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn torn_write_fault_recovers_on_reopen() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        backend.tear_next_append(5);
+        assert!(journal.append_record(&zone_record(2)).is_err());
+        let (_, records, report) = Journal::open(backend).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(report.torn_tail);
+    }
+
+    #[test]
+    fn fs_backend_round_trips_and_replaces() {
+        let dir =
+            std::env::temp_dir().join(format!("alidrone-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auditor.wal");
+        let _ = std::fs::remove_file(&path);
+        let backend = Arc::new(FsBackend::new(&path));
+        assert!(backend.read().unwrap().is_empty());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        journal.append_record(&zone_record(2)).unwrap();
+        drop(journal);
+        let (journal, records, _) = Journal::open(Arc::new(FsBackend::new(&path))).unwrap();
+        assert_eq!(records.len(), 2);
+        journal.compact(b"snap").unwrap();
+        let (_, records, _) = Journal::open(Arc::new(FsBackend::new(&path))).unwrap();
+        assert_eq!(records, vec![Record::Snapshot(b"snap".to_vec())]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn header_only_torn_image_resets_to_fresh() {
+        // A crash while writing the 5-byte header itself.
+        let torn = Arc::new(MemBackend::with_bytes(vec![0x41, 0x4C]));
+        let (journal, records, report) = Journal::open(torn).unwrap();
+        assert!(records.is_empty());
+        assert!(report.torn_tail);
+        journal.append_record(&zone_record(1)).unwrap();
+    }
+}

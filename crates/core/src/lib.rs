@@ -60,13 +60,15 @@ mod poa;
 mod test_support;
 mod zone_owner;
 
+pub mod journal;
 pub mod privacy;
 pub mod sampling;
 pub mod symmetric;
 pub mod wire;
 
 pub use auditor::{
-    AccusationOutcome, Auditor, AuditorConfig, StoredPoa, Verdict, VerificationReport,
+    AccusationOutcome, Auditor, AuditorConfig, RecoveryReport, StoredPoa, Verdict,
+    VerificationReport,
 };
 pub use error::ProtocolError;
 pub use flight::{run_flight, run_flight_with_obs, FlightRecord, SampleEvent, SamplingStrategy};

@@ -4,8 +4,9 @@ use std::fmt;
 
 use alidrone_crypto::rng::Rng;
 use alidrone_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use alidrone_geo::sufficiency::GapWindow;
 use alidrone_geo::{GpsSample, Timestamp};
-use alidrone_tee::SignedSample;
+use alidrone_tee::{SignedGapMarker, SignedSample};
 
 use crate::ProtocolError;
 
@@ -15,9 +16,16 @@ use crate::ProtocolError;
 /// ```text
 /// PoA = {(S₀, Sig(S₀, T⁻)), (S₁, Sig(S₁, T⁻)), …}
 /// ```
+///
+/// A degraded-mode flight additionally carries *signed gap markers*:
+/// TEE-attested declarations of GPS-outage windows. Gaps are admissions
+/// against interest — they can only ever weaken the alibi — so the
+/// container keeps them alongside the samples and the auditor accounts
+/// for them during sufficiency checking.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ProofOfAlibi {
     entries: Vec<SignedSample>,
+    gaps: Vec<SignedGapMarker>,
 }
 
 impl ProofOfAlibi {
@@ -28,7 +36,10 @@ impl ProofOfAlibi {
 
     /// Creates a PoA from recorded entries.
     pub fn from_entries(entries: Vec<SignedSample>) -> Self {
-        ProofOfAlibi { entries }
+        ProofOfAlibi {
+            entries,
+            gaps: Vec::new(),
+        }
     }
 
     /// Appends an authenticated sample.
@@ -36,9 +47,31 @@ impl ProofOfAlibi {
         self.entries.push(entry);
     }
 
+    /// Appends a signed GPS-outage declaration (degraded mode).
+    pub fn push_gap(&mut self, gap: SignedGapMarker) {
+        self.gaps.push(gap);
+    }
+
     /// The signed entries.
     pub fn entries(&self) -> &[SignedSample] {
         &self.entries
+    }
+
+    /// The signed gap markers declared for this flight.
+    pub fn gaps(&self) -> &[SignedGapMarker] {
+        &self.gaps
+    }
+
+    /// The declared outage windows, stripped of signatures — the shape
+    /// [`alidrone_geo::sufficiency::check_alibi_with_gaps`] consumes.
+    pub fn gap_windows(&self) -> Vec<GapWindow> {
+        self.gaps
+            .iter()
+            .map(|g| GapWindow {
+                start: g.start(),
+                end: g.end(),
+            })
+            .collect()
     }
 
     /// Number of samples.
@@ -68,7 +101,10 @@ impl ProofOfAlibi {
     }
 
     /// Serialises to a length-prefixed wire format:
-    /// `[count: u32 BE] ([entry_len: u32 BE][entry])*`.
+    /// `[count: u32 BE] ([entry_len: u32 BE][entry])*`, followed — only
+    /// when gaps were declared — by a gap section
+    /// `[gap_count: u32 BE] ([gap_len: u32 BE][gap])*`. Gapless PoAs
+    /// keep the original byte layout, so pre-gap images parse unchanged.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
@@ -77,10 +113,20 @@ impl ProofOfAlibi {
             out.extend_from_slice(&(b.len() as u32).to_be_bytes());
             out.extend_from_slice(&b);
         }
+        if !self.gaps.is_empty() {
+            out.extend_from_slice(&(self.gaps.len() as u32).to_be_bytes());
+            for g in &self.gaps {
+                let b = g.to_bytes();
+                out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+                out.extend_from_slice(&b);
+            }
+        }
         out
     }
 
-    /// Parses the wire format of [`to_bytes`](Self::to_bytes).
+    /// Parses the wire format of [`to_bytes`](Self::to_bytes). An image
+    /// that ends right after the sample entries (the pre-gap layout)
+    /// parses as a PoA with no declared gaps.
     ///
     /// # Errors
     ///
@@ -103,10 +149,29 @@ impl ProofOfAlibi {
             );
             cursor = rest;
         }
+        let mut gaps = Vec::new();
+        if !cursor.is_empty() {
+            let gap_count =
+                read_u32(&mut cursor).ok_or(ProtocolError::Malformed("poa gap count"))? as usize;
+            gaps.reserve(gap_count.min(1 << 16));
+            for _ in 0..gap_count {
+                let len = read_u32(&mut cursor).ok_or(ProtocolError::Malformed("poa gap length"))?
+                    as usize;
+                if cursor.len() < len {
+                    return Err(ProtocolError::Malformed("poa gap truncated"));
+                }
+                let (gap, rest) = cursor.split_at(len);
+                gaps.push(
+                    SignedGapMarker::from_bytes(gap)
+                        .map_err(|_| ProtocolError::Malformed("poa gap"))?,
+                );
+                cursor = rest;
+            }
+        }
         if !cursor.is_empty() {
             return Err(ProtocolError::Malformed("poa trailing bytes"));
         }
-        Ok(ProofOfAlibi { entries })
+        Ok(ProofOfAlibi { entries, gaps })
     }
 
     /// Encrypts the PoA for the auditor with `RSAES_PKCS1_v1_5` under the
@@ -141,6 +206,9 @@ impl fmt::Display for ProofOfAlibi {
         if let (Some(a), Some(b)) = (self.first_time(), self.last_time()) {
             write!(f, ", {} → {}", a, b)?;
         }
+        if !self.gaps.is_empty() {
+            write!(f, ", {} gaps", self.gaps.len())?;
+        }
         write!(f, "]")
     }
 }
@@ -149,6 +217,7 @@ impl FromIterator<SignedSample> for ProofOfAlibi {
     fn from_iter<I: IntoIterator<Item = SignedSample>>(iter: I) -> Self {
         ProofOfAlibi {
             entries: iter.into_iter().collect(),
+            gaps: Vec::new(),
         }
     }
 }
@@ -242,6 +311,37 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(ProofOfAlibi::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn gap_markers_round_trip_and_stay_backward_compatible() {
+        use crate::test_support::signed_gap;
+        let mut poa = ProofOfAlibi::from_entries(signed_samples(3));
+        poa.push_gap(signed_gap(0.5, 1.5));
+        poa.push_gap(signed_gap(1.8, 2.0));
+        let rt = ProofOfAlibi::from_bytes(&poa.to_bytes()).unwrap();
+        assert_eq!(rt, poa);
+        assert_eq!(rt.gaps().len(), 2);
+        let windows = rt.gap_windows();
+        assert_eq!(windows[0].start.secs(), 0.5);
+        assert_eq!(windows[1].end.secs(), 2.0);
+
+        // A gapless PoA keeps the pre-gap byte layout, and those bytes
+        // still parse (no gap section required).
+        let gapless = ProofOfAlibi::from_entries(signed_samples(3));
+        let old_layout = gapless.to_bytes();
+        assert!(poa.to_bytes().len() > old_layout.len());
+        let parsed = ProofOfAlibi::from_bytes(&old_layout).unwrap();
+        assert!(parsed.gaps().is_empty());
+    }
+
+    #[test]
+    fn truncated_gap_section_is_malformed() {
+        use crate::test_support::signed_gap;
+        let mut poa = ProofOfAlibi::from_entries(signed_samples(2));
+        poa.push_gap(signed_gap(0.2, 0.9));
+        let bytes = poa.to_bytes();
+        assert!(ProofOfAlibi::from_bytes(&bytes[..bytes.len() - 4]).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::OnceLock;
 use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
 use alidrone_geo::{Distance, GeoPoint, GpsSample, Timestamp};
-use alidrone_tee::SignedSample;
+use alidrone_tee::{SignedGapMarker, SignedSample};
 
 /// 512-bit keys are test-size: keygen and signing in debug builds must
 /// stay fast. Each role gets a distinct cached key.
@@ -54,4 +54,13 @@ pub(crate) fn signed_samples(n: usize) -> Vec<SignedSample> {
             SignedSample::from_parts(sample, sig, HashAlg::Sha1)
         })
         .collect()
+}
+
+/// A gap marker over `[start, end]` seconds, signed with [`tee_key`].
+pub(crate) fn signed_gap(start: f64, end: f64) -> SignedGapMarker {
+    let (start, end) = (Timestamp::from_secs(start), Timestamp::from_secs(end));
+    let sig = tee_key()
+        .sign(&SignedGapMarker::signing_bytes(start, end), HashAlg::Sha1)
+        .expect("test signing");
+    SignedGapMarker::from_parts(start, end, sig, HashAlg::Sha1)
 }

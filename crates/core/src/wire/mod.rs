@@ -470,6 +470,8 @@ const VERDICT_WINDOW: u8 = 4;
 const VERDICT_IMPOSSIBLE: u8 = 5;
 const VERDICT_INSIDE: u8 = 6;
 const VERDICT_INSUFFICIENT: u8 = 7;
+const VERDICT_BAD_GAP: u8 = 8;
+const VERDICT_GAP_CONTRADICTION: u8 = 9;
 
 pub(crate) fn put_verdict(w: &mut Writer, v: &Verdict) {
     match v {
@@ -506,6 +508,14 @@ pub(crate) fn put_verdict(w: &mut Writer, v: &Verdict) {
                 w.put_u64(*i as u64);
             }
         }
+        Verdict::BadGapMarker { index } => {
+            w.put_u8(VERDICT_BAD_GAP);
+            w.put_u64(*index as u64);
+        }
+        Verdict::GapContradiction { index } => {
+            w.put_u8(VERDICT_GAP_CONTRADICTION);
+            w.put_u64(*index as u64);
+        }
     }
 }
 
@@ -538,6 +548,12 @@ pub(crate) fn get_verdict(r: &mut Reader<'_>) -> Result<Verdict, ProtocolError> 
             }
             Verdict::InsufficientAlibi { pair_indices }
         }
+        VERDICT_BAD_GAP => Verdict::BadGapMarker {
+            index: r.get_u64()? as usize,
+        },
+        VERDICT_GAP_CONTRADICTION => Verdict::GapContradiction {
+            index: r.get_u64()? as usize,
+        },
         _ => return Err(ProtocolError::Malformed("unknown verdict tag")),
     })
 }
@@ -705,6 +721,8 @@ mod tests {
             Response::Verdict(Verdict::InsufficientAlibi {
                 pair_indices: vec![1, 5, 9],
             }),
+            Response::Verdict(Verdict::BadGapMarker { index: 12 }),
+            Response::Verdict(Verdict::GapContradiction { index: 13 }),
             Response::Accusation {
                 refuted: true,
                 reason: String::new(),

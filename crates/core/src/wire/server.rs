@@ -123,8 +123,8 @@ pub struct AuditorServer {
     serve: ServeConfig,
 }
 
-/// Builder for [`AuditorServer`] — one place for every knob that used
-/// to be spread over `new` / `with_obs` / `with_flight_recorder`.
+/// Builder for [`AuditorServer`] — one place for every construction
+/// knob: observability, flight recorder, and serving limits.
 #[derive(Debug)]
 pub struct AuditorServerBuilder {
     auditor: Auditor,
@@ -194,33 +194,15 @@ impl AuditorServer {
         }
     }
 
-    /// Creates a server around an auditor, with metrics going to a
-    /// private no-op registry.
-    #[deprecated(note = "use `AuditorServer::builder(auditor).build()`")]
-    pub fn new(auditor: Auditor) -> Self {
-        AuditorServer::builder(auditor).build()
-    }
-
-    /// Creates a server whose metrics and events flow into `obs`.
-    #[deprecated(note = "use `AuditorServer::builder(auditor).obs(obs).build()`")]
-    pub fn with_obs(auditor: Auditor, obs: &Obs) -> Self {
-        AuditorServer::builder(auditor).obs(obs).build()
-    }
-
-    /// Attaches a flight recorder after construction.
-    #[deprecated(note = "use `AuditorServer::builder(auditor).flight_recorder(rec).build()`")]
-    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
-        self.recorder = Some(recorder);
-        self
-    }
-
     /// The most recent automatic flight-recorder dump, if any protocol
     /// failure has occurred since a recorder was attached. Cloned out
     /// from behind the dump mutex, so callers hold no lock.
     pub fn last_crash_dump(&self) -> Option<RecorderDump> {
+        // Invariant: holders of this lock only clone/replace the Option,
+        // so a poisoned lock still guards structurally sound data.
         self.last_crash_dump
             .lock()
-            .expect("crash dump lock")
+            .unwrap_or_else(|p| p.into_inner())
             .clone()
     }
 
@@ -313,7 +295,12 @@ impl AuditorServer {
                         .field("spans", dump.spans.len())
                         .field("events", dump.events.len());
                 });
-            *self.last_crash_dump.lock().expect("crash dump lock") = Some(dump);
+            // Invariant: the slot only ever holds a whole replaced
+            // Option, so writing through a poisoned lock is sound.
+            *self
+                .last_crash_dump
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) = Some(dump);
         }
     }
 
@@ -772,22 +759,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shims_still_serve() {
+    fn builder_wires_obs_and_recorder() {
         let recorder = Arc::new(FlightRecorder::new(8));
         let obs = Obs::noop();
         obs.set_subscriber(recorder.clone());
-        let s = AuditorServer::with_obs(
-            Auditor::new(AuditorConfig::default(), auditor_key().clone()),
-            &obs,
-        )
-        .with_flight_recorder(recorder);
-        register(&s);
-        let s2 = AuditorServer::new(Auditor::new(
+        let s = AuditorServer::builder(Auditor::new(
             AuditorConfig::default(),
             auditor_key().clone(),
-        ));
-        register(&s2);
+        ))
+        .obs(&obs)
+        .flight_recorder(recorder)
+        .build();
+        register(&s);
         assert_eq!(s.auditor().drone_count(), 1);
     }
 

@@ -148,10 +148,13 @@ impl TcpServer {
                 let server = Arc::clone(&server);
                 let shutdown = Arc::clone(&shutdown);
                 thread::spawn(move || loop {
-                    let next = rx
-                        .lock()
-                        .expect("worker queue lock")
-                        .recv_timeout(POLL_INTERVAL);
+                    let next = match rx.lock() {
+                        Ok(queue) => queue.recv_timeout(POLL_INTERVAL),
+                        // A sibling worker panicked while holding the
+                        // queue: treat it like a closed queue and exit
+                        // instead of cascading the panic pool-wide.
+                        Err(_) => break,
+                    };
                     match next {
                         Ok(stream) => {
                             if let Err(e) = serve_connection(&server, stream, &shutdown, &cfg) {
@@ -274,6 +277,8 @@ fn serve_connection(
 fn handle_framed(server: &AuditorServer, body: &[u8]) -> Vec<u8> {
     match body.get(..8) {
         Some(prologue) => {
+            // Invariant: `get(..8)` returned `Some`, so the slice is
+            // exactly 8 bytes and the conversion cannot fail.
             let now = f64::from_be_bytes(prologue.try_into().expect("8-byte slice"));
             server.handle(&body[8..], Timestamp::from_secs(now))
         }
@@ -373,11 +378,18 @@ impl Transport for TcpTransport {
         body.extend_from_slice(&now.secs().to_be_bytes());
         body.extend_from_slice(request);
 
-        let mut guard = self.stream.lock().expect("tcp stream lock");
+        let mut guard = self.stream.lock().unwrap_or_else(|poisoned| {
+            // A previous call panicked mid-frame, so the pooled stream
+            // may hold half-written bytes: drop it and start clean.
+            let mut guard = poisoned.into_inner();
+            *guard = None;
+            guard
+        });
         let reused = guard.is_some();
         if guard.is_none() {
             *guard = Some(self.connect()?);
         }
+        // Invariant: the branch above just ensured the slot is `Some`.
         let stream = guard.as_mut().expect("stream just ensured");
         if let Err(e) = write_frame(stream, &body) {
             if !reused {
@@ -392,11 +404,14 @@ impl Transport for TcpTransport {
                 f.field("error", e.to_string());
             });
             *guard = Some(self.connect()?);
+            // Invariant: the line above just stored a fresh stream.
             write_frame(guard.as_mut().expect("fresh stream"), &body).map_err(|e| {
                 *guard = None;
                 io_to_protocol(e)
             })?;
         }
+        // Invariant: every error path above returned early, and every
+        // surviving path left a connected stream in the slot.
         match read_frame(guard.as_mut().expect("stream present")) {
             Ok(response) => {
                 self.bytes_out.add(response.len() as u64);

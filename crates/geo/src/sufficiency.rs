@@ -19,8 +19,35 @@
 //! `j`. This module implements both the paper criterion and an exact
 //! variant built on [`ReachableSet::intersects_zone`].
 
-use crate::units::Speed;
+use crate::units::{Speed, Timestamp};
 use crate::{GpsSample, NoFlyZone, ReachableSet, ZoneSet};
+
+/// A declared GPS outage: a window during which the sampler attests it
+/// had no usable fix (degraded-mode operation). Declared gaps *weaken*
+/// the alibi instead of leaving an unmarked hole in the sample stream:
+/// sample pairs overlapping a gap get a larger travel budget, modelling
+/// the extra timestamp uncertainty of the outage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapWindow {
+    /// When the outage began.
+    pub start: Timestamp,
+    /// When a fix was next available.
+    pub end: Timestamp,
+}
+
+impl GapWindow {
+    /// Seconds of overlap between this gap and the interval `[t1, t2]`.
+    pub fn overlap_secs(&self, t1: Timestamp, t2: Timestamp) -> f64 {
+        let lo = self.start.secs().max(t1.secs());
+        let hi = self.end.secs().min(t2.secs());
+        (hi - lo).max(0.0)
+    }
+
+    /// `true` when `t` lies strictly inside the gap.
+    pub fn contains_strict(&self, t: Timestamp) -> bool {
+        self.start.secs() < t.secs() && t.secs() < self.end.secs()
+    }
+}
 
 /// Paper criterion for a single pair against a single zone:
 /// `D1 + D2 > v_max (t2 − t1)`.
@@ -81,6 +108,10 @@ pub struct PairVerdict {
     /// The margin `min_j (D1 + D2) − v_max·dt` in meters; negative when
     /// insufficient.
     pub margin_m: f64,
+    /// Seconds of this pair's interval covered by declared GPS gaps
+    /// (0.0 when no gaps were declared). A positive overlap inflates the
+    /// travel budget by `v_max · overlap`, shrinking the margin.
+    pub gap_overlap_secs: f64,
 }
 
 /// The outcome of checking a whole alibi against a zone set.
@@ -119,12 +150,36 @@ pub fn check_alibi(
     v_max: Speed,
     criterion: Criterion,
 ) -> SufficiencyReport {
+    check_alibi_with_gaps(samples, zones, v_max, criterion, &[])
+}
+
+/// Gap-aware variant of [`check_alibi`] for degraded-mode GPS: each
+/// declared [`GapWindow`] overlapping a pair's interval inflates that
+/// pair's travel budget to `v_max · (dt + overlap)`.
+///
+/// The inflation models the worst case the auditor must assume during an
+/// attested outage: the drone's position was unobserved for `overlap`
+/// extra seconds, so the reachable range between the bracketing samples
+/// is wider. Missing samples therefore *weaken* the alibi — a gap can
+/// flip a pair from sufficient to insufficient but never the reverse.
+/// With an empty `gaps` slice this is exactly [`check_alibi`].
+pub fn check_alibi_with_gaps(
+    samples: &[GpsSample],
+    zones: &ZoneSet,
+    v_max: Speed,
+    criterion: Criterion,
+    gaps: &[GapWindow],
+) -> SufficiencyReport {
     let mut pairs = Vec::with_capacity(samples.len().saturating_sub(1));
     let mut insufficient = 0;
     for (i, w) in samples.windows(2).enumerate() {
         let (s1, s2) = (&w[0], &w[1]);
         let dt = s2.time().since(s1.time());
-        let budget = v_max.mps() * dt.secs();
+        let overlap: f64 = gaps
+            .iter()
+            .map(|g| g.overlap_secs(s1.time(), s2.time()))
+            .sum();
+        let budget = v_max.mps() * (dt.secs() + overlap);
 
         let mut tightest: Option<usize> = None;
         let mut min_margin = f64::INFINITY;
@@ -137,9 +192,17 @@ pub fn check_alibi(
                 min_margin = margin;
                 tightest = Some(j);
             }
-            let pair_ok = match criterion {
-                Criterion::Paper => pair_is_sufficient(s1, s2, z, v_max),
-                Criterion::Exact => pair_is_sufficient_exact(s1, s2, z, v_max),
+            let pair_ok = if overlap > 0.0 {
+                // During an attested outage the exact reachable-ellipse
+                // geometry no longer applies (the timestamps themselves
+                // are uncertain), so both criteria fall back to the
+                // inflated boundary-distance test.
+                dt.secs() > 0.0 && margin > 0.0
+            } else {
+                match criterion {
+                    Criterion::Paper => pair_is_sufficient(s1, s2, z, v_max),
+                    Criterion::Exact => pair_is_sufficient_exact(s1, s2, z, v_max),
+                }
             };
             if !pair_ok {
                 sufficient = false;
@@ -157,6 +220,7 @@ pub fn check_alibi(
             } else {
                 f64::INFINITY
             },
+            gap_overlap_secs: overlap,
         });
     }
     SufficiencyReport {
@@ -306,6 +370,91 @@ mod tests {
         );
         assert!(!pair_is_sufficient(&s1, &s2, &zone, FAA_MAX_SPEED));
         assert!(!pair_is_sufficient_exact(&s1, &s2, &zone, FAA_MAX_SPEED));
+    }
+
+    #[test]
+    fn no_gaps_matches_plain_check_alibi() {
+        let o = p(40.0, -88.0);
+        let trace = east_trace(o, 10, 1.0, 20.0);
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_km(5.0)),
+            Distance::from_meters(100.0),
+        );
+        let zones: ZoneSet = std::iter::once(zone).collect();
+        let plain = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper);
+        let gapped = check_alibi_with_gaps(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper, &[]);
+        assert_eq!(plain, gapped);
+        assert!(plain.pairs.iter().all(|pv| pv.gap_overlap_secs == 0.0));
+    }
+
+    #[test]
+    fn gap_overlap_reduces_margin_by_vmax_times_overlap() {
+        let o = p(40.0, -88.0);
+        let trace = east_trace(o, 4, 10.0, 5.0);
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_km(3.0)),
+            Distance::from_meters(100.0),
+        );
+        let zones: ZoneSet = std::iter::once(zone).collect();
+        // Gap covering 4 s of the second pair's [10, 20] interval.
+        let gap = GapWindow {
+            start: Timestamp::from_secs(12.0),
+            end: Timestamp::from_secs(16.0),
+        };
+        let clean = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper);
+        let gapped = check_alibi_with_gaps(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper, &[gap]);
+        assert_eq!(gapped.pairs[1].gap_overlap_secs, 4.0);
+        let expected_penalty = FAA_MAX_SPEED.mps() * 4.0;
+        let actual = clean.pairs[1].margin_m - gapped.pairs[1].margin_m;
+        assert!(
+            (actual - expected_penalty).abs() < 1e-6,
+            "penalty {actual} vs expected {expected_penalty}"
+        );
+        // Pairs the gap does not touch are unchanged.
+        assert_eq!(clean.pairs[0].margin_m, gapped.pairs[0].margin_m);
+        assert_eq!(clean.pairs[2].margin_m, gapped.pairs[2].margin_m);
+    }
+
+    #[test]
+    fn gap_can_flip_pair_to_insufficient_never_reverse() {
+        let o = p(40.0, -88.0);
+        // Overlap is clamped to the pair interval, so the budget can at
+        // most double (v_max·2·dt ≈ 89.4 m at 1 s pairs). Put the zone
+        // boundary ~30 m away: d1+d2 ≈ 60 m clears the clean budget
+        // (44.7 m) but not the fully-gapped one.
+        let trace = east_trace(o, 3, 1.0, 10.0);
+        let zone = NoFlyZone::new(
+            o.destination(0.0, Distance::from_meters(130.0)),
+            Distance::from_meters(100.0),
+        );
+        let zones: ZoneSet = std::iter::once(zone).collect();
+        let clean = check_alibi(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper);
+        assert!(clean.is_sufficient());
+        let gap = GapWindow {
+            start: Timestamp::from_secs(0.0),
+            end: Timestamp::from_secs(2.0),
+        };
+        let gapped = check_alibi_with_gaps(&trace, &zones, FAA_MAX_SPEED, Criterion::Paper, &[gap]);
+        assert!(!gapped.is_sufficient(), "gap must weaken the alibi");
+    }
+
+    #[test]
+    fn gap_window_overlap_and_containment() {
+        let g = GapWindow {
+            start: Timestamp::from_secs(5.0),
+            end: Timestamp::from_secs(10.0),
+        };
+        assert_eq!(
+            g.overlap_secs(Timestamp::from_secs(0.0), Timestamp::from_secs(7.0)),
+            2.0
+        );
+        assert_eq!(
+            g.overlap_secs(Timestamp::from_secs(11.0), Timestamp::from_secs(20.0)),
+            0.0
+        );
+        assert!(g.contains_strict(Timestamp::from_secs(7.0)));
+        assert!(!g.contains_strict(Timestamp::from_secs(5.0)));
+        assert!(!g.contains_strict(Timestamp::from_secs(10.0)));
     }
 
     #[test]

@@ -162,6 +162,35 @@ impl TeeSession {
         )
     }
 
+    /// Degraded mode: ask the TEE to sign a declared GPS-outage window
+    /// `[start, end]`. A forged gap only ever weakens the alibi (it is
+    /// an admission against interest), so the normal world may initiate
+    /// this freely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::BadParameters`] for a non-finite or inverted
+    /// window, plus any dispatch errors.
+    pub fn sign_gap(
+        &self,
+        start: alidrone_geo::Timestamp,
+        end: alidrone_geo::Timestamp,
+    ) -> Result<crate::SignedGapMarker, TeeError> {
+        let mut window = Vec::with_capacity(16);
+        window.extend_from_slice(&start.secs().to_be_bytes());
+        window.extend_from_slice(&end.secs().to_be_bytes());
+        let out = self.invoke(crate::CMD_SIGN_GAP, &[Param::Bytes(window)])?;
+        if out.len() != 1 {
+            return Err(TeeError::MalformedData("SignGap output arity"));
+        }
+        Ok(crate::SignedGapMarker::from_parts(
+            start,
+            end,
+            out[0].as_bytes()?.to_vec(),
+            self.world.inner.hash_alg(),
+        ))
+    }
+
     /// Reads the raw (unsigned) sample the secure-world driver sees.
     ///
     /// # Errors
@@ -300,6 +329,33 @@ mod tests {
             forged.verify(&c.tee_public_key()),
             Err(TeeError::SignatureInvalid)
         );
+    }
+
+    #[test]
+    fn sign_gap_verifies_and_rejects_inverted_window() {
+        use alidrone_geo::Timestamp;
+        let c = client();
+        let s = c.open_session(GPS_SAMPLER_UUID).unwrap();
+        let marker = s
+            .sign_gap(Timestamp::from_secs(10.0), Timestamp::from_secs(20.0))
+            .unwrap();
+        marker.verify(&c.tee_public_key()).unwrap();
+        // A tampered window fails verification.
+        let forged = crate::SignedGapMarker::from_parts(
+            Timestamp::from_secs(10.0),
+            Timestamp::from_secs(15.0),
+            marker.signature().to_vec(),
+            marker.hash_alg(),
+        );
+        assert_eq!(
+            forged.verify(&c.tee_public_key()),
+            Err(TeeError::SignatureInvalid)
+        );
+        // Inverted windows never reach the signer.
+        assert!(matches!(
+            s.sign_gap(Timestamp::from_secs(20.0), Timestamp::from_secs(10.0)),
+            Err(TeeError::BadParameters(_))
+        ));
     }
 
     #[test]

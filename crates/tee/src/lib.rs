@@ -75,11 +75,11 @@ mod world;
 pub use client::{TeeClient, TeeSession};
 pub use cost::{CostLedger, CostModel, CostSnapshot};
 pub use error::TeeError;
-pub use sampler::{SignedSample, SignedSample3d, SignedTrace};
+pub use sampler::{SignedGapMarker, SignedSample, SignedSample3d, SignedTrace};
 pub use spoof::{Environment, PlausibilityDetector, SpoofDetector, TrustingDetector};
 pub use storage::SecureStorage;
 pub use uuid::Uuid;
-pub use world::{Param, SecureWorld, SecureWorldBuilder};
+pub use world::{NmeaFaultHook, Param, SecureWorld, SecureWorldBuilder, SignFaultHook};
 
 /// UUID of the GPS Sampler trusted application.
 pub const GPS_SAMPLER_UUID: Uuid = Uuid::from_u128(0x8aaaf200_2450_11e4_abe2_0002a5d5c51b);
@@ -109,3 +109,9 @@ pub const CMD_SIGN_TRACE: u32 = 5;
 /// authenticated 4-tuple `(lat, lon, alt, t)` sample. Requires a 3-D
 /// GPS device; output `[Bytes(sample3d 32B), Bytes(sig)]`.
 pub const CMD_GET_GPS_AUTH_3D: u32 = 6;
+
+/// Command id: degraded mode — sign a declared GPS-outage window
+/// (`SignGap`). Input `[Bytes(start f64 BE || end f64 BE)]` (16 bytes);
+/// output `[Bytes(sig)]`. Safe to expose to the normal world because a
+/// declared gap only ever *weakens* the alibi.
+pub const CMD_SIGN_GAP: u32 = 7;

@@ -12,10 +12,12 @@ use alidrone_crypto::rsa::{HashAlg, RsaPublicKey};
 use alidrone_geo::three_d::GpsSample3d;
 use alidrone_geo::GpsSample;
 
+use alidrone_geo::Timestamp;
+
 use crate::world::{Param, WorldInner};
 use crate::{
     TeeError, CMD_CACHE_SAMPLE, CMD_GET_GPS_AUTH, CMD_GET_GPS_AUTH_3D, CMD_GET_PUBLIC_KEY,
-    CMD_READ_GPS_RAW, CMD_SIGN_TRACE,
+    CMD_READ_GPS_RAW, CMD_SIGN_GAP, CMD_SIGN_TRACE,
 };
 
 /// Secure-storage object id for the batch-mode sample cache.
@@ -164,6 +166,153 @@ impl SignedSample3d {
     }
 }
 
+/// Domain separator for gap-marker signing bytes. The serialised marker
+/// is 23 bytes — never 24 (a [`GpsSample`]) nor a multiple of 24 (a
+/// batch trace) — so a gap signature can never be replayed as a sample
+/// signature or vice versa.
+const GAP_DOMAIN: &[u8; 7] = b"ALIDGAP";
+
+/// A signed declaration that the sampler had **no usable GPS fix** over
+/// `[start, end]` (degraded-mode operation).
+///
+/// When the receiver goes stale mid-flight the paper's prototype would
+/// simply record nothing, leaving an unmarked hole in the sample stream.
+/// A gap marker turns the hole into attested evidence: the auditor's
+/// sufficiency check inflates the travel budget of pairs overlapping a
+/// declared gap, so missing samples *weaken* the alibi instead of
+/// vanishing.
+///
+/// Gap signing is safe to expose to the (adversarial) normal world: a
+/// forged or spurious gap is an admission against interest — it can only
+/// make the drone's alibi weaker, never stronger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedGapMarker {
+    start: Timestamp,
+    end: Timestamp,
+    signature: Vec<u8>,
+    hash_alg: HashAlg,
+}
+
+impl SignedGapMarker {
+    /// Reassembles a gap marker from its parts. No verification is
+    /// performed here — call [`verify`](Self::verify).
+    pub fn from_parts(
+        start: Timestamp,
+        end: Timestamp,
+        signature: Vec<u8>,
+        hash_alg: HashAlg,
+    ) -> Self {
+        SignedGapMarker {
+            start,
+            end,
+            signature,
+            hash_alg,
+        }
+    }
+
+    /// When the outage began.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// When a fix next became available (or the flight ended).
+    pub fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// The TEE signature over the domain-separated gap bytes.
+    pub fn signature(&self) -> &[u8] {
+        &self.signature
+    }
+
+    /// The hash algorithm inside the signature.
+    pub fn hash_alg(&self) -> HashAlg {
+        self.hash_alg
+    }
+
+    /// The bytes the TEE signs: `"ALIDGAP" || start f64 BE || end f64 BE`.
+    pub fn signing_bytes(start: Timestamp, end: Timestamp) -> [u8; 23] {
+        let mut out = [0u8; 23];
+        out[..7].copy_from_slice(GAP_DOMAIN);
+        out[7..15].copy_from_slice(&start.secs().to_be_bytes());
+        out[15..23].copy_from_slice(&end.secs().to_be_bytes());
+        out
+    }
+
+    /// Verifies the signature under the TEE verification key `T⁺`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::SignatureInvalid`] on tampering.
+    pub fn verify(&self, tee_public: &RsaPublicKey) -> Result<(), TeeError> {
+        tee_public
+            .verify(
+                &Self::signing_bytes(self.start, self.end),
+                &self.signature,
+                self.hash_alg,
+            )
+            .map_err(|_| TeeError::SignatureInvalid)
+    }
+
+    /// Serialises to the wire format
+    /// `[alg: u8][start: f64 BE][end: f64 BE][sig_len: u16 BE][sig]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(19 + self.signature.len());
+        out.push(match self.hash_alg {
+            HashAlg::Sha1 => 1,
+            HashAlg::Sha256 => 2,
+        });
+        out.extend_from_slice(&self.start.secs().to_be_bytes());
+        out.extend_from_slice(&self.end.secs().to_be_bytes());
+        out.extend_from_slice(&(self.signature.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses the wire format produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::MalformedData`] on truncation, non-finite
+    /// times, an inverted window, or unknown algorithm tags.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TeeError> {
+        if bytes.len() < 19 {
+            return Err(TeeError::MalformedData("gap marker too short"));
+        }
+        let hash_alg = match bytes[0] {
+            1 => HashAlg::Sha1,
+            2 => HashAlg::Sha256,
+            _ => return Err(TeeError::MalformedData("unknown hash algorithm tag")),
+        };
+        let start = f64::from_be_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let end = f64::from_be_bytes(bytes[9..17].try_into().expect("8 bytes"));
+        if !start.is_finite() || !end.is_finite() || end <= start {
+            return Err(TeeError::MalformedData("invalid gap window"));
+        }
+        let sig_len = u16::from_be_bytes([bytes[17], bytes[18]]) as usize;
+        if bytes.len() != 19 + sig_len {
+            return Err(TeeError::MalformedData("signature length mismatch"));
+        }
+        Ok(SignedGapMarker {
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+            signature: bytes[19..].to_vec(),
+            hash_alg,
+        })
+    }
+}
+
+impl fmt::Display for SignedGapMarker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "signed gap [{:.3}, {:.3}]",
+            self.start.secs(),
+            self.end.secs()
+        )
+    }
+}
+
 /// A whole GPS trace signed with a single RSA operation — the output of
 /// batch mode (paper §VII-A1b). Compare with per-sample [`SignedSample`]s:
 /// one signature amortised over the flight instead of one per sample.
@@ -290,6 +439,28 @@ pub(crate) fn invoke(
             let signature = world.keystore_sign(&trace)?;
             Ok(vec![Param::Bytes(trace), Param::Bytes(signature)])
         }
+        CMD_SIGN_GAP => {
+            // Degraded mode: attest a GPS outage window. The window
+            // arrives from the (untrusted) normal world, which is safe
+            // because a declared gap only ever weakens the alibi.
+            let [Param::Bytes(window)] = params else {
+                return Err(TeeError::BadParameters("SignGap takes one byte buffer"));
+            };
+            if window.len() != 16 {
+                return Err(TeeError::BadParameters("SignGap window must be 16 bytes"));
+            }
+            let start = f64::from_be_bytes(window[..8].try_into().expect("8 bytes"));
+            let end = f64::from_be_bytes(window[8..].try_into().expect("8 bytes"));
+            if !start.is_finite() || !end.is_finite() || end <= start {
+                return Err(TeeError::BadParameters("SignGap window invalid"));
+            }
+            let bytes = SignedGapMarker::signing_bytes(
+                Timestamp::from_secs(start),
+                Timestamp::from_secs(end),
+            );
+            let signature = world.keystore_sign(&bytes)?;
+            Ok(vec![Param::Bytes(signature)])
+        }
         other => Err(TeeError::NotSupported(other)),
     }
 }
@@ -346,5 +517,50 @@ mod tests {
         let mut bytes = s.to_bytes();
         bytes.push(0);
         assert!(SignedSample::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn gap_marker_wire_round_trip() {
+        let g = SignedGapMarker::from_parts(
+            Timestamp::from_secs(10.0),
+            Timestamp::from_secs(14.5),
+            vec![0xBB; 64],
+            HashAlg::Sha1,
+        );
+        let rt = SignedGapMarker::from_bytes(&g.to_bytes()).unwrap();
+        assert_eq!(g, rt);
+        assert_eq!(rt.start().secs(), 10.0);
+        assert_eq!(rt.end().secs(), 14.5);
+    }
+
+    #[test]
+    fn gap_marker_rejects_inverted_or_truncated() {
+        let g = SignedGapMarker::from_parts(
+            Timestamp::from_secs(5.0),
+            Timestamp::from_secs(2.0),
+            vec![0xBB; 8],
+            HashAlg::Sha1,
+        );
+        assert!(SignedGapMarker::from_bytes(&g.to_bytes()).is_err());
+        let ok = SignedGapMarker::from_parts(
+            Timestamp::from_secs(2.0),
+            Timestamp::from_secs(5.0),
+            vec![0xBB; 8],
+            HashAlg::Sha1,
+        );
+        let bytes = ok.to_bytes();
+        assert!(SignedGapMarker::from_bytes(&bytes[..10]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SignedGapMarker::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn gap_signing_bytes_cannot_collide_with_samples() {
+        // 23 bytes: not a 24-byte sample, not a multiple of 24 (trace).
+        let b =
+            SignedGapMarker::signing_bytes(Timestamp::from_secs(0.0), Timestamp::from_secs(1.0));
+        assert_eq!(b.len(), 23);
+        assert_eq!(&b[..7], b"ALIDGAP");
     }
 }

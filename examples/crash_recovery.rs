@@ -1,0 +1,149 @@
+//! Crash-safe auditor quickstart: journal, crash, recover, compact.
+//!
+//! The auditor write-ahead journals every durable mutation (drone and
+//! zone registrations, burned nonces, accepted PoAs). This example runs
+//! the full lifecycle against a real file:
+//!
+//! 1. journal a working session to disk,
+//! 2. "crash" (drop the process state) and recover by replay,
+//! 3. tear the final record the way a power cut mid-append would and
+//!    show recovery truncating to the clean prefix,
+//! 4. compact to a snapshot so replay cost stays bounded.
+//!
+//! Run with: `cargo run --release --offline --example crash_recovery`
+
+use std::sync::Arc;
+
+use alidrone::core::journal::FsBackend;
+use alidrone::core::{Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi, ZoneQuery};
+use alidrone::crypto::rng::XorShift64;
+use alidrone::crypto::rsa::{HashAlg, RsaPrivateKey};
+use alidrone::geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp};
+use alidrone::tee::SignedSample;
+
+fn key(seed: u64) -> RsaPrivateKey {
+    RsaPrivateKey::generate(512, &mut XorShift64::seed_from_u64(seed))
+}
+
+fn pad() -> GeoPoint {
+    GeoPoint::new(40.1164, -88.2434).expect("valid pad")
+}
+
+/// An honest eastbound alibi trace signed by the drone TEE key.
+fn signed_samples(tee: &RsaPrivateKey, n: usize) -> Vec<SignedSample> {
+    (0..n)
+        .map(|i| {
+            let sample = GpsSample::new(
+                pad().destination(90.0, Distance::from_meters(10.0 * i as f64)),
+                Timestamp::from_secs(i as f64),
+            );
+            let sig = tee.sign(&sample.to_bytes(), HashAlg::Sha1).expect("sign");
+            SignedSample::from_parts(sample, sig, HashAlg::Sha1)
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("alidrone-crash-recovery.wal");
+    let _ = std::fs::remove_file(&path);
+    let auditor_key = key(0xA0D1);
+    let tee_key = key(0xD201);
+    let operator_key = key(0x09E0);
+
+    // ---- 1. A working session, journaled to disk ---------------------
+    let backend = Arc::new(FsBackend::new(&path));
+    let (auditor, report) =
+        Auditor::recover(backend, AuditorConfig::default(), auditor_key.clone())?;
+    println!(
+        "fresh journal at {}: {} records replayed",
+        path.display(),
+        report.records_applied
+    );
+
+    let id = auditor.register_drone(
+        operator_key.public_key().clone(),
+        tee_key.public_key().clone(),
+    );
+    auditor.register_zone(NoFlyZone::new(
+        pad().destination(0.0, Distance::from_km(1.0)),
+        Distance::from_meters(50.0),
+    ));
+    let query = ZoneQuery::new_signed(
+        id,
+        pad().destination(225.0, Distance::from_km(2.0)),
+        pad().destination(45.0, Distance::from_km(2.0)),
+        [7u8; 16],
+        &operator_key,
+    )?;
+    auditor.handle_zone_query(&query)?;
+    let verdict = auditor
+        .verify_submission(
+            &PoaSubmission {
+                drone_id: id,
+                window_start: Timestamp::from_secs(0.0),
+                window_end: Timestamp::from_secs(2.0),
+                poa: ProofOfAlibi::from_entries(signed_samples(&tee_key, 3)),
+            },
+            Timestamp::from_secs(10.0),
+        )?
+        .verdict;
+    println!("session: drone {id}, 1 zone, 1 burned nonce, PoA verdict: {verdict}");
+    let live_state = auditor.snapshot();
+    drop(auditor); // ---- the process "crashes" here ----
+
+    // ---- 2. Recovery replays the journal ----------------------------
+    let (recovered, report) = Auditor::recover(
+        Arc::new(FsBackend::new(&path)),
+        AuditorConfig::default(),
+        auditor_key.clone(),
+    )?;
+    println!(
+        "recovered: {} records, torn tail: {}, {} drones / {} zones / {} PoAs",
+        report.records_applied,
+        report.torn_tail,
+        recovered.drone_count(),
+        recovered.zone_count(),
+        recovered.stored_poa_count(),
+    );
+    assert_eq!(recovered.snapshot(), live_state, "replay must be exact");
+
+    // A replayed nonce is still rejected after recovery.
+    let replay = recovered.handle_zone_query(&query);
+    println!("replayed nonce after recovery: {}", replay.unwrap_err());
+
+    // ---- 3. A torn tail (power cut mid-append) ----------------------
+    let image = std::fs::read(&path)?;
+    std::fs::write(&path, &image[..image.len() - 3])?;
+    let (after_tear, report) = Auditor::recover(
+        Arc::new(FsBackend::new(&path)),
+        AuditorConfig::default(),
+        auditor_key.clone(),
+    )?;
+    println!(
+        "after torn tail: {} records survive (torn: {}, {} bytes discarded), \
+         {} PoAs",
+        report.records_applied,
+        report.torn_tail,
+        report.torn_bytes,
+        after_tear.stored_poa_count(),
+    );
+
+    // ---- 4. Compaction bounds future replay -------------------------
+    let before = std::fs::metadata(&path)?.len();
+    after_tear.compact_journal()?;
+    let after = std::fs::metadata(&path)?.len();
+    let (compacted, report) = Auditor::recover(
+        Arc::new(FsBackend::new(&path)),
+        AuditorConfig::default(),
+        auditor_key,
+    )?;
+    println!(
+        "compacted {before} -> {after} bytes; recovery now replays \
+         {} record(s) (snapshot loaded: {})",
+        report.records_applied, report.snapshot_loaded,
+    );
+    assert_eq!(compacted.snapshot(), after_tear.snapshot());
+
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}

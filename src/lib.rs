@@ -13,6 +13,7 @@
 //! | [`tee`] | `alidrone-tee` | the TrustZone/OP-TEE model: worlds, TAs, key isolation, cost ledger |
 //! | [`core`] | `alidrone-core` | the PoA protocol: auditor, operator, zone owner, Algorithm 1 |
 //! | [`obs`] | `alidrone-obs` | metrics, spans, structured events, JSON export |
+//! | [`chaos`] | `alidrone-chaos` | seeded fault plane: transport/storage/TEE/GPS fault injection |
 //! | [`sim`] | `alidrone-sim` | field-study scenarios, power model, experiment harness |
 //!
 //! # Quickstart
@@ -24,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use alidrone_chaos as chaos;
 pub use alidrone_core as core;
 pub use alidrone_crypto as crypto;
 pub use alidrone_geo as geo;
