@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload
 
-check: fmt clippy doc test trace-smoke tcp-smoke chaos
+check: fmt clippy doc test trace-smoke tcp-smoke chaos overload
 
 fmt:
 	$(CARGO) fmt --all -- --check
@@ -39,6 +39,13 @@ stress:
 chaos:
 	$(CARGO) test --release --offline --test chaos -q
 	$(CARGO) run --release --offline --example crash_recovery
+
+# Overload-protection campaign (bounded admission queue, deadline
+# shedding, rate limiting, circuit breaking) plus the 4x-load TCP
+# smoke. The campaign also runs inside `test`.
+overload:
+	$(CARGO) test --release --offline --test overload -q
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_tcp -- --overload
 
 examples:
 	$(CARGO) build --release --offline --examples

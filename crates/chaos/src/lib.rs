@@ -12,7 +12,8 @@
 //!
 //! | layer | wrapper / hook | faults |
 //! |---|---|---|
-//! | transport | [`FaultyTransport`] | dropped requests, corrupted responses |
+//! | transport | [`FaultyTransport`] | dropped requests, corrupted responses, injected latency |
+//! | server | [`FaultPlane::delay_hook`] | slow request handlers (overload campaigns) |
 //! | storage | [`StorageFaults`] | torn appends, bit flips, full-disk errors |
 //! | TEE | [`FaultPlane::sign_fault`], [`FaultPlane::nmea_fault`] | signing failures, NMEA truncation/garbling |
 //! | GPS | [`FaultyGps`] | dropout windows, clock jumps |
@@ -39,6 +40,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use alidrone_core::journal::MemBackend;
 use alidrone_core::wire::transport::Transport;
@@ -153,6 +155,28 @@ impl FaultPlane {
         })
     }
 
+    /// A per-call latency hook: with probability `p` a call takes
+    /// `delay` longer, on a schedule owned by `name`. The return type
+    /// matches
+    /// [`AuditorServerBuilder::handle_delay`](alidrone_core::wire::server::AuditorServerBuilder::handle_delay),
+    /// so overload campaigns can slow the server's handlers down
+    /// deterministically and drive its admission queue to capacity.
+    pub fn delay_hook(
+        &self,
+        name: &str,
+        p: f64,
+        delay: Duration,
+    ) -> Box<dyn Fn() -> Duration + Send + Sync> {
+        let stream = self.stream(name);
+        Box::new(move || {
+            if stream.chance(p) {
+                delay
+            } else {
+                Duration::ZERO
+            }
+        })
+    }
+
     /// A storage-fault driver for `backend`, scheduled by `name`.
     pub fn storage(&self, name: &str, backend: Arc<MemBackend>) -> StorageFaults {
         StorageFaults {
@@ -230,8 +254,13 @@ impl FaultStream {
 pub struct FaultyTransport<T> {
     inner: T,
     stream: FaultStream,
+    /// Latency draws use a stream of their own (`<name>.delay`), so
+    /// enabling latency never perturbs the drop/corrupt schedule.
+    delay_stream: FaultStream,
     drop_p: f64,
     corrupt_p: f64,
+    delay_p: f64,
+    delay: Duration,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -241,8 +270,11 @@ impl<T: Transport> FaultyTransport<T> {
         FaultyTransport {
             inner,
             stream: plane.stream(name),
+            delay_stream: plane.stream(&format!("{name}.delay")),
             drop_p: 0.0,
             corrupt_p: 0.0,
+            delay_p: 0.0,
+            delay: Duration::ZERO,
         }
     }
 
@@ -258,6 +290,16 @@ impl<T: Transport> FaultyTransport<T> {
         self
     }
 
+    /// Stalls each call by `delay` with probability `p` before it
+    /// reaches the inner transport (path latency / a slow hop). Delay
+    /// draws come from a dedicated `<name>.delay` stream, so enabling
+    /// latency does not perturb pre-existing drop/corrupt schedules.
+    pub fn delay_with(mut self, p: f64, delay: Duration) -> Self {
+        self.delay_p = p;
+        self.delay = delay;
+        self
+    }
+
     /// The wrapped transport.
     pub fn inner(&self) -> &T {
         &self.inner
@@ -266,10 +308,14 @@ impl<T: Transport> FaultyTransport<T> {
 
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn call(&self, request: &[u8], now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
-        // Both draws happen on every call, so the schedule downstream
+        // All draws happen on every call, so the schedule downstream
         // of a call does not depend on whether this one was dropped.
         let dropped = self.stream.chance(self.drop_p);
         let corrupted = self.stream.chance(self.corrupt_p);
+        let delayed = self.delay_p > 0.0 && self.delay_stream.chance(self.delay_p);
+        if delayed {
+            std::thread::sleep(self.delay);
+        }
         if dropped {
             return Err(ProtocolError::Transport("chaos: request lost".into()));
         }
@@ -526,6 +572,51 @@ mod tests {
         let first = run(99);
         assert_eq!(first, run(99), "same seed must replay the drop pattern");
         assert!(first.iter().any(|ok| *ok) && first.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn delay_schedules_replay_and_do_not_perturb_drops() {
+        // The delay decision pattern replays from the seed.
+        let pattern = |seed: u64| -> Vec<bool> {
+            let hook =
+                FaultPlane::new(seed).delay_hook("slow", 0.5, std::time::Duration::from_millis(1));
+            (0..32)
+                .map(|_| hook() > std::time::Duration::ZERO)
+                .collect()
+        };
+        let a = pattern(11);
+        assert_eq!(a, pattern(11));
+        assert!(a.iter().any(|d| *d) && a.iter().any(|d| !*d));
+
+        // Enabling latency on a FaultyTransport leaves an existing
+        // drop schedule untouched (delay draws live on a dedicated
+        // stream).
+        let drops = |with_delay: bool| -> Vec<bool> {
+            let auditor = Auditor::new(AuditorConfig::default(), key());
+            let plane = FaultPlane::new(42);
+            let mut t = FaultyTransport::new(
+                InProcess::new(AuditorServer::builder(auditor).build()),
+                &plane,
+                "transport",
+            )
+            .drop_with(0.5);
+            if with_delay {
+                t = t.delay_with(1.0, std::time::Duration::ZERO);
+            }
+            let req = alidrone_core::wire::Request::RegisterZone {
+                zone: NoFlyZone::new(
+                    GeoPoint::new(40.0, -88.0).expect("valid point"),
+                    Distance::from_meters(50.0),
+                ),
+            };
+            (0..20)
+                .map(|i| {
+                    t.call(&req.to_bytes(), Timestamp::from_secs(f64::from(i)))
+                        .is_ok()
+                })
+                .collect()
+        };
+        assert_eq!(drops(false), drops(true));
     }
 
     #[test]

@@ -49,6 +49,19 @@ pub enum ProtocolError {
     /// Surfaced instead of propagating the panic so clients see a typed
     /// error, never a torn response.
     LockPoisoned(&'static str),
+    /// The server shed the request before executing it — admission queue
+    /// full or the source drone exceeded its token-bucket rate. The
+    /// request was **not** processed; the client may retry after the
+    /// hinted delay (any request kind: shedding happens before any
+    /// state change, so a shed request is never partially applied).
+    Overloaded {
+        /// Server's hint for how long to back off before retrying.
+        retry_after_ms: u64,
+    },
+    /// The client-side circuit breaker is open: recent calls failed or
+    /// were shed, so the client fails fast without touching the wire.
+    /// Retry after the breaker's open interval elapses.
+    CircuitOpen,
 }
 
 impl ProtocolError {
@@ -57,6 +70,20 @@ impl ProtocolError {
     /// answer by resending, provided the request kind is idempotent.
     pub fn is_transport(&self) -> bool {
         matches!(self, ProtocolError::Transport(_) | ProtocolError::Timeout)
+    }
+
+    /// `true` when the failure is safe to answer by resending *any*
+    /// request kind: the server shed the request before execution
+    /// ([`ProtocolError::Overloaded`]) or the client never sent it
+    /// ([`ProtocolError::CircuitOpen`]). Unlike
+    /// [`is_transport`](Self::is_transport), these carry no
+    /// "response lost after execution" ambiguity, so even
+    /// non-idempotent requests may retry.
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::Overloaded { .. } | ProtocolError::CircuitOpen
+        )
     }
 }
 
@@ -81,6 +108,12 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Storage(what) => write!(f, "storage failure: {what}"),
             ProtocolError::LockPoisoned(which) => {
                 write!(f, "internal lock poisoned: {which}")
+            }
+            ProtocolError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms}ms")
+            }
+            ProtocolError::CircuitOpen => {
+                write!(f, "circuit breaker open, failing fast")
             }
         }
     }

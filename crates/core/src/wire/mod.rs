@@ -10,20 +10,30 @@
 //! # Trace envelope
 //!
 //! Request frames may be wrapped in an optional, backward-compatible
-//! envelope that carries distributed-tracing context:
+//! envelope that carries distributed-tracing context (v1) and an
+//! optional remaining-deadline budget (v2):
 //!
 //! ```text
-//! +------+---------+-------------------+-------------+------------------+
-//! | 0xE7 | version | trace_id (16, BE) | span_id (8) | request payload… |
-//! +------+---------+-------------------+-------------+------------------+
+//! v1: +------+------+-------------------+-------------+------------------+
+//!     | 0xE7 | 0x01 | trace_id (16, BE) | span_id (8) | request payload… |
+//!     +------+------+-------------------+-------------+------------------+
+//!
+//! v2: +------+------+-------+----------------------------+--------------------------+----------+
+//!     | 0xE7 | 0x02 | flags | trace_id(16) span_id(8)    | budget_micros (8, BE)    | payload… |
+//!     |      |      |       |   present iff flags & 0x01 |   present iff flags & 0x02 |        |
+//!     +------+------+-------+----------------------------+--------------------------+----------+
 //! ```
 //!
-//! The magic byte `0xE7` can never begin a bare request (tags are 1–6),
+//! The magic byte `0xE7` can never begin a bare request (tags are 1–7),
 //! so [`split_envelope`] distinguishes the two by the first byte: bare
 //! frames pass through untouched and old clients keep working, while
 //! enveloped frames stitch the client's span into the server's trace.
-//! A frame that *starts* like an envelope but is truncated or carries
-//! an unknown version is malformed — never a panic.
+//! The v2 `budget_micros` field carries the client's *remaining* call
+//! budget (relative, so clocks need not be synchronised); the server
+//! compares it against its own measured queue wait and sheds requests
+//! whose budget has already expired instead of executing them. A frame
+//! that *starts* like an envelope but is truncated or carries an
+//! unknown version is malformed — never a panic.
 
 pub mod codec;
 pub mod server;
@@ -79,6 +89,11 @@ pub enum Request {
     },
     /// A zone owner's accusation.
     Accuse(Accusation),
+    /// Liveness probe. Served straight from the wire layer without
+    /// touching the auditor, and exempt from admission control so
+    /// health probes keep answering even when the server is shedding
+    /// every drone request.
+    HealthCheck,
 }
 
 /// An auditor → client response.
@@ -107,6 +122,22 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// The server shed the request before execution (admission queue
+    /// full or per-drone rate limit exceeded). Distinct from
+    /// [`Response::Error`] so clients can machine-read the backoff
+    /// hint without string parsing.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Answer to [`Request::HealthCheck`]: the server is alive, with a
+    /// snapshot of its admission state.
+    Healthy {
+        /// Requests currently waiting in the admission queue.
+        queue_depth: u32,
+        /// Requests currently executing in worker threads.
+        inflight: u32,
+    },
 }
 
 /// Machine-readable error classes carried by [`Response::Error`].
@@ -126,6 +157,9 @@ pub enum ErrorCode {
     DecryptFailed,
     /// Anything else.
     Internal,
+    /// The request's propagated deadline budget expired while it waited
+    /// in the server's admission queue; it was shed before execution.
+    DeadlineExpired,
 }
 
 impl ErrorCode {
@@ -138,6 +172,7 @@ impl ErrorCode {
             ErrorCode::NonceReplayed => 4,
             ErrorCode::DecryptFailed => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::DeadlineExpired => 7,
         }
     }
 
@@ -150,6 +185,7 @@ impl ErrorCode {
             4 => ErrorCode::NonceReplayed,
             5 => ErrorCode::DecryptFailed,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::DeadlineExpired,
             _ => return Err(ProtocolError::Malformed("error code")),
         })
     }
@@ -158,11 +194,22 @@ impl ErrorCode {
 // --------------------------------------------------------- trace envelope
 
 /// First byte of an enveloped frame. Deliberately outside the request
-/// tag space (1–6) so the envelope is detectable without ambiguity.
+/// tag space (1–7) so the envelope is detectable without ambiguity.
 pub const ENVELOPE_MAGIC: u8 = 0xE7;
 
-/// Current envelope layout version.
+/// The v1 envelope layout (trace context only, no flags byte).
 pub const ENVELOPE_VERSION: u8 = 1;
+
+/// The v2 envelope layout: a flags byte selecting optional trace
+/// context and deadline-budget fields.
+pub const ENVELOPE_VERSION_V2: u8 = 2;
+
+/// v2 flag bit: the trace context (trace_id + span_id) is present.
+pub const ENVELOPE_FLAG_TRACE: u8 = 0x01;
+
+/// v2 flag bit: the remaining-deadline budget (`budget_micros`) is
+/// present.
+pub const ENVELOPE_FLAG_BUDGET: u8 = 0x02;
 
 /// The trace context a frame envelope carries across the wire: which
 /// trace the request belongs to and which client-side span is its
@@ -174,6 +221,19 @@ pub struct WireTraceContext {
     /// The client-side span that issued the request (the server's
     /// remote parent).
     pub span_id: u64,
+}
+
+/// Everything an envelope can carry: optional trace context (v1/v2)
+/// and an optional remaining-deadline budget (v2 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireEnvelope {
+    /// Distributed-tracing context, if the client propagated one.
+    pub trace: Option<WireTraceContext>,
+    /// The client's *remaining* call budget in microseconds at send
+    /// time. Relative on purpose: the server compares it to its own
+    /// measured queue wait, so client and server clocks never need to
+    /// agree.
+    pub budget_micros: Option<u64>,
 }
 
 /// Wraps a request payload in the trace envelope.
@@ -188,6 +248,39 @@ pub fn encode_enveloped(ctx: WireTraceContext, payload: &[u8]) -> Vec<u8> {
     bytes
 }
 
+/// Wraps a request payload in the smallest envelope that carries
+/// `env`'s fields:
+///
+/// - both fields `None` → the bare payload, byte-identical to a
+///   pre-envelope client;
+/// - trace only → the v1 layout, byte-identical to
+///   [`encode_enveloped`] (so enabling the v2 code path changes no
+///   bytes for existing deployments);
+/// - any budget → the v2 flags layout.
+pub fn encode_envelope(env: &WireEnvelope, payload: &[u8]) -> Vec<u8> {
+    match (env.trace, env.budget_micros) {
+        (None, None) => payload.to_vec(),
+        (Some(ctx), None) => encode_enveloped(ctx, payload),
+        (trace, Some(budget)) => {
+            let mut flags = ENVELOPE_FLAG_BUDGET;
+            if trace.is_some() {
+                flags |= ENVELOPE_FLAG_TRACE;
+            }
+            let mut w = Writer::new();
+            w.put_u8(ENVELOPE_MAGIC)
+                .put_u8(ENVELOPE_VERSION_V2)
+                .put_u8(flags);
+            if let Some(ctx) = trace {
+                w.put_u128(ctx.trace_id).put_u64(ctx.span_id);
+            }
+            w.put_u64(budget);
+            let mut bytes = w.into_bytes();
+            bytes.extend_from_slice(payload);
+            bytes
+        }
+    }
+}
+
 /// Splits an incoming frame into its optional trace context and the
 /// request payload.
 ///
@@ -200,22 +293,67 @@ pub fn encode_enveloped(ctx: WireTraceContext, payload: &[u8]) -> Vec<u8> {
 /// Returns [`ProtocolError::Malformed`] when a frame announces the
 /// envelope but is truncated or carries an unknown version.
 pub fn split_envelope(bytes: &[u8]) -> Result<(Option<WireTraceContext>, &[u8]), ProtocolError> {
+    let (env, payload) = split_envelope_ext(bytes)?;
+    Ok((env.trace, payload))
+}
+
+/// Splits an incoming frame into its full [`WireEnvelope`] (trace
+/// context and deadline budget, either optional) and the request
+/// payload. Handles bare frames, v1 envelopes and v2 envelopes.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] when a frame announces the
+/// envelope but is truncated or carries an unknown version.
+pub fn split_envelope_ext(bytes: &[u8]) -> Result<(WireEnvelope, &[u8]), ProtocolError> {
     match bytes.first() {
         Some(&ENVELOPE_MAGIC) => {
             let mut r = Reader::new(&bytes[1..]);
-            let version = r.get_u8()?;
-            if version != ENVELOPE_VERSION {
-                return Err(ProtocolError::Malformed("unsupported envelope version"));
+            match r.get_u8()? {
+                ENVELOPE_VERSION => {
+                    let trace_id = r.get_u128()?;
+                    let span_id = r.get_u64()?;
+                    let header = 1 + 1 + 16 + 8;
+                    Ok((
+                        WireEnvelope {
+                            trace: Some(WireTraceContext { trace_id, span_id }),
+                            budget_micros: None,
+                        },
+                        &bytes[header..],
+                    ))
+                }
+                ENVELOPE_VERSION_V2 => {
+                    let flags = r.get_u8()?;
+                    if flags & !(ENVELOPE_FLAG_TRACE | ENVELOPE_FLAG_BUDGET) != 0 {
+                        return Err(ProtocolError::Malformed("unknown envelope flags"));
+                    }
+                    let mut header = 1 + 1 + 1;
+                    let trace = if flags & ENVELOPE_FLAG_TRACE != 0 {
+                        let trace_id = r.get_u128()?;
+                        let span_id = r.get_u64()?;
+                        header += 16 + 8;
+                        Some(WireTraceContext { trace_id, span_id })
+                    } else {
+                        None
+                    };
+                    let budget_micros = if flags & ENVELOPE_FLAG_BUDGET != 0 {
+                        header += 8;
+                        Some(r.get_u64()?)
+                    } else {
+                        None
+                    };
+                    Ok((
+                        WireEnvelope {
+                            trace,
+                            budget_micros,
+                        },
+                        &bytes[header..],
+                    ))
+                }
+                _ => Err(ProtocolError::Malformed("unsupported envelope version")),
             }
-            let trace_id = r.get_u128()?;
-            let span_id = r.get_u64()?;
-            let header = 1 + 1 + 16 + 8;
-            Ok((
-                Some(WireTraceContext { trace_id, span_id }),
-                &bytes[header..],
-            ))
         }
-        _ => Ok((None, bytes)),
+        _ => Ok((WireEnvelope::default(), bytes)),
     }
 }
 
@@ -223,13 +361,14 @@ pub fn split_envelope(bytes: &[u8]) -> Result<(Option<WireTraceContext>, &[u8]),
 
 /// The wire-visible request kinds, indexed like the request tags minus
 /// one; used for per-kind metric and span names.
-pub const REQUEST_KINDS: [&str; 6] = [
+pub const REQUEST_KINDS: [&str; 7] = [
     "register_drone",
     "register_zone",
     "query_zones",
     "submit_poa",
     "submit_encrypted_poa",
     "accuse",
+    "health_check",
 ];
 
 pub(crate) fn request_kind_index(req: &Request) -> usize {
@@ -240,6 +379,7 @@ pub(crate) fn request_kind_index(req: &Request) -> usize {
         Request::SubmitPoa { .. } => 3,
         Request::SubmitEncryptedPoa { .. } => 4,
         Request::Accuse(_) => 5,
+        Request::HealthCheck => 6,
     }
 }
 
@@ -253,7 +393,34 @@ pub fn request_kind(req: &Request) -> &'static str {
 /// decoding them.
 pub fn request_kind_from_tag(tag: u8) -> Option<&'static str> {
     match tag {
-        REQ_REGISTER_DRONE..=REQ_ACCUSE => Some(REQUEST_KINDS[(tag - 1) as usize]),
+        REQ_REGISTER_DRONE..=REQ_HEALTH => Some(REQUEST_KINDS[(tag - 1) as usize]),
+        _ => None,
+    }
+}
+
+/// The admission cost of a request in token-bucket units — the knob
+/// that makes PoA verification (an RSA verify per sample, by far the
+/// paper's most expensive server operation) count ~10× a registration
+/// or query against a drone's rate budget. Health checks are free:
+/// they never touch the auditor.
+pub fn request_cost(req: &Request) -> u32 {
+    match req {
+        Request::SubmitPoa { .. } | Request::SubmitEncryptedPoa { .. } => 10,
+        Request::HealthCheck => 0,
+        _ => 1,
+    }
+}
+
+/// The drone a request claims to come from, when the wire format
+/// carries one. Used to key the per-drone rate limiter; requests
+/// without a drone id (registrations, accusations, health checks)
+/// share an anonymous bucket.
+pub fn source_drone(req: &Request) -> Option<DroneId> {
+    match req {
+        Request::QueryZones(q) => Some(q.drone_id),
+        Request::SubmitPoa { drone_id, .. } | Request::SubmitEncryptedPoa { drone_id, .. } => {
+            Some(*drone_id)
+        }
         _ => None,
     }
 }
@@ -301,6 +468,7 @@ const REQ_QUERY_ZONES: u8 = 3;
 const REQ_SUBMIT_POA: u8 = 4;
 const REQ_SUBMIT_ENCRYPTED: u8 = 5;
 const REQ_ACCUSE: u8 = 6;
+const REQ_HEALTH: u8 = 7;
 
 impl Request {
     /// `true` when resending this request after a lost response cannot
@@ -314,7 +482,7 @@ impl Request {
     ///   a pure function of the PoA and the zone registry), and
     ///   accusation handling scans for the latest covering proof, so a
     ///   duplicate [`StoredPoa`](crate::StoredPoa) changes nothing.
-    /// - Accusations are read-only.
+    /// - Accusations and health checks are read-only.
     /// - Zone queries are **not** idempotent: each consumes its signed
     ///   nonce, so a replay is indistinguishable from an attack and is
     ///   rejected by the anti-replay check.
@@ -381,6 +549,9 @@ impl Request {
                 w.put_u64(a.drone_id.value());
                 w.put_f64(a.time.secs());
             }
+            Request::HealthCheck => {
+                w.put_u8(REQ_HEALTH);
+            }
         }
         w.into_bytes()
     }
@@ -446,6 +617,7 @@ impl Request {
                 drone_id: DroneId::new(r.get_u64()?),
                 time: Timestamp::from_secs(r.get_f64()?),
             }),
+            REQ_HEALTH => Request::HealthCheck,
             _ => return Err(ProtocolError::Malformed("unknown request tag")),
         };
         r.finish()?;
@@ -461,6 +633,8 @@ const RESP_ZONES: u8 = 3;
 const RESP_VERDICT: u8 = 4;
 const RESP_ACCUSATION: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_OVERLOADED: u8 = 7;
+const RESP_HEALTHY: u8 = 8;
 
 const VERDICT_COMPLIANT: u8 = 0;
 const VERDICT_EMPTY: u8 = 1;
@@ -593,6 +767,18 @@ impl Response {
                 w.put_u8(code.to_u8());
                 w.put_str(message);
             }
+            Response::Overloaded { retry_after_ms } => {
+                w.put_u8(RESP_OVERLOADED);
+                w.put_u64(*retry_after_ms);
+            }
+            Response::Healthy {
+                queue_depth,
+                inflight,
+            } => {
+                w.put_u8(RESP_HEALTHY);
+                w.put_u32(*queue_depth);
+                w.put_u32(*inflight);
+            }
         }
         w.into_bytes()
     }
@@ -627,6 +813,13 @@ impl Response {
             RESP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
                 message: r.get_str()?.to_string(),
+            },
+            RESP_OVERLOADED => Response::Overloaded {
+                retry_after_ms: r.get_u64()?,
+            },
+            RESP_HEALTHY => Response::Healthy {
+                queue_depth: r.get_u32()?,
+                inflight: r.get_u32()?,
             },
             _ => return Err(ProtocolError::Malformed("unknown response tag")),
         };
@@ -735,6 +928,15 @@ mod tests {
                 code: ErrorCode::NonceReplayed,
                 message: "nonce replayed".into(),
             },
+            Response::Error {
+                code: ErrorCode::DeadlineExpired,
+                message: "budget expired in queue".into(),
+            },
+            Response::Overloaded { retry_after_ms: 75 },
+            Response::Healthy {
+                queue_depth: 3,
+                inflight: 4,
+            },
         ];
         for resp in responses {
             assert_eq!(
@@ -813,6 +1015,7 @@ mod tests {
             REQ_SUBMIT_POA,
             REQ_SUBMIT_ENCRYPTED,
             REQ_ACCUSE,
+            REQ_HEALTH,
         ] {
             assert_ne!(tag, ENVELOPE_MAGIC);
             assert!(request_kind_from_tag(tag).is_some());
@@ -849,6 +1052,134 @@ mod tests {
         ] {
             assert!(req.is_idempotent(), "{req:?}");
         }
+    }
+
+    #[test]
+    fn health_check_round_trips_and_is_free() {
+        let req = Request::HealthCheck;
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+        assert!(req.is_idempotent());
+        assert_eq!(request_cost(&req), 0);
+        assert_eq!(source_drone(&req), None);
+        assert_eq!(request_kind(&req), "health_check");
+    }
+
+    #[test]
+    fn cost_classes_weight_verification_heaviest() {
+        let submit = Request::SubmitPoa {
+            drone_id: DroneId::new(1),
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(1.0),
+            poa: vec![],
+        };
+        let register = Request::RegisterZone { zone: zone() };
+        assert!(request_cost(&submit) > request_cost(&register));
+        assert_eq!(source_drone(&submit), Some(DroneId::new(1)));
+        assert_eq!(source_drone(&register), None);
+    }
+
+    #[test]
+    fn envelope_v2_round_trips_all_flag_combinations() {
+        let payload = Request::HealthCheck.to_bytes();
+        let ctx = WireTraceContext {
+            trace_id: 42,
+            span_id: 7,
+        };
+        let cases = [
+            WireEnvelope {
+                trace: None,
+                budget_micros: Some(125_000),
+            },
+            WireEnvelope {
+                trace: Some(ctx),
+                budget_micros: Some(0),
+            },
+            WireEnvelope {
+                trace: Some(ctx),
+                budget_micros: Some(u64::MAX),
+            },
+        ];
+        for env in cases {
+            let framed = encode_envelope(&env, &payload);
+            assert_eq!(framed[0], ENVELOPE_MAGIC);
+            assert_eq!(framed[1], ENVELOPE_VERSION_V2);
+            let (got, got_payload) = split_envelope_ext(&framed).unwrap();
+            assert_eq!(got, env);
+            assert_eq!(got_payload, &payload[..]);
+            // The legacy splitter still finds the trace and the payload.
+            let (legacy_ctx, legacy_payload) = split_envelope(&framed).unwrap();
+            assert_eq!(legacy_ctx, env.trace);
+            assert_eq!(legacy_payload, &payload[..]);
+        }
+    }
+
+    #[test]
+    fn envelope_backward_compat_bare_and_v1_bytes_unchanged() {
+        // Property sweep: for every request kind, (a) a deadline-free
+        // WireEnvelope encodes to exactly the pre-PR bytes (bare or v1),
+        // and (b) those bytes split back to the identical payload.
+        let requests: Vec<Request> = vec![
+            Request::RegisterZone { zone: zone() },
+            Request::SubmitPoa {
+                drone_id: DroneId::new(9),
+                window_start: Timestamp::from_secs(1.5),
+                window_end: Timestamp::from_secs(99.5),
+                poa: vec![1, 2, 3, 4],
+            },
+            Request::Accuse(Accusation {
+                zone_id: ZoneId::new(4),
+                drone_id: DroneId::new(5),
+                time: Timestamp::from_secs(123.25),
+            }),
+            Request::HealthCheck,
+        ];
+        let ctx = WireTraceContext {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 0xCAFE,
+        };
+        for req in requests {
+            let payload = req.to_bytes();
+            // Bare: no envelope fields → byte-identical passthrough.
+            let bare = encode_envelope(&WireEnvelope::default(), &payload);
+            assert_eq!(bare, payload, "bare frame must be byte-identical");
+            let (env, rest) = split_envelope_ext(&bare).unwrap();
+            assert_eq!(env, WireEnvelope::default());
+            assert_eq!(rest, &payload[..]);
+            assert_eq!(Request::from_bytes(rest).unwrap(), req);
+            // Trace-only: must emit the v1 layout bit-for-bit.
+            let v1 = encode_envelope(
+                &WireEnvelope {
+                    trace: Some(ctx),
+                    budget_micros: None,
+                },
+                &payload,
+            );
+            assert_eq!(v1, encode_enveloped(ctx, &payload));
+            let (env, rest) = split_envelope_ext(&v1).unwrap();
+            assert_eq!(env.trace, Some(ctx));
+            assert_eq!(env.budget_micros, None);
+            assert_eq!(Request::from_bytes(rest).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn truncated_or_bad_flag_v2_envelope_is_malformed() {
+        let framed = encode_envelope(
+            &WireEnvelope {
+                trace: Some(WireTraceContext {
+                    trace_id: 7,
+                    span_id: 9,
+                }),
+                budget_micros: Some(1),
+            },
+            &[],
+        );
+        for cut in 1..framed.len() {
+            assert!(split_envelope_ext(&framed[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad_flags = framed.clone();
+        bad_flags[2] |= 0x80;
+        assert!(split_envelope_ext(&bad_flags).is_err());
     }
 
     #[test]

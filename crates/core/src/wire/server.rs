@@ -7,33 +7,37 @@
 //! [`TcpServer`](crate::wire::tcp::TcpServer) worker pool does exactly
 //! that).
 
+use std::collections::HashMap;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use alidrone_geo::Timestamp;
-use alidrone_obs::{Counter, FlightRecorder, Histogram, Level, Obs, RecorderDump};
+use alidrone_obs::{Counter, FlightRecorder, Gauge, Histogram, Level, Obs, RecorderDump};
 
 use crate::auditor::{AccusationOutcome, Auditor};
 use crate::messages::PoaSubmission;
 use crate::poa::ProofOfAlibi;
 use crate::wire::{
-    request_kind_index, split_envelope, ErrorCode, Request, Response, REQUEST_KINDS,
+    request_cost, request_kind_index, source_drone, split_envelope_ext, ErrorCode, Request,
+    Response, REQUEST_KINDS,
 };
 use crate::ProtocolError;
 
 /// Server-side span names, indexed like [`REQUEST_KINDS`].
-const SERVER_SPAN_NAMES: [&str; 6] = [
+const SERVER_SPAN_NAMES: [&str; 7] = [
     "server.register_drone",
     "server.register_zone",
     "server.query_zones",
     "server.submit_poa",
     "server.submit_encrypted_poa",
     "server.accuse",
+    "server.health_check",
 ];
 
 /// The wire error codes, for per-code counter names. Indexed in the
 /// same order as [`error_code_index`].
-const ERROR_CODES: [&str; 7] = [
+const ERROR_CODES: [&str; 8] = [
     "malformed",
     "unknown_drone",
     "unknown_zone",
@@ -41,6 +45,7 @@ const ERROR_CODES: [&str; 7] = [
     "nonce_replayed",
     "decrypt_failed",
     "internal",
+    "deadline_expired",
 ];
 
 fn error_code_index(code: ErrorCode) -> usize {
@@ -52,6 +57,7 @@ fn error_code_index(code: ErrorCode) -> usize {
         ErrorCode::NonceReplayed => 4,
         ErrorCode::DecryptFailed => 5,
         ErrorCode::Internal => 6,
+        ErrorCode::DeadlineExpired => 7,
     }
 }
 
@@ -64,13 +70,26 @@ struct ServerMetrics {
     /// time — even under a simulated clock — because it reflects real
     /// verification CPU cost (RSA, sufficiency checks), which the sim
     /// clock does not model.
-    latency: [Arc<Histogram>; 6],
+    latency: [Arc<Histogram>; 7],
     /// Error responses per wire code (`server.errors.<code>`).
-    errors: [Arc<Counter>; 7],
+    errors: [Arc<Counter>; 8],
     /// Frames that failed to decode at all (`server.malformed_frames`).
     malformed_frames: Arc<Counter>,
     /// All frames seen, decodable or not (`server.requests`).
     requests: Arc<Counter>,
+    /// Requests shed because their propagated deadline budget expired
+    /// while queued (`server.shed.expired`).
+    shed_expired: Arc<Counter>,
+    /// Requests shed by the per-drone token-bucket rate limiter
+    /// (`server.shed.ratelimited`).
+    shed_ratelimited: Arc<Counter>,
+    /// Requests currently executing in handler threads
+    /// (`server.inflight`).
+    inflight: Arc<Gauge>,
+    /// Admission-queue depth (`server.queue_depth`) — written by the
+    /// networked front end, read here for [`Response::Healthy`]. Shared
+    /// by metric name through the registry.
+    queue_depth: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -80,7 +99,75 @@ impl ServerMetrics {
             errors: ERROR_CODES.map(|code| obs.counter(&format!("server.errors.{code}"))),
             malformed_frames: obs.counter("server.malformed_frames"),
             requests: obs.counter("server.requests"),
+            shed_expired: obs.counter("server.shed.expired"),
+            shed_ratelimited: obs.counter("server.shed.ratelimited"),
+            inflight: obs.gauge("server.inflight"),
+            queue_depth: obs.gauge("server.queue_depth"),
         }
+    }
+}
+
+/// Per-drone token-bucket admission limits. Costs come from
+/// [`request_cost`]: a PoA verification consumes 10 tokens against the
+/// submitting drone's bucket while registrations and queries consume 1,
+/// so one chatty drone re-submitting heavy proofs cannot starve
+/// everyone else. Refill is driven by the request clock (`now`), which
+/// keeps limiter decisions deterministic under a simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitConfig {
+    /// Sustained admission rate, in cost tokens per second per drone.
+    pub tokens_per_sec: f64,
+    /// Bucket capacity — the largest burst admitted from a cold bucket.
+    pub burst: f64,
+    /// Upper bound on the `retry_after_ms` hint returned to shed
+    /// clients, so a deeply indebted bucket never tells a client to go
+    /// away for minutes.
+    pub retry_after_cap_ms: u64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        RateLimitConfig {
+            tokens_per_sec: 100.0,
+            burst: 200.0,
+            retry_after_cap_ms: 5_000,
+        }
+    }
+}
+
+/// Bucket key for requests that carry no drone id (registrations,
+/// accusations): they share one anonymous bucket rather than bypassing
+/// the limiter. Drone ids are issued sequentially from 1, so this
+/// sentinel cannot collide.
+const ANON_BUCKET: u64 = u64::MAX;
+
+/// Hard cap on tracked buckets; reaching it clears the map (re-entering
+/// drones restart from a full burst, which momentarily *loosens* the
+/// limiter — safe in the shedding direction that matters).
+const MAX_BUCKETS: usize = 65_536;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last_refill_secs: f64,
+}
+
+/// Injectable per-request handler latency, used by the chaos plane to
+/// simulate slow verification under overload without burning real RSA
+/// cycles. Called once per dispatched request; the handler thread
+/// sleeps for the returned duration before executing.
+pub struct HandleDelay(Box<dyn Fn() -> Duration + Send + Sync>);
+
+impl HandleDelay {
+    /// Wraps a delay function.
+    pub fn new<F: Fn() -> Duration + Send + Sync + 'static>(f: F) -> Self {
+        HandleDelay(Box::new(f))
+    }
+}
+
+impl fmt::Debug for HandleDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("HandleDelay(..)")
     }
 }
 
@@ -95,6 +182,16 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Bounded admission-queue depth in front of the worker pool.
+    /// Connections arriving with the queue full are rejected with a
+    /// typed [`Response::Overloaded`] instead of queueing unboundedly.
+    pub queue_cap: usize,
+    /// `retry_after_ms` hint sent with queue-full rejections.
+    pub queue_full_retry_after_ms: u64,
+    /// Floor for per-connection socket read deadlines, which doubles as
+    /// the worst-case shutdown latency for a worker blocked in a read.
+    /// Configurable so tests can shut down promptly.
+    pub shutdown_poll: Duration,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +200,9 @@ impl Default for ServeConfig {
             workers: 4,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            queue_cap: 64,
+            queue_full_retry_after_ms: 100,
+            shutdown_poll: Duration::from_millis(10),
         }
     }
 }
@@ -121,6 +221,9 @@ pub struct AuditorServer {
     recorder: Option<Arc<FlightRecorder>>,
     last_crash_dump: Mutex<Option<RecorderDump>>,
     serve: ServeConfig,
+    rate_limit: Option<RateLimitConfig>,
+    buckets: Mutex<HashMap<u64, Bucket>>,
+    handle_delay: Option<HandleDelay>,
 }
 
 /// Builder for [`AuditorServer`] — one place for every construction
@@ -131,6 +234,8 @@ pub struct AuditorServerBuilder {
     obs: Obs,
     recorder: Option<Arc<FlightRecorder>>,
     serve: ServeConfig,
+    rate_limit: Option<RateLimitConfig>,
+    handle_delay: Option<HandleDelay>,
 }
 
 impl AuditorServerBuilder {
@@ -169,6 +274,34 @@ impl AuditorServerBuilder {
         self
     }
 
+    /// Bounded admission-queue depth for the networked front end
+    /// (default 64; clamped to ≥ 1).
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.serve.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Floor for per-connection read deadlines / worst-case shutdown
+    /// latency (default 10 ms; clamped to ≥ 1 ms so sockets never get a
+    /// zero timeout, which the OS rejects).
+    pub fn shutdown_poll(mut self, d: Duration) -> Self {
+        self.serve.shutdown_poll = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Enables the per-drone token-bucket rate limiter (default: off —
+    /// admission is bounded only by the queue).
+    pub fn rate_limit(mut self, cfg: RateLimitConfig) -> Self {
+        self.rate_limit = Some(cfg);
+        self
+    }
+
+    /// Injects artificial per-request handler latency (chaos testing).
+    pub fn handle_delay<F: Fn() -> Duration + Send + Sync + 'static>(mut self, f: F) -> Self {
+        self.handle_delay = Some(HandleDelay::new(f));
+        self
+    }
+
     /// Finalises the server.
     pub fn build(self) -> AuditorServer {
         AuditorServer {
@@ -178,6 +311,9 @@ impl AuditorServerBuilder {
             recorder: self.recorder,
             last_crash_dump: Mutex::new(None),
             serve: self.serve,
+            rate_limit: self.rate_limit,
+            buckets: Mutex::new(HashMap::new()),
+            handle_delay: self.handle_delay,
         }
     }
 }
@@ -191,6 +327,8 @@ impl AuditorServer {
             obs: Obs::noop(),
             recorder: None,
             serve: ServeConfig::default(),
+            rate_limit: None,
+            handle_delay: None,
         }
     }
 
@@ -228,39 +366,99 @@ impl AuditorServer {
     /// Handles one request frame. Never fails: malformed input or
     /// protocol errors become [`Response::Error`] frames.
     ///
-    /// Frames may arrive bare or wrapped in the trace envelope (see
-    /// [`split_envelope`]); with an envelope, the per-request server
-    /// span joins the caller's trace as a child of the caller's span.
+    /// Equivalent to [`handle_at`](Self::handle_at) with a zero queue
+    /// wait — in-process callers have no admission queue, so their
+    /// deadline budget can never have expired in one.
     pub fn handle(&self, request_bytes: &[u8], now: Timestamp) -> Vec<u8> {
+        self.handle_at(request_bytes, now, Duration::ZERO)
+    }
+
+    /// Handles one request frame that waited `queue_wait` in the
+    /// admission queue before reaching a handler thread.
+    ///
+    /// Frames may arrive bare or wrapped in the trace envelope (see
+    /// [`split_envelope_ext`](crate::wire::split_envelope_ext())); with
+    /// an envelope, the per-request server span joins the caller's
+    /// trace as a child of the caller's span. Before dispatching, the
+    /// request runs the admission gauntlet **in shed-cheapest-first
+    /// order**, none of which touches the auditor:
+    ///
+    /// 1. [`Request::HealthCheck`] short-circuits with
+    ///    [`Response::Healthy`] — probes are never shed;
+    /// 2. a propagated deadline budget smaller than `queue_wait` sheds
+    ///    the request with [`ErrorCode::DeadlineExpired`]
+    ///    (`server.shed.expired`) — the client has already given up, so
+    ///    executing it would burn verification CPU for nobody;
+    /// 3. the per-drone token bucket (when configured) sheds with
+    ///    [`Response::Overloaded`] (`server.shed.ratelimited`).
+    pub fn handle_at(&self, request_bytes: &[u8], now: Timestamp, queue_wait: Duration) -> Vec<u8> {
         self.metrics.requests.inc();
         let t0 = Instant::now();
-        let decoded = split_envelope(request_bytes)
-            .and_then(|(trace, payload)| Request::from_bytes(payload).map(|req| (trace, req)));
+        let decoded = split_envelope_ext(request_bytes)
+            .and_then(|(env, payload)| Request::from_bytes(payload).map(|req| (env, req)));
         let response = match decoded {
-            Ok((trace, req)) => {
+            Ok((env, req)) => {
                 let kind = request_kind_index(&req);
-                let span = match trace {
-                    Some(ctx) => self.obs.span_with_remote_parent(
-                        SERVER_SPAN_NAMES[kind],
-                        ctx.trace_id,
-                        ctx.span_id,
-                    ),
-                    None => self.obs.enter_span(SERVER_SPAN_NAMES[kind]),
-                };
-                let resp = self.dispatch(req, now);
-                span.finish();
-                self.metrics.latency[kind].record_micros(t0.elapsed().as_micros() as u64);
-                if let Response::Error { code, .. } = &resp {
-                    let code = *code;
-                    self.metrics.errors[error_code_index(code)].inc();
+                if matches!(req, Request::HealthCheck) {
+                    // Served from the wire layer without touching the
+                    // auditor, exempt from every shedding check.
+                    Response::Healthy {
+                        queue_depth: self.metrics.queue_depth.get().max(0) as u32,
+                        inflight: self.metrics.inflight.get().max(0) as u32,
+                    }
+                } else if env
+                    .budget_micros
+                    .is_some_and(|budget| queue_wait.as_micros() >= u128::from(budget))
+                {
+                    let waited = queue_wait.as_micros() as u64;
+                    self.metrics.shed_expired.inc();
+                    self.metrics.errors[error_code_index(ErrorCode::DeadlineExpired)].inc();
                     self.obs
-                        .emit(Level::Warn, "wire.server", "error_response", |f| {
+                        .emit(Level::Warn, "wire.server", "shed_expired", |f| {
                             f.field("kind", REQUEST_KINDS[kind])
-                                .field("code", ERROR_CODES[error_code_index(code)]);
+                                .field("queue_wait_us", waited);
                         });
-                    self.capture_crash_dump("error_response");
+                    Response::Error {
+                        code: ErrorCode::DeadlineExpired,
+                        message: format!("deadline budget expired after {waited}us in queue"),
+                    }
+                } else if let Some(retry_after_ms) = self.rate_limit_shed(&req, now) {
+                    self.metrics.shed_ratelimited.inc();
+                    self.obs
+                        .emit(Level::Warn, "wire.server", "shed_ratelimited", |f| {
+                            f.field("kind", REQUEST_KINDS[kind])
+                                .field("retry_after_ms", retry_after_ms);
+                        });
+                    Response::Overloaded { retry_after_ms }
+                } else {
+                    if let Some(delay) = &self.handle_delay {
+                        std::thread::sleep((delay.0)());
+                    }
+                    let span = match env.trace {
+                        Some(ctx) => self.obs.span_with_remote_parent(
+                            SERVER_SPAN_NAMES[kind],
+                            ctx.trace_id,
+                            ctx.span_id,
+                        ),
+                        None => self.obs.enter_span(SERVER_SPAN_NAMES[kind]),
+                    };
+                    self.metrics.inflight.add(1);
+                    let resp = self.dispatch(req, now);
+                    self.metrics.inflight.add(-1);
+                    span.finish();
+                    self.metrics.latency[kind].record_micros(t0.elapsed().as_micros() as u64);
+                    if let Response::Error { code, .. } = &resp {
+                        let code = *code;
+                        self.metrics.errors[error_code_index(code)].inc();
+                        self.obs
+                            .emit(Level::Warn, "wire.server", "error_response", |f| {
+                                f.field("kind", REQUEST_KINDS[kind])
+                                    .field("code", ERROR_CODES[error_code_index(code)]);
+                            });
+                        self.capture_crash_dump("error_response");
+                    }
+                    resp
                 }
-                resp
             }
             Err(e) => {
                 // Undecodable frames used to vanish into a bare error
@@ -281,6 +479,47 @@ impl AuditorServer {
             }
         };
         response.to_bytes()
+    }
+
+    /// Token-bucket admission check. Returns `Some(retry_after_ms)`
+    /// when the request must be shed, `None` when admitted (including
+    /// when no limiter is configured or the request is free).
+    ///
+    /// Refill is computed from the request clock (`now`), never wall
+    /// time, so a simulated-clock campaign replays the exact same
+    /// admit/shed schedule from one seed. Out-of-order timestamps
+    /// (concurrent workers racing) clamp the refill delta to zero
+    /// rather than underflowing.
+    fn rate_limit_shed(&self, req: &Request, now: Timestamp) -> Option<u64> {
+        let cfg = self.rate_limit.as_ref()?;
+        let cost = f64::from(request_cost(req));
+        if cost == 0.0 {
+            return None;
+        }
+        let key = source_drone(req).map_or(ANON_BUCKET, |d| d.value());
+        // Invariant: bucket entries are plain Copy data mutated in
+        // place; a poisoned lock still guards structurally sound state.
+        let mut buckets = self.buckets.lock().unwrap_or_else(|p| p.into_inner());
+        if buckets.len() >= MAX_BUCKETS && !buckets.contains_key(&key) {
+            buckets.clear();
+        }
+        let bucket = buckets.entry(key).or_insert(Bucket {
+            tokens: cfg.burst,
+            last_refill_secs: now.secs(),
+        });
+        let dt = (now.secs() - bucket.last_refill_secs).max(0.0);
+        if dt > 0.0 {
+            bucket.last_refill_secs = now.secs();
+            bucket.tokens = (bucket.tokens + dt * cfg.tokens_per_sec).min(cfg.burst);
+        }
+        if bucket.tokens >= cost {
+            bucket.tokens -= cost;
+            None
+        } else {
+            let deficit = cost - bucket.tokens;
+            let wait_ms = (deficit / cfg.tokens_per_sec * 1000.0).ceil() as u64;
+            Some(wait_ms.clamp(1, cfg.retry_after_cap_ms))
+        }
     }
 
     /// Freezes the attached recorder into a crash dump (including the
@@ -368,11 +607,21 @@ impl AuditorServer {
                 },
                 Err(e) => error_response(e),
             },
+            // Short-circuited in handle_at before dispatch; kept here
+            // for exhaustiveness (and correctness should a future
+            // caller dispatch directly).
+            Request::HealthCheck => Response::Healthy {
+                queue_depth: self.metrics.queue_depth.get().max(0) as u32,
+                inflight: self.metrics.inflight.get().max(0) as u32,
+            },
         }
     }
 }
 
 fn error_response(e: ProtocolError) -> Response {
+    if let ProtocolError::Overloaded { retry_after_ms } = e {
+        return Response::Overloaded { retry_after_ms };
+    }
     let code = match &e {
         ProtocolError::UnknownDrone(_) => ErrorCode::UnknownDrone,
         ProtocolError::UnknownZone(_) => ErrorCode::UnknownZone,
@@ -739,6 +988,8 @@ mod tests {
         .workers(9)
         .read_timeout(Duration::from_millis(250))
         .write_timeout(Duration::from_millis(750))
+        .queue_cap(17)
+        .shutdown_poll(Duration::from_millis(3))
         .build();
         assert_eq!(
             s.serve_config(),
@@ -746,6 +997,9 @@ mod tests {
                 workers: 9,
                 read_timeout: Duration::from_millis(250),
                 write_timeout: Duration::from_millis(750),
+                queue_cap: 17,
+                queue_full_retry_after_ms: 100,
+                shutdown_poll: Duration::from_millis(3),
             }
         );
         // Zero workers is clamped to one.
@@ -772,6 +1026,171 @@ mod tests {
         .build();
         register(&s);
         assert_eq!(s.auditor().drone_count(), 1);
+    }
+
+    #[test]
+    fn health_check_answers_without_touching_the_auditor() {
+        let obs = Obs::noop();
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .build();
+        let resp =
+            Response::from_bytes(&s.handle(&Request::HealthCheck.to_bytes(), now())).unwrap();
+        assert_eq!(
+            resp,
+            Response::Healthy {
+                queue_depth: 0,
+                inflight: 0,
+            }
+        );
+        // No auditor state touched, no latency recorded for it.
+        assert_eq!(s.auditor().drone_count(), 0);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("server.requests"), 1);
+        assert_eq!(
+            snap.histogram("server.latency.health_check").unwrap().count,
+            0
+        );
+    }
+
+    #[test]
+    fn expired_budget_sheds_before_the_auditor_runs() {
+        use crate::wire::{encode_envelope, WireEnvelope};
+
+        let obs = Obs::noop();
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .build();
+        let id = register(&s);
+        let poa = ProofOfAlibi::from_entries(signed_samples(4));
+        let req = Request::SubmitPoa {
+            drone_id: id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(3.0),
+            poa: poa.to_bytes(),
+        };
+        // The frame carries a 2 ms budget but waited 5 ms in the queue.
+        let frame = encode_envelope(
+            &WireEnvelope {
+                trace: None,
+                budget_micros: Some(2_000),
+            },
+            &req.to_bytes(),
+        );
+        let resp =
+            Response::from_bytes(&s.handle_at(&frame, now(), Duration::from_millis(5))).unwrap();
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::DeadlineExpired,
+                ..
+            }
+        ));
+        // Shed before execution: nothing stored, no verify latency.
+        assert_eq!(s.auditor().stored_poa_count(), 0);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("server.shed.expired"), 1);
+        assert_eq!(snap.counter("server.errors.deadline_expired"), 1);
+        assert_eq!(
+            snap.histogram("server.latency.submit_poa").unwrap().count,
+            0
+        );
+
+        // The same frame with a roomy budget executes normally.
+        let frame = encode_envelope(
+            &WireEnvelope {
+                trace: None,
+                budget_micros: Some(10_000_000),
+            },
+            &req.to_bytes(),
+        );
+        let resp =
+            Response::from_bytes(&s.handle_at(&frame, now(), Duration::from_millis(5))).unwrap();
+        assert_eq!(resp, Response::Verdict(Verdict::Compliant));
+        assert_eq!(s.auditor().stored_poa_count(), 1);
+    }
+
+    #[test]
+    fn rate_limiter_sheds_with_retry_hint_and_refills_on_the_request_clock() {
+        let obs = Obs::noop();
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .rate_limit(RateLimitConfig {
+            tokens_per_sec: 10.0,
+            burst: 20.0,
+            retry_after_cap_ms: 5_000,
+        })
+        .build();
+        let id = register(&s);
+        let poa = ProofOfAlibi::from_entries(signed_samples(4));
+        let submit = Request::SubmitPoa {
+            drone_id: id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(3.0),
+            poa: poa.to_bytes(),
+        }
+        .to_bytes();
+
+        // Burst 20, cost 10 per submission: two admit, the third sheds.
+        let t = Timestamp::from_secs(50.0);
+        for _ in 0..2 {
+            let resp = Response::from_bytes(&s.handle(&submit, t)).unwrap();
+            assert_eq!(resp, Response::Verdict(Verdict::Compliant));
+        }
+        let resp = Response::from_bytes(&s.handle(&submit, t)).unwrap();
+        let Response::Overloaded { retry_after_ms } = resp else {
+            panic!("expected Overloaded, got {resp:?}");
+        };
+        // Deficit is 10 tokens at 10/s = exactly 1000 ms.
+        assert_eq!(retry_after_ms, 1_000);
+        assert_eq!(obs.snapshot().counter("server.shed.ratelimited"), 1);
+
+        // One simulated second later the bucket has refilled enough.
+        let resp = Response::from_bytes(&s.handle(&submit, Timestamp::from_secs(51.0))).unwrap();
+        assert_eq!(resp, Response::Verdict(Verdict::Compliant));
+
+        // Registrations (cost 1, anonymous bucket) are untouched by the
+        // drone's exhausted bucket.
+        register(&s);
+    }
+
+    #[test]
+    fn rate_limit_schedule_is_deterministic() {
+        // Same seed-free construction + same request/clock schedule
+        // twice → byte-identical response vectors.
+        let run = || -> Vec<Vec<u8>> {
+            let s = AuditorServer::builder(Auditor::new(
+                AuditorConfig::default(),
+                auditor_key().clone(),
+            ))
+            .rate_limit(RateLimitConfig {
+                tokens_per_sec: 2.0,
+                burst: 3.0,
+                retry_after_cap_ms: 9_000,
+            })
+            .build();
+            let id = register(&s);
+            let q = |nonce: u8| {
+                Request::QueryZones(
+                    ZoneQuery::new_signed(id, origin(), origin(), [nonce; 16], operator_key())
+                        .unwrap(),
+                )
+                .to_bytes()
+            };
+            (0..10u8)
+                .map(|i| s.handle(&q(i), Timestamp::from_secs(50.0 + f64::from(i) * 0.1)))
+                .collect()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

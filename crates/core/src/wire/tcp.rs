@@ -21,35 +21,51 @@
 //! # Threading model
 //!
 //! [`TcpServer`] runs one accept thread plus a bounded worker pool
-//! ([`ServeConfig::workers`](crate::wire::server::ServeConfig)); each accepted connection is handed to
+//! ([`ServeConfig::workers`](crate::wire::server::ServeConfig)); each accepted connection passes
+//! through a **bounded admission queue**
+//! ([`ServeConfig::queue_cap`](crate::wire::server::ServeConfig)) to
 //! one worker, which owns it for its lifetime and streams frames
 //! sequentially (concurrency comes from connections, not from frames
-//! within one). Workers set per-connection read/write timeouts from
-//! [`ServeConfig`](crate::wire::server::ServeConfig); an idle read timeout between frames is the
+//! within one). A connection arriving with the queue full is answered
+//! with a typed [`Response::Overloaded`] and closed — counted in
+//! `server.shed.queue_full` — instead of queueing unboundedly; health
+//! probes are exempt and answered even at the admission edge. Workers
+//! set per-connection read/write timeouts from
+//! [`ServeConfig`]; an idle read timeout between frames is
+//! the
 //! shutdown-check point, while a stall *mid-frame* drops the
-//! connection. [`TcpServer::shutdown`] drains: in-flight requests
-//! finish and their responses are written before threads join.
+//! connection. The accept loop blocks in `accept` (no polling);
+//! [`TcpServer::shutdown`] wakes it with a throwaway self-connection,
+//! then drains: in-flight requests finish and their responses are
+//! written before threads join.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use alidrone_geo::Timestamp;
 use alidrone_obs::{Counter, Level, Obs};
 
-use crate::wire::server::AuditorServer;
-use crate::wire::transport::Transport;
+use crate::wire::server::{AuditorServer, ServeConfig};
+use crate::wire::transport::{RetryPolicy, Transport};
+use crate::wire::{request_kind_from_tag, split_envelope, Response};
 use crate::ProtocolError;
 
 /// Hard cap on one TCP message body (matches the codec's own limit).
 const MAX_FRAME: usize = 16 * 1024 * 1024;
 
-/// How often blocked accept/worker loops re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(10);
+/// How long the admission-reject path waits for the rejected peer's
+/// request frame before giving up. Reading the frame first means the
+/// peer's written bytes are consumed, so closing the socket delivers
+/// the [`Response::Overloaded`] instead of a TCP reset.
+const REJECT_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Bound on the wake-connection dial during shutdown.
+const WAKE_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
 
 // ---------------------------------------------------------------- framing
 
@@ -124,7 +140,7 @@ pub struct TcpServer {
 impl TcpServer {
     /// Binds `addr` (use port 0 for an OS-assigned loopback port) and
     /// starts serving `server` with the worker count and timeouts from
-    /// its [`ServeConfig`](crate::wire::server::ServeConfig).
+    /// its [`ServeConfig`].
     ///
     /// # Errors
     ///
@@ -132,14 +148,15 @@ impl TcpServer {
     pub fn bind(addr: impl ToSocketAddrs, server: Arc<AuditorServer>) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        // Non-blocking accept so the loop can observe shutdown without
-        // a wake-up connection.
-        listener.set_nonblocking(true)?;
 
         let cfg = server.serve_config();
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = server.obs().counter("server.connections");
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let shed_queue_full = server.obs().counter("server.shed.queue_full");
+        let queue_depth = server.obs().gauge("server.queue_depth");
+        // Bounded admission queue: `try_send` fails instead of queueing
+        // unboundedly, which is the whole point.
+        let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(cfg.queue_cap);
         let rx = Arc::new(Mutex::new(rx));
 
         let workers = (0..cfg.workers)
@@ -147,17 +164,24 @@ impl TcpServer {
                 let rx = Arc::clone(&rx);
                 let server = Arc::clone(&server);
                 let shutdown = Arc::clone(&shutdown);
+                let queue_depth = Arc::clone(&queue_depth);
                 thread::spawn(move || loop {
+                    // Blocking recv: the accept thread drops `tx` on
+                    // shutdown, which unblocks every idle worker with
+                    // `Err(Disconnected)` once the queue is drained.
                     let next = match rx.lock() {
-                        Ok(queue) => queue.recv_timeout(POLL_INTERVAL),
+                        Ok(queue) => queue.recv(),
                         // A sibling worker panicked while holding the
                         // queue: treat it like a closed queue and exit
                         // instead of cascading the panic pool-wide.
                         Err(_) => break,
                     };
                     match next {
-                        Ok(stream) => {
-                            if let Err(e) = serve_connection(&server, stream, &shutdown, &cfg) {
+                        Ok((stream, queued_at)) => {
+                            queue_depth.add(-1);
+                            if let Err(e) =
+                                serve_connection(&server, stream, queued_at, &shutdown, &cfg)
+                            {
                                 server.obs().emit(
                                     Level::Warn,
                                     "wire.tcp",
@@ -168,31 +192,46 @@ impl TcpServer {
                                 );
                             }
                         }
-                        Err(RecvTimeoutError::Timeout) => {
-                            if shutdown.load(Ordering::SeqCst) {
-                                break;
-                            }
-                        }
                         // Accept loop gone and queue drained.
-                        Err(RecvTimeoutError::Disconnected) => break,
+                        Err(_) => break,
                     }
                 })
             })
             .collect();
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_server = Arc::clone(&server);
         let accept_thread = thread::spawn(move || {
-            while !accept_shutdown.load(Ordering::SeqCst) {
+            loop {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        connections.inc();
-                        // Workers use blocking reads with timeouts.
-                        if stream.set_nonblocking(false).is_ok() && tx.send(stream).is_err() {
+                        if accept_shutdown.load(Ordering::SeqCst) {
+                            // Possibly the shutdown wake connection;
+                            // either way, stop accepting.
                             break;
                         }
+                        connections.inc();
+                        // Workers use blocking reads with timeouts.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        match tx.try_send((stream, Instant::now())) {
+                            Ok(()) => {
+                                queue_depth.add(1);
+                            }
+                            Err(TrySendError::Full((stream, _))) => {
+                                reject_or_probe(&accept_server, stream, &cfg, &shed_queue_full);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
                     }
-                    Err(ref e) if is_timeout(e) => thread::sleep(POLL_INTERVAL),
-                    Err(_) => thread::sleep(POLL_INTERVAL),
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        if accept_shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        thread::sleep(cfg.shutdown_poll);
+                    }
                 }
             }
             // Dropping `tx` lets idle workers exit once the queue is dry.
@@ -219,8 +258,30 @@ impl TcpServer {
 
     fn shutdown_inner(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread blocks in `accept` — wake it with a
+        // throwaway connection so shutdown is prompt without polling.
+        // Fall back to plain loopback when the bound address is not
+        // directly dialable (e.g. 0.0.0.0).
+        let woke = TcpStream::connect_timeout(&self.local_addr, WAKE_CONNECT_TIMEOUT)
+            .or_else(|_| {
+                TcpStream::connect_timeout(
+                    &SocketAddr::from(([127, 0, 0, 1], self.local_addr.port())),
+                    WAKE_CONNECT_TIMEOUT,
+                )
+            })
+            .is_ok();
         if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+            if woke {
+                let _ = t.join();
+            } else {
+                // Both wake dials failed: the accept thread may be
+                // parked in `accept` forever, and until it exits it
+                // holds the queue sender that unblocks idle workers.
+                // Joining could hang shutdown — detach everything
+                // instead; the OS reclaims the threads at process exit.
+                self.workers.clear();
+                return;
+            }
         }
         for t in self.workers.drain(..) {
             let _ = t.join();
@@ -234,23 +295,94 @@ impl Drop for TcpServer {
     }
 }
 
+/// Answers a connection the admission queue had no room for. The
+/// rejected peer's request frame is read first (so its bytes are
+/// consumed and the close delivers our response rather than a reset),
+/// then a typed [`Response::Overloaded`] is written and the connection
+/// closed. Health probes are the exception: they are answered properly
+/// even at the admission edge, so monitoring survives overload.
+/// `server.shed.queue_full` counts only rejections whose response was
+/// actually written — the counter reconciles against client-observed
+/// typed rejections.
+fn reject_or_probe(
+    server: &AuditorServer,
+    mut stream: TcpStream,
+    cfg: &ServeConfig,
+    shed_queue_full: &Counter,
+) {
+    if stream
+        .set_read_timeout(Some(REJECT_READ_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(cfg.write_timeout)))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(body) = read_frame(&mut stream) else {
+        // No frame arrived in time: nothing to answer.
+        return;
+    };
+    if is_health_probe(&body) {
+        let response = handle_framed(server, &body, Duration::ZERO);
+        let _ = write_frame(&mut stream, &response);
+        return;
+    }
+    let response = Response::Overloaded {
+        retry_after_ms: cfg.queue_full_retry_after_ms,
+    }
+    .to_bytes();
+    if write_frame(&mut stream, &response).is_ok() {
+        shed_queue_full.inc();
+        server
+            .obs()
+            .emit(Level::Warn, "wire.tcp", "shed_queue_full", |f| {
+                f.field("retry_after_ms", cfg.queue_full_retry_after_ms);
+            });
+    }
+}
+
+/// `true` when a framed body (now-prologue + possibly enveloped
+/// payload) carries a health-check request.
+fn is_health_probe(body: &[u8]) -> bool {
+    let Some(payload) = body.get(8..) else {
+        return false;
+    };
+    match split_envelope(payload) {
+        Ok((_, req)) => {
+            req.first().copied().and_then(request_kind_from_tag) == Some("health_check")
+        }
+        Err(_) => false,
+    }
+}
+
 /// Serves one connection until the peer closes, shutdown drains it, or
 /// an error/mid-frame stall drops it.
 fn serve_connection(
     server: &AuditorServer,
     mut stream: TcpStream,
+    queued_at: Instant,
     shutdown: &AtomicBool,
-    cfg: &crate::wire::server::ServeConfig,
+    cfg: &ServeConfig,
 ) -> io::Result<()> {
-    stream.set_read_timeout(Some(cfg.read_timeout.max(POLL_INTERVAL)))?;
+    stream.set_read_timeout(Some(cfg.read_timeout.max(cfg.shutdown_poll)))?;
     stream.set_write_timeout(Some(cfg.write_timeout))?;
     let mut buf: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 8192];
+    // Queue-wait accounting for deadline shedding: the first frame
+    // batch waited in the admission queue with the connection itself;
+    // later batches are stamped when their bytes arrive. The stamp
+    // stays fixed while a batch drains, so a frame queued behind
+    // earlier frames on the same connection accrues their handling
+    // time as its own wait.
+    let mut batch_arrival = queued_at;
+    // The first bytes of a freshly dequeued connection were sent while
+    // it sat in the admission queue, so their wait starts at
+    // `queued_at` — NOT at the moment the worker finally read them.
+    let mut first_batch = true;
     loop {
         // Serve every complete frame already received — including after
         // shutdown, so in-flight requests drain with responses.
         while let Some(body) = extract_frame(&mut buf)? {
-            let response = handle_framed(server, &body);
+            let response = handle_framed(server, &body, batch_arrival.elapsed());
             write_frame(&mut stream, &response)?;
         }
         if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
@@ -260,9 +392,19 @@ fn serve_connection(
             // Peer closed; a partial trailing frame is a peer bug but
             // not ours to report.
             Ok(0) => return Ok(()),
-            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Ok(n) => {
+                if buf.is_empty() && !first_batch {
+                    batch_arrival = Instant::now();
+                }
+                first_batch = false;
+                buf.extend_from_slice(&tmp[..n]);
+            }
             Err(ref e) if is_timeout(e) && buf.is_empty() => {
-                // Idle between frames: loop around to re-check shutdown.
+                // Idle between frames: loop around to re-check
+                // shutdown. Further waiting is the peer's silence, not
+                // queueing — don't let it count against a budget.
+                first_batch = false;
+                batch_arrival = Instant::now();
             }
             Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
             // Mid-frame stall or hard error: drop the connection.
@@ -271,18 +413,19 @@ fn serve_connection(
     }
 }
 
-/// Unpacks the `now_secs` prologue and hands the frame to the server.
+/// Unpacks the `now_secs` prologue and hands the frame to the server
+/// along with how long it waited before a handler thread got to it.
 /// A body too short to carry the prologue is fed through anyway so it
 /// lands in the server's malformed-frame accounting.
-fn handle_framed(server: &AuditorServer, body: &[u8]) -> Vec<u8> {
+fn handle_framed(server: &AuditorServer, body: &[u8], queue_wait: Duration) -> Vec<u8> {
     match body.get(..8) {
         Some(prologue) => {
             // Invariant: `get(..8)` returned `Some`, so the slice is
             // exactly 8 bytes and the conversion cannot fail.
             let now = f64::from_be_bytes(prologue.try_into().expect("8-byte slice"));
-            server.handle(&body[8..], Timestamp::from_secs(now))
+            server.handle_at(&body[8..], Timestamp::from_secs(now), queue_wait)
         }
-        None => server.handle(body, Timestamp::from_secs(0.0)),
+        None => server.handle_at(body, Timestamp::from_secs(0.0), queue_wait),
     }
 }
 
@@ -308,10 +451,21 @@ pub struct TcpTransport {
     stream: Mutex<Option<TcpStream>>,
     read_timeout: Duration,
     write_timeout: Duration,
+    /// Backoff policy for *re*connect attempts. Without one, a dead
+    /// server turns every call into an immediate connect — a tight
+    /// connect storm; with one, consecutive connect failures back off
+    /// exponentially with the policy's seeded jitter, exactly like
+    /// request retries.
+    reconnect_policy: Option<RetryPolicy>,
+    /// Consecutive connect failures (reset on success).
+    connect_failures: AtomicU32,
+    /// xorshift64 jitter state for reconnect backoff.
+    backoff_jitter: AtomicU64,
     calls: Arc<Counter>,
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
     reconnects: Arc<Counter>,
+    connect_backoffs: Arc<Counter>,
     obs: Obs,
 }
 
@@ -330,10 +484,14 @@ impl TcpTransport {
             stream: Mutex::new(None),
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            reconnect_policy: None,
+            connect_failures: AtomicU32::new(0),
+            backoff_jitter: AtomicU64::new(1),
             calls: obs.counter("transport.calls"),
             bytes_in: obs.counter("transport.bytes_in"),
             bytes_out: obs.counter("transport.bytes_out"),
             reconnects: obs.counter("transport.reconnects"),
+            connect_backoffs: obs.counter("transport.connect_backoffs"),
             obs: obs.clone(),
         }
     }
@@ -346,19 +504,79 @@ impl TcpTransport {
         self
     }
 
+    /// Attaches seeded exponential backoff to reconnect attempts
+    /// (default: none — matching `max_attempts` is ignored here; the
+    /// backoff shape and jitter seed are what apply). Each consecutive
+    /// connect failure doubles the sleep before the next dial, capped
+    /// at `max_backoff` plus jitter; a successful connect resets the
+    /// streak. Sleeps are counted in `transport.connect_backoffs`.
+    pub fn reconnect_backoff(self, policy: RetryPolicy) -> Self {
+        self.backoff_jitter
+            .store(policy.jitter_seed.max(1), Ordering::Relaxed);
+        TcpTransport {
+            reconnect_policy: Some(policy),
+            ..self
+        }
+    }
+
     /// The server address this transport dials.
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
     fn connect(&self) -> Result<TcpStream, ProtocolError> {
-        let stream = TcpStream::connect(self.addr).map_err(io_to_protocol)?;
+        if let Some(policy) = &self.reconnect_policy {
+            let failures = self.connect_failures.load(Ordering::Relaxed);
+            if failures > 0 {
+                let backoff = self.reconnect_backoff_for(policy, failures);
+                self.connect_backoffs.inc();
+                self.obs
+                    .emit(Level::Warn, "wire.tcp", "connect_backoff", |f| {
+                        f.field("failures", u64::from(failures))
+                            .field("backoff_us", backoff.as_micros() as u64);
+                    });
+                thread::sleep(backoff);
+            }
+        }
+        let stream = match TcpStream::connect(self.addr) {
+            Ok(s) => {
+                self.connect_failures.store(0, Ordering::Relaxed);
+                s
+            }
+            Err(e) => {
+                self.connect_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(io_to_protocol(e));
+            }
+        };
         stream
             .set_read_timeout(Some(self.read_timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.write_timeout)))
             .map_err(io_to_protocol)?;
         let _ = stream.set_nodelay(true);
         Ok(stream)
+    }
+
+    /// Backoff before reconnect attempt number `failures + 1`: the same
+    /// exponential-plus-jitter shape the client retry layer uses,
+    /// computed from this transport's own seeded xorshift64 stream.
+    /// Calls serialise under the stream mutex, so the jitter sequence —
+    /// and with it the whole backoff schedule — is deterministic for a
+    /// given seed.
+    fn reconnect_backoff_for(&self, policy: &RetryPolicy, failures: u32) -> Duration {
+        let exp = policy
+            .base_backoff
+            .saturating_mul(1u32 << failures.saturating_sub(1).min(20));
+        let capped = exp.min(policy.max_backoff);
+        let cap_us = (capped / 2).as_micros() as u64;
+        if cap_us == 0 {
+            return capped;
+        }
+        let mut x = self.backoff_jitter.load(Ordering::Relaxed).max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.backoff_jitter.store(x, Ordering::Relaxed);
+        capped + Duration::from_micros(x % (cap_us + 1))
     }
 }
 
@@ -593,6 +811,180 @@ mod tests {
         assert!(ok, "transport never recovered after server restart");
         assert!(server2.auditor().zone_count() >= 1);
         tcp2.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_without_polling() {
+        // With a blocking accept loop and long socket timeouts, only
+        // the wake connection makes shutdown fast. Guard against a
+        // regression to timeout-bounded shutdown (the old worst case
+        // was the 5 s read timeout).
+        let server = Arc::new(
+            AuditorServer::builder(Auditor::new(
+                AuditorConfig::default(),
+                auditor_key().clone(),
+            ))
+            .build(),
+        );
+        let tcp = TcpServer::bind("127.0.0.1:0", server).unwrap();
+        let t0 = Instant::now();
+        tcp.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn queue_full_connections_get_typed_overloaded() {
+        // One worker, admission queue of one. Occupy the worker with a
+        // slow request and park a second connection in the queue; the
+        // third connection must be rejected with Overloaded, not hang.
+        let obs = Obs::noop();
+        let server = Arc::new(
+            AuditorServer::builder(Auditor::new(
+                AuditorConfig::default(),
+                auditor_key().clone(),
+            ))
+            .obs(&obs)
+            .workers(1)
+            .queue_cap(1)
+            .read_timeout(Duration::from_millis(200))
+            .handle_delay(|| Duration::from_millis(400))
+            .build(),
+        );
+        let tcp = TcpServer::bind("127.0.0.1:0", Arc::clone(&server)).unwrap();
+        let addr = tcp.local_addr();
+
+        let frame = |req: &Request| {
+            let mut body = now().secs().to_be_bytes().to_vec();
+            body.extend_from_slice(&req.to_bytes());
+            body
+        };
+        let zone_req = Request::RegisterZone {
+            zone: NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+        };
+
+        // Occupy the single worker.
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut busy, &frame(&zone_req)).unwrap();
+        thread::sleep(Duration::from_millis(100));
+        // Fill the one queue slot.
+        let _parked = TcpStream::connect(addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        // Overflow: this connection must be shed with a typed response.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut shed, &frame(&zone_req)).unwrap();
+        let resp = Response::from_bytes(&read_frame(&mut shed).unwrap()).unwrap();
+        assert_eq!(
+            resp,
+            Response::Overloaded {
+                retry_after_ms: server.serve_config().queue_full_retry_after_ms,
+            }
+        );
+        // The occupied worker still answers its slow request.
+        let resp = Response::from_bytes(&read_frame(&mut busy).unwrap()).unwrap();
+        assert!(matches!(resp, Response::ZoneRegistered(_)));
+        drop(busy);
+        tcp.shutdown();
+        assert_eq!(obs.snapshot().counter("server.shed.queue_full"), 1);
+    }
+
+    #[test]
+    fn health_probe_survives_a_full_admission_queue() {
+        let obs = Obs::noop();
+        let server = Arc::new(
+            AuditorServer::builder(Auditor::new(
+                AuditorConfig::default(),
+                auditor_key().clone(),
+            ))
+            .obs(&obs)
+            .workers(1)
+            .queue_cap(1)
+            .read_timeout(Duration::from_millis(200))
+            .handle_delay(|| Duration::from_millis(400))
+            .build(),
+        );
+        let tcp = TcpServer::bind("127.0.0.1:0", Arc::clone(&server)).unwrap();
+        let addr = tcp.local_addr();
+
+        let frame = |req: &Request| {
+            let mut body = now().secs().to_be_bytes().to_vec();
+            body.extend_from_slice(&req.to_bytes());
+            body
+        };
+        let zone_req = Request::RegisterZone {
+            zone: NoFlyZone::new(origin(), Distance::from_meters(10.0)),
+        };
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut busy, &frame(&zone_req)).unwrap();
+        thread::sleep(Duration::from_millis(100));
+        let _parked = TcpStream::connect(addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        // The queue is full, but a health probe is still answered.
+        let mut probe = TcpStream::connect(addr).unwrap();
+        probe
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut probe, &frame(&Request::HealthCheck)).unwrap();
+        let resp = Response::from_bytes(&read_frame(&mut probe).unwrap()).unwrap();
+        assert!(matches!(resp, Response::Healthy { .. }), "{resp:?}");
+        drop(busy);
+        tcp.shutdown();
+        // The probe was not a queue-full shed.
+        assert_eq!(obs.snapshot().counter("server.shed.queue_full"), 0);
+    }
+
+    #[test]
+    fn dead_server_reconnects_back_off_deterministically() {
+        // Grab a loopback port with nothing listening on it.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_micros(1_600),
+            jitter_seed: 0xD1A1,
+        };
+        let run = || -> (u64, Vec<u64>) {
+            use alidrone_obs::RingBuffer;
+            let obs = Obs::noop();
+            let ring = Arc::new(RingBuffer::new(64));
+            obs.set_subscriber(ring.clone());
+            let transport = TcpTransport::with_obs(dead_addr, &obs).reconnect_backoff(policy);
+            let req = Request::HealthCheck.to_bytes();
+            for _ in 0..5 {
+                assert!(transport.call(&req, now()).is_err());
+            }
+            let backoffs: Vec<u64> = ring
+                .events_where(|e| e.message == "connect_backoff")
+                .iter()
+                .map(|e| e.field("backoff_us").unwrap().as_u64().unwrap())
+                .collect();
+            (
+                obs.snapshot().counter("transport.connect_backoffs"),
+                backoffs,
+            )
+        };
+        let (count_a, backoffs_a) = run();
+        let (count_b, backoffs_b) = run();
+        // First dial has no failure streak; the other four back off.
+        assert_eq!(count_a, 4);
+        assert_eq!(count_a, count_b);
+        // Seeded jitter → the exact same backoff schedule both runs.
+        assert_eq!(backoffs_a, backoffs_b);
+        // Exponential growth is visible through the jitter: each base
+        // doubles (200, 400, 800, 1600 µs) and jitter adds ≤ half.
+        for (i, &b) in backoffs_a.iter().enumerate() {
+            let base = 200u64 << i;
+            assert!(b >= base && b <= base + base / 2, "backoff[{i}] = {b}");
+        }
     }
 
     #[test]

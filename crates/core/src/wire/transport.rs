@@ -20,20 +20,21 @@ use alidrone_obs::{Counter, Level, Obs, SpanContext};
 use crate::messages::{Accusation, ZoneQuery};
 use crate::wire::server::AuditorServer;
 use crate::wire::{
-    encode_enveloped, request_kind_from_tag, request_kind_index, split_envelope, Request, Response,
-    WireTraceContext,
+    encode_envelope, request_kind_from_tag, request_kind_index, split_envelope, Request, Response,
+    WireEnvelope, WireTraceContext,
 };
 use crate::{DroneId, ProtocolError, Verdict, ZoneId};
 
 /// Client-side span names, indexed like
 /// [`REQUEST_KINDS`](crate::wire::REQUEST_KINDS).
-const WIRE_SPAN_NAMES: [&str; 6] = [
+const WIRE_SPAN_NAMES: [&str; 7] = [
     "wire.register_drone",
     "wire.register_zone",
     "wire.query_zones",
     "wire.submit_poa",
     "wire.submit_encrypted_poa",
     "wire.accuse",
+    "wire.health_check",
 ];
 
 /// Peeks at a (possibly enveloped) request frame: the request kind from
@@ -279,6 +280,189 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Circuit-breaker policy for [`AuditorClient`]: after
+/// `failure_threshold` consecutive transport/overload failures the
+/// breaker opens and every call fails fast with
+/// [`ProtocolError::CircuitOpen`] — no wire traffic — until the open
+/// interval elapses. The first calls after that run **half-open**:
+/// `half_open_successes` consecutive successes close the breaker, any
+/// failure re-opens it.
+///
+/// The open interval is `open_secs` plus seeded jitter of up to half
+/// itself (so a fleet of clients sharing a policy but different seeds
+/// does not re-probe in lockstep), and never shorter than the server's
+/// `retry_after_ms` hint when the opening failure carried one. Like
+/// [`RetryPolicy`], a fixed `jitter_seed` reproduces the schedule
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitBreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Base open interval in seconds (sim-clock, not wall-clock).
+    pub open_secs: f64,
+    /// Consecutive half-open successes required to close again.
+    pub half_open_successes: u32,
+    /// Seed for the open-interval jitter sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for CircuitBreakerPolicy {
+    fn default() -> Self {
+        CircuitBreakerPolicy {
+            failure_threshold: 5,
+            open_secs: 1.0,
+            half_open_successes: 2,
+            jitter_seed: 0xB0B5,
+        }
+    }
+}
+
+/// Observable circuit-breaker state (see
+/// [`AuditorClient::breaker_snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Normal operation; counts the current failure streak.
+    Closed {
+        /// Consecutive failures since the last success.
+        consecutive_failures: u32,
+    },
+    /// Failing fast; calls are rejected until `until` (sim-clock).
+    Open {
+        /// Sim-clock instant at which the breaker goes half-open.
+        until: Timestamp,
+    },
+    /// Probing; counts successes toward closing.
+    HalfOpen {
+        /// Consecutive successful probes so far.
+        probes_ok: u32,
+    },
+}
+
+/// Breaker engine: state machine + counters. Timed by the sim-clock
+/// `now` passed through [`Transport::call`], so chaos campaigns replay
+/// the open/close schedule deterministically.
+#[derive(Debug)]
+struct Breaker {
+    policy: CircuitBreakerPolicy,
+    state: BreakerState,
+    /// Jitter RNG state (xorshift64), advanced once per breaker open.
+    jitter_state: u64,
+    opened: Arc<Counter>,
+    closed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    half_open: Arc<Counter>,
+}
+
+impl Breaker {
+    fn new(policy: CircuitBreakerPolicy, obs: &Obs) -> Self {
+        Breaker {
+            jitter_state: policy.jitter_seed.max(1),
+            policy,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+            opened: obs.counter("transport.breaker.opened"),
+            closed: obs.counter("transport.breaker.closed"),
+            rejected: obs.counter("transport.breaker.rejected"),
+            half_open: obs.counter("transport.breaker.half_open"),
+        }
+    }
+
+    /// Gate at call entry: `Err(CircuitOpen)` while open, otherwise
+    /// admits (transitioning open → half-open once `until` passes).
+    fn admit(&mut self, now: Timestamp, obs: &Obs) -> Result<(), ProtocolError> {
+        if let BreakerState::Open { until } = self.state {
+            if now.secs() < until.secs() {
+                self.rejected.inc();
+                return Err(ProtocolError::CircuitOpen);
+            }
+            self.state = BreakerState::HalfOpen { probes_ok: 0 };
+            self.half_open.inc();
+            obs.emit(Level::Info, "wire.client", "breaker_half_open", |f| {
+                f.field("now_secs", now.secs());
+            });
+        }
+        Ok(())
+    }
+
+    /// Records a successful attempt (any decoded response — the server
+    /// answering at all is proof of connectivity, even if the answer is
+    /// a typed application error).
+    fn record_success(&mut self, obs: &Obs) {
+        match self.state {
+            BreakerState::Closed { .. } => {
+                self.state = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            BreakerState::HalfOpen { probes_ok } => {
+                if probes_ok + 1 >= self.policy.half_open_successes.max(1) {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: 0,
+                    };
+                    self.closed.inc();
+                    obs.emit(Level::Info, "wire.client", "breaker_closed", |f| {
+                        f.field("probes_ok", u64::from(probes_ok + 1));
+                    });
+                } else {
+                    self.state = BreakerState::HalfOpen {
+                        probes_ok: probes_ok + 1,
+                    };
+                }
+            }
+            // A success cannot arrive while open: admit() rejects first.
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Records a failed attempt (transport loss or an `Overloaded`
+    /// shed). `retry_after_ms` is the server's hint, when present.
+    fn record_failure(&mut self, now: Timestamp, retry_after_ms: Option<u64>, obs: &Obs) {
+        let failures = match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => consecutive_failures + 1,
+            // Any half-open failure re-opens immediately.
+            BreakerState::HalfOpen { .. } => self.policy.failure_threshold.max(1),
+            BreakerState::Open { .. } => return,
+        };
+        if failures >= self.policy.failure_threshold.max(1) {
+            let interval = self.open_interval(retry_after_ms);
+            let until = Timestamp::from_secs(now.secs() + interval.as_secs_f64());
+            self.state = BreakerState::Open { until };
+            self.opened.inc();
+            obs.emit(Level::Warn, "wire.client", "breaker_opened", |f| {
+                f.field("until_secs", until.secs())
+                    .field("open_us", interval.as_micros() as u64);
+            });
+        } else {
+            self.state = BreakerState::Closed {
+                consecutive_failures: failures,
+            };
+        }
+    }
+
+    /// The open interval: `open_secs` + jitter in `[0, open_secs/2]`,
+    /// floored by the server's `retry_after_ms` hint.
+    fn open_interval(&mut self, retry_after_ms: Option<u64>) -> Duration {
+        let base = Duration::from_secs_f64(self.policy.open_secs.max(0.0));
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        // µs precision; the u64 cast is exact for any open interval
+        // under ~584k years.
+        let cap_us = (base / 2).as_micros() as u64;
+        let jitter = if cap_us == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(x % (cap_us + 1))
+        };
+        (base + jitter).max(Duration::from_millis(retry_after_ms.unwrap_or(0)))
+    }
+}
+
 /// A typed protocol client over any transport.
 ///
 /// With an [`Obs`] handle attached (and a subscriber installed), every
@@ -301,8 +485,11 @@ pub struct AuditorClient<T> {
     retry: Option<RetryPolicy>,
     /// Jitter RNG state, advanced per retry (xorshift64).
     jitter_state: u64,
-    /// Wall-clock budget per logical call, spanning all attempts.
+    /// Wall-clock budget per logical call, spanning all attempts. Also
+    /// propagated to the server as a remaining-budget envelope field so
+    /// it can shed requests that have already expired in its queue.
     deadline: Option<Duration>,
+    breaker: Option<Breaker>,
     retries: Arc<Counter>,
     timeouts: Arc<Counter>,
 }
@@ -322,6 +509,7 @@ impl<T: Transport> AuditorClient<T> {
             retry: None,
             jitter_state: 0,
             deadline: None,
+            breaker: None,
             retries: obs.counter("transport.retries"),
             timeouts: obs.counter("transport.timeouts"),
         }
@@ -338,9 +526,31 @@ impl<T: Transport> AuditorClient<T> {
     /// Caps the wall-clock time one logical call may spend across all
     /// its attempts (backoffs included). On expiry the call returns
     /// [`ProtocolError::Timeout`].
+    ///
+    /// The *remaining* budget also rides each request's envelope
+    /// (microseconds, relative — no clock sync needed), letting the
+    /// server shed requests that expired while queued instead of
+    /// executing them. Clients without a deadline send byte-identical
+    /// pre-budget frames.
     pub fn deadline(mut self, per_call: Duration) -> Self {
         self.deadline = Some(per_call);
         self
+    }
+
+    /// Attaches a circuit breaker: after
+    /// [`failure_threshold`](CircuitBreakerPolicy::failure_threshold)
+    /// consecutive transport/overload failures, calls fail fast with
+    /// [`ProtocolError::CircuitOpen`] until the open interval elapses
+    /// on the sim clock, then probe half-open back to closed.
+    pub fn circuit_breaker(mut self, policy: CircuitBreakerPolicy) -> Self {
+        self.breaker = Some(Breaker::new(policy, &self.obs));
+        self
+    }
+
+    /// The breaker's current state, or `None` if no breaker is
+    /// attached. For tests and operator dashboards.
+    pub fn breaker_snapshot(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state)
     }
 
     /// Parents subsequent wire spans under `parent` instead of the
@@ -386,7 +596,33 @@ impl<T: Transport> AuditorClient<T> {
         capped + self.next_jitter(capped / 2)
     }
 
+    /// Decodes a response frame into either a typed response or the
+    /// typed error it encodes: `Overloaded` responses become
+    /// [`ProtocolError::Overloaded`], `DeadlineExpired` server sheds
+    /// become [`ProtocolError::Timeout`], and the error codes callers
+    /// branch on map to their typed forms.
+    fn decode_response(bytes: &[u8]) -> Result<Response, ProtocolError> {
+        match Response::from_bytes(bytes)? {
+            Response::Overloaded { retry_after_ms } => {
+                Err(ProtocolError::Overloaded { retry_after_ms })
+            }
+            Response::Error { code, .. } => Err(match code {
+                crate::wire::ErrorCode::NonceReplayed => ProtocolError::NonceReplayed,
+                crate::wire::ErrorCode::BadSignature => ProtocolError::QuerySignatureInvalid,
+                // The server shed the request unexecuted because its
+                // budget expired in queue; to the caller that is a
+                // deadline miss.
+                crate::wire::ErrorCode::DeadlineExpired => ProtocolError::Timeout,
+                _ => ProtocolError::Malformed("server error"),
+            }),
+            resp => Ok(resp),
+        }
+    }
+
     fn roundtrip(&mut self, req: &Request, now: Timestamp) -> Result<Response, ProtocolError> {
+        if let Some(bk) = self.breaker.as_mut() {
+            bk.admit(now, &self.obs)?;
+        }
         let kind = request_kind_index(req);
         let name = WIRE_SPAN_NAMES[kind];
         let span = match &self.trace_parent {
@@ -394,14 +630,29 @@ impl<T: Transport> AuditorClient<T> {
             None => self.obs.enter_span(name),
         };
         let payload = req.to_bytes();
-        let max_attempts = match self.retry {
-            Some(p) if req.is_idempotent() => p.max_attempts.max(1),
-            _ => 1,
-        };
         let started = Instant::now();
         let mut attempt = 0u32;
-        let bytes = loop {
+        // `span` stays live (and on the handle's span stack) until this
+        // function returns, so it covers transport, server handling on
+        // in-process transports, and response decoding.
+        loop {
             attempt += 1;
+            // Remaining budget for this attempt. Zero means the
+            // deadline passed during a backoff or a slow attempt: fail
+            // fast rather than send a request the server would shed.
+            let budget_micros = match self.deadline {
+                Some(deadline) => {
+                    let remaining = deadline.saturating_sub(started.elapsed());
+                    if remaining.is_zero() {
+                        self.timeouts.inc();
+                        return Err(ProtocolError::Timeout);
+                    }
+                    // µs of any practical deadline fit u64; the cast
+                    // saturates only past ~584k years.
+                    Some(remaining.as_micros().min(u128::from(u64::MAX)) as u64)
+                }
+                None => None,
+            };
             // Only a retry-capable client opens per-attempt spans: a
             // plain client keeps the historical single-span shape, so
             // the server span parents directly on `wire.<kind>`.
@@ -413,25 +664,48 @@ impl<T: Transport> AuditorClient<T> {
                 .as_ref()
                 .and_then(|s| s.context())
                 .or_else(|| span.context());
-            let frame = match envelope_ctx {
-                Some(ctx) => encode_enveloped(
-                    WireTraceContext {
-                        trace_id: ctx.trace_id,
-                        span_id: ctx.span_id,
-                    },
-                    &payload,
-                ),
-                None => payload.clone(),
+            let env = WireEnvelope {
+                trace: envelope_ctx.map(|ctx| WireTraceContext {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                }),
+                budget_micros,
             };
-            let result = self.transport.call(&frame, now);
+            let frame = encode_envelope(&env, &payload);
+            let outcome = self
+                .transport
+                .call(&frame, now)
+                .and_then(|bytes| Self::decode_response(&bytes));
             if let Some(s) = attempt_span {
                 s.finish();
             }
-            match result {
-                Ok(bytes) => break bytes,
-                Err(e) if e.is_transport() && attempt < max_attempts => {
-                    let policy = self.retry.expect("max_attempts > 1 implies a policy");
-                    let backoff = self.backoff_for(&policy, attempt);
+            if let Some(bk) = self.breaker.as_mut() {
+                match &outcome {
+                    Err(ProtocolError::Overloaded { retry_after_ms }) => {
+                        bk.record_failure(now, Some(*retry_after_ms), &self.obs);
+                    }
+                    Err(e) if e.is_transport() => bk.record_failure(now, None, &self.obs),
+                    // Any decoded response — even a typed application
+                    // error — proves the server is answering.
+                    _ => bk.record_success(&self.obs),
+                }
+            }
+            let err = match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            // Shed errors (`Overloaded`) are retryable for ANY request
+            // kind — the server rejected before execution, so a resend
+            // cannot double-apply. Transport losses stay
+            // idempotent-only.
+            let retryable = err.is_shed() || (err.is_transport() && req.is_idempotent());
+            match self.retry {
+                Some(policy) if retryable && attempt < policy.max_attempts.max(1) => {
+                    let mut backoff = self.backoff_for(&policy, attempt);
+                    if let ProtocolError::Overloaded { retry_after_ms } = &err {
+                        // The server's shed hint floors the backoff.
+                        backoff = backoff.max(Duration::from_millis(*retry_after_ms));
+                    }
                     if let Some(deadline) = self.deadline {
                         // Never start a backoff the deadline cannot
                         // absorb: fail fast with Timeout instead.
@@ -445,32 +719,18 @@ impl<T: Transport> AuditorClient<T> {
                         f.field("kind", crate::wire::REQUEST_KINDS[kind])
                             .field("attempt", attempt as u64)
                             .field("backoff_us", backoff.as_micros() as u64)
-                            .field("error", e.to_string());
+                            .field("error", err.to_string());
                     });
                     std::thread::sleep(backoff);
                 }
-                Err(e) => {
-                    if matches!(e, ProtocolError::Timeout) {
+                _ => {
+                    if matches!(err, ProtocolError::Timeout) {
                         self.timeouts.inc();
                     }
-                    return Err(e);
+                    return Err(err);
                 }
             }
-        };
-        // `span` stays live (and on the handle's span stack) until this
-        // function returns, so it covers transport, server handling on
-        // in-process transports, and response decoding.
-        let resp = Response::from_bytes(&bytes)?;
-        if let Response::Error { code, .. } = &resp {
-            // Map wire error codes back onto typed errors where callers
-            // branch on them; everything else is opaque.
-            return Err(match code {
-                crate::wire::ErrorCode::NonceReplayed => ProtocolError::NonceReplayed,
-                crate::wire::ErrorCode::BadSignature => ProtocolError::QuerySignatureInvalid,
-                _ => ProtocolError::Malformed("server error"),
-            });
         }
-        Ok(resp)
     }
 
     /// Registers a drone; returns the issued id.
@@ -577,6 +837,20 @@ impl<T: Transport> AuditorClient<T> {
     ) -> Result<(bool, String), ProtocolError> {
         match self.roundtrip(&Request::Accuse(accusation), now)? {
             Response::Accusation { refuted, reason } => Ok((refuted, reason)),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Probes server liveness; returns `(queue_depth, inflight)`. The
+    /// server answers health checks without touching the auditor — and
+    /// exempts them from shedding — so probes survive overload.
+    #[allow(missing_docs)]
+    pub fn health_check(&mut self, now: Timestamp) -> Result<(u32, u32), ProtocolError> {
+        match self.roundtrip(&Request::HealthCheck, now)? {
+            Response::Healthy {
+                queue_depth,
+                inflight,
+            } => Ok((queue_depth, inflight)),
             _ => Err(ProtocolError::Malformed("unexpected response kind")),
         }
     }
@@ -1030,5 +1304,311 @@ mod tests {
         assert_send_sync::<Flaky<InProcess>>();
         assert_send_sync::<AuditorClient<InProcess>>();
         assert_send_sync::<AuditorClient<Flaky<InProcess>>>();
+        assert_send_sync::<Script>();
+    }
+
+    /// Scriptable transport: pops one pre-programmed outcome per call
+    /// and records every frame it was handed.
+    struct Script {
+        outcomes: std::sync::Mutex<std::collections::VecDeque<Result<Vec<u8>, ProtocolError>>>,
+        frames: std::sync::Mutex<Vec<Vec<u8>>>,
+    }
+
+    impl Script {
+        fn new(outcomes: Vec<Result<Vec<u8>, ProtocolError>>) -> Self {
+            Script {
+                outcomes: std::sync::Mutex::new(outcomes.into()),
+                frames: std::sync::Mutex::new(Vec::new()),
+            }
+        }
+
+        fn frames(&self) -> Vec<Vec<u8>> {
+            self.frames.lock().unwrap().clone()
+        }
+
+        fn calls(&self) -> usize {
+            self.frames.lock().unwrap().len()
+        }
+    }
+
+    impl Transport for Script {
+        fn call(&self, request: &[u8], _now: Timestamp) -> Result<Vec<u8>, ProtocolError> {
+            self.frames.lock().unwrap().push(request.to_vec());
+            self.outcomes
+                .lock()
+                .unwrap()
+                .pop_front()
+                .unwrap_or_else(|| Err(ProtocolError::Transport("script exhausted".into())))
+        }
+    }
+
+    fn lost() -> Result<Vec<u8>, ProtocolError> {
+        Err(ProtocolError::Transport("lost".into()))
+    }
+
+    fn zone_ok() -> Result<Vec<u8>, ProtocolError> {
+        Ok(Response::ZoneRegistered(ZoneId::new(1)).to_bytes())
+    }
+
+    fn overloaded(retry_after_ms: u64) -> Result<Vec<u8>, ProtocolError> {
+        Ok(Response::Overloaded { retry_after_ms }.to_bytes())
+    }
+
+    fn zone() -> NoFlyZone {
+        NoFlyZone::new(origin(), Distance::from_meters(10.0))
+    }
+
+    #[test]
+    fn deadline_expiring_mid_backoff_times_out_without_another_attempt() {
+        // Attempt 1 fails instantly; the computed backoff (≥ 40 ms)
+        // cannot fit in the 5 ms deadline, so the client must return
+        // Timeout after exactly ONE transport call — no futile retry,
+        // no sleep.
+        let obs = Obs::noop();
+        let script = Arc::new(Script::new(vec![lost()]));
+        let mut c = AuditorClient::with_obs(Arc::clone(&script), &obs)
+            .retry(RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(40),
+                max_backoff: Duration::from_millis(40),
+                jitter_seed: 9,
+            })
+            .deadline(Duration::from_millis(5));
+        let t0 = Instant::now();
+        assert_eq!(
+            c.register_zone(zone(), now()).unwrap_err(),
+            ProtocolError::Timeout
+        );
+        // Well under one backoff: the client did not sleep.
+        assert!(t0.elapsed() < Duration::from_millis(40));
+        assert_eq!(script.calls(), 1);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("transport.retries"), 0);
+        assert_eq!(snap.counter("transport.timeouts"), 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_for_a_seed() {
+        use alidrone_obs::RingBuffer;
+
+        let run = |seed: u64| -> Vec<u64> {
+            let obs = Obs::noop();
+            let ring = Arc::new(RingBuffer::new(32));
+            obs.set_subscriber(ring.clone());
+            let script = Script::new(vec![lost(), lost(), lost(), lost(), zone_ok()]);
+            let mut c = AuditorClient::with_obs(script, &obs).retry(RetryPolicy {
+                max_attempts: 5,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(400),
+                jitter_seed: seed,
+            });
+            c.register_zone(zone(), now()).unwrap();
+            ring.events_where(|e| e.message == "retrying")
+                .iter()
+                .map(|e| e.field("backoff_us").unwrap().as_u64().unwrap())
+                .collect()
+        };
+        let a = run(0xFEED);
+        let b = run(0xFEED);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b, "same seed must reproduce the backoff schedule");
+        assert_ne!(a, run(0xBEEF), "different seeds should diverge");
+        // Exponential shape survives the jitter: base doubles each
+        // retry (50, 100, 200, 400 µs) and jitter adds ≤ half.
+        for (i, &backoff) in a.iter().enumerate() {
+            let base = 50u64 << i.min(3);
+            assert!(
+                backoff >= base && backoff <= base + base / 2,
+                "{i}: {backoff}"
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_responses_map_to_typed_error_and_floor_the_backoff() {
+        use alidrone_obs::RingBuffer;
+
+        let obs = Obs::noop();
+        let ring = Arc::new(RingBuffer::new(8));
+        obs.set_subscriber(ring.clone());
+        let script = Arc::new(Script::new(vec![overloaded(25), zone_ok()]));
+        let mut c = AuditorClient::with_obs(Arc::clone(&script), &obs).retry(fast_retry(4));
+        // The shed is retried (even though backoff jitter alone would
+        // be µs-scale, the 25 ms hint floors it) and the retry lands.
+        c.register_zone(zone(), now()).unwrap();
+        assert_eq!(script.calls(), 2);
+        let retrying = ring.events_where(|e| e.message == "retrying");
+        assert_eq!(retrying.len(), 1);
+        let backoff_us = retrying[0].field("backoff_us").unwrap().as_u64().unwrap();
+        assert!(backoff_us >= 25_000, "hint not honored: {backoff_us}µs");
+    }
+
+    #[test]
+    fn shed_errors_are_retried_even_for_non_idempotent_queries() {
+        // An Overloaded shed happened before execution — no nonce was
+        // burned — so even a zone query may resend. Contrast with
+        // `non_idempotent_queries_are_never_retried` (transport loss).
+        let script = Arc::new(Script::new(vec![
+            overloaded(1),
+            Ok(Response::Zones(Vec::new()).to_bytes()),
+        ]));
+        let mut c = AuditorClient::new(Arc::clone(&script)).retry(fast_retry(5));
+        let q = ZoneQuery::new_signed(
+            DroneId::new(1),
+            origin(),
+            origin(),
+            [7u8; 16],
+            operator_key(),
+        )
+        .unwrap();
+        assert_eq!(c.query_zones(q, now()).unwrap(), Vec::new());
+        assert_eq!(script.calls(), 2);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_fails_fast() {
+        let obs = Obs::noop();
+        let script = Arc::new(Script::new(vec![lost(), lost(), lost()]));
+        let mut c = AuditorClient::with_obs(Arc::clone(&script), &obs).circuit_breaker(
+            CircuitBreakerPolicy {
+                failure_threshold: 3,
+                open_secs: 10.0,
+                half_open_successes: 1,
+                jitter_seed: 42,
+            },
+        );
+        let t = Timestamp::from_secs(100.0);
+        for _ in 0..3 {
+            assert!(matches!(
+                c.register_zone(zone(), t).unwrap_err(),
+                ProtocolError::Transport(_)
+            ));
+        }
+        assert!(matches!(
+            c.breaker_snapshot(),
+            Some(BreakerState::Open { .. })
+        ));
+        // Fourth call fails fast: the transport is never touched.
+        assert_eq!(
+            c.register_zone(zone(), t).unwrap_err(),
+            ProtocolError::CircuitOpen
+        );
+        assert_eq!(script.calls(), 3);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("transport.breaker.opened"), 1);
+        assert_eq!(snap.counter("transport.breaker.rejected"), 1);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_to_closed() {
+        let obs = Obs::noop();
+        let script = Arc::new(Script::new(vec![
+            lost(),
+            lost(),
+            zone_ok(),
+            zone_ok(),
+            zone_ok(),
+        ]));
+        let mut c = AuditorClient::with_obs(Arc::clone(&script), &obs).circuit_breaker(
+            CircuitBreakerPolicy {
+                failure_threshold: 2,
+                open_secs: 1.0,
+                half_open_successes: 2,
+                jitter_seed: 7,
+            },
+        );
+        // Two failures trip it open at t=0.
+        let _ = c.register_zone(zone(), Timestamp::from_secs(0.0));
+        let _ = c.register_zone(zone(), Timestamp::from_secs(0.0));
+        // Still open shortly after (open interval ≥ open_secs).
+        assert_eq!(
+            c.register_zone(zone(), Timestamp::from_secs(0.5))
+                .unwrap_err(),
+            ProtocolError::CircuitOpen
+        );
+        // Past the interval (1.0 + ≤0.5 jitter) the breaker half-opens;
+        // two successful probes close it.
+        let late = Timestamp::from_secs(10.0);
+        c.register_zone(zone(), late).unwrap();
+        assert!(matches!(
+            c.breaker_snapshot(),
+            Some(BreakerState::HalfOpen { probes_ok: 1 })
+        ));
+        c.register_zone(zone(), late).unwrap();
+        assert_eq!(
+            c.breaker_snapshot(),
+            Some(BreakerState::Closed {
+                consecutive_failures: 0
+            })
+        );
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("transport.breaker.opened"), 1);
+        assert_eq!(snap.counter("transport.breaker.half_open"), 1);
+        assert_eq!(snap.counter("transport.breaker.closed"), 1);
+    }
+
+    #[test]
+    fn breaker_reopens_on_half_open_failure_and_honors_retry_after() {
+        let script = Arc::new(Script::new(vec![lost(), overloaded(30_000)]));
+        let mut c = AuditorClient::new(Arc::clone(&script)).circuit_breaker(CircuitBreakerPolicy {
+            failure_threshold: 1,
+            open_secs: 1.0,
+            half_open_successes: 1,
+            jitter_seed: 3,
+        });
+        let _ = c.register_zone(zone(), Timestamp::from_secs(0.0));
+        // Half-open probe at t=5 is shed with a 30 s retry hint: the
+        // breaker re-opens and the hint floors the open interval.
+        let _ = c.register_zone(zone(), Timestamp::from_secs(5.0));
+        match c.breaker_snapshot() {
+            Some(BreakerState::Open { until }) => {
+                assert!(until.secs() >= 35.0, "retry_after floor ignored: {until:?}");
+            }
+            other => panic!("expected Open, got {other:?}"),
+        }
+        // open_secs + jitter alone would have expired by t=10; the
+        // retry_after floor keeps it open.
+        assert_eq!(
+            c.register_zone(zone(), Timestamp::from_secs(10.0))
+                .unwrap_err(),
+            ProtocolError::CircuitOpen
+        );
+        assert_eq!(script.calls(), 2);
+    }
+
+    #[test]
+    fn deadline_client_sends_remaining_budget_in_the_envelope() {
+        use crate::wire::split_envelope_ext;
+
+        let script = Arc::new(Script::new(vec![zone_ok()]));
+        let mut c = AuditorClient::new(Arc::clone(&script)).deadline(Duration::from_millis(250));
+        c.register_zone(zone(), now()).unwrap();
+        let frames = script.frames();
+        assert_eq!(frames.len(), 1);
+        let (env, payload) = split_envelope_ext(&frames[0]).unwrap();
+        // Untraced client → no trace context, but the budget rides.
+        assert!(env.trace.is_none());
+        let budget = env.budget_micros.expect("budget field missing");
+        assert!(budget > 0 && budget <= 250_000, "budget {budget}µs");
+        assert_eq!(payload, Request::RegisterZone { zone: zone() }.to_bytes());
+    }
+
+    #[test]
+    fn deadline_free_client_sends_byte_identical_legacy_frames() {
+        // The overload machinery must not perturb the wire format for
+        // clients that don't opt in: no deadline → bare legacy frame.
+        let script = Arc::new(Script::new(vec![zone_ok()]));
+        let mut c = AuditorClient::new(Arc::clone(&script));
+        c.register_zone(zone(), now()).unwrap();
+        assert_eq!(
+            script.frames()[0],
+            Request::RegisterZone { zone: zone() }.to_bytes()
+        );
+    }
+
+    #[test]
+    fn health_check_round_trips_queue_stats() {
+        let mut c = client();
+        assert_eq!(c.health_check(now()).unwrap(), (0, 0));
     }
 }

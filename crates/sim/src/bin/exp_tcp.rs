@@ -8,19 +8,105 @@
 //! TCP server, per-call deadlines, idempotent-only retry.
 //!
 //! Run with `cargo run -p alidrone-sim --release --bin exp_tcp`.
+//! Pass `--overload` for the overload-protection smoke instead: a
+//! burst at 4× worker capacity against a bounded admission queue,
+//! asserting typed-errors-only shedding and counter reconciliation.
 
+use std::sync::{Arc, Mutex};
+use std::thread;
 use std::time::Duration;
 
-use alidrone_core::wire::transport::RetryPolicy;
-use alidrone_core::SamplingStrategy;
+use alidrone_core::wire::server::AuditorServer;
+use alidrone_core::wire::tcp::{TcpServer, TcpTransport};
+use alidrone_core::wire::transport::{AuditorClient, RetryPolicy};
+use alidrone_core::{Auditor, AuditorConfig, ProtocolError, SamplingStrategy};
 use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::RsaPrivateKey;
+use alidrone_geo::{Distance, GeoPoint, NoFlyZone, Timestamp};
+use alidrone_obs::Obs;
 use alidrone_sim::net::{submit_run, WireMode, WireOptions};
 use alidrone_sim::runner::{experiment_key, run_scenario};
 use alidrone_sim::scenarios::airport;
 use alidrone_tee::CostModel;
 
+/// Overload smoke: 8 clients (4× the 2 workers) hammer a server whose
+/// handlers are artificially slowed, with a 2-slot admission queue.
+/// Every rejection must be a typed `Overloaded`/`Timeout`, and the
+/// server's shed counters must reconcile with what clients observed.
+fn overload_smoke() {
+    println!("== exp_tcp --overload: admission control under 4x load ==");
+    let obs = Obs::noop();
+    let auditor_key = RsaPrivateKey::generate(512, &mut XorShift64::seed_from_u64(0x7C9));
+    let server = Arc::new(
+        AuditorServer::builder(Auditor::new(AuditorConfig::default(), auditor_key))
+            .obs(&obs)
+            .workers(2)
+            .queue_cap(2)
+            .read_timeout(Duration::from_millis(100))
+            .handle_delay(|| Duration::from_millis(3))
+            .build(),
+    );
+    let tcp = TcpServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind");
+    let addr = tcp.local_addr();
+
+    let tallies = Arc::new(Mutex::new([0u64; 3])); // ok / overloaded / timeout
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let tallies = Arc::clone(&tallies);
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    let mut client = AuditorClient::new(TcpTransport::new(addr))
+                        .deadline(Duration::from_millis(500));
+                    let zone = NoFlyZone::new(
+                        GeoPoint::new(40.0, -88.0).expect("valid point"),
+                        Distance::from_meters(50.0),
+                    );
+                    let slot = match client.register_zone(zone, Timestamp::from_secs(10.0)) {
+                        Ok(_) => 0,
+                        Err(ProtocolError::Overloaded { .. }) => 1,
+                        Err(ProtocolError::Timeout) => 2,
+                        Err(other) => panic!("untyped overload failure: {other}"),
+                    };
+                    tallies.lock().expect("tally lock")[slot] += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    tcp.shutdown();
+
+    let [ok, overloaded, timeout] = *tallies.lock().expect("tally lock");
+    let snap = obs.snapshot();
+    println!("clients:  {ok} ok, {overloaded} shed (queue), {timeout} shed (deadline)");
+    for name in [
+        "server.requests",
+        "server.shed.queue_full",
+        "server.shed.expired",
+        "server.shed.ratelimited",
+    ] {
+        println!("  {:26} {}", name, snap.counter(name));
+    }
+    assert_eq!(ok + overloaded + timeout, 24, "every call must resolve");
+    assert_eq!(
+        snap.counter("server.shed.queue_full"),
+        overloaded,
+        "queue-full sheds must reconcile with client-observed rejections"
+    );
+    assert_eq!(
+        snap.counter("server.shed.expired"),
+        timeout,
+        "expired sheds must reconcile with client-observed timeouts"
+    );
+    println!("\nexp_tcp --overload OK");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--overload") {
+        overload_smoke();
+        return;
+    }
     let scenario = airport();
     println!("== exp_tcp: PoA over loopback TCP ({}) ==", scenario.name);
 
