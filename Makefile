@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload scrape-smoke bench-json bench-diff
 
 check: fmt clippy doc test trace-smoke tcp-smoke chaos overload
 
@@ -46,6 +46,22 @@ chaos:
 overload:
 	$(CARGO) test --release --offline --test overload -q
 	$(CARGO) run -p alidrone-sim --release --offline --bin exp_tcp -- --overload
+
+# Live-introspection smoke: the overload burst with the scrape endpoint
+# mounted; the binary fetches its own /metrics and asserts on it.
+scrape-smoke:
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_tcp -- --overload --scrape
+
+# Regenerate the persistent perf baseline (BENCH_poa.json at the repo
+# root). BENCH_POA_SAMPLES trades precision for wall time.
+bench-json:
+	$(CARGO) run -p alidrone-bench --release --offline --bin bench_poa
+
+# Compare a fresh run against the committed baseline without touching
+# it. Exits non-zero when a case's median regresses past the threshold.
+bench-diff:
+	$(CARGO) run -p alidrone-bench --release --offline --bin bench_poa -- --out target/BENCH_poa.new.json
+	$(CARGO) run -p alidrone-bench --release --offline --bin bench_poa -- --diff BENCH_poa.json target/BENCH_poa.new.json
 
 examples:
 	$(CARGO) build --release --offline --examples

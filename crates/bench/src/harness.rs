@@ -72,6 +72,9 @@ pub struct Bencher {
     samples: usize,
     /// Median nanoseconds per iteration, filled in by `iter`.
     result_ns: f64,
+    /// Every measured sample (ns/iter), sorted ascending after a run —
+    /// retained so callers can read tail quantiles, not just the median.
+    samples_ns: Vec<f64>,
 }
 
 /// Target wall time per measured sample.
@@ -82,7 +85,22 @@ impl Bencher {
         Bencher {
             samples,
             result_ns: 0.0,
+            samples_ns: Vec::new(),
         }
+    }
+
+    /// A stand-alone driver taking `samples` measurements per run; the
+    /// programmatic entry point for runners (like `bench_poa`) that
+    /// read quantiles instead of printing a report.
+    pub fn with_samples(samples: usize) -> Bencher {
+        Bencher::new(samples.max(1))
+    }
+
+    /// Stores a finished sample set: sort ascending, keep the median.
+    fn commit(&mut self, mut samples_ns: Vec<f64>) {
+        samples_ns.sort_by(f64::total_cmp);
+        self.result_ns = samples_ns[samples_ns.len() / 2];
+        self.samples_ns = samples_ns;
     }
 
     /// Times `routine`, called repeatedly.
@@ -101,8 +119,7 @@ impl Bencher {
             }
             samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
         }
-        samples_ns.sort_by(f64::total_cmp);
-        self.result_ns = samples_ns[samples_ns.len() / 2];
+        self.commit(samples_ns);
     }
 
     /// Times `routine` over inputs built by `setup` (setup is untimed).
@@ -119,8 +136,37 @@ impl Bencher {
             black_box(routine(input));
             samples_ns.push(t0.elapsed().as_nanos() as f64);
         }
-        samples_ns.sort_by(f64::total_cmp);
-        self.result_ns = samples_ns[samples_ns.len() / 2];
+        self.commit(samples_ns);
+    }
+
+    /// Number of samples taken by the last run (0 before any run).
+    pub fn sample_count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Median nanoseconds per iteration from the last run.
+    pub fn median_ns(&self) -> f64 {
+        self.result_ns
+    }
+
+    /// The `q`-quantile (nearest-rank, `0.0..=1.0`) of the last run's
+    /// per-iteration nanoseconds. Returns 0.0 before any run.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.samples_ns.len() - 1) as f64).ceil() as usize;
+        self.samples_ns[rank.min(self.samples_ns.len() - 1)]
+    }
+
+    /// 95th-percentile nanoseconds per iteration from the last run.
+    pub fn p95_ns(&self) -> f64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile nanoseconds per iteration from the last run.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
     }
 }
 
@@ -278,6 +324,27 @@ mod tests {
             BatchSize::SmallInput,
         );
         assert!(b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_the_retained_sample_set() {
+        let mut b = Bencher::with_samples(5);
+        b.iter_batched(|| (), |_| black_box(1 + 1), BatchSize::SmallInput);
+        assert_eq!(b.sample_count(), 5);
+        assert!(b.median_ns() > 0.0);
+        // Quantiles are read off the sorted sample vector, so they are
+        // monotone and bracketed by min/max.
+        assert!(b.quantile_ns(0.0) <= b.median_ns());
+        assert!(b.median_ns() <= b.p95_ns());
+        assert!(b.p95_ns() <= b.p99_ns());
+        assert!(b.p99_ns() <= b.quantile_ns(1.0));
+    }
+
+    #[test]
+    fn quantiles_before_any_run_are_zero() {
+        let b = Bencher::with_samples(3);
+        assert_eq!(b.sample_count(), 0);
+        assert_eq!(b.quantile_ns(0.5), 0.0);
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //! Real wall-clock numbers here are for *this* machine; the paper-shape
 //! comparison lives in the `exp_*` binaries, which use the calibrated
 //! Raspberry Pi 3 cost model instead.
+//!
+//! Separately from the Criterion-style targets, the `bench_poa` binary
+//! measures a fixed case list and persists quantiles to the repo-root
+//! `BENCH_poa.json` via [`baseline`], with a `--diff` regression gate
+//! (`make bench-json` / `make bench-diff`).
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod harness;
 
 use std::sync::OnceLock;

@@ -223,6 +223,11 @@ pub struct Auditor {
     obs: Obs,
     verify_latency: Arc<Histogram>,
     decrypt_latency: Arc<Histogram>,
+    /// Wall time spent in journal appends
+    /// (`auditor.journal_append_latency_us`) — the one I/O-bound step
+    /// on the verification path, so its tail is worth watching
+    /// separately from verify CPU.
+    journal_append_latency: Arc<Histogram>,
     /// Write-ahead journal for durable state mutations. `None` when the
     /// auditor runs in-memory only, or after an append failure disabled
     /// journaling (see [`journal_append`](Self::journal_append)).
@@ -271,6 +276,7 @@ impl Auditor {
             obs: obs.clone(),
             verify_latency: obs.histogram("auditor.verify_latency_us"),
             decrypt_latency: obs.histogram("auditor.decrypt_latency_us"),
+            journal_append_latency: obs.histogram("auditor.journal_append_latency_us"),
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
         }
@@ -439,7 +445,11 @@ impl Auditor {
         let Some(journal) = slot.as_ref() else {
             return;
         };
-        if let Err(err) = journal.append_record(record) {
+        let t0 = std::time::Instant::now();
+        let result = journal.append_record(record);
+        self.journal_append_latency
+            .record_micros(t0.elapsed().as_micros() as u64);
+        if let Err(err) = result {
             self.obs.emit(
                 Level::Error,
                 "auditor.journal",
@@ -1159,6 +1169,7 @@ impl Auditor {
         let obs = Obs::noop();
         let verify_latency = obs.histogram("auditor.verify_latency_us");
         let decrypt_latency = obs.histogram("auditor.decrypt_latency_us");
+        let journal_append_latency = obs.histogram("auditor.journal_append_latency_us");
         Ok(Auditor {
             config,
             encryption_key,
@@ -1171,6 +1182,7 @@ impl Auditor {
             obs,
             verify_latency,
             decrypt_latency,
+            journal_append_latency,
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
         })

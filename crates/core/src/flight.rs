@@ -123,6 +123,38 @@ pub fn run_flight_with_obs(
     duration: Duration,
     obs: &Obs,
 ) -> Result<FlightRecord, ProtocolError> {
+    run_flight_with_hook(
+        clock,
+        receiver,
+        session,
+        zones,
+        strategy,
+        duration,
+        obs,
+        &mut |_| {},
+    )
+}
+
+/// As [`run_flight_with_obs`], invoking `on_step` once per simulated
+/// hardware step, right after the sim clock advances to that step's
+/// time (i.e. before the step's sampling work). Long-soak harnesses use
+/// this to take periodic metrics snapshots on *sim* time, turning
+/// end-of-run totals into rate-over-time series.
+///
+/// # Errors
+///
+/// As [`run_flight`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_flight_with_hook(
+    clock: &SimClock,
+    receiver: &dyn GpsDevice,
+    session: &TeeSession,
+    zones: &ZoneSet,
+    strategy: SamplingStrategy,
+    duration: Duration,
+    obs: &Obs,
+    on_step: &mut dyn FnMut(Timestamp),
+) -> Result<FlightRecord, ProtocolError> {
     let hw_rate = receiver.update_rate_hz();
     let mut policy: Box<dyn SamplingPolicy> = match strategy {
         SamplingStrategy::Adaptive => {
@@ -151,6 +183,7 @@ pub fn run_flight_with_obs(
 
     for k in 0..=steps {
         clock.set(start + Duration::from_secs(k as f64 / hw_rate));
+        on_step(clock.now());
         let Some(fix) = receiver.latest_fix() else {
             // Before the first fix this is a cold receiver; after it, a
             // receiver reporting no fix at all is an outage and must

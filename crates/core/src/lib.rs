@@ -71,7 +71,10 @@ pub use auditor::{
     VerificationReport,
 };
 pub use error::ProtocolError;
-pub use flight::{run_flight, run_flight_with_obs, FlightRecord, SampleEvent, SamplingStrategy};
+pub use flight::{
+    run_flight, run_flight_with_hook, run_flight_with_obs, FlightRecord, SampleEvent,
+    SamplingStrategy,
+};
 pub use identity::{DroneId, ZoneId};
 pub use messages::{Accusation, PoaSubmission, ZoneQuery, ZoneResponse};
 pub use operator::DroneOperator;

@@ -9,11 +9,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use alidrone_geo::Timestamp;
-use alidrone_obs::{Counter, FlightRecorder, Gauge, Histogram, Level, Obs, RecorderDump};
+use alidrone_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, Level, Obs, RecorderDump, ScrapeServer,
+    ScrapeSources, SlowExemplar, SlowTable, StageTimer,
+};
 
 use crate::auditor::{AccusationOutcome, Auditor};
 use crate::messages::PoaSubmission;
@@ -90,7 +94,28 @@ struct ServerMetrics {
     /// networked front end, read here for [`Response::Healthy`]. Shared
     /// by metric name through the registry.
     queue_depth: Arc<Gauge>,
+    /// Per-stage latency histograms (`server.stage.<stage>`), indexed
+    /// like [`PIPELINE_STAGES`]. For executed requests the stage sums
+    /// (decode + admission + handle + encode) reconcile *exactly* with
+    /// the per-kind totals in `latency`, because the per-kind total is
+    /// computed as the sum of the same stage marks.
+    stages: [Arc<Histogram>; 4],
+    /// Admission-queue wait for executed requests
+    /// (`server.stage.queue_wait`). Kept out of the reconciling stage
+    /// set: the wait happens before the handler thread picks the frame
+    /// up, so it is not part of handling latency.
+    stage_queue_wait: Arc<Histogram>,
+    /// Bounded slowest-request exemplar table, exported via the scrape
+    /// endpoint (`/metrics` gauges + `/dump` JSON).
+    slow: Arc<SlowTable>,
 }
+
+/// The reconciling pipeline stages, in request order. `queue_wait` is
+/// reported separately (see [`ServerMetrics::stage_queue_wait`]).
+const PIPELINE_STAGES: [&str; 4] = ["decode", "admission", "handle", "encode"];
+
+/// How many slowest-request exemplars the server retains.
+const SLOW_TABLE_CAPACITY: usize = 32;
 
 impl ServerMetrics {
     fn new(obs: &Obs) -> Self {
@@ -103,7 +128,17 @@ impl ServerMetrics {
             shed_ratelimited: obs.counter("server.shed.ratelimited"),
             inflight: obs.gauge("server.inflight"),
             queue_depth: obs.gauge("server.queue_depth"),
+            stages: PIPELINE_STAGES.map(|stage| obs.histogram(&format!("server.stage.{stage}"))),
+            stage_queue_wait: obs.histogram("server.stage.queue_wait"),
+            slow: Arc::new(SlowTable::new(SLOW_TABLE_CAPACITY)),
         }
+    }
+
+    fn stage_histogram(&self, stage: &str) -> Option<&Arc<Histogram>> {
+        PIPELINE_STAGES
+            .iter()
+            .position(|s| *s == stage)
+            .map(|i| &self.stages[i])
     }
 }
 
@@ -224,6 +259,10 @@ pub struct AuditorServer {
     rate_limit: Option<RateLimitConfig>,
     buckets: Mutex<HashMap<u64, Bucket>>,
     handle_delay: Option<HandleDelay>,
+    /// The live introspection endpoint, when mounted via
+    /// [`AuditorServerBuilder::scrape`]. Owned so it shuts down with
+    /// the server.
+    scrape: Option<ScrapeServer>,
 }
 
 /// Builder for [`AuditorServer`] — one place for every construction
@@ -236,6 +275,7 @@ pub struct AuditorServerBuilder {
     serve: ServeConfig,
     rate_limit: Option<RateLimitConfig>,
     handle_delay: Option<HandleDelay>,
+    scrape: Option<SocketAddr>,
 }
 
 impl AuditorServerBuilder {
@@ -302,11 +342,44 @@ impl AuditorServerBuilder {
         self
     }
 
-    /// Finalises the server.
+    /// Mounts a live introspection endpoint on `addr` (port 0 for an
+    /// OS-assigned port — read it back with
+    /// [`AuditorServer::scrape_addr`]). The endpoint serves
+    /// `GET /metrics` (Prometheus text of the server's registry, the
+    /// slowest-request exemplars, and the flight recorder's drop
+    /// counters) and `GET /dump` (a JSON flight-recorder view).
+    pub fn scrape(mut self, addr: SocketAddr) -> Self {
+        self.scrape = Some(addr);
+        self
+    }
+
+    /// Finalises the server. Infallible: if a scrape endpoint was
+    /// requested and its port cannot be bound, the server still builds
+    /// — the failure is reported as a `Warn` event and
+    /// [`AuditorServer::scrape_addr`] returns `None`.
     pub fn build(self) -> AuditorServer {
+        let metrics = ServerMetrics::new(&self.obs);
+        let scrape = self.scrape.and_then(|addr| {
+            let mut sources =
+                ScrapeSources::new(&self.obs).with_slow_table(Arc::clone(&metrics.slow));
+            if let Some(rec) = &self.recorder {
+                sources = sources.with_recorder(Arc::clone(rec));
+            }
+            match ScrapeServer::bind(addr, sources) {
+                Ok(server) => Some(server),
+                Err(e) => {
+                    let message = e.to_string();
+                    self.obs
+                        .emit(Level::Warn, "wire.server", "scrape_bind_failed", |f| {
+                            f.field("addr", format!("{addr}")).field("error", message);
+                        });
+                    None
+                }
+            }
+        });
         AuditorServer {
             auditor: self.auditor,
-            metrics: ServerMetrics::new(&self.obs),
+            metrics,
             obs: self.obs,
             recorder: self.recorder,
             last_crash_dump: Mutex::new(None),
@@ -314,6 +387,7 @@ impl AuditorServerBuilder {
             rate_limit: self.rate_limit,
             buckets: Mutex::new(HashMap::new()),
             handle_delay: self.handle_delay,
+            scrape,
         }
     }
 }
@@ -329,6 +403,7 @@ impl AuditorServer {
             serve: ServeConfig::default(),
             rate_limit: None,
             handle_delay: None,
+            scrape: None,
         }
     }
 
@@ -363,6 +438,18 @@ impl AuditorServer {
         &self.obs
     }
 
+    /// The bound address of the live introspection endpoint, when one
+    /// was mounted (and bound successfully).
+    pub fn scrape_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(|s| s.local_addr())
+    }
+
+    /// The slowest-request exemplar table (shared with the scrape
+    /// endpoint; handy for tests and post-mortem tooling).
+    pub fn slow_table(&self) -> Arc<SlowTable> {
+        Arc::clone(&self.metrics.slow)
+    }
+
     /// Handles one request frame. Never fails: malformed input or
     /// protocol errors become [`Response::Error`] frames.
     ///
@@ -393,9 +480,18 @@ impl AuditorServer {
     ///    [`Response::Overloaded`] (`server.shed.ratelimited`).
     pub fn handle_at(&self, request_bytes: &[u8], now: Timestamp, queue_wait: Duration) -> Vec<u8> {
         self.metrics.requests.inc();
-        let t0 = Instant::now();
+        // Stage attribution: the timer marks decode → admission →
+        // handle → encode, and the per-kind latency total is the SUM of
+        // those marks — so the stage histograms reconcile exactly with
+        // the per-kind totals. Stages are committed only for executed
+        // requests; health checks and shed requests record no latency
+        // (they never reach the auditor).
+        let mut timer = StageTimer::start();
+        let mut executed: Option<usize> = None;
+        let mut trace: Option<(u128, u64)> = None;
         let decoded = split_envelope_ext(request_bytes)
             .and_then(|(env, payload)| Request::from_bytes(payload).map(|req| (env, req)));
+        timer.mark("decode");
         let response = match decoded {
             Ok((env, req)) => {
                 let kind = request_kind_index(&req);
@@ -431,6 +527,7 @@ impl AuditorServer {
                         });
                     Response::Overloaded { retry_after_ms }
                 } else {
+                    timer.mark("admission");
                     if let Some(delay) = &self.handle_delay {
                         std::thread::sleep((delay.0)());
                     }
@@ -442,11 +539,13 @@ impl AuditorServer {
                         ),
                         None => self.obs.enter_span(SERVER_SPAN_NAMES[kind]),
                     };
+                    trace = span.context().map(|c| (c.trace_id, c.span_id));
                     self.metrics.inflight.add(1);
                     let resp = self.dispatch(req, now);
                     self.metrics.inflight.add(-1);
                     span.finish();
-                    self.metrics.latency[kind].record_micros(t0.elapsed().as_micros() as u64);
+                    timer.mark("handle");
+                    executed = Some(kind);
                     if let Response::Error { code, .. } = &resp {
                         let code = *code;
                         self.metrics.errors[error_code_index(code)].inc();
@@ -478,7 +577,30 @@ impl AuditorServer {
                 }
             }
         };
-        response.to_bytes()
+        let bytes = response.to_bytes();
+        if let Some(kind) = executed {
+            timer.mark("encode");
+            let queue_wait_micros = queue_wait.as_micros() as u64;
+            self.metrics
+                .stage_queue_wait
+                .record_micros(queue_wait_micros);
+            for &(stage, micros) in timer.stages() {
+                if let Some(h) = self.metrics.stage_histogram(stage) {
+                    h.record_micros(micros);
+                }
+            }
+            let total = timer.total_micros();
+            self.metrics.latency[kind].record_micros(total);
+            self.metrics.slow.offer(SlowExemplar {
+                kind: REQUEST_KINDS[kind].to_string(),
+                total_micros: total,
+                queue_wait_micros,
+                stages: timer.into_stages(),
+                trace_id: trace.map(|t| t.0),
+                span_id: trace.map(|t| t.1),
+            });
+        }
+        bytes
     }
 
     /// Token-bucket admission check. Returns `Some(retry_after_ms)`
@@ -1191,6 +1313,155 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stage_sums_reconcile_exactly_with_latency_totals() {
+        let obs = Obs::noop();
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .build();
+
+        // A mix of executed, shed-free, and never-executed requests.
+        let id = register(&s);
+        let poa = ProofOfAlibi::from_entries(signed_samples(4));
+        let submit = Request::SubmitPoa {
+            drone_id: id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(3.0),
+            poa: poa.to_bytes(),
+        };
+        s.handle(&submit.to_bytes(), now());
+        let q = ZoneQuery::new_signed(id, origin(), origin(), [9u8; 16], operator_key()).unwrap();
+        s.handle(&Request::QueryZones(q).to_bytes(), now());
+        s.handle(&Request::HealthCheck.to_bytes(), now()); // no stages
+        s.handle(&[0xFF], now()); // malformed: no stages
+
+        let snap = obs.snapshot();
+        let latency_count: u64 = REQUEST_KINDS
+            .iter()
+            .map(|k| {
+                snap.histogram(&format!("server.latency.{k}"))
+                    .unwrap()
+                    .count
+            })
+            .sum();
+        let latency_sum: u64 = REQUEST_KINDS
+            .iter()
+            .map(|k| {
+                snap.histogram(&format!("server.latency.{k}"))
+                    .unwrap()
+                    .sum_micros
+            })
+            .sum();
+        assert_eq!(latency_count, 3, "register + submit + query executed");
+        for stage in PIPELINE_STAGES {
+            let h = snap.histogram(&format!("server.stage.{stage}")).unwrap();
+            assert_eq!(h.count, latency_count, "stage {stage} count");
+        }
+        let stage_sum: u64 = PIPELINE_STAGES
+            .iter()
+            .map(|stage| {
+                snap.histogram(&format!("server.stage.{stage}"))
+                    .unwrap()
+                    .sum_micros
+            })
+            .sum();
+        // Exact, not approximate: totals are computed as the sum of the
+        // same stage marks the stage histograms record.
+        assert_eq!(stage_sum, latency_sum);
+        // Queue wait is tracked per executed request but excluded from
+        // the reconciling set.
+        assert_eq!(
+            snap.histogram("server.stage.queue_wait").unwrap().count,
+            latency_count
+        );
+    }
+
+    #[test]
+    fn slow_table_captures_executed_requests_with_stage_breakdown() {
+        let s = server();
+        let id = register(&s);
+        let poa = ProofOfAlibi::from_entries(signed_samples(4));
+        let req = Request::SubmitPoa {
+            drone_id: id,
+            window_start: Timestamp::from_secs(0.0),
+            window_end: Timestamp::from_secs(3.0),
+            poa: poa.to_bytes(),
+        };
+        s.handle(&req.to_bytes(), now());
+
+        let entries = s.slow_table().entries();
+        assert_eq!(entries.len(), 2, "register + submit");
+        // Slowest first: RSA verification makes the submission dominate.
+        assert_eq!(entries[0].kind, "submit_poa");
+        let stage_names: Vec<&str> = entries[0].stages.iter().map(|&(n, _)| n).collect();
+        assert_eq!(stage_names, vec!["decode", "admission", "handle", "encode"]);
+        assert_eq!(
+            entries[0].total_micros,
+            entries[0].stages.iter().map(|&(_, us)| us).sum::<u64>()
+        );
+        // Untraced requests still rank; they just carry no trace join.
+        assert!(entries[0].trace_id.is_none());
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_the_server_registry_live() {
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpStream;
+
+        let obs = Obs::noop();
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .scrape("127.0.0.1:0".parse().unwrap())
+        .build();
+        let addr = s.scrape_addr().expect("scrape endpoint bound");
+        register(&s);
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200"), "{body}");
+        assert!(body.contains("server_requests_total 1"), "{body}");
+        assert!(
+            body.contains("server_slowest_seconds{rank=\"0\",kind=\"register_drone\""),
+            "{body}"
+        );
+        assert!(body.contains("server_stage_handle_count 1"), "{body}");
+    }
+
+    #[test]
+    fn scrape_bind_failure_degrades_to_an_event_not_a_panic() {
+        use alidrone_obs::RingBuffer;
+
+        // Occupy a port, then ask the server to scrape-bind the same
+        // one.
+        let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = taken.local_addr().unwrap();
+        let obs = Obs::noop();
+        let ring = Arc::new(RingBuffer::new(8));
+        obs.set_subscriber(ring.clone());
+        let s = AuditorServer::builder(Auditor::new(
+            AuditorConfig::default(),
+            auditor_key().clone(),
+        ))
+        .obs(&obs)
+        .scrape(addr)
+        .build();
+        assert!(s.scrape_addr().is_none());
+        assert!(ring
+            .events()
+            .iter()
+            .any(|e| e.message == "scrape_bind_failed"));
+        // The server still serves requests.
+        register(&s);
     }
 
     #[test]

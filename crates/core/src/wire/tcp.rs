@@ -154,6 +154,7 @@ impl TcpServer {
         let connections = server.obs().counter("server.connections");
         let shed_queue_full = server.obs().counter("server.shed.queue_full");
         let queue_depth = server.obs().gauge("server.queue_depth");
+        let workers_busy = server.obs().gauge("server.workers.busy");
         // Bounded admission queue: `try_send` fails instead of queueing
         // unboundedly, which is the whole point.
         let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(cfg.queue_cap);
@@ -165,6 +166,7 @@ impl TcpServer {
                 let server = Arc::clone(&server);
                 let shutdown = Arc::clone(&shutdown);
                 let queue_depth = Arc::clone(&queue_depth);
+                let workers_busy = Arc::clone(&workers_busy);
                 thread::spawn(move || loop {
                     // Blocking recv: the accept thread drops `tx` on
                     // shutdown, which unblocks every idle worker with
@@ -179,9 +181,15 @@ impl TcpServer {
                     match next {
                         Ok((stream, queued_at)) => {
                             queue_depth.add(-1);
-                            if let Err(e) =
-                                serve_connection(&server, stream, queued_at, &shutdown, &cfg)
-                            {
+                            // Pool saturation gauge: `workers.busy`
+                            // pinned at the worker count while
+                            // `queue_depth` grows is the live signature
+                            // of overload.
+                            workers_busy.add(1);
+                            let served =
+                                serve_connection(&server, stream, queued_at, &shutdown, &cfg);
+                            workers_busy.add(-1);
+                            if let Err(e) = served {
                                 server.obs().emit(
                                     Level::Warn,
                                     "wire.tcp",
@@ -211,6 +219,11 @@ impl TcpServer {
                             break;
                         }
                         connections.inc();
+                        // Responses go out as two writes (length prefix,
+                        // then body); without NODELAY, Nagle holds the
+                        // body until the client's delayed ACK (~40 ms
+                        // per round trip on loopback).
+                        let _ = stream.set_nodelay(true);
                         // Workers use blocking reads with timeouts.
                         if stream.set_nonblocking(false).is_err() {
                             continue;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use alidrone_geo::{GeoPoint, NoFlyZone, Timestamp};
-use alidrone_obs::{Counter, Level, Obs, SpanContext};
+use alidrone_obs::{Counter, Gauge, Level, Obs, SpanContext};
 
 use crate::messages::{Accusation, ZoneQuery};
 use crate::wire::server::AuditorServer;
@@ -351,10 +351,24 @@ struct Breaker {
     closed: Arc<Counter>,
     rejected: Arc<Counter>,
     half_open: Arc<Counter>,
+    /// Live state for scrapes (`transport.breaker.state`): 0 = closed,
+    /// 1 = open, 2 = half-open.
+    state_gauge: Arc<Gauge>,
+}
+
+/// Gauge encoding of a breaker state, for `transport.breaker.state`.
+fn breaker_state_code(state: &BreakerState) -> i64 {
+    match state {
+        BreakerState::Closed { .. } => 0,
+        BreakerState::Open { .. } => 1,
+        BreakerState::HalfOpen { .. } => 2,
+    }
 }
 
 impl Breaker {
     fn new(policy: CircuitBreakerPolicy, obs: &Obs) -> Self {
+        let state_gauge = obs.gauge("transport.breaker.state");
+        state_gauge.set(0);
         Breaker {
             jitter_state: policy.jitter_seed.max(1),
             policy,
@@ -365,7 +379,15 @@ impl Breaker {
             closed: obs.counter("transport.breaker.closed"),
             rejected: obs.counter("transport.breaker.rejected"),
             half_open: obs.counter("transport.breaker.half_open"),
+            state_gauge,
         }
+    }
+
+    /// The one write path for `state`, keeping the exported gauge in
+    /// lockstep with every transition.
+    fn transition(&mut self, state: BreakerState) {
+        self.state_gauge.set(breaker_state_code(&state));
+        self.state = state;
     }
 
     /// Gate at call entry: `Err(CircuitOpen)` while open, otherwise
@@ -376,7 +398,7 @@ impl Breaker {
                 self.rejected.inc();
                 return Err(ProtocolError::CircuitOpen);
             }
-            self.state = BreakerState::HalfOpen { probes_ok: 0 };
+            self.transition(BreakerState::HalfOpen { probes_ok: 0 });
             self.half_open.inc();
             obs.emit(Level::Info, "wire.client", "breaker_half_open", |f| {
                 f.field("now_secs", now.secs());
@@ -391,23 +413,23 @@ impl Breaker {
     fn record_success(&mut self, obs: &Obs) {
         match self.state {
             BreakerState::Closed { .. } => {
-                self.state = BreakerState::Closed {
+                self.transition(BreakerState::Closed {
                     consecutive_failures: 0,
-                };
+                });
             }
             BreakerState::HalfOpen { probes_ok } => {
                 if probes_ok + 1 >= self.policy.half_open_successes.max(1) {
-                    self.state = BreakerState::Closed {
+                    self.transition(BreakerState::Closed {
                         consecutive_failures: 0,
-                    };
+                    });
                     self.closed.inc();
                     obs.emit(Level::Info, "wire.client", "breaker_closed", |f| {
                         f.field("probes_ok", u64::from(probes_ok + 1));
                     });
                 } else {
-                    self.state = BreakerState::HalfOpen {
+                    self.transition(BreakerState::HalfOpen {
                         probes_ok: probes_ok + 1,
-                    };
+                    });
                 }
             }
             // A success cannot arrive while open: admit() rejects first.
@@ -429,16 +451,16 @@ impl Breaker {
         if failures >= self.policy.failure_threshold.max(1) {
             let interval = self.open_interval(retry_after_ms);
             let until = Timestamp::from_secs(now.secs() + interval.as_secs_f64());
-            self.state = BreakerState::Open { until };
+            self.transition(BreakerState::Open { until });
             self.opened.inc();
             obs.emit(Level::Warn, "wire.client", "breaker_opened", |f| {
                 f.field("until_secs", until.secs())
                     .field("open_us", interval.as_micros() as u64);
             });
         } else {
-            self.state = BreakerState::Closed {
+            self.transition(BreakerState::Closed {
                 consecutive_failures: failures,
-            };
+            });
         }
     }
 

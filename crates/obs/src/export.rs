@@ -93,14 +93,17 @@ fn trace_lane(trace_id: u128) -> u64 {
 /// format.
 ///
 /// Metric names are sanitised (`.` and other non-identifier bytes
-/// become `_`). Counters and gauges emit one sample each; histograms
+/// become `_`). Counters emit one sample under the conventional
+/// `_total` suffix, gauges one bare sample; histograms
 /// emit cumulative `_bucket{le="…"}` samples (bucket upper bounds in
 /// seconds, from the power-of-two microsecond buckets), `_sum`
 /// (seconds) and `_count`.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
-        let prom = sanitize_metric_name(name);
+        // Prometheus naming convention: cumulative counters carry a
+        // `_total` suffix (and the family name includes it).
+        let prom = format!("{}_total", sanitize_metric_name(name));
         let _ = writeln!(out, "# HELP {prom} Counter `{name}`.");
         let _ = writeln!(out, "# TYPE {prom} counter");
         let _ = writeln!(out, "{prom} {value}");
@@ -147,6 +150,22 @@ pub fn sanitize_metric_name(name: &str) -> String {
     }
     if out.is_empty() {
         out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote and newline are the three characters the format reserves
+/// inside `label="…"`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
     }
     out
 }
@@ -225,6 +244,31 @@ mod tests {
         assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
     }
 
+    #[test]
+    fn sanitize_handles_degenerate_names() {
+        // An empty name still yields a valid identifier.
+        assert_eq!(sanitize_metric_name(""), "_");
+        // Non-ASCII maps onto `_` (one per char, not per byte).
+        assert_eq!(sanitize_metric_name("débit"), "d_bit");
+        assert_eq!(sanitize_metric_name("速度"), "__");
+        // A lone leading digit both gets the guard prefix and survives.
+        assert_eq!(sanitize_metric_name("7"), "_7");
+        // Colons are part of the Prometheus charset and pass through.
+        assert_eq!(sanitize_metric_name("rule:rate5m"), "rule:rate5m");
+    }
+
+    #[test]
+    fn label_values_escape_reserved_characters() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r"C:\path"), r"C:\\path");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        // A pathological mix stays one exposition-format line.
+        let escaped = escape_label_value("a\\\"\nb");
+        assert_eq!(escaped, "a\\\\\\\"\\nb");
+        assert!(!escaped.contains('\n'));
+    }
+
     /// A minimal parser for the subset of the exposition format the
     /// exporter emits, used to assert the export is lossless.
     fn parse_prometheus(text: &str) -> BTreeMap<String, Vec<(String, f64)>> {
@@ -260,7 +304,7 @@ mod tests {
         let families = parse_prometheus(&text);
 
         for (name, &v) in &snapshot.counters {
-            let samples = &families[&sanitize_metric_name(name)];
+            let samples = &families[&format!("{}_total", sanitize_metric_name(name))];
             assert_eq!(samples, &vec![(String::new(), v as f64)], "{name}");
         }
         for (name, &v) in &snapshot.gauges {

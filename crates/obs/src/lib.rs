@@ -59,15 +59,19 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod scrape;
 mod span;
+pub mod stage;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use event::{Event, Fanout, FieldSet, Level, RingBuffer, Subscriber, Value};
-pub use export::{chrome_trace, prometheus_text};
+pub use export::{chrome_trace, escape_label_value, prometheus_text, sanitize_metric_name};
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use recorder::{FlightRecorder, RecorderDump};
+pub use scrape::{ScrapeServer, ScrapeSources};
 pub use span::{Span, SpanContext, SpanRecord};
+pub use stage::{SlowExemplar, SlowTable, StageTimer};
 
 use alidrone_crypto::rng::{Rng, XorShift64};
 use alidrone_geo::Timestamp;

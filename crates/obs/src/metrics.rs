@@ -480,6 +480,38 @@ mod tests {
     }
 
     #[test]
+    fn bucket_upper_bounds_are_exclusive() {
+        // A value exactly at a bucket's upper bound must land in the
+        // NEXT bucket: bucket 0 is [0, 1) µs, bucket i ≥ 1 is
+        // [2^(i-1), 2^i) µs.
+        let h = Histogram::default();
+        h.record_micros(0); // bucket 0: [0, 1)
+        h.record_micros(1); // == upper of bucket 0 → bucket 1
+        h.record_micros(2); // == upper of bucket 1 → bucket 2
+        h.record_micros(3); // inside bucket 2: [2, 4)
+        h.record_micros(4); // == upper of bucket 2 → bucket 3
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[3], 1);
+        // The boundary rule holds for every finite bucket upper bound.
+        for i in 0..HISTOGRAM_BUCKETS {
+            if let Some(upper) = bucket_upper_micros(i) {
+                assert_eq!(bucket_index(upper), i + 1, "upper of bucket {i}");
+                assert_eq!(
+                    bucket_index(upper.saturating_sub(1)),
+                    i,
+                    "below upper of {i}"
+                );
+            }
+        }
+        // Huge values clamp into the final +Inf bucket instead of
+        // indexing out of range.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
     fn concurrent_updates_do_not_lose_counts() {
         let r = Arc::new(Registry::new());
         let c = r.counter("hits");

@@ -1,0 +1,433 @@
+//! A live introspection endpoint: the smallest HTTP server that can
+//! answer a Prometheus scrape.
+//!
+//! The workspace is offline and std-only, so this is a hand-rolled
+//! HTTP/1.0 GET handler over `std::net` — no routing table, no
+//! keep-alive, one short-lived connection per scrape (exactly what
+//! Prometheus and `curl` send). Two paths exist:
+//!
+//! * `GET /metrics` — [`prometheus_text`] of a live snapshot, plus the
+//!   slowest-request exemplar gauges and the flight recorder's
+//!   retained/dropped counts when those sources are mounted.
+//! * `GET /dump` — a JSON flight-recorder view: the metrics snapshot,
+//!   the recorder's retained spans/events, and the slowest-N exemplar
+//!   table, all in one self-contained document.
+//!
+//! Anything else is answered `404`; non-GET methods get `405`. The
+//! listener runs on one background thread (scrapes are cheap reads; a
+//! worker pool would be ceremony), and shuts down promptly via the same
+//! wake-connection trick the TCP front end uses.
+
+use crate::export::prometheus_text;
+use crate::json::{Json, ToJson};
+use crate::recorder::FlightRecorder;
+use crate::stage::SlowTable;
+use crate::Obs;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Bound on one scrape request head (we only need the request line).
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Socket timeouts for scrape connections: a scraper that stalls this
+/// long is dropped rather than wedging the listener thread.
+const SCRAPE_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Bound on the shutdown wake-connection dial.
+const WAKE_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// What a [`ScrapeServer`] exposes: the metrics registry always, the
+/// flight recorder and slowest-request table when mounted.
+#[derive(Debug, Clone)]
+pub struct ScrapeSources {
+    obs: Obs,
+    recorder: Option<Arc<FlightRecorder>>,
+    slow: Option<Arc<SlowTable>>,
+}
+
+impl ScrapeSources {
+    /// Sources exposing `obs`'s metrics only.
+    pub fn new(obs: &Obs) -> ScrapeSources {
+        ScrapeSources {
+            obs: obs.clone(),
+            recorder: None,
+            slow: None,
+        }
+    }
+
+    /// Also expose a flight recorder (retained spans/events in `/dump`,
+    /// retained/dropped counts in `/metrics`).
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> ScrapeSources {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Also expose a slowest-request exemplar table.
+    pub fn with_slow_table(mut self, slow: Arc<SlowTable>) -> ScrapeSources {
+        self.slow = Some(slow);
+        self
+    }
+
+    /// The `/metrics` body: live snapshot + exemplars + recorder counts.
+    pub fn metrics_body(&self) -> String {
+        let mut body = prometheus_text(&self.obs.snapshot());
+        if let Some(slow) = &self.slow {
+            body.push_str(&slow.prometheus_text("server.slowest_seconds"));
+        }
+        if let Some(rec) = &self.recorder {
+            body.push_str(&recorder_prometheus(rec));
+        }
+        body
+    }
+
+    /// The `/dump` body: one JSON document for post-mortem tooling.
+    pub fn dump_body(&self) -> String {
+        Json::obj([
+            ("metrics", self.obs.snapshot().to_json()),
+            (
+                "recorder",
+                match &self.recorder {
+                    Some(rec) => rec.dump().to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "slow_table",
+                match &self.slow {
+                    Some(slow) => slow.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Renders a recorder's occupancy and drop counters as Prometheus
+/// samples, making buffer-sizing visible to a live scrape.
+fn recorder_prometheus(rec: &FlightRecorder) -> String {
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, v: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
+    };
+    counter(
+        "flight_recorder_dropped_spans_total",
+        "Spans evicted from the flight recorder to make room.",
+        rec.dropped_spans(),
+    );
+    counter(
+        "flight_recorder_dropped_events_total",
+        "Events evicted from the flight recorder to make room.",
+        rec.dropped_events(),
+    );
+    let mut gauge = |name: &str, help: &str, v: usize| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+        ));
+    };
+    gauge(
+        "flight_recorder_spans",
+        "Spans currently retained by the flight recorder.",
+        rec.spans().len(),
+    );
+    gauge(
+        "flight_recorder_events",
+        "Events currently retained by the flight recorder.",
+        rec.events().len(),
+    );
+    out
+}
+
+/// A live scrape endpoint bound to a local port.
+///
+/// Created with [`ScrapeServer::bind`]; serving starts immediately on a
+/// background thread. Dropping the handle (or calling
+/// [`shutdown`](ScrapeServer::shutdown)) stops the listener.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    scrapes: Arc<AtomicU64>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (port 0 for an OS-assigned port) and starts
+    /// answering scrapes of `sources`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, sources: ScrapeSources) -> io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(AtomicU64::new(0));
+
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread_scrapes = Arc::clone(&scrapes);
+        let thread = thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if thread_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    thread_scrapes.fetch_add(1, Ordering::Relaxed);
+                    // Served inline: a scrape is two cheap reads and a
+                    // write, and serialising them keeps the endpoint
+                    // from amplifying load on an overloaded host.
+                    let _ = serve_scrape(stream, &sources);
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    if thread_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        });
+
+        Ok(ScrapeServer {
+            local_addr,
+            shutdown,
+            thread: Some(thread),
+            scrapes,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections accepted so far (shutdown wakes excluded only when
+    /// the listener was already stopping).
+    pub fn scrape_count(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; fall
+        // back to plain loopback when the bound address is a wildcard.
+        let woke = TcpStream::connect_timeout(&self.local_addr, WAKE_CONNECT_TIMEOUT)
+            .or_else(|_| {
+                TcpStream::connect_timeout(
+                    &SocketAddr::from(([127, 0, 0, 1], self.local_addr.port())),
+                    WAKE_CONNECT_TIMEOUT,
+                )
+            })
+            .is_ok();
+        if let Some(t) = self.thread.take() {
+            if woke {
+                let _ = t.join();
+            }
+            // Wake failed: leave the thread parked in accept; the OS
+            // reclaims it at process exit. Joining would hang shutdown.
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Reads one HTTP request head and writes the matching response.
+fn serve_scrape(mut stream: TcpStream, sources: &ScrapeSources) -> io::Result<()> {
+    stream.set_read_timeout(Some(SCRAPE_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(SCRAPE_IO_TIMEOUT))?;
+    let head = read_request_head(&mut stream)?;
+    let (status, content_type, body) = match parse_request_line(&head) {
+        Some(("GET", path)) => match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                sources.metrics_body(),
+            ),
+            "/dump" => ("200 OK", "application/json", sources.dump_body()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        },
+        Some((_, _)) => (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is served\n".to_string(),
+        ),
+        None => ("400 Bad Request", "text/plain", "bad request\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the blank line ending the request head (or the size cap,
+/// which is plenty for any GET we answer).
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 512];
+    loop {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&tmp[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Splits `GET /path HTTP/1.x` into (method, path); query strings are
+/// stripped so `/metrics?probe=1` still resolves.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let path = path.split('?').next().unwrap_or(path);
+    Some((method, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::SlowExemplar;
+    use crate::Level;
+
+    /// A minimal HTTP GET client for the tests.
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+        (head.to_string(), body.to_string())
+    }
+
+    fn sources_with_everything() -> (Obs, Arc<FlightRecorder>, Arc<SlowTable>, ScrapeSources) {
+        let obs = Obs::noop();
+        let recorder = Arc::new(FlightRecorder::new(8));
+        obs.set_subscriber(recorder.clone());
+        let slow = Arc::new(SlowTable::new(4));
+        let sources = ScrapeSources::new(&obs)
+            .with_recorder(recorder.clone())
+            .with_slow_table(slow.clone());
+        (obs, recorder, slow, sources)
+    }
+
+    #[test]
+    fn metrics_path_serves_live_prometheus_text() {
+        let (obs, _rec, slow, sources) = sources_with_everything();
+        obs.counter("server.requests").add(3);
+        slow.offer(SlowExemplar {
+            kind: "submit_poa".into(),
+            total_micros: 1_234,
+            queue_wait_micros: 0,
+            stages: vec![("handle", 1_234)],
+            trace_id: None,
+            span_id: None,
+        });
+        let server = ScrapeServer::bind("127.0.0.1:0", sources).unwrap();
+        let (head, body) = http_get(server.local_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        assert!(body.contains("server_requests_total 3"), "{body}");
+        assert!(body.contains("server_slowest_seconds{rank=\"0\""), "{body}");
+        assert!(
+            body.contains("flight_recorder_dropped_spans_total 0"),
+            "{body}"
+        );
+
+        // The scrape is live: bump a counter and scrape again.
+        obs.counter("server.requests").add(4);
+        let (_, body) = http_get(server.local_addr(), "/metrics");
+        assert!(body.contains("server_requests_total 7"), "{body}");
+        assert_eq!(server.scrape_count(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dump_path_serves_recorder_and_slow_table_json() {
+        let (obs, _rec, _slow, sources) = sources_with_everything();
+        obs.emit(Level::Warn, "wire", "malformed_frame", |f| {
+            f.field("frame_len", 9u64);
+        });
+        obs.enter_span("server.submit_poa").finish();
+        let server = ScrapeServer::bind("127.0.0.1:0", sources).unwrap();
+        let (head, body) = http_get(server.local_addr(), "/dump");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        let parsed = Json::parse(&body).unwrap();
+        assert!(parsed.get("metrics").unwrap().get("counters").is_some());
+        let recorder = parsed.get("recorder").unwrap();
+        assert_eq!(
+            recorder
+                .get("spans")
+                .unwrap()
+                .at(0)
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str(),
+            Some("server.submit_poa")
+        );
+        assert!(parsed.get("slow_table").unwrap().get("slowest").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_typed_statuses() {
+        let obs = Obs::noop();
+        let server = ScrapeServer::bind("127.0.0.1:0", ScrapeSources::new(&obs)).unwrap();
+        let (head, _) = http_get(server.local_addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 405"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let obs = Obs::noop();
+        obs.counter("x").inc();
+        let server = ScrapeServer::bind("127.0.0.1:0", ScrapeSources::new(&obs)).unwrap();
+        let (head, body) = http_get(server.local_addr(), "/metrics?seed=1");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("x_total 1"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt() {
+        let obs = Obs::noop();
+        let server = ScrapeServer::bind("127.0.0.1:0", ScrapeSources::new(&obs)).unwrap();
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,348 @@
+//! Stage-level tail-latency attribution: per-request stage timing and
+//! a bounded slowest-N exemplar table.
+//!
+//! Aggregate latency histograms answer *how slow*; they cannot answer
+//! *where the time went* for the requests in the tail. This module adds
+//! the two missing pieces:
+//!
+//! * [`StageTimer`] — a tiny wall-clock stopwatch a request handler
+//!   drags through its pipeline, [`mark`](StageTimer::mark)ing the end
+//!   of each stage (decode → admission → handle → encode). Each mark
+//!   yields integer microseconds, so a per-stage histogram and the
+//!   per-request total reconcile *exactly*: the total recorded for a
+//!   request is the sum of its stage marks, not an independent
+//!   measurement racing the same clock.
+//! * [`SlowTable`] — a bounded table of the slowest N requests seen,
+//!   each entry carrying its full stage breakdown and (when tracing is
+//!   on) the trace/span ids needed to join the request against the
+//!   flight recorder's span chain. Exported as Prometheus gauges with
+//!   `rank`/`kind`/`stage` labels and as JSON for the scrape `/dump`.
+//!
+//! Both are std-only and lock-light: the timer is a plain value owned
+//! by one handler; the table takes one short mutex per *candidate*
+//! (and candidates are pre-filtered by a relaxed atomic threshold).
+
+use crate::export::{escape_label_value, sanitize_metric_name};
+use crate::json::{Json, ToJson};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A per-request stopwatch attributing wall time to named stages.
+///
+/// Stages are recorded in call order; the same name may be marked more
+/// than once (the exemplar keeps both entries; histogram writers will
+/// record two observations).
+#[derive(Debug)]
+pub struct StageTimer {
+    last: Instant,
+    stages: Vec<(&'static str, u64)>,
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        StageTimer::start()
+    }
+}
+
+impl StageTimer {
+    /// Starts the stopwatch at "now"; the first [`mark`](Self::mark)
+    /// measures from here.
+    pub fn start() -> StageTimer {
+        StageTimer {
+            last: Instant::now(),
+            stages: Vec::with_capacity(6),
+        }
+    }
+
+    /// Closes the current stage as `stage`, returning its duration in
+    /// microseconds, and starts timing the next one.
+    pub fn mark(&mut self, stage: &'static str) -> u64 {
+        let now = Instant::now();
+        let micros = now.duration_since(self.last).as_micros() as u64;
+        self.last = now;
+        self.stages.push((stage, micros));
+        micros
+    }
+
+    /// The stages marked so far, in order, with their microseconds.
+    pub fn stages(&self) -> &[(&'static str, u64)] {
+        &self.stages
+    }
+
+    /// Sum of all marked stages, microseconds. This — not an
+    /// independent clock read — is what belongs in a per-request total
+    /// histogram, so stage sums and totals reconcile exactly.
+    pub fn total_micros(&self) -> u64 {
+        self.stages.iter().map(|&(_, us)| us).sum()
+    }
+
+    /// Consumes the timer, yielding the marked stages.
+    pub fn into_stages(self) -> Vec<(&'static str, u64)> {
+        self.stages
+    }
+}
+
+/// One slow-request exemplar: the stage breakdown plus enough identity
+/// to find the request's span chain in a flight-recorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowExemplar {
+    /// What kind of work this was (e.g. the wire request kind).
+    pub kind: String,
+    /// Total attributed time (sum of `stages`), microseconds.
+    pub total_micros: u64,
+    /// Time spent waiting in an admission queue before the stages
+    /// started, microseconds (not part of `total_micros`).
+    pub queue_wait_micros: u64,
+    /// Per-stage breakdown, in pipeline order.
+    pub stages: Vec<(&'static str, u64)>,
+    /// Trace id, when the request was traced — joins this exemplar to
+    /// the span chain retained by the flight recorder.
+    pub trace_id: Option<u128>,
+    /// The request's own span id within that trace.
+    pub span_id: Option<u64>,
+}
+
+impl ToJson for SlowExemplar {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str(self.kind.clone())),
+            ("total_us", Json::Num(self.total_micros as f64)),
+            ("queue_wait_us", Json::Num(self.queue_wait_micros as f64)),
+            (
+                "stages",
+                Json::Obj(
+                    self.stages
+                        .iter()
+                        .map(|&(name, us)| (name.to_string(), Json::Num(us as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "trace_id",
+                match self.trace_id {
+                    Some(t) => Json::Str(format!("{t:032x}")),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "span_id",
+                match self.span_id {
+                    Some(s) => Json::Str(format!("{s:016x}")),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// A bounded table of the slowest requests observed, ordered slowest
+/// first.
+///
+/// Concurrent handlers [`offer`](SlowTable::offer) candidates; entries
+/// below the current floor are rejected with one relaxed atomic load,
+/// so the mutex is only contended by requests that actually belong in
+/// the tail.
+#[derive(Debug)]
+pub struct SlowTable {
+    capacity: usize,
+    /// Smallest total currently retained (0 while the table has room),
+    /// maintained as a fast-path filter.
+    floor_micros: AtomicU64,
+    entries: Mutex<Vec<SlowExemplar>>,
+    offered: AtomicU64,
+    admitted: AtomicU64,
+}
+
+impl SlowTable {
+    /// A table retaining the `capacity` slowest exemplars (clamped ≥ 1).
+    pub fn new(capacity: usize) -> SlowTable {
+        SlowTable {
+            capacity: capacity.max(1),
+            floor_micros: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+            offered: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Offers a candidate; it is kept only if it ranks among the
+    /// slowest `capacity` seen so far.
+    pub fn offer(&self, exemplar: SlowExemplar) {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        // Fast reject: full table and the candidate is under the floor.
+        // The floor only ever rises, so a stale read rejects *less*
+        // than it could — never a wrongly dropped tail entry.
+        if exemplar.total_micros < self.floor_micros.load(Ordering::Relaxed) {
+            return;
+        }
+        // Invariant: entries hold plain owned data; a poisoned lock
+        // still guards a structurally sound vector.
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let pos = entries.partition_point(|e| e.total_micros >= exemplar.total_micros);
+        if pos >= self.capacity {
+            return;
+        }
+        entries.insert(pos, exemplar);
+        entries.truncate(self.capacity);
+        if entries.len() == self.capacity {
+            self.floor_micros
+                .store(entries[entries.len() - 1].total_micros, Ordering::Relaxed);
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The retained exemplars, slowest first.
+    pub fn entries(&self) -> Vec<SlowExemplar> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Candidates offered since construction.
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Renders the table as Prometheus gauges: per-exemplar totals and
+    /// per-stage attributions under `metric`, labelled by `rank`
+    /// (0 = slowest), `kind`, and `stage` (`total` / `queue_wait` /
+    /// each pipeline stage), values in seconds.
+    pub fn prometheus_text(&self, metric: &str) -> String {
+        let prom = sanitize_metric_name(metric);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP {prom} Slowest-request exemplars (stage-attributed, seconds)."
+        );
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        for (rank, e) in self.entries().iter().enumerate() {
+            let kind = escape_label_value(&e.kind);
+            let mut line = |stage: &str, micros: u64| {
+                let _ = writeln!(
+                    out,
+                    "{prom}{{rank=\"{rank}\",kind=\"{kind}\",stage=\"{}\"}} {}",
+                    escape_label_value(stage),
+                    micros as f64 / 1e6
+                );
+            };
+            line("total", e.total_micros);
+            line("queue_wait", e.queue_wait_micros);
+            for &(stage, us) in &e.stages {
+                line(stage, us);
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for SlowTable {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "slowest",
+                Json::Arr(self.entries().iter().map(|e| e.to_json()).collect()),
+            ),
+            (
+                "offered",
+                Json::Num(self.offered.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "admitted",
+                Json::Num(self.admitted.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplar(kind: &str, total: u64) -> SlowExemplar {
+        SlowExemplar {
+            kind: kind.to_string(),
+            total_micros: total,
+            queue_wait_micros: 1,
+            stages: vec![("decode", total / 4), ("handle", total - total / 4)],
+            trace_id: Some(0xABCD),
+            span_id: Some(0x42),
+        }
+    }
+
+    #[test]
+    fn stage_timer_totals_are_the_sum_of_marks() {
+        let mut t = StageTimer::start();
+        let a = t.mark("decode");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = t.mark("handle");
+        assert!(b >= 1_000, "slept 2 ms but handle stage was {b} µs");
+        assert_eq!(t.total_micros(), a + b);
+        let names: Vec<_> = t.stages().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, vec!["decode", "handle"]);
+    }
+
+    #[test]
+    fn slow_table_keeps_the_slowest_in_order() {
+        let table = SlowTable::new(3);
+        for total in [5, 50, 10, 40, 30, 20] {
+            table.offer(exemplar("query_zones", total));
+        }
+        let totals: Vec<u64> = table.entries().iter().map(|e| e.total_micros).collect();
+        assert_eq!(totals, vec![50, 40, 30]);
+        assert_eq!(table.offered(), 6);
+    }
+
+    #[test]
+    fn slow_table_fast_path_rejects_below_floor() {
+        let table = SlowTable::new(2);
+        table.offer(exemplar("a", 100));
+        table.offer(exemplar("b", 200));
+        // Floor is now 100; this candidate never takes the lock slow
+        // path into the table.
+        table.offer(exemplar("c", 10));
+        assert_eq!(table.entries().len(), 2);
+        assert!(table.entries().iter().all(|e| e.total_micros >= 100));
+    }
+
+    #[test]
+    fn slow_table_renders_labelled_prometheus_gauges() {
+        let table = SlowTable::new(4);
+        table.offer(exemplar("submit_poa", 8_000));
+        let text = table.prometheus_text("server.slowest");
+        assert!(text.contains("# TYPE server_slowest gauge"), "{text}");
+        assert!(
+            text.contains("server_slowest{rank=\"0\",kind=\"submit_poa\",stage=\"total\"} 0.008"),
+            "{text}"
+        );
+        assert!(text.contains("stage=\"queue_wait\""), "{text}");
+        assert!(text.contains("stage=\"handle\""), "{text}");
+    }
+
+    #[test]
+    fn exemplar_json_carries_trace_identity_and_stages() {
+        let table = SlowTable::new(2);
+        table.offer(exemplar("accuse", 77));
+        let parsed = Json::parse(&table.to_json().to_pretty()).unwrap();
+        let first = parsed.get("slowest").unwrap().at(0).unwrap();
+        assert_eq!(first.get("kind").unwrap().as_str(), Some("accuse"));
+        assert_eq!(first.get("total_us").unwrap().as_u64(), Some(77));
+        assert_eq!(
+            first.get("trace_id").unwrap().as_str(),
+            Some("0000000000000000000000000000abcd")
+        );
+        assert!(first.get("stages").unwrap().get("handle").is_some());
+        assert_eq!(parsed.get("offered").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let table = SlowTable::new(0);
+        table.offer(exemplar("x", 1));
+        table.offer(exemplar("y", 2));
+        assert_eq!(table.entries().len(), 1);
+        assert_eq!(table.entries()[0].total_micros, 2);
+    }
+}

@@ -11,7 +11,17 @@
 //! Pass `--overload` for the overload-protection smoke instead: a
 //! burst at 4× worker capacity against a bounded admission queue,
 //! asserting typed-errors-only shedding and counter reconciliation.
+//!
+//! Either mode accepts `--scrape[=ADDR]` (default `127.0.0.1:0`) to
+//! mount a live introspection endpoint on the auditor server: while the
+//! run is in flight, `curl http://ADDR/metrics` returns the live
+//! Prometheus snapshot and `curl http://ADDR/dump` the JSON
+//! flight-recorder view. With the flag set, the overload smoke also
+//! scrapes itself once and asserts a known metric line — the
+//! scrape-endpoint smoke CI runs.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -33,19 +43,23 @@ use alidrone_tee::CostModel;
 /// handlers are artificially slowed, with a 2-slot admission queue.
 /// Every rejection must be a typed `Overloaded`/`Timeout`, and the
 /// server's shed counters must reconcile with what clients observed.
-fn overload_smoke() {
+fn overload_smoke(scrape: Option<SocketAddr>) {
     println!("== exp_tcp --overload: admission control under 4x load ==");
     let obs = Obs::noop();
     let auditor_key = RsaPrivateKey::generate(512, &mut XorShift64::seed_from_u64(0x7C9));
-    let server = Arc::new(
-        AuditorServer::builder(Auditor::new(AuditorConfig::default(), auditor_key))
-            .obs(&obs)
-            .workers(2)
-            .queue_cap(2)
-            .read_timeout(Duration::from_millis(100))
-            .handle_delay(|| Duration::from_millis(3))
-            .build(),
-    );
+    let mut builder = AuditorServer::builder(Auditor::new(AuditorConfig::default(), auditor_key))
+        .obs(&obs)
+        .workers(2)
+        .queue_cap(2)
+        .read_timeout(Duration::from_millis(100))
+        .handle_delay(|| Duration::from_millis(3));
+    if let Some(addr) = scrape {
+        builder = builder.scrape(addr);
+    }
+    let server = Arc::new(builder.build());
+    if let Some(addr) = server.scrape_addr() {
+        println!("scrape endpoint live: curl http://{addr}/metrics");
+    }
     let tcp = TcpServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind");
     let addr = tcp.local_addr();
 
@@ -75,6 +89,29 @@ fn overload_smoke() {
     for h in handles {
         h.join().expect("client thread");
     }
+
+    // Self-scrape while the campaign's counters are live: the CI
+    // scrape-endpoint smoke (start server, fetch /metrics, assert a
+    // known metric line).
+    if let Some(scrape_addr) = server.scrape_addr() {
+        let body = http_get(scrape_addr, "/metrics");
+        assert!(
+            body.contains("server_requests_total"),
+            "scrape missing server_requests_total:\n{body}"
+        );
+        assert!(
+            body.contains("server_stage_handle_bucket"),
+            "scrape missing per-stage histograms:\n{body}"
+        );
+        let shown: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("server_requests_total") || l.starts_with("server_shed"))
+            .collect();
+        println!("live scrape of {scrape_addr}:");
+        for line in shown {
+            println!("  {line}");
+        }
+    }
     tcp.shutdown();
 
     let [ok, overloaded, timeout] = *tallies.lock().expect("tally lock");
@@ -102,9 +139,42 @@ fn overload_smoke() {
     println!("\nexp_tcp --overload OK");
 }
 
+/// A minimal HTTP/1.0 GET, returning head + body as one string.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send scrape request");
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .expect("read scrape response");
+    raw
+}
+
+/// `--scrape` / `--scrape=ADDR` → the address to mount the live
+/// introspection endpoint on (bare flag picks an OS-assigned port).
+fn scrape_arg() -> Option<SocketAddr> {
+    for arg in std::env::args() {
+        if arg == "--scrape" {
+            return Some("127.0.0.1:0".parse().expect("loopback addr"));
+        }
+        if let Some(addr) = arg.strip_prefix("--scrape=") {
+            return Some(addr.parse().unwrap_or_else(|e| {
+                panic!("bad --scrape address {addr:?}: {e}");
+            }));
+        }
+    }
+    None
+}
+
 fn main() {
+    let scrape = scrape_arg();
     if std::env::args().any(|a| a == "--overload") {
-        overload_smoke();
+        overload_smoke(scrape);
         return;
     }
     let scenario = airport();
@@ -144,7 +214,10 @@ fn main() {
         WireMode::Tcp,
         auditor_key.clone(),
         &operator_key,
-        WireOptions::default(),
+        WireOptions {
+            scrape,
+            ..WireOptions::default()
+        },
     )
     .expect("tcp submission");
 
@@ -171,6 +244,7 @@ fn main() {
             max_backoff: Duration::from_millis(20),
             jitter_seed: 0x5EED,
         }),
+        scrape: None,
     };
     let retried = submit_run(
         &run,

@@ -43,6 +43,11 @@ pub struct WireOptions {
     pub drop_every: Option<u64>,
     /// Client retry policy; `None` keeps the legacy fail-fast client.
     pub retry: Option<RetryPolicy>,
+    /// Mount a live introspection endpoint on this address (see
+    /// [`AuditorServerBuilder::scrape`](alidrone_core::wire::server::AuditorServerBuilder::scrape)),
+    /// so the submission can be watched with `curl <addr>/metrics`
+    /// mid-flight.
+    pub scrape: Option<std::net::SocketAddr>,
 }
 
 /// What the wire phase produced.
@@ -101,16 +106,20 @@ pub fn submit_run(
     opts: WireOptions,
 ) -> Result<WireReport, ProtocolError> {
     let obs = run.obs.clone();
-    let server = Arc::new(
-        AuditorServer::builder(Auditor::with_obs(
-            AuditorConfig::default(),
-            auditor_key,
-            &obs,
-        ))
-        .obs(&obs)
-        .flight_recorder(run.recorder.clone())
-        .build(),
-    );
+    let mut builder = AuditorServer::builder(Auditor::with_obs(
+        AuditorConfig::default(),
+        auditor_key,
+        &obs,
+    ))
+    .obs(&obs)
+    .flight_recorder(run.recorder.clone());
+    if let Some(addr) = opts.scrape {
+        builder = builder.scrape(addr);
+    }
+    let server = Arc::new(builder.build());
+    if let Some(addr) = server.scrape_addr() {
+        println!("scrape endpoint live: curl http://{addr}/metrics");
+    }
 
     // The TCP listener must outlive the client calls; hold it here and
     // shut it down gracefully at the end.

@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use alidrone_core::sampling::{self};
-use alidrone_core::{run_flight_with_obs, FlightRecord, ProtocolError, SamplingStrategy};
+use alidrone_core::{run_flight_with_hook, FlightRecord, ProtocolError, SamplingStrategy};
 use alidrone_crypto::rsa::RsaPrivateKey;
+use alidrone_geo::Timestamp;
 use alidrone_gps::{SimClock, SimulatedReceiver};
 use alidrone_obs::{
     Event, Fanout, FlightRecorder, MetricsSnapshot, Obs, RingBuffer, SpanContext, SpanRecord,
@@ -37,6 +38,11 @@ const EVENT_CAPACITY: usize = 4096;
 /// Completed spans retained by the run's flight recorder (a 1 Hz
 /// fixed-rate flight completes ~1300 sample/sign spans; keep them all).
 const SPAN_CAPACITY: usize = 8192;
+
+/// Sim-time spacing between periodic metrics snapshots in
+/// [`ScenarioRun::timeline`]. Sixty sim-seconds keeps even a multi-hour
+/// soak's timeline small while still resolving rate changes.
+const TIMELINE_INTERVAL_SECS: f64 = 60.0;
 
 /// The output of one scenario execution.
 #[derive(Debug, Clone)]
@@ -73,12 +79,38 @@ pub struct ScenarioRun {
     /// into the same trace via
     /// [`AuditorClient::set_trace_parent`](alidrone_core::wire::transport::AuditorClient::set_trace_parent).
     pub flight_span: Option<SpanContext>,
+    /// Periodic metrics snapshots taken on *sim* time (one roughly
+    /// every `TIMELINE_INTERVAL_SECS` of flight, starting at the
+    /// first step). Unlike the single end-of-run [`metrics`] total,
+    /// consecutive deltas here show rate-over-time across a long soak;
+    /// see [`ScenarioRun::counter_timeline`].
+    ///
+    /// [`metrics`]: ScenarioRun::metrics
+    pub timeline: Vec<(Timestamp, MetricsSnapshot)>,
 }
 
 impl ScenarioRun {
     /// Authenticated samples recorded.
     pub fn sample_count(&self) -> usize {
         self.record.sample_count()
+    }
+
+    /// Per-interval deltas of counter `name` across the run: each entry
+    /// is `(interval_end_time, increment_since_previous_snapshot)`,
+    /// closed by a final interval from the last periodic snapshot to the
+    /// end-of-run [`metrics`](ScenarioRun::metrics) total. Summing the
+    /// deltas reproduces the final counter value exactly.
+    pub fn counter_timeline(&self, name: &str) -> Vec<(Timestamp, u64)> {
+        let mut out = Vec::with_capacity(self.timeline.len() + 1);
+        let mut prev = 0u64;
+        for (t, snap) in &self.timeline {
+            let v = snap.counter(name);
+            out.push((*t, v.saturating_sub(prev)));
+            prev = v;
+        }
+        let end = self.record.window_end;
+        out.push((end, self.metrics.counter(name).saturating_sub(prev)));
+        out
     }
 }
 
@@ -136,7 +168,10 @@ pub fn run_scenario(
     // post-flight submission spans to it via `flight_span`.
     let flight_root = obs.enter_span("flight");
     let flight_span = flight_root.context().copied();
-    let record = run_flight_with_obs(
+    // Periodic snapshots on sim time: a soak's rate-over-time series,
+    // not just end-of-run totals.
+    let mut timeline: Vec<(Timestamp, MetricsSnapshot)> = Vec::new();
+    let record = run_flight_with_hook(
         &clock,
         receiver.as_ref(),
         &session,
@@ -144,6 +179,14 @@ pub fn run_scenario(
         strategy,
         scenario.duration,
         &obs,
+        &mut |t| {
+            let due = timeline
+                .last()
+                .is_none_or(|(last, _)| t.secs() - last.secs() >= TIMELINE_INTERVAL_SECS);
+            if due {
+                timeline.push((t, obs.snapshot()));
+            }
+        },
     );
     flight_root.finish();
     let record = record?;
@@ -165,6 +208,7 @@ pub fn run_scenario(
         spans: recorder.spans(),
         recorder,
         flight_span,
+        timeline,
     })
 }
 
@@ -341,6 +385,41 @@ mod tests {
             assert!(ev.field("d2_m").unwrap().as_f64().is_some());
             assert!(ev.time.secs() >= 0.0 && ev.time.secs() <= s.duration.secs());
         }
+    }
+
+    #[test]
+    fn timeline_snapshots_resolve_rate_over_time() {
+        let s = airport();
+        let run = run_scenario(
+            &s,
+            SamplingStrategy::FixedRate(1.0),
+            experiment_key(),
+            CostModel::raspberry_pi_3(),
+        )
+        .unwrap();
+        // One snapshot per TIMELINE_INTERVAL_SECS of sim time, plus the
+        // initial one at the first step.
+        let expected = (s.duration.secs() / TIMELINE_INTERVAL_SECS) as usize + 1;
+        assert_eq!(
+            run.timeline.len(),
+            expected,
+            "duration {}",
+            s.duration.secs()
+        );
+        // Snapshots are stamped in sim time, strictly increasing, and
+        // counters are monotone across them.
+        for pair in run.timeline.windows(2) {
+            assert!(pair[1].0.secs() > pair[0].0.secs());
+            assert!(pair[1].1.counter("tee.signatures") >= pair[0].1.counter("tee.signatures"));
+        }
+        // Deltas reconstruct the end-of-run total exactly — the whole
+        // point: a soak's rate-over-time, not just its total.
+        let deltas = run.counter_timeline("tee.signatures");
+        let total: u64 = deltas.iter().map(|&(_, d)| d).sum();
+        assert_eq!(total, run.metrics.counter("tee.signatures"));
+        // A steady 1 Hz flight signs in every interval, so interior
+        // deltas are non-zero.
+        assert!(deltas[1..deltas.len() - 1].iter().all(|&(_, d)| d > 0));
     }
 
     #[test]

@@ -21,8 +21,15 @@
 //!    behind a slow worker is shed *before* verification: the client
 //!    sees `Timeout`, and the server records the shed without ever
 //!    running `submit_poa`.
+//! 5. **Live introspection** — every overload run mounts the scrape
+//!    endpoint; `GET /metrics` mid-flight must return valid Prometheus
+//!    text with per-stage histograms, and once the run quiesces the
+//!    per-stage `_sum`s must reconcile exactly with the per-request
+//!    latency totals.
 
 use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -70,12 +77,153 @@ enum Outcome {
 
 // ------------------------------------------------------- 1. 4× sweep
 
+/// A minimal HTTP/1.0 GET against the scrape endpoint, returning the
+/// response body (everything past the blank line).
+fn http_get_body(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send scrape request");
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .expect("read scrape response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http head/body split");
+    assert!(head.starts_with("HTTP/1.0 200"), "scrape failed: {head}");
+    body.to_string()
+}
+
+/// The server's request pipeline stages, as exported to Prometheus.
+const PIPELINE_STAGES: [&str; 4] = ["decode", "admission", "handle", "encode"];
+
+/// The value of an unlabelled sample line, if present.
+fn metric_value(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|line| {
+        let (metric, value) = line.rsplit_once(' ')?;
+        if metric == name {
+            value.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Structural validation of the exposition format: every line is a
+/// `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample whose
+/// name stays in the identifier charset and whose value parses as a
+/// number — and the per-stage histograms must be present.
+fn assert_valid_prometheus(body: &str, seed: u64) {
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "seed {seed}: unknown comment {line:?}"
+            );
+            continue;
+        }
+        let (metric, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("seed {seed}: sample without value: {line:?}"));
+        let name_end = metric.find('{').unwrap_or(metric.len());
+        let name = &metric[..name_end];
+        assert!(
+            !name.is_empty()
+                && !name.starts_with(|c: char| c.is_ascii_digit())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "seed {seed}: bad metric name in {line:?}"
+        );
+        if name_end < metric.len() {
+            assert!(
+                metric.ends_with('}'),
+                "seed {seed}: unterminated labels in {line:?}"
+            );
+        }
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "seed {seed}: non-numeric value in {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "seed {seed}: empty scrape");
+    for stage in PIPELINE_STAGES {
+        assert!(
+            body.contains(&format!("server_stage_{stage}_bucket{{le=")),
+            "seed {seed}: missing per-stage histogram for {stage:?}"
+        );
+    }
+}
+
+/// On a quiescent server, every executed request contributed the same
+/// microseconds to each stage histogram as to its per-kind latency
+/// histogram — so the scraped `_sum`s and `_count`s must reconcile.
+fn assert_stage_sums_reconcile(body: &str, seed: u64) {
+    let latency_lines = |suffix: &str| -> Vec<f64> {
+        body.lines()
+            .filter_map(|line| {
+                let (metric, value) = line.rsplit_once(' ')?;
+                (metric.starts_with("server_latency_") && metric.ends_with(suffix))
+                    .then(|| value.parse::<f64>().expect("numeric sample"))
+            })
+            .collect()
+    };
+    let latency_sum: f64 = latency_lines("_sum").iter().sum();
+    let latency_count: f64 = latency_lines("_count").iter().sum();
+
+    for stage in PIPELINE_STAGES {
+        let count = metric_value(body, &format!("server_stage_{stage}_count"))
+            .unwrap_or_else(|| panic!("seed {seed}: no count for stage {stage:?}"));
+        assert_eq!(
+            count, latency_count,
+            "seed {seed}: stage {stage:?} count diverges from executed requests"
+        );
+    }
+    let stage_sum: f64 = PIPELINE_STAGES
+        .iter()
+        .map(|stage| {
+            metric_value(body, &format!("server_stage_{stage}_sum"))
+                .unwrap_or_else(|| panic!("seed {seed}: no sum for stage {stage:?}"))
+        })
+        .sum();
+    // The underlying microsecond totals are equal integers; only the
+    // µs → s float conversion leaves room for rounding.
+    assert!(
+        (stage_sum - latency_sum).abs() <= 1e-9 + latency_sum * 1e-12,
+        "seed {seed}: stage sums {stage_sum} do not reconcile with latency totals {latency_sum}"
+    );
+    // Queue wait is measured per executed request too, but outside the
+    // latency total (it precedes the pipeline).
+    assert_eq!(
+        metric_value(body, "server_stage_queue_wait_count"),
+        Some(latency_count),
+        "seed {seed}: queue-wait count diverges from executed requests"
+    );
+}
+
+/// What one overload run produced: per-call client outcomes, server
+/// counters, and two live `/metrics` scrapes (one mid-flight, one
+/// after the clients quiesced).
+struct OverloadRun {
+    results: Vec<(Outcome, Duration)>,
+    counters: HashMap<&'static str, u64>,
+    midflight_metrics: String,
+    quiesced_metrics: String,
+}
+
 /// One overload run: `threads` clients (each making `calls` sequential
 /// register-zone calls over a fresh connection per call) against a
 /// server with `workers` workers and a bounded admission queue.
 /// Returns per-call (outcome, wall latency) plus the server's obs
 /// snapshot counters.
-fn overload_run(seed: u64) -> (Vec<(Outcome, Duration)>, HashMap<&'static str, u64>) {
+fn overload_run(seed: u64) -> OverloadRun {
     const WORKERS: usize = 2;
     const THREADS: usize = 8; // 4× worker capacity
     const CALLS_PER_THREAD: usize = 3;
@@ -90,8 +238,10 @@ fn overload_run(seed: u64) -> (Vec<(Outcome, Duration)>, HashMap<&'static str, u
             .queue_cap(WORKERS)
             .read_timeout(Duration::from_millis(100))
             .handle_delay(plane.delay_hook("server.slow", 0.75, Duration::from_millis(3)))
+            .scrape("127.0.0.1:0".parse().expect("loopback addr"))
             .build(),
     );
+    let scrape_addr = server.scrape_addr().expect("scrape endpoint bound");
     let tcp = TcpServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind");
     let addr = tcp.local_addr();
 
@@ -123,9 +273,15 @@ fn overload_run(seed: u64) -> (Vec<(Outcome, Duration)>, HashMap<&'static str, u
             })
         })
         .collect();
+    // Live scrape while the client threads are still hammering: the
+    // endpoint must answer without perturbing the campaign.
+    let midflight_metrics = http_get_body(scrape_addr, "/metrics");
     for h in handles {
         h.join().expect("client thread");
     }
+    // All clients joined and the queue drained, so this scrape is a
+    // quiescent cut: stage sums can reconcile exactly.
+    let quiesced_metrics = http_get_body(scrape_addr, "/metrics");
     tcp.shutdown();
 
     let snap = obs.snapshot();
@@ -142,7 +298,12 @@ fn overload_run(seed: u64) -> (Vec<(Outcome, Duration)>, HashMap<&'static str, u
         .expect("all threads joined")
         .into_inner()
         .unwrap();
-    (results, counters)
+    OverloadRun {
+        results,
+        counters,
+        midflight_metrics,
+        quiesced_metrics,
+    }
 }
 
 #[test]
@@ -153,8 +314,16 @@ fn four_x_overload_sheds_typed_errors_only_and_counters_reconcile() {
     let mut accepted_latencies: Vec<Duration> = Vec::new();
 
     for seed in 0..SEEDS {
-        let (results, counters) = overload_run(seed);
+        let run = overload_run(seed);
+        let (results, counters) = (run.results, run.counters);
         assert_eq!(results.len(), 24, "seed {seed}: lost calls");
+
+        // Live introspection rides the campaign: the mid-flight scrape
+        // must already be well-formed, and the quiescent scrape's
+        // per-stage sums must reconcile with the latency totals.
+        assert_valid_prometheus(&run.midflight_metrics, seed);
+        assert_valid_prometheus(&run.quiesced_metrics, seed);
+        assert_stage_sums_reconcile(&run.quiesced_metrics, seed);
 
         let count = |o: Outcome| results.iter().filter(|(r, _)| *r == o).count() as u64;
         // Typed errors only: every call resolved to Ok, Overloaded or

@@ -61,6 +61,7 @@ fn tcp_submission_matches_in_process_and_stitches_one_trace_per_request() {
                 max_backoff: Duration::from_millis(5),
                 jitter_seed: 0x5EED,
             }),
+            scrape: None,
         },
     )
     .expect("tcp submission");
