@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload scrape-smoke bench-json bench-diff
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload scrape-smoke soak-smoke bench-json bench-diff
 
-check: fmt clippy doc test trace-smoke tcp-smoke chaos overload
+check: fmt clippy doc test trace-smoke tcp-smoke chaos overload soak-smoke
 
 fmt:
 	$(CARGO) fmt --all -- --check
@@ -51,6 +51,14 @@ overload:
 # mounted; the binary fetches its own /metrics and asserts on it.
 scrape-smoke:
 	$(CARGO) run -p alidrone-sim --release --offline --bin exp_tcp -- --overload --scrape
+
+# Fleet soak smoke (~200 drones, two seeded runs, well under a minute):
+# staged load against the TCP auditor with SLO verdicts judged from
+# scraped windows. Asserts the chaos phase breaches, healthy phases
+# pass, verdicts are identical across both runs, and the written
+# target/SOAK_report.json machine-checks after a disk round trip.
+soak-smoke:
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_soak -- --smoke --out target/SOAK_report.json
 
 # Regenerate the persistent perf baseline (BENCH_poa.json at the repo
 # root). BENCH_POA_SAMPLES trades precision for wall time.

@@ -277,6 +277,25 @@ fn run_cases(samples: usize) -> Vec<BenchCase> {
         b.iter(|| prometheus_text(&snap));
     });
 
+    // --- The same exporter at fleet-soak registry scale: the
+    // per-drone label series a capped interner admits (plus server
+    // counters) put a soak's scrape at thousands of families, and the
+    // sampler pays this render every period.
+    run("prometheus_export_soak", &mut |b| {
+        let obs = Obs::noop();
+        for i in 0..2048u64 {
+            obs.counter(&format!("fleet.drone.d{i}.ops")).add(i);
+        }
+        for i in 0..64u64 {
+            let h = obs.histogram(&format!("server.latency.kind_{i}"));
+            for j in 0..100u64 {
+                h.record_micros(j * 37 + i);
+            }
+        }
+        let snap = obs.snapshot();
+        b.iter(|| prometheus_text(&snap));
+    });
+
     cases
 }
 

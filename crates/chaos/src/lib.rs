@@ -184,6 +184,41 @@ impl FaultPlane {
             backend,
         }
     }
+
+    /// A stateless membership test selecting roughly `fraction` of any
+    /// id space, keyed by `name`.
+    ///
+    /// Fleet campaigns use this to pick cohorts ("7% of drones fly with
+    /// degraded GPS") without materialising the fleet: membership is a
+    /// pure function of `(seed, name, id)`, so every worker thread
+    /// agrees on who is in the cohort and replays agree across runs.
+    pub fn cohort(&self, name: &str, fraction: f64) -> Cohort {
+        Cohort {
+            key: self.key(name),
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A deterministic fractional subset of an id space (see
+/// [`FaultPlane::cohort`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Cohort {
+    key: u64,
+    fraction: f64,
+}
+
+impl Cohort {
+    /// Whether `id` is in the cohort. Pure: no draws are consumed, so
+    /// calling this in any order from any thread is replay-safe.
+    pub fn contains(&self, id: u64) -> bool {
+        unit(mix(self.key, id)) < self.fraction
+    }
+
+    /// The selected fraction (clamped to `[0, 1]`).
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
 }
 
 // --------------------------------------------------------- FaultStream
@@ -257,8 +292,11 @@ pub struct FaultyTransport<T> {
     /// Latency draws use a stream of their own (`<name>.delay`), so
     /// enabling latency never perturbs the drop/corrupt schedule.
     delay_stream: FaultStream,
+    /// Request-corruption draws likewise own `<name>.corrupt_req`.
+    corrupt_req_stream: FaultStream,
     drop_p: f64,
     corrupt_p: f64,
+    corrupt_req_p: f64,
     delay_p: f64,
     delay: Duration,
 }
@@ -271,8 +309,10 @@ impl<T: Transport> FaultyTransport<T> {
             inner,
             stream: plane.stream(name),
             delay_stream: plane.stream(&format!("{name}.delay")),
+            corrupt_req_stream: plane.stream(&format!("{name}.corrupt_req")),
             drop_p: 0.0,
             corrupt_p: 0.0,
+            corrupt_req_p: 0.0,
             delay_p: 0.0,
             delay: Duration::ZERO,
         }
@@ -287,6 +327,21 @@ impl<T: Transport> FaultyTransport<T> {
     /// Corrupts each response with probability `p`.
     pub fn corrupt_with(mut self, p: f64) -> Self {
         self.corrupt_p = p;
+        self
+    }
+
+    /// Corrupts each *request* with probability `p`: one byte at a
+    /// schedule-chosen offset is XOR-flipped before the frame reaches
+    /// the wire.
+    ///
+    /// Response corruption (the [`corrupt_with`](Self::corrupt_with)
+    /// fault) is invisible to the server; request corruption is the
+    /// fault that makes the *server's* error counters move — the shape
+    /// a soak needs when its SLOs are judged from scraped server
+    /// metrics. Draws come from a dedicated `<name>.corrupt_req`
+    /// stream, so enabling this never perturbs existing schedules.
+    pub fn corrupt_requests_with(mut self, p: f64) -> Self {
+        self.corrupt_req_p = p;
         self
     }
 
@@ -319,6 +374,19 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         if dropped {
             return Err(ProtocolError::Transport("chaos: request lost".into()));
         }
+        let mangled;
+        let request = if self.corrupt_req_p > 0.0
+            && self.corrupt_req_stream.chance(self.corrupt_req_p)
+            && !request.is_empty()
+        {
+            let at = self.corrupt_req_stream.below(request.len() as u64) as usize;
+            let mut copy = request.to_vec();
+            copy[at] ^= 0x55;
+            mangled = copy;
+            &mangled[..]
+        } else {
+            request
+        };
         let mut resp = self.inner.call(request, now)?;
         if corrupted {
             if let Some(b) = resp.get_mut(0) {
@@ -617,6 +685,65 @@ mod tests {
                 .collect()
         };
         assert_eq!(drops(false), drops(true));
+    }
+
+    #[test]
+    fn cohorts_are_stateless_proportional_and_replayable() {
+        let plane = FaultPlane::new(5);
+        let cohort = plane.cohort("gps_dropout", 0.25);
+        let members: Vec<u64> = (0..10_000).filter(|&id| cohort.contains(id)).collect();
+        let frac = members.len() as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "selected {frac}");
+        // Membership is a pure function of (seed, name, id): a fresh
+        // plane agrees exactly, in any evaluation order.
+        let again = FaultPlane::new(5).cohort("gps_dropout", 0.25);
+        assert!((0..10_000)
+            .rev()
+            .all(|id| again.contains(id) == cohort.contains(id)));
+        // A different name keys a different subset.
+        let other = plane.cohort("swarm_burst", 0.25);
+        assert!((0..10_000).any(|id| cohort.contains(id) != other.contains(id)));
+        // Extremes select nobody / everybody.
+        assert!((0..100).all(|id| !plane.cohort("none", 0.0).contains(id)));
+        assert!((0..100).all(|id| plane.cohort("all", 1.0).contains(id)));
+    }
+
+    #[test]
+    fn request_corruption_is_server_visible_and_replayable() {
+        // Unlike response corruption (a client-side fault the server
+        // never sees), corrupted requests must move the *server's*
+        // error counters — that is what a soak's scraped SLOs judge.
+        let run = |seed: u64| -> (u64, u64, u64) {
+            let obs = alidrone_obs::Obs::noop();
+            let auditor = Auditor::with_obs(AuditorConfig::default(), key(), &obs);
+            let plane = FaultPlane::new(seed);
+            let transport = FaultyTransport::new(
+                InProcess::with_obs(AuditorServer::builder(auditor).obs(&obs).build(), &obs),
+                &plane,
+                "fleet",
+            )
+            .corrupt_requests_with(0.5);
+            // A health check frame is one tag byte, so every corrupted
+            // frame is guaranteed to fail decode on the server.
+            let req = alidrone_core::wire::Request::HealthCheck;
+            for i in 0..40 {
+                // The server answers malformed frames with typed error
+                // responses, so the call itself never fails.
+                transport
+                    .call(&req.to_bytes(), Timestamp::from_secs(f64::from(i)))
+                    .expect("corruption must not drop the call");
+            }
+            let snap = obs.snapshot();
+            (
+                snap.counter("server.requests"),
+                snap.counter("server.malformed_frames"),
+                snap.counter("server.errors.malformed"),
+            )
+        };
+        let (requests, malformed, errors) = run(77);
+        assert_eq!(requests, 40, "every frame reaches the server");
+        assert!(malformed > 0, "some corrupted frames must fail decode");
+        assert_eq!((requests, malformed, errors), run(77), "seed must replay");
     }
 
     #[test]

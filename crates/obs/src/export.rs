@@ -16,7 +16,7 @@
 
 use crate::event::Event;
 use crate::json::{Json, ToJson};
-use crate::metrics::{bucket_upper_micros, MetricsSnapshot};
+use crate::metrics::{bucket_upper_micros, HistogramSnapshot, MetricsSnapshot};
 use crate::span::SpanRecord;
 use std::fmt::Write as _;
 
@@ -135,6 +135,99 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{prom}_count {}", h.count);
     }
     out
+}
+
+/// Parses text in the subset of the Prometheus exposition format that
+/// [`prometheus_text`] emits back into a [`MetricsSnapshot`].
+///
+/// This is what lets a soak sampler treat a live `/metrics` endpoint as
+/// its snapshot source: scrape, parse, feed the
+/// [`SnapshotRing`](crate::timeseries::SnapshotRing). Families are
+/// classified by their `# TYPE` lines; counters drop the conventional
+/// `_total` suffix, histograms are decumulated from their `_bucket`
+/// samples and rebuilt via
+/// [`HistogramSnapshot::from_buckets`](crate::metrics::HistogramSnapshot::from_buckets)
+/// (`_sum` seconds → microseconds; `_count` is implied by the `+Inf`
+/// bucket). Keys come back *sanitised* (`server.requests` scrapes as
+/// `server_requests`), so rules evaluated over scraped snapshots must
+/// use sanitised names. Unrecognised lines and labelled samples other
+/// than `_bucket` are skipped.
+pub fn parse_prometheus_text(text: &str) -> MetricsSnapshot {
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct HistAcc {
+        cumulative: Vec<f64>,
+        sum_secs: f64,
+    }
+
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((family, kind)) = rest.split_once(' ') {
+                types.insert(family, kind.trim());
+            }
+        }
+    }
+
+    let mut snapshot = MetricsSnapshot::default();
+    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name_and_labels, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (base, labelled) = match name_and_labels.split_once('{') {
+            Some((base, _)) => (base, true),
+            None => (name_and_labels, false),
+        };
+        match types.get(base).copied() {
+            Some("counter") if !labelled => {
+                let key = base.strip_suffix("_total").unwrap_or(base);
+                snapshot.counters.insert(key.to_string(), value as u64);
+            }
+            Some("gauge") if !labelled => {
+                snapshot.gauges.insert(base.to_string(), value as i64);
+            }
+            _ => {
+                // Histogram samples carry suffixes, so `base` is not a
+                // family name; resolve against the family's TYPE line.
+                let (family, part) = match base.rsplit_once('_') {
+                    Some(pair) => pair,
+                    None => continue,
+                };
+                if types.get(family).copied() != Some("histogram") {
+                    continue;
+                }
+                let acc = hists.entry(family.to_string()).or_default();
+                match part {
+                    "bucket" if labelled => acc.cumulative.push(value),
+                    "sum" if !labelled => acc.sum_secs = value,
+                    // `_count` equals the +Inf bucket — implied.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    for (family, acc) in hists {
+        let mut buckets = Vec::with_capacity(acc.cumulative.len());
+        let mut prev = 0.0;
+        for cum in acc.cumulative {
+            buckets.push((cum - prev).max(0.0).round() as u64);
+            prev = cum;
+        }
+        let sum_micros = (acc.sum_secs * 1e6).round() as u64;
+        snapshot
+            .histograms
+            .insert(family, HistogramSnapshot::from_buckets(buckets, sum_micros));
+    }
+    snapshot
 }
 
 /// Maps a registry name onto the Prometheus identifier charset
@@ -335,6 +428,52 @@ mod tests {
             families.len(),
             snapshot.counters.len() + snapshot.gauges.len() + 3 * snapshot.histograms.len()
         );
+    }
+
+    #[test]
+    fn parse_prometheus_text_round_trips_a_scrape() {
+        let obs = Obs::noop();
+        obs.counter("server.requests").add(12345);
+        obs.counter("server.shed.queue_full").add(7);
+        obs.gauge("server.inflight").set(-3);
+        obs.gauge("slo.healthy.availability").set(1);
+        let h = obs.histogram("server.latency.submit_poa");
+        h.record(Duration::from_millis(1.0));
+        h.record(Duration::from_millis(1.0));
+        h.record(Duration::from_millis(250.0));
+        let original = obs.snapshot();
+
+        let parsed = parse_prometheus_text(&prometheus_text(&original));
+
+        // Keys come back sanitised; values come back exact.
+        assert_eq!(parsed.counter("server_requests"), 12345);
+        assert_eq!(parsed.counter("server_shed_queue_full"), 7);
+        assert_eq!(parsed.gauges["server_inflight"], -3);
+        assert_eq!(parsed.gauges["slo_healthy_availability"], 1);
+        let orig_h = original.histogram("server.latency.submit_poa").unwrap();
+        let parsed_h = parsed.histogram("server_latency_submit_poa").unwrap();
+        assert_eq!(parsed_h.buckets, orig_h.buckets);
+        assert_eq!(parsed_h.count, orig_h.count);
+        assert_eq!(parsed_h.sum_micros, orig_h.sum_micros);
+        assert_eq!(parsed_h.p99_micros, orig_h.p99_micros);
+
+        // A second round trip is a fixed point.
+        let again = parse_prometheus_text(&prometheus_text(&parsed));
+        assert_eq!(again, parsed);
+    }
+
+    #[test]
+    fn parse_prometheus_text_skips_junk_lines() {
+        let text = "# HELP x_total Counter `x`.\n\
+                    # TYPE x_total counter\n\
+                    x_total 5\n\
+                    not a sample line at all\n\
+                    unknown_family 9\n\
+                    x_total{shard=\"1\"} 3\n";
+        let parsed = parse_prometheus_text(text);
+        assert_eq!(parsed.counter("x"), 5);
+        assert_eq!(parsed.counters.len(), 1);
+        assert!(parsed.gauges.is_empty() && parsed.histograms.is_empty());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Capped label interning for high-cardinality metric paths.
+//!
+//! A fleet soak wants per-drone series (`fleet.drone.<id>.ops`), but an
+//! unbounded fleet must not be able to grow the registry without bound:
+//! a million drones would mean a million counter families and an OOM'd
+//! scrape. [`LabelInterner`] caps the distinct labels it will hand out;
+//! once full, every unseen label folds into one shared `other` series
+//! and bumps `obs.labels_dropped`, so cardinality stays bounded while
+//! the total across series stays exact.
+
+use crate::metrics::Counter;
+use crate::Obs;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The label unseen keys collapse into once the interner is full.
+pub const OVERFLOW_LABEL: &str = "other";
+
+/// Counter bumped once per intern call that had to fold into
+/// [`OVERFLOW_LABEL`].
+pub const LABELS_DROPPED: &str = "obs.labels_dropped";
+
+/// A bounded map from label keys to shared label strings.
+///
+/// Thread-safe and cheap to clone the returned `Arc<str>`s; the mutex
+/// guards only the map, never the metric updates made with the interned
+/// label.
+#[derive(Debug)]
+pub struct LabelInterner {
+    cap: usize,
+    dropped: Arc<Counter>,
+    other: Arc<str>,
+    map: Mutex<BTreeMap<String, Arc<str>>>,
+}
+
+impl LabelInterner {
+    /// An interner admitting at most `cap` distinct labels (the
+    /// overflow label is extra and always available).
+    pub fn new(obs: &Obs, cap: usize) -> LabelInterner {
+        LabelInterner {
+            cap,
+            dropped: obs.counter(LABELS_DROPPED),
+            other: Arc::from(OVERFLOW_LABEL),
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The interned form of `label`: the label itself while capacity
+    /// remains (or it is already known), otherwise [`OVERFLOW_LABEL`]
+    /// with [`LABELS_DROPPED`] incremented.
+    pub fn intern(&self, label: &str) -> Arc<str> {
+        if label == OVERFLOW_LABEL {
+            return Arc::clone(&self.other);
+        }
+        let mut map = self.map.lock().unwrap();
+        if let Some(found) = map.get(label) {
+            return Arc::clone(found);
+        }
+        if map.len() < self.cap {
+            let interned: Arc<str> = Arc::from(label);
+            map.insert(label.to_string(), Arc::clone(&interned));
+            return interned;
+        }
+        drop(map);
+        self.dropped.inc();
+        Arc::clone(&self.other)
+    }
+
+    /// Distinct labels admitted so far (excluding the overflow label).
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// `true` when no label has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// How many intern calls folded into the overflow label.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn admits_up_to_cap_then_folds_into_other() {
+        let obs = Obs::noop();
+        let interner = LabelInterner::new(&obs, 2);
+        assert_eq!(&*interner.intern("a"), "a");
+        assert_eq!(&*interner.intern("b"), "b");
+        assert_eq!(&*interner.intern("c"), OVERFLOW_LABEL);
+        assert_eq!(&*interner.intern("a"), "a"); // known survives overflow
+        assert_eq!(&*interner.intern("c"), OVERFLOW_LABEL);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.dropped(), 2);
+        assert_eq!(obs.snapshot().counter(LABELS_DROPPED), 2);
+    }
+
+    #[test]
+    fn interning_other_never_counts_as_a_drop() {
+        let obs = Obs::noop();
+        let interner = LabelInterner::new(&obs, 1);
+        assert_eq!(&*interner.intern(OVERFLOW_LABEL), OVERFLOW_LABEL);
+        assert_eq!(interner.dropped(), 0);
+        assert_eq!(interner.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_interning_stays_within_cap() {
+        let obs = Obs::noop();
+        let interner = Arc::new(LabelInterner::new(&obs, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let interner = Arc::clone(&interner);
+                thread::spawn(move || {
+                    for i in 0..64 {
+                        let _ = interner.intern(&format!("drone-{}", t * 64 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(interner.len(), 8);
+        // Everything beyond the cap folded — exactly 256 − 8 drops.
+        assert_eq!(interner.dropped(), 256 - 8);
+    }
+}

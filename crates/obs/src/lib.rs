@@ -57,21 +57,29 @@ pub mod clock;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod labels;
 pub mod metrics;
 pub mod recorder;
 pub mod scrape;
+pub mod slo;
 mod span;
 pub mod stage;
+pub mod timeseries;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use event::{Event, Fanout, FieldSet, Level, RingBuffer, Subscriber, Value};
-pub use export::{chrome_trace, escape_label_value, prometheus_text, sanitize_metric_name};
+pub use export::{
+    chrome_trace, escape_label_value, parse_prometheus_text, prometheus_text, sanitize_metric_name,
+};
 pub use json::{Json, JsonError, ToJson};
+pub use labels::LabelInterner;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use recorder::{FlightRecorder, RecorderDump};
 pub use scrape::{ScrapeServer, ScrapeSources};
+pub use slo::{Slo, SloEngine, SloEvent, SloEventKind, SloRule, SloStatus};
 pub use span::{Span, SpanContext, SpanRecord};
 pub use stage::{SlowExemplar, SlowTable, StageTimer};
+pub use timeseries::{CounterReconciliation, SeriesWindow, SnapshotRing};
 
 use alidrone_crypto::rng::{Rng, XorShift64};
 use alidrone_geo::Timestamp;

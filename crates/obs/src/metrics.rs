@@ -208,6 +208,40 @@ impl HistogramSnapshot {
             self.sum_micros as f64 / self.count as f64 / 1_000.0
         }
     }
+
+    /// Rebuilds a snapshot from raw per-bucket counts and a sum: the
+    /// count is the bucket total and the quantiles are re-estimated
+    /// with the same interpolation [`Histogram::snapshot`] uses.
+    /// Exporters that parse the exposition format back (the soak
+    /// sampler) and window-delta derivation both go through here so
+    /// every snapshot's quantiles mean the same thing.
+    pub fn from_buckets(buckets: Vec<u64>, sum_micros: u64) -> HistogramSnapshot {
+        let count: u64 = buckets.iter().sum();
+        let q = |p: f64| estimate_quantile(&buckets, count, p);
+        HistogramSnapshot {
+            count,
+            sum_micros,
+            p50_micros: q(0.50),
+            p95_micros: q(0.95),
+            p99_micros: q(0.99),
+            buckets,
+        }
+    }
+
+    /// The distribution observed *between* `earlier` and `self`:
+    /// bucket-wise and sum-wise saturating subtraction, with the window
+    /// quantiles re-estimated from the bucket deltas. This is what
+    /// turns two cumulative scrapes into a per-window latency
+    /// distribution.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        HistogramSnapshot::from_buckets(buckets, self.sum_micros.saturating_sub(earlier.sum_micros))
+    }
 }
 
 impl ToJson for HistogramSnapshot {
@@ -509,6 +543,40 @@ mod tests {
         // Huge values clamp into the final +Inf bucket instead of
         // indexing out of range.
         assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn delta_since_yields_the_window_distribution() {
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1.0));
+        }
+        let first = h.snapshot();
+        for _ in 0..5 {
+            h.record(Duration::from_millis(100.0));
+        }
+        let second = h.snapshot();
+        let window = second.delta_since(&first);
+        assert_eq!(window.count, 5);
+        assert_eq!(window.sum_micros, 500_000);
+        // All 5 window observations are ~100 ms, so even the median
+        // lands in the [65536, 131072) µs bucket.
+        assert!(window.p50_micros >= 65_536.0 && window.p50_micros <= 131_072.0);
+        // Degenerate window: nothing happened between two snapshots.
+        let empty = second.delta_since(&second);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99_micros, 0.0);
+    }
+
+    #[test]
+    fn from_buckets_matches_live_snapshot() {
+        let h = Histogram::default();
+        h.record_micros(3);
+        h.record_micros(700);
+        h.record_micros(70_000);
+        let live = h.snapshot();
+        let rebuilt = HistogramSnapshot::from_buckets(live.buckets.clone(), live.sum_micros);
+        assert_eq!(rebuilt, live);
     }
 
     #[test]

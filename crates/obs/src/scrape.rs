@@ -14,9 +14,13 @@
 //!   table, all in one self-contained document.
 //!
 //! Anything else is answered `404`; non-GET methods get `405`. The
-//! listener runs on one background thread (scrapes are cheap reads; a
-//! worker pool would be ceremony), and shuts down promptly via the same
-//! wake-connection trick the TCP front end uses.
+//! listener accepts on one background thread and serves each
+//! connection on its own short-lived thread, so a slow scraper cannot
+//! wedge a concurrent one (a soak runs a sampler *and* humans with
+//! `curl` against the same port). The serve loop tolerates request
+//! heads split across writes and answers pipelined requests in order,
+//! each response carrying its own `Content-Length`. Shutdown stays
+//! prompt via the same wake-connection trick the TCP front end uses.
 
 use crate::export::prometheus_text;
 use crate::json::{Json, ToJson};
@@ -32,6 +36,9 @@ use std::time::Duration;
 
 /// Bound on one scrape request head (we only need the request line).
 const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Bound on requests answered over one pipelined connection.
+const MAX_PIPELINED_REQUESTS: usize = 32;
 
 /// Socket timeouts for scrape connections: a scraper that stalls this
 /// long is dropped rather than wedging the listener thread.
@@ -179,10 +186,14 @@ impl ScrapeServer {
                         break;
                     }
                     thread_scrapes.fetch_add(1, Ordering::Relaxed);
-                    // Served inline: a scrape is two cheap reads and a
-                    // write, and serialising them keeps the endpoint
-                    // from amplifying load on an overloaded host.
-                    let _ = serve_scrape(stream, &sources);
+                    // One short-lived thread per connection: scrapes
+                    // are cheap reads, but a stalled client must not
+                    // block a concurrent sampler. IO timeouts bound
+                    // each thread's lifetime.
+                    let conn_sources = sources.clone();
+                    thread::spawn(move || {
+                        let _ = serve_scrape(stream, &conn_sources);
+                    });
                 }
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
@@ -246,12 +257,75 @@ impl Drop for ScrapeServer {
     }
 }
 
-/// Reads one HTTP request head and writes the matching response.
+/// Serves one connection: reads until request heads are complete
+/// (tolerating heads split across writes), answers every buffered head
+/// in order, and closes once the client stops pipelining (buffer
+/// drained after at least one answer), hits EOF, or exceeds the
+/// pipelining cap.
 fn serve_scrape(mut stream: TcpStream, sources: &ScrapeSources) -> io::Result<()> {
     stream.set_read_timeout(Some(SCRAPE_IO_TIMEOUT))?;
     stream.set_write_timeout(Some(SCRAPE_IO_TIMEOUT))?;
-    let head = read_request_head(&mut stream)?;
-    let (status, content_type, body) = match parse_request_line(&head) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 1024];
+    let mut served = 0usize;
+    loop {
+        let n = match stream.read(&mut tmp) {
+            Ok(n) => n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let eof = n == 0;
+        buf.extend_from_slice(&tmp[..n]);
+
+        // Drain every complete head currently buffered.
+        let mut heads = Vec::new();
+        while let Some(end) = head_end(&buf) {
+            heads.push(String::from_utf8_lossy(&buf[..end]).into_owned());
+            buf.drain(..end);
+            if served + heads.len() >= MAX_PIPELINED_REQUESTS {
+                break;
+            }
+        }
+        // A head that can never complete within the cap is a bad
+        // request; a trailing partial head at EOF is answered by
+        // whatever its request line parses to.
+        let oversized = heads.is_empty() && buf.len() >= MAX_REQUEST_BYTES;
+        if (eof || oversized) && !buf.is_empty() {
+            heads.push(String::from_utf8_lossy(&buf).into_owned());
+            buf.clear();
+        }
+        let done = eof
+            || oversized
+            || (!heads.is_empty() && buf.is_empty())
+            || served + heads.len() >= MAX_PIPELINED_REQUESTS;
+        let total = heads.len();
+        for (i, head) in heads.iter().enumerate() {
+            let close = done && i + 1 == total;
+            write_response(&mut stream, sources, head, close)?;
+            served += 1;
+        }
+        if done {
+            break;
+        }
+    }
+    stream.flush()
+}
+
+/// The position just past the `\r\n\r\n` ending the first complete
+/// request head in `buf`, if any.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Routes one request head and writes its response, always with an
+/// exact `Content-Length` so pipelined clients can frame the stream.
+fn write_response(
+    stream: &mut TcpStream,
+    sources: &ScrapeSources,
+    head: &str,
+    close: bool,
+) -> io::Result<()> {
+    let (status, content_type, body) = match parse_request_line(head) {
         Some(("GET", path)) => match path {
             "/metrics" => (
                 "200 OK",
@@ -268,30 +342,12 @@ fn serve_scrape(mut stream: TcpStream, sources: &ScrapeSources) -> io::Result<()
         ),
         None => ("400 Bad Request", "text/plain", "bad request\n".to_string()),
     };
+    let connection = if close { "close" } else { "keep-alive" };
     let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
-}
-
-/// Reads until the blank line ending the request head (or the size cap,
-/// which is plenty for any GET we answer).
-fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
-    let mut buf = Vec::new();
-    let mut tmp = [0u8; 512];
-    loop {
-        let n = stream.read(&mut tmp)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&tmp[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
-            break;
-        }
-    }
-    Ok(String::from_utf8_lossy(&buf).into_owned())
+    stream.write_all(response.as_bytes())
 }
 
 /// Splits `GET /path HTTP/1.x` into (method, path); query strings are
@@ -420,6 +476,132 @@ mod tests {
         assert!(head.starts_with("HTTP/1.0 200"), "{head}");
         assert!(body.contains("x_total 1"), "{body}");
         server.shutdown();
+    }
+
+    /// Splits a raw byte stream of HTTP responses using each response's
+    /// `Content-Length` to frame its body.
+    fn split_responses(raw: &str) -> Vec<(String, String)> {
+        let mut rest = raw;
+        let mut out = Vec::new();
+        while !rest.is_empty() {
+            let (head, after) = rest.split_once("\r\n\r\n").expect("response head");
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("Content-Length header")
+                .parse()
+                .unwrap();
+            out.push((head.to_string(), after[..len].to_string()));
+            rest = &after[len..];
+        }
+        out
+    }
+
+    #[test]
+    fn pipelined_requests_each_get_full_framed_responses() {
+        let obs = Obs::noop();
+        obs.counter("x").add(9);
+        let server = ScrapeServer::bind("127.0.0.1:0", ScrapeSources::new(&obs)).unwrap();
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(
+                b"GET /metrics HTTP/1.0\r\nHost: a\r\n\r\nGET /metrics HTTP/1.0\r\nHost: b\r\n\r\n",
+            )
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+
+        let responses = split_responses(&raw);
+        assert_eq!(responses.len(), 2, "{raw}");
+        for (head, body) in &responses {
+            assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+            assert!(body.contains("x_total 9"), "{body}");
+        }
+        // The stream framed exactly: nothing left over, final response
+        // announces the close.
+        assert!(responses[1].0.contains("Connection: close"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_head_split_across_writes_is_tolerated() {
+        let obs = Obs::noop();
+        obs.counter("x").inc();
+        let server = ScrapeServer::bind("127.0.0.1:0", ScrapeSources::new(&obs)).unwrap();
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"GET /met").unwrap();
+        stream.flush().unwrap();
+        thread::sleep(Duration::from_millis(50));
+        stream
+            .write_all(b"rics HTTP/1.0\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("x_total 1"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_get_consistent_full_bodies() {
+        let obs = Obs::noop();
+        obs.counter("soak.requests").inc();
+        let server = Arc::new(ScrapeServer::bind("127.0.0.1:0", ScrapeSources::new(&obs)).unwrap());
+
+        // A mutator keeps the registry moving mid-scrape, as a live
+        // soak would.
+        let stop = Arc::new(AtomicBool::new(false));
+        let mutator = {
+            let obs = obs.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let c = obs.counter("soak.requests");
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                    obs.histogram("soak.latency").record_micros(250);
+                }
+            })
+        };
+
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = server.local_addr();
+                thread::spawn(move || {
+                    for _ in 0..5 {
+                        let (head, body) = http_get(addr, "/metrics");
+                        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+                        let advertised: usize = head
+                            .lines()
+                            .find_map(|l| l.strip_prefix("Content-Length: "))
+                            .expect("Content-Length header")
+                            .parse()
+                            .unwrap();
+                        // The body is exactly as long as advertised and
+                        // internally consistent Prometheus text.
+                        assert_eq!(advertised, body.len());
+                        assert!(body.contains("soak_requests_total"), "{body}");
+                        assert!(body.ends_with('\n'), "truncated body");
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        mutator.join().unwrap();
+        assert_eq!(server.scrape_count(), 10);
+        Arc::try_unwrap(server).unwrap().shutdown();
     }
 
     #[test]

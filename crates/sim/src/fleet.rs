@@ -1,0 +1,956 @@
+//! Fleet soak driver: thousands of concurrent seeded drone flights
+//! against the real TCP auditor, judged by SLOs over scraped windows.
+//!
+//! A soak is a staged load campaign. [`run_fleet`] boots one
+//! [`AuditorServer`] on a loopback socket (with its live `/metrics`
+//! endpoint mounted), registers a fleet of drones, then drives a
+//! sequence of [`PhaseSpec`] load phases — ramp, steady state, a
+//! barrier-synchronised swarm burst, a chaos-degraded phase with
+//! request corruption from [`alidrone_chaos`], and recovery. A
+//! GPS-dropout cohort of the fleet (stateless membership via
+//! [`FaultPlane::cohort`]) submits a degraded flight record whose PoA
+//! carries signed gap markers; the rest submit a clean record.
+//!
+//! While the phases run, a sampler thread scrapes `/metrics`, parses
+//! the exposition text back into [`MetricsSnapshot`]s
+//! ([`parse_prometheus_text`]) and feeds a [`SnapshotRing`], over which
+//! an [`SloEngine`] raises breach / burn-rate events live. Phase
+//! *verdicts*, by contrast, are computed from quiesced phase-boundary
+//! scrapes (all workers joined, nothing in flight), so the per-phase
+//! counter deltas — and therefore the SLO verdicts — are exactly
+//! reproducible for a given seed. Wall-clock-shaped data (window
+//! timings, latency quantiles, which per-drone labels won interner
+//! slots) is reported but deliberately excluded from the determinism
+//! signature.
+//!
+//! The outcome serialises to a schema-versioned `SOAK_report.json`
+//! ([`soak_report_json`]) that [`check_report`] can re-validate from
+//! the JSON alone: verdicts present, per-phase request deltas matching
+//! the op ledger, windowed series reconciling exactly with the
+//! server's final counters, and breach expectations met.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::Duration as StdDuration;
+
+use alidrone_chaos::{FaultPlane, FaultyGps, FaultyTransport};
+use alidrone_core::wire::server::AuditorServer;
+use alidrone_core::wire::tcp::{TcpServer, TcpTransport};
+use alidrone_core::wire::transport::AuditorClient;
+use alidrone_core::{
+    run_flight, Auditor, AuditorConfig, DroneId, FlightRecord, ProtocolError, SamplingStrategy,
+    ZoneQuery,
+};
+use alidrone_crypto::rsa::RsaPrivateKey;
+use alidrone_geo::trajectory::TrajectoryBuilder;
+use alidrone_geo::{Distance, Duration, GeoPoint, NoFlyZone, Timestamp, ZoneSet};
+use alidrone_gps::{SimClock, SimulatedReceiver};
+use alidrone_obs::{
+    parse_prometheus_text, CounterReconciliation, Json, LabelInterner, MetricsSnapshot, Obs,
+    SeriesWindow, Slo, SloEngine, SloEvent, SloRule, SloStatus, SnapshotRing, ToJson,
+};
+use alidrone_tee::{CostModel, SecureWorldBuilder, GPS_SAMPLER_UUID};
+
+use crate::runner::experiment_key;
+
+/// Version stamp of the `SOAK_report.json` layout. Bump on any
+/// breaking change so downstream checkers can refuse unknown layouts.
+pub const SOAK_SCHEMA_VERSION: u64 = 1;
+
+/// Server error counters as they appear in a *parsed scrape* (names
+/// come back sanitized: dots become underscores, `_total` stripped).
+pub const SCRAPED_ERROR_KEYS: [&str; 8] = [
+    "server_errors_malformed",
+    "server_errors_unknown_drone",
+    "server_errors_unknown_zone",
+    "server_errors_bad_signature",
+    "server_errors_nonce_replayed",
+    "server_errors_decrypt_failed",
+    "server_errors_internal",
+    "server_errors_deadline_expired",
+];
+
+/// Shed counters as they appear in a parsed scrape.
+pub const SCRAPED_SHED_KEYS: [&str; 3] = [
+    "server_shed_expired",
+    "server_shed_ratelimited",
+    "server_shed_queue_full",
+];
+
+/// Scraped name of the total-request counter.
+pub const SCRAPED_REQUESTS: &str = "server_requests";
+
+/// One load phase of the soak.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Phase name (stable — shows up in the report and CI asserts).
+    pub name: &'static str,
+    /// Requests issued per active drone in this phase.
+    pub ops_per_drone: u32,
+    /// Fraction of the fleet that is active (staged load ramps).
+    pub active_fraction: f64,
+    /// Request-corruption probability on every client transport
+    /// ([`FaultyTransport::corrupt_requests_with`]) — the chaos knob
+    /// that makes the *server's* error counters move.
+    pub corrupt_requests_p: f64,
+    /// When set, workers rendezvous on a barrier before their first
+    /// request: the whole phase lands as one swarm burst.
+    pub burst: bool,
+    /// Whether this phase is expected to breach at least one SLO.
+    /// [`check_report`] fails on any mismatch, in either direction.
+    pub expect_breach: bool,
+}
+
+/// Shape of a fleet soak campaign.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Seed for every fault schedule, cohort draw and request mix.
+    pub seed: u64,
+    /// Fleet size (drones registered up front).
+    pub drones: usize,
+    /// Concurrent client worker threads per phase.
+    pub clients: usize,
+    /// Auditor server worker threads.
+    pub server_workers: usize,
+    /// Server admission queue capacity. Sized generously by default so
+    /// healthy phases never shed — shedding would make verdicts
+    /// timing-dependent.
+    pub queue_cap: usize,
+    /// Sampler scrape period (wall time).
+    pub sample_every: StdDuration,
+    /// Capacity of the [`SnapshotRing`] fed by the sampler.
+    pub ring_cap: usize,
+    /// Fraction of the fleet in the GPS-dropout cohort.
+    pub gps_dropout_fraction: f64,
+    /// Cap on distinct per-drone label series
+    /// ([`LabelInterner`] — overflow collapses into `other`).
+    pub label_cap: usize,
+    /// The staged load phases, run in order against one server.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl FleetConfig {
+    /// The default five-phase campaign at `drones` fleet size:
+    /// ramp → steady → swarm burst → chaos-degraded → recovery.
+    pub fn soak(seed: u64, drones: usize) -> FleetConfig {
+        FleetConfig {
+            seed,
+            drones: drones.max(1),
+            clients: 8,
+            server_workers: 4,
+            queue_cap: 4096,
+            sample_every: StdDuration::from_millis(1000),
+            ring_cap: 256,
+            gps_dropout_fraction: 0.15,
+            label_cap: 256,
+            phases: default_phases(),
+        }
+    }
+
+    /// A CI-sized campaign: ~200 drones, sub-minute wall time.
+    pub fn smoke(seed: u64) -> FleetConfig {
+        FleetConfig {
+            clients: 4,
+            sample_every: StdDuration::from_millis(400),
+            label_cap: 64,
+            ..FleetConfig::soak(seed, 200)
+        }
+    }
+}
+
+fn default_phases() -> Vec<PhaseSpec> {
+    vec![
+        PhaseSpec {
+            name: "ramp",
+            ops_per_drone: 2,
+            active_fraction: 0.25,
+            corrupt_requests_p: 0.0,
+            burst: false,
+            expect_breach: false,
+        },
+        PhaseSpec {
+            name: "steady",
+            ops_per_drone: 3,
+            active_fraction: 1.0,
+            corrupt_requests_p: 0.0,
+            burst: false,
+            expect_breach: false,
+        },
+        PhaseSpec {
+            name: "burst",
+            ops_per_drone: 2,
+            active_fraction: 1.0,
+            corrupt_requests_p: 0.0,
+            burst: true,
+            expect_breach: false,
+        },
+        PhaseSpec {
+            name: "degraded",
+            ops_per_drone: 3,
+            active_fraction: 1.0,
+            corrupt_requests_p: 0.35,
+            burst: false,
+            expect_breach: true,
+        },
+        PhaseSpec {
+            name: "recovery",
+            ops_per_drone: 2,
+            active_fraction: 1.0,
+            corrupt_requests_p: 0.0,
+            burst: false,
+            expect_breach: false,
+        },
+    ]
+}
+
+/// The SLO set a fleet soak is judged by. Rules reference *scraped*
+/// (sanitized) counter names because they evaluate over windows built
+/// from parsed `/metrics` text, not the in-process registry.
+pub fn fleet_slos() -> Vec<Slo> {
+    let bad: Vec<String> = SCRAPED_ERROR_KEYS.iter().map(|s| (*s).into()).collect();
+    vec![
+        Slo::new(
+            "availability",
+            SloRule::Availability {
+                total: SCRAPED_REQUESTS.into(),
+                bad: bad.clone(),
+                min_ratio: 0.99,
+            },
+        ),
+        Slo::new(
+            "shed_ratio",
+            SloRule::MaxRatio {
+                num: SCRAPED_SHED_KEYS.iter().map(|s| (*s).into()).collect(),
+                den: SCRAPED_REQUESTS.into(),
+                max_ratio: 0.05,
+            },
+        ),
+        Slo::new(
+            "submit_p99",
+            SloRule::P99Below {
+                histogram: "server_latency_submit_poa".into(),
+                max_micros: 2_000_000.0,
+            },
+        ),
+        Slo::new(
+            "error_burn",
+            SloRule::BurnRate {
+                total: SCRAPED_REQUESTS.into(),
+                bad,
+                target: 0.99,
+                fast_windows: 2,
+                slow_windows: 6,
+                max_burn: 5.0,
+            },
+        ),
+    ]
+}
+
+/// What one phase did and how it was judged.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// Phase name from the spec.
+    pub name: &'static str,
+    /// The spec's breach expectation, echoed for the report checker.
+    pub expect_breach: bool,
+    /// Whether any SLO verdict came back unhealthy.
+    pub breached: bool,
+    /// Requests the op ledger says this phase issued.
+    pub ops: u64,
+    /// `server_requests` delta across the phase's quiesced boundary
+    /// scrapes. Must equal `ops`: every op is exactly one frame.
+    pub requests_delta: u64,
+    /// Sum of all `server_errors_*` deltas across the phase.
+    pub errors_delta: u64,
+    /// Sum of all `server_shed_*` deltas across the phase.
+    pub shed_delta: u64,
+    /// Phase window bounds (wall seconds; informational only).
+    pub start_secs: f64,
+    /// See `start_secs`.
+    pub end_secs: f64,
+    /// Per-SLO verdicts over the phase window.
+    pub verdicts: Vec<SloStatus>,
+}
+
+impl ToJson for PhaseOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name)),
+            ("expect_breach", Json::Bool(self.expect_breach)),
+            ("breached", Json::Bool(self.breached)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("requests_delta", Json::Num(self.requests_delta as f64)),
+            ("errors_delta", Json::Num(self.errors_delta as f64)),
+            ("shed_delta", Json::Num(self.shed_delta as f64)),
+            ("start_secs", Json::Num(self.start_secs)),
+            ("end_secs", Json::Num(self.end_secs)),
+            (
+                "verdicts",
+                Json::arr(self.verdicts.iter().map(ToJson::to_json)),
+            ),
+        ])
+    }
+}
+
+/// Everything a finished soak produced.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Fleet size.
+    pub drones: usize,
+    /// Client worker threads per phase.
+    pub clients: usize,
+    /// Per-phase ledgers and verdicts, in execution order.
+    pub phases: Vec<PhaseOutcome>,
+    /// The sampler's windowed time-series (plus phase boundaries).
+    pub ring: SnapshotRing,
+    /// Live SLO transitions raised while the campaign ran.
+    pub slo_events: Vec<SloEvent>,
+    /// Per-counter accounting: series totals vs final scrape.
+    pub reconciliation: Vec<CounterReconciliation>,
+    /// Total requests issued by the op ledger.
+    pub total_ops: u64,
+    /// Client-visible typed errors (corrupted frames bounced by the
+    /// server come back as typed error responses).
+    pub client_errors: u64,
+    /// Distinct per-drone label series admitted by the interner.
+    pub labels_admitted: usize,
+    /// Interns that overflowed into the `other` series.
+    pub labels_dropped: u64,
+    /// The interner's cap.
+    pub label_cap: usize,
+    /// Whether the final scrape agreed with the server registry read
+    /// directly (sanitized-name comparison on the request/error
+    /// counters) — the scrape pipeline's own integrity check.
+    pub scrape_matches_registry: bool,
+}
+
+// ------------------------------------------------------------ helpers
+
+/// Infallible constructor for the fleet's fixed, known-valid points.
+fn pt(lat: f64, lon: f64) -> GeoPoint {
+    GeoPoint::new(lat, lon).expect("valid fleet coordinates")
+}
+
+/// Stateless splitmix-style mix used for the request-kind schedule and
+/// query nonces: pure in (key, n), so workers need no shared RNG.
+fn mix64(key: u64, n: u64) -> u64 {
+    let mut z = key ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Minimal HTTP/1.1 GET returning the response body.
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body split in scrape response",
+        )),
+    }
+}
+
+/// Scrapes `/metrics` and parses the text back into a snapshot —
+/// the same path any external monitor would take.
+fn scrape_snapshot(addr: SocketAddr) -> std::io::Result<MetricsSnapshot> {
+    Ok(parse_prometheus_text(&http_get(addr, "/metrics")?))
+}
+
+/// A hover flight record signed by the shared experiment TEE key;
+/// `degraded` routes the receiver through [`FaultyGps`] dropout
+/// windows so the PoA carries signed gap markers.
+fn make_record(plane: &FaultPlane, degraded: bool) -> FlightRecord {
+    let clock = SimClock::new();
+    let route = TrajectoryBuilder::start_at(pt(40.0, -88.0))
+        .pause(Duration::from_secs(60.0))
+        .build()
+        .expect("hover trajectory");
+    let receiver = Arc::new(SimulatedReceiver::from_trajectory(
+        route,
+        clock.clone(),
+        5.0,
+    ));
+    let strategy = SamplingStrategy::FixedRate(1.0);
+    let duration = Duration::from_secs(20.0);
+    if degraded {
+        let faulty = Arc::new(
+            FaultyGps::new(Arc::clone(&receiver), plane, "fleet.gps").dropout_windows(0.08, 8),
+        );
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(experiment_key())
+            .with_gps_device(Box::new(Arc::clone(&faulty)))
+            .with_cost_model(CostModel::free())
+            .build()
+            .expect("tee world");
+        let tee = world.client();
+        let session = tee.open_session(GPS_SAMPLER_UUID).expect("session");
+        run_flight(
+            &clock,
+            faulty.as_ref(),
+            &session,
+            &ZoneSet::new(),
+            strategy,
+            duration,
+        )
+        .expect("degraded flight")
+    } else {
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(experiment_key())
+            .with_gps_device(Box::new(Arc::clone(&receiver)))
+            .with_cost_model(CostModel::free())
+            .build()
+            .expect("tee world");
+        let tee = world.client();
+        let session = tee.open_session(GPS_SAMPLER_UUID).expect("session");
+        run_flight(
+            &clock,
+            receiver.as_ref(),
+            &session,
+            &ZoneSet::new(),
+            strategy,
+            duration,
+        )
+        .expect("healthy flight")
+    }
+}
+
+/// Sampler/engine state shared between the sampler thread and the
+/// phase-boundary observations on the driver thread.
+struct SoakState {
+    ring: SnapshotRing,
+    engine: SloEngine,
+    events: Vec<SloEvent>,
+}
+
+/// Scrape, feed the ring, run the live SLO evaluation. Returns the
+/// (time, snapshot) pair for phase-window bookkeeping.
+fn observe_scrape(
+    state: &Mutex<SoakState>,
+    obs: &Obs,
+    addr: SocketAddr,
+) -> (Timestamp, MetricsSnapshot) {
+    let snap = scrape_snapshot(addr).expect("scrape endpoint");
+    let t = obs.now();
+    let mut guard = state.lock().expect("soak state");
+    let SoakState {
+        ring,
+        engine,
+        events,
+    } = &mut *guard;
+    ring.observe(t, snap.clone());
+    events.extend(engine.evaluate(ring));
+    (t, snap)
+}
+
+// ----------------------------------------------------------- campaign
+
+/// Runs the whole soak campaign and returns its outcome.
+///
+/// # Panics
+///
+/// Panics when the loopback server cannot be bound, a flight record
+/// cannot be produced, or the scrape endpoint disappears — a soak with
+/// a broken harness must fail loudly, not report vacuous health.
+#[allow(clippy::too_many_lines)]
+pub fn run_fleet(cfg: &FleetConfig) -> SoakOutcome {
+    let plane = FaultPlane::new(cfg.seed);
+    let now = Timestamp::from_secs(600.0);
+
+    // Two canonical flight records shared by the fleet: every drone is
+    // registered under the same operator/TEE keypair, so the records
+    // verify for all of them. The GPS-dropout cohort files the
+    // degraded record (declared gaps), the rest the clean one.
+    let healthy = Arc::new(make_record(&plane, false));
+    let degraded = Arc::new(make_record(&plane, true));
+    let gps_cohort = plane.cohort("fleet.gps_dropout", cfg.gps_dropout_fraction);
+
+    let obs = Obs::wall();
+    let operator_key: RsaPrivateKey = experiment_key();
+    let auditor = Auditor::with_obs(AuditorConfig::default(), experiment_key(), &obs);
+    let server = AuditorServer::builder(auditor)
+        .obs(&obs)
+        .workers(cfg.server_workers)
+        .queue_cap(cfg.queue_cap)
+        .scrape(SocketAddr::from(([127, 0, 0, 1], 0)))
+        .build();
+    let scrape_addr = server.scrape_addr().expect("scrape endpoint mounted");
+    let listener =
+        TcpServer::bind(("127.0.0.1", 0), Arc::new(server)).expect("bind auditor listener");
+    let addr = listener.local_addr();
+
+    // Registration (setup traffic, lands before the phase-0 baseline
+    // scrape so it never pollutes a phase window).
+    let tee_public = {
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(experiment_key())
+            .with_cost_model(CostModel::free())
+            .build()
+            .expect("tee world");
+        world.client().tee_public_key()
+    };
+    let mut setup = AuditorClient::new(TcpTransport::new(addr));
+    let drone_ids: Vec<DroneId> = (0..cfg.drones)
+        .map(|_| {
+            setup
+                .register_drone(operator_key.public_key().clone(), tee_public.clone(), now)
+                .expect("register drone")
+        })
+        .collect();
+    setup
+        .register_zone(
+            NoFlyZone::new(pt(40.05, -88.0), Distance::from_meters(500.0)),
+            now,
+        )
+        .expect("register zone");
+
+    let interner = LabelInterner::new(&obs, cfg.label_cap);
+    let ops_counter = obs.counter("fleet.ops");
+    let err_counter = obs.counter("fleet.client_errors");
+
+    let state = Arc::new(Mutex::new(SoakState {
+        ring: SnapshotRing::new(cfg.ring_cap),
+        engine: SloEngine::new(&obs, fleet_slos()),
+        events: Vec::new(),
+    }));
+
+    // Background sampler: the live monitoring path. Its windows feed
+    // burn-rate alerting and the report's series; determinism-checked
+    // verdicts come from the quiesced boundary scrapes instead.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        let obs = obs.clone();
+        let period = cfg.sample_every;
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                thread::sleep(period);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let (_t, _snap) = observe_scrape(&state, &obs, scrape_addr);
+            }
+        })
+    };
+
+    // Baseline boundary after setup, before any phase traffic.
+    let (mut t_prev, mut snap_prev) = observe_scrape(&state, &obs, scrape_addr);
+
+    let kind_key = cfg.seed ^ 0xF1EE_7001;
+    let mut phases = Vec::with_capacity(cfg.phases.len());
+    let mut total_ops = 0u64;
+
+    for (pi, phase) in cfg.phases.iter().enumerate() {
+        let active = ((cfg.drones as f64) * phase.active_fraction).round() as usize;
+        let active = active.clamp(1, cfg.drones);
+        let chunk = active.div_ceil(cfg.clients.max(1));
+        let barrier = Barrier::new(cfg.clients.max(1));
+
+        thread::scope(|s| {
+            for w in 0..cfg.clients.max(1) {
+                let lo = (w * chunk).min(active);
+                let hi = (lo + chunk).min(active);
+                let drone_ids = &drone_ids;
+                let healthy = &healthy;
+                let degraded = &degraded;
+                let interner = &interner;
+                let obs = &obs;
+                let operator_key = &operator_key;
+                let ops_counter = Arc::clone(&ops_counter);
+                let err_counter = Arc::clone(&err_counter);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let transport = FaultyTransport::new(
+                        TcpTransport::new(addr),
+                        &plane,
+                        &format!("fleet.p{pi}.w{w}"),
+                    )
+                    .corrupt_requests_with(phase.corrupt_requests_p);
+                    let mut client = AuditorClient::new(transport);
+                    if phase.burst {
+                        barrier.wait();
+                    }
+                    for (i, &drone) in drone_ids.iter().enumerate().take(hi).skip(lo) {
+                        let record: &FlightRecord = if gps_cohort.contains(i as u64) {
+                            degraded
+                        } else {
+                            healthy
+                        };
+                        let label = interner.intern(&format!("d{i}"));
+                        let drone_ops = obs.counter(&format!("fleet.drone.{label}.ops"));
+                        for j in 0..u64::from(phase.ops_per_drone) {
+                            let slot = ((pi as u64) << 40) | ((i as u64) << 16) | j;
+                            let outcome: Result<(), ProtocolError> =
+                                match mix64(kind_key, slot) % 10 {
+                                    0..=4 => client
+                                        .submit_poa(
+                                            drone,
+                                            (record.window_start, record.window_end),
+                                            &record.poa,
+                                            now,
+                                        )
+                                        .map(|_| ()),
+                                    5..=7 => client.health_check(now).map(|_| ()),
+                                    _ => {
+                                        let mut nonce = [0u8; 16];
+                                        nonce[..8].copy_from_slice(
+                                            &mix64(kind_key, slot ^ 0xA5A5).to_le_bytes(),
+                                        );
+                                        nonce[8..].copy_from_slice(
+                                            &mix64(kind_key, slot ^ 0x5A5A).to_le_bytes(),
+                                        );
+                                        ZoneQuery::new_signed(
+                                            drone,
+                                            pt(39.99, -88.01),
+                                            pt(40.01, -87.99),
+                                            nonce,
+                                            operator_key,
+                                        )
+                                        .and_then(|q| client.query_zones(q, now).map(|_| ()))
+                                    }
+                                };
+                            ops_counter.inc();
+                            drone_ops.inc();
+                            if outcome.is_err() {
+                                err_counter.inc();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Quiesced boundary: every worker joined, so the scrape sees
+        // the phase's exact final counters.
+        let (t_end, snap_end) = observe_scrape(&state, &obs, scrape_addr);
+        let window = SeriesWindow::between(t_prev, &snap_prev, t_end, &snap_end);
+        let verdicts = state
+            .lock()
+            .expect("soak state")
+            .engine
+            .verdicts_for(&window);
+        let breached = verdicts.iter().any(|v| !v.healthy);
+        let ops = (active as u64) * u64::from(phase.ops_per_drone);
+        total_ops += ops;
+        phases.push(PhaseOutcome {
+            name: phase.name,
+            expect_breach: phase.expect_breach,
+            breached,
+            ops,
+            requests_delta: window.counter_delta(SCRAPED_REQUESTS),
+            errors_delta: window.counter_sum(SCRAPED_ERROR_KEYS),
+            shed_delta: window.counter_sum(SCRAPED_SHED_KEYS),
+            start_secs: t_prev.secs(),
+            end_secs: t_end.secs(),
+            verdicts,
+        });
+        t_prev = t_end;
+        snap_prev = snap_end;
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().expect("sampler thread");
+    listener.shutdown();
+
+    // Integrity of the scrape pipeline itself: the final parsed scrape
+    // must agree with the registry read directly.
+    let direct = obs.snapshot();
+    let scrape_matches_registry = snap_prev.counter(SCRAPED_REQUESTS)
+        == direct.counter("server.requests")
+        && snap_prev.counter("server_malformed_frames")
+            == direct.counter("server.malformed_frames")
+        && snap_prev.counter("fleet_ops") == direct.counter("fleet.ops");
+
+    let state = match Arc::try_unwrap(state) {
+        Ok(m) => m.into_inner().expect("soak state"),
+        Err(_) => unreachable!("sampler joined, no other holders"),
+    };
+    let reconciliation = state.ring.reconcile_all();
+
+    SoakOutcome {
+        seed: cfg.seed,
+        drones: cfg.drones,
+        clients: cfg.clients,
+        phases,
+        ring: state.ring,
+        slo_events: state.events,
+        reconciliation,
+        total_ops,
+        client_errors: err_counter.get(),
+        labels_admitted: interner.len(),
+        labels_dropped: interner.dropped(),
+        label_cap: cfg.label_cap,
+        scrape_matches_registry,
+    }
+}
+
+// ------------------------------------------------------------- report
+
+/// Serialises a [`SoakOutcome`] to the schema-versioned soak report.
+pub fn soak_report_json(outcome: &SoakOutcome) -> Json {
+    Json::obj([
+        ("schema_version", Json::Num(SOAK_SCHEMA_VERSION as f64)),
+        ("kind", Json::str("alidrone_soak_report")),
+        ("seed", Json::Num(outcome.seed as f64)),
+        ("drones", Json::Num(outcome.drones as f64)),
+        ("clients", Json::Num(outcome.clients as f64)),
+        (
+            "totals",
+            Json::obj([
+                ("ops", Json::Num(outcome.total_ops as f64)),
+                ("client_errors", Json::Num(outcome.client_errors as f64)),
+                (
+                    "scrape_matches_registry",
+                    Json::Bool(outcome.scrape_matches_registry),
+                ),
+            ]),
+        ),
+        (
+            "labels",
+            Json::obj([
+                ("cap", Json::Num(outcome.label_cap as f64)),
+                ("admitted", Json::Num(outcome.labels_admitted as f64)),
+                ("dropped", Json::Num(outcome.labels_dropped as f64)),
+            ]),
+        ),
+        (
+            "phases",
+            Json::arr(outcome.phases.iter().map(ToJson::to_json)),
+        ),
+        (
+            "slo_events",
+            Json::arr(outcome.slo_events.iter().map(ToJson::to_json)),
+        ),
+        ("series", outcome.ring.to_json()),
+        (
+            "reconciliation",
+            Json::arr(outcome.reconciliation.iter().map(ToJson::to_json)),
+        ),
+    ])
+}
+
+/// Machine-checks a soak report from the JSON alone: schema version,
+/// verdict presence, op-ledger/request-counter agreement, exact series
+/// reconciliation, scrape-vs-registry agreement, and breach
+/// expectations. Returns the first violated invariant.
+///
+/// # Errors
+///
+/// A human-readable description of the first failed check.
+pub fn check_report(report: &Json) -> Result<(), String> {
+    let version = report
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SOAK_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != expected {SOAK_SCHEMA_VERSION}"
+        ));
+    }
+    let phases = report
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("missing phases array")?;
+    if phases.is_empty() {
+        return Err("phases array is empty".into());
+    }
+    for phase in phases {
+        let name = phase
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("phase missing name")?;
+        let verdicts = phase
+            .get("verdicts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("phase {name}: missing verdicts"))?;
+        if verdicts.is_empty() {
+            return Err(format!("phase {name}: no SLO verdicts"));
+        }
+        let any_unhealthy = verdicts
+            .iter()
+            .any(|v| v.get("healthy").and_then(Json::as_bool) == Some(false));
+        let breached = phase
+            .get("breached")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("phase {name}: missing breached flag"))?;
+        if breached != any_unhealthy {
+            return Err(format!(
+                "phase {name}: breached flag {breached} disagrees with verdicts"
+            ));
+        }
+        let expect = phase
+            .get("expect_breach")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("phase {name}: missing expect_breach"))?;
+        if expect != breached {
+            return Err(format!(
+                "phase {name}: expected breach={expect}, observed breach={breached}"
+            ));
+        }
+        let ops = phase
+            .get("ops")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("phase {name}: missing ops"))?;
+        let requests = phase
+            .get("requests_delta")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("phase {name}: missing requests_delta"))?;
+        if ops == 0 {
+            return Err(format!("phase {name}: op ledger is empty"));
+        }
+        if ops != requests {
+            return Err(format!(
+                "phase {name}: op ledger says {ops} requests, server counted {requests}"
+            ));
+        }
+    }
+    let recon = report
+        .get("reconciliation")
+        .and_then(Json::as_arr)
+        .ok_or("missing reconciliation array")?;
+    if recon.is_empty() {
+        return Err("reconciliation array is empty".into());
+    }
+    for row in recon {
+        let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
+        if row.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("counter {name} failed series reconciliation"));
+        }
+    }
+    if report
+        .get("totals")
+        .and_then(|t| t.get("scrape_matches_registry"))
+        .and_then(Json::as_bool)
+        != Some(true)
+    {
+        return Err("final scrape disagreed with the server registry".into());
+    }
+    let windows = report
+        .get("series")
+        .and_then(|s| s.get("windows"))
+        .and_then(Json::as_arr)
+        .ok_or("missing series.windows")?;
+    if windows.is_empty() {
+        return Err("series has no windows".into());
+    }
+    Ok(())
+}
+
+/// The deterministic projection of an outcome: everything that must be
+/// bit-identical across two runs with the same seed. Wall-clock-shaped
+/// data (window timings, latency values, interner slot winners) is
+/// deliberately excluded.
+pub fn determinism_signature(outcome: &SoakOutcome) -> String {
+    let mut sig = String::new();
+    for p in &outcome.phases {
+        sig.push_str(p.name);
+        sig.push_str(&format!(
+            ":ops={},req={},err={},shed={},breached={}[",
+            p.ops, p.requests_delta, p.errors_delta, p.shed_delta, p.breached
+        ));
+        for v in &p.verdicts {
+            sig.push_str(&format!("{}={};", v.name, v.healthy));
+        }
+        sig.push(']');
+        sig.push('\n');
+    }
+    sig.push_str(&format!(
+        "total_ops={},client_errors={}",
+        outcome.total_ops, outcome.client_errors
+    ));
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(seed: u64) -> FleetConfig {
+        FleetConfig {
+            clients: 2,
+            label_cap: 8,
+            sample_every: StdDuration::from_millis(150),
+            ..FleetConfig::soak(seed, 12)
+        }
+    }
+
+    /// One tiny fleet end-to-end: phases reconcile with the op ledger,
+    /// the degraded phase breaches while healthy phases pass, the
+    /// report machine-checks after a JSON round trip, and a second run
+    /// with the same seed produces an identical determinism signature.
+    #[test]
+    fn tiny_fleet_is_deterministic_and_machine_checkable() {
+        let first = run_fleet(&tiny_config(42));
+        assert_eq!(first.phases.len(), 5);
+        for p in &first.phases {
+            assert_eq!(
+                p.ops, p.requests_delta,
+                "phase {}: op ledger vs server requests",
+                p.name
+            );
+            assert_eq!(p.expect_breach, p.breached, "phase {}", p.name);
+        }
+        assert!(first.reconciliation.iter().all(CounterReconciliation::ok));
+        assert!(first.scrape_matches_registry);
+        // Label cap 8 < 12 drones: the interner must have overflowed.
+        assert_eq!(first.labels_admitted, 8);
+        assert!(first.labels_dropped > 0);
+
+        let report = soak_report_json(&first);
+        let round_tripped = Json::parse(&report.to_pretty()).expect("report parses");
+        check_report(&round_tripped).expect("report machine-checks");
+
+        let second = run_fleet(&tiny_config(42));
+        assert_eq!(
+            determinism_signature(&first),
+            determinism_signature(&second),
+            "same seed must reproduce phase verdicts and ledgers"
+        );
+    }
+
+    /// The checker rejects reports whose breach expectations are not
+    /// met, so CI cannot greenlight a soak that silently stopped
+    /// injecting chaos.
+    #[test]
+    fn check_report_rejects_expectation_mismatch() {
+        let outcome = run_fleet(&tiny_config(7));
+        let mut report = soak_report_json(&outcome);
+        // Flip the degraded phase's expectation in the JSON.
+        if let Json::Obj(ref mut fields) = report {
+            let phases = fields
+                .iter_mut()
+                .find(|(k, _)| k == "phases")
+                .map(|(_, v)| v)
+                .expect("phases");
+            if let Json::Arr(ref mut items) = phases {
+                let degraded = items
+                    .iter_mut()
+                    .find(|p| p.get("name").and_then(Json::as_str) == Some("degraded"))
+                    .expect("degraded phase");
+                if let Json::Obj(ref mut pf) = degraded {
+                    for (k, v) in pf.iter_mut() {
+                        if k == "expect_breach" {
+                            *v = Json::Bool(false);
+                        }
+                    }
+                }
+            }
+        }
+        let err = check_report(&report).expect_err("mismatch must fail");
+        assert!(err.contains("degraded"), "unexpected error: {err}");
+    }
+}

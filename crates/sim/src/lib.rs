@@ -23,6 +23,7 @@
 
 pub mod calibrate;
 pub mod export;
+pub mod fleet;
 pub mod metrics;
 pub mod net;
 pub mod power;

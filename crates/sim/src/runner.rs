@@ -423,6 +423,89 @@ mod tests {
     }
 
     #[test]
+    fn timeline_counters_are_monotone_and_reconcile_for_every_counter() {
+        let s = airport();
+        let run = run_scenario(
+            &s,
+            SamplingStrategy::FixedRate(1.0),
+            experiment_key(),
+            CostModel::free(),
+        )
+        .unwrap();
+        // Cumulative snapshots never regress and never lose a counter.
+        for pair in run.timeline.windows(2) {
+            for (name, &v) in &pair[1].1.counters {
+                assert!(v >= pair[0].1.counter(name), "{name} regressed");
+            }
+            for name in pair[0].1.counters.keys() {
+                assert!(pair[1].1.counters.contains_key(name), "{name} vanished");
+            }
+        }
+        // The end-of-run total dominates the last periodic snapshot.
+        let (_, last) = run.timeline.last().unwrap();
+        for (name, &v) in &last.counters {
+            assert!(run.metrics.counter(name) >= v, "{name}");
+        }
+        // Every counter's window deltas sum to its final total, exactly.
+        for name in run.metrics.counters.keys() {
+            let sum: u64 = run.counter_timeline(name).iter().map(|&(_, d)| d).sum();
+            assert_eq!(sum, run.metrics.counter(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn counter_timeline_handles_single_and_empty_windows() {
+        use alidrone_geo::trajectory::TrajectoryBuilder;
+        use alidrone_geo::{Duration, GeoPoint, ZoneSet};
+        // A 30 s hover: shorter than one timeline interval, so only the
+        // initial snapshot exists.
+        let trajectory = TrajectoryBuilder::start_at(GeoPoint::new(40.0, -88.0).unwrap())
+            .pause(Duration::from_secs(60.0))
+            .build()
+            .unwrap();
+        let s = crate::scenarios::Scenario {
+            name: "tiny",
+            trajectory,
+            zones: ZoneSet::new(),
+            hw_rate_hz: 1.0,
+            dropouts: Vec::new(),
+            duration: Duration::from_secs(30.0),
+        };
+        let run = run_scenario(
+            &s,
+            SamplingStrategy::FixedRate(1.0),
+            experiment_key(),
+            CostModel::free(),
+        )
+        .unwrap();
+        assert_eq!(run.timeline.len(), 1, "single initial snapshot");
+        let deltas = run.counter_timeline("tee.signatures");
+        assert_eq!(deltas.len(), 2, "initial interval + closing interval");
+        let total: u64 = deltas.iter().map(|&(_, d)| d).sum();
+        assert_eq!(total, run.metrics.counter("tee.signatures"));
+        assert!(total > 0);
+        // The closing interval ends exactly at the flight's end.
+        assert_eq!(
+            deltas.last().unwrap().0.secs(),
+            run.record.window_end.secs()
+        );
+
+        // No periodic snapshot at all: the closing interval alone
+        // carries the whole total.
+        let mut bare = run.clone();
+        bare.timeline.clear();
+        let deltas = bare.counter_timeline("tee.signatures");
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].1, bare.metrics.counter("tee.signatures"));
+
+        // A counter that never fired reconciles to zero everywhere.
+        assert!(run
+            .counter_timeline("no.such.counter")
+            .iter()
+            .all(|&(_, d)| d == 0));
+    }
+
+    #[test]
     fn poa_signatures_verify() {
         let s = residential();
         let run = run_scenario(
