@@ -66,10 +66,12 @@ bench-json:
 	$(CARGO) run -p alidrone-bench --release --offline --bin bench_poa
 
 # Compare a fresh run against the committed baseline without touching
-# it. Exits non-zero when a case's median regresses past the threshold.
+# it. Exits non-zero when a case's median regresses past the threshold
+# (default 25%); pass BENCH_GATE=prefix,prefix to narrow which cases
+# can fail, as CI does for the crypto fast path.
 bench-diff:
 	$(CARGO) run -p alidrone-bench --release --offline --bin bench_poa -- --out target/BENCH_poa.new.json
-	$(CARGO) run -p alidrone-bench --release --offline --bin bench_poa -- --diff BENCH_poa.json target/BENCH_poa.new.json
+	$(CARGO) run -p alidrone-bench --release --offline --bin bench_poa -- --diff BENCH_poa.json target/BENCH_poa.new.json $(if $(BENCH_GATE),--gate $(BENCH_GATE))
 
 examples:
 	$(CARGO) build --release --offline --examples

@@ -5,7 +5,7 @@
 use alidrone_bench::bench_key;
 use alidrone_bench::harness::{BenchmarkId, Criterion};
 use alidrone_bench::{criterion_group, criterion_main};
-use alidrone_core::{Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi};
+use alidrone_core::{Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi, Submission};
 use alidrone_crypto::rng::XorShift64;
 use alidrone_crypto::rsa::HashAlg;
 use alidrone_geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp};
@@ -46,12 +46,12 @@ fn verify_submission(c: &mut Criterion) {
     group.sample_size(10);
     for (len, zones) in [(50usize, 1usize), (50, 100), (500, 1), (500, 100)] {
         let poa = signed_trace(len);
-        let submission = PoaSubmission {
+        let submission = Submission::plain(PoaSubmission {
             drone_id: alidrone_core::DroneId::new(1),
             window_start: Timestamp::from_secs(0.0),
             window_end: Timestamp::from_secs((len - 1) as f64),
             poa,
-        };
+        });
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{len}samples_{zones}zones")),
             &(),
@@ -65,10 +65,7 @@ fn verify_submission(c: &mut Criterion) {
                         );
                         a
                     },
-                    |a| {
-                        a.verify_submission(&submission, Timestamp::from_secs(0.0))
-                            .unwrap()
-                    },
+                    |a| a.verify(&submission, Timestamp::from_secs(0.0)).unwrap(),
                     alidrone_bench::harness::BatchSize::SmallInput,
                 );
             },

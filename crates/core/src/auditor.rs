@@ -14,7 +14,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use alidrone_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use alidrone_geo::polygon::PolygonZone;
@@ -23,12 +23,27 @@ use alidrone_geo::{
     check_monotonic, Duration, GeoError, NoFlyZone, ReachableSet, Speed, Timestamp, ZoneSet,
     FAA_MAX_SPEED,
 };
-use alidrone_obs::{Histogram, Level, Obs};
+use alidrone_obs::{Counter, Histogram, Level, Obs};
+use alidrone_tee::SignedSample;
 
+use crate::cache::{LruCache, VerifyResultCache};
+use crate::identity::Registration;
 use crate::journal::{Journal, JournalError, Record, StorageBackend};
-use crate::messages::{Accusation, PoaSubmission, ZoneQuery, ZoneResponse};
+use crate::messages::{Accusation, PoaSubmission, Submission, ZoneQuery, ZoneResponse};
 use crate::poa::{EncryptedPoa, ProofOfAlibi};
+use crate::verify_pool::VerifyPool;
 use crate::{DroneId, ProtocolError, ZoneId};
+
+/// Fan a submission's entry checks across the [`VerifyPool`] only at or
+/// above this size — below it, per-batch coordination costs more than
+/// the parallelism recovers.
+const MIN_BATCH: usize = 4;
+
+/// Bound on cached signature-check outcomes (~100 B each).
+const VERIFY_CACHE_CAP: usize = 4096;
+
+/// Bound on cached zone-query rectangle results.
+const ZONE_QUERY_CACHE_CAP: usize = 256;
 
 /// Auditor policy knobs.
 #[derive(Debug, Clone)]
@@ -199,10 +214,9 @@ pub enum AccusationOutcome {
     },
 }
 
-struct DroneRecord {
-    operator_public: RsaPublicKey,
-    tee_public: RsaPublicKey,
-}
+/// A shared, immutable view of the zone registry taken at one
+/// generation; cloned out of the caches below without copying zones.
+type ZoneSnapshot = Arc<Vec<(ZoneId, NoFlyZone)>>;
 
 /// The AliDrone Server run by the auditor (paper §IV-C2).
 ///
@@ -213,8 +227,9 @@ pub struct Auditor {
     config: AuditorConfig,
     encryption_key: RsaPrivateKey,
     /// Records are `Arc`ed so verification can clone a handle out and
-    /// release the registry lock before the RSA work starts.
-    drones: RwLock<BTreeMap<DroneId, Arc<DroneRecord>>>,
+    /// release the registry lock before the RSA work starts; each holds
+    /// the *prepared* verifiers (see [`Registration`]).
+    drones: RwLock<BTreeMap<DroneId, Arc<Registration>>>,
     zones: RwLock<BTreeMap<ZoneId, NoFlyZone>>,
     used_nonces: Mutex<BTreeSet<(DroneId, [u8; 16])>>,
     stored: RwLock<Vec<StoredPoa>>,
@@ -234,6 +249,24 @@ pub struct Auditor {
     journal: Mutex<Option<Journal>>,
     /// The error that disabled journaling, if any.
     journal_error: Mutex<Option<JournalError>>,
+    /// The shared batch-verification pool, installed once (normally by
+    /// the server builder). `None` = every check runs serially inline.
+    verify_pool: OnceLock<Arc<VerifyPool>>,
+    /// Bounded cache of signature-check outcomes; identical
+    /// resubmissions skip the RSA exponentiation.
+    verify_cache: Arc<VerifyResultCache>,
+    /// Bumped on every zone-registry mutation (registration, journal
+    /// replay, snapshot restore); generation-keyed caches below can
+    /// then never serve a pre-mutation view.
+    zone_generation: AtomicU64,
+    /// Single-slot cache of the full zone snapshot verification runs
+    /// against, keyed by generation.
+    zone_snapshot: Mutex<Option<(u64, ZoneSnapshot)>>,
+    /// LRU of zone-query rectangle results, keyed by (generation,
+    /// corner coordinates).
+    zone_query_cache: Mutex<LruCache<(u64, [u64; 4]), ZoneSnapshot>>,
+    zone_cache_hits: Arc<Counter>,
+    zone_cache_misses: Arc<Counter>,
 }
 
 /// What [`Auditor::recover`] found in the journal.
@@ -279,7 +312,39 @@ impl Auditor {
             journal_append_latency: obs.histogram("auditor.journal_append_latency_us"),
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
+            verify_pool: OnceLock::new(),
+            verify_cache: Arc::new(VerifyResultCache::new(VERIFY_CACHE_CAP, obs)),
+            zone_generation: AtomicU64::new(0),
+            zone_snapshot: Mutex::new(None),
+            zone_query_cache: Mutex::new(LruCache::new(ZONE_QUERY_CACHE_CAP)),
+            zone_cache_hits: obs.counter("auditor.zone_query_cache.hits"),
+            zone_cache_misses: obs.counter("auditor.zone_query_cache.misses"),
         }
+    }
+
+    /// Installs the shared batch-verification pool. Returns `false`
+    /// (leaving the existing pool in place) if one was already
+    /// installed. Without a pool, signature checks run serially inline —
+    /// verdicts are identical either way.
+    pub fn install_verify_pool(&self, pool: Arc<VerifyPool>) -> bool {
+        self.verify_pool.set(pool).is_ok()
+    }
+
+    /// The installed batch-verification pool, if any.
+    pub fn verify_pool(&self) -> Option<&Arc<VerifyPool>> {
+        self.verify_pool.get()
+    }
+
+    /// The signature-outcome cache (exposed for hit-rate assertions and
+    /// chaos tests that prove verdicts are cache-independent).
+    pub fn verify_cache(&self) -> &VerifyResultCache {
+        &self.verify_cache
+    }
+
+    /// Invalidates every generation-keyed zone cache. Called on each
+    /// zone mutation; also safe (and cheap) to call from chaos hooks.
+    fn bump_zone_generation(&self) {
+        self.zone_generation.fetch_add(1, Ordering::Release);
     }
 
     /// Recovers an auditor from a journal on `backend` and arms it to
@@ -360,10 +425,10 @@ impl Auditor {
                     RsaPublicKey::new(BigUint::from_bytes_be(n), BigUint::from_bytes_be(e))
                         .map_err(ProtocolError::Crypto)
                 };
-                let record = DroneRecord {
-                    operator_public: key(op_modulus, op_exponent)?,
-                    tee_public: key(tee_modulus, tee_exponent)?,
-                };
+                let record = Registration::new(
+                    key(op_modulus, op_exponent)?,
+                    key(tee_modulus, tee_exponent)?,
+                );
                 self.drones
                     .write()
                     .unwrap_or_else(|p| p.into_inner())
@@ -383,6 +448,7 @@ impl Auditor {
                     .write()
                     .unwrap_or_else(|p| p.into_inner())
                     .insert(ZoneId::new(*id), zone);
+                self.bump_zone_generation();
                 self.next_zone.fetch_max(id + 1, Ordering::Relaxed);
             }
             Record::NonceUsed { drone, nonce } => {
@@ -536,13 +602,7 @@ impl Auditor {
         self.drones
             .write()
             .unwrap_or_else(|p| p.into_inner())
-            .insert(
-                id,
-                Arc::new(DroneRecord {
-                    operator_public,
-                    tee_public,
-                }),
-            );
+            .insert(id, Arc::new(Registration::new(operator_public, tee_public)));
         self.journal_append(&record);
         id
     }
@@ -559,6 +619,7 @@ impl Auditor {
             .write()
             .unwrap_or_else(|p| p.into_inner())
             .insert(id, zone);
+        self.bump_zone_generation();
         self.journal_append(&Record::RegisterZone {
             id: id.value(),
             lat_deg: zone.center().lat_deg(),
@@ -618,7 +679,7 @@ impl Auditor {
             .read()
             .unwrap_or_else(|p| p.into_inner())
             .get(&id)
-            .map(|d| d.tee_public.clone())
+            .map(|d| d.tee_public().clone())
     }
 
     /// Steps 2–3 — answers a zone query after verifying the signed nonce
@@ -638,8 +699,9 @@ impl Auditor {
             .get(&query.drone_id)
             .cloned()
             .ok_or(ProtocolError::UnknownDrone(query.drone_id))?;
-        // Signature verification runs outside every lock.
-        query.verify(&record.operator_public)?;
+        // Signature verification runs outside every lock, against the
+        // prepared verifier held in the registration record.
+        query.verify_with(record.operator())?;
         if !self
             .used_nonces
             .lock()
@@ -652,21 +714,123 @@ impl Auditor {
             drone: query.drone_id.value(),
             nonce: query.nonce,
         });
-        let zones = self
-            .zones
-            .read()
-            .map_err(|_| ProtocolError::LockPoisoned("zone registry"))?;
-        let all: ZoneSet = zones.values().copied().collect();
-        let within = all.within_rect(&query.corner1, &query.corner2);
-        let zones = zones
-            .iter()
-            .filter(|(_, z)| within.as_slice().contains(z))
-            .map(|(id, z)| (*id, *z))
-            .collect();
-        Ok(ZoneResponse { zones })
+        let zones = self.zones_in_rect(&query.corner1, &query.corner2)?;
+        Ok(ZoneResponse {
+            zones: zones.as_ref().clone(),
+        })
     }
 
-    /// Step 4 — verifies a plaintext submission and retains it.
+    /// Zones whose centres fall inside the rectangle, through a
+    /// generation-keyed LRU: the same navigation area queried twice
+    /// against an unchanged registry is a map lookup, and any zone
+    /// registration bumps the generation so stale results can never
+    /// match again.
+    fn zones_in_rect(
+        &self,
+        corner1: &alidrone_geo::GeoPoint,
+        corner2: &alidrone_geo::GeoPoint,
+    ) -> Result<ZoneSnapshot, ProtocolError> {
+        let generation = self.zone_generation.load(Ordering::Acquire);
+        let key = (
+            generation,
+            [
+                corner1.lat_deg().to_bits(),
+                corner1.lon_deg().to_bits(),
+                corner2.lat_deg().to_bits(),
+                corner2.lon_deg().to_bits(),
+            ],
+        );
+        if let Some(hit) = self
+            .zone_query_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
+            self.zone_cache_hits.add(1);
+            return Ok(Arc::clone(hit));
+        }
+        self.zone_cache_misses.add(1);
+        let result = {
+            let zones = self
+                .zones
+                .read()
+                .map_err(|_| ProtocolError::LockPoisoned("zone registry"))?;
+            let all: ZoneSet = zones.values().copied().collect();
+            let within = all.within_rect(corner1, corner2);
+            Arc::new(
+                zones
+                    .iter()
+                    .filter(|(_, z)| within.as_slice().contains(z))
+                    .map(|(id, z)| (*id, *z))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        self.zone_query_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// The point-in-time zone snapshot verification runs against,
+    /// cached per generation. Zones are append-only, so a snapshot
+    /// built just after a concurrent registration but stored under the
+    /// pre-registration generation is still sound — it only ever
+    /// contains *more* zones, exactly as if the submission had arrived
+    /// moments later.
+    fn zones_snapshot(&self) -> Result<ZoneSnapshot, ProtocolError> {
+        let generation = self.zone_generation.load(Ordering::Acquire);
+        {
+            let slot = self.zone_snapshot.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some((g, snap)) = &*slot {
+                if *g == generation {
+                    return Ok(Arc::clone(snap));
+                }
+            }
+        }
+        let snap: ZoneSnapshot = {
+            let zones = self
+                .zones
+                .read()
+                .map_err(|_| ProtocolError::LockPoisoned("zone registry"))?;
+            Arc::new(zones.iter().map(|(id, z)| (*id, *z)).collect())
+        };
+        *self.zone_snapshot.lock().unwrap_or_else(|p| p.into_inner()) =
+            Some((generation, Arc::clone(&snap)));
+        Ok(snap)
+    }
+
+    /// Step 4 — the typed verification entry point: verifies a
+    /// [`Submission`] (plaintext or encrypted) and retains it.
+    ///
+    /// This is the single funnel every transport lands in; the
+    /// [`verify_submission`](Self::verify_submission) and
+    /// [`verify_encrypted_submission`](Self::verify_encrypted_submission)
+    /// wrappers delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level problems only — unknown drone, or (for the
+    /// encrypted arm) decryption failure; every judgement about the PoA
+    /// itself is expressed in the returned [`VerificationReport`].
+    pub fn verify(
+        &self,
+        submission: &Submission,
+        now: Timestamp,
+    ) -> Result<VerificationReport, ProtocolError> {
+        match submission {
+            Submission::Plain(sub) => self.verify_plain(sub, now),
+            Submission::Encrypted {
+                drone_id,
+                window_start,
+                window_end,
+                poa,
+            } => self.decrypt_then_verify(*drone_id, *window_start, *window_end, poa, now),
+        }
+    }
+
+    /// Step 4 — verifies a plaintext submission and retains it. Thin
+    /// wrapper over [`verify`](Self::verify).
     ///
     /// Idempotent by construction: verification is a pure function of
     /// the PoA and the zone registry, so a resubmission after a lost
@@ -680,6 +844,14 @@ impl Auditor {
     /// judgement about the PoA itself is expressed in the returned
     /// [`VerificationReport`].
     pub fn verify_submission(
+        &self,
+        submission: &PoaSubmission,
+        now: Timestamp,
+    ) -> Result<VerificationReport, ProtocolError> {
+        self.verify_plain(submission, now)
+    }
+
+    fn verify_plain(
         &self,
         submission: &PoaSubmission,
         now: Timestamp,
@@ -700,15 +872,10 @@ impl Auditor {
                 return Err(ProtocolError::UnknownDrone(submission.drone_id));
             }
         };
-        // Verify against a point-in-time snapshot of the zone registry:
-        // the locks are released before the RSA/geometry work begins.
-        let zones: Vec<(ZoneId, NoFlyZone)> = {
-            let zones = self
-                .zones
-                .read()
-                .map_err(|_| ProtocolError::LockPoisoned("zone registry"))?;
-            zones.iter().map(|(id, z)| (*id, *z)).collect()
-        };
+        // Verify against a point-in-time snapshot of the zone registry
+        // (cached per generation): the locks are released before the
+        // RSA/geometry work begins.
+        let zones = self.zones_snapshot()?;
         let report = self.verify_poa_inner(&submission.poa, &record, submission, &zones);
         drop(span);
         self.stored
@@ -739,7 +906,7 @@ impl Auditor {
 
     /// Step 4, encrypted variant: decrypts with the auditor key first
     /// (paper §V-C — the Adapter persists the PoA encrypted under the
-    /// server's public key).
+    /// server's public key). Thin wrapper over [`verify`](Self::verify).
     ///
     /// # Errors
     ///
@@ -753,13 +920,24 @@ impl Auditor {
         encrypted: &EncryptedPoa,
         now: Timestamp,
     ) -> Result<VerificationReport, ProtocolError> {
+        self.decrypt_then_verify(drone_id, window_start, window_end, encrypted, now)
+    }
+
+    fn decrypt_then_verify(
+        &self,
+        drone_id: DroneId,
+        window_start: Timestamp,
+        window_end: Timestamp,
+        encrypted: &EncryptedPoa,
+        now: Timestamp,
+    ) -> Result<VerificationReport, ProtocolError> {
         let span = self
             .obs
             .enter_span_recording("auditor.decrypt", &self.decrypt_latency);
         let poa = encrypted.decrypt(&self.encryption_key);
         drop(span);
         let poa = poa?;
-        self.verify_submission(
+        self.verify_plain(
             &PoaSubmission {
                 drone_id,
                 window_start,
@@ -775,7 +953,7 @@ impl Auditor {
     fn verify_poa_inner(
         &self,
         poa: &ProofOfAlibi,
-        record: &DroneRecord,
+        record: &Arc<Registration>,
         submission: &PoaSubmission,
         zones: &[(ZoneId, NoFlyZone)],
     ) -> VerificationReport {
@@ -786,19 +964,27 @@ impl Auditor {
                 sufficiency: None,
             };
         }
-        // 2. Every signature verifies under the registered T⁺.
-        for (i, entry) in poa.entries().iter().enumerate() {
-            if entry.verify(&record.tee_public).is_err() {
-                return VerificationReport {
-                    verdict: Verdict::BadSignature { index: i },
-                    sufficiency: None,
-                };
-            }
+        // 2. Every signature verifies under the registered T⁺ — through
+        // the verify-result cache, fanned across the shared pool for
+        // batches worth the coordination. Reports the *lowest* failing
+        // index either way, so the verdict is identical to the serial
+        // loop this replaces.
+        if let Some(i) = self.check_entry_signatures(poa, record) {
+            return VerificationReport {
+                verdict: Verdict::BadSignature { index: i },
+                sufficiency: None,
+            };
         }
         // 2b. Declared GPS gaps verify under the same key — degraded-mode
         // outage declarations are evidence too, and must be TEE-attested.
+        // Gap lists are short (one per outage), so these stay serial but
+        // still go through the prepared verifier and the cache.
         for (i, gap) in poa.gaps().iter().enumerate() {
-            if gap.verify(&record.tee_public).is_err() {
+            let msg = alidrone_tee::SignedGapMarker::signing_bytes(gap.start(), gap.end());
+            if !self
+                .verify_cache
+                .check(record.tee(), &msg, gap.signature(), gap.hash_alg())
+            {
                 return VerificationReport {
                     verdict: Verdict::BadGapMarker { index: i },
                     sufficiency: None,
@@ -886,6 +1072,47 @@ impl Auditor {
         VerificationReport {
             verdict,
             sufficiency: Some(suff),
+        }
+    }
+
+    /// Step 2 of the pipeline: returns the lowest entry index whose TEE
+    /// signature fails, or `None` when all verify. Every check goes
+    /// through the verify-result cache; batches of [`MIN_BATCH`] or more
+    /// fan out across the installed [`VerifyPool`].
+    fn check_entry_signatures(
+        &self,
+        poa: &ProofOfAlibi,
+        record: &Arc<Registration>,
+    ) -> Option<usize> {
+        let entries = poa.entries();
+        match self.verify_pool.get() {
+            Some(pool) if entries.len() >= MIN_BATCH => {
+                // Entries are cloned into the batch so workers borrow
+                // nothing request-scoped; the clones are sample structs
+                // plus signature bytes — noise next to one RSA op.
+                let items = Arc::new(entries.to_vec());
+                let cache = Arc::clone(&self.verify_cache);
+                let record = Arc::clone(record);
+                pool.first_failure(
+                    items,
+                    Arc::new(move |_, entry: &SignedSample| {
+                        cache.check(
+                            record.tee(),
+                            &entry.sample().to_bytes(),
+                            entry.signature(),
+                            entry.hash_alg(),
+                        )
+                    }),
+                )
+            }
+            _ => entries.iter().position(|entry| {
+                !self.verify_cache.check(
+                    record.tee(),
+                    &entry.sample().to_bytes(),
+                    entry.signature(),
+                    entry.hash_alg(),
+                )
+            }),
         }
     }
 
@@ -1026,10 +1253,10 @@ impl Auditor {
         w.put_u32(drones.len() as u32);
         for (id, rec) in drones.iter() {
             w.put_u64(id.value());
-            w.put_bytes(&rec.operator_public.modulus().to_bytes_be());
-            w.put_bytes(&rec.operator_public.exponent().to_bytes_be());
-            w.put_bytes(&rec.tee_public.modulus().to_bytes_be());
-            w.put_bytes(&rec.tee_public.exponent().to_bytes_be());
+            w.put_bytes(&rec.operator_public().modulus().to_bytes_be());
+            w.put_bytes(&rec.operator_public().exponent().to_bytes_be());
+            w.put_bytes(&rec.tee_public().modulus().to_bytes_be());
+            w.put_bytes(&rec.tee_public().exponent().to_bytes_be());
         }
         drop(drones);
 
@@ -1103,13 +1330,7 @@ impl Auditor {
             let id = DroneId::new(r.get_u64()?);
             let operator_public = read_key(&mut r)?;
             let tee_public = read_key(&mut r)?;
-            drones.insert(
-                id,
-                Arc::new(DroneRecord {
-                    operator_public,
-                    tee_public,
-                }),
-            );
+            drones.insert(id, Arc::new(Registration::new(operator_public, tee_public)));
         }
 
         let n = r.get_u32()? as usize;
@@ -1179,12 +1400,19 @@ impl Auditor {
             stored: RwLock::new(stored),
             next_drone: AtomicU64::new(next_drone),
             next_zone: AtomicU64::new(next_zone),
-            obs,
             verify_latency,
             decrypt_latency,
             journal_append_latency,
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
+            verify_pool: OnceLock::new(),
+            verify_cache: Arc::new(VerifyResultCache::new(VERIFY_CACHE_CAP, &obs)),
+            zone_generation: AtomicU64::new(0),
+            zone_snapshot: Mutex::new(None),
+            zone_query_cache: Mutex::new(LruCache::new(ZONE_QUERY_CACHE_CAP)),
+            zone_cache_hits: obs.counter("auditor.zone_query_cache.hits"),
+            zone_cache_misses: obs.counter("auditor.zone_query_cache.misses"),
+            obs,
         })
     }
 }

@@ -1,0 +1,258 @@
+//! Bounded caches for the verification hot path.
+//!
+//! Two users inside the auditor (DESIGN.md §12):
+//!
+//! * a verify-result cache mapping `(key fingerprint, message hash,
+//!   signature hash, hash alg)` to the signature verdict, so identical
+//!   resubmissions — retries after a lost response, duplicate PoA
+//!   uploads — skip the RSA exponentiation entirely;
+//! * zone-snapshot / zone-query caches keyed by a registry *generation*
+//!   that every zone mutation bumps, so invalidation is a single atomic
+//!   increment and stale entries can never be served (they simply stop
+//!   matching and age out of the LRU).
+//!
+//! Everything is `std`-only and bounded: a cache miss costs one map
+//! lookup, and the memory ceiling is `capacity × entry size` regardless
+//! of how adversarial the key stream is.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+use alidrone_crypto::rsa::{HashAlg, RsaVerifier};
+use alidrone_crypto::sha256::sha256;
+use alidrone_obs::{Counter, Obs};
+
+/// A bounded least-recently-used map.
+///
+/// Recency is tracked with a monotonic tick per access; eviction removes
+/// the entry with the smallest tick. Both `get` and `insert` are
+/// `O(log capacity)`. Not thread-safe — wrap in a `Mutex` (see
+/// [`VerifyResultCache`]) to share.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    /// tick → key, ordered oldest-first for eviction.
+    order: BTreeMap<u64, K>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries
+    /// (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let tick = self.next_tick();
+        match self.map.get_mut(key) {
+            Some((_, old)) => {
+                self.order.remove(old);
+                self.order.insert(tick, key.clone());
+                *old = tick;
+                self.map.get(key).map(|(v, _)| v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        let tick = self.next_tick();
+        if let Some((_, old)) = self.map.remove(&key) {
+            self.order.remove(&old);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.map.remove(&victim);
+                }
+            }
+        }
+        self.order.insert(tick, key.clone());
+        self.map.insert(key, (value, tick));
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Cache key for one signature check: key fingerprint, SHA-256 of the
+/// message, SHA-256 of the signature, and the hash algorithm tag.
+type VerifyKey = ([u8; 32], [u8; 32], [u8; 32], u8);
+
+/// A shared, bounded cache of signature-check outcomes.
+///
+/// Keyed by the verifier's [fingerprint](RsaVerifier::fingerprint) plus
+/// hashes of message and signature, so a hit requires the *same* key,
+/// bytes, and algorithm — any tampering changes the key and misses.
+/// Both outcomes are cached: a forged signature resubmitted in a retry
+/// storm costs one lookup, not one exponentiation per attempt.
+#[derive(Debug)]
+pub struct VerifyResultCache {
+    inner: Mutex<LruCache<VerifyKey, bool>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl VerifyResultCache {
+    /// Creates a cache bounded to `capacity` outcomes, with hit/miss
+    /// counters `auditor.verify_cache.{hits,misses}` on `obs`.
+    pub fn new(capacity: usize, obs: &Obs) -> Self {
+        VerifyResultCache {
+            inner: Mutex::new(LruCache::new(capacity)),
+            hits: obs.counter("auditor.verify_cache.hits"),
+            misses: obs.counter("auditor.verify_cache.misses"),
+        }
+    }
+
+    /// Checks `sig` over `msg` under `verifier`, consulting the cache
+    /// first. Returns `true` when the signature verifies.
+    pub fn check(&self, verifier: &RsaVerifier, msg: &[u8], sig: &[u8], alg: HashAlg) -> bool {
+        let key: VerifyKey = (
+            *verifier.fingerprint(),
+            sha256(msg),
+            sha256(sig),
+            match alg {
+                HashAlg::Sha1 => 1,
+                HashAlg::Sha256 => 2,
+            },
+        );
+        // Invariant: lock holders only touch the map, never panic
+        // mid-mutation of anything observable, so a poisoned lock still
+        // guards sound data.
+        if let Some(&hit) = self
+            .inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
+            self.hits.add(1);
+            return hit;
+        }
+        self.misses.add(1);
+        let ok = verifier.verify(msg, sig, alg).is_ok();
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, ok);
+        ok
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Drops every cached outcome (used by chaos tests to prove verdicts
+    /// do not depend on cache state).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alidrone_crypto::rng::XorShift64;
+    use alidrone_crypto::rsa::RsaPrivateKey;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh "a"
+        c.insert("c", 3); // evicts "b"
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_insert_refreshes_existing_key() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh, not a new entry
+        c.insert("c", 3); // evicts "b" (oldest), not "a"
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn lru_capacity_clamped_to_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, "x");
+        c.insert(2, "y");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.get(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn verify_cache_hits_on_resubmission_and_caches_failures() {
+        let mut rng = XorShift64::seed_from_u64(3);
+        let key = RsaPrivateKey::generate(512, &mut rng);
+        let verifier = key.public_key().verifier();
+        let sig = key.sign(b"msg", HashAlg::Sha1).unwrap();
+        let cache = VerifyResultCache::new(16, &Obs::noop());
+
+        assert!(cache.check(&verifier, b"msg", &sig, HashAlg::Sha1));
+        assert!(cache.check(&verifier, b"msg", &sig, HashAlg::Sha1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // A tampered signature misses (different key) and caches `false`.
+        let mut bad = sig.clone();
+        bad[0] ^= 1;
+        assert!(!cache.check(&verifier, b"msg", &bad, HashAlg::Sha1));
+        assert!(!cache.check(&verifier, b"msg", &bad, HashAlg::Sha1));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+
+        // Same bytes under a different algorithm tag is a different key.
+        assert!(!cache.check(&verifier, b"msg", &sig, HashAlg::Sha256));
+        assert_eq!(cache.misses(), 3);
+
+        cache.clear();
+        assert!(cache.check(&verifier, b"msg", &sig, HashAlg::Sha1));
+        assert_eq!(cache.misses(), 4);
+    }
+}

@@ -1,6 +1,9 @@
-//! Identifiers issued by the auditor (paper Table I).
+//! Identifiers issued by the auditor (paper Table I) and the
+//! registration record kept per drone.
 
 use std::fmt;
+
+use alidrone_crypto::rsa::{RsaPublicKey, RsaVerifier};
 
 /// `id_drone` — the drone's license-plate-like identifier, issued at
 /// registration and physically carried on the drone.
@@ -45,6 +48,57 @@ impl ZoneId {
 impl fmt::Display for ZoneId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "zone-{:06}", self.0)
+    }
+}
+
+/// What registration (step 0) stores per drone: `(D⁺, T⁺)` held in
+/// *prepared* form.
+///
+/// Both keys are kept as [`RsaVerifier`]s, so the per-key Montgomery
+/// parameters are computed exactly once — at registration or journal
+/// replay — and every later zone query or PoA entry check reuses them.
+/// The auditor never re-parses or re-prepares a public key per request.
+pub(crate) struct Registration {
+    operator: RsaVerifier,
+    tee: RsaVerifier,
+}
+
+impl Registration {
+    /// Prepares both keys once.
+    pub(crate) fn new(operator_public: RsaPublicKey, tee_public: RsaPublicKey) -> Self {
+        Registration {
+            operator: operator_public.verifier(),
+            tee: tee_public.verifier(),
+        }
+    }
+
+    /// The prepared operator verification key `D⁺`.
+    pub(crate) fn operator(&self) -> &RsaVerifier {
+        &self.operator
+    }
+
+    /// The prepared TEE verification key `T⁺`.
+    pub(crate) fn tee(&self) -> &RsaVerifier {
+        &self.tee
+    }
+
+    /// The raw operator public key (snapshot serialisation).
+    pub(crate) fn operator_public(&self) -> &RsaPublicKey {
+        self.operator.public_key()
+    }
+
+    /// The raw TEE public key (snapshot serialisation, key export).
+    pub(crate) fn tee_public(&self) -> &RsaPublicKey {
+        self.tee.public_key()
+    }
+}
+
+impl fmt::Debug for Registration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registration")
+            .field("operator_bits", &self.operator_public().bits())
+            .field("tee_bits", &self.tee_public().bits())
+            .finish()
     }
 }
 

@@ -60,10 +60,12 @@ mod poa;
 mod test_support;
 mod zone_owner;
 
+pub mod cache;
 pub mod journal;
 pub mod privacy;
 pub mod sampling;
 pub mod symmetric;
+pub mod verify_pool;
 pub mod wire;
 
 pub use auditor::{
@@ -76,7 +78,7 @@ pub use flight::{
     SamplingStrategy,
 };
 pub use identity::{DroneId, ZoneId};
-pub use messages::{Accusation, PoaSubmission, ZoneQuery, ZoneResponse};
+pub use messages::{Accusation, PoaSubmission, Submission, ZoneQuery, ZoneResponse};
 pub use operator::DroneOperator;
 pub use poa::{EncryptedPoa, ProofOfAlibi};
 pub use zone_owner::ZoneOwner;

@@ -2,10 +2,10 @@
 
 use std::fmt;
 
-use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey, RsaPublicKey};
+use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey, RsaPublicKey, RsaVerifier};
 use alidrone_geo::{GeoPoint, Timestamp};
 
-use crate::poa::ProofOfAlibi;
+use crate::poa::{EncryptedPoa, ProofOfAlibi};
 use crate::{DroneId, ProtocolError, ZoneId};
 
 /// Step 2 — a zone query: "the drone id, two GPS coordinates …
@@ -50,11 +50,23 @@ impl ZoneQuery {
 
     /// Verifies the nonce signature under the registered `D⁺`.
     ///
+    /// One-shot convenience over [`verify_with`](Self::verify_with).
+    ///
     /// # Errors
     ///
     /// Returns [`ProtocolError::QuerySignatureInvalid`] on mismatch.
     pub fn verify(&self, operator_public: &RsaPublicKey) -> Result<(), ProtocolError> {
-        operator_public
+        self.verify_with(&operator_public.verifier())
+    }
+
+    /// Verifies the nonce signature with a prepared `D⁺` verifier,
+    /// skipping the per-key precomputation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify).
+    pub fn verify_with(&self, operator: &RsaVerifier) -> Result<(), ProtocolError> {
+        operator
             .verify(&self.nonce, &self.signature, HashAlg::Sha256)
             .map_err(|_| ProtocolError::QuerySignatureInvalid)
     }
@@ -95,6 +107,79 @@ impl fmt::Display for PoaSubmission {
             "{} flight [{} → {}] with {}",
             self.drone_id, self.window_start, self.window_end, self.poa
         )
+    }
+}
+
+/// A step-4 submission in either transport form — the typed entry point
+/// for [`Auditor::verify`](crate::Auditor::verify).
+///
+/// Both protocol variants (plaintext PoA and the §V-C
+/// encrypted-under-the-server-key form) funnel through one verification
+/// path; this enum is the seam. The older
+/// `verify_submission`/`verify_encrypted_submission` methods remain as
+/// thin wrappers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submission {
+    /// A plaintext Proof-of-Alibi submission.
+    Plain(PoaSubmission),
+    /// A PoA encrypted under the auditor's public key (paper §V-C).
+    Encrypted {
+        /// The submitting drone.
+        drone_id: DroneId,
+        /// Claimed takeoff time.
+        window_start: Timestamp,
+        /// Claimed landing time.
+        window_end: Timestamp,
+        /// The encrypted proof.
+        poa: EncryptedPoa,
+    },
+}
+
+impl Submission {
+    /// Wraps a plaintext submission.
+    pub fn plain(submission: PoaSubmission) -> Self {
+        Submission::Plain(submission)
+    }
+
+    /// Wraps an encrypted submission with its claimed flight window.
+    pub fn encrypted(
+        drone_id: DroneId,
+        window_start: Timestamp,
+        window_end: Timestamp,
+        poa: EncryptedPoa,
+    ) -> Self {
+        Submission::Encrypted {
+            drone_id,
+            window_start,
+            window_end,
+            poa,
+        }
+    }
+
+    /// The submitting drone, in either form.
+    pub fn drone_id(&self) -> DroneId {
+        match self {
+            Submission::Plain(s) => s.drone_id,
+            Submission::Encrypted { drone_id, .. } => *drone_id,
+        }
+    }
+
+    /// The claimed flight window, in either form.
+    pub fn window(&self) -> (Timestamp, Timestamp) {
+        match self {
+            Submission::Plain(s) => (s.window_start, s.window_end),
+            Submission::Encrypted {
+                window_start,
+                window_end,
+                ..
+            } => (*window_start, *window_end),
+        }
+    }
+}
+
+impl From<PoaSubmission> for Submission {
+    fn from(s: PoaSubmission) -> Self {
+        Submission::Plain(s)
     }
 }
 

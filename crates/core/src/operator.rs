@@ -10,7 +10,7 @@ use alidrone_tee::{TeeClient, GPS_SAMPLER_UUID};
 
 use crate::auditor::{Auditor, VerificationReport};
 use crate::flight::{run_flight, FlightRecord, SamplingStrategy};
-use crate::messages::{PoaSubmission, ZoneQuery, ZoneResponse};
+use crate::messages::{PoaSubmission, Submission, ZoneQuery, ZoneResponse};
 use crate::{DroneId, ProtocolError};
 
 /// A drone operator: owns the operator keypair `D`, holds the drone's
@@ -128,13 +128,13 @@ impl DroneOperator {
         let drone_id = self
             .drone_id
             .ok_or(ProtocolError::Malformed("drone not registered"))?;
-        auditor.verify_submission(
-            &PoaSubmission {
+        auditor.verify(
+            &Submission::plain(PoaSubmission {
                 drone_id,
                 window_start: record.window_start,
                 window_end: record.window_end,
                 poa: record.poa.clone(),
-            },
+            }),
             now,
         )
     }
@@ -156,11 +156,8 @@ impl DroneOperator {
             .drone_id
             .ok_or(ProtocolError::Malformed("drone not registered"))?;
         let encrypted = record.poa.encrypt(auditor.public_encryption_key(), rng)?;
-        auditor.verify_encrypted_submission(
-            drone_id,
-            record.window_start,
-            record.window_end,
-            &encrypted,
+        auditor.verify(
+            &Submission::encrypted(drone_id, record.window_start, record.window_end, encrypted),
             now,
         )
     }

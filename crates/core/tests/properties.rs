@@ -19,7 +19,7 @@ use alidrone_core::wire::{
     encode_enveloped, split_envelope, Request, Response, WireTraceContext, ENVELOPE_MAGIC,
 };
 use alidrone_core::{
-    Auditor, AuditorConfig, DroneId, PoaSubmission, ProofOfAlibi, Verdict, ZoneId,
+    Auditor, AuditorConfig, DroneId, PoaSubmission, ProofOfAlibi, Submission, Verdict, ZoneId,
 };
 use alidrone_crypto::rng::{Rng, XorShift64};
 use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
@@ -111,14 +111,14 @@ fn compliant_verdict_is_sound() {
         }
         let first = trace.first().unwrap().sample().time();
         let last = trace.last().unwrap().sample().time();
-        let submission = PoaSubmission {
+        let submission = Submission::plain(PoaSubmission {
             drone_id: drone,
             window_start: first,
             window_end: last,
             poa: ProofOfAlibi::from_entries(trace.clone()),
-        };
+        });
         let report = auditor
-            .verify_submission(&submission, Timestamp::from_secs(0.0))
+            .verify(&submission, Timestamp::from_secs(0.0))
             .unwrap();
         if report.is_compliant() {
             let alibi: Vec<GpsSample> = trace.iter().map(|e| *e.sample()).collect();
@@ -156,18 +156,14 @@ fn verification_is_deterministic() {
         for z in &zones {
             auditor.register_zone(*z);
         }
-        let submission = PoaSubmission {
+        let submission = Submission::plain(PoaSubmission {
             drone_id: drone,
             window_start: trace.first().unwrap().sample().time(),
             window_end: trace.last().unwrap().sample().time(),
             poa: ProofOfAlibi::from_entries(trace),
-        };
-        let a = auditor
-            .verify_submission(&submission, Timestamp::EPOCH)
-            .unwrap();
-        let b = auditor
-            .verify_submission(&submission, Timestamp::EPOCH)
-            .unwrap();
+        });
+        let a = auditor.verify(&submission, Timestamp::EPOCH).unwrap();
+        let b = auditor.verify(&submission, Timestamp::EPOCH).unwrap();
         assert_eq!(a.verdict, b.verdict);
     }
 }

@@ -1,0 +1,177 @@
+//! Batch-vs-serial verdict equivalence for the verification pipeline.
+//!
+//! An auditor with a [`VerifyPool`] installed fans per-entry signature
+//! checks across worker threads and aborts a batch early at the first
+//! failure; an auditor without one checks entries serially. The two must
+//! be observationally identical: same verdict, same failing index, for
+//! honest traces and for every signature-forgery strategy. This campaign
+//! drives both through 50 deterministic seeds, each seed picking a trace
+//! shape and an adversarial mutation.
+
+use std::sync::{Arc, OnceLock};
+
+use alidrone_core::verify_pool::VerifyPool;
+use alidrone_core::{Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi, Submission};
+use alidrone_crypto::rng::{Rng, XorShift64};
+use alidrone_crypto::rsa::{HashAlg, RsaPrivateKey};
+use alidrone_geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp};
+use alidrone_obs::Obs;
+use alidrone_tee::SignedSample;
+
+const SEEDS: u64 = 50;
+
+fn tee_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShift64::seed_from_u64(0xBA7C);
+        RsaPrivateKey::generate(512, &mut rng)
+    })
+}
+
+fn forger_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShift64::seed_from_u64(0xBA7D);
+        RsaPrivateKey::generate(512, &mut rng)
+    })
+}
+
+fn auditor_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = XorShift64::seed_from_u64(0xBA7E);
+        RsaPrivateKey::generate(512, &mut rng)
+    })
+}
+
+fn origin() -> GeoPoint {
+    GeoPoint::new(40.1164, -88.2434).unwrap()
+}
+
+fn in_range(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen_f64() * (hi - lo)
+}
+
+/// A physically plausible honest trace, long enough that the pooled
+/// auditor always takes the batched path (its floor is 4 entries).
+fn arb_trace(rng: &mut XorShift64) -> Vec<SignedSample> {
+    let n = 8 + rng.gen_range_u64(24) as usize;
+    let speed = in_range(rng, 0.0, 40.0);
+    let dt = in_range(rng, 0.2, 20.0);
+    let bearing = in_range(rng, 0.0, 360.0);
+    (0..n)
+        .map(|i| {
+            let s = GpsSample::new(
+                origin().destination(bearing, Distance::from_meters(speed * dt * i as f64)),
+                Timestamp::from_secs(dt * i as f64),
+            );
+            let sig = tee_key().sign(&s.to_bytes(), HashAlg::Sha1).unwrap();
+            SignedSample::from_parts(s, sig, HashAlg::Sha1)
+        })
+        .collect()
+}
+
+/// The adversarial mutations a dishonest operator can apply without the
+/// TEE key. `kind` cycles so the 50 seeds cover each several times.
+fn mutate(trace: &mut [SignedSample], kind: u64, rng: &mut XorShift64) {
+    let idx = rng.gen_range_u64(trace.len() as u64) as usize;
+    let entry = &trace[idx];
+    match kind {
+        // Honest: leave the trace alone.
+        0 => {}
+        // Forge: re-sign one sample with a non-TEE key.
+        1 => {
+            let sig = forger_key()
+                .sign(&entry.sample().to_bytes(), HashAlg::Sha1)
+                .unwrap();
+            trace[idx] = SignedSample::from_parts(*entry.sample(), sig, HashAlg::Sha1);
+        }
+        // Tamper: move a sample but keep its genuine signature.
+        2 => {
+            let moved = GpsSample::new(
+                entry
+                    .sample()
+                    .point()
+                    .destination(180.0, Distance::from_meters(250.0)),
+                entry.sample().time(),
+            );
+            trace[idx] = SignedSample::from_parts(moved, entry.signature().to_vec(), HashAlg::Sha1);
+        }
+        // Corrupt: flip a byte of the signature itself.
+        3 => {
+            let mut sig = entry.signature().to_vec();
+            let b = rng.gen_range_u64(sig.len() as u64) as usize;
+            sig[b] ^= 0x40;
+            trace[idx] = SignedSample::from_parts(*entry.sample(), sig, HashAlg::Sha1);
+        }
+        // Multi-forge: several bad entries — the reported index must be
+        // the lowest one, exactly as the serial scan finds it.
+        _ => {
+            for _ in 0..3 {
+                let i = rng.gen_range_u64(trace.len() as u64) as usize;
+                let sig = forger_key()
+                    .sign(&trace[i].sample().to_bytes(), HashAlg::Sha1)
+                    .unwrap();
+                trace[i] = SignedSample::from_parts(*trace[i].sample(), sig, HashAlg::Sha1);
+            }
+        }
+    }
+}
+
+/// Builds a registered auditor, optionally with a verify pool installed.
+fn auditor(pooled: bool) -> (Auditor, alidrone_core::DroneId) {
+    let a = Auditor::new(AuditorConfig::default(), auditor_key().clone());
+    if pooled {
+        assert!(a.install_verify_pool(Arc::new(VerifyPool::new(4, &Obs::noop()))));
+    }
+    let id = a.register_drone(
+        forger_key().public_key().clone(),
+        tee_key().public_key().clone(),
+    );
+    a.register_zone(NoFlyZone::new(
+        origin().destination(45.0, Distance::from_km(2.0)),
+        Distance::from_meters(80.0),
+    ));
+    (a, id)
+}
+
+#[test]
+fn batched_and_serial_verdicts_agree_across_seeds() {
+    for seed in 0..SEEDS {
+        let mut rng = XorShift64::seed_from_u64(0x50A1 ^ seed);
+        let mut trace = arb_trace(&mut rng);
+        mutate(&mut trace, seed % 5, &mut rng);
+        let window_start = trace.first().unwrap().sample().time();
+        let window_end = trace.last().unwrap().sample().time();
+
+        let (serial, serial_id) = auditor(false);
+        let (pooled, pooled_id) = auditor(true);
+        assert_eq!(serial_id, pooled_id);
+
+        let submission = |id| {
+            Submission::plain(PoaSubmission {
+                drone_id: id,
+                window_start,
+                window_end,
+                poa: ProofOfAlibi::from_entries(trace.clone()),
+            })
+        };
+        let a = serial
+            .verify(&submission(serial_id), Timestamp::EPOCH)
+            .unwrap();
+        let b = pooled
+            .verify(&submission(pooled_id), Timestamp::EPOCH)
+            .unwrap();
+        assert_eq!(
+            a.verdict, b.verdict,
+            "seed {seed}: batched verdict diverged from serial"
+        );
+
+        // Resubmission hits the pooled auditor's verify-result cache;
+        // the verdict must not change.
+        let c = pooled
+            .verify(&submission(pooled_id), Timestamp::EPOCH)
+            .unwrap();
+        assert_eq!(b.verdict, c.verdict, "seed {seed}: cached verdict diverged");
+    }
+}

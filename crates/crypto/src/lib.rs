@@ -9,9 +9,14 @@
 //! extensions need — from scratch:
 //!
 //! * [`bigint::BigUint`] — arbitrary-precision arithmetic (Knuth D
-//!   division, modular exponentiation, modular inverse).
+//!   division, modular inverse) with a Montgomery fast path for modular
+//!   exponentiation: [`bigint::MontgomeryContext`] precomputes the
+//!   domain parameters per modulus and runs a fixed-window ladder over
+//!   64-bit CIOS multiplication and dedicated squaring.
 //! * [`prime`] — Miller–Rabin testing and RSA prime generation.
-//! * [`rsa`] — RSASSA-PKCS1-v1.5 (SHA-1/SHA-256) and RSAES-PKCS1-v1.5.
+//! * [`rsa`] — RSASSA-PKCS1-v1.5 (SHA-1/SHA-256) and RSAES-PKCS1-v1.5,
+//!   with [`rsa::RsaVerifier`] holding the per-key precomputation for
+//!   hot verify paths.
 //! * [`sha1`], [`sha256`], [`hmac`] — hashes and MACs.
 //! * [`chacha20`] — the one-time-key cipher for the privacy-preserving
 //!   PoA extension (§VII-B3).

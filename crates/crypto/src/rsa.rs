@@ -10,9 +10,12 @@
 //! also what real TEE crypto stacks do; this matters for the benchmarks
 //! because CRT makes the 2048-bit/1024-bit signing cost ratio realistic.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
 use crate::rng::Rng;
 
-use crate::bigint::BigUint;
+use crate::bigint::{BigUint, MontgomeryContext};
 use crate::error::CryptoError;
 use crate::prime::gen_prime;
 use crate::sha1::sha1;
@@ -69,16 +72,29 @@ impl RsaPublicKey {
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::InvalidKey`] for a zero modulus or an
-    /// exponent less than 3.
+    /// Returns [`CryptoError::InvalidKey`] for a zero or even modulus
+    /// (an RSA modulus is a product of odd primes; rejecting even `n`
+    /// here also guarantees the Montgomery fast path applies to every
+    /// wire-supplied key) or an exponent less than 3.
     pub fn new(n: BigUint, e: BigUint) -> Result<Self, CryptoError> {
         if n.is_zero() {
             return Err(CryptoError::InvalidKey("zero modulus"));
+        }
+        if n.is_even() {
+            return Err(CryptoError::InvalidKey("even modulus"));
         }
         if e < BigUint::from_u64(3) {
             return Err(CryptoError::InvalidKey("public exponent below 3"));
         }
         Ok(RsaPublicKey { n, e })
+    }
+
+    /// Builds the precomputed-context verifier for this key. Prefer
+    /// holding an [`RsaVerifier`] wherever the same key verifies more
+    /// than once — [`verify`](Self::verify) rebuilds the Montgomery
+    /// parameters on every call.
+    pub fn verifier(&self) -> RsaVerifier {
+        RsaVerifier::new(self.clone())
     }
 
     /// The modulus `n`.
@@ -102,28 +118,13 @@ impl RsaPublicKey {
     }
 
     /// Verifies an RSASSA-PKCS1-v1.5 signature over `msg`.
+    ///
+    /// One-shot convenience: delegates to a throwaway [`RsaVerifier`],
+    /// paying the per-key Montgomery precomputation on every call. Hot
+    /// paths should build the verifier once via
+    /// [`verifier`](Self::verifier) and reuse it.
     pub fn verify(&self, msg: &[u8], signature: &[u8], alg: HashAlg) -> Result<(), CryptoError> {
-        let k = self.modulus_len();
-        if signature.len() != k {
-            return Err(CryptoError::InvalidLength {
-                expected: k,
-                got: signature.len(),
-            });
-        }
-        let s = BigUint::from_bytes_be(signature);
-        if s.cmp_val(&self.n) != std::cmp::Ordering::Less {
-            return Err(CryptoError::InvalidSignature);
-        }
-        let em = s
-            .mod_pow(&self.e, &self.n)
-            .to_bytes_be_padded(k)
-            .ok_or(CryptoError::InvalidSignature)?;
-        let expected = emsa_pkcs1_v15_encode(msg, k, alg)?;
-        if em == expected {
-            Ok(())
-        } else {
-            Err(CryptoError::InvalidSignature)
-        }
+        self.verifier().verify(msg, signature, alg)
     }
 
     /// Encrypts up to `k − 11` bytes with RSAES-PKCS1-v1.5.
@@ -140,7 +141,7 @@ impl RsaPublicKey {
         let k = self.modulus_len();
         if msg.len() + 11 > k {
             return Err(CryptoError::MessageTooLong {
-                max: k - 11,
+                max: k.saturating_sub(11),
                 got: msg.len(),
             });
         }
@@ -165,6 +166,115 @@ impl RsaPublicKey {
     }
 }
 
+/// How many prepared contexts each thread's modulus cache retains.
+const CTX_CACHE_CAP: usize = 8;
+
+/// Per-thread MRU cache of prepared Montgomery contexts, keyed by
+/// modulus. One-shot verifies that repeat a key without holding an
+/// [`RsaVerifier`] hit this instead of re-deriving `R² mod n` per call;
+/// thread-local storage keeps the hit path lock-free. Returns `None`
+/// for an even modulus (no Montgomery context exists), without caching
+/// the miss.
+fn cached_context(n: &BigUint) -> Option<Arc<MontgomeryContext>> {
+    thread_local! {
+        static CTX_CACHE: RefCell<Vec<Arc<MontgomeryContext>>> =
+            const { RefCell::new(Vec::new()) };
+    }
+    CTX_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(i) = cache.iter().position(|c| c.modulus() == n) {
+            let ctx = cache.remove(i);
+            cache.push(Arc::clone(&ctx));
+            return Some(ctx);
+        }
+        let ctx = Arc::new(MontgomeryContext::new(n)?);
+        if cache.len() == CTX_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(Arc::clone(&ctx));
+        Some(ctx)
+    })
+}
+
+/// A verification context with per-key precomputation done once.
+///
+/// Holds the Montgomery parameters (`n' = -n⁻¹ mod 2⁶⁴`, `R² mod n`,
+/// `R mod n`) for the key's modulus plus a stable key fingerprint, so
+/// repeated verifies under the same key skip both the parameter setup
+/// and every Knuth division the classic path pays per multiplication.
+/// This is the type registration records and long-lived services should
+/// hold; [`RsaPublicKey::verify`] builds a throwaway one per call
+/// (softened by a small per-thread context cache for repeated keys).
+#[derive(Debug, Clone)]
+pub struct RsaVerifier {
+    key: RsaPublicKey,
+    /// `None` only for a (never-valid-RSA) even modulus, which falls
+    /// back to the classic exponentiation path.
+    ctx: Option<Arc<MontgomeryContext>>,
+    /// Computed on first use so one-shot verifies never pay for it.
+    fingerprint: std::sync::OnceLock<[u8; 32]>,
+}
+
+impl RsaVerifier {
+    /// Prepares a verifier for `key`, computing the Montgomery
+    /// parameters once (or adopting this thread's cached copy).
+    pub fn new(key: RsaPublicKey) -> Self {
+        RsaVerifier {
+            ctx: cached_context(&key.n),
+            fingerprint: std::sync::OnceLock::new(),
+            key,
+        }
+    }
+
+    /// The underlying public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.key
+    }
+
+    /// A stable SHA-256 identity over length-prefixed `(n, e)`, suitable
+    /// as a cache key for "which key verified this".
+    pub fn fingerprint(&self) -> &[u8; 32] {
+        self.fingerprint.get_or_init(|| {
+            let n_bytes = self.key.n.to_bytes_be();
+            let e_bytes = self.key.e.to_bytes_be();
+            let mut pre = Vec::with_capacity(8 + n_bytes.len() + e_bytes.len());
+            pre.extend_from_slice(&(n_bytes.len() as u32).to_be_bytes());
+            pre.extend_from_slice(&n_bytes);
+            pre.extend_from_slice(&(e_bytes.len() as u32).to_be_bytes());
+            pre.extend_from_slice(&e_bytes);
+            sha256(&pre)
+        })
+    }
+
+    /// Verifies an RSASSA-PKCS1-v1.5 signature over `msg` using the
+    /// precomputed context.
+    pub fn verify(&self, msg: &[u8], signature: &[u8], alg: HashAlg) -> Result<(), CryptoError> {
+        let k = self.key.modulus_len();
+        if signature.len() != k {
+            return Err(CryptoError::InvalidLength {
+                expected: k,
+                got: signature.len(),
+            });
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s.cmp_val(&self.key.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::InvalidSignature);
+        }
+        let em = match &self.ctx {
+            Some(ctx) => ctx.mod_pow(&s, &self.key.e),
+            None => s.mod_pow_classic(&self.key.e, &self.key.n),
+        }
+        .to_bytes_be_padded(k)
+        .ok_or(CryptoError::InvalidSignature)?;
+        let expected = emsa_pkcs1_v15_encode(msg, k, alg)?;
+        if em == expected {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidSignature)
+        }
+    }
+}
+
 /// An RSA private key with CRT parameters.
 #[derive(Debug, Clone)]
 pub struct RsaPrivateKey {
@@ -175,6 +285,11 @@ pub struct RsaPrivateKey {
     dp: BigUint,
     dq: BigUint,
     qinv: BigUint,
+    /// Montgomery contexts for the CRT primes, prepared at key
+    /// construction so every sign/decrypt reuses them (`None` never
+    /// happens for real primes; kept as a fallback for robustness).
+    mont_p: Option<MontgomeryContext>,
+    mont_q: Option<MontgomeryContext>,
 }
 
 impl RsaPrivateKey {
@@ -221,6 +336,8 @@ impl RsaPrivateKey {
                 };
                 (q.clone(), p.clone(), dq, dp, qinv2)
             };
+            let mont_p = MontgomeryContext::new(&p);
+            let mont_q = MontgomeryContext::new(&q);
             return RsaPrivateKey {
                 public: RsaPublicKey { n, e },
                 d,
@@ -229,6 +346,8 @@ impl RsaPrivateKey {
                 dp,
                 dq,
                 qinv,
+                mont_p,
+                mont_q,
             };
         }
     }
@@ -262,10 +381,17 @@ impl RsaPrivateKey {
         self.public.bits()
     }
 
-    /// Private-key operation `c^d mod n` via CRT.
+    /// Private-key operation `c^d mod n` via CRT, over the prepared
+    /// per-prime Montgomery contexts.
     fn crt_exp(&self, c: &BigUint) -> BigUint {
-        let m1 = c.rem(&self.p).mod_pow(&self.dp, &self.p);
-        let m2 = c.rem(&self.q).mod_pow(&self.dq, &self.q);
+        let m1 = match &self.mont_p {
+            Some(ctx) => ctx.mod_pow(c, &self.dp),
+            None => c.rem(&self.p).mod_pow_classic(&self.dp, &self.p),
+        };
+        let m2 = match &self.mont_q {
+            Some(ctx) => ctx.mod_pow(c, &self.dq),
+            None => c.rem(&self.q).mod_pow_classic(&self.dq, &self.q),
+        };
         // h = qinv · (m1 − m2) mod p.
         let diff = if m1 >= m2 {
             m1.sub(&m2)
@@ -513,12 +639,66 @@ mod tests {
     fn public_key_validation() {
         assert!(RsaPublicKey::new(BigUint::zero(), BigUint::from_u64(65537)).is_err());
         assert!(RsaPublicKey::new(BigUint::from_u64(15), BigUint::from_u64(2)).is_err());
+        // An RSA modulus is a product of odd primes; even n is rejected
+        // at construction so every accepted key takes the Montgomery path.
+        assert!(RsaPublicKey::new(BigUint::from_u64(16), BigUint::from_u64(3)).is_err());
         assert!(RsaPublicKey::new(BigUint::from_u64(15), BigUint::from_u64(3)).is_ok());
     }
 
     #[test]
     fn generated_key_validates() {
         test_key().validate().unwrap();
+    }
+
+    #[test]
+    fn prepared_verifier_matches_one_shot() {
+        let key = test_key();
+        let verifier = key.public_key().verifier();
+        let msg = b"GPS sample (40.1, -88.2) @ t=12.0";
+        for alg in [HashAlg::Sha1, HashAlg::Sha256] {
+            let sig = key.sign(msg, alg).unwrap();
+            verifier.verify(msg, &sig, alg).unwrap();
+            key.public_key().verify(msg, &sig, alg).unwrap();
+            let mut bad = sig.clone();
+            bad[5] ^= 0x80;
+            assert_eq!(
+                verifier.verify(msg, &bad, alg),
+                key.public_key().verify(msg, &bad, alg)
+            );
+            assert_eq!(
+                verifier.verify(b"other", &sig, alg),
+                Err(CryptoError::InvalidSignature)
+            );
+        }
+    }
+
+    #[test]
+    fn verifier_fingerprint_identifies_key() {
+        let key = test_key();
+        let v1 = key.public_key().verifier();
+        let v2 = key.public_key().verifier();
+        assert_eq!(v1.fingerprint(), v2.fingerprint());
+        assert_eq!(v1.public_key(), key.public_key());
+        let mut rng = XorShift64::seed_from_u64(99);
+        let other = RsaPrivateKey::generate(512, &mut rng);
+        assert_ne!(
+            other.public_key().verifier().fingerprint(),
+            v1.fingerprint()
+        );
+    }
+
+    #[test]
+    fn prepared_verifier_rejects_wrong_length() {
+        let key = test_key();
+        let verifier = key.public_key().verifier();
+        let sig = key.sign(b"msg", HashAlg::Sha1).unwrap();
+        assert_eq!(
+            verifier.verify(b"msg", &sig[..63], HashAlg::Sha1),
+            Err(CryptoError::InvalidLength {
+                expected: 64,
+                got: 63
+            })
+        );
     }
 
     #[test]

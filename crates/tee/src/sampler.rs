@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use alidrone_crypto::rsa::{HashAlg, RsaPublicKey};
+use alidrone_crypto::rsa::{HashAlg, RsaPublicKey, RsaVerifier};
 use alidrone_geo::three_d::GpsSample3d;
 use alidrone_geo::GpsSample;
 
@@ -63,12 +63,26 @@ impl SignedSample {
 
     /// Verifies the signature under the TEE verification key `T⁺`.
     ///
+    /// One-shot convenience over [`verify_with`](Self::verify_with) —
+    /// callers checking many samples under the same key should prepare
+    /// an [`RsaVerifier`] once and reuse it.
+    ///
     /// # Errors
     ///
     /// Returns [`TeeError::SignatureInvalid`] when the signature does not
     /// verify (tampered sample, tampered signature, or wrong drone key).
     pub fn verify(&self, tee_public: &RsaPublicKey) -> Result<(), TeeError> {
-        tee_public
+        self.verify_with(&tee_public.verifier())
+    }
+
+    /// Verifies the signature with a prepared `T⁺` verifier, skipping
+    /// the per-key precomputation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify).
+    pub fn verify_with(&self, tee_verifier: &RsaVerifier) -> Result<(), TeeError> {
+        tee_verifier
             .verify(&self.sample.to_bytes(), &self.signature, self.hash_alg)
             .map_err(|_| TeeError::SignatureInvalid)
     }
@@ -160,7 +174,16 @@ impl SignedSample3d {
     /// including of the altitude, which is the field a dishonest
     /// operator would forge to turn a low pass into a legal overflight.
     pub fn verify(&self, tee_public: &RsaPublicKey) -> Result<(), TeeError> {
-        tee_public
+        self.verify_with(&tee_public.verifier())
+    }
+
+    /// Verifies with a prepared `T⁺` verifier.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify).
+    pub fn verify_with(&self, tee_verifier: &RsaVerifier) -> Result<(), TeeError> {
+        tee_verifier
             .verify(&self.sample.to_bytes(), &self.signature, self.hash_alg)
             .map_err(|_| TeeError::SignatureInvalid)
     }
@@ -245,7 +268,16 @@ impl SignedGapMarker {
     ///
     /// Returns [`TeeError::SignatureInvalid`] on tampering.
     pub fn verify(&self, tee_public: &RsaPublicKey) -> Result<(), TeeError> {
-        tee_public
+        self.verify_with(&tee_public.verifier())
+    }
+
+    /// Verifies with a prepared `T⁺` verifier.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify).
+    pub fn verify_with(&self, tee_verifier: &RsaVerifier) -> Result<(), TeeError> {
+        tee_verifier
             .verify(
                 &Self::signing_bytes(self.start, self.end),
                 &self.signature,
@@ -372,7 +404,16 @@ impl SignedTrace {
     ///
     /// Returns [`TeeError::SignatureInvalid`] on any tampering.
     pub fn verify(&self, tee_public: &RsaPublicKey) -> Result<(), TeeError> {
-        tee_public
+        self.verify_with(&tee_public.verifier())
+    }
+
+    /// Verifies with a prepared `T⁺` verifier.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify).
+    pub fn verify_with(&self, tee_verifier: &RsaVerifier) -> Result<(), TeeError> {
+        tee_verifier
             .verify(&self.trace_bytes, &self.signature, self.hash_alg)
             .map_err(|_| TeeError::SignatureInvalid)
     }

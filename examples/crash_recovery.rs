@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use alidrone::core::journal::FsBackend;
-use alidrone::core::{Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi, ZoneQuery};
+use alidrone::core::{Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi, Submission, ZoneQuery};
 use alidrone::crypto::rng::XorShift64;
 use alidrone::crypto::rsa::{HashAlg, RsaPrivateKey};
 use alidrone::geo::{Distance, GeoPoint, GpsSample, NoFlyZone, Timestamp};
@@ -77,13 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     auditor.handle_zone_query(&query)?;
     let verdict = auditor
-        .verify_submission(
-            &PoaSubmission {
+        .verify(
+            &Submission::plain(PoaSubmission {
                 drone_id: id,
                 window_start: Timestamp::from_secs(0.0),
                 window_end: Timestamp::from_secs(2.0),
                 poa: ProofOfAlibi::from_entries(signed_samples(&tee_key, 3)),
-            },
+            }),
             Timestamp::from_secs(10.0),
         )?
         .verdict;

@@ -22,7 +22,8 @@ use std::error::Error;
 use std::sync::Arc;
 
 use alidrone::core::{
-    Auditor, AuditorConfig, DroneOperator, PoaSubmission, ProofOfAlibi, SamplingStrategy, Verdict,
+    Auditor, AuditorConfig, DroneOperator, PoaSubmission, ProofOfAlibi, SamplingStrategy,
+    Submission, Verdict,
 };
 use alidrone::crypto::rsa::{HashAlg, RsaPrivateKey};
 use alidrone::geo::trajectory::TrajectoryBuilder;
@@ -94,13 +95,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let drone_id = operator.drone_id().unwrap();
     let submit = |auditor: &Auditor, poa: ProofOfAlibi| {
         auditor
-            .verify_submission(
-                &PoaSubmission {
+            .verify(
+                &Submission::plain(PoaSubmission {
                     drone_id,
                     window_start: honest.window_start,
                     window_end: honest.window_end,
                     poa,
-                },
+                }),
                 setup.clock.now(),
             )
             .expect("registered drone")

@@ -5,7 +5,8 @@
 use std::sync::{Arc, OnceLock};
 
 use alidrone::core::{
-    Auditor, AuditorConfig, DroneOperator, PoaSubmission, ProofOfAlibi, SamplingStrategy, Verdict,
+    Auditor, AuditorConfig, DroneOperator, PoaSubmission, ProofOfAlibi, SamplingStrategy,
+    Submission, Verdict,
 };
 use alidrone::crypto::rsa::{HashAlg, RsaPrivateKey};
 use alidrone::geo::trajectory::TrajectoryBuilder;
@@ -87,13 +88,13 @@ fn fixture() -> Fixture {
 
 fn submit(f: &mut Fixture, poa: ProofOfAlibi) -> Verdict {
     f.auditor
-        .verify_submission(
-            &PoaSubmission {
+        .verify(
+            &Submission::plain(PoaSubmission {
                 drone_id: f.drone_id,
                 window_start: f.honest.window_start,
                 window_end: f.honest.window_end,
                 poa,
-            },
+            }),
             f.now,
         )
         .expect("registered drone")
@@ -183,13 +184,13 @@ fn whole_poa_replayed_for_later_window_rejected() {
     let poa = f.honest.poa.clone();
     let verdict = f
         .auditor
-        .verify_submission(
-            &PoaSubmission {
+        .verify(
+            &Submission::plain(PoaSubmission {
                 drone_id: f.drone_id,
                 window_start: f.honest.window_start + Duration::from_secs(7200.0),
                 window_end: f.honest.window_end + Duration::from_secs(7200.0),
                 poa,
-            },
+            }),
             f.now,
         )
         .unwrap()
@@ -271,13 +272,13 @@ fn spliced_impossible_trace_rejected() {
     // *different* recorded flights of the same drone.
     let verdict = f
         .auditor
-        .verify_submission(
-            &PoaSubmission {
+        .verify(
+            &Submission::plain(PoaSubmission {
                 drone_id: f.drone_id,
                 window_start: first.sample().time(),
                 window_end: last.sample().time(),
                 poa: ProofOfAlibi::from_entries(vec![first, last]),
-            },
+            }),
             f.now,
         )
         .unwrap()

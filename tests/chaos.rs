@@ -26,7 +26,7 @@ use alidrone::core::wire::server::AuditorServer;
 use alidrone::core::wire::transport::{AuditorClient, InProcess};
 use alidrone::core::{
     run_flight, Auditor, AuditorConfig, PoaSubmission, ProofOfAlibi, ProtocolError,
-    SamplingStrategy, Verdict, ZoneQuery,
+    SamplingStrategy, Submission, Verdict, ZoneQuery,
 };
 use alidrone::crypto::rsa::{HashAlg, RsaPrivateKey};
 use alidrone::geo::trajectory::TrajectoryBuilder;
@@ -107,13 +107,13 @@ fn recovery_is_exact_at_every_crash_offset() {
     checkpoints.push(auditor.snapshot());
     let poa = ProofOfAlibi::from_entries(signed_samples(3));
     auditor
-        .verify_submission(
-            &PoaSubmission {
+        .verify(
+            &Submission::plain(PoaSubmission {
                 drone_id: id,
                 window_start: Timestamp::from_secs(0.0),
                 window_end: Timestamp::from_secs(2.0),
                 poa,
-            },
+            }),
             Timestamp::from_secs(10.0),
         )
         .unwrap();
@@ -477,13 +477,13 @@ fn flight_report(plane: Option<&FaultPlane>) -> (usize, Option<f64>, Verdict, Ve
         Distance::from_meters(50.0),
     ));
     let report = auditor
-        .verify_submission(
-            &PoaSubmission {
+        .verify(
+            &Submission::plain(PoaSubmission {
                 drone_id: id,
                 window_start: record.window_start,
                 window_end: record.window_end,
                 poa: record.poa.clone(),
-            },
+            }),
             Timestamp::from_secs(100.0),
         )
         .unwrap();
