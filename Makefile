@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload scrape-smoke soak-smoke bench-json bench-diff
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload scrape-smoke soak-smoke failover bench-json bench-diff
 
-check: fmt clippy doc test trace-smoke tcp-smoke chaos overload soak-smoke
+check: fmt clippy doc test trace-smoke tcp-smoke chaos overload soak-smoke failover
 
 fmt:
 	$(CARGO) fmt --all -- --check
@@ -59,6 +59,16 @@ scrape-smoke:
 # target/SOAK_report.json machine-checks after a disk round trip.
 soak-smoke:
 	$(CARGO) run -p alidrone-sim --release --offline --bin exp_soak -- --smoke --out target/SOAK_report.json
+
+# Kill-the-primary failover gate: a reduced-seed replication chaos
+# campaign (FAILOVER_SEEDS trims the default 40 seeds), the replicated
+# soak with its kill-and-promote phase (report lands in
+# target/SOAK_failover_report.json for CI to archive), and the
+# end-to-end failover example.
+failover:
+	FAILOVER_SEEDS=$(or $(FAILOVER_SEEDS),12) $(CARGO) test --release --offline --test failover -q
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_soak -- --smoke --failover --out target/SOAK_failover_report.json
+	$(CARGO) run --release --offline --example failover
 
 # Regenerate the persistent perf baseline (BENCH_poa.json at the repo
 # root). BENCH_POA_SAMPLES trades precision for wall time.

@@ -28,7 +28,8 @@ use std::sync::Arc;
 use alidrone_bench::baseline::{diff, Baseline, BenchCase};
 use alidrone_bench::bench_key;
 use alidrone_bench::harness::{black_box, BatchSize, Bencher};
-use alidrone_core::journal::{Journal, MemBackend, Record};
+use alidrone_core::journal::{Journal, MemBackend, Record, StorageBackend};
+use alidrone_core::repl::{Follower, InProcessLink, ReplicationPolicy, Replicator};
 use alidrone_core::verify_pool::VerifyPool;
 use alidrone_core::wire::server::AuditorServer;
 use alidrone_core::wire::tcp::{TcpServer, TcpTransport};
@@ -272,6 +273,44 @@ fn run_cases(samples: usize) -> Vec<BenchCase> {
             radius_m: 120.0,
         };
         b.iter(|| journal.append_record(&record).expect("append"));
+    });
+
+    // --- The same append with synchronous Quorum(1) replication to two
+    // in-process followers: frame + CRC + ship + durable follower ack.
+    // A fresh journal per measurement keeps the shipped tail one record
+    // long, so the case times the steady-state per-append cost instead
+    // of an ever-growing log.
+    run("journal_replicated_append", &mut |b| {
+        let obs = Obs::noop();
+        let record = Record::RegisterZone {
+            id: 1,
+            lat_deg: 40.1164,
+            lon_deg: -88.2434,
+            radius_m: 120.0,
+        };
+        let fresh = || {
+            let (journal, _, _) = Journal::open(Arc::new(MemBackend::new())).expect("open journal");
+            let mut replicator = Replicator::new(&obs, ReplicationPolicy::Quorum(1));
+            for i in 0..2 {
+                let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+                replicator = replicator.with_follower(
+                    format!("f{i}"),
+                    InProcessLink::new(Arc::new(Follower::new(backend))),
+                );
+            }
+            // First sync ships the journal header so the timed append
+            // replicates exactly one record.
+            replicator.replicate(&journal).expect("initial sync");
+            (journal, replicator)
+        };
+        b.iter_batched(
+            fresh,
+            |(journal, replicator)| {
+                journal.append_record(&record).expect("append");
+                replicator.replicate(&journal).expect("replicate");
+            },
+            BatchSize::SmallInput,
+        );
     });
 
     // --- A full loopback TCP round trip: connect-once client, framed

@@ -13,6 +13,7 @@
 //! | layer | wrapper / hook | faults |
 //! |---|---|---|
 //! | transport | [`FaultyTransport`] | dropped requests, corrupted responses, injected latency |
+//! | replication | [`FaultyLink`] | lost ships, campaign-controlled partitions |
 //! | server | [`FaultPlane::delay_hook`] | slow request handlers (overload campaigns) |
 //! | storage | [`StorageFaults`] | torn appends, bit flips, full-disk errors |
 //! | TEE | [`FaultPlane::sign_fault`], [`FaultPlane::nmea_fault`] | signing failures, NMEA truncation/garbling |
@@ -43,6 +44,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use alidrone_core::journal::MemBackend;
+use alidrone_core::repl::{ReplAck, ReplError, ReplFrame, ReplLink};
 use alidrone_core::wire::transport::Transport;
 use alidrone_core::ProtocolError;
 use alidrone_geo::{GpsSample, Timestamp};
@@ -394,6 +396,94 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             }
         }
         Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------- FaultyLink
+
+/// Seeded faults over a replication [`ReplLink`]
+/// (see [`alidrone_core::repl`]): probabilistic ship loss plus a
+/// campaign-controlled **partition switch** for kill/promote and
+/// catch-up scenarios.
+///
+/// A dropped or partitioned ship surfaces as the typed
+/// [`ReplError::Transport`] the real TCP link would produce; the
+/// follower never sees the frame, so the primary's retry resumes from
+/// the follower's true acked offset — exactly the heal path the
+/// catch-up protocol must survive.
+pub struct FaultyLink<L> {
+    inner: L,
+    stream: FaultStream,
+    drop_p: f64,
+    partitioned: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<L: ReplLink> FaultyLink<L> {
+    /// Wraps `inner` on the plane's `name` schedule, connected (no
+    /// partition) and with no drop faults enabled.
+    pub fn new(inner: L, plane: &FaultPlane, name: &str) -> Self {
+        FaultyLink {
+            inner,
+            stream: plane.stream(name),
+            drop_p: 0.0,
+            partitioned: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// Loses each shipped frame with probability `p`.
+    pub fn drop_with(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// A handle that partitions/heals this link from campaign code
+    /// (clone it before handing the link to the replicator).
+    pub fn partition_switch(&self) -> PartitionSwitch {
+        PartitionSwitch {
+            partitioned: Arc::clone(&self.partitioned),
+        }
+    }
+
+    /// The wrapped link.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: ReplLink> ReplLink for FaultyLink<L> {
+    fn ship(&self, frame: &ReplFrame) -> Result<ReplAck, ReplError> {
+        if self.partitioned.load(Ordering::Acquire) {
+            return Err(ReplError::Transport("chaos: link partitioned".into()));
+        }
+        // Draw on every ship so downstream schedules don't depend on
+        // this frame's fate.
+        if self.stream.chance(self.drop_p) {
+            return Err(ReplError::Transport("chaos: ship lost".into()));
+        }
+        self.inner.ship(frame)
+    }
+}
+
+/// Campaign-side control over a [`FaultyLink`]'s partition state.
+#[derive(Debug, Clone)]
+pub struct PartitionSwitch {
+    partitioned: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl PartitionSwitch {
+    /// Cuts the link: every ship fails with a transport error.
+    pub fn partition(&self) {
+        self.partitioned.store(true, Ordering::Release);
+    }
+
+    /// Heals the link; the next replicate resumes catch-up.
+    pub fn heal(&self) {
+        self.partitioned.store(false, Ordering::Release);
+    }
+
+    /// Whether the link is currently cut.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::Acquire)
     }
 }
 

@@ -31,6 +31,7 @@ use crate::identity::Registration;
 use crate::journal::{Journal, JournalError, Record, StorageBackend};
 use crate::messages::{Accusation, PoaSubmission, Submission, ZoneQuery, ZoneResponse};
 use crate::poa::{EncryptedPoa, ProofOfAlibi};
+use crate::repl::Replicator;
 use crate::verify_pool::VerifyPool;
 use crate::{DroneId, ProtocolError, ZoneId};
 
@@ -249,6 +250,13 @@ pub struct Auditor {
     journal: Mutex<Option<Journal>>,
     /// The error that disabled journaling, if any.
     journal_error: Mutex<Option<JournalError>>,
+    /// Leadership epoch this auditor writes under (0 = never part of a
+    /// cluster). Replayed from [`Record::Epoch`] records; promotion
+    /// bumps it via [`begin_epoch`](Self::begin_epoch).
+    epoch: AtomicU64,
+    /// Log shipper gating journal appends on follower durability, when
+    /// this auditor is a cluster primary (see [`crate::repl`]).
+    replicator: OnceLock<Arc<Replicator>>,
     /// The shared batch-verification pool, installed once (normally by
     /// the server builder). `None` = every check runs serially inline.
     verify_pool: OnceLock<Arc<VerifyPool>>,
@@ -312,6 +320,8 @@ impl Auditor {
             journal_append_latency: obs.histogram("auditor.journal_append_latency_us"),
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
+            epoch: AtomicU64::new(0),
+            replicator: OnceLock::new(),
             verify_pool: OnceLock::new(),
             verify_cache: Arc::new(VerifyResultCache::new(VERIFY_CACHE_CAP, obs)),
             zone_generation: AtomicU64::new(0),
@@ -486,7 +496,8 @@ impl Auditor {
             Record::Snapshot(bytes) => {
                 // Replace wholesale from the compaction snapshot, keeping
                 // this auditor's config/key/obs (the snapshot format
-                // carries state only).
+                // carries state only). The epoch survives: it rides in
+                // its own records, not the snapshot.
                 let restored =
                     Auditor::restore(bytes, self.config.clone(), self.encryption_key.clone())?;
                 self.drones = restored.drones;
@@ -496,20 +507,86 @@ impl Auditor {
                 self.next_drone = restored.next_drone;
                 self.next_zone = restored.next_zone;
             }
+            Record::Epoch(epoch) => {
+                // Epochs only move forward; a replayed log may carry
+                // several boundaries and the newest one wins.
+                self.epoch.fetch_max(*epoch, Ordering::AcqRel);
+            }
         }
         Ok(())
     }
 
-    /// Appends one record to the journal, if armed. A failed append
-    /// *disables* the journal (recorded via
+    /// The leadership epoch this auditor last saw (0 when it has never
+    /// been part of a replicated cluster).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Starts a new leadership epoch: records it durably (and ships it
+    /// to followers, fencing any stale primary that still holds an
+    /// older epoch). Called by promotion — see [`crate::repl`].
+    ///
+    /// # Errors
+    ///
+    /// Journal/replication failures, as for any durable mutation.
+    pub fn begin_epoch(&self, epoch: u64) -> Result<(), ProtocolError> {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        if let Some(replicator) = self.replicator.get() {
+            replicator.set_epoch(epoch);
+        }
+        self.journal_append(&Record::Epoch(epoch))
+    }
+
+    /// Installs the log shipper: every subsequent durable mutation is
+    /// replicated to its followers before the caller's response is
+    /// acknowledged (under `Quorum` policies). Returns `false` if one
+    /// was already installed.
+    pub fn set_replicator(&self, replicator: Arc<Replicator>) -> bool {
+        replicator.set_epoch(self.current_epoch());
+        self.replicator.set(replicator).is_ok()
+    }
+
+    /// The installed log shipper, if any.
+    pub fn replicator(&self) -> Option<&Arc<Replicator>> {
+        self.replicator.get()
+    }
+
+    /// Appends one record to the journal, if armed, then ships it to
+    /// any installed [`Replicator`]. A failed append *disables* the
+    /// journal (recorded via
     /// [`last_journal_error`](Self::last_journal_error) and the obs
     /// stream) rather than poisoning in-memory state: the auditor keeps
     /// serving, but durability is gone until an operator intervenes —
     /// better than silently diverging the journal from memory.
-    fn journal_append(&self, record: &Record) {
+    ///
+    /// # Errors
+    ///
+    /// Without a replicator this never fails — the pre-replication
+    /// contract. Under
+    /// [`ReplicationPolicy::Async`](crate::repl::ReplicationPolicy::Async)
+    /// only epoch fencing errors (a deposed primary must stop
+    /// acknowledging under *any* policy); shipping failures are
+    /// absorbed into the lag metrics. Under a `Quorum` policy, an
+    /// append or replication failure is returned so the caller's
+    /// response is gated on durability instead of acknowledging what
+    /// may be lost.
+    fn journal_append(&self, record: &Record) -> Result<(), ProtocolError> {
         let mut slot = self.journal.lock().unwrap_or_else(|p| p.into_inner());
         let Some(journal) = slot.as_ref() else {
-            return;
+            // No journal means nothing can replicate: under a quorum
+            // policy acknowledging here would be an acked-then-lost
+            // record waiting to happen, so the durability loss stays
+            // a typed error until an operator intervenes.
+            if self.replicator.get().is_some_and(|r| r.requires_quorum()) {
+                let err = self
+                    .last_journal_error()
+                    .map(ProtocolError::from)
+                    .unwrap_or(ProtocolError::Storage(
+                        "quorum replication requires a journal".to_string(),
+                    ));
+                return Err(err);
+            }
+            return Ok(());
         };
         let t0 = std::time::Instant::now();
         let result = journal.append_record(record);
@@ -525,9 +602,22 @@ impl Auditor {
                 },
             );
             self.obs.counter("auditor.journal_append_failures").inc();
-            *self.journal_error.lock().unwrap_or_else(|p| p.into_inner()) = Some(err);
+            let quorum = self.replicator.get().is_some_and(|r| r.requires_quorum());
+            *self.journal_error.lock().unwrap_or_else(|p| p.into_inner()) = Some(err.clone());
             *slot = None;
+            if quorum {
+                return Err(err.into());
+            }
+            return Ok(());
         }
+        if let Some(replicator) = self.replicator.get() {
+            // Shipping under the journal lock serializes frames in
+            // append order, so follower images are always a prefix of
+            // the primary's. Quorum failures propagate; Async failures
+            // were already absorbed into the lag metrics.
+            replicator.replicate(journal).map_err(ProtocolError::from)?;
+        }
+        Ok(())
     }
 
     /// `true` while a journal is attached and healthy.
@@ -559,10 +649,22 @@ impl Auditor {
         let slot = self.journal.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(journal) = slot.as_ref() {
             journal.compact(&snapshot)?;
+            // The snapshot format carries state only; re-append the
+            // epoch boundary so the fresh image still fences stale
+            // primaries after a recovery from it.
+            let epoch = self.epoch.load(Ordering::Acquire);
+            if epoch > 0 {
+                journal.append_record(&Record::Epoch(epoch))?;
+            }
             self.obs
                 .emit(Level::Info, "auditor.journal", "compacted", |f| {
                     f.field("snapshot_bytes", snapshot.len());
                 });
+            if let Some(replicator) = self.replicator.get() {
+                // Push the re-based image promptly so followers don't
+                // discover the rebase only on the next mutation.
+                replicator.replicate(journal).map_err(ProtocolError::from)?;
+            }
         }
         Ok(())
     }
@@ -589,6 +691,36 @@ impl Auditor {
         operator_public: RsaPublicKey,
         tee_public: RsaPublicKey,
     ) -> DroneId {
+        // Replication-agnostic contract: the id is issued even when a
+        // Quorum policy could not replicate (visible via
+        // `last_journal_error` / repl metrics). The wire server uses
+        // [`register_drone_durable`](Self::register_drone_durable).
+        self.register_drone_inner(operator_public, tee_public).0
+    }
+
+    /// [`register_drone`](Self::register_drone), but the response is
+    /// gated on replication durability: under a `Quorum` policy the id
+    /// is only returned once enough followers hold the record. The
+    /// local registration still happened on error — retrying is
+    /// idempotent by construction.
+    ///
+    /// # Errors
+    ///
+    /// Journal or replication failures under a `Quorum` policy.
+    pub fn register_drone_durable(
+        &self,
+        operator_public: RsaPublicKey,
+        tee_public: RsaPublicKey,
+    ) -> Result<DroneId, ProtocolError> {
+        let (id, durable) = self.register_drone_inner(operator_public, tee_public);
+        durable.map(|()| id)
+    }
+
+    fn register_drone_inner(
+        &self,
+        operator_public: RsaPublicKey,
+        tee_public: RsaPublicKey,
+    ) -> (DroneId, Result<(), ProtocolError>) {
         let id = DroneId::new(self.next_drone.fetch_add(1, Ordering::Relaxed));
         let record = Record::RegisterDrone {
             id: id.value(),
@@ -603,8 +735,7 @@ impl Auditor {
             .write()
             .unwrap_or_else(|p| p.into_inner())
             .insert(id, Arc::new(Registration::new(operator_public, tee_public)));
-        self.journal_append(&record);
-        id
+        (id, self.journal_append(&record))
     }
 
     /// Step 1 — registers a circular zone, issuing its id. Idempotent
@@ -613,6 +744,22 @@ impl Auditor {
     /// second id over identical geometry, which only *strengthens* what
     /// a PoA must prove.
     pub fn register_zone(&self, zone: NoFlyZone) -> ZoneId {
+        // Same replication-agnostic contract as `register_drone`.
+        self.register_zone_inner(zone).0
+    }
+
+    /// [`register_zone`](Self::register_zone) gated on replication
+    /// durability, as [`register_drone_durable`](Self::register_drone_durable).
+    ///
+    /// # Errors
+    ///
+    /// Journal or replication failures under a `Quorum` policy.
+    pub fn register_zone_durable(&self, zone: NoFlyZone) -> Result<ZoneId, ProtocolError> {
+        let (id, durable) = self.register_zone_inner(zone);
+        durable.map(|()| id)
+    }
+
+    fn register_zone_inner(&self, zone: NoFlyZone) -> (ZoneId, Result<(), ProtocolError>) {
         let id = ZoneId::new(self.next_zone.fetch_add(1, Ordering::Relaxed));
         // Single insert on one lock: poisoning cannot corrupt the map.
         self.zones
@@ -620,13 +767,13 @@ impl Auditor {
             .unwrap_or_else(|p| p.into_inner())
             .insert(id, zone);
         self.bump_zone_generation();
-        self.journal_append(&Record::RegisterZone {
+        let durable = self.journal_append(&Record::RegisterZone {
             id: id.value(),
             lat_deg: zone.center().lat_deg(),
             lon_deg: zone.center().lon_deg(),
             radius_m: zone.radius().meters(),
         });
-        id
+        (id, durable)
     }
 
     /// §VII-B2 — registers a polygonal zone by covering it with its
@@ -713,7 +860,7 @@ impl Auditor {
         self.journal_append(&Record::NonceUsed {
             drone: query.drone_id.value(),
             nonce: query.nonce,
-        });
+        })?;
         let zones = self.zones_in_rect(&query.corner1, &query.corner2)?;
         Ok(ZoneResponse {
             zones: zones.as_ref().clone(),
@@ -893,6 +1040,9 @@ impl Auditor {
             crate::wire::put_verdict(&mut w, &report.verdict);
             w.into_bytes()
         };
+        // Under a `Quorum` replication policy this gates the verdict
+        // response on follower durability — the caller never learns a
+        // verdict that a failover could lose.
         self.journal_append(&Record::PoaStored {
             drone: submission.drone_id.value(),
             window_start: submission.window_start.secs(),
@@ -900,7 +1050,7 @@ impl Auditor {
             poa: submission.poa.to_bytes(),
             verdict: verdict_bytes,
             stored_at: now.secs(),
-        });
+        })?;
         Ok(report)
     }
 
@@ -1405,6 +1555,8 @@ impl Auditor {
             journal_append_latency,
             journal: Mutex::new(None),
             journal_error: Mutex::new(None),
+            epoch: AtomicU64::new(0),
+            replicator: OnceLock::new(),
             verify_pool: OnceLock::new(),
             verify_cache: Arc::new(VerifyResultCache::new(VERIFY_CACHE_CAP, &obs)),
             zone_generation: AtomicU64::new(0),

@@ -47,7 +47,7 @@ pub const JOURNAL_VERSION: u8 = 1;
 /// Header length in bytes (magic + version).
 pub const HEADER_LEN: usize = 5;
 /// Frame overhead per record (length + CRC).
-const FRAME_OVERHEAD: usize = 8;
+pub const FRAME_OVERHEAD: usize = 8;
 /// Upper bound on a single record payload (matches the wire codec cap).
 const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
 
@@ -376,6 +376,7 @@ const TAG_REGISTER_ZONE: u8 = 2;
 const TAG_NONCE_USED: u8 = 3;
 const TAG_POA_STORED: u8 = 4;
 const TAG_SNAPSHOT: u8 = 5;
+const TAG_EPOCH: u8 = 6;
 
 /// One durable state mutation. Records carry the ids the live auditor
 /// assigned, so replay reconstructs *exactly* the same registries.
@@ -432,6 +433,11 @@ pub enum Record {
     /// A full auditor snapshot (`Auditor::snapshot` bytes). Written by
     /// compaction as the first record of a fresh journal image.
     Snapshot(Vec<u8>),
+    /// A leadership-epoch boundary: every record *after* this one was
+    /// written by the primary holding the named epoch. Promotion appends
+    /// one (see [`crate::repl`]), so replicated logs carry the fencing
+    /// history and replay it into [`Auditor::current_epoch`](crate::Auditor::current_epoch).
+    Epoch(u64),
 }
 
 impl Record {
@@ -490,6 +496,9 @@ impl Record {
             Record::Snapshot(bytes) => {
                 w.put_u8(TAG_SNAPSHOT).put_bytes(bytes);
             }
+            Record::Epoch(epoch) => {
+                w.put_u8(TAG_EPOCH).put_u64(*epoch);
+            }
         }
         w.into_bytes()
     }
@@ -530,6 +539,7 @@ impl Record {
                 stored_at: r.get_f64().map_err(mal)?,
             },
             TAG_SNAPSHOT => Record::Snapshot(r.get_bytes().map_err(mal)?.to_vec()),
+            TAG_EPOCH => Record::Epoch(r.get_u64().map_err(mal)?),
             _ => return Err(JournalError::Malformed("unknown record tag")),
         };
         r.finish()
@@ -630,11 +640,45 @@ pub fn parse_image(bytes: &[u8]) -> Result<(Vec<Record>, ReplayReport), JournalE
 
 // ----------------------------------------------------------------- journal
 
+/// What [`Journal::read_from`] hands a log shipper.
+///
+/// Offsets are *logical*: a monotonically increasing byte position in
+/// the journal's lifetime stream. Appends extend the stream; compaction
+/// rebases it — the fresh image occupies logical bytes starting at the
+/// old durable end, so any offset acked before compaction is now behind
+/// [`Journal::base_offset`] and resolves to [`ShipSource::Rebased`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipSource {
+    /// Raw frame bytes from the requested offset to the durable end.
+    /// Appending them to a follower image that ends at the requested
+    /// offset reproduces this journal's image byte-for-byte.
+    Tail(Vec<u8>),
+    /// The requested offset predates the current image (compaction
+    /// reclaimed it): the whole current image, re-based at `base`. The
+    /// follower must replace its image wholesale and resume from
+    /// `base + image.len()`.
+    Rebased {
+        /// Logical offset of the image's first byte.
+        base: u64,
+        /// The full current journal image (header + frames).
+        image: Vec<u8>,
+    },
+}
+
 /// An open, appendable journal over a [`StorageBackend`].
 pub struct Journal {
     backend: std::sync::Arc<dyn StorageBackend>,
-    /// Serializes record framing so concurrent appends cannot interleave.
+    /// Serializes record framing so concurrent appends cannot interleave,
+    /// and guards the offset pair below so shippers read a consistent
+    /// (base, end, image) view.
     write_lock: Mutex<()>,
+    /// Logical offset of the current image's first byte (jumps to the
+    /// previous durable end on every compaction).
+    base: std::sync::atomic::AtomicU64,
+    /// Logical durable end: `base` + bytes of the image known to hold
+    /// whole records. A failed append never advances it, so shippers
+    /// can never ship a torn tail.
+    end: std::sync::atomic::AtomicU64,
 }
 
 impl Journal {
@@ -651,32 +695,86 @@ impl Journal {
     ) -> Result<(Journal, Vec<Record>, ReplayReport), JournalError> {
         let bytes = backend.read()?;
         let (records, report) = parse_image(&bytes)?;
+        let mut clean_len = bytes.len();
         if bytes.is_empty() {
             let mut header = Vec::with_capacity(HEADER_LEN);
             header.extend_from_slice(&JOURNAL_MAGIC.to_be_bytes());
             header.push(JOURNAL_VERSION);
             backend.append(&header)?;
+            clean_len = HEADER_LEN;
         } else if report.torn_tail {
             // Drop the torn tail so future appends land on a record
             // boundary. bytes_replayed is the clean prefix length, but a
             // headerless torn image replays to a fresh header.
             if report.bytes_replayed >= HEADER_LEN {
                 backend.replace(&bytes[..report.bytes_replayed])?;
+                clean_len = report.bytes_replayed;
             } else {
                 let mut header = Vec::with_capacity(HEADER_LEN);
                 header.extend_from_slice(&JOURNAL_MAGIC.to_be_bytes());
                 header.push(JOURNAL_VERSION);
                 backend.replace(&header)?;
+                clean_len = HEADER_LEN;
             }
         }
         Ok((
             Journal {
                 backend,
                 write_lock: Mutex::new(()),
+                base: std::sync::atomic::AtomicU64::new(0),
+                end: std::sync::atomic::AtomicU64::new(clean_len as u64),
             },
             records,
             report,
         ))
+    }
+
+    /// Logical offset of the current image's first byte. Offsets below
+    /// this were reclaimed by compaction; shipping from them requires a
+    /// [`ShipSource::Rebased`] image transfer.
+    pub fn base_offset(&self) -> u64 {
+        self.base.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Logical durable end: the offset the next appended byte will
+    /// occupy. A follower acked up to this offset holds every record.
+    pub fn end_offset(&self) -> u64 {
+        self.end.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Reads the durable bytes a follower acked up to `from` still
+    /// needs: a raw tail when `from` is inside the current image, or the
+    /// whole re-based image when compaction has reclaimed `from`.
+    ///
+    /// # Errors
+    ///
+    /// Backend read failures, and [`JournalError::Malformed`] when
+    /// `from` lies beyond the durable end (the follower claims bytes
+    /// this journal never wrote — a protocol violation, not a race).
+    pub fn read_from(&self, from: u64) -> Result<ShipSource, JournalError> {
+        use std::sync::atomic::Ordering;
+        let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let base = self.base.load(Ordering::Acquire);
+        let end = self.end.load(Ordering::Acquire);
+        let bytes = self.backend.read()?;
+        // The tracked end is the durable horizon: a failed append may
+        // have left a torn physical tail past it, which must never ship.
+        let durable = ((end - base) as usize).min(bytes.len());
+        let image = &bytes[..durable];
+        // `from == base` after a rebase (base > 0) still needs a full
+        // image transfer: the follower's physical bytes at that offset
+        // are the pre-compaction history, not this image's header —
+        // appending the image would embed a second journal header.
+        if from < base || (from == base && base > 0) {
+            return Ok(ShipSource::Rebased {
+                base,
+                image: image.to_vec(),
+            });
+        }
+        if from > end {
+            return Err(JournalError::Malformed("ship offset beyond durable end"));
+        }
+        Ok(ShipSource::Tail(image[(from - base) as usize..].to_vec()))
     }
 
     /// Appends one record as a single backend write (frame = length,
@@ -688,12 +786,21 @@ impl Journal {
     /// which the next [`Journal::open`] cleans up.
     pub fn append_record(&self, record: &Record) -> Result<(), JournalError> {
         let payload = record.to_payload();
+        if payload.is_empty() || payload.len() > MAX_RECORD_LEN {
+            // A frame outside the parseable length range would poison
+            // the journal: parse_image would refuse the whole image as
+            // corrupt. Reject it as a typed error before any byte lands.
+            return Err(JournalError::Malformed("record exceeds frame length cap"));
+        }
         let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         frame.extend_from_slice(&crc32(&payload).to_be_bytes());
         frame.extend_from_slice(&payload);
         let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
-        self.backend.append(&frame)
+        self.backend.append(&frame)?;
+        self.end
+            .fetch_add(frame.len() as u64, std::sync::atomic::Ordering::AcqRel);
+        Ok(())
     }
 
     /// Compacts the journal to a single [`Record::Snapshot`] frame via an
@@ -703,7 +810,11 @@ impl Journal {
     ///
     /// Backend failures; the old image survives a failed replace.
     pub fn compact(&self, snapshot: &[u8]) -> Result<(), JournalError> {
+        use std::sync::atomic::Ordering;
         let payload = Record::Snapshot(snapshot.to_vec()).to_payload();
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(JournalError::Malformed("record exceeds frame length cap"));
+        }
         let mut image = Vec::with_capacity(HEADER_LEN + FRAME_OVERHEAD + payload.len());
         image.extend_from_slice(&JOURNAL_MAGIC.to_be_bytes());
         image.push(JOURNAL_VERSION);
@@ -711,7 +822,15 @@ impl Journal {
         image.extend_from_slice(&crc32(&payload).to_be_bytes());
         image.extend_from_slice(&payload);
         let _g = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
-        self.backend.replace(&image)
+        self.backend.replace(&image)?;
+        // Rebase the logical stream: the fresh image occupies bytes
+        // starting at the old durable end, so pre-compaction acked
+        // offsets resolve to ShipSource::Rebased.
+        let new_base = self.end.load(Ordering::Acquire);
+        self.base.store(new_base, Ordering::Release);
+        self.end
+            .store(new_base + image.len() as u64, Ordering::Release);
+        Ok(())
     }
 
     /// The backend, for inspection in tests.
@@ -792,6 +911,7 @@ mod tests {
                 stored_at: 31.0,
             },
             Record::Snapshot(vec![0xDE, 0xAD]),
+            Record::Epoch(7),
         ];
         for rec in all {
             let payload = rec.to_payload();
@@ -942,6 +1062,96 @@ mod tests {
         assert_eq!(records, vec![Record::Snapshot(b"snap".to_vec())]);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn offsets_track_appends_and_read_from_ships_exact_tails() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        assert_eq!(journal.base_offset(), 0);
+        assert_eq!(journal.end_offset(), HEADER_LEN as u64);
+        journal.append_record(&zone_record(1)).unwrap();
+        let end1 = journal.end_offset();
+        journal.append_record(&zone_record(2)).unwrap();
+        let end2 = journal.end_offset();
+        assert_eq!(end2, backend.bytes().len() as u64);
+
+        // A follower at offset 0 receives the whole image; one at end1
+        // receives exactly the second record's frame.
+        let full = backend.bytes();
+        assert_eq!(
+            journal.read_from(0).unwrap(),
+            ShipSource::Tail(full.clone())
+        );
+        let ShipSource::Tail(tail) = journal.read_from(end1).unwrap() else {
+            panic!("in-image offset must ship a tail");
+        };
+        assert_eq!(tail, full[end1 as usize..].to_vec());
+        // Fully caught up: an empty tail.
+        assert_eq!(
+            journal.read_from(end2).unwrap(),
+            ShipSource::Tail(Vec::new())
+        );
+        // Beyond the durable end is a protocol violation, typed.
+        assert!(matches!(
+            journal.read_from(end2 + 1),
+            Err(JournalError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn compaction_rebases_the_logical_stream() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        for i in 0..5 {
+            journal.append_record(&zone_record(i)).unwrap();
+        }
+        let old_end = journal.end_offset();
+        journal.compact(b"snap").unwrap();
+        assert_eq!(journal.base_offset(), old_end);
+        assert_eq!(journal.end_offset(), old_end + backend.bytes().len() as u64);
+        // A follower acked before compaction gets the re-based image.
+        let ShipSource::Rebased { base, image } = journal.read_from(old_end - 1).unwrap() else {
+            panic!("pre-compaction offset must rebase");
+        };
+        assert_eq!(base, old_end);
+        assert_eq!(image, backend.bytes());
+        // Appends after compaction extend the re-based stream.
+        journal.append_record(&zone_record(99)).unwrap();
+        let ShipSource::Tail(tail) = journal.read_from(base + image.len() as u64).unwrap() else {
+            panic!("post-compaction offset must ship a tail");
+        };
+        assert_eq!(tail.len(), backend.bytes().len() - image.len());
+    }
+
+    #[test]
+    fn failed_append_never_advances_the_durable_end() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        journal.append_record(&zone_record(1)).unwrap();
+        let end = journal.end_offset();
+        backend.tear_next_append(5);
+        assert!(journal.append_record(&zone_record(2)).is_err());
+        assert_eq!(journal.end_offset(), end, "torn append must not advance");
+        // read_from must not ship the torn physical tail.
+        let ShipSource::Tail(tail) = journal.read_from(0).unwrap() else {
+            panic!("tail expected");
+        };
+        assert_eq!(tail.len() as u64, end);
+        parse_image(&tail).expect("shipped bytes are a clean image");
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_before_any_byte_lands() {
+        let backend = Arc::new(MemBackend::new());
+        let (journal, _, _) = Journal::open(backend.clone()).unwrap();
+        let len = backend.bytes().len();
+        let huge = Record::Snapshot(vec![0u8; MAX_RECORD_LEN + 1]);
+        assert!(matches!(
+            journal.append_record(&huge),
+            Err(JournalError::Malformed(_))
+        ));
+        assert_eq!(backend.bytes().len(), len, "nothing may be written");
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod zone_owner;
 pub mod cache;
 pub mod journal;
 pub mod privacy;
+pub mod repl;
 pub mod sampling;
 pub mod symmetric;
 pub mod verify_pool;

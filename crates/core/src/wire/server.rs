@@ -692,12 +692,17 @@ impl AuditorServer {
             Request::RegisterDrone {
                 operator_public,
                 tee_public,
-            } => {
-                Response::DroneRegistered(self.auditor.register_drone(operator_public, tee_public))
-            }
-            Request::RegisterZone { zone } => {
-                Response::ZoneRegistered(self.auditor.register_zone(zone))
-            }
+            } => match self
+                .auditor
+                .register_drone_durable(operator_public, tee_public)
+            {
+                Ok(id) => Response::DroneRegistered(id),
+                Err(e) => error_response(e),
+            },
+            Request::RegisterZone { zone } => match self.auditor.register_zone_durable(zone) {
+                Ok(id) => Response::ZoneRegistered(id),
+                Err(e) => error_response(e),
+            },
             Request::QueryZones(q) => match self.auditor.handle_zone_query(&q) {
                 Ok(resp) => Response::Zones(resp.zones),
                 Err(e) => error_response(e),

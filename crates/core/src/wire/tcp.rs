@@ -458,9 +458,29 @@ fn handle_framed(server: &AuditorServer, body: &[u8], queue_wait: Duration) -> V
 /// is unknown, so the typed error surfaces and only the
 /// [`AuditorClient`](crate::wire::transport::AuditorClient) retry
 /// layer, which knows idempotency, may resend.
+///
+/// # Failover
+///
+/// [`TcpTransport::multi`] takes an *endpoint list* (a replicated
+/// auditor cluster, see [`crate::repl`]). Dials distinguish failure
+/// classes: **connection refused** means nothing is listening — a dead
+/// or deposed primary — so the transport rotates to the next endpoint
+/// *immediately* (no backoff; counted in
+/// `transport.endpoint_rotations`). Transient errors (timeouts,
+/// resets) stay on the same endpoint and enter the seeded reconnect
+/// backoff. Only a full cycle of refusals — every endpoint dead —
+/// counts as a connect failure for the backoff streak, so a cluster
+/// mid-failover is probed promptly while a fully-dark cluster backs
+/// off exactly like the single-endpoint case. Combined with the
+/// [`AuditorClient`](crate::wire::transport::AuditorClient) retry
+/// layer, in-flight *idempotent* requests transparently retry against
+/// the promoted primary; non-idempotent ones surface their typed
+/// [`ProtocolError`] to the caller.
 #[derive(Debug)]
 pub struct TcpTransport {
-    addr: SocketAddr,
+    endpoints: Vec<SocketAddr>,
+    /// Index of the endpoint currently dialed (rotates on refusal).
+    active: std::sync::atomic::AtomicUsize,
     stream: Mutex<Option<TcpStream>>,
     read_timeout: Duration,
     write_timeout: Duration,
@@ -479,6 +499,7 @@ pub struct TcpTransport {
     bytes_out: Arc<Counter>,
     reconnects: Arc<Counter>,
     connect_backoffs: Arc<Counter>,
+    endpoint_rotations: Arc<Counter>,
     obs: Obs,
 }
 
@@ -492,8 +513,22 @@ impl TcpTransport {
     /// same `transport.*` names the in-process transport uses, plus
     /// `transport.reconnects`.
     pub fn with_obs(addr: SocketAddr, obs: &Obs) -> Self {
+        TcpTransport::multi(vec![addr], obs)
+    }
+
+    /// A transport over an *endpoint list* — a replicated cluster whose
+    /// primary may move. Dials start at `endpoints[0]` and rotate (in
+    /// list order, wrapping) whenever the active endpoint refuses the
+    /// connection; see the type docs for the failure-class rules.
+    ///
+    /// # Panics
+    ///
+    /// When `endpoints` is empty.
+    pub fn multi(endpoints: Vec<SocketAddr>, obs: &Obs) -> Self {
+        assert!(!endpoints.is_empty(), "endpoint list must be non-empty");
         TcpTransport {
-            addr,
+            endpoints,
+            active: std::sync::atomic::AtomicUsize::new(0),
             stream: Mutex::new(None),
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
@@ -505,6 +540,7 @@ impl TcpTransport {
             bytes_out: obs.counter("transport.bytes_out"),
             reconnects: obs.counter("transport.reconnects"),
             connect_backoffs: obs.counter("transport.connect_backoffs"),
+            endpoint_rotations: obs.counter("transport.endpoint_rotations"),
             obs: obs.clone(),
         }
     }
@@ -532,9 +568,15 @@ impl TcpTransport {
         }
     }
 
-    /// The server address this transport dials.
+    /// The endpoint this transport currently dials (rotates across
+    /// [`multi`](Self::multi) endpoints on refused connections).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.endpoints[self.active.load(Ordering::Relaxed) % self.endpoints.len()]
+    }
+
+    /// The full endpoint list, in rotation order.
+    pub fn endpoints(&self) -> &[SocketAddr] {
+        &self.endpoints
     }
 
     fn connect(&self) -> Result<TcpStream, ProtocolError> {
@@ -551,22 +593,51 @@ impl TcpTransport {
                 thread::sleep(backoff);
             }
         }
-        let stream = match TcpStream::connect(self.addr) {
-            Ok(s) => {
-                self.connect_failures.store(0, Ordering::Relaxed);
-                s
+        // One pass over the ring: a refused endpoint (nothing listening
+        // — dead or deposed primary) rotates immediately with no
+        // backoff; a transient failure stays put so the backoff streak
+        // targets the same endpoint. Only a *full cycle* of refusals
+        // joins the failure streak — the whole cluster is dark.
+        let mut refused_all: Option<io::Error> = None;
+        for _ in 0..self.endpoints.len() {
+            let idx = self.active.load(Ordering::Relaxed) % self.endpoints.len();
+            let addr = self.endpoints[idx];
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    self.connect_failures.store(0, Ordering::Relaxed);
+                    stream
+                        .set_read_timeout(Some(self.read_timeout))
+                        .and_then(|()| stream.set_write_timeout(Some(self.write_timeout)))
+                        .map_err(io_to_protocol)?;
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                    let next = (idx + 1) % self.endpoints.len();
+                    self.active.store(next, Ordering::Relaxed);
+                    if self.endpoints.len() > 1 {
+                        self.endpoint_rotations.inc();
+                        let to = self.endpoints[next].to_string();
+                        self.obs
+                            .emit(Level::Warn, "wire.tcp", "endpoint_rotate", |f| {
+                                f.field("refused", addr.to_string())
+                                    .field("to", to.as_str());
+                            });
+                    }
+                    refused_all = Some(e);
+                }
+                Err(e) => {
+                    self.connect_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(io_to_protocol(e));
+                }
             }
-            Err(e) => {
-                self.connect_failures.fetch_add(1, Ordering::Relaxed);
-                return Err(io_to_protocol(e));
-            }
-        };
-        stream
-            .set_read_timeout(Some(self.read_timeout))
-            .and_then(|()| stream.set_write_timeout(Some(self.write_timeout)))
-            .map_err(io_to_protocol)?;
-        let _ = stream.set_nodelay(true);
-        Ok(stream)
+        }
+        self.connect_failures.fetch_add(1, Ordering::Relaxed);
+        // Invariant: the loop ran >= 1 time (endpoints is non-empty)
+        // and every arm either returned or set `refused_all`.
+        Err(io_to_protocol(
+            refused_all.expect("full refusal cycle recorded an error"),
+        ))
     }
 
     /// Backoff before reconnect attempt number `failures + 1`: the same
@@ -998,6 +1069,113 @@ mod tests {
             let base = 200u64 << i;
             assert!(b >= base && b <= base + base / 2, "backoff[{i}] = {b}");
         }
+    }
+
+    #[test]
+    fn refused_endpoints_rotate_in_deterministic_order() {
+        // Three dead loopback ports: every dial is refused, so each
+        // call walks the full ring. The rotation order must be the
+        // list order, wrapping, identically across runs.
+        let dead: Vec<SocketAddr> = (0..3)
+            .map(|_| {
+                TcpListener::bind("127.0.0.1:0")
+                    .unwrap()
+                    .local_addr()
+                    .unwrap()
+            })
+            .collect();
+        let run = || -> (u64, Vec<String>) {
+            use alidrone_obs::RingBuffer;
+            let obs = Obs::noop();
+            let ring = Arc::new(RingBuffer::new(64));
+            obs.set_subscriber(ring.clone());
+            let transport = TcpTransport::multi(dead.clone(), &obs);
+            let req = Request::HealthCheck.to_bytes();
+            for _ in 0..2 {
+                assert!(transport.call(&req, now()).is_err());
+            }
+            let order: Vec<String> = ring
+                .events_where(|e| e.message == "endpoint_rotate")
+                .iter()
+                .map(|e| e.field("refused").unwrap().as_str().unwrap().to_string())
+                .collect();
+            (
+                obs.snapshot().counter("transport.endpoint_rotations"),
+                order,
+            )
+        };
+        let (count_a, order_a) = run();
+        let (count_b, order_b) = run();
+        // Two calls x three endpoints: six rotations, list order wrapped.
+        assert_eq!(count_a, 6);
+        assert_eq!(count_a, count_b);
+        assert_eq!(order_a, order_b);
+        let expected: Vec<String> = dead.iter().cycle().take(6).map(|a| a.to_string()).collect();
+        assert_eq!(order_a, expected);
+    }
+
+    #[test]
+    fn refused_primary_fails_over_to_live_endpoint_without_backoff() {
+        // Endpoint 0 is dead (refused), endpoint 1 serves: the first
+        // call must rotate and succeed with zero backoff sleeps even
+        // though a reconnect policy is armed — refusal is failover,
+        // not a transient to wait out.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let (tcp, server, _sobs) = spawn_server(1);
+        let obs = Obs::noop();
+        let transport = TcpTransport::multi(vec![dead, tcp.local_addr()], &obs)
+            .reconnect_backoff(RetryPolicy::default());
+        let mut client = AuditorClient::new(transport);
+        client
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
+        assert_eq!(server.auditor().zone_count(), 1);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("transport.endpoint_rotations"), 1);
+        assert_eq!(snap.counter("transport.connect_backoffs"), 0);
+        tcp.shutdown();
+    }
+
+    #[test]
+    fn idempotent_requests_retry_against_promoted_endpoint() {
+        // A two-endpoint client pinned to a live "primary"; kill it,
+        // boot a replacement on the *other* endpoint, and the next
+        // idempotent call must land there via refused-rotation plus
+        // the client retry layer — no typed error escapes.
+        let (tcp_a, _server_a, _oa) = spawn_server(1);
+        let addr_a = tcp_a.local_addr();
+        let addr_b = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let obs = Obs::noop();
+        let transport = TcpTransport::multi(vec![addr_a, addr_b], &obs);
+        let mut client = AuditorClient::new(transport);
+        client
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(10.0)), now())
+            .unwrap();
+
+        // Failover: A dies, B starts serving.
+        tcp_a.shutdown();
+        let server_b = Arc::new(
+            AuditorServer::builder(Auditor::new(
+                AuditorConfig::default(),
+                auditor_key().clone(),
+            ))
+            .build(),
+        );
+        let tcp_b = TcpServer::bind(addr_b, Arc::clone(&server_b)).unwrap();
+
+        // register_zone is idempotent at the wire layer, so the retry
+        // layer may resend it across the failover.
+        client
+            .register_zone(NoFlyZone::new(origin(), Distance::from_meters(20.0)), now())
+            .unwrap();
+        assert!(server_b.auditor().zone_count() >= 1);
+        tcp_b.shutdown();
     }
 
     #[test]

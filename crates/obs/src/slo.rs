@@ -10,6 +10,8 @@
 //!   drop ratios).
 //! * **P99Below** — the *window's* p99 (re-estimated from bucket
 //!   deltas, not the cumulative histogram) stays under a deadline.
+//! * **GaugeBelow** — the window's closing gauge value stays under a
+//!   bound (replication lag, queue depths).
 //! * **BurnRate** — the Google-SRE multi-window alert: with error
 //!   budget `1 − target`, the burn rate is
 //!   `(bad / total) / (1 − target)`; the rule breaches only when the
@@ -77,6 +79,16 @@ pub enum SloRule {
         histogram: String,
         /// Deadline in microseconds.
         max_micros: f64,
+    },
+    /// The window's *closing* value of `gauge` stays at or under
+    /// `max`. Level-triggered (replication lag, queue depths): a
+    /// quiesced system must read at or under the bound at every window
+    /// boundary; a missing gauge reads 0 and is healthy.
+    GaugeBelow {
+        /// Gauge name.
+        gauge: String,
+        /// Maximum acceptable closing value.
+        max: i64,
     },
     /// Multi-window error-budget burn-rate alert.
     BurnRate {
@@ -393,6 +405,15 @@ fn eval_rule(
                 threshold: *max_micros,
             }
         }
+        SloRule::GaugeBelow { gauge, max } => {
+            let value = window.gauge(gauge);
+            SloStatus {
+                name: name.to_string(),
+                healthy: value <= *max,
+                value: value as f64,
+                threshold: *max as f64,
+            }
+        }
         SloRule::BurnRate {
             total,
             bad,
@@ -584,6 +605,52 @@ mod tests {
         assert_eq!(snap.gauges["slo.value_milli.availability"], 800);
         let text = crate::export::prometheus_text(&snap);
         assert!(text.contains("slo_healthy_availability 0"), "{text}");
+    }
+
+    #[test]
+    fn gauge_rule_checks_closing_level() {
+        let obs = Obs::noop();
+        let mut engine = SloEngine::new(
+            &obs,
+            vec![Slo::new(
+                "repl_lag",
+                SloRule::GaugeBelow {
+                    gauge: "repl.lag_bytes".into(),
+                    max: 0,
+                },
+            )],
+        );
+        let gsnap = |lag: i64| MetricsSnapshot {
+            counters: BTreeMap::new(),
+            gauges: [("repl.lag_bytes".to_string(), lag)].into(),
+            histograms: BTreeMap::new(),
+        };
+        let mut ring = SnapshotRing::new(8);
+        ring.observe(Timestamp::from_secs(0.0), gsnap(0));
+        ring.observe(Timestamp::from_secs(1.0), gsnap(0));
+        assert!(engine.evaluate(&ring).is_empty());
+        // A window closing with lag breaches...
+        ring.observe(Timestamp::from_secs(2.0), gsnap(512));
+        let events = engine.evaluate(&ring);
+        assert!(events
+            .iter()
+            .any(|e| e.slo == "repl_lag" && e.kind == SloEventKind::BreachStart));
+        // ...and recovers once the close reads 0 again (quiesced).
+        ring.observe(Timestamp::from_secs(3.0), gsnap(0));
+        let events = engine.evaluate(&ring);
+        assert!(events
+            .iter()
+            .any(|e| e.slo == "repl_lag" && e.kind == SloEventKind::BreachEnd));
+        // Standalone phase verdicts see the same closing level.
+        let window = SeriesWindow::between(
+            Timestamp::from_secs(0.0),
+            &gsnap(0),
+            Timestamp::from_secs(1.0),
+            &gsnap(3),
+        );
+        let verdicts = engine.verdicts_for(&window);
+        assert!(!verdicts[0].healthy);
+        assert!((verdicts[0].value - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -116,6 +116,13 @@ impl SeriesWindow {
         }
     }
 
+    /// The gauge's value at this window's *close* (0 when absent) —
+    /// gauges are levels, not flows, so the boundary reading is the
+    /// window's value.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// This window's latency distribution for `name`, if observed.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)

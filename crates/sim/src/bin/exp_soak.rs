@@ -18,8 +18,10 @@
 //!                                                                # asserts determinism
 //! ```
 //!
-//! Flags: `--smoke`, `--drones N`, `--seed N`, `--out PATH`
-//! (default `target/SOAK_report.json`).
+//! Flags: `--smoke`, `--failover` (replicated primary + two
+//! followers; a kill-and-promote phase runs after the load phases and
+//! its ledger lands in the report's `failover` section), `--drones N`,
+//! `--seed N`, `--out PATH` (default `target/SOAK_report.json`).
 
 use std::time::Instant;
 
@@ -90,20 +92,27 @@ fn run_once(cfg: &FleetConfig) -> (fleet::SoakOutcome, f64) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let failover = std::env::args().any(|a| a == "--failover");
     let seed: u64 = flag_value("--seed").map_or(42, |v| v.parse().expect("--seed takes a u64"));
     let drones: usize =
         flag_value("--drones").map_or(2000, |v| v.parse().expect("--drones takes a count"));
     let out = flag_value("--out").unwrap_or_else(|| "target/SOAK_report.json".into());
 
-    let cfg = if smoke {
+    let mut cfg = if smoke {
         FleetConfig::smoke(seed)
     } else {
         FleetConfig::soak(seed, drones)
     };
+    cfg.failover = failover;
     println!(
-        "== exp_soak: {} drones, seed {seed}, {} phases ==",
+        "== exp_soak: {} drones, seed {seed}, {} phases{} ==",
         cfg.drones,
-        cfg.phases.len()
+        cfg.phases.len(),
+        if failover {
+            " + kill-and-promote failover"
+        } else {
+            ""
+        }
     );
 
     let (outcome, elapsed) = run_once(&cfg);
@@ -133,6 +142,27 @@ fn main() {
         outcome.scrape_matches_registry,
         "parsed scrape disagreed with the server registry"
     );
+    if failover {
+        let fo = outcome
+            .failover
+            .as_ref()
+            .expect("--failover run must produce a failover ledger");
+        println!(
+            "  failover: epoch {} -> {}, promoted {}, {} records replayed, \
+             {} endpoint rotations",
+            fo.epoch_before,
+            fo.epoch_after,
+            fo.promoted_follower,
+            fo.records_replayed,
+            fo.endpoint_rotations
+        );
+        assert_eq!(fo.epoch_after, fo.epoch_before + 1, "epoch must bump once");
+        assert_eq!(fo.failovers, 1, "exactly one failover must be recorded");
+        assert!(
+            fo.endpoint_rotations >= 1,
+            "no client rotated off the dead primary"
+        );
+    }
 
     // The smoke mode doubles as the determinism gate: a second run
     // with the same seed must reproduce every verdict and ledger.

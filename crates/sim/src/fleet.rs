@@ -34,9 +34,11 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
 use alidrone_chaos::{FaultPlane, FaultyGps, FaultyTransport};
+use alidrone_core::journal::{MemBackend, StorageBackend};
+use alidrone_core::repl::{Follower, InProcessLink, ReplicationPolicy, Replicator};
 use alidrone_core::wire::server::AuditorServer;
 use alidrone_core::wire::tcp::{TcpServer, TcpTransport};
 use alidrone_core::wire::transport::AuditorClient;
@@ -128,6 +130,14 @@ pub struct FleetConfig {
     /// Cap on distinct per-drone label series
     /// ([`LabelInterner`] — overflow collapses into `other`).
     pub label_cap: usize,
+    /// Run the campaign against a *replicated* primary (journal +
+    /// two in-process followers under `Quorum(1)`) and append a
+    /// kill-and-promote failover phase after the load phases: the
+    /// primary's listener dies, the most-caught-up follower is fenced
+    /// and promoted behind a fresh listener, and clients fail over via
+    /// the multi-endpoint transport. The phase is machine-checked in
+    /// the report like any other, plus a dedicated `failover` section.
+    pub failover: bool,
     /// The staged load phases, run in order against one server.
     pub phases: Vec<PhaseSpec>,
 }
@@ -146,6 +156,7 @@ impl FleetConfig {
             ring_cap: 256,
             gps_dropout_fraction: 0.15,
             label_cap: 256,
+            failover: false,
             phases: default_phases(),
         }
     }
@@ -246,6 +257,23 @@ pub fn fleet_slos() -> Vec<Slo> {
                 max_burn: 5.0,
             },
         ),
+        // Replication-lag levels must be exactly zero on a quiesced
+        // boundary scrape. Absent gauges (non-replicated soaks) read
+        // as zero, so these rules are unconditional.
+        Slo::new(
+            "repl_lag_bytes",
+            SloRule::GaugeBelow {
+                gauge: "repl_lag_bytes".into(),
+                max: 0,
+            },
+        ),
+        Slo::new(
+            "repl_lag_records",
+            SloRule::GaugeBelow {
+                gauge: "repl_lag_records".into(),
+                max: 0,
+            },
+        ),
     ]
 }
 
@@ -295,6 +323,47 @@ impl ToJson for PhaseOutcome {
     }
 }
 
+/// What the kill-and-promote phase of a replicated soak did.
+#[derive(Debug, Clone)]
+pub struct FailoverOutcome {
+    /// Leadership epoch while the original primary served.
+    pub epoch_before: u64,
+    /// Epoch after promotion (must be `epoch_before + 1`).
+    pub epoch_after: u64,
+    /// Name of the follower that won promotion (highest acked offset).
+    pub promoted_follower: String,
+    /// Journal records the promoted follower replayed on recovery.
+    pub records_replayed: u64,
+    /// Requests issued against the original primary in this phase.
+    pub pre_kill_ops: u64,
+    /// Requests issued after the kill (served by the promoted
+    /// primary, reached via endpoint rotation).
+    pub post_kill_ops: u64,
+    /// `transport.endpoint_rotations` at campaign end: connections
+    /// that rotated off the dead primary's refused endpoint.
+    pub endpoint_rotations: u64,
+    /// `repl.failovers` at campaign end (exactly one).
+    pub failovers: u64,
+}
+
+impl ToJson for FailoverOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epoch_before", Json::Num(self.epoch_before as f64)),
+            ("epoch_after", Json::Num(self.epoch_after as f64)),
+            ("promoted_follower", Json::str(&self.promoted_follower)),
+            ("records_replayed", Json::Num(self.records_replayed as f64)),
+            ("pre_kill_ops", Json::Num(self.pre_kill_ops as f64)),
+            ("post_kill_ops", Json::Num(self.post_kill_ops as f64)),
+            (
+                "endpoint_rotations",
+                Json::Num(self.endpoint_rotations as f64),
+            ),
+            ("failovers", Json::Num(self.failovers as f64)),
+        ])
+    }
+}
+
 /// Everything a finished soak produced.
 #[derive(Debug)]
 pub struct SoakOutcome {
@@ -327,6 +396,9 @@ pub struct SoakOutcome {
     /// directly (sanitized-name comparison on the request/error
     /// counters) — the scrape pipeline's own integrity check.
     pub scrape_matches_registry: bool,
+    /// The kill-and-promote ledger when [`FleetConfig::failover`] was
+    /// set; `None` for non-replicated soaks.
+    pub failover: Option<FailoverOutcome>,
 }
 
 // ------------------------------------------------------------ helpers
@@ -480,17 +552,50 @@ pub fn run_fleet(cfg: &FleetConfig) -> SoakOutcome {
 
     let obs = Obs::wall();
     let operator_key: RsaPrivateKey = experiment_key();
-    let auditor = Auditor::with_obs(AuditorConfig::default(), experiment_key(), &obs);
-    let server = AuditorServer::builder(auditor)
-        .obs(&obs)
-        .workers(cfg.server_workers)
-        .queue_cap(cfg.queue_cap)
-        .scrape(SocketAddr::from(([127, 0, 0, 1], 0)))
-        .build();
+    // Replicated mode journals the primary and ships every record to
+    // two in-process followers under Quorum(1); the follower handles
+    // stay with the driver for the kill-and-promote phase.
+    let (auditor, repl_followers) = if cfg.failover {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let (auditor, _) =
+            Auditor::recover_with_obs(backend, AuditorConfig::default(), experiment_key(), &obs)
+                .expect("journaled primary recovers");
+        let followers: Vec<(String, Arc<Follower>)> = (0..2)
+            .map(|i| {
+                let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+                (format!("f{i}"), Arc::new(Follower::new(backend)))
+            })
+            .collect();
+        let mut replicator = Replicator::new(&obs, ReplicationPolicy::Quorum(1));
+        for (name, follower) in &followers {
+            replicator =
+                replicator.with_follower(name.clone(), InProcessLink::new(Arc::clone(follower)));
+        }
+        auditor.set_replicator(Arc::new(replicator));
+        auditor.begin_epoch(1).expect("epoch 1 replicates");
+        (auditor, Some(followers))
+    } else {
+        (
+            Auditor::with_obs(AuditorConfig::default(), experiment_key(), &obs),
+            None,
+        )
+    };
+    // The scrape endpoint is owned by the `AuditorServer`, so holding
+    // this Arc keeps `/metrics` alive across the failover phase even
+    // after the request listener is shut down.
+    let server = Arc::new(
+        AuditorServer::builder(auditor)
+            .obs(&obs)
+            .workers(cfg.server_workers)
+            .queue_cap(cfg.queue_cap)
+            .scrape(SocketAddr::from(([127, 0, 0, 1], 0)))
+            .build(),
+    );
     let scrape_addr = server.scrape_addr().expect("scrape endpoint mounted");
-    let listener =
-        TcpServer::bind(("127.0.0.1", 0), Arc::new(server)).expect("bind auditor listener");
-    let addr = listener.local_addr();
+    let mut listener = Some(
+        TcpServer::bind(("127.0.0.1", 0), Arc::clone(&server)).expect("bind auditor listener"),
+    );
+    let addr = listener.as_ref().expect("listener just bound").local_addr();
 
     // Registration (setup traffic, lands before the phase-0 baseline
     // scrape so it never pollutes a phase window).
@@ -662,9 +767,155 @@ pub fn run_fleet(cfg: &FleetConfig) -> SoakOutcome {
         snap_prev = snap_end;
     }
 
+    // ------------------------------------------- kill-and-promote phase
+    let mut listener_b: Option<TcpServer> = None;
+    let mut server_b: Option<Arc<AuditorServer>> = None;
+    let failover = repl_followers.map(|followers| {
+        // One request per drone through a given endpoint list; the ops
+        // land in the shared ledger/counters like any phase traffic.
+        let drive = |endpoints: Vec<SocketAddr>| -> u64 {
+            let chunk = cfg.drones.div_ceil(cfg.clients.max(1));
+            thread::scope(|s| {
+                for w in 0..cfg.clients.max(1) {
+                    let lo = (w * chunk).min(cfg.drones);
+                    let hi = (lo + chunk).min(cfg.drones);
+                    let endpoints = endpoints.clone();
+                    let drone_ids = &drone_ids;
+                    let healthy = &healthy;
+                    let degraded = &degraded;
+                    let gps_cohort = &gps_cohort;
+                    let interner = &interner;
+                    let obs = &obs;
+                    let ops_counter = Arc::clone(&ops_counter);
+                    let err_counter = Arc::clone(&err_counter);
+                    s.spawn(move || {
+                        let mut client = AuditorClient::new(TcpTransport::multi(endpoints, obs));
+                        for (i, &drone) in drone_ids.iter().enumerate().take(hi).skip(lo) {
+                            let record: &FlightRecord = if gps_cohort.contains(i as u64) {
+                                degraded
+                            } else {
+                                healthy
+                            };
+                            let label = interner.intern(&format!("d{i}"));
+                            let drone_ops = obs.counter(&format!("fleet.drone.{label}.ops"));
+                            let outcome = client.submit_poa(
+                                drone,
+                                (record.window_start, record.window_end),
+                                &record.poa,
+                                now,
+                            );
+                            ops_counter.inc();
+                            drone_ops.inc();
+                            if outcome.is_err() {
+                                err_counter.inc();
+                            }
+                        }
+                    });
+                }
+            });
+            cfg.drones as u64
+        };
+
+        // Normal traffic against the primary, then fail-stop: shut its
+        // listener so every new connection is refused.
+        let pre_kill_ops = drive(vec![addr]);
+        listener
+            .take()
+            .expect("primary listener alive until the kill")
+            .shutdown();
+        let t0 = Instant::now();
+
+        // Deterministic promotion: fence the most-caught-up follower
+        // first, then finish replaying its shipped log.
+        let promote_idx = (0..followers.len())
+            .max_by_key(|&i| followers[i].1.acked_offset())
+            .expect("replicated soak has followers");
+        let (promoted_name, promoted_follower) = &followers[promote_idx];
+        promoted_follower.fence(2);
+        let (promoted, report) = Auditor::recover_with_obs(
+            Arc::clone(promoted_follower.backend()),
+            AuditorConfig::default(),
+            experiment_key(),
+            &obs,
+        )
+        .expect("promotion replay");
+        let (survivor_name, survivor) = &followers[1 - promote_idx];
+        let new_replicator = Replicator::new(&obs, ReplicationPolicy::Quorum(1)).with_follower(
+            survivor_name.clone(),
+            InProcessLink::new(Arc::clone(survivor)),
+        );
+        promoted.set_replicator(Arc::new(new_replicator));
+        promoted.begin_epoch(2).expect("epoch 2 replicates");
+        let epoch_after = promoted.current_epoch();
+        let b = Arc::new(
+            AuditorServer::builder(promoted)
+                .obs(&obs)
+                .workers(cfg.server_workers)
+                .queue_cap(cfg.queue_cap)
+                .build(),
+        );
+        let lb = TcpServer::bind(("127.0.0.1", 0), Arc::clone(&b)).expect("bind promoted listener");
+        let addr_b = lb.local_addr();
+        obs.histogram("repl.failover_duration_us")
+            .record_micros(t0.elapsed().as_micros() as u64);
+        obs.counter("repl.failovers").inc();
+        server_b = Some(b);
+        listener_b = Some(lb);
+
+        // Post-kill traffic: the endpoint list still leads with the
+        // dead primary, so every fresh connection exercises the
+        // refused-endpoint rotation before landing on the promoted one.
+        let post_kill_ops = drive(vec![addr, addr_b]);
+
+        // Quiesced boundary: judge the whole failover phase like any
+        // other, including the zero-lag replication SLOs.
+        let (t_end, snap_end) = observe_scrape(&state, &obs, scrape_addr);
+        let window = SeriesWindow::between(t_prev, &snap_prev, t_end, &snap_end);
+        let verdicts = state
+            .lock()
+            .expect("soak state")
+            .engine
+            .verdicts_for(&window);
+        let breached = verdicts.iter().any(|v| !v.healthy);
+        let ops = pre_kill_ops + post_kill_ops;
+        total_ops += ops;
+        phases.push(PhaseOutcome {
+            name: "failover",
+            expect_breach: false,
+            breached,
+            ops,
+            requests_delta: window.counter_delta(SCRAPED_REQUESTS),
+            errors_delta: window.counter_sum(SCRAPED_ERROR_KEYS),
+            shed_delta: window.counter_sum(SCRAPED_SHED_KEYS),
+            start_secs: t_prev.secs(),
+            end_secs: t_end.secs(),
+            verdicts,
+        });
+        t_prev = t_end;
+        snap_prev = snap_end;
+
+        let final_counters = obs.snapshot();
+        FailoverOutcome {
+            epoch_before: 1,
+            epoch_after,
+            promoted_follower: promoted_name.clone(),
+            records_replayed: report.records_applied as u64,
+            pre_kill_ops,
+            post_kill_ops,
+            endpoint_rotations: final_counters.counter("transport.endpoint_rotations"),
+            failovers: final_counters.counter("repl.failovers"),
+        }
+    });
+
     stop.store(true, Ordering::Relaxed);
     sampler.join().expect("sampler thread");
-    listener.shutdown();
+    if let Some(l) = listener.take() {
+        l.shutdown();
+    }
+    if let Some(l) = listener_b.take() {
+        l.shutdown();
+    }
+    drop(server_b);
 
     // Integrity of the scrape pipeline itself: the final parsed scrape
     // must agree with the registry read directly.
@@ -695,6 +946,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> SoakOutcome {
         labels_dropped: interner.dropped(),
         label_cap: cfg.label_cap,
         scrape_matches_registry,
+        failover,
     }
 }
 
@@ -726,6 +978,13 @@ pub fn soak_report_json(outcome: &SoakOutcome) -> Json {
                 ("admitted", Json::Num(outcome.labels_admitted as f64)),
                 ("dropped", Json::Num(outcome.labels_dropped as f64)),
             ]),
+        ),
+        (
+            "failover",
+            outcome
+                .failover
+                .as_ref()
+                .map_or(Json::Null, ToJson::to_json),
         ),
         (
             "phases",
@@ -847,6 +1106,40 @@ pub fn check_report(report: &Json) -> Result<(), String> {
     if windows.is_empty() {
         return Err("series has no windows".into());
     }
+    // Replicated soaks carry a failover section; `null` (plain soak)
+    // is fine, anything else must describe exactly one clean
+    // kill-and-promote.
+    if let Some(fo) = report.get("failover").filter(|f| !matches!(f, Json::Null)) {
+        let num = |key: &str| {
+            fo.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("failover: missing {key}"))
+        };
+        let (before, after) = (num("epoch_before")?, num("epoch_after")?);
+        if after != before + 1 {
+            return Err(format!(
+                "failover: epoch went {before} -> {after}, expected a single bump"
+            ));
+        }
+        if num("failovers")? != 1 {
+            return Err("failover: repl.failovers must be exactly 1".into());
+        }
+        if num("records_replayed")? == 0 {
+            return Err("failover: promoted follower replayed no records".into());
+        }
+        if num("pre_kill_ops")? == 0 || num("post_kill_ops")? == 0 {
+            return Err("failover: phase must issue traffic on both sides of the kill".into());
+        }
+        if num("endpoint_rotations")? == 0 {
+            return Err("failover: no client ever rotated off the dead primary".into());
+        }
+        if !phases
+            .iter()
+            .any(|p| p.get("name").and_then(Json::as_str) == Some("failover"))
+        {
+            return Err("failover: section present but no failover phase in ledger".into());
+        }
+    }
     Ok(())
 }
 
@@ -872,6 +1165,16 @@ pub fn determinism_signature(outcome: &SoakOutcome) -> String {
         "total_ops={},client_errors={}",
         outcome.total_ops, outcome.client_errors
     ));
+    if let Some(fo) = &outcome.failover {
+        sig.push_str(&format!(
+            "\nfailover:epoch={}->{},promoted={},pre={},post={}",
+            fo.epoch_before,
+            fo.epoch_after,
+            fo.promoted_follower,
+            fo.pre_kill_ops,
+            fo.post_kill_ops
+        ));
+    }
     sig
 }
 
@@ -920,6 +1223,47 @@ mod tests {
             determinism_signature(&second),
             "same seed must reproduce phase verdicts and ledgers"
         );
+    }
+
+    /// A replicated tiny fleet: the campaign runs against a journaled
+    /// primary shipping to two followers, then the failover phase
+    /// kills the primary, promotes the most-caught-up follower, and
+    /// the phase — including the zero-lag replication SLOs — judges
+    /// clean on the quiesced boundary. The report's failover section
+    /// machine-checks after a JSON round trip.
+    #[test]
+    fn tiny_failover_fleet_promotes_and_machine_checks() {
+        let cfg = FleetConfig {
+            failover: true,
+            ..tiny_config(11)
+        };
+        let outcome = run_fleet(&cfg);
+        let fo = outcome.failover.as_ref().expect("failover ledger");
+        assert_eq!((fo.epoch_before, fo.epoch_after), (1, 2));
+        assert_eq!(fo.failovers, 1);
+        assert!(fo.records_replayed > 0, "promotion replayed nothing");
+        assert!(
+            fo.endpoint_rotations >= 1,
+            "no client rotated off the dead primary"
+        );
+        let phase = outcome
+            .phases
+            .iter()
+            .find(|p| p.name == "failover")
+            .expect("failover phase in ledger");
+        assert_eq!(phase.ops, phase.requests_delta);
+        assert!(
+            !phase.breached,
+            "failover phase breached: {:?}",
+            phase.verdicts
+        );
+        assert!(phase
+            .verdicts
+            .iter()
+            .any(|v| v.name == "repl_lag_bytes" && v.healthy));
+        let report = soak_report_json(&outcome);
+        let round_tripped = Json::parse(&report.to_pretty()).expect("report parses");
+        check_report(&round_tripped).expect("failover report machine-checks");
     }
 
     /// The checker rejects reports whose breach expectations are not

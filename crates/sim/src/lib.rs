@@ -17,6 +17,16 @@
 //! [`metrics`] post-processes flight records into the exact series the
 //! paper's figures plot. One binary per figure/table regenerates it:
 //! `exp_fig6`, `exp_fig8`, `exp_table2` (plus `exp_all`).
+//!
+//! Beyond the paper, [`fleet`] scales the evaluation to a soak
+//! harness: staged multi-thousand-drone campaigns over real loopback
+//! TCP, judged live by scraped metric windows against declarative
+//! SLOs, written out as a machine-checked `SOAK_report.json`
+//! (`exp_soak`); with `--failover` the fleet runs against a
+//! replicated primary whose listener is killed mid-campaign, a
+//! follower is promoted, and clients ride through on multi-endpoint
+//! transports — the kill-and-promote phase is machine-checked into
+//! the report's `failover` section.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

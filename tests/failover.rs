@@ -1,0 +1,404 @@
+//! Kill-the-primary chaos campaign over the replicated auditor.
+//!
+//! Each seed draws a full failure scenario from the fault plane — op
+//! count, kill point, a compaction racing the kill, a partition window
+//! putting one follower into catch-up, probabilistic ship loss, and an
+//! optional torn primary append at the kill — then:
+//!
+//! 1. runs a crash-free **reference** auditor over the same op
+//!    schedule, checkpointing state after every op;
+//! 2. runs the **cluster**: a journaled primary shipping to two
+//!    followers under `Quorum(1)` through seeded
+//!    [`FaultyLink`](alidrone::chaos::FaultyLink)s, killing the
+//!    primary at the drawn offset;
+//! 3. promotes the most-caught-up follower (fence → replay → new
+//!    epoch) and asserts:
+//!    * the promoted state is **byte-identical to a reference
+//!      checkpoint** (followers hold whole-record journal prefixes);
+//!    * **zero acked-then-lost records**: every op the dead primary
+//!      acknowledged under `Quorum(1)` is in the promoted state;
+//!    * the deposed primary is **fenced** — its next durable mutation
+//!      fails with a typed error under any policy;
+//!    * post-promotion, the surviving follower converges to a journal
+//!      image byte-identical to the new primary's, and the quiesced
+//!      scrape reconciles exactly (zero lag, matching acked offsets,
+//!      the new epoch, one failover).
+//!
+//! `FAILOVER_SEEDS=<n>` reduces the campaign (the `make failover` /
+//! CI fast path); the default is 40 seeds.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use alidrone::chaos::{FaultPlane, FaultyLink, PartitionSwitch};
+use alidrone::core::journal::{MemBackend, StorageBackend};
+use alidrone::core::repl::{
+    Cluster, ClusterConfig, Follower, InProcessLink, ReplicationPolicy, Replicator,
+};
+use alidrone::core::{Auditor, AuditorConfig, ProtocolError};
+use alidrone::crypto::rng::XorShift64;
+use alidrone::crypto::rsa::RsaPrivateKey;
+use alidrone::geo::{Distance, GeoPoint, NoFlyZone};
+use alidrone::obs::Obs;
+
+/// Per-seed key cache (512-bit keygen in debug builds is slow).
+fn key(seed: u64) -> RsaPrivateKey {
+    static KEYS: OnceLock<Mutex<HashMap<u64, RsaPrivateKey>>> = OnceLock::new();
+    let cache = KEYS.get_or_init(Default::default);
+    let mut map = cache.lock().unwrap();
+    map.entry(seed)
+        .or_insert_with(|| {
+            let mut rng = XorShift64::seed_from_u64(seed);
+            RsaPrivateKey::generate(512, &mut rng)
+        })
+        .clone()
+}
+
+fn zone(i: usize) -> NoFlyZone {
+    NoFlyZone::new(
+        GeoPoint::new(40.0 + i as f64 * 0.02, -88.2 + (i % 7) as f64 * 0.01).unwrap(),
+        Distance::from_meters(60.0 + i as f64),
+    )
+}
+
+/// Seeds to run: `FAILOVER_SEEDS` for the reduced `make failover`
+/// sweep, 40 (≥ the acceptance floor of 30) by default.
+fn campaign_seeds() -> u64 {
+    std::env::var("FAILOVER_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// One scenario drawn deterministically from the plane.
+#[derive(Debug)]
+struct Plan {
+    n_ops: usize,
+    kill_at: usize,
+    compact_at: Option<usize>,
+    /// Ops during which follower 1's link is cut (catch-up pressure;
+    /// may still be cut at the kill — the "kill during catch-up" case).
+    partition: Option<(usize, usize)>,
+    drop_p: f64,
+    /// Tear the primary's final journal append (kill mid-record).
+    tear_on_kill: bool,
+}
+
+impl Plan {
+    fn draw(plane: &FaultPlane) -> Plan {
+        let s = plane.stream("failover.plan");
+        let n_ops = 10 + (s.next_u64() % 8) as usize;
+        let kill_at = 2 + (s.next_u64() % (n_ops as u64 - 2)) as usize;
+        let compact_at = s
+            .chance(0.6)
+            .then(|| (s.next_u64() % n_ops as u64) as usize);
+        let partition = s.chance(0.5).then(|| {
+            let start = (s.next_u64() % n_ops as u64) as usize;
+            let len = 1 + (s.next_u64() % 5) as usize;
+            (start, start + len)
+        });
+        let drop_p = if s.chance(0.4) { 0.15 } else { 0.0 };
+        let tear_on_kill = s.chance(0.5);
+        Plan {
+            n_ops,
+            kill_at,
+            compact_at,
+            partition,
+            drop_p,
+            tear_on_kill,
+        }
+    }
+}
+
+/// Applies op `i` through the durable (quorum-gated) API. Every op is
+/// exactly one journal record, so reference checkpoints align with
+/// whole-record follower prefixes.
+fn apply_op(auditor: &Auditor, i: usize) -> Result<(), ProtocolError> {
+    if i % 5 == 3 {
+        auditor
+            .register_drone_durable(key(2).public_key().clone(), key(1).public_key().clone())
+            .map(|_| ())
+    } else {
+        auditor.register_zone_durable(zone(i)).map(|_| ())
+    }
+}
+
+/// The crash-free reference: same ops, no faults, no replication.
+/// Returns state checkpoints; `checkpoints[m]` is the state after the
+/// first `m` ops.
+fn reference_checkpoints(plan: &Plan) -> Vec<Vec<u8>> {
+    let (auditor, _) = Auditor::recover(
+        Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+        AuditorConfig::default(),
+        key(0),
+    )
+    .expect("fresh reference recovers");
+    let mut checkpoints = vec![auditor.snapshot()];
+    for i in 0..plan.n_ops {
+        if plan.compact_at == Some(i) {
+            auditor.compact_journal().expect("reference compaction");
+        }
+        apply_op(&auditor, i).expect("reference op");
+        checkpoints.push(auditor.snapshot());
+    }
+    checkpoints
+}
+
+/// One full campaign run. Returns an outcome log so failing seeds can
+/// be replayed and compared bit-for-bit.
+fn campaign_run(seed: u64) -> Vec<String> {
+    let mut log = Vec::new();
+    let plane = FaultPlane::new(seed);
+    let plan = Plan::draw(&plane);
+    log.push(format!("{plan:?}"));
+    let checkpoints = reference_checkpoints(&plan);
+
+    // --- cluster under test ------------------------------------------
+    let obs = Obs::noop();
+    let primary_backend = Arc::new(MemBackend::new());
+    let (primary, _) = Auditor::recover_with_obs(
+        Arc::clone(&primary_backend) as Arc<dyn StorageBackend>,
+        AuditorConfig::default(),
+        key(0),
+        &obs,
+    )
+    .expect("primary recovers");
+    let primary = Arc::new(primary);
+    let followers: Vec<Arc<Follower>> = (0..2)
+        .map(|_| Arc::new(Follower::new(Arc::new(MemBackend::new()))))
+        .collect();
+    let mut switches: Vec<PartitionSwitch> = Vec::new();
+    let mut replicator = Replicator::new(&obs, ReplicationPolicy::Quorum(1));
+    for (i, follower) in followers.iter().enumerate() {
+        let link = FaultyLink::new(
+            InProcessLink::new(Arc::clone(follower)),
+            &plane,
+            &format!("repl.f{i}"),
+        )
+        .drop_with(plan.drop_p);
+        switches.push(link.partition_switch());
+        replicator = replicator.with_follower(format!("f{i}"), link);
+    }
+    primary.set_replicator(Arc::new(replicator));
+    primary.begin_epoch(1).expect("epoch 1 replicates");
+
+    // Ops until the kill, toggling the partition window on follower 1.
+    let mut acked: Vec<usize> = Vec::new();
+    for i in 0..plan.kill_at {
+        if let Some((start, end)) = plan.partition {
+            if i == start {
+                switches[1].partition();
+            }
+            if i == end {
+                switches[1].heal();
+            }
+        }
+        if plan.compact_at == Some(i) {
+            match primary.compact_journal() {
+                Ok(()) => log.push(format!("op {i}: compacted")),
+                Err(e) => log.push(format!("op {i}: compact err {e}")),
+            }
+        }
+        match apply_op(&primary, i) {
+            Ok(()) => {
+                acked.push(i);
+                log.push(format!("op {i}: acked"));
+            }
+            Err(e) => log.push(format!("op {i}: err {e}")),
+        }
+    }
+    // Kill mid-record: the primary's final append tears. The op must
+    // surface a typed error (never an ack), and the torn tail must die
+    // with the primary.
+    if plan.tear_on_kill {
+        primary_backend.tear_next_append(4);
+        match apply_op(&primary, plan.kill_at) {
+            Ok(()) => panic!("seed {seed}: torn append was acked"),
+            Err(e) => log.push(format!("kill op: torn err {e}")),
+        }
+    }
+
+    // --- fail-stop kill + deterministic promotion --------------------
+    // Designated follower: the most-caught-up one (with Quorum(1) it is
+    // the only choice that can hold every acked record).
+    let promote_idx = (0..followers.len())
+        .max_by_key(|&i| followers[i].acked_offset())
+        .expect("two followers");
+    log.push(format!("promote f{promote_idx}"));
+    let promoted_follower = Arc::clone(&followers[promote_idx]);
+    // Fence FIRST: from here the dead primary's frames land Stale.
+    promoted_follower.fence(2);
+    let (promoted, report) = Auditor::recover_with_obs(
+        Arc::clone(promoted_follower.backend()),
+        AuditorConfig::default(),
+        key(0),
+        &obs,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: promotion replay failed: {e}"));
+    assert!(
+        !report.torn_tail,
+        "seed {seed}: follower received a torn record"
+    );
+    log.push(format!("replayed {} records", report.records_applied));
+
+    // Byte-identical to a crash-free reference checkpoint, and zero
+    // acked-then-lost under Quorum(1).
+    let promoted_state = promoted.snapshot();
+    let m = (0..checkpoints.len())
+        .find(|&m| checkpoints[m] == promoted_state)
+        .unwrap_or_else(|| panic!("seed {seed}: promoted state matches no crash-free checkpoint"));
+    log.push(format!("promoted at checkpoint {m}"));
+    if let Some(&last_acked) = acked.last() {
+        assert!(
+            last_acked < m,
+            "seed {seed}: acked-then-lost — op {last_acked} acked but promoted \
+             state only covers {m} ops"
+        );
+    }
+
+    // New epoch over the surviving follower; the deposed primary's
+    // links still point at both followers.
+    let survivor_idx = 1 - promote_idx;
+    let survivor = Arc::clone(&followers[survivor_idx]);
+    switches.iter().for_each(PartitionSwitch::heal);
+    let new_replicator = Replicator::new(&obs, ReplicationPolicy::Quorum(1))
+        .with_follower("survivor", InProcessLink::new(Arc::clone(&survivor)));
+    promoted.set_replicator(Arc::new(new_replicator));
+    promoted.begin_epoch(2).expect("epoch 2 replicates");
+    assert_eq!(promoted.current_epoch(), 2, "seed {seed}");
+
+    // The deposed primary is fenced: its next durable mutation fails
+    // with a typed error (stale epoch once a fenced follower answers).
+    match apply_op(&primary, plan.n_ops + 90) {
+        Ok(()) => panic!("seed {seed}: deposed primary still acks writes"),
+        Err(e) => {
+            log.push(format!("deposed: {e}"));
+            assert!(
+                matches!(e, ProtocolError::Storage(_)),
+                "seed {seed}: fencing must be a typed storage error, got {e}"
+            );
+        }
+    }
+
+    // The promoted primary keeps serving durable mutations. Resume
+    // from checkpoint `m`: ops the dead primary journaled but never
+    // got acked by a follower are exactly the ones a client would
+    // retry against the new primary.
+    for i in m..plan.n_ops {
+        apply_op(&promoted, i)
+            .unwrap_or_else(|e| panic!("seed {seed}: post-promotion op {i} failed: {e}"));
+    }
+    assert_eq!(
+        promoted.snapshot(),
+        *checkpoints.last().expect("checkpoints non-empty"),
+        "seed {seed}: promoted primary must finish the schedule on the \
+         reference state"
+    );
+
+    // Quiesced reconciliation: the survivor's journal image is
+    // byte-identical to the new primary's, and the scrape agrees
+    // exactly — zero lag, matching acked offset, epoch 2.
+    let primary_image = promoted_follower
+        .backend()
+        .read()
+        .expect("promoted journal readable");
+    assert_eq!(
+        survivor.image().expect("survivor readable"),
+        primary_image,
+        "seed {seed}: survivor diverged from the promoted primary"
+    );
+    let snap = obs.snapshot();
+    assert_eq!(snap.gauges["repl.lag_bytes"], 0, "seed {seed}");
+    assert_eq!(snap.gauges["repl.lag_records"], 0, "seed {seed}");
+    assert_eq!(snap.gauges["repl.epoch"], 2, "seed {seed}");
+    assert_eq!(
+        snap.gauges["repl.acked_offset.survivor"],
+        survivor.acked_offset() as i64,
+        "seed {seed}"
+    );
+    log.push(format!(
+        "quiesced end={} survivor_epoch={}",
+        survivor.acked_offset(),
+        survivor.current_epoch()
+    ));
+    log
+}
+
+/// The acceptance campaign: ≥30 seeds (default 40), each killing the
+/// primary at a drawn offset — mid-record, mid-batch, during
+/// compaction, during catch-up — with every invariant checked inside
+/// [`campaign_run`].
+#[test]
+fn kill_the_primary_campaign() {
+    let seeds = campaign_seeds();
+    let mut compactions = 0usize;
+    let mut catchup_kills = 0usize;
+    let mut torn_kills = 0usize;
+    for seed in 0..seeds {
+        for line in campaign_run(seed) {
+            if line.contains("compacted") {
+                compactions += 1;
+            }
+            if line.contains("torn err") {
+                torn_kills += 1;
+            }
+            if line.contains("promote f0") {
+                catchup_kills += 1;
+            }
+        }
+    }
+    // The plan space must actually cover the interesting offsets.
+    if seeds >= 30 {
+        assert!(compactions > 0, "no seed compacted before the kill");
+        assert!(torn_kills > 0, "no seed tore the final append");
+        assert!(catchup_kills > 0, "no seed killed during catch-up");
+    }
+}
+
+/// A failing (or any) seed replays its exact outcome log.
+#[test]
+fn failover_seeds_replay_deterministically() {
+    for seed in [2u64, 17, 33] {
+        assert_eq!(campaign_run(seed), campaign_run(seed), "seed {seed}");
+    }
+}
+
+/// The packaged [`Cluster`] path: ops, kill-and-promote via
+/// [`Cluster::kill_and_promote`], failover metrics on the scrape.
+#[test]
+fn packaged_cluster_survives_promotion() {
+    let obs = Obs::noop();
+    let mut cluster = Cluster::new(
+        ClusterConfig {
+            followers: 2,
+            policy: ReplicationPolicy::Quorum(1),
+        },
+        AuditorConfig::default(),
+        key(0),
+        &obs,
+    )
+    .unwrap();
+    for i in 0..6 {
+        apply_op(cluster.primary(), i).unwrap();
+    }
+    let before = cluster.primary().snapshot();
+    let old_primary = Arc::clone(cluster.primary());
+    let promoted = cluster.kill_and_promote(0).unwrap();
+    assert_eq!(promoted.snapshot(), before);
+    assert_eq!(cluster.epoch(), 2);
+    // Old primary fenced, new primary serving.
+    assert!(apply_op(&old_primary, 90).is_err());
+    for i in 6..9 {
+        apply_op(&promoted, i).unwrap();
+    }
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("repl.failovers"), 1);
+    assert_eq!(snap.gauges["repl.epoch"], 2);
+    assert_eq!(snap.gauges["repl.lag_bytes"], 0);
+    assert!(
+        snap.histograms
+            .get("repl.failover_duration_us")
+            .is_some_and(|h| h.count == 1),
+        "failover duration must be recorded once"
+    );
+}
