@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload scrape-smoke soak-smoke failover bench-json bench-diff
+.PHONY: check fmt clippy doc build test examples experiments trace-smoke tcp-smoke stress chaos overload scrape-smoke soak-smoke failover tamper bench-json bench-diff
 
-check: fmt clippy doc test trace-smoke tcp-smoke chaos overload soak-smoke failover
+check: fmt clippy doc test trace-smoke tcp-smoke chaos overload soak-smoke failover tamper
 
 fmt:
 	$(CARGO) fmt --all -- --check
@@ -69,6 +69,17 @@ failover:
 	FAILOVER_SEEDS=$(or $(FAILOVER_SEEDS),12) $(CARGO) test --release --offline --test failover -q
 	$(CARGO) run -p alidrone-sim --release --offline --bin exp_soak -- --smoke --failover --out target/SOAK_failover_report.json
 	$(CARGO) run --release --offline --example failover
+
+# Tamper-evidence gate: the seeded tamper-injection campaign against
+# the hash-chained audit log (TAMPER_SEEDS trims the default 40 seeds;
+# every arm — bit flips, reorders, drops, rewrites, checkpoint-root
+# forgeries, replication splices — must be detected, never silently
+# accepted), then the tamper-mode soak where every drone verifies tree
+# heads and inclusion/consistency proofs offline (report lands in
+# target/SOAK_tamper_report.json for CI to archive).
+tamper:
+	TAMPER_SEEDS=$(or $(TAMPER_SEEDS),12) $(CARGO) test --release --offline --test tamper -q
+	$(CARGO) run -p alidrone-sim --release --offline --bin exp_soak -- --smoke --tamper --out target/SOAK_tamper_report.json
 
 # Regenerate the persistent perf baseline (BENCH_poa.json at the repo
 # root). BENCH_POA_SAMPLES trades precision for wall time.

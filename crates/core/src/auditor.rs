@@ -26,6 +26,7 @@ use alidrone_geo::{
 use alidrone_obs::{Counter, Histogram, Level, Obs};
 use alidrone_tee::SignedSample;
 
+use crate::audit::{AuditChain, ConsistencyProof, InclusionProof, SignedTreeHead};
 use crate::cache::{LruCache, VerifyResultCache};
 use crate::identity::Registration;
 use crate::journal::{Journal, JournalError, Record, StorageBackend};
@@ -60,6 +61,11 @@ pub struct AuditorConfig {
     /// How long verified PoAs are retained for later accusations
     /// ("a couple of days", paper §IV-C2).
     pub retention: Duration,
+    /// How many audited records may accumulate between journaled
+    /// Merkle checkpoints (see [`crate::audit`]). Smaller intervals
+    /// tighten tamper detection at the cost of one RSA signature and
+    /// one extra journal record per interval.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for AuditorConfig {
@@ -69,6 +75,37 @@ impl Default for AuditorConfig {
             criterion: Criterion::Paper,
             coverage_slack: Duration::from_secs(5.0),
             retention: Duration::from_secs(2.0 * 86_400.0),
+            checkpoint_interval: 32,
+        }
+    }
+}
+
+/// Produces a TEE countersignature over a checkpoint's signing bytes,
+/// or `None` when the enclave declines (see
+/// [`Auditor::set_checkpoint_countersigner`]).
+pub type CheckpointCountersigner = Arc<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
+/// The tamper-evidence state (see [`crate::audit`]): the hash chain and
+/// Merkle leaves over every audited record, plus proof-serving caches.
+struct AuditState {
+    chain: AuditChain,
+    /// Tree size covered by the last journaled checkpoint.
+    checkpoint_size: u64,
+    /// Latest `PoaStored` leaf index per drone — what an inclusion
+    /// proof for "my verdict" resolves to.
+    verdict_leaves: BTreeMap<DroneId, u64>,
+    /// Cached signed tree head (signing is RSA-priced); invalidated by
+    /// size on every chain append.
+    sth: Option<SignedTreeHead>,
+}
+
+impl AuditState {
+    fn empty() -> AuditState {
+        AuditState {
+            chain: AuditChain::new(),
+            checkpoint_size: 0,
+            verdict_leaves: BTreeMap::new(),
+            sth: None,
         }
     }
 }
@@ -275,6 +312,13 @@ pub struct Auditor {
     zone_query_cache: Mutex<LruCache<(u64, [u64; 4]), ZoneSnapshot>>,
     zone_cache_hits: Arc<Counter>,
     zone_cache_misses: Arc<Counter>,
+    /// Tamper-evident audit chain over every durable mutation (see
+    /// [`crate::audit`]). Advanced under the journal lock so chain
+    /// order always matches journal append order.
+    audit: Mutex<AuditState>,
+    /// Optional TEE countersigner for Merkle checkpoints, installed
+    /// once (normally by the server builder from an enclave client).
+    checkpoint_countersigner: OnceLock<CheckpointCountersigner>,
 }
 
 /// What [`Auditor::recover`] found in the journal.
@@ -329,6 +373,8 @@ impl Auditor {
             zone_query_cache: Mutex::new(LruCache::new(ZONE_QUERY_CACHE_CAP)),
             zone_cache_hits: obs.counter("auditor.zone_query_cache.hits"),
             zone_cache_misses: obs.counter("auditor.zone_query_cache.misses"),
+            audit: Mutex::new(AuditState::empty()),
+            checkpoint_countersigner: OnceLock::new(),
         }
     }
 
@@ -423,6 +469,11 @@ impl Auditor {
     fn apply_record(&mut self, record: &Record) -> Result<(), ProtocolError> {
         use alidrone_crypto::bigint::BigUint;
         use alidrone_geo::{Distance, GeoPoint};
+        if record.is_audited() {
+            // Replay recomputes the same chain the live auditor built,
+            // so the checkpoint arm below can catch rewritten history.
+            self.audit_extend(record);
+        }
         match record {
             Record::RegisterDrone {
                 id,
@@ -506,14 +557,182 @@ impl Auditor {
                 self.stored = restored.stored;
                 self.next_drone = restored.next_drone;
                 self.next_zone = restored.next_zone;
+                self.audit = restored.audit;
             }
             Record::Epoch(epoch) => {
                 // Epochs only move forward; a replayed log may carry
                 // several boundaries and the newest one wins.
                 self.epoch.fetch_max(*epoch, Ordering::AcqRel);
             }
+            Record::AuditCheckpoint { size, root, .. } => {
+                // The recorded root must match the root this replay
+                // recomputed from the preceding records — any rewrite,
+                // drop, or reorder of chained history lands here.
+                let mut audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+                audit
+                    .chain
+                    .check_checkpoint(*size, root)
+                    .map_err(|_| ProtocolError::AuditDivergence { size: *size })?;
+                audit.checkpoint_size = (*size).max(audit.checkpoint_size);
+            }
         }
         Ok(())
+    }
+
+    /// Advances the audit chain by one audited record (live append and
+    /// replay share this, so both build the identical chain).
+    fn audit_extend(&self, record: &Record) {
+        let mut audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        let index = audit.chain.size();
+        audit.chain.append(&record.to_payload());
+        audit.sth = None;
+        if let Record::PoaStored { drone, .. } = record {
+            audit.verdict_leaves.insert(DroneId::new(*drone), index);
+        }
+    }
+
+    /// Builds a Merkle checkpoint record when the configured interval
+    /// has elapsed since the last one. A signing failure skips the
+    /// checkpoint (logged; the next audited append retries) rather than
+    /// failing the mutation that triggered it.
+    fn due_checkpoint(&self) -> Option<Record> {
+        let mut audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        let size = audit.chain.size();
+        if size.saturating_sub(audit.checkpoint_size) < self.config.checkpoint_interval.max(1) {
+            return None;
+        }
+        match self.sign_tree_head(&mut audit) {
+            Ok(sth) => {
+                audit.checkpoint_size = size;
+                Some(Record::AuditCheckpoint {
+                    size: sth.size,
+                    root: sth.root,
+                    sig: sth.signature.clone(),
+                    tee_sig: sth.tee_signature.clone(),
+                })
+            }
+            Err(err) => {
+                self.obs.emit(
+                    Level::Error,
+                    "auditor.audit",
+                    "checkpoint signing failed; skipped",
+                    |f| {
+                        f.field("size", size);
+                        f.field("error", err.to_string());
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// Signs (and caches) the tree head over the current chain state,
+    /// countersigning through the installed TEE hook when present.
+    fn sign_tree_head(&self, audit: &mut AuditState) -> Result<SignedTreeHead, ProtocolError> {
+        let size = audit.chain.size();
+        if let Some(sth) = &audit.sth {
+            if sth.size == size {
+                return Ok(sth.clone());
+            }
+        }
+        let root = audit.chain.root();
+        let head = audit.chain.head();
+        let mut sth = SignedTreeHead::sign(size, root, head, &self.encryption_key)
+            .map_err(ProtocolError::Crypto)?;
+        if let Some(countersign) = self.checkpoint_countersigner.get() {
+            let msg = SignedTreeHead::signing_bytes(size, &root, &head);
+            if let Some(sig) = countersign(&msg) {
+                sth.tee_signature = sig;
+            }
+        }
+        audit.sth = Some(sth.clone());
+        Ok(sth)
+    }
+
+    /// Installs the TEE checkpoint countersigner: every subsequent
+    /// signed tree head (and journaled checkpoint) carries the
+    /// enclave's signature alongside the auditor's. Returns `false`
+    /// (leaving the existing hook) if one was already installed.
+    pub fn set_checkpoint_countersigner(&self, hook: CheckpointCountersigner) -> bool {
+        self.checkpoint_countersigner.set(hook).is_ok()
+    }
+
+    /// The signed tree head over the current audit chain: the auditor's
+    /// commitment to its whole mutation history. Verifiable offline via
+    /// [`SignedTreeHead::verify`] and the [`crate::audit`] proof
+    /// functions.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Crypto`] when signing fails.
+    pub fn signed_tree_head(&self) -> Result<SignedTreeHead, ProtocolError> {
+        let mut audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        self.sign_tree_head(&mut audit)
+    }
+
+    /// Number of entries in the audit chain.
+    pub fn audit_tree_size(&self) -> u64 {
+        self.audit
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .chain
+            .size()
+    }
+
+    /// Inclusion proof for `drone`'s latest stored verdict against the
+    /// tree of `tree_size` entries (0 = the current size). Clients
+    /// check it offline with [`crate::audit::verify_inclusion`] against
+    /// a tree head they already hold.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::PoaNotFound`] when the drone has no stored
+    /// verdict, [`ProtocolError::Malformed`] when the verdict lies
+    /// outside the requested tree size.
+    pub fn audit_inclusion_proof(
+        &self,
+        drone: DroneId,
+        tree_size: u64,
+    ) -> Result<InclusionProof, ProtocolError> {
+        let audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        let index = *audit
+            .verdict_leaves
+            .get(&drone)
+            .ok_or(ProtocolError::PoaNotFound)?;
+        let size = if tree_size == 0 {
+            audit.chain.size()
+        } else {
+            tree_size
+        };
+        audit
+            .chain
+            .prove_inclusion(index, size)
+            .map_err(|_| ProtocolError::Malformed("audit proof range"))
+    }
+
+    /// Consistency proof between the trees of `old_size` and `new_size`
+    /// entries (`new_size` 0 = the current size): evidence that the
+    /// newer head extends the older one append-only. Checked offline
+    /// with [`crate::audit::verify_consistency`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] for invalid ranges.
+    pub fn audit_consistency_proof(
+        &self,
+        old_size: u64,
+        new_size: u64,
+    ) -> Result<ConsistencyProof, ProtocolError> {
+        let audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        let new_size = if new_size == 0 {
+            audit.chain.size()
+        } else {
+            new_size
+        };
+        audit
+            .chain
+            .prove_consistency(old_size, new_size)
+            .map_err(|_| ProtocolError::Malformed("audit proof range"))
     }
 
     /// The leadership epoch this auditor last saw (0 when it has never
@@ -572,6 +791,13 @@ impl Auditor {
     /// may be lost.
     fn journal_append(&self, record: &Record) -> Result<(), ProtocolError> {
         let mut slot = self.journal.lock().unwrap_or_else(|p| p.into_inner());
+        // The chain advances under the journal lock so chain order
+        // always matches append order — and even with journaling
+        // disabled, so an in-memory auditor still serves verifiable
+        // tree heads and proofs.
+        if record.is_audited() {
+            self.audit_extend(record);
+        }
         let Some(journal) = slot.as_ref() else {
             // No journal means nothing can replicate: under a quorum
             // policy acknowledging here would be an acked-then-lost
@@ -588,27 +814,37 @@ impl Auditor {
             }
             return Ok(());
         };
-        let t0 = std::time::Instant::now();
-        let result = journal.append_record(record);
-        self.journal_append_latency
-            .record_micros(t0.elapsed().as_micros() as u64);
-        if let Err(err) = result {
-            self.obs.emit(
-                Level::Error,
-                "auditor.journal",
-                "append failed; journaling disabled",
-                |f| {
-                    f.field("error", err.to_string());
-                },
-            );
-            self.obs.counter("auditor.journal_append_failures").inc();
-            let quorum = self.replicator.get().is_some_and(|r| r.requires_quorum());
-            *self.journal_error.lock().unwrap_or_else(|p| p.into_inner()) = Some(err.clone());
-            *slot = None;
-            if quorum {
-                return Err(err.into());
+        // A due Merkle checkpoint rides the same lock hold as the
+        // record that triggered it, so the chained prefix it covers is
+        // exactly the records physically before it in the journal.
+        let checkpoint = if record.is_audited() {
+            self.due_checkpoint()
+        } else {
+            None
+        };
+        for rec in std::iter::once(record).chain(checkpoint.as_ref()) {
+            let t0 = std::time::Instant::now();
+            let result = journal.append_record(rec);
+            self.journal_append_latency
+                .record_micros(t0.elapsed().as_micros() as u64);
+            if let Err(err) = result {
+                self.obs.emit(
+                    Level::Error,
+                    "auditor.journal",
+                    "append failed; journaling disabled",
+                    |f| {
+                        f.field("error", err.to_string());
+                    },
+                );
+                self.obs.counter("auditor.journal_append_failures").inc();
+                let quorum = self.replicator.get().is_some_and(|r| r.requires_quorum());
+                *self.journal_error.lock().unwrap_or_else(|p| p.into_inner()) = Some(err.clone());
+                *slot = None;
+                if quorum {
+                    return Err(err.into());
+                }
+                return Ok(());
             }
-            return Ok(());
         }
         if let Some(replicator) = self.replicator.get() {
             // Shipping under the journal lock serializes frames in
@@ -1382,7 +1618,51 @@ impl fmt::Debug for Auditor {
 // pending accusation into a punishment). The snapshot format reuses the
 // wire codec.
 
-const SNAPSHOT_MAGIC: u32 = 0x414C_4431; // "ALD1"
+const SNAPSHOT_MAGIC: u32 = 0x414C_4432; // "ALD2" — v2 added the audit-chain section
+
+/// Parses the audit-chain section of a snapshot (head, checkpoint
+/// size, Merkle leaves, per-drone verdict leaf indexes). The reader
+/// must be positioned just past the id counters.
+#[allow(clippy::type_complexity)]
+fn read_audit_section(
+    r: &mut crate::wire::codec::Reader<'_>,
+) -> Result<([u8; 32], u64, Vec<[u8; 32]>, BTreeMap<DroneId, u64>), ProtocolError> {
+    let head: [u8; 32] = r.get_array()?;
+    let checkpoint_size = r.get_u64()?;
+    let n = r.get_u32()? as usize;
+    if n > 1 << 26 {
+        return Err(ProtocolError::Malformed("too many audit leaves"));
+    }
+    let mut leaves = Vec::with_capacity(n);
+    for _ in 0..n {
+        leaves.push(r.get_array()?);
+    }
+    let n = r.get_u32()? as usize;
+    if n > 1 << 20 {
+        return Err(ProtocolError::Malformed("too many verdict leaves"));
+    }
+    let mut verdict_leaves = BTreeMap::new();
+    for _ in 0..n {
+        let drone = DroneId::new(r.get_u64()?);
+        verdict_leaves.insert(drone, r.get_u64()?);
+    }
+    Ok((head, checkpoint_size, leaves, verdict_leaves))
+}
+
+/// Recovers just the audit-chain state `(chain, checkpoint_size)` from
+/// snapshot bytes, without decoding the registries behind it. Used by
+/// replication followers to re-seed their verification chain when a
+/// full image ships.
+pub(crate) fn snapshot_audit_state(bytes: &[u8]) -> Result<(AuditChain, u64), ProtocolError> {
+    let mut r = crate::wire::codec::Reader::new(bytes);
+    if r.get_u32()? != SNAPSHOT_MAGIC {
+        return Err(ProtocolError::Malformed("snapshot magic"));
+    }
+    let _next_drone = r.get_u64()?;
+    let _next_zone = r.get_u64()?;
+    let (head, checkpoint_size, leaves, _) = read_audit_section(&mut r)?;
+    Ok((AuditChain::from_parts(head, leaves), checkpoint_size))
+}
 
 impl Auditor {
     /// Serialises the auditor's durable state: registries, anti-replay
@@ -1396,6 +1676,27 @@ impl Auditor {
         w.put_u32(SNAPSHOT_MAGIC);
         w.put_u64(self.next_drone.load(Ordering::Relaxed));
         w.put_u64(self.next_zone.load(Ordering::Relaxed));
+
+        // Audit-chain section first, so replication followers can
+        // recover the chain state from an image prefix without decoding
+        // the (much larger) registries behind it.
+        let audit = self.audit.lock().unwrap_or_else(|p| p.into_inner());
+        for b in audit.chain.head() {
+            w.put_u8(b);
+        }
+        w.put_u64(audit.checkpoint_size);
+        w.put_u32(audit.chain.size() as u32);
+        for leaf in audit.chain.leaves() {
+            for b in leaf {
+                w.put_u8(*b);
+            }
+        }
+        w.put_u32(audit.verdict_leaves.len() as u32);
+        for (drone, index) in audit.verdict_leaves.iter() {
+            w.put_u64(drone.value());
+            w.put_u64(*index);
+        }
+        drop(audit);
 
         // Snapshots recover from poisoned locks (see the accessor note
         // above): a panicked reader must not block making a backup.
@@ -1464,6 +1765,8 @@ impl Auditor {
         }
         let next_drone = r.get_u64()?;
         let next_zone = r.get_u64()?;
+        let (audit_head, audit_checkpoint_size, audit_leaves, verdict_leaves) =
+            read_audit_section(&mut r)?;
 
         let read_key = |r: &mut Reader<'_>| -> Result<RsaPublicKey, ProtocolError> {
             let n = BigUint::from_bytes_be(r.get_bytes()?);
@@ -1565,6 +1868,13 @@ impl Auditor {
             zone_cache_hits: obs.counter("auditor.zone_query_cache.hits"),
             zone_cache_misses: obs.counter("auditor.zone_query_cache.misses"),
             obs,
+            audit: Mutex::new(AuditState {
+                chain: AuditChain::from_parts(audit_head, audit_leaves),
+                checkpoint_size: audit_checkpoint_size,
+                verdict_leaves,
+                sth: None,
+            }),
+            checkpoint_countersigner: OnceLock::new(),
         })
     }
 }
@@ -2286,5 +2596,225 @@ mod tests {
             (penalty - expected).abs() < 1e-6,
             "margin penalty {penalty} m, expected {expected} m"
         );
+    }
+
+    // -------------------------------------------------- audit transparency
+
+    use crate::audit::{verify_consistency, verify_inclusion};
+
+    #[test]
+    fn tree_head_and_proofs_verify_offline() {
+        let a = auditor();
+        let d1 = registered(&a);
+        let d2 = registered(&a);
+        a.register_zone(far_zone());
+        a.verify_submission(&submission(d1, 5), Timestamp::EPOCH)
+            .unwrap();
+        let sth1 = a.signed_tree_head().unwrap();
+        assert!(sth1.verify(auditor_key().public_key()));
+        assert_eq!(sth1.size, a.audit_tree_size());
+
+        a.verify_submission(&submission(d2, 5), Timestamp::EPOCH)
+            .unwrap();
+        a.verify_submission(&submission(d1, 6), Timestamp::EPOCH)
+            .unwrap();
+        let sth2 = a.signed_tree_head().unwrap();
+        assert!(sth2.verify(auditor_key().public_key()));
+        assert!(sth2.size > sth1.size);
+        // A tree head from the wrong key must not verify.
+        assert!(!sth2.verify(operator_key().public_key()));
+
+        // Inclusion of each drone's latest verdict, checked with the
+        // pure offline verifier — no auditor trust involved.
+        for d in [d1, d2] {
+            let proof = a.audit_inclusion_proof(d, 0).unwrap();
+            assert_eq!(proof.size, sth2.size);
+            assert!(verify_inclusion(
+                &proof.leaf,
+                proof.index,
+                proof.size,
+                &proof.path,
+                &sth2.root,
+            ));
+            // Same proof against the wrong root must fail.
+            assert!(!verify_inclusion(
+                &proof.leaf,
+                proof.index,
+                proof.size,
+                &proof.path,
+                &sth1.root,
+            ));
+        }
+
+        // Append-only ordering between the two observed heads.
+        let cons = a.audit_consistency_proof(sth1.size, sth2.size).unwrap();
+        assert!(verify_consistency(
+            cons.old_size,
+            cons.new_size,
+            &cons.path,
+            &sth1.root,
+            &sth2.root,
+        ));
+
+        // No verdict stored for a fresh drone: typed error.
+        let d3 = registered(&a);
+        assert!(matches!(
+            a.audit_inclusion_proof(d3, 0),
+            Err(ProtocolError::PoaNotFound)
+        ));
+    }
+
+    #[test]
+    fn tee_countersigned_tree_head_verifies() {
+        use alidrone_tee::{CostModel, SecureWorldBuilder, GPS_SAMPLER_UUID};
+        let world = SecureWorldBuilder::new()
+            .with_sign_key(tee_key().clone())
+            .with_cost_model(CostModel::free())
+            .with_hash_alg(HashAlg::Sha256)
+            .build()
+            .unwrap();
+        let client = world.client();
+
+        let a = auditor();
+        let session = client.open_session(GPS_SAMPLER_UUID).unwrap();
+        assert!(
+            a.set_checkpoint_countersigner(Arc::new(move |bytes: &[u8]| {
+                session.sign_checkpoint(bytes).ok()
+            }))
+        );
+
+        let d = registered(&a);
+        a.verify_submission(&submission(d, 5), Timestamp::EPOCH)
+            .unwrap();
+        let sth = a.signed_tree_head().unwrap();
+        assert!(sth.verify(auditor_key().public_key()));
+        assert!(
+            sth.verify_countersignature(&client.tee_public_key()),
+            "enclave countersignature must verify under T⁺"
+        );
+        // The countersignature binds this exact head: not some other key.
+        assert!(!sth.verify_countersignature(operator_key().public_key()));
+    }
+
+    fn checkpoint_config() -> AuditorConfig {
+        AuditorConfig {
+            checkpoint_interval: 2,
+            ..AuditorConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_journaled_and_survive_recovery() {
+        let backend = Arc::new(MemBackend::new());
+        let (a, _) =
+            Auditor::recover(backend.clone(), checkpoint_config(), auditor_key().clone()).unwrap();
+        let d = registered(&a);
+        a.register_zone(far_zone());
+        for i in 0..4 {
+            a.verify_submission(&submission(d, 5 + i), Timestamp::EPOCH)
+                .unwrap();
+        }
+        let sth = a.signed_tree_head().unwrap();
+
+        let (b, rep) =
+            Auditor::recover(backend.clone(), checkpoint_config(), auditor_key().clone()).unwrap();
+        // Checkpoint records were journaled alongside the six audited
+        // records (2 registrations + 4 verdicts, interval 2 → 3 due).
+        assert!(rep.records_applied > 6, "applied {}", rep.records_applied);
+        let sth_b = b.signed_tree_head().unwrap();
+        assert_eq!(sth_b.size, sth.size);
+        assert_eq!(sth_b.root, sth.root);
+        assert_eq!(sth_b.chain_head, sth.chain_head);
+    }
+
+    #[test]
+    fn crash_at_every_offset_around_checkpoint_restores_exact_chain_head() {
+        let backend = Arc::new(MemBackend::new());
+        let (a, _) =
+            Auditor::recover(backend.clone(), checkpoint_config(), auditor_key().clone()).unwrap();
+        let d = registered(&a);
+        a.register_zone(far_zone());
+        // Record the (size, chain head) frontier after every audited
+        // append so any recovered prefix can be checked exactly.
+        let mut frontier = vec![{
+            let sth = a.signed_tree_head().unwrap();
+            (sth.size, sth.chain_head)
+        }];
+        let before_checkpoint = backend.len();
+        // Third audited record: crosses interval 2, so this append
+        // carries a Merkle checkpoint record in the same batch.
+        a.verify_submission(&submission(d, 5), Timestamp::EPOCH)
+            .unwrap();
+        let sth = a.signed_tree_head().unwrap();
+        frontier.push((sth.size, sth.chain_head));
+        let after_checkpoint = backend.len();
+        drop(a);
+
+        let bytes = backend.bytes();
+        for cut in before_checkpoint..=after_checkpoint {
+            let truncated = Arc::new(MemBackend::with_bytes(bytes[..cut].to_vec()));
+            let (b, rep) = Auditor::recover(truncated, checkpoint_config(), auditor_key().clone())
+                .unwrap_or_else(|e| panic!("recovery at cut {cut} failed: {e}"));
+            let sth = b.signed_tree_head().unwrap();
+            assert!(
+                frontier.contains(&(sth.size, sth.chain_head)),
+                "cut {cut}: recovered head (size {}) not on the honest frontier \
+                 (torn_tail={})",
+                sth.size,
+                rep.torn_tail,
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_proofs_span_compaction() {
+        let backend = Arc::new(MemBackend::new());
+        let (a, _) =
+            Auditor::recover(backend.clone(), checkpoint_config(), auditor_key().clone()).unwrap();
+        let d = registered(&a);
+        a.register_zone(far_zone());
+        a.verify_submission(&submission(d, 5), Timestamp::EPOCH)
+            .unwrap();
+        let sth1 = a.signed_tree_head().unwrap();
+
+        a.compact_journal().unwrap();
+        a.verify_submission(&submission(d, 6), Timestamp::EPOCH)
+            .unwrap();
+        let sth2 = a.signed_tree_head().unwrap();
+
+        // The chain spans the snapshot: a consistency proof between a
+        // pre-compaction head and a post-compaction head still verifies.
+        let cons = a.audit_consistency_proof(sth1.size, sth2.size).unwrap();
+        assert!(verify_consistency(
+            cons.old_size,
+            cons.new_size,
+            &cons.path,
+            &sth1.root,
+            &sth2.root,
+        ));
+
+        // And the whole audit state survives recovery from the
+        // compacted journal — including the verdict index.
+        let (b, rep) =
+            Auditor::recover(backend, checkpoint_config(), auditor_key().clone()).unwrap();
+        assert!(rep.snapshot_loaded);
+        let sth_b = b.signed_tree_head().unwrap();
+        assert_eq!((sth_b.size, sth_b.root), (sth2.size, sth2.root));
+        let cons = b.audit_consistency_proof(sth1.size, 0).unwrap();
+        assert!(verify_consistency(
+            cons.old_size,
+            cons.new_size,
+            &cons.path,
+            &sth1.root,
+            &sth_b.root,
+        ));
+        let proof = b.audit_inclusion_proof(d, 0).unwrap();
+        assert!(verify_inclusion(
+            &proof.leaf,
+            proof.index,
+            proof.size,
+            &proof.path,
+            &sth_b.root,
+        ));
     }
 }

@@ -62,6 +62,16 @@ pub enum ProtocolError {
     /// were shed, so the client fails fast without touching the wire.
     /// Retry after the breaker's open interval elapses.
     CircuitOpen,
+    /// The tamper-evident audit chain diverged from the journaled
+    /// history: a Merkle checkpoint's recorded root does not match the
+    /// root recomputed from the records preceding it (see
+    /// [`crate::audit`]). Not retryable — the history was tampered with
+    /// or forked, and the holder refuses to serve or extend it.
+    AuditDivergence {
+        /// Audit tree size (entry count) at which the mismatch was
+        /// detected.
+        size: u64,
+    },
 }
 
 impl ProtocolError {
@@ -114,6 +124,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::CircuitOpen => {
                 write!(f, "circuit breaker open, failing fast")
+            }
+            ProtocolError::AuditDivergence { size } => {
+                write!(f, "audit chain divergence at tree size {size}")
             }
         }
     }

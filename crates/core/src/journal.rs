@@ -49,7 +49,7 @@ pub const HEADER_LEN: usize = 5;
 /// Frame overhead per record (length + CRC).
 pub const FRAME_OVERHEAD: usize = 8;
 /// Upper bound on a single record payload (matches the wire codec cap).
-const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
 
 // ------------------------------------------------------------------ errors
 
@@ -377,6 +377,7 @@ const TAG_NONCE_USED: u8 = 3;
 const TAG_POA_STORED: u8 = 4;
 const TAG_SNAPSHOT: u8 = 5;
 const TAG_EPOCH: u8 = 6;
+const TAG_AUDIT_CHECKPOINT: u8 = 7;
 
 /// One durable state mutation. Records carry the ids the live auditor
 /// assigned, so replay reconstructs *exactly* the same registries.
@@ -438,9 +439,39 @@ pub enum Record {
     /// one (see [`crate::repl`]), so replicated logs carry the fencing
     /// history and replay it into [`Auditor::current_epoch`](crate::Auditor::current_epoch).
     Epoch(u64),
+    /// A Merkle checkpoint over the audit chain (see [`crate::audit`]):
+    /// the tree size and root after the last audited record, signed by
+    /// the auditor key and optionally countersigned by the TEE. Replay
+    /// and replication followers recompute the root and refuse the log
+    /// on mismatch — this is the tamper-evidence anchor.
+    AuditCheckpoint {
+        /// Audit entries covered (Merkle tree size).
+        size: u64,
+        /// Merkle root over those entries.
+        root: [u8; 32],
+        /// Auditor RSA-SHA256 signature over the STH signing bytes.
+        sig: Vec<u8>,
+        /// Optional TEE countersignature (empty when absent).
+        tee_sig: Vec<u8>,
+    },
 }
 
 impl Record {
+    /// Whether this record is a link in the tamper-evident audit chain
+    /// (see [`crate::audit`]). Mutation records are; `Snapshot`/`Epoch`
+    /// bookkeeping and the checkpoints themselves are not — compaction
+    /// re-journals those, so chaining them would fork the chain across
+    /// a compaction boundary.
+    pub fn is_audited(&self) -> bool {
+        matches!(
+            self,
+            Record::RegisterDrone { .. }
+                | Record::RegisterZone { .. }
+                | Record::NonceUsed { .. }
+                | Record::PoaStored { .. }
+        )
+    }
+
     /// Encodes the payload (tag + body).
     pub fn to_payload(&self) -> Vec<u8> {
         let mut w = Writer::new();
@@ -499,6 +530,18 @@ impl Record {
             Record::Epoch(epoch) => {
                 w.put_u8(TAG_EPOCH).put_u64(*epoch);
             }
+            Record::AuditCheckpoint {
+                size,
+                root,
+                sig,
+                tee_sig,
+            } => {
+                w.put_u8(TAG_AUDIT_CHECKPOINT).put_u64(*size);
+                for b in root {
+                    w.put_u8(*b);
+                }
+                w.put_bytes(sig).put_bytes(tee_sig);
+            }
         }
         w.into_bytes()
     }
@@ -540,6 +583,12 @@ impl Record {
             },
             TAG_SNAPSHOT => Record::Snapshot(r.get_bytes().map_err(mal)?.to_vec()),
             TAG_EPOCH => Record::Epoch(r.get_u64().map_err(mal)?),
+            TAG_AUDIT_CHECKPOINT => Record::AuditCheckpoint {
+                size: r.get_u64().map_err(mal)?,
+                root: r.get_array().map_err(mal)?,
+                sig: r.get_bytes().map_err(mal)?.to_vec(),
+                tee_sig: r.get_bytes().map_err(mal)?.to_vec(),
+            },
             _ => return Err(JournalError::Malformed("unknown record tag")),
         };
         r.finish()
@@ -912,11 +961,36 @@ mod tests {
             },
             Record::Snapshot(vec![0xDE, 0xAD]),
             Record::Epoch(7),
+            Record::AuditCheckpoint {
+                size: 42,
+                root: [0x5A; 32],
+                sig: vec![1, 2, 3, 4],
+                tee_sig: vec![],
+            },
         ];
         for rec in all {
             let payload = rec.to_payload();
             assert_eq!(Record::from_payload(&payload).unwrap(), rec);
         }
+    }
+
+    #[test]
+    fn only_mutation_records_are_audited() {
+        assert!(zone_record(1).is_audited());
+        assert!(Record::NonceUsed {
+            drone: 1,
+            nonce: [0; 16]
+        }
+        .is_audited());
+        assert!(!Record::Snapshot(vec![]).is_audited());
+        assert!(!Record::Epoch(3).is_audited());
+        assert!(!Record::AuditCheckpoint {
+            size: 0,
+            root: [0; 32],
+            sig: vec![],
+            tee_sig: vec![],
+        }
+        .is_audited());
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod poa;
 mod test_support;
 mod zone_owner;
 
+pub mod audit;
 pub mod cache;
 pub mod journal;
 pub mod privacy;

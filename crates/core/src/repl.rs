@@ -61,9 +61,11 @@ use std::time::Duration;
 
 use alidrone_obs::{Counter, Gauge, Histogram, Level, Obs};
 
-use crate::journal::{Journal, MemBackend};
+use crate::audit::AuditChain;
+use crate::journal::{crc32, Journal, MemBackend, Record};
 use crate::journal::{
     JournalError, ShipSource, StorageBackend, FRAME_OVERHEAD, HEADER_LEN, JOURNAL_MAGIC,
+    MAX_RECORD_LEN,
 };
 use crate::wire::codec::{Reader, Writer};
 use crate::{Auditor, AuditorConfig, ProtocolError};
@@ -103,6 +105,18 @@ pub enum ReplError {
     /// A frame or ack that does not decode, or a shipping exchange that
     /// violated the offset protocol.
     Malformed(&'static str),
+    /// The shipped bytes diverge from the audit chain this follower
+    /// recomputed (see [`crate::audit`]): a corrupt frame, an
+    /// undecodable record, or a Merkle checkpoint whose root does not
+    /// match the history before it. The follower refused the frame
+    /// *before* persisting anything — a forked primary cannot spread
+    /// its fork.
+    ChainDivergence {
+        /// Audit tree size at which the divergence was detected.
+        size: u64,
+        /// What diverged.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ReplError {
@@ -120,6 +134,9 @@ impl fmt::Display for ReplError {
             ReplError::Transport(what) => write!(f, "replication transport failure: {what}"),
             ReplError::Storage(what) => write!(f, "replication storage failure: {what}"),
             ReplError::Malformed(what) => write!(f, "malformed replication frame: {what}"),
+            ReplError::ChainDivergence { size, reason } => {
+                write!(f, "audit chain divergence at tree size {size}: {reason}")
+            }
         }
     }
 }
@@ -134,7 +151,10 @@ impl From<JournalError> for ReplError {
 
 impl From<ReplError> for ProtocolError {
     fn from(e: ReplError) -> Self {
-        ProtocolError::Storage(e.to_string())
+        match e {
+            ReplError::ChainDivergence { size, .. } => ProtocolError::AuditDivergence { size },
+            other => ProtocolError::Storage(other.to_string()),
+        }
     }
 }
 
@@ -346,6 +366,56 @@ fn count_records(mut slice: &[u8]) -> u64 {
     n
 }
 
+/// Recomputes the audit chain across the raw journal bytes of one
+/// shipped frame (a leading file header is skipped; a `Snapshot` record
+/// re-seeds the chain from its audit section). Returns the extended
+/// chain on success; any structural damage, CRC mismatch, or Merkle
+/// checkpoint that contradicts the recomputed history is a
+/// [`ReplError::ChainDivergence`].
+fn verify_shipped(chain: &AuditChain, bytes: &[u8]) -> Result<AuditChain, ReplError> {
+    let mut chain = chain.clone();
+    let mut slice = bytes;
+    if slice.len() >= HEADER_LEN && slice[..4] == JOURNAL_MAGIC.to_be_bytes() {
+        slice = &slice[HEADER_LEN..];
+    }
+    while !slice.is_empty() {
+        let at = chain.size();
+        let diverged = |reason| ReplError::ChainDivergence { size: at, reason };
+        if slice.len() < FRAME_OVERHEAD {
+            return Err(diverged("torn shipped frame"));
+        }
+        let len = u32::from_be_bytes([slice[0], slice[1], slice[2], slice[3]]) as usize;
+        if len == 0 || len > MAX_RECORD_LEN || slice.len() < FRAME_OVERHEAD + len {
+            return Err(diverged("torn shipped frame"));
+        }
+        let crc = u32::from_be_bytes([slice[4], slice[5], slice[6], slice[7]]);
+        let payload = &slice[FRAME_OVERHEAD..FRAME_OVERHEAD + len];
+        if crc32(payload) != crc {
+            return Err(diverged("frame crc mismatch"));
+        }
+        let record = Record::from_payload(payload).map_err(|_| diverged("undecodable record"))?;
+        match &record {
+            Record::AuditCheckpoint { size, root, .. } => {
+                chain
+                    .check_checkpoint(*size, root)
+                    .map_err(|_| ReplError::ChainDivergence {
+                        size: *size,
+                        reason: "checkpoint root contradicts recomputed history",
+                    })?;
+            }
+            Record::Snapshot(snap) => {
+                let (restored, _) = crate::auditor::snapshot_audit_state(snap)
+                    .map_err(|_| diverged("snapshot audit section undecodable"))?;
+                chain = restored;
+            }
+            _ if record.is_audited() => chain.append(payload),
+            _ => {}
+        }
+        slice = &slice[FRAME_OVERHEAD + len..];
+    }
+    Ok(chain)
+}
+
 // ---------------------------------------------------------------- follower
 
 /// A replication follower: holds a byte-identical prefix of the
@@ -365,12 +435,25 @@ pub struct Follower {
     end: AtomicU64,
     /// Whole records held (metrics/assertions only).
     records: AtomicU64,
+    /// The audit chain recomputed over every applied record (see
+    /// [`crate::audit`]): the follower's independent view of history,
+    /// checked against shipped Merkle checkpoints *before* persisting.
+    chain: Mutex<AuditChain>,
+    /// `repl.chain_divergence` — bumped each time a shipped frame is
+    /// refused for diverging from the recomputed chain.
+    divergence: Arc<Counter>,
 }
 
 impl Follower {
     /// A fresh follower over an empty backend. Its first ack mismatch
     /// teaches the primary to ship from the start.
     pub fn new(backend: Arc<dyn StorageBackend>) -> Follower {
+        Follower::with_obs(backend, &Obs::noop())
+    }
+
+    /// A follower whose chain-divergence refusals are counted on `obs`
+    /// (`repl.chain_divergence`).
+    pub fn with_obs(backend: Arc<dyn StorageBackend>, obs: &Obs) -> Follower {
         Follower {
             backend,
             lock: Mutex::new(()),
@@ -378,6 +461,8 @@ impl Follower {
             base: AtomicU64::new(0),
             end: AtomicU64::new(0),
             records: AtomicU64::new(0),
+            chain: Mutex::new(AuditChain::new()),
+            divergence: obs.counter("repl.chain_divergence"),
         }
     }
 
@@ -403,9 +488,17 @@ impl Follower {
                     return Ok(ReplAck::Mismatch { expected: end });
                 }
                 if !bytes.is_empty() {
+                    // Verify-before-persist: recompute the audit chain
+                    // over the shipped records and refuse divergent
+                    // history before a single byte lands in the backend.
+                    let mut chain = self.chain.lock().unwrap_or_else(|p| p.into_inner());
+                    let verified = verify_shipped(&chain, bytes).inspect_err(|_| {
+                        self.divergence.inc();
+                    })?;
                     self.backend
                         .append(bytes)
                         .map_err(|e| ReplError::Storage(e.to_string()))?;
+                    *chain = verified;
                     self.end.store(end + bytes.len() as u64, Ordering::Release);
                     self.records
                         .fetch_add(count_records(bytes), Ordering::Relaxed);
@@ -415,9 +508,14 @@ impl Follower {
                 })
             }
             ReplFrame::Snapshot { base, image, .. } => {
+                let mut chain = self.chain.lock().unwrap_or_else(|p| p.into_inner());
+                let verified = verify_shipped(&AuditChain::new(), image).inspect_err(|_| {
+                    self.divergence.inc();
+                })?;
                 self.backend
                     .replace(image)
                     .map_err(|e| ReplError::Storage(e.to_string()))?;
+                *chain = verified;
                 self.base.store(*base, Ordering::Release);
                 let end = base + image.len() as u64;
                 self.end.store(end, Ordering::Release);
@@ -1390,12 +1488,16 @@ mod tests {
         // (a suffix from a dead epoch) must be truncated wholesale.
         let (journal, _) = journal_with(2);
         let follower = Arc::new(Follower::new(Arc::new(MemBackend::new())));
-        // Hand-feed the follower a longer, divergent image.
+        // Hand-feed the follower a longer, divergent (but well-formed —
+        // the chain check refuses garbage outright) image from a dead
+        // epoch's primary.
+        let (longer, longer_backend) = journal_with(4);
+        assert!(longer.end_offset() > journal.end_offset());
         follower
             .apply(&ReplFrame::Snapshot {
                 epoch: 1,
                 base: 0,
-                image: vec![0xEE; journal.end_offset() as usize + 64],
+                image: longer_backend.bytes(),
             })
             .unwrap();
         assert!(follower.acked_offset() > journal.end_offset());
@@ -1411,6 +1513,103 @@ mod tests {
             panic!("tail expected");
         };
         assert_eq!(follower.image().unwrap(), image);
+    }
+
+    #[test]
+    fn follower_refuses_tampered_shipped_frames() {
+        // A journal of three zone records plus a correct Merkle
+        // checkpoint ships cleanly...
+        let (journal, backend) = journal_with(3);
+        let mut chain = AuditChain::new();
+        for i in 0..3 {
+            chain.append(
+                &Record::RegisterZone {
+                    id: i,
+                    lat_deg: 40.0,
+                    lon_deg: -88.0,
+                    radius_m: 100.0,
+                }
+                .to_payload(),
+            );
+        }
+        journal
+            .append_record(&Record::AuditCheckpoint {
+                size: 3,
+                root: chain.root(),
+                sig: vec![7; 4],
+                tee_sig: vec![],
+            })
+            .unwrap();
+        let clean = backend.bytes();
+        let honest = Arc::new(Follower::new(Arc::new(MemBackend::new())));
+        honest
+            .apply(&ReplFrame::Append {
+                epoch: 1,
+                offset: 0,
+                bytes: clean.clone(),
+            })
+            .unwrap();
+        assert_eq!(honest.record_count(), 4);
+
+        // ...but a CRC-intact payload rewrite of the second record is
+        // refused at the checkpoint, persisting nothing.
+        let mut tampered = clean.clone();
+        let first_len = u32::from_be_bytes([
+            tampered[HEADER_LEN],
+            tampered[HEADER_LEN + 1],
+            tampered[HEADER_LEN + 2],
+            tampered[HEADER_LEN + 3],
+        ]) as usize;
+        let second = HEADER_LEN + FRAME_OVERHEAD + first_len;
+        let len = u32::from_be_bytes([
+            tampered[second],
+            tampered[second + 1],
+            tampered[second + 2],
+            tampered[second + 3],
+        ]) as usize;
+        let payload_at = second + FRAME_OVERHEAD;
+        tampered[payload_at + 2] ^= 0x01; // rewrite the zone id
+        let fixed = crc32(&tampered[payload_at..payload_at + len]);
+        tampered[second + 4..second + 8].copy_from_slice(&fixed.to_be_bytes());
+        let obs = Obs::noop();
+        let victim = Arc::new(Follower::with_obs(Arc::new(MemBackend::new()), &obs));
+        let err = victim
+            .apply(&ReplFrame::Append {
+                epoch: 1,
+                offset: 0,
+                bytes: tampered.clone(),
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, ReplError::ChainDivergence { size: 3, .. }),
+            "{err}"
+        );
+        assert_eq!(victim.acked_offset(), 0, "nothing persisted");
+        assert_eq!(victim.image().unwrap(), Vec::<u8>::new());
+        assert_eq!(obs.snapshot().counter("repl.chain_divergence"), 1);
+
+        // A plain bit-flip (stale CRC) is refused too, before decode.
+        let mut flipped = clean.clone();
+        flipped[payload_at + 2] ^= 0x01;
+        let err = victim
+            .apply(&ReplFrame::Append {
+                epoch: 1,
+                offset: 0,
+                bytes: flipped,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ReplError::ChainDivergence { .. }), "{err}");
+
+        // The same tampering inside a full Snapshot image is refused.
+        let err = victim
+            .apply(&ReplFrame::Snapshot {
+                epoch: 1,
+                base: 0,
+                image: tampered,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ReplError::ChainDivergence { .. }), "{err}");
+        assert_eq!(obs.snapshot().counter("repl.chain_divergence"), 3);
     }
 
     #[test]

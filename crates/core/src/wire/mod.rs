@@ -24,7 +24,7 @@
 //!     +------+------+-------+----------------------------+--------------------------+----------+
 //! ```
 //!
-//! The magic byte `0xE7` can never begin a bare request (tags are 1–7),
+//! The magic byte `0xE7` can never begin a bare request (tags are 1–10),
 //! so [`split_envelope`] distinguishes the two by the first byte: bare
 //! frames pass through untouched and old clients keep working, while
 //! enveloped frames stitch the client's span into the server's trace.
@@ -44,6 +44,7 @@ use alidrone_crypto::bigint::BigUint;
 use alidrone_crypto::rsa::RsaPublicKey;
 use alidrone_geo::{Distance, GeoPoint, NoFlyZone, Timestamp};
 
+use crate::audit::{ConsistencyProof, InclusionProof, SignedTreeHead};
 use crate::messages::{Accusation, ZoneQuery};
 use crate::{DroneId, ProtocolError, Verdict, ZoneId};
 use codec::{Reader, Writer};
@@ -94,6 +95,26 @@ pub enum Request {
     /// health probes keep answering even when the server is shedding
     /// every drone request.
     HealthCheck,
+    /// Transparency — fetch the signed tree head over the auditor's
+    /// tamper-evident audit chain (see [`crate::audit`]).
+    FetchTreeHead,
+    /// Transparency — fetch the inclusion proof for the drone's latest
+    /// stored verdict against the tree of `tree_size` entries.
+    FetchInclusionProof {
+        /// The drone whose verdict is being proven.
+        drone_id: DroneId,
+        /// Tree size to prove against (0 = the auditor's current size,
+        /// typically the size of a tree head fetched just before).
+        tree_size: u64,
+    },
+    /// Transparency — fetch the consistency proof between two tree
+    /// heads, evidence the newer extends the older append-only.
+    FetchConsistencyProof {
+        /// The older tree size.
+        old_size: u64,
+        /// The newer tree size (0 = the auditor's current size).
+        new_size: u64,
+    },
 }
 
 /// An auditor → client response.
@@ -138,6 +159,12 @@ pub enum Response {
         /// Requests currently executing in worker threads.
         inflight: u32,
     },
+    /// Answer to [`Request::FetchTreeHead`].
+    TreeHead(SignedTreeHead),
+    /// Answer to [`Request::FetchInclusionProof`].
+    InclusionProof(InclusionProof),
+    /// Answer to [`Request::FetchConsistencyProof`].
+    ConsistencyProof(ConsistencyProof),
 }
 
 /// Machine-readable error classes carried by [`Response::Error`].
@@ -194,7 +221,7 @@ impl ErrorCode {
 // --------------------------------------------------------- trace envelope
 
 /// First byte of an enveloped frame. Deliberately outside the request
-/// tag space (1–7) so the envelope is detectable without ambiguity.
+/// tag space (1–10) so the envelope is detectable without ambiguity.
 pub const ENVELOPE_MAGIC: u8 = 0xE7;
 
 /// The v1 envelope layout (trace context only, no flags byte).
@@ -361,7 +388,7 @@ pub fn split_envelope_ext(bytes: &[u8]) -> Result<(WireEnvelope, &[u8]), Protoco
 
 /// The wire-visible request kinds, indexed like the request tags minus
 /// one; used for per-kind metric and span names.
-pub const REQUEST_KINDS: [&str; 7] = [
+pub const REQUEST_KINDS: [&str; 10] = [
     "register_drone",
     "register_zone",
     "query_zones",
@@ -369,6 +396,9 @@ pub const REQUEST_KINDS: [&str; 7] = [
     "submit_encrypted_poa",
     "accuse",
     "health_check",
+    "tree_head",
+    "inclusion_proof",
+    "consistency_proof",
 ];
 
 pub(crate) fn request_kind_index(req: &Request) -> usize {
@@ -380,6 +410,9 @@ pub(crate) fn request_kind_index(req: &Request) -> usize {
         Request::SubmitEncryptedPoa { .. } => 4,
         Request::Accuse(_) => 5,
         Request::HealthCheck => 6,
+        Request::FetchTreeHead => 7,
+        Request::FetchInclusionProof { .. } => 8,
+        Request::FetchConsistencyProof { .. } => 9,
     }
 }
 
@@ -393,7 +426,7 @@ pub fn request_kind(req: &Request) -> &'static str {
 /// decoding them.
 pub fn request_kind_from_tag(tag: u8) -> Option<&'static str> {
     match tag {
-        REQ_REGISTER_DRONE..=REQ_HEALTH => Some(REQUEST_KINDS[(tag - 1) as usize]),
+        REQ_REGISTER_DRONE..=REQ_CONSISTENCY_PROOF => Some(REQUEST_KINDS[(tag - 1) as usize]),
         _ => None,
     }
 }
@@ -418,9 +451,9 @@ pub fn request_cost(req: &Request) -> u32 {
 pub fn source_drone(req: &Request) -> Option<DroneId> {
     match req {
         Request::QueryZones(q) => Some(q.drone_id),
-        Request::SubmitPoa { drone_id, .. } | Request::SubmitEncryptedPoa { drone_id, .. } => {
-            Some(*drone_id)
-        }
+        Request::SubmitPoa { drone_id, .. }
+        | Request::SubmitEncryptedPoa { drone_id, .. }
+        | Request::FetchInclusionProof { drone_id, .. } => Some(*drone_id),
         _ => None,
     }
 }
@@ -469,6 +502,9 @@ const REQ_SUBMIT_POA: u8 = 4;
 const REQ_SUBMIT_ENCRYPTED: u8 = 5;
 const REQ_ACCUSE: u8 = 6;
 const REQ_HEALTH: u8 = 7;
+const REQ_TREE_HEAD: u8 = 8;
+const REQ_INCLUSION_PROOF: u8 = 9;
+const REQ_CONSISTENCY_PROOF: u8 = 10;
 
 impl Request {
     /// `true` when resending this request after a lost response cannot
@@ -552,6 +588,22 @@ impl Request {
             Request::HealthCheck => {
                 w.put_u8(REQ_HEALTH);
             }
+            Request::FetchTreeHead => {
+                w.put_u8(REQ_TREE_HEAD);
+            }
+            Request::FetchInclusionProof {
+                drone_id,
+                tree_size,
+            } => {
+                w.put_u8(REQ_INCLUSION_PROOF);
+                w.put_u64(drone_id.value());
+                w.put_u64(*tree_size);
+            }
+            Request::FetchConsistencyProof { old_size, new_size } => {
+                w.put_u8(REQ_CONSISTENCY_PROOF);
+                w.put_u64(*old_size);
+                w.put_u64(*new_size);
+            }
         }
         w.into_bytes()
     }
@@ -618,6 +670,15 @@ impl Request {
                 time: Timestamp::from_secs(r.get_f64()?),
             }),
             REQ_HEALTH => Request::HealthCheck,
+            REQ_TREE_HEAD => Request::FetchTreeHead,
+            REQ_INCLUSION_PROOF => Request::FetchInclusionProof {
+                drone_id: DroneId::new(r.get_u64()?),
+                tree_size: r.get_u64()?,
+            },
+            REQ_CONSISTENCY_PROOF => Request::FetchConsistencyProof {
+                old_size: r.get_u64()?,
+                new_size: r.get_u64()?,
+            },
             _ => return Err(ProtocolError::Malformed("unknown request tag")),
         };
         r.finish()?;
@@ -635,6 +696,38 @@ const RESP_ACCUSATION: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_OVERLOADED: u8 = 7;
 const RESP_HEALTHY: u8 = 8;
+const RESP_TREE_HEAD: u8 = 9;
+const RESP_INCLUSION_PROOF: u8 = 10;
+const RESP_CONSISTENCY_PROOF: u8 = 11;
+
+/// A Merkle proof path can never exceed one sibling per tree level
+/// (64 levels covers 2⁶⁴ leaves; consistency proofs add one node).
+const MAX_PROOF_PATH: usize = 65;
+
+fn put_hash(w: &mut Writer, h: &[u8; 32]) {
+    for b in h {
+        w.put_u8(*b);
+    }
+}
+
+fn put_path(w: &mut Writer, path: &[[u8; 32]]) {
+    w.put_u32(path.len() as u32);
+    for h in path {
+        put_hash(w, h);
+    }
+}
+
+fn get_path(r: &mut Reader<'_>) -> Result<Vec<[u8; 32]>, ProtocolError> {
+    let n = r.get_u32()? as usize;
+    if n > MAX_PROOF_PATH {
+        return Err(ProtocolError::Malformed("proof path too long"));
+    }
+    let mut path = Vec::with_capacity(n);
+    for _ in 0..n {
+        path.push(r.get_array()?);
+    }
+    Ok(path)
+}
 
 const VERDICT_COMPLIANT: u8 = 0;
 const VERDICT_EMPTY: u8 = 1;
@@ -779,6 +872,27 @@ impl Response {
                 w.put_u32(*queue_depth);
                 w.put_u32(*inflight);
             }
+            Response::TreeHead(sth) => {
+                w.put_u8(RESP_TREE_HEAD);
+                w.put_u64(sth.size);
+                put_hash(&mut w, &sth.root);
+                put_hash(&mut w, &sth.chain_head);
+                w.put_bytes(&sth.signature);
+                w.put_bytes(&sth.tee_signature);
+            }
+            Response::InclusionProof(p) => {
+                w.put_u8(RESP_INCLUSION_PROOF);
+                w.put_u64(p.index);
+                w.put_u64(p.size);
+                put_hash(&mut w, &p.leaf);
+                put_path(&mut w, &p.path);
+            }
+            Response::ConsistencyProof(p) => {
+                w.put_u8(RESP_CONSISTENCY_PROOF);
+                w.put_u64(p.old_size);
+                w.put_u64(p.new_size);
+                put_path(&mut w, &p.path);
+            }
         }
         w.into_bytes()
     }
@@ -821,6 +935,24 @@ impl Response {
                 queue_depth: r.get_u32()?,
                 inflight: r.get_u32()?,
             },
+            RESP_TREE_HEAD => Response::TreeHead(SignedTreeHead {
+                size: r.get_u64()?,
+                root: r.get_array()?,
+                chain_head: r.get_array()?,
+                signature: r.get_bytes()?.to_vec(),
+                tee_signature: r.get_bytes()?.to_vec(),
+            }),
+            RESP_INCLUSION_PROOF => Response::InclusionProof(InclusionProof {
+                index: r.get_u64()?,
+                size: r.get_u64()?,
+                leaf: r.get_array()?,
+                path: get_path(&mut r)?,
+            }),
+            RESP_CONSISTENCY_PROOF => Response::ConsistencyProof(ConsistencyProof {
+                old_size: r.get_u64()?,
+                new_size: r.get_u64()?,
+                path: get_path(&mut r)?,
+            }),
             _ => return Err(ProtocolError::Malformed("unknown response tag")),
         };
         r.finish()?;
@@ -893,6 +1025,87 @@ mod tests {
             time: Timestamp::from_secs(123.25),
         });
         assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn proof_requests_round_trip() {
+        let reqs = vec![
+            Request::FetchTreeHead,
+            Request::FetchInclusionProof {
+                drone_id: DroneId::new(17),
+                tree_size: 4096,
+            },
+            Request::FetchInclusionProof {
+                drone_id: DroneId::new(18),
+                tree_size: 0,
+            },
+            Request::FetchConsistencyProof {
+                old_size: 12,
+                new_size: 4099,
+            },
+        ];
+        for req in reqs {
+            assert_eq!(
+                Request::from_bytes(&req.to_bytes()).unwrap(),
+                req,
+                "round trip failed"
+            );
+        }
+    }
+
+    #[test]
+    fn proof_responses_round_trip() {
+        let responses = vec![
+            Response::TreeHead(crate::audit::SignedTreeHead {
+                size: 99,
+                root: [0xAB; 32],
+                chain_head: [0xCD; 32],
+                signature: vec![1, 2, 3, 4, 5],
+                tee_signature: vec![9; 64],
+            }),
+            Response::TreeHead(crate::audit::SignedTreeHead {
+                size: 0,
+                root: [0; 32],
+                chain_head: [0; 32],
+                signature: Vec::new(),
+                tee_signature: Vec::new(),
+            }),
+            Response::InclusionProof(crate::audit::InclusionProof {
+                index: 5,
+                size: 64,
+                leaf: [0x11; 32],
+                path: (0..6).map(|i| [i as u8; 32]).collect(),
+            }),
+            Response::ConsistencyProof(crate::audit::ConsistencyProof {
+                old_size: 12,
+                new_size: 64,
+                path: (0..4).map(|i| [0x40 | i as u8; 32]).collect(),
+            }),
+        ];
+        for resp in responses {
+            assert_eq!(
+                Response::from_bytes(&resp.to_bytes()).unwrap(),
+                resp,
+                "round trip failed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_proof_path_rejected() {
+        let mut resp = Response::InclusionProof(crate::audit::InclusionProof {
+            index: 0,
+            size: 1,
+            leaf: [0; 32],
+            path: Vec::new(),
+        })
+        .to_bytes();
+        // Rewrite the path count (last four bytes of the encoding) to
+        // exceed MAX_PROOF_PATH; the decoder must refuse rather than
+        // allocate.
+        let n = resp.len();
+        resp[n - 4..].copy_from_slice(&(MAX_PROOF_PATH as u32 + 1).to_be_bytes());
+        assert!(Response::from_bytes(&resp).is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::wire::{
 use crate::ProtocolError;
 
 /// Server-side span names, indexed like [`REQUEST_KINDS`].
-const SERVER_SPAN_NAMES: [&str; 7] = [
+const SERVER_SPAN_NAMES: [&str; 10] = [
     "server.register_drone",
     "server.register_zone",
     "server.query_zones",
@@ -38,6 +38,9 @@ const SERVER_SPAN_NAMES: [&str; 7] = [
     "server.submit_encrypted_poa",
     "server.accuse",
     "server.health_check",
+    "server.tree_head",
+    "server.inclusion_proof",
+    "server.consistency_proof",
 ];
 
 /// The wire error codes, for per-code counter names. Indexed in the
@@ -75,7 +78,7 @@ struct ServerMetrics {
     /// time — even under a simulated clock — because it reflects real
     /// verification CPU cost (RSA, sufficiency checks), which the sim
     /// clock does not model.
-    latency: [Arc<Histogram>; 7],
+    latency: [Arc<Histogram>; 10],
     /// Error responses per wire code (`server.errors.<code>`).
     errors: [Arc<Counter>; 8],
     /// Frames that failed to decode at all (`server.malformed_frames`).
@@ -752,6 +755,23 @@ impl AuditorServer {
                 },
                 Err(e) => error_response(e),
             },
+            Request::FetchTreeHead => match self.auditor.signed_tree_head() {
+                Ok(sth) => Response::TreeHead(sth),
+                Err(e) => error_response(e),
+            },
+            Request::FetchInclusionProof {
+                drone_id,
+                tree_size,
+            } => match self.auditor.audit_inclusion_proof(drone_id, tree_size) {
+                Ok(proof) => Response::InclusionProof(proof),
+                Err(e) => error_response(e),
+            },
+            Request::FetchConsistencyProof { old_size, new_size } => {
+                match self.auditor.audit_consistency_proof(old_size, new_size) {
+                    Ok(proof) => Response::ConsistencyProof(proof),
+                    Err(e) => error_response(e),
+                }
+            }
             // Short-circuited in handle_at before dispatch; kept here
             // for exhaustiveness (and correctness should a future
             // caller dispatch directly).

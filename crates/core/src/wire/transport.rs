@@ -27,7 +27,7 @@ use crate::{DroneId, ProtocolError, Verdict, ZoneId};
 
 /// Client-side span names, indexed like
 /// [`REQUEST_KINDS`](crate::wire::REQUEST_KINDS).
-const WIRE_SPAN_NAMES: [&str; 7] = [
+const WIRE_SPAN_NAMES: [&str; 10] = [
     "wire.register_drone",
     "wire.register_zone",
     "wire.query_zones",
@@ -35,6 +35,9 @@ const WIRE_SPAN_NAMES: [&str; 7] = [
     "wire.submit_encrypted_poa",
     "wire.accuse",
     "wire.health_check",
+    "wire.tree_head",
+    "wire.inclusion_proof",
+    "wire.consistency_proof",
 ];
 
 /// Peeks at a (possibly enveloped) request frame: the request kind from
@@ -873,6 +876,62 @@ impl<T: Transport> AuditorClient<T> {
                 queue_depth,
                 inflight,
             } => Ok((queue_depth, inflight)),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Fetches the auditor's current signed tree head. Verify it
+    /// offline with
+    /// [`SignedTreeHead::verify`](crate::audit::SignedTreeHead::verify)
+    /// against the auditor's public key — the client never has to trust
+    /// the transport.
+    #[allow(missing_docs)]
+    pub fn fetch_tree_head(
+        &mut self,
+        now: Timestamp,
+    ) -> Result<crate::audit::SignedTreeHead, ProtocolError> {
+        match self.roundtrip(&Request::FetchTreeHead, now)? {
+            Response::TreeHead(sth) => Ok(sth),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Fetches a Merkle inclusion proof for the drone's latest stored
+    /// verdict, against the tree of `tree_size` entries (`0` = current).
+    /// Verify offline with
+    /// [`audit::verify_inclusion`](crate::audit::verify_inclusion).
+    #[allow(missing_docs)]
+    pub fn fetch_inclusion_proof(
+        &mut self,
+        drone_id: DroneId,
+        tree_size: u64,
+        now: Timestamp,
+    ) -> Result<crate::audit::InclusionProof, ProtocolError> {
+        match self.roundtrip(
+            &Request::FetchInclusionProof {
+                drone_id,
+                tree_size,
+            },
+            now,
+        )? {
+            Response::InclusionProof(proof) => Ok(proof),
+            _ => Err(ProtocolError::Malformed("unexpected response kind")),
+        }
+    }
+
+    /// Fetches a consistency proof between two tree sizes (`new_size`
+    /// of `0` = current). Verify offline with
+    /// [`audit::verify_consistency`](crate::audit::verify_consistency)
+    /// to check the log is append-only between two observed heads.
+    #[allow(missing_docs)]
+    pub fn fetch_consistency_proof(
+        &mut self,
+        old_size: u64,
+        new_size: u64,
+        now: Timestamp,
+    ) -> Result<crate::audit::ConsistencyProof, ProtocolError> {
+        match self.roundtrip(&Request::FetchConsistencyProof { old_size, new_size }, now)? {
+            Response::ConsistencyProof(proof) => Ok(proof),
             _ => Err(ProtocolError::Malformed("unexpected response kind")),
         }
     }

@@ -73,13 +73,19 @@ impl Sha256 {
     /// Finalises and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; SHA256_LEN] {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0x00]);
-        }
-        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
+        // One padding write: 0x80, zeros to the next 56-mod-64 byte
+        // boundary, then the 64-bit message length. Spans two blocks
+        // when fewer than 8 length bytes fit in the current one.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            64 - self.buf_len
+        } else {
+            128 - self.buf_len
+        };
+        pad[pad_len - 8..pad_len].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad[..pad_len]);
+        debug_assert_eq!(self.buf_len, 0);
 
         let mut out = [0u8; SHA256_LEN];
         for (i, word) in self.state.iter().enumerate() {

@@ -20,8 +20,12 @@
 //!
 //! Flags: `--smoke`, `--failover` (replicated primary + two
 //! followers; a kill-and-promote phase runs after the load phases and
-//! its ledger lands in the report's `failover` section), `--drones N`,
-//! `--seed N`, `--out PATH` (default `target/SOAK_report.json`).
+//! its ledger lands in the report's `failover` section), `--tamper`
+//! (transparency phase: every drone fetches the signed tree head plus
+//! inclusion/consistency proofs for its own verdicts and verifies them
+//! offline; ledger lands in the report's `transparency` section),
+//! `--drones N`, `--seed N`, `--out PATH` (default
+//! `target/SOAK_report.json`).
 
 use std::time::Instant;
 
@@ -93,6 +97,7 @@ fn run_once(cfg: &FleetConfig) -> (fleet::SoakOutcome, f64) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let failover = std::env::args().any(|a| a == "--failover");
+    let tamper = std::env::args().any(|a| a == "--tamper");
     let seed: u64 = flag_value("--seed").map_or(42, |v| v.parse().expect("--seed takes a u64"));
     let drones: usize =
         flag_value("--drones").map_or(2000, |v| v.parse().expect("--drones takes a count"));
@@ -104,10 +109,12 @@ fn main() {
         FleetConfig::soak(seed, drones)
     };
     cfg.failover = failover;
+    cfg.tamper = tamper;
     println!(
-        "== exp_soak: {} drones, seed {seed}, {} phases{} ==",
+        "== exp_soak: {} drones, seed {seed}, {} phases{}{} ==",
         cfg.drones,
         cfg.phases.len(),
+        if tamper { " + audit transparency" } else { "" },
         if failover {
             " + kill-and-promote failover"
         } else {
@@ -161,6 +168,25 @@ fn main() {
         assert!(
             fo.endpoint_rotations >= 1,
             "no client rotated off the dead primary"
+        );
+    }
+    if tamper {
+        let tr = outcome
+            .transparency
+            .as_ref()
+            .expect("--tamper run must produce a transparency ledger");
+        println!(
+            "  transparency: audit tree {} -> {}, {} proofs checked offline, {} failures",
+            tr.tree_size_before, tr.tree_size_after, tr.proof_checks, tr.proof_failures
+        );
+        assert_eq!(
+            tr.proof_failures, 0,
+            "offline audit proof verification failed"
+        );
+        assert!(tr.proof_checks > 0, "no audit proofs were ever checked");
+        assert!(
+            tr.tree_size_after > tr.tree_size_before,
+            "audit tree never advanced during the transparency phase"
         );
     }
 

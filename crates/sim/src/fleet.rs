@@ -31,12 +31,13 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 use std::time::{Duration as StdDuration, Instant};
 
 use alidrone_chaos::{FaultPlane, FaultyGps, FaultyTransport};
+use alidrone_core::audit::{verify_consistency, verify_inclusion};
 use alidrone_core::journal::{MemBackend, StorageBackend};
 use alidrone_core::repl::{Follower, InProcessLink, ReplicationPolicy, Replicator};
 use alidrone_core::wire::server::AuditorServer;
@@ -138,6 +139,17 @@ pub struct FleetConfig {
     /// the multi-endpoint transport. The phase is machine-checked in
     /// the report like any other, plus a dedicated `failover` section.
     pub failover: bool,
+    /// Append a transparency phase after the load phases: a cohort of
+    /// clients (one per drone) submits a verdict, then fetches the
+    /// signed tree head, an inclusion proof for its own verdict, and a
+    /// consistency proof between two successive heads — verifying all
+    /// of them **offline** with the `alidrone_core::audit` library.
+    /// Every check lands in `fleet.audit_proof_checks` /
+    /// `fleet.audit_proof_failures`, the phase is judged like any
+    /// other (including the zero-failure `audit_proofs` SLO), and a
+    /// dedicated `transparency` section is machine-checked in the
+    /// report.
+    pub tamper: bool,
     /// The staged load phases, run in order against one server.
     pub phases: Vec<PhaseSpec>,
 }
@@ -157,6 +169,7 @@ impl FleetConfig {
             gps_dropout_fraction: 0.15,
             label_cap: 256,
             failover: false,
+            tamper: false,
             phases: default_phases(),
         }
     }
@@ -274,6 +287,17 @@ pub fn fleet_slos() -> Vec<Slo> {
                 max: 0,
             },
         ),
+        // Audit-transparency integrity: not one offline proof
+        // verification may fail, ever. Zero checks (non-tamper soaks)
+        // reads healthy, so the rule is unconditional.
+        Slo::new(
+            "audit_proofs",
+            SloRule::MaxRatio {
+                num: vec!["fleet_audit_proof_failures".into()],
+                den: "fleet_audit_proof_checks".into(),
+                max_ratio: 0.0,
+            },
+        ),
     ]
 }
 
@@ -364,6 +388,36 @@ impl ToJson for FailoverOutcome {
     }
 }
 
+/// What the transparency phase of a tamper-mode soak verified: every
+/// proof fetched over the wire, checked **offline** against nothing but
+/// the auditor's public key.
+#[derive(Debug, Clone)]
+pub struct TransparencyOutcome {
+    /// Signed tree size before the cohort submitted its verdicts.
+    pub tree_size_before: u64,
+    /// Signed tree size after — must have advanced by at least one
+    /// audited record per drone.
+    pub tree_size_after: u64,
+    /// Offline verifications attempted (tree-head signatures,
+    /// inclusion proofs, consistency proofs).
+    pub proof_checks: u64,
+    /// Verifications that failed. Any non-zero value is a soak
+    /// failure: either the log was tampered with or the proof pipeline
+    /// is broken.
+    pub proof_failures: u64,
+}
+
+impl ToJson for TransparencyOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tree_size_before", Json::Num(self.tree_size_before as f64)),
+            ("tree_size_after", Json::Num(self.tree_size_after as f64)),
+            ("proof_checks", Json::Num(self.proof_checks as f64)),
+            ("proof_failures", Json::Num(self.proof_failures as f64)),
+        ])
+    }
+}
+
 /// Everything a finished soak produced.
 #[derive(Debug)]
 pub struct SoakOutcome {
@@ -399,6 +453,9 @@ pub struct SoakOutcome {
     /// The kill-and-promote ledger when [`FleetConfig::failover`] was
     /// set; `None` for non-replicated soaks.
     pub failover: Option<FailoverOutcome>,
+    /// The proof-verification ledger when [`FleetConfig::tamper`] was
+    /// set; `None` otherwise.
+    pub transparency: Option<TransparencyOutcome>,
 }
 
 // ------------------------------------------------------------ helpers
@@ -767,6 +824,197 @@ pub fn run_fleet(cfg: &FleetConfig) -> SoakOutcome {
         snap_prev = snap_end;
     }
 
+    // --------------------------------------------- transparency phase
+    // Tamper mode: every drone submits one more verdict, then acts as
+    // its own third-party auditor — fetch the signed tree head, an
+    // inclusion proof for its own verdict, a second head, and a
+    // consistency proof between the two, verifying all of them with
+    // the offline `alidrone_core::audit` library. Runs before the
+    // failover phase so the primary listener is still serving.
+    let transparency = cfg.tamper.then(|| {
+        let checks_counter = obs.counter("fleet.audit_proof_checks");
+        let failures_counter = obs.counter("fleet.audit_proof_failures");
+        let issued = AtomicU64::new(0);
+        let auditor_public = operator_key.public_key().clone();
+
+        // Baseline head on the driver, before any cohort traffic.
+        issued.fetch_add(1, Ordering::Relaxed);
+        ops_counter.inc();
+        let head0 = setup.fetch_tree_head(now).expect("baseline tree head");
+        checks_counter.inc();
+        if !head0.verify(&auditor_public) {
+            failures_counter.inc();
+        }
+
+        let chunk = cfg.drones.div_ceil(cfg.clients.max(1));
+        thread::scope(|s| {
+            for w in 0..cfg.clients.max(1) {
+                let lo = (w * chunk).min(cfg.drones);
+                let hi = (lo + chunk).min(cfg.drones);
+                let drone_ids = &drone_ids;
+                let healthy = &healthy;
+                let degraded = &degraded;
+                let gps_cohort = &gps_cohort;
+                let interner = &interner;
+                let obs = &obs;
+                let auditor_public = &auditor_public;
+                let checks_counter = Arc::clone(&checks_counter);
+                let failures_counter = Arc::clone(&failures_counter);
+                let ops_counter = Arc::clone(&ops_counter);
+                let err_counter = Arc::clone(&err_counter);
+                let issued = &issued;
+                s.spawn(move || {
+                    let mut client = AuditorClient::new(TcpTransport::new(addr));
+                    for (i, &drone) in drone_ids.iter().enumerate().take(hi).skip(lo) {
+                        let record: &FlightRecord = if gps_cohort.contains(i as u64) {
+                            degraded
+                        } else {
+                            healthy
+                        };
+                        let label = interner.intern(&format!("d{i}"));
+                        let drone_ops = obs.counter(&format!("fleet.drone.{label}.ops"));
+                        let request = || {
+                            issued.fetch_add(1, Ordering::Relaxed);
+                            ops_counter.inc();
+                            drone_ops.inc();
+                        };
+
+                        // Own verdict first: guarantees a leaf to prove.
+                        request();
+                        if client
+                            .submit_poa(
+                                drone,
+                                (record.window_start, record.window_end),
+                                &record.poa,
+                                now,
+                            )
+                            .is_err()
+                        {
+                            err_counter.inc();
+                            continue;
+                        }
+
+                        request();
+                        let sth = match client.fetch_tree_head(now) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                err_counter.inc();
+                                continue;
+                            }
+                        };
+                        checks_counter.inc();
+                        if !sth.verify(auditor_public) {
+                            failures_counter.inc();
+                        }
+
+                        // Inclusion of this drone's verdict, pinned at
+                        // the verified head — other workers keep
+                        // appending, so "current size" would race.
+                        request();
+                        match client.fetch_inclusion_proof(drone, sth.size, now) {
+                            Ok(p) => {
+                                checks_counter.inc();
+                                let ok = p.size == sth.size
+                                    && verify_inclusion(
+                                        &p.leaf, p.index, p.size, &p.path, &sth.root,
+                                    );
+                                if !ok {
+                                    failures_counter.inc();
+                                }
+                            }
+                            Err(_) => err_counter.inc(),
+                        }
+
+                        request();
+                        let sth2 = match client.fetch_tree_head(now) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                err_counter.inc();
+                                continue;
+                            }
+                        };
+                        checks_counter.inc();
+                        if !(sth2.verify(auditor_public) && sth2.size >= sth.size) {
+                            failures_counter.inc();
+                        }
+
+                        request();
+                        match client.fetch_consistency_proof(sth.size, sth2.size, now) {
+                            Ok(c) => {
+                                checks_counter.inc();
+                                let ok = c.old_size == sth.size
+                                    && c.new_size == sth2.size
+                                    && verify_consistency(
+                                        c.old_size, c.new_size, &c.path, &sth.root, &sth2.root,
+                                    );
+                                if !ok {
+                                    failures_counter.inc();
+                                }
+                            }
+                            Err(_) => err_counter.inc(),
+                        }
+                    }
+                });
+            }
+        });
+
+        // Final head on the driver: the whole phase must be consistent
+        // with the baseline — append-only, nothing rewritten.
+        issued.fetch_add(1, Ordering::Relaxed);
+        ops_counter.inc();
+        let head1 = setup.fetch_tree_head(now).expect("final tree head");
+        checks_counter.inc();
+        if !head1.verify(&auditor_public) {
+            failures_counter.inc();
+        }
+        issued.fetch_add(1, Ordering::Relaxed);
+        ops_counter.inc();
+        let cons = setup
+            .fetch_consistency_proof(head0.size, head1.size, now)
+            .expect("baseline-to-final consistency proof");
+        checks_counter.inc();
+        if !(cons.old_size == head0.size
+            && cons.new_size == head1.size
+            && verify_consistency(head0.size, head1.size, &cons.path, &head0.root, &head1.root))
+        {
+            failures_counter.inc();
+        }
+
+        // Quiesced boundary: judge the phase like any other, including
+        // the zero-failure audit_proofs SLO.
+        let (t_end, snap_end) = observe_scrape(&state, &obs, scrape_addr);
+        let window = SeriesWindow::between(t_prev, &snap_prev, t_end, &snap_end);
+        let verdicts = state
+            .lock()
+            .expect("soak state")
+            .engine
+            .verdicts_for(&window);
+        let breached = verdicts.iter().any(|v| !v.healthy);
+        let ops = issued.load(Ordering::Relaxed);
+        total_ops += ops;
+        phases.push(PhaseOutcome {
+            name: "transparency",
+            expect_breach: false,
+            breached,
+            ops,
+            requests_delta: window.counter_delta(SCRAPED_REQUESTS),
+            errors_delta: window.counter_sum(SCRAPED_ERROR_KEYS),
+            shed_delta: window.counter_sum(SCRAPED_SHED_KEYS),
+            start_secs: t_prev.secs(),
+            end_secs: t_end.secs(),
+            verdicts,
+        });
+        t_prev = t_end;
+        snap_prev = snap_end;
+
+        TransparencyOutcome {
+            tree_size_before: head0.size,
+            tree_size_after: head1.size,
+            proof_checks: checks_counter.get(),
+            proof_failures: failures_counter.get(),
+        }
+    });
+
     // ------------------------------------------- kill-and-promote phase
     let mut listener_b: Option<TcpServer> = None;
     let mut server_b: Option<Arc<AuditorServer>> = None;
@@ -947,6 +1195,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> SoakOutcome {
         label_cap: cfg.label_cap,
         scrape_matches_registry,
         failover,
+        transparency,
     }
 }
 
@@ -983,6 +1232,13 @@ pub fn soak_report_json(outcome: &SoakOutcome) -> Json {
             "failover",
             outcome
                 .failover
+                .as_ref()
+                .map_or(Json::Null, ToJson::to_json),
+        ),
+        (
+            "transparency",
+            outcome
+                .transparency
                 .as_ref()
                 .map_or(Json::Null, ToJson::to_json),
         ),
@@ -1140,6 +1396,40 @@ pub fn check_report(report: &Json) -> Result<(), String> {
             return Err("failover: section present but no failover phase in ledger".into());
         }
     }
+    // Tamper soaks carry a transparency section; `null` (plain soak)
+    // is fine, anything else must describe a cohort that checked
+    // proofs and saw not one of them fail.
+    if let Some(tr) = report
+        .get("transparency")
+        .filter(|t| !matches!(t, Json::Null))
+    {
+        let num = |key: &str| {
+            tr.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("transparency: missing {key}"))
+        };
+        if num("proof_checks")? == 0 {
+            return Err("transparency: no proofs were ever checked".into());
+        }
+        if num("proof_failures")? != 0 {
+            return Err(format!(
+                "transparency: {} offline proof verifications failed",
+                num("proof_failures")?
+            ));
+        }
+        let (before, after) = (num("tree_size_before")?, num("tree_size_after")?);
+        if after <= before {
+            return Err(format!(
+                "transparency: audit tree never advanced ({before} -> {after})"
+            ));
+        }
+        if !phases
+            .iter()
+            .any(|p| p.get("name").and_then(Json::as_str) == Some("transparency"))
+        {
+            return Err("transparency: section present but no transparency phase in ledger".into());
+        }
+    }
     Ok(())
 }
 
@@ -1173,6 +1463,12 @@ pub fn determinism_signature(outcome: &SoakOutcome) -> String {
             fo.promoted_follower,
             fo.pre_kill_ops,
             fo.post_kill_ops
+        ));
+    }
+    if let Some(tr) = &outcome.transparency {
+        sig.push_str(&format!(
+            "\ntransparency:tree={}->{},checks={},failures={}",
+            tr.tree_size_before, tr.tree_size_after, tr.proof_checks, tr.proof_failures
         ));
     }
     sig
@@ -1264,6 +1560,53 @@ mod tests {
         let report = soak_report_json(&outcome);
         let round_tripped = Json::parse(&report.to_pretty()).expect("report parses");
         check_report(&round_tripped).expect("failover report machine-checks");
+    }
+
+    /// A tamper-mode tiny fleet: every drone submits a verdict and then
+    /// audits the server — signed tree head, inclusion proof for its
+    /// own verdict, consistency proof across successive heads — all
+    /// verified offline. Zero proof failures, the `audit_proofs` SLO
+    /// judges healthy on the phase boundary, and the report's
+    /// transparency section machine-checks after a JSON round trip.
+    #[test]
+    fn tiny_tamper_fleet_verifies_proofs_and_machine_checks() {
+        let cfg = FleetConfig {
+            tamper: true,
+            ..tiny_config(23)
+        };
+        let outcome = run_fleet(&cfg);
+        let tr = outcome.transparency.as_ref().expect("transparency ledger");
+        assert_eq!(
+            tr.proof_failures, 0,
+            "offline proof verification failed during the soak"
+        );
+        // 4 checks per drone (two head signatures, inclusion,
+        // consistency) plus 3 driver-side checks.
+        assert_eq!(tr.proof_checks, 4 * outcome.drones as u64 + 3);
+        assert!(
+            tr.tree_size_after >= tr.tree_size_before + outcome.drones as u64,
+            "audit tree advanced {} -> {}, expected at least one leaf per drone",
+            tr.tree_size_before,
+            tr.tree_size_after
+        );
+        let phase = outcome
+            .phases
+            .iter()
+            .find(|p| p.name == "transparency")
+            .expect("transparency phase in ledger");
+        assert_eq!(phase.ops, phase.requests_delta);
+        assert!(
+            !phase.breached,
+            "transparency phase breached: {:?}",
+            phase.verdicts
+        );
+        assert!(phase
+            .verdicts
+            .iter()
+            .any(|v| v.name == "audit_proofs" && v.healthy));
+        let report = soak_report_json(&outcome);
+        let round_tripped = Json::parse(&report.to_pretty()).expect("report parses");
+        check_report(&round_tripped).expect("tamper report machine-checks");
     }
 
     /// The checker rejects reports whose breach expectations are not
